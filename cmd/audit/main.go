@@ -1,0 +1,140 @@
+// Command audit produces an operator-facing scapegoating risk report
+// for a monitored topology:
+//
+//   - per link: the smallest attacker set that perfectly cuts it (the
+//     minimum compromise that can frame it undetectably, Theorem 1 +
+//     Theorem 3), if one exists within the search budget;
+//   - per node: its interior presence ratio (how much of the
+//     measurement fabric a compromise of it would control) and its
+//     betweenness rank;
+//   - topology-level warnings: articulation points and bridges, the
+//     single points whose compromise or failure splits monitoring.
+//
+// Usage:
+//
+//	audit [-topo FILE | -kind fig1|abilene|isp|wireless] [-seed S] [-maxcut K] [-top N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/tomo"
+)
+
+func main() {
+	topoFile := flag.String("topo", "", "edge-list topology file (overrides -kind)")
+	kind := flag.String("kind", "fig1", "built-in topology: fig1, abilene, isp, wireless")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	maxCut := flag.Int("maxcut", 3, "maximum perfect-cut attacker set size to search")
+	top := flag.Int("top", 10, "how many highest-risk nodes to list")
+	flag.Parse()
+
+	if err := run(*topoFile, *kind, *seed, *maxCut, *top); err != nil {
+		fmt.Fprintf(os.Stderr, "audit: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(topoFile, kind string, seed int64, maxCut, top int) error {
+	rng := rand.New(rand.NewSource(seed))
+	env, err := cli.BuildSystem(topoFile, kind, seed, rng)
+	if err != nil {
+		return err
+	}
+	g, sys := env.G, env.Sys
+	fmt.Printf("audit of %d nodes, %d links, %d monitors, %d measurement paths\n\n",
+		g.NumNodes(), g.NumLinks(), len(env.Monitors), sys.NumPaths())
+
+	// 1. Per-link frame-ability.
+	fmt.Println("frame-ability: smallest perfect-cut attacker set per link")
+	fmt.Printf("%-8s %-24s %s\n", "link", "endpoints", "minimal undetectable framers")
+	vulnerable := 0
+	for l := 0; l < g.NumLinks(); l++ {
+		lid := graph.LinkID(l)
+		link, err := g.Link(lid)
+		if err != nil {
+			return err
+		}
+		set, err := core.FindPerfectCutAttackers(sys, []graph.LinkID{lid}, maxCut)
+		if err != nil {
+			return err
+		}
+		an, _ := g.NodeName(link.A)
+		bn, _ := g.NodeName(link.B)
+		desc := fmt.Sprintf("none within %d nodes", maxCut)
+		if set != nil {
+			vulnerable++
+			names := make([]string, len(set))
+			for i, v := range set {
+				names[i], _ = g.NodeName(v)
+			}
+			desc = strings.Join(names, ",")
+		}
+		if g.NumLinks() <= 30 || set != nil {
+			fmt.Printf("%-8d %-24s %s\n", l+1, an+"–"+bn, desc)
+		}
+	}
+	fmt.Printf("→ %d of %d links can be framed undetectably by ≤ %d compromised nodes\n\n",
+		vulnerable, g.NumLinks(), maxCut)
+
+	// 2. Node risk ranking: interior presence × betweenness.
+	presence := tomo.InteriorPresenceRatios(g, sys.Paths())
+	cb := graph.BetweennessCentrality(g)
+	type nodeRisk struct {
+		v        graph.NodeID
+		presence float64
+		cb       float64
+	}
+	risks := make([]nodeRisk, 0, g.NumNodes())
+	for _, v := range g.Nodes() {
+		risks = append(risks, nodeRisk{v, presence[v], cb[v]})
+	}
+	sort.Slice(risks, func(a, b int) bool {
+		if risks[a].presence != risks[b].presence {
+			return risks[a].presence > risks[b].presence
+		}
+		return risks[a].cb > risks[b].cb
+	})
+	fmt.Printf("highest-risk nodes (interior presence on measurement paths)\n")
+	fmt.Printf("%-12s %16s %14s\n", "node", "presence ratio", "betweenness")
+	for i := 0; i < top && i < len(risks); i++ {
+		name, _ := g.NodeName(risks[i].v)
+		fmt.Printf("%-12s %15.1f%% %14.1f\n", name, 100*risks[i].presence, risks[i].cb)
+	}
+	fmt.Println()
+
+	// 3. Structural single points of failure.
+	aps := graph.ArticulationPoints(g)
+	if len(aps) > 0 {
+		names := make([]string, len(aps))
+		for i, v := range aps {
+			names[i], _ = g.NodeName(v)
+		}
+		fmt.Printf("articulation points (single-node compromise splits the network): %s\n",
+			strings.Join(names, ", "))
+	} else {
+		fmt.Println("articulation points: none (2-connected)")
+	}
+	bridges := graph.Bridges(g)
+	if len(bridges) > 0 {
+		parts := make([]string, len(bridges))
+		for i, l := range bridges {
+			link, _ := g.Link(l)
+			an, _ := g.NodeName(link.A)
+			bn, _ := g.NodeName(link.B)
+			parts[i] = fmt.Sprintf("%d (%s–%s)", l+1, an, bn)
+		}
+		fmt.Printf("bridge links: %s\n", strings.Join(parts, ", "))
+	} else {
+		fmt.Println("bridge links: none (2-edge-connected)")
+	}
+	return nil
+}

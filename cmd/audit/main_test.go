@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunFig1(t *testing.T) {
+	if err := run("", "fig1", 1, 3, 5); err != nil {
+		t.Fatalf("audit fig1: %v", err)
+	}
+}
+
+func TestRunAbilene(t *testing.T) {
+	if err := run("", "abilene", 1, 2, 5); err != nil {
+		t.Fatalf("audit abilene: %v", err)
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if err := run("", "nope", 1, 3, 5); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

@@ -1,0 +1,173 @@
+// Command experiments regenerates the paper's evaluation figures
+// (Figs. 4–9) and prints their data as text tables; -extras adds the
+// beyond-paper studies and -json also writes machine-readable results.
+//
+// Usage:
+//
+//	experiments [-fig N] [-seed S] [-trials T] [-extras] [-json DIR]
+//
+// Without -fig, every figure runs in order.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to run (4–9); 0 runs all")
+	seed := flag.Int64("seed", 1, "base RNG seed")
+	trials := flag.Int("trials", 0, "trial count for Figs. 7–9 (0 = per-figure default)")
+	extras := flag.Bool("extras", false, "also run the beyond-paper studies (loss-domain grey-hole, α-evasion sweep, placement and centrality studies)")
+	jsonDir := flag.String("json", "", "also write results as JSON files into this directory")
+	flag.Parse()
+
+	if err := run(*fig, *seed, *trials, *extras, *jsonDir); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// emit prints the result and optionally writes it as JSON.
+func emit(jsonDir, name string, v fmt.Stringer) error {
+	fmt.Println(v)
+	if jsonDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(jsonDir, 0o755); err != nil {
+		return fmt.Errorf("create %s: %w", jsonDir, err)
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal %s: %w", name, err)
+	}
+	path := filepath.Join(jsonDir, name+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return nil
+}
+
+func run(fig int, seed int64, trials int, extras bool, jsonDir string) error {
+	figs := []int{4, 5, 6, 7, 8, 9}
+	if fig != 0 {
+		figs = []int{fig}
+	}
+	for _, f := range figs {
+		switch f {
+		case 4:
+			r, err := experiment.Fig4(seed)
+			if err != nil {
+				return err
+			}
+			if err := emit(jsonDir, "fig4", r); err != nil {
+				return err
+			}
+		case 5:
+			r, err := experiment.Fig5(seed)
+			if err != nil {
+				return err
+			}
+			if err := emit(jsonDir, "fig5", r); err != nil {
+				return err
+			}
+		case 6:
+			r, err := experiment.Fig6(seed)
+			if err != nil {
+				return err
+			}
+			if err := emit(jsonDir, "fig6", r); err != nil {
+				return err
+			}
+		case 7:
+			for _, kind := range []experiment.NetworkKind{experiment.Wireline, experiment.Wireless} {
+				r, err := experiment.Fig7(experiment.Fig7Config{Kind: kind, Seed: seed, Trials: trials})
+				if err != nil {
+					return err
+				}
+				if err := emit(jsonDir, fmt.Sprintf("fig7-%v", kind), r); err != nil {
+					return err
+				}
+			}
+		case 8:
+			for _, kind := range []experiment.NetworkKind{experiment.Wireline, experiment.Wireless} {
+				r, err := experiment.Fig8(experiment.Fig8Config{Kind: kind, Seed: seed, Trials: trials})
+				if err != nil {
+					return err
+				}
+				if err := emit(jsonDir, fmt.Sprintf("fig8-%v", kind), r); err != nil {
+					return err
+				}
+			}
+		case 9:
+			r, err := experiment.Fig9(experiment.Fig9Config{Seed: seed, Trials: trials})
+			if err != nil {
+				return err
+			}
+			if err := emit(jsonDir, "fig9", r); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown figure %d (want 4–9)", f)
+		}
+	}
+	if extras {
+		loss, err := experiment.LossStudy(experiment.LossStudyConfig{Seed: seed})
+		if err != nil {
+			return err
+		}
+		if err := emit(jsonDir, "loss-study", loss); err != nil {
+			return err
+		}
+		ev, err := experiment.EvasionStudy(seed, nil)
+		if err != nil {
+			return err
+		}
+		if err := emit(jsonDir, "evasion-study", ev); err != nil {
+			return err
+		}
+		ps, err := experiment.PlacementStudy(experiment.PlacementStudyConfig{Seed: seed, Trials: trials})
+		if err != nil {
+			return err
+		}
+		if err := emit(jsonDir, "placement-study", ps); err != nil {
+			return err
+		}
+		for _, kind := range []experiment.NetworkKind{experiment.Wireline, experiment.Wireless} {
+			cs, err := experiment.CentralityStudy(experiment.CentralityStudyConfig{Kind: kind, Seed: seed, Trials: trials})
+			if err != nil {
+				return err
+			}
+			if err := emit(jsonDir, fmt.Sprintf("centrality-study-%v", kind), cs); err != nil {
+				return err
+			}
+		}
+		ls, err := experiment.LatencyStudy(experiment.LatencyStudyConfig{Seed: seed, Trials: trials})
+		if err != nil {
+			return err
+		}
+		if err := emit(jsonDir, "latency-study", ls); err != nil {
+			return err
+		}
+		dm, err := experiment.DetectorMatrix(experiment.DetectorMatrixConfig{Seed: seed, Trials: trials})
+		if err != nil {
+			return err
+		}
+		if err := emit(jsonDir, "detector-matrix", dm); err != nil {
+			return err
+		}
+		roc, err := experiment.RocStudy(experiment.RocStudyConfig{Seed: seed, Rounds: trials * 10})
+		if err != nil {
+			return err
+		}
+		if err := emit(jsonDir, "roc-study", roc); err != nil {
+			return err
+		}
+	}
+	return nil
+}

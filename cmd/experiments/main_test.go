@@ -1,0 +1,68 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunFig4(t *testing.T) {
+	if err := run(4, 1, 0, false, ""); err != nil {
+		t.Fatalf("fig 4: %v", err)
+	}
+}
+
+func TestRunFig5(t *testing.T) {
+	if err := run(5, 1, 0, false, ""); err != nil {
+		t.Fatalf("fig 5: %v", err)
+	}
+}
+
+func TestRunFig6(t *testing.T) {
+	if err := run(6, 1, 0, false, ""); err != nil {
+		t.Fatalf("fig 6: %v", err)
+	}
+}
+
+func TestRunFig9(t *testing.T) {
+	if err := run(9, 1, 4, false, ""); err != nil {
+		t.Fatalf("fig 9: %v", err)
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(4, 1, 0, false, dir); err != nil {
+		t.Fatalf("json run: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig4.json"))
+	if err != nil {
+		t.Fatalf("read json: %v", err)
+	}
+	var v map[string]any
+	if err := json.Unmarshal(data, &v); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if v["feasible"] != true {
+		t.Errorf("feasible = %v", v["feasible"])
+	}
+	if _, ok := v["links"]; !ok {
+		t.Error("links missing from JSON")
+	}
+}
+
+func TestRunUnknownFig(t *testing.T) {
+	if err := run(3, 1, 0, false, ""); err == nil {
+		t.Fatal("figure 3 accepted")
+	}
+}
+
+func TestRunFig8SmallTrials(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig 8 in short mode")
+	}
+	if err := run(8, 1, 3, false, ""); err != nil {
+		t.Fatalf("fig 8: %v", err)
+	}
+}

@@ -1,0 +1,168 @@
+// Command scapegoat launches a scapegoating attack against a tomography
+// system and reports what the misled network operator would see,
+// together with the consistency detector's verdict.
+//
+// Usage:
+//
+//	scapegoat -strategy chosen|maxdamage|obfuscate [flags]
+//
+// Flags:
+//
+//	-kind fig1|abilene|isp|wireless   built-in topology (default fig1)
+//	-seed S                   RNG seed
+//	-attackers A,B            attacker node names (default: B,C on fig1,
+//	                          one random node otherwise)
+//	-victim N                 victim link number (chosen strategy; 1-based)
+//	-stealthy                 use the consistent (undetectable) construction
+//	-confine                  keep third links below the abnormal threshold
+//	-alpha X                  detection threshold in ms (default 200)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/graph"
+	"repro/internal/netsim"
+	"repro/internal/tomo"
+	"repro/internal/topo"
+)
+
+func main() {
+	kind := flag.String("kind", "fig1", "topology: fig1, abilene, isp, wireless")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	strategy := flag.String("strategy", "chosen", "attack strategy: chosen, maxdamage, obfuscate")
+	attackersFlag := flag.String("attackers", "", "comma-separated attacker node names")
+	victim := flag.Int("victim", 10, "victim link number for the chosen strategy (1-based)")
+	stealthy := flag.Bool("stealthy", false, "use the consistent construction of Theorem 1")
+	confine := flag.Bool("confine", false, "confine third links below the abnormal threshold")
+	alpha := flag.Float64("alpha", detect.DefaultAlpha, "detection threshold (ms)")
+	flag.Parse()
+
+	if err := run(*kind, *seed, *strategy, *attackersFlag, *victim, *stealthy, *confine, *alpha); err != nil {
+		fmt.Fprintf(os.Stderr, "scapegoat: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind string, seed int64, strategy, attackersFlag string, victim int, stealthy, confine bool, alpha float64) error {
+	rng := rand.New(rand.NewSource(seed))
+	env, err := cli.BuildSystem("", kind, seed, rng)
+	if err != nil {
+		return err
+	}
+	g, sys, paperLinks := env.G, env.Sys, env.Fig1
+	attackers, err := resolveAttackers(g, attackersFlag, kind, rng)
+	if err != nil {
+		return err
+	}
+	sc := &core.Scenario{
+		Sys:           sys,
+		Thresholds:    tomo.DefaultThresholds(),
+		Attackers:     attackers,
+		TrueX:         netsim.RoutineDelays(g, rng),
+		Stealthy:      stealthy,
+		ConfineOthers: confine,
+	}
+
+	var res *core.Result
+	switch strategy {
+	case "chosen":
+		lid, err := resolveVictim(g, paperLinks, victim)
+		if err != nil {
+			return err
+		}
+		res, err = core.ChosenVictim(sc, []graph.LinkID{lid})
+		if err != nil {
+			return err
+		}
+	case "maxdamage":
+		res, err = core.MaxDamage(sc, core.MaxDamageOptions{})
+		if err != nil {
+			return err
+		}
+	case "obfuscate":
+		res, err = core.Obfuscate(sc, core.ObfuscationOptions{MinVictims: 1})
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown strategy %q", strategy)
+	}
+
+	names := make([]string, len(attackers))
+	for i, a := range attackers {
+		names[i], _ = g.NodeName(a)
+	}
+	fmt.Printf("topology %s: %d nodes, %d links, %d paths; attackers: %s; strategy: %s (stealthy=%v)\n",
+		kind, g.NumNodes(), g.NumLinks(), sys.NumPaths(), strings.Join(names, ","), strategy, stealthy)
+	if !res.Feasible {
+		fmt.Printf("attack INFEASIBLE (%v)\n", res.LPStatus)
+		return nil
+	}
+	victimNums := make([]int, len(res.Victims))
+	for i, v := range res.Victims {
+		victimNums[i] = int(v) + 1 // display links 1-based like the paper
+	}
+	fmt.Printf("attack feasible: damage=%.1f ms over %d paths, avg end-to-end=%.2f ms, victim links=%v\n",
+		res.Damage, sys.NumPaths(), res.AvgPathMetric, victimNums)
+	th := sc.Thresholds
+	fmt.Printf("%-8s %10s  %s\n", "link", "est (ms)", "state")
+	for l := 0; l < g.NumLinks(); l++ {
+		state := th.Classify(res.XHat[l])
+		if state != tomo.Normal || g.NumLinks() <= 20 {
+			fmt.Printf("%-8d %10.2f  %s\n", l+1, res.XHat[l], state)
+		}
+	}
+
+	det, err := detect.New(sys, alpha)
+	if err != nil {
+		return err
+	}
+	rep, err := det.Inspect(res.YObserved)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("detection: residual ‖Rx̂−y'‖₁ = %.2f ms vs α = %.0f ms → detected=%v\n",
+		rep.ResidualNorm, alpha, rep.Detected)
+	return nil
+}
+
+func resolveAttackers(g *graph.Graph, flagVal, kind string, rng *rand.Rand) ([]graph.NodeID, error) {
+	if flagVal == "" {
+		if kind == "fig1" {
+			b, _ := g.NodeByName("B")
+			c, _ := g.NodeByName("C")
+			return []graph.NodeID{b, c}, nil
+		}
+		return []graph.NodeID{graph.NodeID(rng.Intn(g.NumNodes()))}, nil
+	}
+	var out []graph.NodeID
+	for _, name := range strings.Split(flagVal, ",") {
+		id, ok := g.NodeByName(strings.TrimSpace(name))
+		if !ok {
+			return nil, fmt.Errorf("unknown node %q", name)
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+func resolveVictim(g *graph.Graph, f *topo.Fig1Topology, num int) (graph.LinkID, error) {
+	if f != nil {
+		if num < 1 || num > 10 {
+			return 0, fmt.Errorf("fig1 victim link %d out of range 1–10", num)
+		}
+		return f.PaperLink[num], nil
+	}
+	if num < 1 || num > g.NumLinks() {
+		return 0, fmt.Errorf("victim link %d out of range 1–%d", num, g.NumLinks())
+	}
+	return graph.LinkID(num - 1), nil
+}

@@ -1,0 +1,57 @@
+package main
+
+import "testing"
+
+func TestRunChosenFig1(t *testing.T) {
+	if err := run("fig1", 1, "chosen", "", 10, false, false, 200); err != nil {
+		t.Fatalf("chosen: %v", err)
+	}
+}
+
+func TestRunChosenStealthy(t *testing.T) {
+	if err := run("fig1", 1, "chosen", "", 1, true, false, 200); err != nil {
+		t.Fatalf("stealthy chosen: %v", err)
+	}
+}
+
+func TestRunMaxDamage(t *testing.T) {
+	if err := run("fig1", 1, "maxdamage", "", 0, false, false, 200); err != nil {
+		t.Fatalf("maxdamage: %v", err)
+	}
+}
+
+func TestRunObfuscate(t *testing.T) {
+	if err := run("fig1", 1, "obfuscate", "", 0, false, true, 200); err != nil {
+		t.Fatalf("obfuscate: %v", err)
+	}
+}
+
+func TestRunExplicitAttackers(t *testing.T) {
+	if err := run("fig1", 1, "chosen", "B,C", 10, false, false, 200); err != nil {
+		t.Fatalf("explicit attackers: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nope", 1, "chosen", "", 10, false, false, 200); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	if err := run("fig1", 1, "nope", "", 10, false, false, 200); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if err := run("fig1", 1, "chosen", "ZZZ", 10, false, false, 200); err == nil {
+		t.Error("unknown attacker accepted")
+	}
+	if err := run("fig1", 1, "chosen", "", 99, false, false, 200); err == nil {
+		t.Error("victim out of range accepted")
+	}
+}
+
+func TestRunWirelessMaxDamage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wireless placement in short mode")
+	}
+	if err := run("wireless", 1, "maxdamage", "", 0, false, false, 200); err != nil {
+		t.Fatalf("wireless maxdamage: %v", err)
+	}
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunFig1(t *testing.T) {
+	if err := run("", "fig1", 1, 0, 1, "", ""); err != nil {
+		t.Fatalf("run fig1: %v", err)
+	}
+}
+
+func TestRunFig1Noisy(t *testing.T) {
+	if err := run("", "fig1", 2, 1.5, 5, "", ""); err != nil {
+		t.Fatalf("run fig1 noisy: %v", err)
+	}
+}
+
+func TestRunWireless(t *testing.T) {
+	if err := run("", "wireless", 1, 0, 1, "", ""); err != nil {
+		t.Fatalf("run wireless: %v", err)
+	}
+}
+
+func TestRunUnknownKind(t *testing.T) {
+	if err := run("", "nope", 1, 0, 1, "", ""); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestRunTopoFile(t *testing.T) {
+	// A K4 graph: every node degree 3, identifiable with enough
+	// monitors (PlaceMonitors handles it).
+	dir := t.TempDir()
+	path := filepath.Join(dir, "k4.txt")
+	edges := "a b\na c\na d\nb c\nb d\nc d\n"
+	if err := os.WriteFile(path, []byte(edges), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "", 1, 0, 1, "", ""); err != nil {
+		t.Fatalf("run topo file: %v", err)
+	}
+	if err := run(filepath.Join(dir, "missing.txt"), "", 1, 0, 1, "", ""); err == nil {
+		t.Fatal("missing topo file accepted")
+	}
+}
+
+func TestRunSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cfg := filepath.Join(dir, "cfg.json")
+	if err := run("", "fig1", 1, 0, 1, cfg, ""); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if _, err := os.Stat(cfg); err != nil {
+		t.Fatalf("config not written: %v", err)
+	}
+	if err := run("", "fig1", 1, 0, 1, "", cfg); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if err := run("", "fig1", 1, 0, 1, "", filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing config accepted")
+	}
+}
+
+func TestAbsErr(t *testing.T) {
+	if got := absErr(10, 12); got != 0.2 {
+		t.Errorf("absErr = %g", got)
+	}
+	if got := absErr(0, 5); got != 0 {
+		t.Errorf("absErr zero-truth = %g", got)
+	}
+}

@@ -1,0 +1,81 @@
+// Command topogen generates network topologies as edge lists.
+//
+// Usage:
+//
+//	topogen -kind fig1|isp|wireless|er|waxman [-seed S] [-n N] [-p P] [-out FILE] [-stats]
+//
+// The output is a parseable edge list ("nameA nameB" per line) usable by
+// tomograph and scapegoat via -topo FILE.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"repro/internal/graph"
+	"repro/internal/topo"
+)
+
+func main() {
+	kind := flag.String("kind", "fig1", "topology kind: fig1, isp, wireless, er, waxman")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	n := flag.Int("n", 50, "node count (er, waxman)")
+	p := flag.Float64("p", 0.1, "edge probability (er)")
+	out := flag.String("out", "", "output file (default stdout)")
+	stats := flag.Bool("stats", false, "print topology metrics to stderr")
+	flag.Parse()
+
+	if err := run(*kind, *seed, *n, *p, *out, *stats); err != nil {
+		fmt.Fprintf(os.Stderr, "topogen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind string, seed int64, n int, p float64, out string, stats bool) error {
+	var (
+		g   *graph.Graph
+		err error
+	)
+	rng := rand.New(rand.NewSource(seed))
+	switch kind {
+	case "fig1":
+		g = topo.Fig1().G
+	case "isp":
+		g, err = topo.ISP(seed)
+	case "wireless":
+		g, _, err = topo.Wireless(seed)
+	case "er":
+		g, err = graph.ErdosRenyi(n, p, rng)
+	case "waxman":
+		g, _, err = graph.Waxman(n, 0.9, 0.3, rng)
+	default:
+		return fmt.Errorf("unknown kind %q", kind)
+	}
+	if err != nil {
+		return err
+	}
+	if stats {
+		m := graph.ComputeMetrics(g)
+		fmt.Fprintf(os.Stderr,
+			"# %d nodes, %d links, degree %d–%d (mean %.2f), diameter %d, mean distance %.2f, clustering %.3f, components %d\n",
+			m.Nodes, m.Links, m.MinDegree, m.MaxDegree, m.MeanDegree,
+			m.Diameter, m.MeanDistance, m.ClusteringCoeff, m.Components)
+	}
+	var w io.Writer = os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "topogen: close: %v\n", cerr)
+			}
+		}()
+		w = f
+	}
+	return graph.WriteEdgeList(w, g)
+}

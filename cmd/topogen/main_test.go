@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunAllKinds(t *testing.T) {
+	dir := t.TempDir()
+	for _, kind := range []string{"fig1", "isp", "wireless", "er", "waxman"} {
+		t.Run(kind, func(t *testing.T) {
+			out := filepath.Join(dir, kind+".txt")
+			if err := run(kind, 1, 30, 0.2, out, true); err != nil {
+				t.Fatalf("run(%s): %v", kind, err)
+			}
+			data, err := os.ReadFile(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.HasPrefix(string(data), "#") {
+				t.Errorf("%s output missing header", kind)
+			}
+			if len(strings.Split(strings.TrimSpace(string(data)), "\n")) < 2 {
+				t.Errorf("%s output has no edges", kind)
+			}
+		})
+	}
+}
+
+func TestRunUnknownKind(t *testing.T) {
+	if err := run("nope", 1, 10, 0.1, "", false); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestRunBadPath(t *testing.T) {
+	if err := run("fig1", 1, 10, 0.1, "/nonexistent-dir/x.txt", false); err == nil {
+		t.Fatal("bad output path accepted")
+	}
+}

@@ -1,0 +1,13 @@
+// Package repro reproduces "When Seeing Isn't Believing: On Feasibility
+// and Detectability of Scapegoating in Network Tomography" (Zhao, Lu,
+// Wang — ICDCS 2017) as a Go library.
+//
+// The implementation lives under internal/: la (dense linear algebra),
+// lp (two-phase simplex), graph (topologies and paths), metrics
+// (additive link metrics), topo (the paper's networks), tomo (the
+// tomography engine), core (the scapegoating strategies), detect (the
+// consistency detector), netsim (packet-level probe simulation), and
+// experiment (the Fig. 4–9 runners). Executables live under cmd/ and
+// runnable walkthroughs under examples/. See README.md, DESIGN.md and
+// EXPERIMENTS.md.
+package repro

@@ -1,0 +1,226 @@
+package campaign
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/la"
+	"repro/internal/netsim"
+	"repro/internal/tomo"
+	"repro/internal/topo"
+)
+
+// fig1Campaign assembles the Fig. 1 system, a chosen-victim plan on
+// link 10 (imperfect cut, detectable), and the true metrics.
+func fig1Campaign(t *testing.T, seed int64, evadeAlpha float64) (*tomo.System, la.Vector, *netsim.AttackPlan) {
+	t.Helper()
+	f := topo.Fig1()
+	paths, rank, err := tomo.SelectPaths(f.G, f.Monitors, tomo.SelectOptions{Exhaustive: true, TargetPaths: 23})
+	if err != nil || rank != 10 {
+		t.Fatalf("rank=%d err=%v", rank, err)
+	}
+	sys, err := tomo.NewSystem(f.G, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := netsim.RoutineDelays(f.G, rand.New(rand.NewSource(seed)))
+	sc := &core.Scenario{
+		Sys:        sys,
+		Thresholds: tomo.DefaultThresholds(),
+		Attackers:  f.Attackers,
+		TrueX:      x,
+		EvadeAlpha: evadeAlpha,
+	}
+	res, err := core.ChosenVictim(sc, []graph.LinkID{f.PaperLink[10]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Skip("attack infeasible on this draw")
+	}
+	plan := &netsim.AttackPlan{
+		Attackers:  map[graph.NodeID]bool{f.B: true, f.C: true},
+		ExtraDelay: res.M,
+	}
+	return sys, x, plan
+}
+
+func TestCampaignCleanNeverAlarms(t *testing.T) {
+	sys, x, _ := fig1Campaign(t, 1, 0)
+	res, err := Run(Config{
+		Sys: sys, TrueX: x, Rounds: 20,
+		Jitter: 1, ProbesPerPath: 3, RNG: rand.New(rand.NewSource(2)),
+		Drift: 150, Ceiling: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 20 {
+		t.Fatalf("records = %d", len(res.Records))
+	}
+	if res.FirstOneShotAlarm >= 0 {
+		t.Errorf("clean campaign one-shot alarm at round %d", res.FirstOneShotAlarm)
+	}
+	if res.FirstCusumAlarm >= 0 {
+		t.Errorf("clean campaign CUSUM alarm at round %d", res.FirstCusumAlarm)
+	}
+	for _, rec := range res.Records {
+		if rec.Attacked {
+			t.Fatal("clean campaign marked a round attacked")
+		}
+	}
+}
+
+func TestCampaignDetectsOnsetImmediately(t *testing.T) {
+	// A plain (non-evasive) attack on an imperfect cut fires the
+	// one-shot detector in exactly the onset round.
+	sys, x, plan := fig1Campaign(t, 3, 0)
+	const onset = 7
+	res, err := Run(Config{
+		Sys: sys, TrueX: x, Rounds: 15,
+		Jitter: 1, ProbesPerPath: 3, RNG: rand.New(rand.NewSource(4)),
+		Plan: plan, AttackFrom: onset,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FirstOneShotAlarm != onset {
+		t.Errorf("one-shot alarm at round %d, want %d", res.FirstOneShotAlarm, onset)
+	}
+	for _, rec := range res.Records {
+		if rec.Attacked != (rec.Round >= onset) {
+			t.Errorf("round %d attacked=%v", rec.Round, rec.Attacked)
+		}
+		if rec.Round < onset && rec.OneShotAlarm {
+			t.Errorf("pre-onset alarm at round %d", rec.Round)
+		}
+	}
+}
+
+func TestCampaignCusumCatchesEvasiveOnset(t *testing.T) {
+	// An α-evasive attack stays under the one-shot threshold forever,
+	// but CUSUM alarms a few rounds after onset.
+	const alpha = 3000.0
+	sys, x, plan := fig1Campaign(t, 5, 0.95*alpha)
+	const onset = 5
+	res, err := Run(Config{
+		Sys: sys, TrueX: x, Rounds: 25,
+		Jitter: 1, ProbesPerPath: 3, RNG: rand.New(rand.NewSource(6)),
+		Plan: plan, AttackFrom: onset,
+		Alpha: alpha,
+		Drift: 0.2 * alpha, Ceiling: 2 * alpha,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FirstOneShotAlarm >= 0 {
+		t.Errorf("one-shot detector fired at round %d against an evasive attack", res.FirstOneShotAlarm)
+	}
+	if res.FirstCusumAlarm < onset {
+		t.Fatalf("CUSUM alarm at %d before onset %d (or never)", res.FirstCusumAlarm, onset)
+	}
+	if res.FirstCusumAlarm > onset+5 {
+		t.Errorf("CUSUM took %d rounds to catch the evasive attack", res.FirstCusumAlarm-onset)
+	}
+}
+
+func TestCampaignEstimatesTrackTruthWhenClean(t *testing.T) {
+	sys, x, _ := fig1Campaign(t, 8, 0)
+	res, err := Run(Config{Sys: sys, TrueX: x, Rounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range res.Records {
+		if !rec.XHat.Equal(x, 1e-8) {
+			t.Errorf("round %d estimate diverges without noise", rec.Round)
+		}
+		for l, s := range rec.States {
+			if s != tomo.Normal {
+				t.Errorf("round %d link %d state %v for routine delays", rec.Round, l, s)
+			}
+		}
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	sys, x, _ := fig1Campaign(t, 1, 0)
+	if _, err := Run(Config{Sys: nil, TrueX: x, Rounds: 1}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("nil sys: err = %v", err)
+	}
+	if _, err := Run(Config{Sys: sys, TrueX: x, Rounds: 0}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("zero rounds: err = %v", err)
+	}
+	if _, err := Run(Config{Sys: sys, TrueX: la.Vector{1}, Rounds: 1}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("short TrueX: err = %v", err)
+	}
+	// Bad sequential parameters surface detect's validation.
+	if _, err := Run(Config{Sys: sys, TrueX: x, Rounds: 1, Drift: -1, Ceiling: 5}); err == nil {
+		t.Error("negative drift accepted")
+	}
+}
+
+func TestCampaignDiurnalTruthNoFalseAlarms(t *testing.T) {
+	// Time-varying routine traffic is NOT an attack: per-round
+	// measurements remain (almost) consistent with the linear model, so
+	// the consistency detector stays quiet even as the truth swings ±30%
+	// over the campaign — the detector reacts to manipulation, not load.
+	sys, x, _ := fig1Campaign(t, 9, 0)
+	model := netsim.DiurnalDelays{Base: x, Amplitude: 0.3, Period: 20000}
+	res, err := Run(Config{
+		Sys: sys, TrueX: x, Rounds: 25,
+		Model: model, RoundSpacing: 1000,
+		Drift: 150, Ceiling: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FirstOneShotAlarm >= 0 {
+		t.Errorf("diurnal truth triggered one-shot alarm at round %d", res.FirstOneShotAlarm)
+	}
+	if res.FirstCusumAlarm >= 0 {
+		t.Errorf("diurnal truth triggered CUSUM alarm at round %d", res.FirstCusumAlarm)
+	}
+	// Estimates must track the moving truth: round r's estimate should
+	// be near the model's value at that round, not the t=0 base.
+	moved := false
+	for _, rec := range res.Records {
+		for l := range x {
+			want := model.DelayAt(graph.LinkID(l), float64(rec.Round)*1000)
+			if math.Abs(rec.XHat[l]-want) > 0.25*want+1 {
+				t.Errorf("round %d link %d estimate %.1f far from moving truth %.1f",
+					rec.Round, l, rec.XHat[l], want)
+			}
+			if math.Abs(rec.XHat[l]-x[l]) > 0.05*x[l] {
+				moved = true
+			}
+		}
+	}
+	if !moved {
+		t.Error("estimates never moved off the t=0 base; model not applied")
+	}
+}
+
+func TestCampaignString(t *testing.T) {
+	sys, x, plan := fig1Campaign(t, 3, 0)
+	res, err := Run(Config{
+		Sys: sys, TrueX: x, Rounds: 4,
+		Jitter: 1, ProbesPerPath: 2, RNG: rand.New(rand.NewSource(1)),
+		Plan: plan, AttackFrom: 2,
+		Drift: 150, Ceiling: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.String()
+	if !strings.Contains(s, "round") || !strings.Contains(s, "CUSUM") {
+		t.Errorf("String = %q", s)
+	}
+	if !strings.Contains(s, "first one-shot alarm") {
+		t.Error("alarm summary missing")
+	}
+}

@@ -1,0 +1,90 @@
+// Package cli holds the topology-loading and system-assembly plumbing
+// shared by the command-line tools: resolve a topology by built-in name
+// or edge-list file, place monitors, select identifiable measurement
+// paths, and hand back a ready tomography system.
+package cli
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/tomo"
+	"repro/internal/topo"
+)
+
+// ErrUnknownKind is returned for unrecognized topology names.
+var ErrUnknownKind = errors.New("cli: unknown topology kind")
+
+// Env is an assembled command-line environment.
+type Env struct {
+	// G is the topology.
+	G *graph.Graph
+	// Monitors are the selected monitor nodes.
+	Monitors []graph.NodeID
+	// Sys is the identifiable tomography system.
+	Sys *tomo.System
+	// Fig1 carries the paper-example handles when kind == "fig1",
+	// nil otherwise.
+	Fig1 *topo.Fig1Topology
+}
+
+// LoadTopology resolves a topology: topoFile (edge list) wins over the
+// built-in kind (fig1, abilene, isp, wireless). For fig1 the paper's
+// fixed monitors are returned; other topologies leave monitor placement
+// to BuildSystem.
+func LoadTopology(topoFile, kind string, seed int64) (*graph.Graph, []graph.NodeID, *topo.Fig1Topology, error) {
+	if topoFile != "" {
+		g, err := topo.FromEdgeListFile(topoFile)
+		return g, nil, nil, err
+	}
+	switch kind {
+	case "fig1":
+		f := topo.Fig1()
+		return f.G, f.Monitors, f, nil
+	case "abilene":
+		return topo.Abilene(), nil, nil, nil
+	case "isp":
+		g, err := topo.ISP(seed)
+		return g, nil, nil, err
+	case "wireless":
+		g, _, err := topo.Wireless(seed)
+		return g, nil, nil, err
+	default:
+		return nil, nil, nil, fmt.Errorf("%w: %q (want fig1, abilene, isp, wireless)", ErrUnknownKind, kind)
+	}
+}
+
+// BuildSystem assembles an identifiable tomography system on the
+// resolved topology: fixed monitors (fig1) use exhaustive 23-path
+// selection as in the paper; everything else goes through random
+// monitor placement. Returns an error when full identifiability cannot
+// be reached.
+func BuildSystem(topoFile, kind string, seed int64, rng *rand.Rand) (*Env, error) {
+	g, monitors, fig1, err := LoadTopology(topoFile, kind, seed)
+	if err != nil {
+		return nil, err
+	}
+	var paths []graph.Path
+	var rank int
+	if monitors != nil {
+		paths, rank, err = tomo.SelectPaths(g, monitors, tomo.SelectOptions{Exhaustive: true, TargetPaths: 23})
+	} else {
+		monitors, paths, rank, err = tomo.PlaceMonitors(g, rng, tomo.PlaceOptions{
+			Initial: 8,
+			Select:  tomo.SelectOptions{PerPair: 6},
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+	if rank != g.NumLinks() {
+		return nil, fmt.Errorf("cli: tomography not identifiable (rank %d of %d links)", rank, g.NumLinks())
+	}
+	sys, err := tomo.NewSystem(g, paths)
+	if err != nil {
+		return nil, err
+	}
+	return &Env{G: g, Monitors: monitors, Sys: sys, Fig1: fig1}, nil
+}

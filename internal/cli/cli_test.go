@@ -1,0 +1,78 @@
+package cli
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBuildSystemFig1(t *testing.T) {
+	env, err := BuildSystem("", "fig1", 1, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatalf("BuildSystem: %v", err)
+	}
+	if env.Fig1 == nil {
+		t.Error("Fig1 handles missing")
+	}
+	if env.Sys.NumPaths() != 23 {
+		t.Errorf("paths = %d, want 23", env.Sys.NumPaths())
+	}
+	if !env.Sys.Identifiable() {
+		t.Error("not identifiable")
+	}
+	if len(env.Monitors) != 3 {
+		t.Errorf("monitors = %d", len(env.Monitors))
+	}
+}
+
+func TestBuildSystemAbilene(t *testing.T) {
+	env, err := BuildSystem("", "abilene", 1, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatalf("BuildSystem: %v", err)
+	}
+	if env.Fig1 != nil {
+		t.Error("Fig1 handles set for Abilene")
+	}
+	if !env.Sys.Identifiable() {
+		t.Error("Abilene not identifiable")
+	}
+	if env.G.NumNodes() != 11 {
+		t.Errorf("nodes = %d", env.G.NumNodes())
+	}
+}
+
+func TestBuildSystemWireless(t *testing.T) {
+	env, err := BuildSystem("", "wireless", 1, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatalf("BuildSystem: %v", err)
+	}
+	if !env.Sys.Identifiable() {
+		t.Error("wireless not identifiable")
+	}
+}
+
+func TestBuildSystemFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "k4.txt")
+	if err := os.WriteFile(path, []byte("a b\na c\na d\nb c\nb d\nc d\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	env, err := BuildSystem(path, "ignored", 1, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatalf("BuildSystem: %v", err)
+	}
+	if env.G.NumNodes() != 4 || !env.Sys.Identifiable() {
+		t.Errorf("K4 system: %d nodes identifiable=%v", env.G.NumNodes(), env.Sys.Identifiable())
+	}
+}
+
+func TestBuildSystemErrors(t *testing.T) {
+	if _, err := BuildSystem("", "nope", 1, rand.New(rand.NewSource(1))); !errors.Is(err, ErrUnknownKind) {
+		t.Errorf("unknown kind: err = %v", err)
+	}
+	if _, err := BuildSystem("/nonexistent.txt", "", 1, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("missing file accepted")
+	}
+}

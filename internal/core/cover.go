@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/tomo"
+)
+
+// FindPerfectCutAttackers searches for a small attacker set that
+// perfectly cuts the victim links: every measurement path containing a
+// victim link must carry at least one attacker, and no attacker may be
+// an endpoint of a victim link (Eq. 7 forbids L_m ∩ L_s ≠ ∅).
+//
+// This answers the attacker's planning question behind Theorem 1 —
+// "which nodes must I compromise to frame link X undetectably?" — and
+// the operator's dual — "how many compromised nodes does it take?".
+// The problem is set cover (NP-hard in general); for maxSize ≤ 3 an
+// exact search over subsets runs first, then a greedy cover rounds out
+// larger answers. Returns nil with no error when no set within maxSize
+// exists.
+func FindPerfectCutAttackers(sys *tomo.System, victims []graph.LinkID, maxSize int) ([]graph.NodeID, error) {
+	if sys == nil {
+		return nil, fmt.Errorf("core: nil system: %w", ErrBadScenario)
+	}
+	if maxSize <= 0 {
+		return nil, fmt.Errorf("core: maxSize %d: %w", maxSize, ErrBadScenario)
+	}
+	g := sys.Graph()
+	victimSet := make(map[graph.LinkID]bool, len(victims))
+	excluded := make(map[graph.NodeID]bool) // victim endpoints
+	for _, l := range victims {
+		link, err := g.Link(l)
+		if err != nil {
+			return nil, fmt.Errorf("core: victim %d: %v: %w", l, err, ErrBadScenario)
+		}
+		victimSet[l] = true
+		excluded[link.A] = true
+		excluded[link.B] = true
+	}
+	// Paths to cover, each as its usable node set.
+	var pathNodeSets []map[graph.NodeID]bool
+	counts := make(map[graph.NodeID]int) // how many victim paths each node covers
+	for _, p := range sys.Paths() {
+		if !p.HasAnyLink(victimSet) {
+			continue
+		}
+		set := make(map[graph.NodeID]bool)
+		for _, v := range p.Nodes {
+			if !excluded[v] {
+				set[v] = true
+				counts[v]++
+			}
+		}
+		if len(set) == 0 {
+			return nil, nil // a victim path with no usable node: uncoverable
+		}
+		pathNodeSets = append(pathNodeSets, set)
+	}
+	if len(pathNodeSets) == 0 {
+		return nil, nil // victims on no path: vacuous, nothing to cover
+	}
+
+	candidates := make([]graph.NodeID, 0, len(counts))
+	for v := range counts {
+		candidates = append(candidates, v)
+	}
+	sort.Slice(candidates, func(a, b int) bool {
+		if counts[candidates[a]] != counts[candidates[b]] {
+			return counts[candidates[a]] > counts[candidates[b]]
+		}
+		return candidates[a] < candidates[b]
+	})
+
+	covers := func(set []graph.NodeID) bool {
+		for _, ps := range pathNodeSets {
+			ok := false
+			for _, v := range set {
+				if ps[v] {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Exact search for very small sets (bounded work: C(n,3) on ≤ a few
+	// hundred candidates).
+	exactCap := maxSize
+	if exactCap > 3 {
+		exactCap = 3
+	}
+	if len(candidates) <= 400 {
+		for size := 1; size <= exactCap; size++ {
+			if set := searchSubsets(candidates, size, covers); set != nil {
+				return set, nil
+			}
+		}
+	}
+	if maxSize <= exactCap && len(candidates) <= 400 {
+		return nil, nil
+	}
+
+	// Greedy cover for larger budgets.
+	remaining := make([]map[graph.NodeID]bool, len(pathNodeSets))
+	copy(remaining, pathNodeSets)
+	var chosen []graph.NodeID
+	for len(remaining) > 0 && len(chosen) < maxSize {
+		best, bestCover := graph.NodeID(-1), -1
+		for _, v := range candidates {
+			c := 0
+			for _, ps := range remaining {
+				if ps[v] {
+					c++
+				}
+			}
+			if c > bestCover {
+				best, bestCover = v, c
+			}
+		}
+		if bestCover <= 0 {
+			return nil, nil
+		}
+		chosen = append(chosen, best)
+		var next []map[graph.NodeID]bool
+		for _, ps := range remaining {
+			if !ps[best] {
+				next = append(next, ps)
+			}
+		}
+		remaining = next
+	}
+	if len(remaining) > 0 {
+		return nil, nil
+	}
+	sort.Slice(chosen, func(a, b int) bool { return chosen[a] < chosen[b] })
+	return chosen, nil
+}
+
+// searchSubsets tries every size-k subset of candidates (in the given
+// order) and returns the first one accepted by covers.
+func searchSubsets(candidates []graph.NodeID, k int, covers func([]graph.NodeID) bool) []graph.NodeID {
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	n := len(candidates)
+	if k > n {
+		return nil
+	}
+	set := make([]graph.NodeID, k)
+	for {
+		for i, j := range idx {
+			set[i] = candidates[j]
+		}
+		if covers(set) {
+			out := make([]graph.NodeID, k)
+			copy(out, set)
+			return out
+		}
+		// Advance the combination.
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return nil
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tomo"
+	"repro/internal/topo"
+)
+
+func TestFindPerfectCutAttackersLink1(t *testing.T) {
+	// Link 1 (M1–A) is perfectly cuttable: the paper's {B, C} works, and
+	// smaller sets may too. Whatever is found must actually cut.
+	_, sc := fig1Scenario(t, 1)
+	f := topo.Fig1()
+	set, err := FindPerfectCutAttackers(sc.Sys, []graph.LinkID{f.PaperLink[1]}, 3)
+	if err != nil {
+		t.Fatalf("FindPerfectCutAttackers: %v", err)
+	}
+	if set == nil {
+		t.Fatal("no attacker set found for link 1; {B, C} is a witness")
+	}
+	if len(set) > 3 {
+		t.Fatalf("set size %d exceeds budget", len(set))
+	}
+	pc, err := PerfectCut(sc.Sys, set, []graph.LinkID{f.PaperLink[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pc {
+		t.Errorf("returned set %v does not perfectly cut link 1", set)
+	}
+	// Eq. 7: no attacker may be an endpoint of the victim.
+	for _, v := range set {
+		if v == f.M1 || v == f.A {
+			t.Errorf("attacker %d is a victim endpoint", v)
+		}
+	}
+}
+
+func TestFindPerfectCutAttackersAllLinks(t *testing.T) {
+	// Every Fig. 1 link should be perfectly cuttable by SOME set of ≤ 4
+	// non-endpoint nodes, or the search must consistently say no; verify
+	// returned sets always cut and respect Eq. 7.
+	_, sc := fig1Scenario(t, 1)
+	f := topo.Fig1()
+	found := 0
+	for num := 1; num <= 10; num++ {
+		victim := f.PaperLink[num]
+		set, err := FindPerfectCutAttackers(sc.Sys, []graph.LinkID{victim}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if set == nil {
+			continue
+		}
+		found++
+		pc, err := PerfectCut(sc.Sys, set, []graph.LinkID{victim})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pc {
+			t.Errorf("link %d: returned set %v does not cut", num, set)
+		}
+		link, _ := f.G.Link(victim)
+		for _, v := range set {
+			if link.Has(v) {
+				t.Errorf("link %d: attacker %d is an endpoint", num, v)
+			}
+		}
+	}
+	if found == 0 {
+		t.Error("no link perfectly cuttable on Fig. 1 — link 1 should be")
+	}
+}
+
+func TestFindPerfectCutAttackersFoundSetIsUsable(t *testing.T) {
+	// End-to-end: the found set must enable a feasible, undetectable
+	// stealthy attack (Theorems 1 + 3 composed).
+	_, scBase := fig1Scenario(t, 2)
+	f := topo.Fig1()
+	victim := f.PaperLink[1]
+	set, err := FindPerfectCutAttackers(scBase.Sys, []graph.LinkID{victim}, 3)
+	if err != nil || set == nil {
+		t.Fatalf("set=%v err=%v", set, err)
+	}
+	sc := &Scenario{
+		Sys:        scBase.Sys,
+		Thresholds: scBase.Thresholds,
+		Attackers:  set,
+		TrueX:      scBase.TrueX,
+		Stealthy:   true,
+	}
+	res, err := ChosenVictim(sc, []graph.LinkID{victim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("stealthy attack with found perfect-cut set infeasible")
+	}
+	if rn := residualNorm(t, sc, res); rn > 1e-6 {
+		t.Errorf("residual %g, want 0", rn)
+	}
+}
+
+func TestFindPerfectCutAttackersValidation(t *testing.T) {
+	_, sc := fig1Scenario(t, 1)
+	if _, err := FindPerfectCutAttackers(nil, nil, 1); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("nil system: err = %v", err)
+	}
+	if _, err := FindPerfectCutAttackers(sc.Sys, []graph.LinkID{99}, 1); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("bad victim: err = %v", err)
+	}
+	if _, err := FindPerfectCutAttackers(sc.Sys, nil, 0); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("zero budget: err = %v", err)
+	}
+}
+
+func TestFindPerfectCutAttackersVacuous(t *testing.T) {
+	// A system whose single path misses the victim entirely: vacuously
+	// cut, nothing to cover → nil, nil.
+	f := topo.Fig1()
+	p := graph.Path{
+		Nodes: []graph.NodeID{f.M3, f.D, f.M2},
+		Links: []graph.LinkID{f.PaperLink[9], f.PaperLink[10]},
+	}
+	sys, err := tomo.NewSystem(f.G, []graph.Path{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := FindPerfectCutAttackers(sys, []graph.LinkID{f.PaperLink[1]}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set != nil {
+		t.Errorf("vacuous case returned %v", set)
+	}
+}
+
+func TestFindPerfectCutAttackersUncoverable(t *testing.T) {
+	// Victim = link 9 (M3–D) with the 2-hop path M3–D–M2: the only
+	// usable interior node is M2 (endpoints M3, D excluded)… M2 is on
+	// the path, so {M2} covers it. Use victim 10 (D–M2) instead: usable
+	// nodes are M3 only. Either way a set exists; to force failure,
+	// use a single-link path whose both nodes are endpoints.
+	g := graph.New()
+	a, b := g.AddNode("a"), g.AddNode("b")
+	l, err := g.AddLink(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := graph.Path{Nodes: []graph.NodeID{a, b}, Links: []graph.LinkID{l}}
+	sys, err := tomo.NewSystem(g, []graph.Path{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := FindPerfectCutAttackers(sys, []graph.LinkID{l}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set != nil {
+		t.Errorf("uncoverable case returned %v", set)
+	}
+}
+
+func TestFindPerfectCutAttackersGreedyBranch(t *testing.T) {
+	// Four disjoint monitor→P_i→X detours share the victim link X–Y:
+	// the minimal hitting set has size 4, so the exact ≤3 search fails
+	// and the greedy cover must find a 4-node set.
+	g := graph.New()
+	x, y := g.AddNode("X"), g.AddNode("Y")
+	vlink, err := g.AddLink(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []graph.Path
+	for i := 0; i < 4; i++ {
+		m := g.AddNode(string(rune('m'+i)) + "on")
+		p := g.AddNode(string(rune('p'+i)) + "ath")
+		l1, err := g.AddLink(m, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l2, err := g.AddLink(p, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, graph.Path{
+			Nodes: []graph.NodeID{m, p, x, y},
+			Links: []graph.LinkID{l1, l2, vlink},
+		})
+	}
+	sys, err := tomo.NewSystem(g, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No ≤3-node cover exists.
+	small, err := FindPerfectCutAttackers(sys, []graph.LinkID{vlink}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small != nil {
+		t.Fatalf("size-≤3 cover %v found; paths are 4 disjoint pairs", small)
+	}
+	// Greedy finds a 4-node cover.
+	set, err := FindPerfectCutAttackers(sys, []graph.LinkID{vlink}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 4 {
+		t.Fatalf("greedy cover = %v, want 4 nodes", set)
+	}
+	pc, err := PerfectCut(sys, set, []graph.LinkID{vlink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pc {
+		t.Errorf("greedy set %v does not cut", set)
+	}
+	// Budget 3 via greedy is also impossible once past the exact stage:
+	// maxSize 4 minus one node leaves a path uncovered — verify the
+	// returned set never contains X or Y.
+	for _, v := range set {
+		if v == x || v == y {
+			t.Errorf("victim endpoint %d in attacker set", v)
+		}
+	}
+}
+
+func TestScenarioAccessorErrorPaths(t *testing.T) {
+	bad := &Scenario{} // invalid: nil system
+	if _, err := bad.CleanMeasurements(); err == nil {
+		t.Error("CleanMeasurements on invalid scenario succeeded")
+	}
+	if _, err := bad.AttackerLinks(); err == nil {
+		t.Error("AttackerLinks on invalid scenario succeeded")
+	}
+	if _, err := bad.ControlledPaths(); err == nil {
+		t.Error("ControlledPaths on invalid scenario succeeded")
+	}
+	if err := bad.CheckConstraint1(nil); err == nil {
+		t.Error("CheckConstraint1 on invalid scenario succeeded")
+	}
+	// Explicit margin round-trips.
+	sc := &Scenario{Margin: 0.5}
+	if sc.margin() != 0.5 {
+		t.Errorf("margin = %g", sc.margin())
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/tomo"
+)
+
+// PerfectCut reports whether the attacker set perfectly cuts the victim
+// links from the measurement paths (Section IV-A): every path containing
+// a victim link also carries an attacker. Theorem 1 guarantees
+// feasibility, and Theorem 3 guarantees undetectability, under a perfect
+// cut.
+func PerfectCut(sys *tomo.System, attackers []graph.NodeID, victims []graph.LinkID) (bool, error) {
+	stats, err := cutStats(sys, attackers, victims)
+	if err != nil {
+		return false, err
+	}
+	return stats.victimPaths == stats.coveredPaths, nil
+}
+
+// PresenceRatio returns the attack presence ratio of Section V-C1: the
+// fraction of measurement paths containing at least one victim link that
+// also carry at least one attacker. A ratio of 1 is exactly a perfect
+// cut. Paths containing no victim link are ignored; if no path contains
+// a victim link the ratio is reported as 1 (the cut is vacuously
+// perfect, though such victims are also invisible to tomography).
+func PresenceRatio(sys *tomo.System, attackers []graph.NodeID, victims []graph.LinkID) (float64, error) {
+	stats, err := cutStats(sys, attackers, victims)
+	if err != nil {
+		return 0, err
+	}
+	if stats.victimPaths == 0 {
+		return 1, nil
+	}
+	return float64(stats.coveredPaths) / float64(stats.victimPaths), nil
+}
+
+type cutCounts struct {
+	victimPaths  int // paths containing ≥ 1 victim link
+	coveredPaths int // of those, paths also carrying ≥ 1 attacker
+}
+
+func cutStats(sys *tomo.System, attackers []graph.NodeID, victims []graph.LinkID) (cutCounts, error) {
+	if sys == nil {
+		return cutCounts{}, fmt.Errorf("core: nil system: %w", ErrBadScenario)
+	}
+	g := sys.Graph()
+	attackerSet := make(map[graph.NodeID]bool, len(attackers))
+	for _, v := range attackers {
+		if _, err := g.NodeName(v); err != nil {
+			return cutCounts{}, fmt.Errorf("core: attacker %d: %v: %w", v, err, ErrBadScenario)
+		}
+		attackerSet[v] = true
+	}
+	victimSet := make(map[graph.LinkID]bool, len(victims))
+	for _, l := range victims {
+		if _, err := g.Link(l); err != nil {
+			return cutCounts{}, fmt.Errorf("core: victim %d: %v: %w", l, err, ErrBadScenario)
+		}
+		victimSet[l] = true
+	}
+	var stats cutCounts
+	for _, p := range sys.Paths() {
+		if !p.HasAnyLink(victimSet) {
+			continue
+		}
+		stats.victimPaths++
+		if p.HasAnyNode(attackerSet) {
+			stats.coveredPaths++
+		}
+	}
+	return stats, nil
+}

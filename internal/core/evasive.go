@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/la"
+	"repro/internal/lp"
+)
+
+// solveEvasive solves the threshold-evading variant of the plain attack:
+// like SolveWithBounds, but additionally keeps the detection residual
+// under the operator's threshold:
+//
+//	‖R·x̂(m) − y'‖₁ ≤ α·safety
+//
+// This extends Remark 4: the detector's empirical threshold α is public
+// knowledge (or guessable), so a rational attacker under an imperfect
+// cut does not need full consistency — only enough of it to stay under
+// the alarm level. The residual is linear in m because the clean part
+// cancels: R·x̂ − y' = (R·T − I)(y + m) = (R·T − I)·m (since y = R·x*
+// lies in R's column space). The L1 constraint is encoded by splitting
+// the residual into non-negative parts r⁺ − r⁻ with Σ(r⁺+r⁻) ≤ budget.
+//
+// Variables: m over controlled paths, then r⁺ and r⁻ over all paths.
+func (sc *Scenario) solveEvasive(sl, su la.Vector, budget float64) (*Result, error) {
+	nLinks := sc.Sys.NumLinks()
+	nPaths := sc.Sys.NumPaths()
+	nm := len(sc.controlled)
+	nv := nm + 2*nPaths
+	prob := lp.NewProblem(nv)
+
+	obj := make([]float64, nv)
+	for j := 0; j < nm; j++ {
+		obj[j] = 1
+	}
+	if err := prob.SetObjective(obj); err != nil {
+		return nil, err
+	}
+	capVal := sc.pathCap()
+	if !math.IsInf(capVal, 1) {
+		for j := 0; j < nm; j++ {
+			if err := prob.SetUpperBound(j, capVal); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Precompute D = R·T once; residual row i is Σ_j (D[i][pj] − δ_{i,pj})·m_j.
+	rt, err := sc.Sys.R().Mul(sc.operator)
+	if err != nil {
+		return nil, err
+	}
+
+	row := make([]float64, nv)
+	zeroRow := func() {
+		for j := range row {
+			row[j] = 0
+		}
+	}
+
+	// Link estimate bounds, as in the plain solver.
+	for l := 0; l < nLinks; l++ {
+		lo, hi := sl[l], su[l]
+		if math.IsInf(lo, -1) && math.IsInf(hi, 1) {
+			continue
+		}
+		zeroRow()
+		for j, pi := range sc.controlled {
+			row[j] = sc.operator.At(l, pi)
+		}
+		if !math.IsInf(hi, 1) {
+			if err := prob.AddConstraint(row, lp.LE, hi-sc.TrueX[l]); err != nil {
+				return nil, err
+			}
+		}
+		if !math.IsInf(lo, -1) {
+			if err := prob.AddConstraint(row, lp.GE, lo-sc.TrueX[l]); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Residual definition rows: (D − I)·m − r⁺ + r⁻ = 0, one per path.
+	for i := 0; i < nPaths; i++ {
+		zeroRow()
+		for j, pi := range sc.controlled {
+			c := rt.At(i, pi)
+			if pi == i {
+				c--
+			}
+			row[j] = c
+		}
+		row[nm+i] = -1       // r⁺_i
+		row[nm+nPaths+i] = 1 // r⁻_i
+		if err := prob.AddConstraint(row, lp.EQ, 0); err != nil {
+			return nil, err
+		}
+	}
+	// Budget row: Σ (r⁺ + r⁻) ≤ budget.
+	zeroRow()
+	for i := 0; i < 2*nPaths; i++ {
+		row[nm+i] = 1
+	}
+	if err := prob.AddConstraint(row, lp.LE, budget); err != nil {
+		return nil, err
+	}
+
+	sol, err := lp.Solve(prob)
+	if err != nil {
+		return nil, fmt.Errorf("core: evasive LP solve: %w", err)
+	}
+	res := &Result{LPStatus: sol.Status}
+	if sol.Status != lp.Optimal {
+		return res, nil
+	}
+	res.Feasible = true
+	m := make(la.Vector, nPaths)
+	for j, pi := range sc.controlled {
+		m[pi] = sol.X[j]
+	}
+	res.M = m
+	res.Damage = m.Norm1()
+	yObs, err := sc.measuredY.Add(m)
+	if err != nil {
+		return nil, err
+	}
+	res.YObserved = yObs
+	xhat, err := sc.Sys.Estimate(yObs)
+	if err != nil {
+		return nil, err
+	}
+	res.XHat = xhat
+	res.States = sc.Thresholds.ClassifyAll(xhat)
+	res.AvgPathMetric = yObs.Mean()
+	return res, nil
+}

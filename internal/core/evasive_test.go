@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tomo"
+)
+
+func TestEvasiveStaysUnderThreshold(t *testing.T) {
+	// An α-evading attack on the imperfectly cut link 10 must keep the
+	// residual at or below α — invisible to a detector tuned to α.
+	for _, alpha := range []float64{200, 500, 1000} {
+		f, sc := fig1Scenario(t, 21)
+		sc.EvadeAlpha = alpha
+		res, err := ChosenVictim(sc, []graph.LinkID{f.PaperLink[10]})
+		if err != nil {
+			t.Fatalf("alpha=%g: %v", alpha, err)
+		}
+		if !res.Feasible {
+			t.Logf("alpha=%g: infeasible (acceptable if the budget is too tight)", alpha)
+			continue
+		}
+		if rn := residualNorm(t, sc, res); rn > alpha+1e-6 {
+			t.Errorf("alpha=%g: residual %g exceeds budget", alpha, rn)
+		}
+		assertScapegoat(t, sc, res, []graph.LinkID{f.PaperLink[10]})
+	}
+}
+
+func TestEvasiveDamageMonotoneInAlpha(t *testing.T) {
+	// A looser residual budget can only allow more damage, and the
+	// unconstrained plain attack is the α→∞ limit.
+	f, sc0 := fig1Scenario(t, 22)
+	plain, err := ChosenVictim(sc0, []graph.LinkID{f.PaperLink[10]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Feasible {
+		t.Fatal("plain attack infeasible")
+	}
+	prev := -1.0
+	for _, alpha := range []float64{500, 2000, 8000, 50000} {
+		_, sc := fig1Scenario(t, 22)
+		sc.EvadeAlpha = alpha
+		res, err := ChosenVictim(sc, []graph.LinkID{f.PaperLink[10]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Feasible {
+			continue
+		}
+		if res.Damage < prev-1e-6 {
+			t.Errorf("alpha=%g: damage %.1f below smaller-budget damage %.1f", alpha, res.Damage, prev)
+		}
+		prev = res.Damage
+		if res.Damage > plain.Damage+1e-6 {
+			t.Errorf("alpha=%g: evasive damage %.1f exceeds unconstrained %.1f", alpha, res.Damage, plain.Damage)
+		}
+	}
+	if prev < 0 {
+		t.Error("no evasive budget was feasible")
+	}
+}
+
+func TestEvasiveTighterThanPossibleInfeasible(t *testing.T) {
+	// Link 10 is imperfectly cut, so a (near-)zero residual budget plus
+	// an abnormal-victim demand cannot be met (Theorem 3's converse,
+	// approached through the budget).
+	f, sc := fig1Scenario(t, 23)
+	sc.EvadeAlpha = 1e-6
+	res, err := ChosenVictim(sc, []graph.LinkID{f.PaperLink[10]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Error("near-zero residual budget feasible on imperfect cut; contradicts Theorem 3")
+	}
+}
+
+func TestEvasivePerfectCutMatchesStealthy(t *testing.T) {
+	// On the perfectly cut link 1, a tiny budget is feasible (the
+	// stealthy construction is a witness) and the result stays under it.
+	f, sc := fig1Scenario(t, 24)
+	sc.EvadeAlpha = 1.0
+	res, err := ChosenVictim(sc, []graph.LinkID{f.PaperLink[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("tiny-budget evasive attack infeasible on perfect cut")
+	}
+	if rn := residualNorm(t, sc, res); rn > 1.0+1e-6 {
+		t.Errorf("residual %g exceeds 1 ms budget", rn)
+	}
+	if res.States[f.PaperLink[1]] != tomo.Abnormal {
+		t.Error("victim not abnormal")
+	}
+}
+
+func TestStealthyPrecedesEvasive(t *testing.T) {
+	// When both flags are set, Stealthy wins (zero residual).
+	f, sc := fig1Scenario(t, 25)
+	sc.Stealthy = true
+	sc.EvadeAlpha = 1e9
+	res, err := ChosenVictim(sc, []graph.LinkID{f.PaperLink[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("infeasible")
+	}
+	if rn := residualNorm(t, sc, res); rn > 1e-6 {
+		t.Errorf("stealthy residual %g, want 0", rn)
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tomo"
+)
+
+func TestChosenVictimMultipleVictims(t *testing.T) {
+	// Framing several innocent links at once: both victims must cross
+	// b_u simultaneously while attacker links stay normal.
+	f, sc := fig1Scenario(t, 42)
+	victims := []graph.LinkID{f.PaperLink[9], f.PaperLink[10]}
+	res, err := ChosenVictim(sc, victims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Skip("two-victim attack infeasible on this draw — acceptable, more constraints")
+	}
+	assertScapegoat(t, sc, res, victims)
+	// Damage cannot exceed the single-victim optimum for either victim
+	// alone (every extra victim adds constraints).
+	for _, v := range victims {
+		single, err := ChosenVictim(sc, []graph.LinkID{v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if single.Feasible && res.Damage > single.Damage+1e-6 {
+			t.Errorf("two-victim damage %.1f exceeds single-victim %.1f", res.Damage, single.Damage)
+		}
+	}
+}
+
+func TestChosenVictimMultiVictimSubsetOfSingles(t *testing.T) {
+	// If the pair is feasible, each single must be feasible too
+	// (dropping constraints keeps feasibility).
+	f, sc := fig1Scenario(t, 13)
+	victims := []graph.LinkID{f.PaperLink[9], f.PaperLink[10]}
+	pair, err := ChosenVictim(sc, victims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pair.Feasible {
+		t.Skip("pair infeasible on this draw")
+	}
+	for _, v := range victims {
+		single, err := ChosenVictim(sc, []graph.LinkID{v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !single.Feasible {
+			t.Errorf("pair feasible but single victim %d infeasible", v)
+		}
+	}
+}
+
+func TestEvasiveObfuscate(t *testing.T) {
+	// Evasion composes with obfuscation: the uncertain band AND a
+	// residual budget together.
+	_, sc := fig1Scenario(t, 17)
+	sc.EvadeAlpha = 5000
+	res, err := Obfuscate(sc, ObfuscationOptions{MinVictims: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Skip("evasive obfuscation infeasible on this draw")
+	}
+	if rn := residualNorm(t, sc, res); rn > 5000+1e-6 {
+		t.Errorf("residual %g exceeds evasion budget", rn)
+	}
+	links, _ := sc.AttackerLinks()
+	for l := range links {
+		if res.States[l] != tomo.Uncertain {
+			t.Errorf("attacker link %d state %v", l, res.States[l])
+		}
+	}
+}
+
+func TestConfinedEvasiveChosenVictim(t *testing.T) {
+	// All three refinements at once: confined third links, evasion
+	// budget, chosen victim.
+	f, sc := fig1Scenario(t, 19)
+	sc.ConfineOthers = true
+	sc.EvadeAlpha = 8000
+	res, err := ChosenVictim(sc, []graph.LinkID{f.PaperLink[10]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Skip("confined evasive attack infeasible on this draw")
+	}
+	if rn := residualNorm(t, sc, res); rn > 8000+1e-6 {
+		t.Errorf("residual %g exceeds budget", rn)
+	}
+	th := sc.Thresholds
+	for l := 0; l < sc.Sys.NumLinks(); l++ {
+		lid := graph.LinkID(l)
+		if lid == f.PaperLink[10] {
+			continue
+		}
+		if th.Classify(res.XHat[l]) == tomo.Abnormal {
+			t.Errorf("confined run left link %d abnormal", l+1)
+		}
+	}
+}
+
+func TestStealthyRespectsCapOnAllPaths(t *testing.T) {
+	f, sc := fig1Scenario(t, 23)
+	sc.Stealthy = true
+	sc.PathCap = 900
+	res, err := ChosenVictim(sc, []graph.LinkID{f.PaperLink[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Skip("tight-cap stealthy attack infeasible")
+	}
+	for i, v := range res.M {
+		if v > 900+1e-6 {
+			t.Errorf("m[%d] = %g exceeds 900 cap", i, v)
+		}
+	}
+}

@@ -1,0 +1,374 @@
+// Package core implements the paper's contribution: the scapegoating
+// attack strategies against network tomography (Section III) and their
+// feasibility machinery (Section IV-A).
+//
+// An attacker set V_m controls the links incident to it (L_m) and can
+// add non-negative manipulation m_i to every measurement path i it sits
+// on (Constraint 1). The tomography estimate then becomes
+// x̂ = x* + T·m with T = (RᵀR)⁻¹Rᵀ, and each strategy is a linear
+// program over m:
+//
+//   - ChosenVictim (Eq. 4): given victims L_s, make L_m estimate normal
+//     and L_s abnormal, maximizing the damage ‖m‖₁.
+//   - MaxDamage (Eq. 8): additionally search the victim set.
+//   - Obfuscate (Eq. 9): drive L_s ∪ L_m into the uncertain band.
+//
+// All three reduce to the generic bound form s_l ⪯ x̂ ⪯ s_u (Eq. 12),
+// exposed as SolveWithBounds.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/la"
+	"repro/internal/lp"
+	"repro/internal/tomo"
+)
+
+// ErrBadScenario is returned when a scenario is malformed.
+var ErrBadScenario = errors.New("core: malformed scenario")
+
+// DefaultPathCap is the paper's per-path manipulation limit: attackers
+// "should not delay the delivery of a packet on a measurement path for
+// more than 2000ms" (Section V-A).
+const DefaultPathCap = 2000.0
+
+// DefaultMargin is the slack that turns Definition 1's strict
+// inequalities (x < b_l, x > b_u) into the non-strict ones a linear
+// program needs.
+const DefaultMargin = 1e-6
+
+// Scenario fixes everything an attack strategy needs: the tomography
+// system under attack, the classification thresholds, who the attackers
+// are, the true link metrics, and the per-path manipulation cap.
+type Scenario struct {
+	// Sys is the tomography system (topology + measurement paths).
+	Sys *tomo.System
+	// Thresholds classify estimated link metrics (Definition 1).
+	Thresholds tomo.Thresholds
+	// Attackers is V_m. Monitors may be attackers (Section II-D).
+	Attackers []graph.NodeID
+	// TrueX is the true link-metric vector x*.
+	TrueX la.Vector
+	// PathCap bounds each m_i; 0 means DefaultPathCap, negative means
+	// unbounded.
+	PathCap float64
+	// Margin widens strict threshold inequalities; 0 means
+	// DefaultMargin.
+	Margin float64
+	// Stealthy selects the consistent attack construction of Theorem 1
+	// and Theorem 3's proof: the manipulation is forced to be
+	// m = R·Δx̂ (Eq. 15), so the observed measurements satisfy
+	// R·x̂ = y' exactly and the Eq. 23 detector sees nothing. The
+	// paper's strategy formulations (Eqs. 4, 8, 9) omit this
+	// constraint; a damage-maximizing attacker without it generally
+	// leaves a nonzero residual even under a perfect cut. Stealthy
+	// attacks trade damage for invisibility and are infeasible whenever
+	// the victims are not perfectly cut (Theorem 3's converse).
+	Stealthy bool
+	// EvadeAlpha, when positive, additionally caps the detection
+	// residual: ‖R·x̂(m) − y'‖₁ ≤ EvadeAlpha. This is the rational
+	// attacker of Remark 4 — it does not need full consistency
+	// (Stealthy), only enough to stay under the operator's alarm
+	// threshold. Ignored when Stealthy is set (which forces a zero
+	// residual).
+	EvadeAlpha float64
+	// ConfineOthers additionally bounds every link outside
+	// L_m ∪ L_s to estimate at most uncertain (x̂ ≤ b_u). The paper's
+	// formulations leave those links free, so a damage-maximizing
+	// solution often drags innocent third links above the abnormal
+	// threshold as a side effect; confining them reproduces the clean
+	// single-scapegoat shape of Fig. 4 at the cost of some damage.
+	ConfineOthers bool
+
+	// Cached derived state (computed by Validate).
+	attackerSet   map[graph.NodeID]bool
+	attackerLinks map[graph.LinkID]bool
+	controlled    []int
+	controlledSet map[int]bool
+	operator      *la.Matrix
+	measuredY     la.Vector
+	validated     bool
+}
+
+// Validate checks the scenario and precomputes derived state. All
+// strategy entry points call it implicitly; calling it twice is cheap.
+func (sc *Scenario) Validate() error {
+	if sc.validated {
+		return nil
+	}
+	if sc.Sys == nil {
+		return fmt.Errorf("core: nil system: %w", ErrBadScenario)
+	}
+	if err := sc.Thresholds.Validate(); err != nil {
+		return fmt.Errorf("core: %v: %w", err, ErrBadScenario)
+	}
+	if len(sc.Attackers) == 0 {
+		return fmt.Errorf("core: no attackers: %w", ErrBadScenario)
+	}
+	g := sc.Sys.Graph()
+	if len(sc.TrueX) != g.NumLinks() {
+		return fmt.Errorf("core: TrueX has %d entries, want %d: %w", len(sc.TrueX), g.NumLinks(), ErrBadScenario)
+	}
+	for i, x := range sc.TrueX {
+		if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("core: TrueX[%d] = %g: %w", i, x, ErrBadScenario)
+		}
+	}
+	sc.attackerSet = make(map[graph.NodeID]bool, len(sc.Attackers))
+	for _, v := range sc.Attackers {
+		if _, err := g.NodeName(v); err != nil {
+			return fmt.Errorf("core: attacker %d: %v: %w", v, err, ErrBadScenario)
+		}
+		if sc.attackerSet[v] {
+			return fmt.Errorf("core: duplicate attacker %d: %w", v, ErrBadScenario)
+		}
+		sc.attackerSet[v] = true
+	}
+	sc.attackerLinks = g.IncidentLinkSet(sc.Attackers)
+	sc.controlled = sc.Sys.PathsWithAnyNode(sc.attackerSet)
+	sc.controlledSet = make(map[int]bool, len(sc.controlled))
+	for _, i := range sc.controlled {
+		sc.controlledSet[i] = true
+	}
+	op, err := sc.Sys.Operator()
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	sc.operator = op
+	y, err := sc.Sys.Measure(sc.TrueX)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	sc.measuredY = y
+	sc.validated = true
+	return nil
+}
+
+// pathCap returns the effective per-path cap (+Inf when unbounded).
+func (sc *Scenario) pathCap() float64 {
+	switch {
+	case sc.PathCap == 0:
+		return DefaultPathCap
+	case sc.PathCap < 0:
+		return math.Inf(1)
+	default:
+		return sc.PathCap
+	}
+}
+
+func (sc *Scenario) margin() float64 {
+	if sc.Margin <= 0 {
+		return DefaultMargin
+	}
+	return sc.Margin
+}
+
+// AttackerLinks returns L_m, the set of links incident to any attacker.
+func (sc *Scenario) AttackerLinks() (map[graph.LinkID]bool, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	out := make(map[graph.LinkID]bool, len(sc.attackerLinks))
+	for l := range sc.attackerLinks {
+		out[l] = true
+	}
+	return out, nil
+}
+
+// ControlledPaths returns the indices of measurement paths carrying at
+// least one attacker — the only paths where m may be nonzero
+// (Constraint 1).
+func (sc *Scenario) ControlledPaths() ([]int, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]int, len(sc.controlled))
+	copy(out, sc.controlled)
+	return out, nil
+}
+
+// CleanMeasurements returns y = R·x*, the measurements monitors would
+// observe without any attack.
+func (sc *Scenario) CleanMeasurements() (la.Vector, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return sc.measuredY.Clone(), nil
+}
+
+// CheckConstraint1 verifies an attack manipulation vector against
+// Constraint 1: m ⪰ 0 and m_i = 0 on attacker-free paths.
+func (sc *Scenario) CheckConstraint1(m la.Vector) error {
+	if err := sc.Validate(); err != nil {
+		return err
+	}
+	if len(m) != sc.Sys.NumPaths() {
+		return fmt.Errorf("core: m has %d entries, want %d: %w", len(m), sc.Sys.NumPaths(), ErrBadScenario)
+	}
+	for i, v := range m {
+		if v < -1e-9 {
+			return fmt.Errorf("core: m[%d] = %g violates m ⪰ 0", i, v)
+		}
+		if v > 1e-9 && !sc.controlledSet[i] {
+			return fmt.Errorf("core: m[%d] = %g on attacker-free path", i, v)
+		}
+	}
+	return nil
+}
+
+// Result is the outcome of running a scapegoating strategy.
+type Result struct {
+	// Feasible reports whether the strategy found a valid attack.
+	Feasible bool
+	// LPStatus is the raw solver outcome.
+	LPStatus lp.Status
+	// M is the attack manipulation vector over all paths (zeros on
+	// attacker-free paths). Nil when infeasible.
+	M la.Vector
+	// Damage is ‖m‖₁ (Definition 2).
+	Damage float64
+	// YObserved is y' = y + m, what the monitors see.
+	YObserved la.Vector
+	// XHat is the tomography estimate under attack.
+	XHat la.Vector
+	// States classifies XHat per Definition 1.
+	States []tomo.State
+	// Victims is L_s, the scapegoat links (chosen or found).
+	Victims []graph.LinkID
+	// AvgPathMetric is the mean of YObserved — the "average end-to-end
+	// delay" the paper reports for Figs. 4–5.
+	AvgPathMetric float64
+	// CapShadowPrices maps a path index to the marginal damage an extra
+	// millisecond of per-path cap on it would buy (the LP dual of the
+	// cap bound). Nonzero entries mark where the cap binds the attack —
+	// the paths an attacker gains most from loosening. Only populated
+	// by the plain solver with a finite cap.
+	CapShadowPrices map[int]float64
+}
+
+// SolveWithBounds solves the generic strategy form of Eq. 12:
+//
+//	maximize ‖m‖₁  s.t.  Constraint 1,  s_l ⪯ x̂(m) ⪯ s_u,  m_i ≤ cap
+//
+// where x̂(m) = x* + T·m. Entries of sl may be −Inf and entries of su
+// may be +Inf to leave a link unconstrained. The returned Result carries
+// the solver status; infeasibility is a normal outcome, not an error.
+// When the scenario is Stealthy the consistent formulation
+// (solveStealthy) is used instead of the plain one.
+func (sc *Scenario) SolveWithBounds(sl, su la.Vector) (*Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	nLinks := sc.Sys.NumLinks()
+	if len(sl) != nLinks || len(su) != nLinks {
+		return nil, fmt.Errorf("core: bounds have %d/%d entries, want %d: %w", len(sl), len(su), nLinks, ErrBadScenario)
+	}
+	if sc.Stealthy {
+		return sc.solveStealthy(sl, su)
+	}
+	if sc.EvadeAlpha > 0 {
+		return sc.solveEvasive(sl, su, sc.EvadeAlpha)
+	}
+	nv := len(sc.controlled)
+	prob := lp.NewProblem(nv)
+	obj := make([]float64, nv)
+	for j := range obj {
+		obj[j] = 1 // maximize Σ m_i = ‖m‖₁ since m ⪰ 0
+	}
+	if err := prob.SetObjective(obj); err != nil {
+		return nil, err
+	}
+	capVal := sc.pathCap()
+	if !math.IsInf(capVal, 1) {
+		for j := 0; j < nv; j++ {
+			if err := prob.SetUpperBound(j, capVal); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Link bound rows: Σ_j T[l][path_j]·m_j {≤,≥} bound − x*_l.
+	row := make([]float64, nv)
+	for l := 0; l < nLinks; l++ {
+		lo, hi := sl[l], su[l]
+		if math.IsInf(lo, -1) && math.IsInf(hi, 1) {
+			continue
+		}
+		for j, pi := range sc.controlled {
+			row[j] = sc.operator.At(l, pi)
+		}
+		if !math.IsInf(hi, 1) {
+			if err := prob.AddConstraint(row, lp.LE, hi-sc.TrueX[l]); err != nil {
+				return nil, err
+			}
+		}
+		if !math.IsInf(lo, -1) {
+			if err := prob.AddConstraint(row, lp.GE, lo-sc.TrueX[l]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sol, err := lp.Solve(prob)
+	if err != nil {
+		return nil, fmt.Errorf("core: LP solve: %w", err)
+	}
+	res := &Result{LPStatus: sol.Status}
+	if sol.Status != lp.Optimal {
+		return res, nil
+	}
+	res.Feasible = true
+	m := make(la.Vector, sc.Sys.NumPaths())
+	for j, pi := range sc.controlled {
+		m[pi] = sol.X[j]
+	}
+	res.M = m
+	res.Damage = m.Norm1()
+	if len(sol.BoundDuals) == len(sc.controlled) {
+		prices := make(map[int]float64)
+		for j, pi := range sc.controlled {
+			if d := sol.BoundDuals[j]; d > 1e-9 {
+				prices[pi] = d
+			}
+		}
+		if len(prices) > 0 {
+			res.CapShadowPrices = prices
+		}
+	}
+	yObs, err := sc.measuredY.Add(m)
+	if err != nil {
+		return nil, err
+	}
+	res.YObserved = yObs
+	xhat, err := sc.Sys.Estimate(yObs)
+	if err != nil {
+		return nil, err
+	}
+	res.XHat = xhat
+	res.States = sc.Thresholds.ClassifyAll(xhat)
+	res.AvgPathMetric = yObs.Mean()
+	return res, nil
+}
+
+// maxRaise returns, per link, the largest achievable increase of the
+// estimate: Σ_i max(T[l][i], 0)·cap over controlled paths. Used to prune
+// victim candidates before spending LP solves on them.
+func (sc *Scenario) maxRaise() la.Vector {
+	capVal := sc.pathCap()
+	if math.IsInf(capVal, 1) {
+		capVal = 1e12 // pruning heuristic only; effectively unbounded
+	}
+	out := make(la.Vector, sc.Sys.NumLinks())
+	for l := range out {
+		var s float64
+		for _, pi := range sc.controlled {
+			if t := sc.operator.At(l, pi); t > 0 {
+				s += t * capVal
+			}
+		}
+		out[l] = s
+	}
+	return out
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/la"
+	"repro/internal/tomo"
+	"repro/internal/topo"
+)
+
+// fig1Scenario builds the paper's running example: Fig. 1 topology,
+// 23 identifiable paths, attackers {B, C}, routine delays U[1,20] ms.
+func fig1Scenario(t *testing.T, seed int64) (*topo.Fig1Topology, *Scenario) {
+	t.Helper()
+	f := topo.Fig1()
+	paths, rank, err := tomo.SelectPaths(f.G, f.Monitors, tomo.SelectOptions{Exhaustive: true, TargetPaths: 23})
+	if err != nil {
+		t.Fatalf("SelectPaths: %v", err)
+	}
+	if rank != f.G.NumLinks() {
+		t.Fatalf("rank = %d", rank)
+	}
+	sys, err := tomo.NewSystem(f.G, paths)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	x := make(la.Vector, f.G.NumLinks())
+	for i := range x {
+		x[i] = 1 + rng.Float64()*19
+	}
+	sc := &Scenario{
+		Sys:        sys,
+		Thresholds: tomo.DefaultThresholds(),
+		Attackers:  f.Attackers,
+		TrueX:      x,
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return f, sc
+}
+
+func TestScenarioValidate(t *testing.T) {
+	f, sc := fig1Scenario(t, 1)
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("second Validate: %v", err)
+	}
+	links, err := sc.AttackerLinks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// L_m = links incident to B or C = paper links 2–8.
+	if len(links) != 7 {
+		t.Errorf("|L_m| = %d, want 7", len(links))
+	}
+	for num := 2; num <= 8; num++ {
+		if !links[f.PaperLink[num]] {
+			t.Errorf("paper link %d missing from L_m", num)
+		}
+	}
+}
+
+func TestScenarioValidateErrors(t *testing.T) {
+	f, good := fig1Scenario(t, 1)
+	tests := []struct {
+		name string
+		mut  func(sc *Scenario)
+	}{
+		{"nil system", func(sc *Scenario) { sc.Sys = nil }},
+		{"bad thresholds", func(sc *Scenario) { sc.Thresholds = tomo.Thresholds{Lower: 5, Upper: 1} }},
+		{"no attackers", func(sc *Scenario) { sc.Attackers = nil }},
+		{"duplicate attackers", func(sc *Scenario) { sc.Attackers = []graph.NodeID{f.B, f.B} }},
+		{"unknown attacker", func(sc *Scenario) { sc.Attackers = []graph.NodeID{99} }},
+		{"short TrueX", func(sc *Scenario) { sc.TrueX = la.Vector{1} }},
+		{"negative TrueX", func(sc *Scenario) { sc.TrueX = make(la.Vector, 10); sc.TrueX[0] = -1 }},
+		{"NaN TrueX", func(sc *Scenario) { sc.TrueX = make(la.Vector, 10); sc.TrueX[0] = math.NaN() }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			sc := &Scenario{
+				Sys:        good.Sys,
+				Thresholds: good.Thresholds,
+				Attackers:  good.Attackers,
+				TrueX:      good.TrueX,
+			}
+			tt.mut(sc)
+			if err := sc.Validate(); !errors.Is(err, ErrBadScenario) && err == nil {
+				t.Errorf("err = %v, want ErrBadScenario", err)
+			}
+		})
+	}
+}
+
+func TestControlledPaths(t *testing.T) {
+	f, sc := fig1Scenario(t, 1)
+	controlled, err := sc.ControlledPaths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(controlled) == 0 || len(controlled) >= sc.Sys.NumPaths() {
+		t.Fatalf("controlled = %d of %d; expected a proper subset (path 17 is attacker-free)",
+			len(controlled), sc.Sys.NumPaths())
+	}
+	mal := map[graph.NodeID]bool{f.B: true, f.C: true}
+	inSet := make(map[int]bool)
+	for _, i := range controlled {
+		inSet[i] = true
+		if !sc.Sys.Paths()[i].HasAnyNode(mal) {
+			t.Errorf("controlled path %d has no attacker", i)
+		}
+	}
+	for i, p := range sc.Sys.Paths() {
+		if !inSet[i] && p.HasAnyNode(mal) {
+			t.Errorf("uncontrolled path %d has an attacker", i)
+		}
+	}
+}
+
+func TestCheckConstraint1(t *testing.T) {
+	_, sc := fig1Scenario(t, 1)
+	controlled, _ := sc.ControlledPaths()
+	m := make(la.Vector, sc.Sys.NumPaths())
+	m[controlled[0]] = 100
+	if err := sc.CheckConstraint1(m); err != nil {
+		t.Errorf("valid m rejected: %v", err)
+	}
+	m[controlled[0]] = -5
+	if err := sc.CheckConstraint1(m); err == nil {
+		t.Error("negative m accepted")
+	}
+	// Find an uncontrolled path.
+	inSet := make(map[int]bool)
+	for _, i := range controlled {
+		inSet[i] = true
+	}
+	free := -1
+	for i := 0; i < sc.Sys.NumPaths(); i++ {
+		if !inSet[i] {
+			free = i
+			break
+		}
+	}
+	if free < 0 {
+		t.Fatal("no attacker-free path in Fig1 system")
+	}
+	m = make(la.Vector, sc.Sys.NumPaths())
+	m[free] = 1
+	if err := sc.CheckConstraint1(m); err == nil {
+		t.Error("manipulation on attacker-free path accepted")
+	}
+	if err := sc.CheckConstraint1(la.Vector{1}); err == nil {
+		t.Error("short m accepted")
+	}
+}
+
+func TestCleanMeasurements(t *testing.T) {
+	_, sc := fig1Scenario(t, 1)
+	y, err := sc.CleanMeasurements()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(y) != sc.Sys.NumPaths() {
+		t.Fatalf("len(y) = %d", len(y))
+	}
+	// Each measurement is the sum of 1–20 ms links: positive, bounded.
+	for i, v := range y {
+		hops := float64(sc.Sys.Paths()[i].Len())
+		if v < hops*1 || v > hops*20 {
+			t.Errorf("y[%d] = %g outside [%g, %g]", i, v, hops, hops*20)
+		}
+	}
+	// Mutating the returned slice must not corrupt the scenario.
+	y[0] = -999
+	y2, _ := sc.CleanMeasurements()
+	if y2[0] == -999 {
+		t.Error("CleanMeasurements exposes internal storage")
+	}
+}
+
+func TestPathCapDefaults(t *testing.T) {
+	sc := &Scenario{}
+	if got := sc.pathCap(); got != DefaultPathCap {
+		t.Errorf("default cap = %g", got)
+	}
+	sc.PathCap = -1
+	if got := sc.pathCap(); !math.IsInf(got, 1) {
+		t.Errorf("negative cap = %g, want +Inf", got)
+	}
+	sc.PathCap = 500
+	if got := sc.pathCap(); got != 500 {
+		t.Errorf("explicit cap = %g", got)
+	}
+	if (&Scenario{}).margin() != DefaultMargin {
+		t.Error("default margin wrong")
+	}
+}
+
+func TestSolveWithBoundsShapeError(t *testing.T) {
+	_, sc := fig1Scenario(t, 1)
+	if _, err := sc.SolveWithBounds(la.Vector{1}, la.Vector{2}); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("err = %v, want ErrBadScenario", err)
+	}
+}
+
+func TestSolveWithBoundsUnconstrainedMaximizesCap(t *testing.T) {
+	// With no link bounds at all, the LP pushes every controlled path to
+	// the cap: damage = cap × |controlled paths|.
+	_, sc := fig1Scenario(t, 1)
+	sl, su := sc.unboundedBounds()
+	res, err := sc.SolveWithBounds(sl, su)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("unconstrained solve infeasible")
+	}
+	controlled, _ := sc.ControlledPaths()
+	want := DefaultPathCap * float64(len(controlled))
+	if math.Abs(res.Damage-want) > 1e-6 {
+		t.Errorf("damage = %g, want %g", res.Damage, want)
+	}
+	if err := sc.CheckConstraint1(res.M); err != nil {
+		t.Errorf("Constraint 1 violated: %v", err)
+	}
+}

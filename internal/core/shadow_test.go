@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestCapShadowPricesPredictDamageGain(t *testing.T) {
+	// The shadow price of a binding cap predicts the damage gained from
+	// loosening it: raise the global cap slightly and compare the damage
+	// increase with Σ prices · Δcap.
+	f, sc := fig1Scenario(t, 42)
+	victim := []graph.LinkID{f.PaperLink[1]}
+	base, err := ChosenVictim(sc, victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.Feasible {
+		t.Fatal("infeasible")
+	}
+	if len(base.CapShadowPrices) == 0 {
+		t.Fatal("no binding caps reported; the Fig1 optimum saturates several paths")
+	}
+	// Every priced path must actually sit at the cap.
+	for pi, price := range base.CapShadowPrices {
+		if price <= 0 {
+			t.Errorf("path %d: non-positive price %g", pi, price)
+		}
+		if math.Abs(base.M[pi]-DefaultPathCap) > 1e-6 {
+			t.Errorf("path %d priced %g but m = %g below cap", pi, price, base.M[pi])
+		}
+	}
+	var priceSum float64
+	for _, p := range base.CapShadowPrices {
+		priceSum += p
+	}
+	const delta = 1.0 // +1 ms on every path's cap
+	sc2 := &Scenario{
+		Sys:        sc.Sys,
+		Thresholds: sc.Thresholds,
+		Attackers:  sc.Attackers,
+		TrueX:      sc.TrueX,
+		PathCap:    DefaultPathCap + delta,
+	}
+	loosened, err := ChosenVictim(sc2, victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loosened.Feasible {
+		t.Fatal("loosened infeasible")
+	}
+	gain := loosened.Damage - base.Damage
+	predicted := priceSum * delta
+	// LP sensitivity is exact for small perturbations within the basis.
+	if math.Abs(gain-predicted) > 0.05*predicted+1e-6 {
+		t.Errorf("damage gain %.3f vs shadow-price prediction %.3f", gain, predicted)
+	}
+}
+
+func TestCapShadowPricesAbsentWhenUnbounded(t *testing.T) {
+	f, sc := fig1Scenario(t, 7)
+	sc.PathCap = -1 // unbounded
+	res, err := ChosenVictim(sc, []graph.LinkID{f.PaperLink[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible && res.CapShadowPrices != nil {
+		t.Errorf("shadow prices %v reported without caps", res.CapShadowPrices)
+	}
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/la"
+	"repro/internal/lp"
+)
+
+// solveStealthy solves the consistent attack of Theorem 1's proof: pick
+// an estimate shift Δx̂ supported on L_m ∪ L_s and manipulate every path
+// by exactly the model-consistent amount m = R·Δx̂ (Eq. 15). Because
+// y' = R·(x* + Δx̂), the tomography estimate is x̂ = x* + Δx̂ and the
+// Eq. 23 residual is zero — the attack is invisible to the consistency
+// detector.
+//
+// The support restriction follows the proof of Theorem 1 ("if link
+// l_j ∉ L_m ∪ L_s, Δx̂_j = 0 as the attackers do not manipulate the
+// metric of link l_j") and is what makes Theorem 3's converse hold: an
+// uncontrolled path forces Σ_{l ∈ path} Δx̂_l = 0, and with support
+// restricted to bounded links a victim on such a path cannot move, so
+// the program goes infeasible exactly when the cut is imperfect.
+// Operationally, support = links with at least one finite bound, which
+// is L_m ∪ L_s in every strategy built on SolveWithBounds.
+//
+// The LP runs over the supported Δx̂ split into non-negative parts
+// d⁺ − d⁻:
+//
+//	maximize  Σ_{i controlled} m_i,  m_i = Σ_{l ∈ path i ∩ supp} (d⁺_l − d⁻_l)
+//	s.t.      m_i = 0          for attacker-free paths (Constraint 1)
+//	          0 ≤ m_i ≤ cap    for controlled paths
+//	          s_l ⪯ x* + Δx̂ ⪯ s_u  on the support
+//	          x* + Δx̂ ≥ 0         on the support (estimates stay physical)
+func (sc *Scenario) solveStealthy(sl, su la.Vector) (*Result, error) {
+	nLinks := sc.Sys.NumLinks()
+	nPaths := sc.Sys.NumPaths()
+
+	// Support: links with any finite bound.
+	suppIdx := make([]int, 0, nLinks)
+	suppPos := make(map[int]int, nLinks) // link → variable block index
+	for l := 0; l < nLinks; l++ {
+		if !math.IsInf(sl[l], -1) || !math.IsInf(su[l], 1) {
+			suppPos[l] = len(suppIdx)
+			suppIdx = append(suppIdx, l)
+		}
+	}
+	ns := len(suppIdx)
+	if ns == 0 {
+		// Nothing to manipulate consistently: the zero attack is the
+		// only consistent one. Report it as feasible-but-zero.
+		return sc.zeroResult()
+	}
+	// Variables: d⁺ in [0, ns), d⁻ in [ns, 2ns).
+	prob := lp.NewProblem(2 * ns)
+	obj := make([]float64, 2*ns)
+	for _, pi := range sc.controlled {
+		for _, l := range sc.Sys.Paths()[pi].Links {
+			if k, ok := suppPos[int(l)]; ok {
+				obj[k]++
+				obj[ns+k]--
+			}
+		}
+	}
+	if err := prob.SetObjective(obj); err != nil {
+		return nil, err
+	}
+
+	capVal := sc.pathCap()
+	row := make([]float64, 2*ns)
+	zeroRow := func() {
+		for j := range row {
+			row[j] = 0
+		}
+	}
+	for i := 0; i < nPaths; i++ {
+		zeroRow()
+		touches := false
+		for _, l := range sc.Sys.Paths()[i].Links {
+			if k, ok := suppPos[int(l)]; ok {
+				row[k] = 1
+				row[ns+k] = -1
+				touches = true
+			}
+		}
+		if !touches {
+			continue // m_i ≡ 0, nothing to constrain
+		}
+		if sc.controlledSet[i] {
+			if err := prob.AddConstraint(row, lp.GE, 0); err != nil {
+				return nil, err
+			}
+			if !math.IsInf(capVal, 1) {
+				if err := prob.AddConstraint(row, lp.LE, capVal); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			if err := prob.AddConstraint(row, lp.EQ, 0); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Link estimate bounds on the support, with a physicality floor.
+	for _, l := range suppIdx {
+		lo, hi := sl[l], su[l]
+		if lo < 0 || math.IsInf(lo, -1) {
+			lo = 0 // x̂ ≥ 0: manipulated estimates stay physical
+		}
+		zeroRow()
+		k := suppPos[l]
+		row[k] = 1
+		row[ns+k] = -1
+		if !math.IsInf(hi, 1) {
+			if err := prob.AddConstraint(row, lp.LE, hi-sc.TrueX[l]); err != nil {
+				return nil, err
+			}
+		}
+		if err := prob.AddConstraint(row, lp.GE, lo-sc.TrueX[l]); err != nil {
+			return nil, err
+		}
+	}
+
+	sol, err := lp.Solve(prob)
+	if err != nil {
+		return nil, fmt.Errorf("core: stealthy LP solve: %w", err)
+	}
+	res := &Result{LPStatus: sol.Status}
+	if sol.Status != lp.Optimal {
+		return res, nil
+	}
+	res.Feasible = true
+	delta := make(la.Vector, nLinks)
+	for k, l := range suppIdx {
+		delta[l] = sol.X[k] - sol.X[ns+k]
+	}
+	m := make(la.Vector, nPaths)
+	for i, p := range sc.Sys.Paths() {
+		var s float64
+		for _, l := range p.Links {
+			s += delta[int(l)]
+		}
+		// Clamp solver noise: uncontrolled paths are exactly zero by
+		// the equality rows, controlled ones non-negative.
+		if s < 0 && s > -1e-7 {
+			s = 0
+		}
+		m[i] = s
+	}
+	res.M = m
+	res.Damage = m.Norm1()
+	yObs, err := sc.measuredY.Add(m)
+	if err != nil {
+		return nil, err
+	}
+	res.YObserved = yObs
+	xhat, err := sc.Sys.Estimate(yObs)
+	if err != nil {
+		return nil, err
+	}
+	res.XHat = xhat
+	res.States = sc.Thresholds.ClassifyAll(xhat)
+	res.AvgPathMetric = yObs.Mean()
+	return res, nil
+}
+
+// zeroResult reports the do-nothing attack: feasible, zero damage,
+// clean measurements.
+func (sc *Scenario) zeroResult() (*Result, error) {
+	m := make(la.Vector, sc.Sys.NumPaths())
+	yObs := sc.measuredY.Clone()
+	xhat, err := sc.Sys.Estimate(yObs)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Feasible:      true,
+		LPStatus:      lp.Optimal,
+		M:             m,
+		YObserved:     yObs,
+		XHat:          xhat,
+		States:        sc.Thresholds.ClassifyAll(xhat),
+		AvgPathMetric: yObs.Mean(),
+	}, nil
+}

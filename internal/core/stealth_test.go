@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/la"
+	"repro/internal/tomo"
+)
+
+// stealthyFig1Scenario clones a Fig. 1 scenario in stealthy mode.
+func stealthyFig1Scenario(t *testing.T, seed int64) (*Scenario, *la.Vector) {
+	t.Helper()
+	_, sc := fig1Scenario(t, seed)
+	sc.Stealthy = true
+	// Re-validate: fig1Scenario already validated; the flag does not
+	// invalidate cached state.
+	return sc, &sc.TrueX
+}
+
+// residualNorm computes ‖R·x̂ − y'‖₁ for an attack result.
+func residualNorm(t *testing.T, sc *Scenario, res *Result) float64 {
+	t.Helper()
+	r, err := sc.Sys.Residual(res.XHat, res.YObserved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Norm1()
+}
+
+func TestStealthyPerfectCutFeasibleAndConsistent(t *testing.T) {
+	// Theorem 1 + Theorem 3: stealthy chosen-victim on the perfectly cut
+	// link 1 must be feasible and leave a zero residual.
+	for seed := int64(0); seed < 8; seed++ {
+		f, sc := fig1Scenario(t, seed)
+		sc.Stealthy = true
+		res, err := ChosenVictim(sc, []graph.LinkID{f.PaperLink[1]})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Feasible {
+			t.Fatalf("seed %d: stealthy perfect-cut attack infeasible", seed)
+		}
+		if rn := residualNorm(t, sc, res); rn > 1e-6 {
+			t.Errorf("seed %d: stealthy residual = %g, want ≈ 0", seed, rn)
+		}
+		assertScapegoat(t, sc, res, []graph.LinkID{f.PaperLink[1]})
+	}
+}
+
+func TestStealthyImperfectCutInfeasible(t *testing.T) {
+	// Theorem 3's converse: no consistent manipulation can scapegoat
+	// link 10, because the attacker-free path M3–D–M2 pins its metric.
+	for seed := int64(0); seed < 8; seed++ {
+		f, sc := fig1Scenario(t, seed)
+		sc.Stealthy = true
+		res, err := ChosenVictim(sc, []graph.LinkID{f.PaperLink[10]})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Feasible {
+			t.Errorf("seed %d: stealthy attack on imperfectly cut link 10 feasible — contradicts Theorem 3", seed)
+		}
+	}
+}
+
+func TestPlainPerfectCutUsuallyDetectable(t *testing.T) {
+	// The damage-maximizing plain formulation ignores consistency, so
+	// even a perfect-cut attack leaves a large residual — this is the
+	// modeling nuance that makes Stealthy necessary.
+	f, sc := fig1Scenario(t, 42)
+	res, err := ChosenVictim(sc, []graph.LinkID{f.PaperLink[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("plain perfect-cut attack infeasible")
+	}
+	if rn := residualNorm(t, sc, res); rn < 200 {
+		t.Errorf("plain max-damage residual = %g; expected large (detectable)", rn)
+	}
+}
+
+func TestStealthyDamageNotAboveplain(t *testing.T) {
+	// Stealth adds constraints, so its optimum cannot beat the plain one.
+	f, sc := fig1Scenario(t, 7)
+	plain, err := ChosenVictim(sc, []graph.LinkID{f.PaperLink[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scS := &Scenario{
+		Sys:        sc.Sys,
+		Thresholds: sc.Thresholds,
+		Attackers:  sc.Attackers,
+		TrueX:      sc.TrueX,
+		Stealthy:   true,
+	}
+	stealth, err := ChosenVictim(scS, []graph.LinkID{f.PaperLink[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Feasible || !stealth.Feasible {
+		t.Fatal("both modes should be feasible on link 1")
+	}
+	if stealth.Damage > plain.Damage+1e-6 {
+		t.Errorf("stealthy damage %.1f exceeds plain %.1f", stealth.Damage, plain.Damage)
+	}
+}
+
+func TestStealthyMaxDamage(t *testing.T) {
+	// Max-damage in stealthy mode must find a perfectly-cut victim
+	// (link 1 is available) and stay consistent.
+	sc, _ := stealthyFig1Scenario(t, 11)
+	res, err := MaxDamage(sc, MaxDamageOptions{MaxVictims: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("stealthy max-damage infeasible")
+	}
+	if rn := residualNorm(t, sc, res); rn > 1e-6 {
+		t.Errorf("stealthy max-damage residual = %g", rn)
+	}
+	for _, l := range res.Victims {
+		if res.States[l] != tomo.Abnormal {
+			t.Errorf("victim %d not abnormal", l)
+		}
+	}
+}
+
+func TestStealthyObfuscate(t *testing.T) {
+	sc, _ := stealthyFig1Scenario(t, 13)
+	res, err := Obfuscate(sc, ObfuscationOptions{MinVictims: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Skip("stealthy obfuscation infeasible on this draw — acceptable, needs perfect-cuttable band targets")
+	}
+	if rn := residualNorm(t, sc, res); rn > 1e-6 {
+		t.Errorf("stealthy obfuscation residual = %g", rn)
+	}
+}
+
+func TestStealthyNoBoundsZeroAttack(t *testing.T) {
+	sc, _ := stealthyFig1Scenario(t, 3)
+	sl, su := sc.unboundedBounds()
+	res, err := sc.SolveWithBounds(sl, su)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("zero attack reported infeasible")
+	}
+	if res.Damage != 0 {
+		t.Errorf("damage = %g, want 0 (no bounded links, only consistent choice is no-op)", res.Damage)
+	}
+}

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/la"
+)
+
+// ChosenVictim runs the chosen-victim strategy (Eq. 4): given the victim
+// link set L_s, maximize damage subject to every attacker link
+// estimating normal and every victim link estimating abnormal. Returns a
+// Result whose Feasible field answers the paper's feasibility question;
+// an error indicates a malformed scenario, not an infeasible attack.
+func ChosenVictim(sc *Scenario, victims []graph.LinkID) (*Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if len(victims) == 0 {
+		return nil, fmt.Errorf("core: ChosenVictim with empty victim set: %w", ErrBadScenario)
+	}
+	victimSet := make(map[graph.LinkID]bool, len(victims))
+	for _, l := range victims {
+		if _, err := sc.Sys.Graph().Link(l); err != nil {
+			return nil, fmt.Errorf("core: victim %d: %v: %w", l, err, ErrBadScenario)
+		}
+		if victimSet[l] {
+			return nil, fmt.Errorf("core: duplicate victim %d: %w", l, ErrBadScenario)
+		}
+		// Constraint (7): L_m ∩ L_s = ∅.
+		if sc.attackerLinks[l] {
+			return nil, fmt.Errorf("core: victim %d is an attacker link (violates Eq. 7): %w", l, ErrBadScenario)
+		}
+		victimSet[l] = true
+	}
+	sl, su := sc.unboundedBounds()
+	eps := sc.margin()
+	// ConfineOthers is a plain-mode refinement: in stealthy mode a
+	// finite bound would pull the link into the consistency support
+	// L_m ∪ L_s and change Theorem 3's semantics, so it is skipped.
+	if sc.ConfineOthers && !sc.Stealthy {
+		for l := range su {
+			su[l] = sc.Thresholds.Upper // third links stay ≤ uncertain
+		}
+	}
+	for l := range sc.attackerLinks {
+		su[l] = sc.Thresholds.Lower - eps // S(l) = normal (Eq. 5)
+	}
+	for l := range victimSet {
+		sl[l] = sc.Thresholds.Upper + eps // S(l) = abnormal (Eq. 6)
+		su[l] = math.Inf(1)
+	}
+	res, err := sc.SolveWithBounds(sl, su)
+	if err != nil {
+		return nil, err
+	}
+	res.Victims = append([]graph.LinkID(nil), victims...)
+	return res, nil
+}
+
+// MaxDamageOptions steer the maximum-damage victim search.
+type MaxDamageOptions struct {
+	// MaxVictims caps the greedy victim-set growth. 0 means 3.
+	MaxVictims int
+	// Candidates restricts the victim candidate pool; nil means every
+	// non-attacker link.
+	Candidates []graph.LinkID
+	// FirstFeasible stops the single-victim search at the first
+	// feasible candidate (candidates are tried most-raisable first, so
+	// the hit approximates the optimum). Success-probability sweeps use
+	// this to avoid |L| LP solves per trial.
+	FirstFeasible bool
+	// MaxCandidates bounds how many candidates are tried (0: all).
+	MaxCandidates int
+}
+
+func (o MaxDamageOptions) maxVictims() int {
+	if o.MaxVictims <= 0 {
+		return 3
+	}
+	return o.MaxVictims
+}
+
+// MaxDamage runs the maximum-damage strategy (Eq. 8): search the victim
+// set L_s ⊂ L \ L_m maximizing the damage. The search is greedy — best
+// single victim first, then extensions while the damage grows — matching
+// the paper's aim of "finding the best victim set" without an
+// exponential sweep. Infeasibility (no victim works at all) comes back
+// as Feasible == false.
+func MaxDamage(sc *Scenario, opts MaxDamageOptions) (*Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	cands, err := sc.victimCandidates(opts.Candidates, sc.Thresholds.Upper)
+	if err != nil {
+		return nil, err
+	}
+	// Most-raisable first: the best victim is usually the one the
+	// attackers dominate most, and FirstFeasible relies on this order.
+	if !sc.Stealthy {
+		raise := sc.maxRaise()
+		sort.SliceStable(cands, func(a, b int) bool {
+			return raise[cands[a]] > raise[cands[b]]
+		})
+	}
+	if opts.MaxCandidates > 0 && len(cands) > opts.MaxCandidates {
+		cands = cands[:opts.MaxCandidates]
+	}
+	best := &Result{}
+	var bestVictims []graph.LinkID
+	// Stage 1: best single victim.
+	for _, l := range cands {
+		res, err := ChosenVictim(sc, []graph.LinkID{l})
+		if err != nil {
+			return nil, err
+		}
+		if res.Feasible && res.Damage > best.Damage {
+			best = res
+			bestVictims = []graph.LinkID{l}
+			if opts.FirstFeasible {
+				break
+			}
+		}
+	}
+	if !best.Feasible {
+		return best, nil
+	}
+	if opts.FirstFeasible {
+		best.Victims = bestVictims
+		return best, nil
+	}
+	// Stage 2: greedy growth while damage strictly improves.
+	for len(bestVictims) < opts.maxVictims() {
+		improved := false
+		for _, l := range cands {
+			if containsLink(bestVictims, l) {
+				continue
+			}
+			trial := append(append([]graph.LinkID(nil), bestVictims...), l)
+			res, err := ChosenVictim(sc, trial)
+			if err != nil {
+				return nil, err
+			}
+			if res.Feasible && res.Damage > best.Damage+1e-9 {
+				best = res
+				bestVictims = trial
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	best.Victims = bestVictims
+	return best, nil
+}
+
+// ObfuscationOptions steer the obfuscation strategy.
+type ObfuscationOptions struct {
+	// MinVictims is the success bar: at least this many victim links
+	// must land in the uncertain band. The paper's Fig. 8 experiment
+	// uses 5. 0 means 1.
+	MinVictims int
+	// Candidates restricts the victim candidate pool; nil means every
+	// non-attacker link the attackers can influence.
+	Candidates []graph.LinkID
+}
+
+func (o ObfuscationOptions) minVictims() int {
+	if o.MinVictims <= 0 {
+		return 1
+	}
+	return o.MinVictims
+}
+
+// Obfuscate runs the obfuscation strategy (Eq. 9): find a victim set
+// L_s such that every link in L_s ∪ L_m estimates uncertain, maximizing
+// damage. The victim set starts from every influenceable link and
+// shrinks greedily (dropping the least-raisable link) until the LP is
+// feasible or the set falls below MinVictims.
+func Obfuscate(sc *Scenario, opts ObfuscationOptions) (*Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	// Candidate victims must be raisable to at least the lower band
+	// edge b_l (otherwise they can never be uncertain: x* < b_l in any
+	// attack-worthy scenario).
+	cands, err := sc.victimCandidates(opts.Candidates, sc.Thresholds.Lower)
+	if err != nil {
+		return nil, err
+	}
+	raise := sc.maxRaise()
+	// Shrink order: drop the link with the smallest raise margin first.
+	sort.SliceStable(cands, func(a, b int) bool {
+		ma := raise[cands[a]] - (sc.Thresholds.Lower - sc.TrueX[cands[a]])
+		mb := raise[cands[b]] - (sc.Thresholds.Lower - sc.TrueX[cands[b]])
+		return ma > mb
+	})
+	eps := sc.margin()
+	solvePrefix := func(n int) (*Result, error) {
+		sl, su := sc.unboundedBounds()
+		if sc.ConfineOthers && !sc.Stealthy {
+			for l := range su {
+				su[l] = sc.Thresholds.Upper
+			}
+		}
+		for l := range sc.attackerLinks {
+			sl[l] = sc.Thresholds.Lower + eps // attacker links uncertain (Eq. 10)
+			su[l] = sc.Thresholds.Upper - eps
+		}
+		for _, l := range cands[:n] {
+			sl[l] = sc.Thresholds.Lower + eps
+			su[l] = sc.Thresholds.Upper - eps
+		}
+		return sc.SolveWithBounds(sl, su)
+	}
+	// Feasibility is monotone in the prefix length (each extra victim
+	// only adds constraints), so binary-search the largest feasible
+	// prefix instead of shrinking one link at a time.
+	minV := opts.minVictims()
+	if len(cands) < minV {
+		return &Result{}, nil
+	}
+	res, err := solvePrefix(len(cands))
+	if err != nil {
+		return nil, err
+	}
+	if res.Feasible {
+		res.Victims = append([]graph.LinkID(nil), cands...)
+		return res, nil
+	}
+	resMin, err := solvePrefix(minV)
+	if err != nil {
+		return nil, err
+	}
+	if !resMin.Feasible {
+		return &Result{}, nil
+	}
+	// Invariant: prefix lo feasible (result bestRes), prefix hi infeasible.
+	lo, hi := minV, len(cands)
+	bestRes, bestLen := resMin, minV
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		r, err := solvePrefix(mid)
+		if err != nil {
+			return nil, err
+		}
+		if r.Feasible {
+			lo, bestRes, bestLen = mid, r, mid
+		} else {
+			hi = mid
+		}
+	}
+	bestRes.Victims = append([]graph.LinkID(nil), cands[:bestLen]...)
+	return bestRes, nil
+}
+
+// victimCandidates returns non-attacker links whose estimate the
+// attackers can raise past `target` (using the maxRaise pruning bound),
+// or validates a caller-supplied pool.
+func (sc *Scenario) victimCandidates(supplied []graph.LinkID, target float64) ([]graph.LinkID, error) {
+	if supplied != nil {
+		out := make([]graph.LinkID, 0, len(supplied))
+		for _, l := range supplied {
+			if _, err := sc.Sys.Graph().Link(l); err != nil {
+				return nil, fmt.Errorf("core: candidate %d: %v: %w", l, err, ErrBadScenario)
+			}
+			if sc.attackerLinks[l] {
+				continue
+			}
+			out = append(out, l)
+		}
+		return out, nil
+	}
+	// The maxRaise pruning bound is derived from the plain formulation
+	// (x̂ shift = T·m); it does not bound the stealthy one, so stealthy
+	// searches consider every non-attacker link.
+	var raise la.Vector
+	if !sc.Stealthy {
+		raise = sc.maxRaise()
+	}
+	var out []graph.LinkID
+	for l := 0; l < sc.Sys.NumLinks(); l++ {
+		lid := graph.LinkID(l)
+		if sc.attackerLinks[lid] {
+			continue
+		}
+		if raise == nil || sc.TrueX[l]+raise[l] > target {
+			out = append(out, lid)
+		}
+	}
+	return out, nil
+}
+
+// unboundedBounds returns (−Inf, +Inf) bound vectors sized to the link
+// count.
+func (sc *Scenario) unboundedBounds() (la.Vector, la.Vector) {
+	n := sc.Sys.NumLinks()
+	sl := make(la.Vector, n)
+	su := make(la.Vector, n)
+	for i := 0; i < n; i++ {
+		sl[i] = math.Inf(-1)
+		su[i] = math.Inf(1)
+	}
+	return sl, su
+}
+
+func containsLink(list []graph.LinkID, l graph.LinkID) bool {
+	for _, x := range list {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,298 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tomo"
+	"repro/internal/topo"
+)
+
+func TestChosenVictimLink10(t *testing.T) {
+	// The paper's Fig. 4: B and C scapegoat link 10 (D–M2), which they
+	// do NOT perfectly cut (path M3–D–M2 is attacker-free), and the
+	// attack still succeeds.
+	f, sc := fig1Scenario(t, 42)
+	victim := f.PaperLink[10]
+	pc, err := PerfectCut(sc.Sys, sc.Attackers, []graph.LinkID{victim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc {
+		t.Fatal("link 10 should not be perfectly cut by {B, C}")
+	}
+	res, err := ChosenVictim(sc, []graph.LinkID{victim})
+	if err != nil {
+		t.Fatalf("ChosenVictim: %v", err)
+	}
+	if !res.Feasible {
+		t.Fatal("chosen-victim on link 10 infeasible; the paper demonstrates it succeeds")
+	}
+	assertScapegoat(t, sc, res, []graph.LinkID{victim})
+	if res.AvgPathMetric <= 0 {
+		t.Error("AvgPathMetric not computed")
+	}
+}
+
+func TestChosenVictimPerfectCutAlwaysFeasible(t *testing.T) {
+	// Theorem 1: link 1 (M1–A) is perfectly cut by {B, C} — every path
+	// through it continues into B or C. Feasibility must hold for every
+	// random metric draw.
+	for seed := int64(0); seed < 10; seed++ {
+		f, sc := fig1Scenario(t, seed)
+		victim := f.PaperLink[1]
+		pc, err := PerfectCut(sc.Sys, sc.Attackers, []graph.LinkID{victim})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pc {
+			t.Fatal("link 1 should be perfectly cut by {B, C}")
+		}
+		res, err := ChosenVictim(sc, []graph.LinkID{victim})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Feasible {
+			t.Errorf("seed %d: perfect-cut chosen-victim infeasible, contradicts Theorem 1", seed)
+		}
+		assertScapegoat(t, sc, res, []graph.LinkID{victim})
+	}
+}
+
+// assertScapegoat checks the semantic goals of a successful attack:
+// Constraint 1 holds, victims classify abnormal, attacker links classify
+// normal, and the observed measurements equal y + m.
+func assertScapegoat(t *testing.T, sc *Scenario, res *Result, victims []graph.LinkID) {
+	t.Helper()
+	if err := sc.CheckConstraint1(res.M); err != nil {
+		t.Errorf("Constraint 1: %v", err)
+	}
+	for _, l := range victims {
+		if res.States[l] != tomo.Abnormal {
+			t.Errorf("victim link %d state = %v (x̂ = %.1f), want abnormal", l, res.States[l], res.XHat[l])
+		}
+	}
+	links, err := sc.AttackerLinks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := range links {
+		if res.States[l] != tomo.Normal {
+			t.Errorf("attacker link %d state = %v (x̂ = %.1f), want normal", l, res.States[l], res.XHat[l])
+		}
+	}
+	y, _ := sc.CleanMeasurements()
+	sum, _ := y.Add(res.M)
+	if !sum.Equal(res.YObserved, 1e-9) {
+		t.Error("YObserved ≠ y + m")
+	}
+	if res.Damage <= 0 {
+		t.Error("zero damage on feasible attack")
+	}
+	// Per-path damage must respect the cap.
+	for i, v := range res.M {
+		if v > sc.pathCap()+1e-6 {
+			t.Errorf("m[%d] = %g exceeds cap", i, v)
+		}
+	}
+}
+
+func TestChosenVictimValidation(t *testing.T) {
+	f, sc := fig1Scenario(t, 1)
+	if _, err := ChosenVictim(sc, nil); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("empty victims: err = %v", err)
+	}
+	if _, err := ChosenVictim(sc, []graph.LinkID{99}); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("unknown victim: err = %v", err)
+	}
+	// Victim inside L_m violates Eq. 7.
+	if _, err := ChosenVictim(sc, []graph.LinkID{f.PaperLink[3]}); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("attacker-link victim: err = %v", err)
+	}
+	dup := []graph.LinkID{f.PaperLink[10], f.PaperLink[10]}
+	if _, err := ChosenVictim(sc, dup); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("duplicate victim: err = %v", err)
+	}
+}
+
+func TestMaxDamageBeatsEveryChosenVictim(t *testing.T) {
+	// Eq. 8 optimizes over victim sets, so its damage must dominate
+	// every single-victim chosen attack (the paper: maximum-damage
+	// attacks "are always more likely" and inflict the most damage).
+	f, sc := fig1Scenario(t, 42)
+	best, err := MaxDamage(sc, MaxDamageOptions{})
+	if err != nil {
+		t.Fatalf("MaxDamage: %v", err)
+	}
+	if !best.Feasible {
+		t.Fatal("max-damage infeasible on Fig1 with two attackers")
+	}
+	if len(best.Victims) == 0 {
+		t.Fatal("no victims reported")
+	}
+	assertScapegoat(t, sc, best, best.Victims)
+	for num := 1; num <= 10; num++ {
+		l := f.PaperLink[num]
+		links, _ := sc.AttackerLinks()
+		if links[l] {
+			continue
+		}
+		res, err := ChosenVictim(sc, []graph.LinkID{l})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Feasible && res.Damage > best.Damage+1e-6 {
+			t.Errorf("single victim %d damage %.1f beats max-damage %.1f", num, res.Damage, best.Damage)
+		}
+	}
+}
+
+func TestMaxDamageRestrictedCandidates(t *testing.T) {
+	f, sc := fig1Scenario(t, 7)
+	res, err := MaxDamage(sc, MaxDamageOptions{Candidates: []graph.LinkID{f.PaperLink[10]}, MaxVictims: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("restricted max-damage infeasible")
+	}
+	if len(res.Victims) != 1 || res.Victims[0] != f.PaperLink[10] {
+		t.Errorf("victims = %v, want [link10]", res.Victims)
+	}
+	if _, err := MaxDamage(sc, MaxDamageOptions{Candidates: []graph.LinkID{99}}); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("bad candidate: err = %v", err)
+	}
+}
+
+func TestObfuscateFig1(t *testing.T) {
+	// The paper's Fig. 6: all link estimates land in the uncertain band.
+	_, sc := fig1Scenario(t, 42)
+	res, err := Obfuscate(sc, ObfuscationOptions{MinVictims: 1})
+	if err != nil {
+		t.Fatalf("Obfuscate: %v", err)
+	}
+	if !res.Feasible {
+		t.Fatal("obfuscation infeasible on Fig1")
+	}
+	if err := sc.CheckConstraint1(res.M); err != nil {
+		t.Errorf("Constraint 1: %v", err)
+	}
+	links, _ := sc.AttackerLinks()
+	// Every attacker link and every victim must be uncertain (Eq. 10).
+	for l := range links {
+		if res.States[l] != tomo.Uncertain {
+			t.Errorf("attacker link %d state = %v (x̂=%.1f), want uncertain", l, res.States[l], res.XHat[l])
+		}
+	}
+	for _, l := range res.Victims {
+		if res.States[l] != tomo.Uncertain {
+			t.Errorf("victim link %d state = %v (x̂=%.1f), want uncertain", l, res.States[l], res.XHat[l])
+		}
+		if links[l] {
+			t.Errorf("victim %d is an attacker link", l)
+		}
+	}
+	if res.Damage <= 0 {
+		t.Error("zero damage")
+	}
+}
+
+func TestObfuscateMinVictimsUnreachable(t *testing.T) {
+	// Demanding more uncertain victims than the network has links must
+	// fail cleanly.
+	_, sc := fig1Scenario(t, 42)
+	res, err := Obfuscate(sc, ObfuscationOptions{MinVictims: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Error("50 victims on a 10-link network reported feasible")
+	}
+}
+
+func TestPerfectCutAndPresenceRatio(t *testing.T) {
+	f, sc := fig1Scenario(t, 1)
+	// Link 1: perfect cut (ratio 1).
+	r1, err := PresenceRatio(sc.Sys, sc.Attackers, []graph.LinkID{f.PaperLink[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != 1 {
+		t.Errorf("presence ratio for link 1 = %g, want 1", r1)
+	}
+	// Link 10: imperfect (path M3–D–M2 uncovered).
+	r10, err := PresenceRatio(sc.Sys, sc.Attackers, []graph.LinkID{f.PaperLink[10]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r10 >= 1 || r10 <= 0 {
+		t.Errorf("presence ratio for link 10 = %g, want in (0,1)", r10)
+	}
+	pc10, _ := PerfectCut(sc.Sys, sc.Attackers, []graph.LinkID{f.PaperLink[10]})
+	if pc10 {
+		t.Error("link 10 reported perfectly cut")
+	}
+	// Errors.
+	if _, err := PerfectCut(nil, nil, nil); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("nil system: err = %v", err)
+	}
+	if _, err := PresenceRatio(sc.Sys, []graph.NodeID{99}, nil); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("bad attacker: err = %v", err)
+	}
+	if _, err := PresenceRatio(sc.Sys, sc.Attackers, []graph.LinkID{99}); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("bad victim: err = %v", err)
+	}
+}
+
+func TestPresenceRatioNoVictimPaths(t *testing.T) {
+	// Build a system whose single path avoids the victim link entirely.
+	f := topo.Fig1()
+	p := graph.Path{
+		Nodes: []graph.NodeID{f.M3, f.D, f.M2},
+		Links: []graph.LinkID{f.PaperLink[9], f.PaperLink[10]},
+	}
+	sys, err := tomo.NewSystem(f.G, []graph.Path{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := PresenceRatio(sys, []graph.NodeID{f.B}, []graph.LinkID{f.PaperLink[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 1 {
+		t.Errorf("vacuous presence ratio = %g, want 1", r)
+	}
+}
+
+func TestTheorem1PropertyPerfectCutFeasible(t *testing.T) {
+	// Theorem 1 across many random metric draws: perfect cut ⇒ feasible,
+	// for both chosen-victim and (by inclusion) max-damage.
+	for seed := int64(100); seed < 115; seed++ {
+		f, sc := fig1Scenario(t, seed)
+		res, err := ChosenVictim(sc, []graph.LinkID{f.PaperLink[1]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Feasible {
+			t.Errorf("seed %d: Theorem 1 violated", seed)
+		}
+	}
+}
+
+func TestMaxDamageGreedyGrowthImproves(t *testing.T) {
+	// With MaxVictims = 3 the greedy search must never do worse than
+	// with MaxVictims = 1.
+	_, sc := fig1Scenario(t, 42)
+	one, err := MaxDamage(sc, MaxDamageOptions{MaxVictims: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	three, err := MaxDamage(sc, MaxDamageOptions{MaxVictims: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if three.Damage < one.Damage-1e-9 {
+		t.Errorf("greedy growth lost damage: %f < %f", three.Damage, one.Damage)
+	}
+}

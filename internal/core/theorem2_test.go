@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestTheorem2MonotoneFeasibility checks Theorem 2's mechanism on the
+// Fig. 1 network: enlarging the attacker set from {B} to {B, C} can only
+// enlarge the set of manipulable paths (M_k ⊂ M_s in the proof), so any
+// victim feasible for {B} stays feasible for {B, C}, and the presence
+// ratio never decreases.
+func TestTheorem2MonotoneFeasibility(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		f, scBase := fig1Scenario(t, seed)
+		small := []graph.NodeID{f.B}
+		large := []graph.NodeID{f.B, f.C}
+		for num := 9; num <= 10; num++ {
+			victim := f.PaperLink[num]
+			rSmall, err := PresenceRatio(scBase.Sys, small, []graph.LinkID{victim})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rLarge, err := PresenceRatio(scBase.Sys, large, []graph.LinkID{victim})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rLarge < rSmall {
+				t.Errorf("seed %d link %d: presence ratio shrank %g → %g when adding an attacker",
+					seed, num, rSmall, rLarge)
+			}
+			scSmall := &Scenario{
+				Sys:        scBase.Sys,
+				Thresholds: scBase.Thresholds,
+				Attackers:  small,
+				TrueX:      scBase.TrueX,
+			}
+			resSmall, err := ChosenVictim(scSmall, []graph.LinkID{victim})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !resSmall.Feasible {
+				continue
+			}
+			scLarge := &Scenario{
+				Sys:        scBase.Sys,
+				Thresholds: scBase.Thresholds,
+				Attackers:  large,
+				TrueX:      scBase.TrueX,
+			}
+			resLarge, err := ChosenVictim(scLarge, []graph.LinkID{victim})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !resLarge.Feasible {
+				t.Errorf("seed %d link %d: feasible for {B} but infeasible for {B,C} — violates Theorem 2's inclusion",
+					seed, num)
+			}
+			if resLarge.Damage < resSmall.Damage-1e-6 {
+				t.Errorf("seed %d link %d: damage shrank %g → %g with more attackers",
+					seed, num, resSmall.Damage, resLarge.Damage)
+			}
+		}
+	}
+}

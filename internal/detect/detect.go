@@ -1,0 +1,130 @@
+// Package detect implements the paper's scapegoating detection
+// (Section IV-B): after running tomography, verify the estimate against
+// the observed measurements under the linear model. A nonzero
+// inconsistency R·x̂ ≠ y' reveals manipulation (Eq. 23); with
+// measurement noise the test becomes ‖R·x̂ − y'‖₁ > α for an
+// empirically calibrated threshold α (Remark 4).
+//
+// Theorem 3 fixes this detector's power: scapegoating under a perfect
+// cut (or a square R) is undetectable; any imperfect cut is detectable.
+package detect
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/la"
+	"repro/internal/tomo"
+)
+
+// DefaultAlpha is the paper's experimental threshold: α = 200 ms
+// (Section V-D).
+const DefaultAlpha = 200.0
+
+// ErrBadInput is returned for malformed detector inputs.
+var ErrBadInput = errors.New("detect: bad input")
+
+// Detector runs the consistency check of Eq. 23 on a tomography system.
+type Detector struct {
+	sys   *tomo.System
+	alpha float64
+}
+
+// New creates a detector with threshold alpha; alpha = 0 selects
+// DefaultAlpha. Negative alpha is rejected.
+func New(sys *tomo.System, alpha float64) (*Detector, error) {
+	if sys == nil {
+		return nil, fmt.Errorf("detect: nil system: %w", ErrBadInput)
+	}
+	if alpha < 0 {
+		return nil, fmt.Errorf("detect: negative threshold %g: %w", alpha, ErrBadInput)
+	}
+	if alpha == 0 {
+		alpha = DefaultAlpha
+	}
+	return &Detector{sys: sys, alpha: alpha}, nil
+}
+
+// Alpha returns the detection threshold in use.
+func (d *Detector) Alpha() float64 { return d.alpha }
+
+// Report is the outcome of inspecting one measurement vector.
+type Report struct {
+	// Detected is true when the residual exceeds the threshold.
+	Detected bool
+	// ResidualNorm is ‖R·x̂ − y'‖₁.
+	ResidualNorm float64
+	// Residual is the per-path inconsistency vector R·x̂ − y'.
+	Residual la.Vector
+	// XHat is the tomography estimate the check was run against.
+	XHat la.Vector
+	// SquareR flags the degenerate case of Theorem 3: with a square
+	// (invertible) routing matrix the residual is identically zero and
+	// the check is vacuous.
+	SquareR bool
+}
+
+// Inspect estimates link metrics from the observed measurements and
+// tests the model consistency (Eq. 23 with Remark 4's threshold).
+func (d *Detector) Inspect(yObserved la.Vector) (*Report, error) {
+	if len(yObserved) != d.sys.NumPaths() {
+		return nil, fmt.Errorf("detect: measurement vector has %d entries, want %d: %w",
+			len(yObserved), d.sys.NumPaths(), ErrBadInput)
+	}
+	xhat, err := d.sys.Estimate(yObserved)
+	if err != nil {
+		return nil, fmt.Errorf("detect: %w", err)
+	}
+	res, err := d.sys.Residual(xhat, yObserved)
+	if err != nil {
+		return nil, fmt.Errorf("detect: %w", err)
+	}
+	norm := res.Norm1()
+	return &Report{
+		Detected:     norm > d.alpha,
+		ResidualNorm: norm,
+		Residual:     res,
+		XHat:         xhat,
+		SquareR:      d.sys.NumPaths() == d.sys.NumLinks(),
+	}, nil
+}
+
+// Calibrate picks a detection threshold from clean (attack-free)
+// measurement samples: the q-quantile of their residual norms, scaled by
+// headroom. With q = 1 and headroom > 1 the resulting detector has zero
+// false alarms on the calibration set by construction — matching the
+// paper's "no false alarm" observation. Typical use feeds measurement
+// vectors produced by the netsim simulator under noise.
+func Calibrate(sys *tomo.System, cleanRuns []la.Vector, q, headroom float64) (float64, error) {
+	if sys == nil {
+		return 0, fmt.Errorf("detect: nil system: %w", ErrBadInput)
+	}
+	if len(cleanRuns) == 0 {
+		return 0, fmt.Errorf("detect: no calibration samples: %w", ErrBadInput)
+	}
+	if q <= 0 || q > 1 {
+		return 0, fmt.Errorf("detect: quantile %g not in (0,1]: %w", q, ErrBadInput)
+	}
+	if headroom <= 0 {
+		headroom = 1
+	}
+	norms := make([]float64, 0, len(cleanRuns))
+	for i, y := range cleanRuns {
+		xhat, err := sys.Estimate(y)
+		if err != nil {
+			return 0, fmt.Errorf("detect: calibration sample %d: %w", i, err)
+		}
+		res, err := sys.Residual(xhat, y)
+		if err != nil {
+			return 0, fmt.Errorf("detect: calibration sample %d: %w", i, err)
+		}
+		norms = append(norms, res.Norm1())
+	}
+	sort.Float64s(norms)
+	idx := int(q*float64(len(norms))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return norms[idx] * headroom, nil
+}

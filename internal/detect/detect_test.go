@@ -1,0 +1,279 @@
+package detect
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/la"
+	"repro/internal/tomo"
+	"repro/internal/topo"
+)
+
+// fig1Attack builds the Fig. 1 scenario and runs a chosen-victim attack
+// against the given paper-numbered victim link.
+func fig1Attack(t *testing.T, seed int64, victimNum int, stealthy bool) (*core.Scenario, *core.Result, *topo.Fig1Topology) {
+	t.Helper()
+	f := topo.Fig1()
+	paths, rank, err := tomo.SelectPaths(f.G, f.Monitors, tomo.SelectOptions{Exhaustive: true, TargetPaths: 23})
+	if err != nil || rank != 10 {
+		t.Fatalf("SelectPaths: rank=%d err=%v", rank, err)
+	}
+	sys, err := tomo.NewSystem(f.G, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	x := make(la.Vector, 10)
+	for i := range x {
+		x[i] = 1 + rng.Float64()*19
+	}
+	sc := &core.Scenario{
+		Sys:        sys,
+		Thresholds: tomo.DefaultThresholds(),
+		Attackers:  f.Attackers,
+		TrueX:      x,
+		Stealthy:   stealthy,
+	}
+	res, err := core.ChosenVictim(sc, []graph.LinkID{f.PaperLink[victimNum]})
+	if err != nil {
+		t.Fatalf("ChosenVictim: %v", err)
+	}
+	if !res.Feasible {
+		t.Fatalf("attack on link %d infeasible", victimNum)
+	}
+	return sc, res, f
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 0); !errors.Is(err, ErrBadInput) {
+		t.Errorf("nil system: err = %v", err)
+	}
+	_, res, _ := fig1Attack(t, 1, 10, false)
+	_ = res
+	f := topo.Fig1()
+	paths, _, err := tomo.SelectPaths(f.G, f.Monitors, tomo.SelectOptions{Exhaustive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := tomo.NewSystem(f.G, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(sys, -1); !errors.Is(err, ErrBadInput) {
+		t.Errorf("negative alpha: err = %v", err)
+	}
+	d, err := New(sys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Alpha() != DefaultAlpha {
+		t.Errorf("Alpha = %g, want default %g", d.Alpha(), DefaultAlpha)
+	}
+}
+
+func TestCleanMeasurementsNotDetected(t *testing.T) {
+	// No attack, no noise: residual is numerically zero — no false alarm.
+	sc, _, _ := fig1Attack(t, 2, 10, false)
+	d, err := New(sc.Sys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := sc.CleanMeasurements()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Inspect(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Detected {
+		t.Errorf("false alarm on clean measurements (residual %g)", rep.ResidualNorm)
+	}
+	if rep.ResidualNorm > 1e-6 {
+		t.Errorf("clean residual = %g, want ≈ 0", rep.ResidualNorm)
+	}
+}
+
+func TestImperfectCutDetected(t *testing.T) {
+	// Theorem 3: victim link 10 is NOT perfectly cut, so the attack must
+	// be detectable.
+	sc, res, f := fig1Attack(t, 3, 10, false)
+	pc, err := core.PerfectCut(sc.Sys, sc.Attackers, []graph.LinkID{f.PaperLink[10]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc {
+		t.Fatal("precondition: link 10 must be imperfectly cut")
+	}
+	d, err := New(sc.Sys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Inspect(res.YObserved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Detected {
+		t.Errorf("imperfect-cut attack undetected (residual %g ≤ α %g), contradicts Theorem 3",
+			rep.ResidualNorm, d.Alpha())
+	}
+}
+
+func TestPerfectCutUndetected(t *testing.T) {
+	// Theorem 3: victim link 1 IS perfectly cut — the residual must stay
+	// (numerically) zero and the attack invisible.
+	sc, res, f := fig1Attack(t, 4, 1, true)
+	pc, err := core.PerfectCut(sc.Sys, sc.Attackers, []graph.LinkID{f.PaperLink[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pc {
+		t.Fatal("precondition: link 1 must be perfectly cut")
+	}
+	d, err := New(sc.Sys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Inspect(res.YObserved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Detected {
+		t.Errorf("perfect-cut attack detected (residual %g), contradicts Theorem 3", rep.ResidualNorm)
+	}
+	if rep.ResidualNorm > 1e-6 {
+		t.Errorf("perfect-cut residual = %g, want ≈ 0", rep.ResidualNorm)
+	}
+}
+
+func TestPerfectCutUndetectedAcrossSeeds(t *testing.T) {
+	for seed := int64(10); seed < 20; seed++ {
+		sc, res, _ := fig1Attack(t, seed, 1, true)
+		d, _ := New(sc.Sys, 0)
+		rep, err := d.Inspect(res.YObserved)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Detected {
+			t.Errorf("seed %d: perfect-cut attack detected", seed)
+		}
+	}
+}
+
+func TestImperfectCutDetectedAcrossSeeds(t *testing.T) {
+	for seed := int64(10); seed < 20; seed++ {
+		sc, res, _ := fig1Attack(t, seed, 10, false)
+		d, _ := New(sc.Sys, 0)
+		rep, err := d.Inspect(res.YObserved)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Detected {
+			t.Errorf("seed %d: imperfect-cut attack undetected (residual %g)", seed, rep.ResidualNorm)
+		}
+	}
+}
+
+func TestSquareRUndetectable(t *testing.T) {
+	// Theorem 3's other branch: a square invertible R satisfies
+	// R·x̂ = y' identically, so nothing is ever detected.
+	f := topo.Fig1()
+	paths, rank, err := tomo.SelectPaths(f.G, f.Monitors, tomo.SelectOptions{Exhaustive: true, TargetPaths: 10})
+	if err != nil || rank != 10 {
+		t.Fatalf("rank=%d err=%v", rank, err)
+	}
+	sys, err := tomo.NewSystem(f.G, paths[:10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumPaths() != sys.NumLinks() {
+		t.Fatalf("system not square: %d×%d", sys.NumPaths(), sys.NumLinks())
+	}
+	d, err := New(sys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any observation vector — even a wild one — passes the check.
+	rng := rand.New(rand.NewSource(5))
+	y := make(la.Vector, sys.NumPaths())
+	for i := range y {
+		y[i] = rng.Float64() * 5000
+	}
+	rep, err := d.Inspect(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Detected {
+		t.Errorf("square-R detection fired (residual %g)", rep.ResidualNorm)
+	}
+	if !rep.SquareR {
+		t.Error("SquareR flag not set")
+	}
+}
+
+func TestInspectShapeError(t *testing.T) {
+	sc, _, _ := fig1Attack(t, 1, 10, false)
+	d, _ := New(sc.Sys, 0)
+	if _, err := d.Inspect(la.Vector{1, 2}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("short y: err = %v", err)
+	}
+}
+
+func TestCalibrate(t *testing.T) {
+	sc, _, _ := fig1Attack(t, 6, 10, false)
+	rng := rand.New(rand.NewSource(7))
+	clean, err := sc.CleanMeasurements()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clean runs with ±2 ms measurement noise.
+	var runs []la.Vector
+	for k := 0; k < 50; k++ {
+		y := clean.Clone()
+		for i := range y {
+			y[i] += rng.NormFloat64() * 2
+		}
+		runs = append(runs, y)
+	}
+	alpha, err := Calibrate(sc.Sys, runs, 1.0, 1.2)
+	if err != nil {
+		t.Fatalf("Calibrate: %v", err)
+	}
+	if alpha <= 0 {
+		t.Fatalf("alpha = %g", alpha)
+	}
+	// Zero false alarms on the calibration set by construction.
+	d, err := New(sc.Sys, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, y := range runs {
+		rep, err := d.Inspect(y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Detected {
+			t.Errorf("false alarm on calibration run %d", i)
+		}
+	}
+}
+
+func TestCalibrateErrors(t *testing.T) {
+	sc, _, _ := fig1Attack(t, 1, 10, false)
+	if _, err := Calibrate(nil, nil, 1, 1); !errors.Is(err, ErrBadInput) {
+		t.Errorf("nil system: err = %v", err)
+	}
+	if _, err := Calibrate(sc.Sys, nil, 1, 1); !errors.Is(err, ErrBadInput) {
+		t.Errorf("no samples: err = %v", err)
+	}
+	y, _ := sc.CleanMeasurements()
+	if _, err := Calibrate(sc.Sys, []la.Vector{y}, 0, 1); !errors.Is(err, ErrBadInput) {
+		t.Errorf("bad quantile: err = %v", err)
+	}
+	if _, err := Calibrate(sc.Sys, []la.Vector{{1}}, 1, 1); err == nil {
+		t.Error("short sample accepted")
+	}
+}

@@ -1,0 +1,107 @@
+package detect
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/la"
+	"repro/internal/tomo"
+)
+
+// Suspect is one node's leave-node-out consistency score. Lower scores
+// are more suspicious: if the node is the manipulator, every path that
+// avoids it is untouched (Constraint 1), so the sub-system fit on those
+// paths alone is perfectly consistent and the score collapses to ≈ 0.
+type Suspect struct {
+	Node graph.NodeID
+	// Score is the L1 residual of the node-avoiding sub-system fit,
+	// normalized by its excess path count (paths − rank). Lower is more
+	// suspicious.
+	Score float64
+	// ExcessPaths is how many redundant paths backed the score; small
+	// excess means weak evidence.
+	ExcessPaths int
+}
+
+// LocalizeOptions tune attacker localization.
+type LocalizeOptions struct {
+	// MinExcess is the minimum redundancy (paths − rank of the
+	// node-avoiding sub-system) required for a node to be scored;
+	// below it the consistency check has too few spare equations to
+	// mean anything. Zero means 3.
+	MinExcess int
+	// Ridge is the Tikhonov parameter for rank-deficient sub-system
+	// fits; ≤ 0 selects a scale-aware default.
+	Ridge float64
+}
+
+func (o LocalizeOptions) minExcess() int {
+	if o.MinExcess <= 0 {
+		return 3
+	}
+	return o.MinExcess
+}
+
+// Localize ranks candidate manipulator nodes from one manipulated
+// measurement vector using leave-node-out consistency: for each node v,
+// refit tomography on only the paths avoiding v and measure how
+// consistent they are among themselves. A single attacker (or a
+// colluding set whose paths one node covers) drives its own score to
+// ≈ 0 while innocent nodes keep inheriting the manipulation.
+//
+// Call it after Inspect has fired; on clean measurements every score is
+// ≈ 0 and the ranking is meaningless. Nodes whose exclusion leaves less
+// than MinExcess redundant paths are omitted (insufficient evidence) —
+// on very small systems that may be every node, in which case the
+// result is empty rather than misleading.
+func (d *Detector) Localize(yObserved la.Vector, opts LocalizeOptions) ([]Suspect, error) {
+	if len(yObserved) != d.sys.NumPaths() {
+		return nil, fmt.Errorf("detect: measurement vector has %d entries, want %d: %w",
+			len(yObserved), d.sys.NumPaths(), ErrBadInput)
+	}
+	g := d.sys.Graph()
+	var out []Suspect
+	for vi := 0; vi < g.NumNodes(); vi++ {
+		v := graph.NodeID(vi)
+		var paths []graph.Path
+		var ys la.Vector
+		for i, p := range d.sys.Paths() {
+			if !p.HasNode(v) {
+				paths = append(paths, p)
+				ys = append(ys, yObserved[i])
+			}
+		}
+		if len(paths) == 0 {
+			continue
+		}
+		sub, err := tomo.NewSystem(g, paths)
+		if err != nil {
+			return nil, fmt.Errorf("detect: localize node %d: %w", v, err)
+		}
+		excess := len(paths) - sub.Rank()
+		if excess < opts.minExcess() {
+			continue
+		}
+		xhat, err := tomo.EstimateDeficient(sub, ys, opts.Ridge)
+		if err != nil {
+			return nil, fmt.Errorf("detect: localize node %d: %w", v, err)
+		}
+		res, err := sub.Residual(xhat, ys)
+		if err != nil {
+			return nil, fmt.Errorf("detect: localize node %d: %w", v, err)
+		}
+		out = append(out, Suspect{
+			Node:        v,
+			Score:       res.Norm1() / float64(excess),
+			ExcessPaths: excess,
+		})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score < out[b].Score
+		}
+		return out[a].Node < out[b].Node
+	})
+	return out, nil
+}

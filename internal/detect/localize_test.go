@@ -1,0 +1,149 @@
+package detect
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/la"
+	"repro/internal/netsim"
+	"repro/internal/tomo"
+	"repro/internal/topo"
+)
+
+// ispSingleAttackerAttack builds the synthetic ISP environment and runs
+// a feasible single-attacker max-damage attack, retrying attackers until
+// one succeeds.
+func ispSingleAttackerAttack(t *testing.T, seed int64) (*tomo.System, graph.NodeID, *core.Result) {
+	t.Helper()
+	g, err := topo.ISP(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	_, paths, rank, err := tomo.PlaceMonitors(g, rng, tomo.PlaceOptions{
+		Initial: 8,
+		Select:  tomo.SelectOptions{PerPair: 6},
+	})
+	if err != nil || rank != g.NumLinks() {
+		t.Fatalf("placement rank=%d err=%v", rank, err)
+	}
+	sys, err := tomo.NewSystem(g, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 60; k++ {
+		attacker := graph.NodeID(rng.Intn(g.NumNodes()))
+		sc := &core.Scenario{
+			Sys:        sys,
+			Thresholds: tomo.DefaultThresholds(),
+			Attackers:  []graph.NodeID{attacker},
+			TrueX:      netsim.RoutineDelays(g, rng),
+		}
+		res, err := core.MaxDamage(sc, core.MaxDamageOptions{MaxVictims: 1, FirstFeasible: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Feasible {
+			return sys, attacker, res
+		}
+	}
+	t.Fatal("no feasible single-attacker draw in 60 tries")
+	return nil, 0, nil
+}
+
+func TestLocalizeFindsSingleAttacker(t *testing.T) {
+	sys, attacker, res := ispSingleAttackerAttack(t, 9)
+	d, err := New(sys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Inspect(res.YObserved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Detected {
+		t.Fatal("attack not even detected")
+	}
+	suspects, err := d.Localize(res.YObserved, LocalizeOptions{})
+	if err != nil {
+		t.Fatalf("Localize: %v", err)
+	}
+	if len(suspects) == 0 {
+		t.Fatal("no suspects scored")
+	}
+	if suspects[0].Node != attacker {
+		name, _ := sys.Graph().NodeName(suspects[0].Node)
+		want, _ := sys.Graph().NodeName(attacker)
+		t.Fatalf("top suspect %s, want %s (score %.3f)", name, want, suspects[0].Score)
+	}
+	// The true attacker's score should be near zero (the ridge fit
+	// leaves ~1e-5 of regularization residue) and clearly separated
+	// from the innocent runner-up.
+	if suspects[0].Score > 0.01 {
+		t.Errorf("attacker score %.6f, want ≈ 0", suspects[0].Score)
+	}
+	if len(suspects) > 1 && suspects[1].Score < 5*suspects[0].Score {
+		t.Errorf("runner-up score %.4f too close to attacker's %.6f — ranking ambiguous",
+			suspects[1].Score, suspects[0].Score)
+	}
+}
+
+func TestLocalizeAcrossSeeds(t *testing.T) {
+	hits := 0
+	const trials = 3
+	for seed := int64(20); seed < 20+trials; seed++ {
+		sys, attacker, res := ispSingleAttackerAttack(t, seed)
+		d, _ := New(sys, 0)
+		suspects, err := d.Localize(res.YObserved, LocalizeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(suspects) > 0 && suspects[0].Node == attacker {
+			hits++
+		}
+	}
+	if hits < trials-1 {
+		t.Errorf("localization hit %d/%d single attackers", hits, trials)
+	}
+}
+
+func TestLocalizeShapeError(t *testing.T) {
+	f := topo.Fig1()
+	paths, _, err := tomo.SelectPaths(f.G, f.Monitors, tomo.SelectOptions{Exhaustive: true, TargetPaths: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := tomo.NewSystem(f.G, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(sys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Localize(la.Vector{1}, LocalizeOptions{}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("short y: err = %v", err)
+	}
+}
+
+func TestLocalizeSuspectsSorted(t *testing.T) {
+	sys, _, res := ispSingleAttackerAttack(t, 31)
+	d, _ := New(sys, 0)
+	suspects, err := d.Localize(res.YObserved, LocalizeOptions{MinExcess: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(suspects); i++ {
+		if suspects[i].Score < suspects[i-1].Score {
+			t.Fatalf("suspects unsorted at %d", i)
+		}
+	}
+	for _, s := range suspects {
+		if s.ExcessPaths < 5 {
+			t.Errorf("suspect %d kept with excess %d < MinExcess", s.Node, s.ExcessPaths)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package detect
+
+import (
+	"fmt"
+
+	"repro/internal/la"
+)
+
+// Sequential accumulates consistency evidence across measurement rounds
+// (a CUSUM-style test). It exists to counter the α-evasive attacker
+// (core.Scenario.EvadeAlpha): a manipulation tuned to keep each round's
+// residual just under the single-round threshold still injects the SAME
+// bias every round, so the per-round residual mean stays near its
+// attack-free level plus a constant offset. Accumulating
+// (residual − drift) grows linearly under a persistent attack while
+// zero-mean measurement noise cancels, so the cumulative statistic
+// crosses any ceiling eventually.
+//
+//	S_0 = 0
+//	S_n = max(0, S_{n−1} + ‖R·x̂_n − y'_n‖₁ − Drift)
+//	alarm when S_n > Ceiling
+//
+// Drift should sit a little above the clean-round residual mean (e.g.
+// the Calibrate output at a mid quantile); Ceiling trades detection
+// delay against false alarms, as usual for CUSUM.
+type Sequential struct {
+	det     *Detector
+	drift   float64
+	ceiling float64
+	s       float64
+	rounds  int
+}
+
+// NewSequential wraps a detector with CUSUM accumulation. Drift must be
+// positive; Ceiling must be positive.
+func NewSequential(det *Detector, drift, ceiling float64) (*Sequential, error) {
+	if det == nil {
+		return nil, fmt.Errorf("detect: nil detector: %w", ErrBadInput)
+	}
+	if drift <= 0 || ceiling <= 0 {
+		return nil, fmt.Errorf("detect: drift %g and ceiling %g must be positive: %w", drift, ceiling, ErrBadInput)
+	}
+	return &Sequential{det: det, drift: drift, ceiling: ceiling}, nil
+}
+
+// SequentialReport is the outcome of one accumulated round.
+type SequentialReport struct {
+	// Round counts observations fed so far.
+	Round int
+	// Statistic is the current CUSUM value S_n.
+	Statistic float64
+	// RoundResidual is this round's ‖R·x̂ − y'‖₁.
+	RoundResidual float64
+	// Alarm is true once the statistic crosses the ceiling.
+	Alarm bool
+}
+
+// Observe feeds one measurement round and updates the statistic.
+func (s *Sequential) Observe(yObserved la.Vector) (*SequentialReport, error) {
+	rep, err := s.det.Inspect(yObserved)
+	if err != nil {
+		return nil, err
+	}
+	s.rounds++
+	s.s += rep.ResidualNorm - s.drift
+	if s.s < 0 {
+		s.s = 0
+	}
+	return &SequentialReport{
+		Round:         s.rounds,
+		Statistic:     s.s,
+		RoundResidual: rep.ResidualNorm,
+		Alarm:         s.s > s.ceiling,
+	}, nil
+}
+
+// Reset clears the accumulated statistic (e.g. after an investigated
+// alarm).
+func (s *Sequential) Reset() {
+	s.s = 0
+	s.rounds = 0
+}
+
+// Statistic returns the current CUSUM value.
+func (s *Sequential) Statistic() float64 { return s.s }

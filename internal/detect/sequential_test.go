@@ -1,0 +1,193 @@
+package detect
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/la"
+	"repro/internal/netsim"
+)
+
+// evasiveFig1Attack builds a Fig. 1 scenario and an α-evasive attack on
+// link 10 that stays under the given single-round budget.
+func evasiveFig1Attack(t *testing.T, seed int64, alpha float64) (*core.Scenario, *core.Result) {
+	t.Helper()
+	sc, _, f := fig1Attack(t, seed, 10, false)
+	_ = f
+	scEv := &core.Scenario{
+		Sys:        sc.Sys,
+		Thresholds: sc.Thresholds,
+		Attackers:  sc.Attackers,
+		TrueX:      sc.TrueX,
+		// The optimum saturates the budget, so a rational evader leaves
+		// 5% headroom to stay strictly under the operator's threshold.
+		EvadeAlpha: 0.95 * alpha,
+	}
+	fTopo := topoOf(t, scEv)
+	res, err := core.ChosenVictim(scEv, []graph.LinkID{fTopo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Skipf("evasive attack at α=%g infeasible on this draw", alpha)
+	}
+	return scEv, res
+}
+
+// topoOf digs out paper link 10 of the Fig. 1 graph inside sc.
+func topoOf(t *testing.T, sc *core.Scenario) graph.LinkID {
+	t.Helper()
+	g := sc.Sys.Graph()
+	d, ok := g.NodeByName("D")
+	if !ok {
+		t.Fatal("not a Fig1 graph")
+	}
+	m2, _ := g.NodeByName("M2")
+	l, ok := g.LinkBetween(d, m2)
+	if !ok {
+		t.Fatal("link 10 missing")
+	}
+	return l
+}
+
+func TestSequentialCatchesEvasiveAttack(t *testing.T) {
+	// The attacker stays under the per-round α = 3000, so the one-shot
+	// detector at that α never fires; CUSUM accumulates the persistent
+	// bias and alarms within a handful of rounds.
+	const alpha = 3000
+	sc, res := evasiveFig1Attack(t, 41, alpha)
+	det, err := New(sc.Sys, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := det.Inspect(res.YObserved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Detected {
+		t.Fatalf("single-round detector fired at residual %.1f; evasion failed", one.ResidualNorm)
+	}
+	// Drift a bit above the clean level (clean residual ≈ 0 without
+	// noise; use 10% of α), ceiling = 2α.
+	seq, err := NewSequential(det, 0.1*alpha, 2*alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	attackers := attackerSet(sc)
+	alarmed := 0
+	for round := 0; round < 10; round++ {
+		y, err := netsim.RunDelay(netsim.Config{
+			Graph:      sc.Sys.Graph(),
+			Paths:      sc.Sys.Paths(),
+			LinkDelays: sc.TrueX,
+			Jitter:     1, ProbesPerPath: 3, RNG: rng,
+			Plan: &netsim.AttackPlan{Attackers: attackers, ExtraDelay: res.M},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := seq.Observe(y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Alarm {
+			alarmed = rep.Round
+			break
+		}
+	}
+	if alarmed == 0 {
+		t.Fatalf("CUSUM never alarmed in 10 rounds (statistic %.1f)", seq.Statistic())
+	}
+	t.Logf("CUSUM alarmed at round %d", alarmed)
+}
+
+func TestSequentialNoFalseAlarmOnCleanRounds(t *testing.T) {
+	sc, _, _ := fig1Attack(t, 42, 10, false)
+	det, err := New(sc.Sys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drift above the noisy clean residual level.
+	rng := rand.New(rand.NewSource(6))
+	cleanResidual := func() float64 {
+		y, err := netsim.RunDelay(netsim.Config{
+			Graph: sc.Sys.Graph(), Paths: sc.Sys.Paths(), LinkDelays: sc.TrueX,
+			Jitter: 1, ProbesPerPath: 3, RNG: rng,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := det.Inspect(y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.ResidualNorm
+	}
+	var maxClean float64
+	for k := 0; k < 20; k++ {
+		if r := cleanResidual(); r > maxClean {
+			maxClean = r
+		}
+	}
+	seq, err := NewSequential(det, maxClean*1.2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 50; round++ {
+		y, err := netsim.RunDelay(netsim.Config{
+			Graph: sc.Sys.Graph(), Paths: sc.Sys.Paths(), LinkDelays: sc.TrueX,
+			Jitter: 1, ProbesPerPath: 3, RNG: rng,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := seq.Observe(y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Alarm {
+			t.Fatalf("false alarm at clean round %d (statistic %.1f)", rep.Round, rep.Statistic)
+		}
+	}
+}
+
+func TestSequentialResetAndValidation(t *testing.T) {
+	sc, _, _ := fig1Attack(t, 1, 10, false)
+	det, _ := New(sc.Sys, 0)
+	if _, err := NewSequential(nil, 1, 1); !errors.Is(err, ErrBadInput) {
+		t.Errorf("nil detector: err = %v", err)
+	}
+	if _, err := NewSequential(det, 0, 1); !errors.Is(err, ErrBadInput) {
+		t.Errorf("zero drift: err = %v", err)
+	}
+	if _, err := NewSequential(det, 1, 0); !errors.Is(err, ErrBadInput) {
+		t.Errorf("zero ceiling: err = %v", err)
+	}
+	seq, err := NewSequential(det, 1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _ := sc.CleanMeasurements()
+	if _, err := seq.Observe(la.Vector{1}); err == nil {
+		t.Error("short y accepted")
+	}
+	if _, err := seq.Observe(y); err != nil {
+		t.Fatal(err)
+	}
+	seq.Reset()
+	if seq.Statistic() != 0 {
+		t.Error("Reset did not clear statistic")
+	}
+}
+
+func attackerSet(sc *core.Scenario) map[graph.NodeID]bool {
+	set := make(map[graph.NodeID]bool, len(sc.Attackers))
+	for _, v := range sc.Attackers {
+		set[v] = true
+	}
+	return set
+}

@@ -1,0 +1,30 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCentralityStudy(t *testing.T) {
+	r, err := CentralityStudy(CentralityStudyConfig{Kind: Wireless, Seed: 1, Trials: 12})
+	if err != nil {
+		t.Fatalf("CentralityStudy: %v", err)
+	}
+	for _, arm := range []CentralityArm{r.Uniform, r.Central} {
+		if arm.SuccessRate < 0 || arm.SuccessRate > 1 {
+			t.Errorf("central=%v: success %g", arm.Central, arm.SuccessRate)
+		}
+		if arm.MeanControlledPaths < 0 {
+			t.Errorf("central=%v: controlled paths %g", arm.Central, arm.MeanControlledPaths)
+		}
+	}
+	// High-betweenness attackers must control at least as many paths on
+	// average — that is what betweenness measures.
+	if r.Central.MeanControlledPaths < r.Uniform.MeanControlledPaths {
+		t.Errorf("central attackers control fewer paths (%.1f) than uniform (%.1f)",
+			r.Central.MeanControlledPaths, r.Uniform.MeanControlledPaths)
+	}
+	if !strings.Contains(r.String(), "betweenness") {
+		t.Error("String output malformed")
+	}
+}

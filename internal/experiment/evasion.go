@@ -1,0 +1,95 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// EvasionPoint is one point of the damage-vs-threshold trade-off.
+type EvasionPoint struct {
+	// Alpha is the residual budget (= the operator's detection
+	// threshold the attacker must stay under).
+	Alpha float64 `json:"alpha"`
+	// Feasible reports whether any attack fits under the budget.
+	Feasible bool `json:"feasible"`
+	// Damage is the maximum damage achievable under the budget.
+	Damage float64 `json:"damage"`
+	// Residual is the attack's actual ‖Rx̂ − y'‖₁.
+	Residual float64 `json:"residual"`
+}
+
+// EvasionStudyResult sweeps the α-evasive attack of core.Scenario
+// .EvadeAlpha on the imperfectly cut link 10: how much damage can an
+// attacker do while staying under a detector tuned to each α? This
+// quantifies the security cost of a loose threshold — every ms of alarm
+// headroom is attack budget (an extension of Remark 4; see DESIGN.md §7).
+type EvasionStudyResult struct {
+	Points []EvasionPoint `json:"points"`
+	// PlainDamage is the unconstrained (fully detectable) optimum, the
+	// α → ∞ asymptote.
+	PlainDamage float64 `json:"plain_damage"`
+}
+
+// EvasionStudy runs the sweep on the Fig. 1 network.
+func EvasionStudy(seed int64, alphas []float64) (*EvasionStudyResult, error) {
+	if len(alphas) == 0 {
+		alphas = []float64{50, 100, 200, 500, 1000, 2000, 5000, 10000}
+	}
+	env, err := NewFig1Env(seed)
+	if err != nil {
+		return nil, err
+	}
+	victim := []graph.LinkID{env.Topo.PaperLink[10]}
+	plain, err := core.ChosenVictim(env.Scenario, victim)
+	if err != nil {
+		return nil, err
+	}
+	if !plain.Feasible {
+		return nil, fmt.Errorf("experiment: evasion baseline infeasible")
+	}
+	out := &EvasionStudyResult{PlainDamage: plain.Damage}
+	for _, alpha := range alphas {
+		sc := &core.Scenario{
+			Sys:        env.Sys,
+			Thresholds: env.Scenario.Thresholds,
+			Attackers:  env.Scenario.Attackers,
+			TrueX:      env.Scenario.TrueX,
+			EvadeAlpha: alpha,
+		}
+		res, err := core.ChosenVictim(sc, victim)
+		if err != nil {
+			return nil, err
+		}
+		pt := EvasionPoint{Alpha: alpha, Feasible: res.Feasible}
+		if res.Feasible {
+			pt.Damage = res.Damage
+			resid, err := sc.Sys.Residual(res.XHat, res.YObserved)
+			if err != nil {
+				return nil, err
+			}
+			pt.Residual = resid.Norm1()
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
+// String renders the sweep as a table.
+func (r *EvasionStudyResult) String() string {
+	var b strings.Builder
+	b.WriteString("Evasion study: max damage while staying under the detection threshold α\n")
+	b.WriteString("(chosen-victim on the imperfectly cut link 10 of the Fig. 1 network)\n")
+	fmt.Fprintf(&b, "%-12s %10s %14s %14s\n", "α (ms)", "feasible", "damage (ms)", "residual (ms)")
+	for _, p := range r.Points {
+		if p.Feasible {
+			fmt.Fprintf(&b, "%-12.0f %10v %14.1f %14.1f\n", p.Alpha, p.Feasible, p.Damage, p.Residual)
+		} else {
+			fmt.Fprintf(&b, "%-12.0f %10v %14s %14s\n", p.Alpha, p.Feasible, "—", "—")
+		}
+	}
+	fmt.Fprintf(&b, "unconstrained (detectable) damage: %.1f ms\n", r.PlainDamage)
+	return b.String()
+}

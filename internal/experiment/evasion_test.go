@@ -1,0 +1,43 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEvasionStudy(t *testing.T) {
+	r, err := EvasionStudy(1, nil)
+	if err != nil {
+		t.Fatalf("EvasionStudy: %v", err)
+	}
+	if len(r.Points) == 0 {
+		t.Fatal("no sweep points")
+	}
+	if r.PlainDamage <= 0 {
+		t.Fatal("no baseline damage")
+	}
+	prev := -1.0
+	anyFeasible := false
+	for _, p := range r.Points {
+		if !p.Feasible {
+			continue
+		}
+		anyFeasible = true
+		if p.Residual > p.Alpha+1e-6 {
+			t.Errorf("α=%g: residual %g over budget", p.Alpha, p.Residual)
+		}
+		if p.Damage < prev-1e-6 {
+			t.Errorf("α=%g: damage %g below smaller budget's %g (should be monotone)", p.Alpha, p.Damage, prev)
+		}
+		prev = p.Damage
+		if p.Damage > r.PlainDamage+1e-6 {
+			t.Errorf("α=%g: evasive damage %g beats unconstrained %g", p.Alpha, p.Damage, r.PlainDamage)
+		}
+	}
+	if !anyFeasible {
+		t.Error("no budget was feasible")
+	}
+	if !strings.Contains(r.String(), "Evasion study") {
+		t.Error("String output malformed")
+	}
+}

@@ -1,0 +1,95 @@
+// Package experiment reproduces the paper's evaluation (Section V):
+// one runner per figure, each returning a structured result plus a
+// text rendering whose rows/series match what the paper plots.
+//
+//	Fig. 4 — chosen-victim scapegoating on the Fig. 1 network
+//	Fig. 5 — maximum-damage scapegoating on the Fig. 1 network
+//	Fig. 6 — obfuscation on the Fig. 1 network
+//	Fig. 7 — chosen-victim success probability vs attack presence ratio
+//	Fig. 8 — single-attacker max-damage and obfuscation success
+//	Fig. 9 — detection ratios under perfect and imperfect cuts
+//
+// All runners are deterministic for a given seed.
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/la"
+	"repro/internal/netsim"
+	"repro/internal/tomo"
+	"repro/internal/topo"
+)
+
+// Fig1Env is the assembled simple-network environment shared by the
+// Fig. 4–6 experiments: topology, 23-path identifiable system, routine
+// delays, attackers {B, C}.
+type Fig1Env struct {
+	Topo     *topo.Fig1Topology
+	Sys      *tomo.System
+	Scenario *core.Scenario
+}
+
+// NewFig1Env builds the environment with routine U[1,20] ms delays drawn
+// from the seed.
+func NewFig1Env(seed int64) (*Fig1Env, error) {
+	f := topo.Fig1()
+	paths, rank, err := tomo.SelectPaths(f.G, f.Monitors, tomo.SelectOptions{Exhaustive: true, TargetPaths: 23})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig1 paths: %w", err)
+	}
+	if rank != f.G.NumLinks() {
+		return nil, fmt.Errorf("experiment: fig1 rank %d, want %d", rank, f.G.NumLinks())
+	}
+	sys, err := tomo.NewSystem(f.G, paths)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig1 system: %w", err)
+	}
+	x := netsim.RoutineDelays(f.G, rand.New(rand.NewSource(seed)))
+	sc := &core.Scenario{
+		Sys:        sys,
+		Thresholds: tomo.DefaultThresholds(),
+		Attackers:  f.Attackers,
+		TrueX:      x,
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("experiment: fig1 scenario: %w", err)
+	}
+	return &Fig1Env{Topo: f, Sys: sys, Scenario: sc}, nil
+}
+
+// LinkSeries is a per-link value series keyed by the paper's 1-based
+// link numbers — the bar heights of Figs. 4–6.
+type LinkSeries struct {
+	// Estimated[k] is the estimated metric of paper link k (index 0
+	// unused).
+	Estimated [11]float64 `json:"estimated"`
+	// State[k] is the classification of paper link k.
+	State [11]tomo.State `json:"state"`
+}
+
+func newLinkSeries(env *Fig1Env, xhat la.Vector, states []tomo.State) LinkSeries {
+	var s LinkSeries
+	for num := 1; num <= 10; num++ {
+		id := env.Topo.PaperLink[num]
+		s.Estimated[num] = xhat[id]
+		s.State[num] = states[id]
+	}
+	return s
+}
+
+// pickRandomAttackers draws k distinct random nodes.
+func pickRandomAttackers(g *graph.Graph, k int, rng *rand.Rand) []graph.NodeID {
+	perm := rng.Perm(g.NumNodes())
+	out := make([]graph.NodeID, 0, k)
+	for _, i := range perm {
+		if len(out) == k {
+			break
+		}
+		out = append(out, graph.NodeID(i))
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tomo"
+)
+
+func TestNewFig1Env(t *testing.T) {
+	env, err := NewFig1Env(1)
+	if err != nil {
+		t.Fatalf("NewFig1Env: %v", err)
+	}
+	if env.Sys.NumPaths() != 23 {
+		t.Errorf("paths = %d, want 23", env.Sys.NumPaths())
+	}
+	if !env.Sys.Identifiable() {
+		t.Error("Fig1 system not identifiable")
+	}
+	for i, x := range env.Scenario.TrueX {
+		if x < 1 || x > 20 {
+			t.Errorf("TrueX[%d] = %g outside routine [1,20]", i, x)
+		}
+	}
+}
+
+func TestFig4ShapeTargets(t *testing.T) {
+	// Paper Fig. 4: victim link 10 crosses the 800 ms abnormal
+	// threshold, the attackers' links 2–8 stay normal, and the attack is
+	// feasible despite the imperfect cut.
+	r, err := Fig4(1)
+	if err != nil {
+		t.Fatalf("Fig4: %v", err)
+	}
+	if !r.Feasible {
+		t.Fatal("Fig4 infeasible")
+	}
+	if !r.VictimAbnormal {
+		t.Errorf("victim link 10 = %.1f ms (%v), want abnormal",
+			r.Links.Estimated[10], r.Links.State[10])
+	}
+	if !r.AttackersNormal {
+		t.Error("attacker links not all normal")
+	}
+	// Confined: no innocent link besides the victim is abnormal.
+	for num := 1; num <= 9; num++ {
+		if r.Links.State[num] == tomo.Abnormal {
+			t.Errorf("link %d abnormal in Fig4 (confined run)", num)
+		}
+	}
+	if r.AvgPathDelay <= 0 || r.Damage <= 0 {
+		t.Error("missing damage/avg delay")
+	}
+	if !strings.Contains(r.String(), "abnormal") {
+		t.Error("String output missing states")
+	}
+}
+
+func TestFig5ShapeTargets(t *testing.T) {
+	// Paper Fig. 5: highest average end-to-end delay of all attacks,
+	// attacker links normal, and more than one link may cross the
+	// threshold (victim + side effect, as in the paper's links 1 and 9).
+	r5, err := Fig5(1)
+	if err != nil {
+		t.Fatalf("Fig5: %v", err)
+	}
+	if !r5.Feasible {
+		t.Fatal("Fig5 infeasible")
+	}
+	if !r5.AttackersNormal {
+		t.Error("attacker links not all normal")
+	}
+	if len(r5.AbnormalNumbers) == 0 {
+		t.Fatal("no abnormal links in max-damage run")
+	}
+	r4, err := Fig4(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r5.AvgPathDelay < r4.AvgPathDelay-1e-6 {
+		t.Errorf("max-damage avg delay %.2f below chosen-victim %.2f; paper reports it highest",
+			r5.AvgPathDelay, r4.AvgPathDelay)
+	}
+	if r5.Damage < r4.Damage-1e-6 {
+		t.Errorf("max-damage damage %.1f below chosen-victim %.1f", r5.Damage, r4.Damage)
+	}
+	// Victims never include attacker links 2–8.
+	for _, v := range r5.VictimNumbers {
+		if v >= 2 && v <= 8 {
+			t.Errorf("victim %d is an attacker link", v)
+		}
+	}
+	if !strings.Contains(r5.String(), "abnormal links") {
+		t.Error("String output missing abnormal list")
+	}
+}
+
+func TestFig6ShapeTargets(t *testing.T) {
+	// Paper Fig. 6: every estimated delay lies in the uncertain band —
+	// no link clearly normal or abnormal.
+	r, err := Fig6(1)
+	if err != nil {
+		t.Fatalf("Fig6: %v", err)
+	}
+	if !r.Feasible {
+		t.Fatal("Fig6 infeasible")
+	}
+	if !r.AllTargetsUncertain {
+		t.Error("some L_o link not uncertain (violates Eq. 10)")
+	}
+	if r.UncertainCount < 8 {
+		t.Errorf("only %d/10 links uncertain; paper shows all in the band", r.UncertainCount)
+	}
+	th := tomo.DefaultThresholds()
+	for num := 1; num <= 10; num++ {
+		if r.Links.State[num] == tomo.Uncertain {
+			x := r.Links.Estimated[num]
+			if x < th.Lower || x > th.Upper {
+				t.Errorf("link %d claims uncertain but estimate %.1f outside band", num, x)
+			}
+		}
+	}
+}
+
+func TestFig6AcrossSeeds(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		r, err := Fig6(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !r.Feasible {
+			t.Errorf("seed %d infeasible", seed)
+		}
+	}
+}
+
+func TestFig456Deterministic(t *testing.T) {
+	a, err := Fig4(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig4(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Damage != b.Damage || a.AvgPathDelay != b.AvgPathDelay {
+		t.Error("Fig4 not deterministic for equal seeds")
+	}
+}
+
+func TestResultStringRenderers(t *testing.T) {
+	// Feasible renderings carry the link table; infeasible ones say so.
+	r4, err := Fig4(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r4.String(), "link") {
+		t.Error("Fig4 String missing table")
+	}
+	if s := (&Fig4Result{}).String(); !strings.Contains(s, "INFEASIBLE") {
+		t.Errorf("infeasible Fig4 String = %q", s)
+	}
+	if s := (&Fig5Result{}).String(); !strings.Contains(s, "INFEASIBLE") {
+		t.Errorf("infeasible Fig5 String = %q", s)
+	}
+	if s := (&Fig6Result{}).String(); !strings.Contains(s, "INFEASIBLE") {
+		t.Errorf("infeasible Fig6 String = %q", s)
+	}
+	r6, err := Fig6(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r6.String(), "uncertain links") {
+		t.Error("Fig6 String missing summary")
+	}
+	if s := (&LossStudyResult{}).String(); !strings.Contains(s, "INFEASIBLE") {
+		t.Errorf("infeasible loss String = %q", s)
+	}
+}

@@ -1,0 +1,210 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/tomo"
+)
+
+// Fig4Result reproduces Fig. 4: chosen-victim scapegoating of link 10
+// (which {B, C} do not perfectly cut) on the Fig. 1 network.
+type Fig4Result struct {
+	Links        LinkSeries `json:"links"`
+	Feasible     bool       `json:"feasible"`
+	Damage       float64    `json:"damage"`
+	AvgPathDelay float64    `json:"avg_path_delay"`
+	// VictimAbnormal and AttackersNormal summarize the attack goals.
+	VictimAbnormal  bool `json:"victim_abnormal"`
+	AttackersNormal bool `json:"attackers_normal"`
+}
+
+// Fig4 runs the chosen-victim experiment of Fig. 4.
+func Fig4(seed int64) (*Fig4Result, error) {
+	env, err := NewFig1Env(seed)
+	if err != nil {
+		return nil, err
+	}
+	victim := env.Topo.PaperLink[10]
+	// The paper's Fig. 4 shows a single spike at the victim; confine
+	// third links so no innocent side-effect link crosses b_u.
+	env.Scenario.ConfineOthers = true
+	res, err := core.ChosenVictim(env.Scenario, []graph.LinkID{victim})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig4: %w", err)
+	}
+	out := &Fig4Result{Feasible: res.Feasible}
+	if !res.Feasible {
+		return out, nil
+	}
+	out.Links = newLinkSeries(env, res.XHat, res.States)
+	out.Damage = res.Damage
+	out.AvgPathDelay = res.AvgPathMetric
+	out.VictimAbnormal = res.States[victim] == tomo.Abnormal
+	out.AttackersNormal = attackersAllNormal(env, res)
+	return out, nil
+}
+
+// Fig5Result reproduces Fig. 5: maximum-damage scapegoating on the
+// Fig. 1 network. In the paper links 1 and 9 end up abnormal with the
+// highest average end-to-end delay of all attacks.
+type Fig5Result struct {
+	Links         LinkSeries `json:"links"`
+	Feasible      bool       `json:"feasible"`
+	Damage        float64    `json:"damage"`
+	AvgPathDelay  float64    `json:"avg_path_delay"`
+	VictimNumbers []int      `json:"victim_numbers"` // paper link numbers of the found victims
+	// AbnormalNumbers are all links classified abnormal — the paper's
+	// Fig. 5 shows two (victim plus side effect).
+	AbnormalNumbers []int `json:"abnormal_numbers"`
+	AttackersNormal bool  `json:"attackers_normal"`
+}
+
+// Fig5 runs the maximum-damage experiment of Fig. 5.
+func Fig5(seed int64) (*Fig5Result, error) {
+	env, err := NewFig1Env(seed)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.MaxDamage(env.Scenario, core.MaxDamageOptions{MaxVictims: 2})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig5: %w", err)
+	}
+	out := &Fig5Result{Feasible: res.Feasible}
+	if !res.Feasible {
+		return out, nil
+	}
+	out.Links = newLinkSeries(env, res.XHat, res.States)
+	out.Damage = res.Damage
+	out.AvgPathDelay = res.AvgPathMetric
+	out.AttackersNormal = attackersAllNormal(env, res)
+	for _, v := range res.Victims {
+		out.VictimNumbers = append(out.VictimNumbers, paperNumber(env, v))
+	}
+	for num := 1; num <= 10; num++ {
+		if out.Links.State[num] == tomo.Abnormal {
+			out.AbnormalNumbers = append(out.AbnormalNumbers, num)
+		}
+	}
+	return out, nil
+}
+
+// Fig6Result reproduces Fig. 6: obfuscation on the Fig. 1 network —
+// every manipulated link lands in the uncertain band.
+type Fig6Result struct {
+	Links        LinkSeries `json:"links"`
+	Feasible     bool       `json:"feasible"`
+	Damage       float64    `json:"damage"`
+	AvgPathDelay float64    `json:"avg_path_delay"`
+	// UncertainCount is how many of the 10 links estimate uncertain.
+	UncertainCount int `json:"uncertain_count"`
+	// AllTargetsUncertain reports whether every link in L_s ∪ L_m is
+	// uncertain (Eq. 10).
+	AllTargetsUncertain bool `json:"all_targets_uncertain"`
+}
+
+// Fig6 runs the obfuscation experiment of Fig. 6.
+func Fig6(seed int64) (*Fig6Result, error) {
+	env, err := NewFig1Env(seed)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Obfuscate(env.Scenario, core.ObfuscationOptions{MinVictims: 1})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig6: %w", err)
+	}
+	out := &Fig6Result{Feasible: res.Feasible}
+	if !res.Feasible {
+		return out, nil
+	}
+	out.Links = newLinkSeries(env, res.XHat, res.States)
+	out.Damage = res.Damage
+	out.AvgPathDelay = res.AvgPathMetric
+	for num := 1; num <= 10; num++ {
+		if out.Links.State[num] == tomo.Uncertain {
+			out.UncertainCount++
+		}
+	}
+	out.AllTargetsUncertain = true
+	links, err := env.Scenario.AttackerLinks()
+	if err != nil {
+		return nil, err
+	}
+	for l := range links {
+		if res.States[l] != tomo.Uncertain {
+			out.AllTargetsUncertain = false
+		}
+	}
+	for _, l := range res.Victims {
+		if res.States[l] != tomo.Uncertain {
+			out.AllTargetsUncertain = false
+		}
+	}
+	return out, nil
+}
+
+func attackersAllNormal(env *Fig1Env, res *core.Result) bool {
+	links, err := env.Scenario.AttackerLinks()
+	if err != nil {
+		return false
+	}
+	for l := range links {
+		if res.States[l] != tomo.Normal {
+			return false
+		}
+	}
+	return true
+}
+
+func paperNumber(env *Fig1Env, id graph.LinkID) int {
+	for num := 1; num <= 10; num++ {
+		if env.Topo.PaperLink[num] == id {
+			return num
+		}
+	}
+	return -1
+}
+
+// RenderLinkSeries renders a Fig. 4/5/6-style bar table: link number,
+// estimated delay, state.
+func RenderLinkSeries(title string, s LinkSeries) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-6s %12s  %s\n", "link", "est. delay", "state")
+	for num := 1; num <= 10; num++ {
+		fmt.Fprintf(&b, "%-6d %9.2f ms  %s\n", num, s.Estimated[num], s.State[num])
+	}
+	return b.String()
+}
+
+// String renders the Fig. 4 result as the figure's data table.
+func (r *Fig4Result) String() string {
+	if !r.Feasible {
+		return "Fig. 4 chosen-victim: INFEASIBLE\n"
+	}
+	return RenderLinkSeries("Fig. 4 chosen-victim scapegoating of link 10", r.Links) +
+		fmt.Sprintf("damage=%.1f ms  avg end-to-end delay=%.2f ms  victim abnormal=%v  attackers normal=%v\n",
+			r.Damage, r.AvgPathDelay, r.VictimAbnormal, r.AttackersNormal)
+}
+
+// String renders the Fig. 5 result.
+func (r *Fig5Result) String() string {
+	if !r.Feasible {
+		return "Fig. 5 maximum-damage: INFEASIBLE\n"
+	}
+	return RenderLinkSeries("Fig. 5 maximum-damage scapegoating", r.Links) +
+		fmt.Sprintf("victims=%v  abnormal links=%v  damage=%.1f ms  avg end-to-end delay=%.2f ms  attackers normal=%v\n",
+			r.VictimNumbers, r.AbnormalNumbers, r.Damage, r.AvgPathDelay, r.AttackersNormal)
+}
+
+// String renders the Fig. 6 result.
+func (r *Fig6Result) String() string {
+	if !r.Feasible {
+		return "Fig. 6 obfuscation: INFEASIBLE\n"
+	}
+	return RenderLinkSeries("Fig. 6 obfuscation", r.Links) +
+		fmt.Sprintf("uncertain links=%d/10  all targets uncertain=%v  damage=%.1f ms  avg end-to-end delay=%.2f ms\n",
+			r.UncertainCount, r.AllTargetsUncertain, r.Damage, r.AvgPathDelay)
+}

@@ -1,0 +1,262 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/netsim"
+	"repro/internal/tomo"
+	"repro/internal/topo"
+)
+
+// NetworkKind selects the evaluation topology family of Section V-C.
+type NetworkKind int
+
+// Topology families used by Figs. 7–9.
+const (
+	// Wireline is the synthetic Rocketfuel-AS1221-like ISP map.
+	Wireline NetworkKind = iota + 1
+	// Wireless is the 100-node λ=5 random geometric graph.
+	Wireless
+)
+
+// String names the network kind.
+func (k NetworkKind) String() string {
+	switch k {
+	case Wireline:
+		return "wireline"
+	case Wireless:
+		return "wireless"
+	default:
+		return fmt.Sprintf("NetworkKind(%d)", int(k))
+	}
+}
+
+// Env is an assembled large-network tomography environment.
+type Env struct {
+	Kind     NetworkKind
+	G        *graph.Graph
+	Monitors []graph.NodeID
+	Sys      *tomo.System
+}
+
+// NewEnv builds a monitored, identifiable tomography system on the
+// requested topology family. Monitor placement follows the random
+// minimum-placement-style growth of tomo.PlaceMonitors.
+func NewEnv(kind NetworkKind, seed int64) (*Env, error) {
+	var (
+		g   *graph.Graph
+		err error
+	)
+	switch kind {
+	case Wireline:
+		g, err = topo.ISP(seed)
+	case Wireless:
+		g, _, err = topo.Wireless(seed)
+	default:
+		return nil, fmt.Errorf("experiment: unknown network kind %d", int(kind))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %v topology: %w", kind, err)
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	monitors, paths, rank, err := tomo.PlaceMonitors(g, rng, tomo.PlaceOptions{
+		Initial: 8,
+		Select:  tomo.SelectOptions{PerPair: 6},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %v placement: %w", kind, err)
+	}
+	if rank != g.NumLinks() {
+		return nil, fmt.Errorf("experiment: %v placement reached rank %d of %d", kind, rank, g.NumLinks())
+	}
+	sys, err := tomo.NewSystem(g, paths)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %v system: %w", kind, err)
+	}
+	return &Env{Kind: kind, G: g, Monitors: monitors, Sys: sys}, nil
+}
+
+// Fig7Config parameterizes the success-probability sweep.
+type Fig7Config struct {
+	// Kind is the topology family.
+	Kind NetworkKind
+	// Seed drives topology, placement, and trials.
+	Seed int64
+	// Trials is the number of random attack attempts (default 200).
+	Trials int
+	// MaxAttackers bounds the attacker-set size drawn per trial
+	// (uniform on 1..MaxAttackers; default 4).
+	MaxAttackers int
+}
+
+func (c Fig7Config) trials() int {
+	if c.Trials <= 0 {
+		return 200
+	}
+	return c.Trials
+}
+
+func (c Fig7Config) maxAttackers() int {
+	if c.MaxAttackers <= 0 {
+		return 4
+	}
+	return c.MaxAttackers
+}
+
+// Fig7Bin is one point of the Fig. 7 curve: trials whose attack presence
+// ratio fell into [Lo, Hi) and the fraction that succeeded.
+type Fig7Bin struct {
+	Lo          float64 `json:"lo"`
+	Hi          float64 `json:"hi"`
+	Trials      int     `json:"trials"`
+	Successes   int     `json:"successes"`
+	SuccessRate float64 `json:"success_rate"`
+}
+
+// Fig7Result is the success-probability-vs-presence-ratio curve.
+type Fig7Result struct {
+	Kind NetworkKind `json:"kind"`
+	Bins []Fig7Bin   `json:"bins"`
+	// Monotone reports whether the success rate is non-decreasing
+	// across populated bins — Theorem 2's prediction.
+	Monotone bool `json:"monotone"`
+}
+
+// Fig7 sweeps random chosen-victim attacks and bins success by attack
+// presence ratio, reproducing Fig. 7 for one topology family.
+func Fig7(cfg Fig7Config) (*Fig7Result, error) {
+	env, err := NewEnv(cfg.Kind, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1000))
+	const nBins = 10
+	bins := make([]Fig7Bin, nBins)
+	for b := range bins {
+		bins[b].Lo = float64(b) / nBins
+		bins[b].Hi = float64(b+1) / nBins
+	}
+	for trial := 0; trial < cfg.trials(); trial++ {
+		victim, attackers, ok := sampleVictimAndAttackers(env, cfg.maxAttackers(), rng)
+		if !ok {
+			continue
+		}
+		ratio, err := core.PresenceRatio(env.Sys, attackers, []graph.LinkID{victim})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: fig7 trial %d: %w", trial, err)
+		}
+		sc := &core.Scenario{
+			Sys:        env.Sys,
+			Thresholds: tomo.DefaultThresholds(),
+			Attackers:  attackers,
+			TrueX:      netsim.RoutineDelays(env.G, rng),
+			// Scapegoating should leave the victim as the unambiguous
+			// root cause; without confinement, least squares lets far-
+			// away manipulation smear onto the victim's estimate and
+			// low-presence attacks "succeed" by making half the network
+			// look broken.
+			ConfineOthers: true,
+		}
+		res, err := core.ChosenVictim(sc, []graph.LinkID{victim})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: fig7 trial %d: %w", trial, err)
+		}
+		b := int(ratio * nBins)
+		if b >= nBins {
+			b = nBins - 1
+		}
+		bins[b].Trials++
+		if res.Feasible {
+			bins[b].Successes++
+		}
+	}
+	out := &Fig7Result{Kind: cfg.Kind, Bins: bins, Monotone: true}
+	prev := -1.0
+	for b := range bins {
+		if bins[b].Trials > 0 {
+			bins[b].SuccessRate = float64(bins[b].Successes) / float64(bins[b].Trials)
+			if bins[b].SuccessRate < prev {
+				out.Monotone = false
+			}
+			prev = bins[b].SuccessRate
+		}
+	}
+	return out, nil
+}
+
+// sampleVictimAndAttackers draws one Fig. 7 trial: a random victim link,
+// then an attacker set stratified to cover the presence-ratio axis —
+// purely random attackers almost never sit on a specific victim's
+// measurement paths, which would leave the paper's 50–100% ratio range
+// unpopulated. Half the trials draw attackers from nodes on the victim's
+// paths (high ratios), the rest mix path nodes with arbitrary ones.
+// Attackers incident to the victim are excluded (Eq. 7 demands
+// L_m ∩ L_s = ∅).
+func sampleVictimAndAttackers(env *Env, maxAttackers int, rng *rand.Rand) (graph.LinkID, []graph.NodeID, bool) {
+	victim := graph.LinkID(rng.Intn(env.G.NumLinks()))
+	vl, err := env.G.Link(victim)
+	if err != nil {
+		return 0, nil, false
+	}
+	// Nodes on the victim's measurement paths, excluding its endpoints.
+	onPaths := make(map[graph.NodeID]bool)
+	for _, pi := range env.Sys.PathsWithLink(victim) {
+		for _, v := range env.Sys.Paths()[pi].Nodes {
+			if v != vl.A && v != vl.B {
+				onPaths[v] = true
+			}
+		}
+	}
+	if len(onPaths) == 0 {
+		return 0, nil, false
+	}
+	pathNodes := make([]graph.NodeID, 0, len(onPaths))
+	for _, v := range env.G.Nodes() { // deterministic order
+		if onPaths[v] {
+			pathNodes = append(pathNodes, v)
+		}
+	}
+	k := 1 + rng.Intn(maxAttackers)
+	seen := make(map[graph.NodeID]bool)
+	var attackers []graph.NodeID
+	add := func(v graph.NodeID) {
+		if !seen[v] && v != vl.A && v != vl.B {
+			seen[v] = true
+			attackers = append(attackers, v)
+		}
+	}
+	fromPaths := k
+	if rng.Intn(2) == 0 {
+		fromPaths = rng.Intn(k + 1) // mixed draw for low/mid ratios
+	}
+	for i := 0; i < fromPaths*3 && len(attackers) < fromPaths; i++ {
+		add(pathNodes[rng.Intn(len(pathNodes))])
+	}
+	for i := 0; i < k*3 && len(attackers) < k; i++ {
+		add(graph.NodeID(rng.Intn(env.G.NumNodes())))
+	}
+	if len(attackers) == 0 {
+		return 0, nil, false
+	}
+	return victim, attackers, true
+}
+
+// String renders the Fig. 7 curve as a table.
+func (r *Fig7Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 7 chosen-victim success probability vs attack presence ratio (%v)\n", r.Kind)
+	fmt.Fprintf(&b, "%-14s %8s %10s %12s\n", "ratio bin", "trials", "successes", "success rate")
+	for _, bin := range r.Bins {
+		if bin.Trials == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "[%.1f, %.1f)    %8d %10d %11.1f%%\n",
+			bin.Lo, bin.Hi, bin.Trials, bin.Successes, 100*bin.SuccessRate)
+	}
+	fmt.Fprintf(&b, "monotone non-decreasing: %v\n", r.Monotone)
+	return b.String()
+}

@@ -1,0 +1,134 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewEnvWireless(t *testing.T) {
+	env, err := NewEnv(Wireless, 1)
+	if err != nil {
+		t.Fatalf("NewEnv: %v", err)
+	}
+	if !env.Sys.Identifiable() {
+		t.Error("wireless system not identifiable")
+	}
+	if env.Sys.NumPaths() <= env.Sys.NumLinks() {
+		t.Errorf("R is %d×%d; detection needs a non-square system",
+			env.Sys.NumPaths(), env.Sys.NumLinks())
+	}
+	if len(env.Monitors) < 2 {
+		t.Errorf("monitors = %d", len(env.Monitors))
+	}
+}
+
+func TestNewEnvUnknownKind(t *testing.T) {
+	if _, err := NewEnv(NetworkKind(99), 1); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestFig7ShapeTargets(t *testing.T) {
+	// Theorem 2 / Fig. 7 shape: success probability rises with the
+	// attack presence ratio; a perfect cut (ratio 1) always succeeds.
+	r, err := Fig7(Fig7Config{Kind: Wireless, Seed: 1, Trials: 80})
+	if err != nil {
+		t.Fatalf("Fig7: %v", err)
+	}
+	var low, lowN, high, highN int
+	topBinSuccess, topBinTrials := 0, 0
+	for _, b := range r.Bins {
+		switch {
+		case b.Hi <= 0.4:
+			low += b.Successes
+			lowN += b.Trials
+		case b.Lo >= 0.6 && b.Hi < 1.0:
+			high += b.Successes
+			highN += b.Trials
+		case b.Hi >= 1.0:
+			topBinSuccess += b.Successes
+			topBinTrials += b.Trials
+		}
+	}
+	if topBinTrials == 0 {
+		t.Fatal("no trials in the top ratio bin")
+	}
+	if topBinSuccess != topBinTrials {
+		t.Errorf("top bin success %d/%d; Theorem 1 demands 100%% at ratio 1",
+			topBinSuccess, topBinTrials)
+	}
+	if lowN > 0 && highN > 0 {
+		lowRate := float64(low) / float64(lowN)
+		highRate := float64(high) / float64(highN)
+		if highRate < lowRate {
+			t.Errorf("success not increasing: low-ratio %.2f vs high-ratio %.2f", lowRate, highRate)
+		}
+	}
+	if !strings.Contains(r.String(), "presence ratio") {
+		t.Error("String output malformed")
+	}
+}
+
+func TestFig8ShapeTargets(t *testing.T) {
+	// Fig. 8 shape: "even one single attacker is likely to succeed".
+	r, err := Fig8(Fig8Config{Kind: Wireless, Seed: 1, Trials: 8})
+	if err != nil {
+		t.Fatalf("Fig8: %v", err)
+	}
+	if r.Trials != 8 {
+		t.Errorf("trials = %d", r.Trials)
+	}
+	if r.MaxDamageSuccesses == 0 {
+		t.Error("single-attacker max-damage never succeeded; paper reports it likely")
+	}
+	if r.MaxDamageRate < 0 || r.MaxDamageRate > 1 || r.ObfuscateRate < 0 || r.ObfuscateRate > 1 {
+		t.Error("rates outside [0,1]")
+	}
+	if !strings.Contains(r.String(), "maximum-damage") {
+		t.Error("String output malformed")
+	}
+}
+
+func TestFig9ShapeTargets(t *testing.T) {
+	// Theorem 3 exactly: 0% detection under perfect cuts, 100% under
+	// imperfect cuts, no false alarms (paper Section V-D).
+	r, err := Fig9(Fig9Config{Seed: 1, Trials: 6})
+	if err != nil {
+		t.Fatalf("Fig9: %v", err)
+	}
+	if len(r.Cells) != 6 {
+		t.Fatalf("cells = %d, want 6 (3 strategies × 2 cuts)", len(r.Cells))
+	}
+	for _, c := range r.Cells {
+		if c.Attacks == 0 {
+			t.Errorf("%v perfect=%v: no feasible attacks", c.Strategy, c.PerfectCut)
+			continue
+		}
+		if c.PerfectCut && c.Ratio != 0 {
+			t.Errorf("%v perfect cut: detection ratio %.2f, want 0", c.Strategy, c.Ratio)
+		}
+		if !c.PerfectCut && c.Ratio != 1 {
+			t.Errorf("%v imperfect cut: detection ratio %.2f, want 1", c.Strategy, c.Ratio)
+		}
+	}
+	if r.FalseAlarms != 0 {
+		t.Errorf("false alarms = %d, want 0", r.FalseAlarms)
+	}
+	if !strings.Contains(r.String(), "false alarms") {
+		t.Error("String output malformed")
+	}
+}
+
+func TestStrategyKindStrings(t *testing.T) {
+	if ChosenVictimStrategy.String() != "chosen-victim" ||
+		MaxDamageStrategy.String() != "maximum-damage" ||
+		ObfuscationStrategy.String() != "obfuscation" {
+		t.Error("strategy names wrong")
+	}
+	if Wireline.String() != "wireline" || Wireless.String() != "wireless" {
+		t.Error("network kind names wrong")
+	}
+	if StrategyKind(0).String() == "" || NetworkKind(0).String() == "" {
+		t.Error("zero enum strings empty")
+	}
+}

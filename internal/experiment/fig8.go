@@ -1,0 +1,126 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/tomo"
+)
+
+// Fig8Config parameterizes the single-attacker experiment.
+type Fig8Config struct {
+	// Kind is the topology family.
+	Kind NetworkKind
+	// Seed drives topology, placement, and trials.
+	Seed int64
+	// Trials is the number of random single attackers tried (default 50;
+	// each trial solves up to |L| LPs for the max-damage search).
+	Trials int
+	// ObfuscationMinVictims is the success bar of Section V-C2
+	// (default 5, as in the paper).
+	ObfuscationMinVictims int
+}
+
+func (c Fig8Config) trials() int {
+	if c.Trials <= 0 {
+		return 50
+	}
+	return c.Trials
+}
+
+func (c Fig8Config) minVictims() int {
+	if c.ObfuscationMinVictims <= 0 {
+		return 5
+	}
+	return c.ObfuscationMinVictims
+}
+
+// Fig8Result holds single-attacker success probabilities for the
+// maximum-damage and obfuscation strategies.
+type Fig8Result struct {
+	Kind                NetworkKind `json:"kind"`
+	Trials              int         `json:"trials"`
+	MaxDamageSuccesses  int         `json:"max_damage_successes"`
+	ObfuscateSuccesses  int         `json:"obfuscate_successes"`
+	MaxDamageRate       float64     `json:"max_damage_rate"`
+	ObfuscateRate       float64     `json:"obfuscate_rate"`
+	MeanMaxDamage       float64     // mean ‖m‖₁ over successful max-damage runs
+	MeanObfuscateDamage float64     `json:"mean_obfuscate_damage"`
+}
+
+// Fig8 reproduces Fig. 8: for each trial one random node turns
+// malicious and attempts (a) maximum-damage scapegoating and (b)
+// obfuscation requiring ≥ ObfuscationMinVictims uncertain victim links.
+func Fig8(cfg Fig8Config) (*Fig8Result, error) {
+	env, err := NewEnv(cfg.Kind, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 2000))
+	out := &Fig8Result{Kind: cfg.Kind, Trials: cfg.trials()}
+	var mdDamage, obDamage float64
+	for trial := 0; trial < cfg.trials(); trial++ {
+		attacker := pickRandomAttackers(env.G, 1, rng)
+		sc := &core.Scenario{
+			Sys:        env.Sys,
+			Thresholds: tomo.DefaultThresholds(),
+			Attackers:  attacker,
+			TrueX:      netsim.RoutineDelays(env.G, rng),
+		}
+		// Success is "does any feasible victim exist", so the first
+		// feasible candidate answers it without sweeping every link.
+		md, err := core.MaxDamage(sc, core.MaxDamageOptions{MaxVictims: 1, FirstFeasible: true})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: fig8 trial %d max-damage: %w", trial, err)
+		}
+		if md.Feasible {
+			out.MaxDamageSuccesses++
+			mdDamage += md.Damage
+		}
+		// Obfuscation's goal is "no evident outliers" (Section III-C3),
+		// so links outside L_o must not cross the abnormal threshold.
+		sc.ConfineOthers = true
+		ob, err := core.Obfuscate(sc, core.ObfuscationOptions{MinVictims: cfg.minVictims()})
+		sc.ConfineOthers = false
+		if err != nil {
+			return nil, fmt.Errorf("experiment: fig8 trial %d obfuscate: %w", trial, err)
+		}
+		if ob.Feasible && countUncertainVictims(ob) >= cfg.minVictims() {
+			out.ObfuscateSuccesses++
+			obDamage += ob.Damage
+		}
+	}
+	out.MaxDamageRate = float64(out.MaxDamageSuccesses) / float64(out.Trials)
+	out.ObfuscateRate = float64(out.ObfuscateSuccesses) / float64(out.Trials)
+	if out.MaxDamageSuccesses > 0 {
+		out.MeanMaxDamage = mdDamage / float64(out.MaxDamageSuccesses)
+	}
+	if out.ObfuscateSuccesses > 0 {
+		out.MeanObfuscateDamage = obDamage / float64(out.ObfuscateSuccesses)
+	}
+	return out, nil
+}
+
+func countUncertainVictims(res *core.Result) int {
+	n := 0
+	for _, l := range res.Victims {
+		if res.States[l] == tomo.Uncertain {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the Fig. 8 result as the figure's bar values.
+func (r *Fig8Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 8 single-attacker success probabilities (%v, %d trials)\n", r.Kind, r.Trials)
+	fmt.Fprintf(&b, "%-16s %10s %13s\n", "strategy", "successes", "success rate")
+	fmt.Fprintf(&b, "%-16s %10d %12.1f%%\n", "maximum-damage", r.MaxDamageSuccesses, 100*r.MaxDamageRate)
+	fmt.Fprintf(&b, "%-16s %10d %12.1f%%\n", "obfuscation", r.ObfuscateSuccesses, 100*r.ObfuscateRate)
+	fmt.Fprintf(&b, "mean damage: max-damage %.0f ms, obfuscation %.0f ms\n", r.MeanMaxDamage, r.MeanObfuscateDamage)
+	return b.String()
+}

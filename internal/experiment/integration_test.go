@@ -1,0 +1,207 @@
+package experiment
+
+// Cross-module integration properties on RANDOM topologies: the unit
+// suites pin the theorems on the Fig. 1 example; these tests re-derive
+// them on arbitrary Erdős–Rényi graphs with randomly placed monitors,
+// exercising graph generation, placement, path selection, estimation,
+// attack LPs, cuts, and detection together.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/graph"
+	"repro/internal/la"
+	"repro/internal/netsim"
+	"repro/internal/tomo"
+)
+
+// randomIdentifiableSystem builds a random connected ER graph with an
+// identifiable tomography system, or reports failure for this draw.
+func randomIdentifiableSystem(seed int64) (*tomo.System, *rand.Rand, bool) {
+	rng := rand.New(rand.NewSource(seed))
+	g, err := graph.ErdosRenyi(8+rng.Intn(8), 0.35, rng)
+	if err != nil || !graph.Connected(g) {
+		return nil, nil, false
+	}
+	_, paths, rank, err := tomo.PlaceMonitors(g, rng, tomo.PlaceOptions{
+		Initial: 4,
+		Select:  tomo.SelectOptions{PerPair: 6},
+	})
+	if err != nil || rank != g.NumLinks() {
+		return nil, nil, false
+	}
+	sys, err := tomo.NewSystem(g, paths)
+	if err != nil || !sys.Identifiable() {
+		return nil, nil, false
+	}
+	return sys, rng, true
+}
+
+func TestRandomTopologyEstimationExact(t *testing.T) {
+	// Estimate∘Measure = identity on every identifiable random system,
+	// via the packet simulator (zero noise), and the clean residual is
+	// zero — no false alarms ever.
+	built := 0
+	for seed := int64(0); seed < 40 && built < 10; seed++ {
+		sys, rng, ok := randomIdentifiableSystem(seed)
+		if !ok {
+			continue
+		}
+		built++
+		x := netsim.RoutineDelays(sys.Graph(), rng)
+		y, err := netsim.RunDelay(netsim.Config{
+			Graph: sys.Graph(), Paths: sys.Paths(), LinkDelays: x,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		xhat, err := sys.Estimate(y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !xhat.Equal(la.Vector(x), 1e-7) {
+			t.Errorf("seed %d: estimation not exact", seed)
+		}
+		det, err := detect.New(sys, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := det.Inspect(y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Detected {
+			t.Errorf("seed %d: false alarm on clean random system", seed)
+		}
+	}
+	if built < 5 {
+		t.Fatalf("only %d identifiable random systems built", built)
+	}
+}
+
+func TestRandomTopologyTheorem1And3(t *testing.T) {
+	// On random systems: pick a random victim link, search a perfect-cut
+	// attacker set; when one exists, the stealthy attack must be
+	// feasible (Theorem 1) and leave a zero residual (Theorem 3).
+	verified := 0
+	for seed := int64(100); seed < 170 && verified < 6; seed++ {
+		sys, rng, ok := randomIdentifiableSystem(seed)
+		if !ok {
+			continue
+		}
+		g := sys.Graph()
+		victim := graph.LinkID(rng.Intn(g.NumLinks()))
+		set, err := core.FindPerfectCutAttackers(sys, []graph.LinkID{victim}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if set == nil {
+			continue
+		}
+		pc, err := core.PerfectCut(sys, set, []graph.LinkID{victim})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pc {
+			t.Fatalf("seed %d: found set does not cut", seed)
+		}
+		sc := &core.Scenario{
+			Sys:        sys,
+			Thresholds: tomo.DefaultThresholds(),
+			Attackers:  set,
+			TrueX:      netsim.RoutineDelays(g, rng),
+			Stealthy:   true,
+		}
+		res, err := core.ChosenVictim(sc, []graph.LinkID{victim})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Feasible {
+			t.Errorf("seed %d: Theorem 1 violated — perfect cut but stealthy attack infeasible", seed)
+			continue
+		}
+		resid, err := sys.Residual(res.XHat, res.YObserved)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resid.Norm1() > 1e-6 {
+			t.Errorf("seed %d: Theorem 3 violated — stealthy residual %g", seed, resid.Norm1())
+		}
+		if res.States[victim] != tomo.Abnormal {
+			t.Errorf("seed %d: victim not abnormal", seed)
+		}
+		if err := sc.CheckConstraint1(res.M); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+		verified++
+	}
+	if verified < 3 {
+		t.Fatalf("only %d random perfect-cut attacks verified", verified)
+	}
+}
+
+func TestRandomTopologyImperfectCutDetected(t *testing.T) {
+	// Converse direction on random systems: when the attackers do NOT
+	// perfectly cut the victim and the plain attack succeeds, the
+	// detector must fire.
+	verified := 0
+	for seed := int64(200); seed < 280 && verified < 6; seed++ {
+		sys, rng, ok := randomIdentifiableSystem(seed)
+		if !ok {
+			continue
+		}
+		g := sys.Graph()
+		attacker := graph.NodeID(rng.Intn(g.NumNodes()))
+		excluded := g.IncidentLinkSet([]graph.NodeID{attacker})
+		var victim graph.LinkID
+		found := false
+		for l := 0; l < g.NumLinks(); l++ {
+			lid := graph.LinkID(l)
+			if excluded[lid] {
+				continue
+			}
+			ratio, err := core.PresenceRatio(sys, []graph.NodeID{attacker}, []graph.LinkID{lid})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ratio > 0 && ratio < 1 {
+				victim, found = lid, true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		sc := &core.Scenario{
+			Sys:        sys,
+			Thresholds: tomo.DefaultThresholds(),
+			Attackers:  []graph.NodeID{attacker},
+			TrueX:      netsim.RoutineDelays(g, rng),
+		}
+		res, err := core.ChosenVictim(sc, []graph.LinkID{victim})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Feasible {
+			continue
+		}
+		det, err := detect.New(sys, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := det.Inspect(res.YObserved)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Detected {
+			t.Errorf("seed %d: imperfect-cut attack undetected (residual %g)", seed, rep.ResidualNorm)
+		}
+		verified++
+	}
+	if verified < 2 {
+		t.Skipf("only %d feasible imperfect-cut attacks found in the seed range", verified)
+	}
+}

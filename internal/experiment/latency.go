@@ -1,0 +1,148 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/netsim"
+)
+
+// LatencyPoint is one point of the detection-latency curve.
+type LatencyPoint struct {
+	// Budget is the evader's residual budget (fraction of α times α).
+	Budget float64 `json:"budget"`
+	// Feasible reports whether an attack fits under the budget at all.
+	Feasible bool `json:"feasible"`
+	// Damage is the per-round damage of the evasive attack.
+	Damage float64 `json:"damage"`
+	// MeanRounds is the mean CUSUM detection delay after onset
+	// (−1 when never detected within the horizon).
+	MeanRounds float64 `json:"mean_rounds"`
+	// Detected counts trials where CUSUM alarmed within the horizon.
+	Detected int `json:"detected"`
+	// Trials is the trial count.
+	Trials int `json:"trials"`
+}
+
+// LatencyStudyResult sweeps the evader's residual budget and measures
+// how long the sequential detector takes to catch the attack after
+// onset. It quantifies the attacker's real trade-off once the defender
+// runs CUSUM: a smaller budget means less damage AND is still caught,
+// only later.
+type LatencyStudyResult struct {
+	Alpha  float64        `json:"alpha"`
+	Points []LatencyPoint `json:"points"`
+}
+
+// LatencyStudyConfig parameterizes the sweep.
+type LatencyStudyConfig struct {
+	// Seed drives metric draws and noise.
+	Seed int64
+	// Trials per budget (default 10).
+	Trials int
+	// Alpha is the one-shot threshold the evader hides under
+	// (default 3000 ms — large enough that evasive attacks on the
+	// Fig. 1 network are feasible).
+	Alpha float64
+	// Horizon is the number of post-onset rounds to wait (default 40).
+	Horizon int
+}
+
+func (c LatencyStudyConfig) trials() int {
+	if c.Trials <= 0 {
+		return 10
+	}
+	return c.Trials
+}
+
+func (c LatencyStudyConfig) alpha() float64 {
+	if c.Alpha <= 0 {
+		return 3000
+	}
+	return c.Alpha
+}
+
+func (c LatencyStudyConfig) horizon() int {
+	if c.Horizon <= 0 {
+		return 40
+	}
+	return c.Horizon
+}
+
+// LatencyStudy runs the sweep on the Fig. 1 network with the α-evasive
+// chosen-victim attack on link 10.
+func LatencyStudy(cfg LatencyStudyConfig) (*LatencyStudyResult, error) {
+	alpha := cfg.alpha()
+	out := &LatencyStudyResult{Alpha: alpha}
+	rng := rand.New(rand.NewSource(cfg.Seed + 7000))
+	const onset = 3
+	for _, frac := range []float64{0.3, 0.5, 0.7, 0.9} {
+		pt := LatencyPoint{Budget: frac * alpha, Trials: cfg.trials()}
+		var totalRounds float64
+		for trial := 0; trial < cfg.trials(); trial++ {
+			env, err := NewFig1Env(cfg.Seed + int64(trial))
+			if err != nil {
+				return nil, err
+			}
+			sc := env.Scenario
+			sc.EvadeAlpha = frac * alpha
+			res, err := core.ChosenVictim(sc, []graph.LinkID{env.Topo.PaperLink[10]})
+			if err != nil {
+				return nil, fmt.Errorf("experiment: latency trial %d: %w", trial, err)
+			}
+			if !res.Feasible {
+				continue
+			}
+			pt.Feasible = true
+			pt.Damage = res.Damage
+			camp, err := campaign.Run(campaign.Config{
+				Sys: env.Sys, TrueX: sc.TrueX,
+				Rounds: onset + cfg.horizon(),
+				Jitter: 1, ProbesPerPath: 3,
+				RNG: rand.New(rand.NewSource(rng.Int63())),
+				Plan: &netsim.AttackPlan{
+					Attackers:  map[graph.NodeID]bool{env.Topo.B: true, env.Topo.C: true},
+					ExtraDelay: res.M,
+				},
+				AttackFrom: onset,
+				Alpha:      alpha,
+				Drift:      0.15 * alpha,
+				Ceiling:    2 * alpha,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiment: latency trial %d: %w", trial, err)
+			}
+			if camp.FirstCusumAlarm >= onset {
+				pt.Detected++
+				totalRounds += float64(camp.FirstCusumAlarm - onset)
+			}
+		}
+		if pt.Detected > 0 {
+			pt.MeanRounds = totalRounds / float64(pt.Detected)
+		} else {
+			pt.MeanRounds = -1
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
+// String renders the latency curve.
+func (r *LatencyStudyResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CUSUM detection latency vs evasion budget (α = %.0f ms)\n", r.Alpha)
+	fmt.Fprintf(&b, "%-14s %10s %14s %12s %14s\n", "budget (ms)", "feasible", "damage/round", "detected", "mean rounds")
+	for _, p := range r.Points {
+		mr := "—"
+		if p.MeanRounds >= 0 {
+			mr = fmt.Sprintf("%.1f", p.MeanRounds)
+		}
+		fmt.Fprintf(&b, "%-14.0f %10v %14.0f %9d/%-2d %14s\n",
+			p.Budget, p.Feasible, p.Damage, p.Detected, p.Trials, mr)
+	}
+	return b.String()
+}

@@ -1,0 +1,47 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLatencyStudy(t *testing.T) {
+	r, err := LatencyStudy(LatencyStudyConfig{Seed: 1, Trials: 4})
+	if err != nil {
+		t.Fatalf("LatencyStudy: %v", err)
+	}
+	if len(r.Points) != 4 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	anyFeasible := false
+	prevMean := -2.0
+	for _, p := range r.Points {
+		if !p.Feasible {
+			continue
+		}
+		anyFeasible = true
+		if p.Detected == 0 {
+			t.Errorf("budget %.0f: CUSUM never caught the persistent attack", p.Budget)
+			continue
+		}
+		if p.MeanRounds < 0 {
+			t.Errorf("budget %.0f: mean rounds unset with detections", p.Budget)
+		}
+		// Larger budgets inject more bias per round, so detection should
+		// not get slower as the budget grows (allow 1-round slack for
+		// noise).
+		if prevMean >= 0 && p.MeanRounds > prevMean+1 {
+			t.Errorf("budget %.0f: mean rounds %.1f slower than smaller budget's %.1f",
+				p.Budget, p.MeanRounds, prevMean)
+		}
+		if p.MeanRounds >= 0 {
+			prevMean = p.MeanRounds
+		}
+	}
+	if !anyFeasible {
+		t.Fatal("no budget feasible")
+	}
+	if !strings.Contains(r.String(), "detection latency") {
+		t.Error("String output malformed")
+	}
+}

@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLossStudyEndToEnd(t *testing.T) {
+	r, err := LossStudy(LossStudyConfig{Seed: 1})
+	if err != nil {
+		t.Fatalf("LossStudy: %v", err)
+	}
+	// Clean tomography should track delivery ratios within sampling
+	// noise (3000 probes ⇒ ratio noise ≲ 1%; least squares amplifies it
+	// somewhat across 23 paths/10 links).
+	if r.CleanMaxRatioErr > 0.05 {
+		t.Errorf("clean max ratio error %.4f too large", r.CleanMaxRatioErr)
+	}
+	if !r.AttackFeasible {
+		t.Fatal("grey-hole attack infeasible on Fig1")
+	}
+	if !r.VictimAbnormal {
+		t.Errorf("victim estimated ratio %.3f not classified abnormal", r.VictimEstimatedRatio)
+	}
+	// The victim's real delivery never changed.
+	if r.VictimTrueRatio < 0.99 {
+		t.Errorf("victim true ratio %.3f outside draw range", r.VictimTrueRatio)
+	}
+	if r.VictimEstimatedRatio > 0.70 {
+		t.Errorf("estimated victim ratio %.3f above abnormal bar 0.70", r.VictimEstimatedRatio)
+	}
+	if !r.AttackersNormal {
+		t.Error("attacker links not all normal in loss domain")
+	}
+	// Link 10 is imperfectly cut, so the sampled-measurement detector
+	// should still catch the manipulation.
+	if !r.Detected {
+		t.Error("imperfect-cut grey-hole attack undetected")
+	}
+	if r.Alpha <= 0 {
+		t.Errorf("alpha = %g", r.Alpha)
+	}
+	if !strings.Contains(r.String(), "delivery ratio") {
+		t.Error("String output malformed")
+	}
+}
+
+func TestLossStudyDeterministic(t *testing.T) {
+	a, err := LossStudy(LossStudyConfig{Seed: 2, ProbesPerPath: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LossStudy(LossStudyConfig{Seed: 2, ProbesPerPath: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.VictimEstimatedRatio != b.VictimEstimatedRatio || a.Alpha != b.Alpha {
+		t.Error("LossStudy not deterministic for equal seeds")
+	}
+}

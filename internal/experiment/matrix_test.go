@@ -1,0 +1,62 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDetectorMatrix(t *testing.T) {
+	r, err := DetectorMatrix(DetectorMatrixConfig{Seed: 1, Trials: 5})
+	if err != nil {
+		t.Fatalf("DetectorMatrix: %v", err)
+	}
+	if len(r.Cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(r.Cells))
+	}
+	byMode := make(map[AttackMode]MatrixCell, 4)
+	for _, c := range r.Cells {
+		byMode[c.Mode] = c
+		if c.Feasible == 0 {
+			t.Errorf("%v: no feasible trials", c.Mode)
+		}
+	}
+	// The coverage story:
+	// plain/imperfect — both detectors catch everything.
+	pi := byMode[PlainImperfect]
+	if pi.OneShot != pi.Feasible {
+		t.Errorf("plain/imperfect one-shot %d/%d", pi.OneShot, pi.Feasible)
+	}
+	// stealthy/perfect — nothing fires (Theorem 3: undetectable).
+	sp := byMode[StealthyPerfect]
+	if sp.OneShot != 0 || sp.Cusum != 0 {
+		t.Errorf("stealthy/perfect caught %d/%d — contradicts Theorem 3", sp.OneShot, sp.Cusum)
+	}
+	// evasive/imperfect — one-shot blind, CUSUM catches all.
+	ev := byMode[EvasiveImperfect]
+	if ev.OneShot != 0 {
+		t.Errorf("evasive one-shot %d, want 0 (evasion failed)", ev.OneShot)
+	}
+	if ev.Cusum != ev.Feasible {
+		t.Errorf("evasive CUSUM %d/%d", ev.Cusum, ev.Feasible)
+	}
+	// plain/perfect — the damage-max LP ignores consistency, so it is
+	// caught despite the perfect cut (the modeling nuance of DESIGN.md).
+	pp := byMode[PlainPerfect]
+	if pp.OneShot == 0 {
+		t.Errorf("plain/perfect one-shot 0/%d — expected the inconsistent optimum to be caught", pp.Feasible)
+	}
+	if !strings.Contains(r.String(), "coverage matrix") {
+		t.Error("String output malformed")
+	}
+}
+
+func TestAttackModeStrings(t *testing.T) {
+	for _, m := range []AttackMode{PlainImperfect, PlainPerfect, StealthyPerfect, EvasiveImperfect} {
+		if m.String() == "" || strings.HasPrefix(m.String(), "AttackMode(") {
+			t.Errorf("mode %d has no name", int(m))
+		}
+	}
+	if !strings.HasPrefix(AttackMode(0).String(), "AttackMode(") {
+		t.Error("zero mode string wrong")
+	}
+}

@@ -1,0 +1,155 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/netsim"
+	"repro/internal/tomo"
+	"repro/internal/topo"
+)
+
+// PlacementStudyConfig parameterizes the Section VI placement study.
+type PlacementStudyConfig struct {
+	// Seed drives topology, placement, and trials.
+	Seed int64
+	// Trials is the number of random single-attacker max-damage
+	// attempts per selection policy (default 30).
+	Trials int
+}
+
+func (c PlacementStudyConfig) trials() int {
+	if c.Trials <= 0 {
+		return 30
+	}
+	return c.Trials
+}
+
+// PlacementArm is one selection policy's outcome.
+type PlacementArm struct {
+	// Secure marks the presence-minimizing policy.
+	Secure bool `json:"secure"`
+	// MaxPresence is the largest interior (non-endpoint) node presence
+	// ratio of the selected path set — the quantity Section VI proposes
+	// minimizing.
+	MaxPresence float64 `json:"max_presence"`
+	// MeanPresence averages the interior presence ratios.
+	MeanPresence float64 `json:"mean_presence"`
+	// AttackSuccess is the single-attacker max-damage success rate on
+	// this path selection.
+	AttackSuccess float64 `json:"attack_success"`
+}
+
+// PlacementStudyResult compares plain vs security-aware measurement-path
+// selection (Section VI's proposal: after identifiability, minimize each
+// node's presence ratio so a compromised node controls as few paths as
+// possible).
+type PlacementStudyResult struct {
+	Plain  PlacementArm `json:"plain"`
+	Secure PlacementArm `json:"secure"`
+}
+
+// PlacementStudy runs the comparison on the synthetic ISP topology: the
+// same monitors, the same rank-greedy core, but redundancy paths chosen
+// either in pool order (plain) or to minimize the maximum node presence
+// (secure); then random single attackers attempt max-damage scapegoating
+// against both selections.
+func PlacementStudy(cfg PlacementStudyConfig) (*PlacementStudyResult, error) {
+	g, err := topo.ISP(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 4000))
+	monitors, _, rank, err := tomo.PlaceMonitors(g, rng, tomo.PlaceOptions{
+		Initial: 8,
+		Select:  tomo.SelectOptions{PerPair: 6},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if rank != g.NumLinks() {
+		return nil, fmt.Errorf("experiment: placement study rank %d of %d", rank, g.NumLinks())
+	}
+	opts := tomo.SelectOptions{PerPair: 6}
+
+	out := &PlacementStudyResult{}
+	for _, secure := range []bool{false, true} {
+		var (
+			paths []graph.Path
+			r     int
+		)
+		if secure {
+			paths, r, err = tomo.SelectPathsSecure(g, monitors, opts)
+		} else {
+			paths, r, err = tomo.SelectPaths(g, monitors, opts)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if r != g.NumLinks() {
+			return nil, fmt.Errorf("experiment: %v selection rank %d of %d", secure, r, g.NumLinks())
+		}
+		sys, err := tomo.NewSystem(g, paths)
+		if err != nil {
+			return nil, err
+		}
+		arm := PlacementArm{Secure: secure}
+		var sum float64
+		var n int
+		for _, ratio := range tomo.InteriorPresenceRatios(g, paths) {
+			sum += ratio
+			n++
+			if ratio > arm.MaxPresence {
+				arm.MaxPresence = ratio
+			}
+		}
+		if n > 0 {
+			arm.MeanPresence = sum / float64(n)
+		}
+
+		trialRng := rand.New(rand.NewSource(cfg.Seed + 4100))
+		successes := 0
+		for trial := 0; trial < cfg.trials(); trial++ {
+			attacker := pickRandomAttackers(g, 1, trialRng)
+			sc := &core.Scenario{
+				Sys:        sys,
+				Thresholds: tomo.DefaultThresholds(),
+				Attackers:  attacker,
+				TrueX:      netsim.RoutineDelays(g, trialRng),
+			}
+			res, err := core.MaxDamage(sc, core.MaxDamageOptions{MaxVictims: 1, FirstFeasible: true})
+			if err != nil {
+				return nil, err
+			}
+			if res.Feasible {
+				successes++
+			}
+		}
+		arm.AttackSuccess = float64(successes) / float64(cfg.trials())
+		if secure {
+			out.Secure = arm
+		} else {
+			out.Plain = arm
+		}
+	}
+	return out, nil
+}
+
+// String renders the comparison.
+func (r *PlacementStudyResult) String() string {
+	var b strings.Builder
+	b.WriteString("Secure monitor-path selection study (Section VI proposal)\n")
+	fmt.Fprintf(&b, "%-10s %14s %14s %16s\n", "policy", "max presence", "mean presence", "attack success")
+	for _, arm := range []PlacementArm{r.Plain, r.Secure} {
+		name := "plain"
+		if arm.Secure {
+			name = "secure"
+		}
+		fmt.Fprintf(&b, "%-10s %13.1f%% %13.1f%% %15.1f%%\n",
+			name, 100*arm.MaxPresence, 100*arm.MeanPresence, 100*arm.AttackSuccess)
+	}
+	return b.String()
+}

@@ -1,0 +1,34 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlacementStudy(t *testing.T) {
+	r, err := PlacementStudy(PlacementStudyConfig{Seed: 1, Trials: 10})
+	if err != nil {
+		t.Fatalf("PlacementStudy: %v", err)
+	}
+	for _, arm := range []PlacementArm{r.Plain, r.Secure} {
+		if arm.MaxPresence <= 0 || arm.MaxPresence > 1 {
+			t.Errorf("secure=%v: max presence %g outside (0,1]", arm.Secure, arm.MaxPresence)
+		}
+		if arm.MeanPresence <= 0 || arm.MeanPresence > arm.MaxPresence {
+			t.Errorf("secure=%v: mean presence %g inconsistent with max %g",
+				arm.Secure, arm.MeanPresence, arm.MaxPresence)
+		}
+		if arm.AttackSuccess < 0 || arm.AttackSuccess > 1 {
+			t.Errorf("secure=%v: success %g outside [0,1]", arm.Secure, arm.AttackSuccess)
+		}
+	}
+	// Section VI's objective: the secure policy must not increase the
+	// maximum node presence ratio.
+	if r.Secure.MaxPresence > r.Plain.MaxPresence+1e-9 {
+		t.Errorf("secure max presence %.3f worse than plain %.3f",
+			r.Secure.MaxPresence, r.Plain.MaxPresence)
+	}
+	if !strings.Contains(r.String(), "secure") {
+		t.Error("String output malformed")
+	}
+}

@@ -1,0 +1,46 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRocStudy(t *testing.T) {
+	r, err := RocStudy(RocStudyConfig{Seed: 1, Rounds: 30})
+	if err != nil {
+		t.Fatalf("RocStudy: %v", err)
+	}
+	if len(r.Points) == 0 {
+		t.Fatal("no operating points")
+	}
+	prevFA, prevDet := 2.0, 2.0
+	for _, p := range r.Points {
+		if p.FalseAlarmRate < 0 || p.FalseAlarmRate > 1 || p.DetectionRate < 0 || p.DetectionRate > 1 {
+			t.Errorf("α=%g: rates outside [0,1]", p.Alpha)
+		}
+		// Both rates are non-increasing in α by construction.
+		if p.FalseAlarmRate > prevFA+1e-9 || p.DetectionRate > prevDet+1e-9 {
+			t.Errorf("α=%g: rates not monotone", p.Alpha)
+		}
+		// A detector can never detect worse than it false-alarms here:
+		// the attacked residual stochastically dominates the clean one.
+		if p.DetectionRate < p.FalseAlarmRate-0.15 {
+			t.Errorf("α=%g: detection %.2f far below false alarms %.2f", p.Alpha, p.DetectionRate, p.FalseAlarmRate)
+		}
+		prevFA, prevDet = p.FalseAlarmRate, p.DetectionRate
+	}
+	// There must exist a usable operating point: near-zero false alarms
+	// with substantial detection.
+	usable := false
+	for _, p := range r.Points {
+		if p.FalseAlarmRate <= 0.05 && p.DetectionRate >= 0.8 {
+			usable = true
+		}
+	}
+	if !usable {
+		t.Error("no usable operating point in the sweep")
+	}
+	if !strings.Contains(r.String(), "operating points") {
+		t.Error("String output malformed")
+	}
+}

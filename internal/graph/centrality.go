@@ -1,0 +1,89 @@
+package graph
+
+// BetweennessCentrality computes node betweenness via Brandes'
+// algorithm on the unweighted graph: for each node v, the sum over
+// source–target pairs (s, t) of the fraction of shortest s–t paths that
+// pass through v (endpoints excluded). The attack-placement study uses
+// it as a proxy for how many measurement paths a compromised node is
+// likely to sit on.
+//
+// Values are raw (unnormalized) and symmetric pairs are counted once.
+func BetweennessCentrality(g *Graph) []float64 {
+	n := g.NumNodes()
+	cb := make([]float64, n)
+	// Reusable per-source buffers.
+	var (
+		stack []NodeID
+		preds = make([][]NodeID, n)
+		sigma = make([]float64, n) // shortest-path counts
+		dist  = make([]int, n)
+		delta = make([]float64, n)
+	)
+	for s := 0; s < n; s++ {
+		stack = stack[:0]
+		for i := 0; i < n; i++ {
+			preds[i] = preds[i][:0]
+			sigma[i] = 0
+			dist[i] = -1
+			delta[i] = 0
+		}
+		src := NodeID(s)
+		sigma[src] = 1
+		dist[src] = 0
+		queue := []NodeID{src}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			stack = append(stack, v)
+			for _, e := range g.adj[v] {
+				w := e.to
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+				if dist[w] == dist[v]+1 {
+					sigma[w] += sigma[v]
+					preds[w] = append(preds[w], v)
+				}
+			}
+		}
+		// Accumulation in reverse BFS order.
+		for i := len(stack) - 1; i >= 0; i-- {
+			w := stack[i]
+			for _, v := range preds[w] {
+				delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
+			}
+			if w != src {
+				cb[w] += delta[w]
+			}
+		}
+	}
+	// Each unordered pair was counted twice (once per endpoint as
+	// source); halve for the undirected convention.
+	for i := range cb {
+		cb[i] /= 2
+	}
+	return cb
+}
+
+// TopKByCentrality returns the k nodes with the highest betweenness, in
+// descending order (ties broken by node ID for determinism).
+func TopKByCentrality(g *Graph, k int) []NodeID {
+	cb := BetweennessCentrality(g)
+	ids := g.Nodes()
+	// Insertion sort by (centrality desc, id asc) — n is small.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0; j-- {
+			a, b := ids[j-1], ids[j]
+			if cb[b] > cb[a] || (cb[b] == cb[a] && b < a) {
+				ids[j-1], ids[j] = ids[j], ids[j-1]
+			} else {
+				break
+			}
+		}
+	}
+	if k > len(ids) {
+		k = len(ids)
+	}
+	return ids[:k]
+}

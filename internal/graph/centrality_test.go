@@ -1,0 +1,119 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBetweennessPath(t *testing.T) {
+	// Line a–b–c–d: betweenness b = pairs routed through b = (a,c),(a,d)
+	// = 2; c symmetric; endpoints 0.
+	g := line(t, "a", "b", "c", "d")
+	cb := BetweennessCentrality(g)
+	want := []float64{0, 2, 2, 0}
+	for i := range want {
+		if math.Abs(cb[i]-want[i]) > 1e-12 {
+			t.Errorf("cb[%d] = %g, want %g", i, cb[i], want[i])
+		}
+	}
+}
+
+func TestBetweennessStar(t *testing.T) {
+	// Star with center 0 and 4 leaves: center carries all C(4,2) = 6
+	// leaf pairs.
+	g := New()
+	c := g.AddNode("center")
+	for i := 0; i < 4; i++ {
+		leaf := g.AddNode(string(rune('a' + i)))
+		if _, err := g.AddLink(c, leaf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cb := BetweennessCentrality(g)
+	if math.Abs(cb[c]-6) > 1e-12 {
+		t.Errorf("center betweenness = %g, want 6", cb[c])
+	}
+	for i := 1; i < 5; i++ {
+		if cb[i] != 0 {
+			t.Errorf("leaf %d betweenness = %g, want 0", i, cb[i])
+		}
+	}
+}
+
+func TestBetweennessCycleEvenSplit(t *testing.T) {
+	// 4-cycle: each opposite pair has two shortest paths, each interior
+	// node carries half of one pair → betweenness 0.5 per node.
+	g := New()
+	for i := 0; i < 4; i++ {
+		g.AddNode(string(rune('a' + i)))
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := g.AddLink(NodeID(i), NodeID((i+1)%4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cb := BetweennessCentrality(g)
+	for i, v := range cb {
+		if math.Abs(v-0.5) > 1e-12 {
+			t.Errorf("cb[%d] = %g, want 0.5", i, v)
+		}
+	}
+}
+
+func TestBetweennessNonNegativeProperty(t *testing.T) {
+	// Property: betweenness is non-negative, zero on degree-1 nodes,
+	// and total betweenness equals Σ over connected pairs of
+	// (d(s,t) − 1) where d is hop distance (each shortest path of
+	// length ℓ contributes ℓ−1 interior slots).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := ErdosRenyi(3+rng.Intn(8), 0.5, rng)
+		if err != nil {
+			return false
+		}
+		cb := BetweennessCentrality(g)
+		var total float64
+		for v, c := range cb {
+			if c < -1e-12 {
+				return false
+			}
+			if g.Degree(NodeID(v)) == 1 && c > 1e-12 {
+				return false
+			}
+			total += c
+		}
+		var want float64
+		n := g.NumNodes()
+		for s := 0; s < n; s++ {
+			for t2 := s + 1; t2 < n; t2++ {
+				p, err := ShortestPath(g, NodeID(s), NodeID(t2))
+				if err != nil {
+					continue
+				}
+				want += float64(p.Len() - 1)
+			}
+		}
+		return math.Abs(total-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopKByCentrality(t *testing.T) {
+	g := line(t, "a", "b", "c", "d", "e")
+	top := TopKByCentrality(g, 2)
+	// Middle node c (index 2) has the highest betweenness on a line.
+	if top[0] != 2 {
+		t.Errorf("top node = %d, want 2", top[0])
+	}
+	if len(top) != 2 {
+		t.Errorf("len = %d", len(top))
+	}
+	all := TopKByCentrality(g, 99)
+	if len(all) != 5 {
+		t.Errorf("k beyond n: len = %d", len(all))
+	}
+}

@@ -1,0 +1,80 @@
+package graph
+
+// Connected reports whether the graph is connected. The empty graph is
+// considered connected.
+func Connected(g *Graph) bool {
+	return len(Components(g)) <= 1
+}
+
+// Components returns the connected components as slices of node IDs in
+// ascending order; components are ordered by their smallest node.
+func Components(g *Graph) [][]NodeID {
+	n := g.NumNodes()
+	seen := make([]bool, n)
+	var comps [][]NodeID
+	for start := 0; start < n; start++ {
+		if seen[start] {
+			continue
+		}
+		var comp []NodeID
+		stack := []NodeID{NodeID(start)}
+		seen[start] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for _, e := range g.adj[v] {
+				if !seen[e.to] {
+					seen[e.to] = true
+					stack = append(stack, e.to)
+				}
+			}
+		}
+		sortNodeIDs(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// GiantComponent returns the subgraph induced by the largest connected
+// component, together with a mapping from new node IDs to original ones.
+// Wireless topology generation uses it to keep random geometric graphs
+// usable when a draw is disconnected.
+func GiantComponent(g *Graph) (*Graph, []NodeID) {
+	comps := Components(g)
+	if len(comps) == 0 {
+		return New(), nil
+	}
+	best := comps[0]
+	for _, c := range comps[1:] {
+		if len(c) > len(best) {
+			best = c
+		}
+	}
+	sub := New()
+	oldToNew := make(map[NodeID]NodeID, len(best))
+	for _, v := range best {
+		name, _ := g.NodeName(v)
+		oldToNew[v] = sub.AddNode(name)
+	}
+	for _, l := range g.links {
+		na, aok := oldToNew[l.A]
+		nb, bok := oldToNew[l.B]
+		if aok && bok {
+			// Links of a simple graph restricted to a node subset stay
+			// unique, so AddLink cannot fail here.
+			if _, err := sub.AddLink(na, nb); err != nil {
+				panic("graph: GiantComponent link insertion: " + err.Error())
+			}
+		}
+	}
+	return sub, best
+}
+
+func sortNodeIDs(ids []NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package graph
+
+// ArticulationPoints returns the cut vertices of the graph: nodes whose
+// removal increases the number of connected components (Tarjan's DFS
+// low-link algorithm). A cut vertex separating a victim link from every
+// monitor is the cheapest possible perfect-cut attacker, so these are
+// natural first candidates for core.FindPerfectCutAttackers and for an
+// operator auditing which single compromises would be catastrophic.
+func ArticulationPoints(g *Graph) []NodeID {
+	n := g.NumNodes()
+	disc := make([]int, n) // discovery times, 0 = unvisited
+	low := make([]int, n)  // low-link values
+	isAP := make([]bool, n)
+	timer := 0
+
+	// Iterative DFS to avoid recursion limits on large graphs.
+	type frame struct {
+		v, parent NodeID
+		childIdx  int
+		children  int
+	}
+	for start := 0; start < n; start++ {
+		if disc[start] != 0 {
+			continue
+		}
+		timer++
+		disc[start] = timer
+		low[start] = timer
+		stack := []frame{{v: NodeID(start), parent: -1}}
+		rootChildren := 0
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.childIdx < len(g.adj[f.v]) {
+				to := g.adj[f.v][f.childIdx].to
+				f.childIdx++
+				if disc[to] == 0 {
+					timer++
+					disc[to] = timer
+					low[to] = timer
+					if f.parent == -1 {
+						rootChildren++
+					}
+					f.children++
+					stack = append(stack, frame{v: to, parent: f.v})
+				} else if to != f.parent {
+					if disc[to] < low[f.v] {
+						low[f.v] = disc[to]
+					}
+				}
+				continue
+			}
+			// Post-order: propagate low-link to the parent.
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				p := &stack[len(stack)-1]
+				if low[f.v] < low[p.v] {
+					low[p.v] = low[f.v]
+				}
+				if p.parent != -1 && low[f.v] >= disc[p.v] {
+					isAP[p.v] = true
+				}
+			}
+		}
+		if rootChildren > 1 {
+			isAP[start] = true
+		}
+	}
+	var out []NodeID
+	for v, ap := range isAP {
+		if ap {
+			out = append(out, NodeID(v))
+		}
+	}
+	return out
+}
+
+// Bridges returns the cut edges of the graph: links whose removal
+// disconnects their endpoints. A bridge on every path to a victim link
+// is the link-level analogue of a perfect cut.
+func Bridges(g *Graph) []LinkID {
+	n := g.NumNodes()
+	disc := make([]int, n)
+	low := make([]int, n)
+	timer := 0
+	var out []LinkID
+
+	type frame struct {
+		v        NodeID
+		viaLink  LinkID // link used to enter v (-1 for roots)
+		childIdx int
+	}
+	for start := 0; start < n; start++ {
+		if disc[start] != 0 {
+			continue
+		}
+		timer++
+		disc[start] = timer
+		low[start] = timer
+		stack := []frame{{v: NodeID(start), viaLink: -1}}
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.childIdx < len(g.adj[f.v]) {
+				e := g.adj[f.v][f.childIdx]
+				f.childIdx++
+				if e.link == f.viaLink {
+					continue // don't traverse the entry link backwards
+				}
+				if disc[e.to] == 0 {
+					timer++
+					disc[e.to] = timer
+					low[e.to] = timer
+					stack = append(stack, frame{v: e.to, viaLink: e.link})
+				} else if disc[e.to] < low[f.v] {
+					low[f.v] = disc[e.to]
+				}
+				continue
+			}
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				p := &stack[len(stack)-1]
+				if low[f.v] < low[p.v] {
+					low[p.v] = low[f.v]
+				}
+				if low[f.v] > disc[p.v] {
+					out = append(out, f.viaLink)
+				}
+			}
+		}
+	}
+	sortLinkIDs(out)
+	return out
+}
+
+func sortLinkIDs(ids []LinkID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Point is a 2-D node position used by the geometric generators.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between two points.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// RandomGeometric builds a random geometric graph: n nodes uniform on
+// the square [0,size]², linked when within radius. This is the paper's
+// wireless model (Section V-C): 100 nodes at density λ=5 on
+// [0, √(100/λ)]² with radius chosen for ~5 average neighbors.
+// Node names are "w0", "w1", …
+func RandomGeometric(n int, size, radius float64, rng *rand.Rand) (*Graph, []Point, error) {
+	if n <= 0 || size <= 0 || radius <= 0 {
+		return nil, nil, fmt.Errorf("graph: RandomGeometric(n=%d, size=%g, radius=%g): parameters must be positive", n, size, radius)
+	}
+	g := New()
+	pts := make([]Point, n)
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("w%d", i))
+		pts[i] = Point{X: rng.Float64() * size, Y: rng.Float64() * size}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if pts[i].Dist(pts[j]) <= radius {
+				if _, err := g.AddLink(NodeID(i), NodeID(j)); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+	return g, pts, nil
+}
+
+// GeometricRadiusForDegree returns the connection radius giving the
+// requested expected neighbor count at node density λ (per unit area):
+// E[deg] = λπr² ⇒ r = √(deg/(λπ)).
+func GeometricRadiusForDegree(density, avgDegree float64) float64 {
+	return math.Sqrt(avgDegree / (density * math.Pi))
+}
+
+// BarabasiAlbert builds a preferential-attachment graph: it starts from
+// a small clique and attaches each new node to m distinct existing nodes
+// with probability proportional to degree. This produces the heavy-tailed
+// degree distribution characteristic of Rocketfuel ISP router maps and
+// stands in for the AS1221 dataset (see DESIGN.md §5).
+// Node names are "r0", "r1", …
+func BarabasiAlbert(n, m int, rng *rand.Rand) (*Graph, error) {
+	if m < 1 || n < m+1 {
+		return nil, fmt.Errorf("graph: BarabasiAlbert(n=%d, m=%d): need n ≥ m+1 ≥ 2", n, m)
+	}
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("r%d", i))
+	}
+	// Seed clique over the first m+1 nodes.
+	var stubs []NodeID // node repeated once per incident link (degree list)
+	for i := 0; i <= m; i++ {
+		for j := i + 1; j <= m; j++ {
+			if _, err := g.AddLink(NodeID(i), NodeID(j)); err != nil {
+				return nil, err
+			}
+			stubs = append(stubs, NodeID(i), NodeID(j))
+		}
+	}
+	for v := m + 1; v < n; v++ {
+		chosen := make(map[NodeID]bool, m)
+		for len(chosen) < m {
+			t := stubs[rng.Intn(len(stubs))]
+			if int(t) == v || chosen[t] {
+				continue
+			}
+			chosen[t] = true
+		}
+		targets := make([]NodeID, 0, m)
+		for t := range chosen {
+			targets = append(targets, t)
+		}
+		sortNodeIDs(targets) // map order is random; keep output deterministic
+		for _, t := range targets {
+			if _, err := g.AddLink(NodeID(v), t); err != nil {
+				return nil, err
+			}
+			stubs = append(stubs, NodeID(v), t)
+		}
+	}
+	return g, nil
+}
+
+// ErdosRenyi builds a G(n, p) random graph. Node names are "n0", "n1", …
+func ErdosRenyi(n int, p float64, rng *rand.Rand) (*Graph, error) {
+	if n <= 0 || p < 0 || p > 1 {
+		return nil, fmt.Errorf("graph: ErdosRenyi(n=%d, p=%g): need n > 0, p in [0,1]", n, p)
+	}
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("n%d", i))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				if _, err := g.AddLink(NodeID(i), NodeID(j)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// Waxman builds a Waxman random graph on the unit square: nodes i,j are
+// linked with probability α·exp(−d(i,j)/(β·D)) where D is the maximum
+// node distance. A classic synthetic-Internet model, offered as an
+// alternative wireline substrate. Node names are "x0", "x1", …
+func Waxman(n int, alpha, beta float64, rng *rand.Rand) (*Graph, []Point, error) {
+	if n <= 0 || alpha <= 0 || alpha > 1 || beta <= 0 {
+		return nil, nil, fmt.Errorf("graph: Waxman(n=%d, α=%g, β=%g): need n > 0, α in (0,1], β > 0", n, alpha, beta)
+	}
+	g := New()
+	pts := make([]Point, n)
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("x%d", i))
+		pts[i] = Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	var maxD float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if d := pts[i].Dist(pts[j]); d > maxD {
+				maxD = d
+			}
+		}
+	}
+	if maxD == 0 {
+		maxD = 1
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			p := alpha * math.Exp(-pts[i].Dist(pts[j])/(beta*maxD))
+			if rng.Float64() < p {
+				if _, err := g.AddLink(NodeID(i), NodeID(j)); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+	return g, pts, nil
+}

@@ -1,0 +1,289 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandomGeometric(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g, pts, err := RandomGeometric(100, 4.47, 0.6, rng)
+	if err != nil {
+		t.Fatalf("RandomGeometric: %v", err)
+	}
+	if g.NumNodes() != 100 || len(pts) != 100 {
+		t.Fatalf("nodes = %d, points = %d", g.NumNodes(), len(pts))
+	}
+	// Every link joins nodes within the radius; every non-link pair is
+	// farther apart.
+	for _, l := range g.Links() {
+		if pts[l.A].Dist(pts[l.B]) > 0.6 {
+			t.Errorf("link %d joins distant nodes", l.ID)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		for j := i + 1; j < 100; j++ {
+			if _, ok := g.LinkBetween(NodeID(i), NodeID(j)); !ok {
+				if pts[i].Dist(pts[j]) <= 0.6 {
+					t.Fatalf("nodes %d,%d within radius but unlinked", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomGeometricBadArgs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, args := range [][3]float64{{0, 1, 1}, {5, 0, 1}, {5, 1, 0}} {
+		if _, _, err := RandomGeometric(int(args[0]), args[1], args[2], rng); err == nil {
+			t.Errorf("RandomGeometric(%v) accepted", args)
+		}
+	}
+}
+
+func TestGeometricRadiusForDegree(t *testing.T) {
+	// λπr² = 5 with λ = 5 ⇒ r = 1/√π ≈ 0.5642.
+	r := GeometricRadiusForDegree(5, 5)
+	if r < 0.56 || r > 0.57 {
+		t.Errorf("radius = %g, want ≈ 0.564", r)
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, err := BarabasiAlbert(104, 3, rng)
+	if err != nil {
+		t.Fatalf("BarabasiAlbert: %v", err)
+	}
+	if g.NumNodes() != 104 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// Links: seed clique C(4,2)=6 plus 3 per added node.
+	want := 6 + 3*(104-4)
+	if g.NumLinks() != want {
+		t.Errorf("links = %d, want %d", g.NumLinks(), want)
+	}
+	if !Connected(g) {
+		t.Error("BA graph disconnected")
+	}
+	// Heavy tail: max degree should far exceed the mean.
+	var maxDeg int
+	for _, v := range g.Nodes() {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	mean := 2.0 * float64(g.NumLinks()) / float64(g.NumNodes())
+	if float64(maxDeg) < 2*mean {
+		t.Errorf("max degree %d not heavy-tailed (mean %.1f)", maxDeg, mean)
+	}
+}
+
+func TestBarabasiAlbertBadArgs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := BarabasiAlbert(3, 3, rng); err == nil {
+		t.Error("n ≤ m accepted")
+	}
+	if _, err := BarabasiAlbert(5, 0, rng); err == nil {
+		t.Error("m = 0 accepted")
+	}
+}
+
+func TestErdosRenyiExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, err := ErdosRenyi(10, 1, rng)
+	if err != nil {
+		t.Fatalf("ErdosRenyi: %v", err)
+	}
+	if g.NumLinks() != 45 {
+		t.Errorf("p=1 links = %d, want 45", g.NumLinks())
+	}
+	g, err = ErdosRenyi(10, 0, rng)
+	if err != nil {
+		t.Fatalf("ErdosRenyi: %v", err)
+	}
+	if g.NumLinks() != 0 {
+		t.Errorf("p=0 links = %d, want 0", g.NumLinks())
+	}
+	if _, err := ErdosRenyi(0, 0.5, rng); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := ErdosRenyi(5, 1.5, rng); err == nil {
+		t.Error("p>1 accepted")
+	}
+}
+
+func TestWaxman(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g, pts, err := Waxman(30, 0.9, 0.5, rng)
+	if err != nil {
+		t.Fatalf("Waxman: %v", err)
+	}
+	if g.NumNodes() != 30 || len(pts) != 30 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if g.NumLinks() == 0 {
+		t.Error("Waxman(α=0.9) produced no links")
+	}
+	if _, _, err := Waxman(5, 0, 0.5, rng); err == nil {
+		t.Error("α=0 accepted")
+	}
+	if _, _, err := Waxman(5, 0.5, 0, rng); err == nil {
+		t.Error("β=0 accepted")
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a, err := BarabasiAlbert(50, 2, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BarabasiAlbert(50, 2, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumLinks() != b.NumLinks() {
+		t.Fatal("BA not deterministic in size")
+	}
+	for i := 0; i < a.NumLinks(); i++ {
+		la, _ := a.Link(LinkID(i))
+		lb, _ := b.Link(LinkID(i))
+		if la != lb {
+			t.Fatalf("BA link %d differs across equal seeds", i)
+		}
+	}
+}
+
+func TestComponentsAndGiant(t *testing.T) {
+	g := New()
+	for _, n := range []string{"a", "b", "c", "d", "e"} {
+		g.AddNode(n)
+	}
+	// Component 1: a–b–c; component 2: d–e.
+	mustLink(t, g, 0, 1)
+	mustLink(t, g, 1, 2)
+	mustLink(t, g, 3, 4)
+	comps := Components(g)
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2", len(comps))
+	}
+	if len(comps[0]) != 3 || len(comps[1]) != 2 {
+		t.Errorf("component sizes = %d,%d", len(comps[0]), len(comps[1]))
+	}
+	if Connected(g) {
+		t.Error("disconnected graph reported connected")
+	}
+	sub, orig := GiantComponent(g)
+	if sub.NumNodes() != 3 || sub.NumLinks() != 2 {
+		t.Errorf("giant = %d nodes %d links", sub.NumNodes(), sub.NumLinks())
+	}
+	if len(orig) != 3 || orig[0] != 0 {
+		t.Errorf("giant original IDs = %v", orig)
+	}
+	name, _ := sub.NodeName(0)
+	if name != "a" {
+		t.Errorf("giant node 0 = %q", name)
+	}
+}
+
+func TestGiantComponentEmpty(t *testing.T) {
+	sub, orig := GiantComponent(New())
+	if sub.NumNodes() != 0 || orig != nil {
+		t.Error("GiantComponent of empty graph not empty")
+	}
+}
+
+func TestConnectedProperty(t *testing.T) {
+	// Property: components partition the node set.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := ErdosRenyi(1+rng.Intn(20), rng.Float64(), rng)
+		if err != nil {
+			return false
+		}
+		comps := Components(g)
+		seen := make(map[NodeID]bool)
+		total := 0
+		for _, c := range comps {
+			total += len(c)
+			for _, v := range c {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+			}
+		}
+		return total == g.NumNodes()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseEdgeList(t *testing.T) {
+	in := `# comment
+a b
+b c
+
+a c
+a b
+`
+	g, err := ParseEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ParseEdgeList: %v", err)
+	}
+	if g.NumNodes() != 3 || g.NumLinks() != 3 {
+		t.Fatalf("parsed %d nodes %d links, want 3,3 (duplicate line tolerated)", g.NumNodes(), g.NumLinks())
+	}
+}
+
+func TestParseEdgeListErrors(t *testing.T) {
+	if _, err := ParseEdgeList(strings.NewReader("a b c\n")); err == nil {
+		t.Error("3-field line accepted")
+	}
+	if _, err := ParseEdgeList(strings.NewReader("a a\n")); err == nil {
+		t.Error("self-loop accepted")
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, err := BarabasiAlbert(20, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteEdgeList(&b, g); err != nil {
+		t.Fatalf("WriteEdgeList: %v", err)
+	}
+	g2, err := ParseEdgeList(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("ParseEdgeList: %v", err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumLinks() != g.NumLinks() {
+		t.Errorf("round trip %d/%d nodes, %d/%d links",
+			g2.NumNodes(), g.NumNodes(), g2.NumLinks(), g.NumLinks())
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := line(t, "a", "b", "c")
+	hist, degrees := DegreeHistogram(g)
+	if hist[1] != 2 || hist[2] != 1 {
+		t.Errorf("hist = %v", hist)
+	}
+	if len(degrees) != 2 || degrees[0] != 1 || degrees[1] != 2 {
+		t.Errorf("degrees = %v", degrees)
+	}
+}
+
+func mustLink(t *testing.T, g *Graph, a, b NodeID) LinkID {
+	t.Helper()
+	id, err := g.AddLink(a, b)
+	if err != nil {
+		t.Fatalf("AddLink(%d,%d): %v", a, b, err)
+	}
+	return id
+}

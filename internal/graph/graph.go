@@ -1,0 +1,234 @@
+// Package graph provides the undirected network topology substrate for
+// network tomography: graphs with identified links, path enumeration,
+// shortest paths (BFS, Dijkstra, Yen's k-shortest), connectivity, and
+// the random topology generators the paper's evaluation uses (random
+// geometric graphs for wireless, preferential attachment for ISP-like
+// wireline maps).
+//
+// Nodes and links are dense integer IDs, assigned in insertion order.
+// Following the paper's model (Section II-A), graphs are simple: no
+// self-loops and at most one link between a node pair.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node; IDs are dense indices from 0.
+type NodeID int
+
+// LinkID identifies an undirected link; IDs are dense indices from 0.
+// The paper numbers links from 1 in prose; rendering code adds 1 when
+// printing so figures match the paper.
+type LinkID int
+
+// ErrDuplicateLink is returned when adding a link that already exists.
+var ErrDuplicateLink = errors.New("graph: duplicate link")
+
+// ErrSelfLoop is returned when adding a link from a node to itself.
+var ErrSelfLoop = errors.New("graph: self-loop")
+
+// ErrUnknownNode is returned for out-of-range node IDs or names.
+var ErrUnknownNode = errors.New("graph: unknown node")
+
+// Link is an undirected edge between two nodes. A < B is not required;
+// endpoints keep insertion order.
+type Link struct {
+	ID   LinkID
+	A, B NodeID
+}
+
+// Other returns the endpoint of l that is not v. It panics if v is not
+// an endpoint, which indicates a programming error in path code.
+func (l Link) Other(v NodeID) NodeID {
+	switch v {
+	case l.A:
+		return l.B
+	case l.B:
+		return l.A
+	default:
+		panic(fmt.Sprintf("graph: node %d is not an endpoint of link %d (%d–%d)", v, l.ID, l.A, l.B))
+	}
+}
+
+// Has reports whether v is an endpoint of l.
+func (l Link) Has(v NodeID) bool { return v == l.A || v == l.B }
+
+type adjEntry struct {
+	to   NodeID
+	link LinkID
+}
+
+// Graph is a simple undirected graph with named nodes.
+// The zero value is not usable; call New.
+type Graph struct {
+	names   []string
+	nameIdx map[string]NodeID
+	links   []Link
+	adj     [][]adjEntry
+	// linkIdx maps a canonical (min,max) node pair to the link ID.
+	linkIdx map[[2]NodeID]LinkID
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		nameIdx: make(map[string]NodeID),
+		linkIdx: make(map[[2]NodeID]LinkID),
+	}
+}
+
+// AddNode adds a node with the given name and returns its ID. Adding a
+// name twice returns the existing node's ID.
+func (g *Graph) AddNode(name string) NodeID {
+	if id, ok := g.nameIdx[name]; ok {
+		return id
+	}
+	id := NodeID(len(g.names))
+	g.names = append(g.names, name)
+	g.nameIdx[name] = id
+	g.adj = append(g.adj, nil)
+	return id
+}
+
+// AddLink adds an undirected link between a and b and returns its ID.
+func (g *Graph) AddLink(a, b NodeID) (LinkID, error) {
+	if err := g.checkNode(a); err != nil {
+		return 0, err
+	}
+	if err := g.checkNode(b); err != nil {
+		return 0, err
+	}
+	if a == b {
+		return 0, fmt.Errorf("graph: link %d–%d: %w", a, b, ErrSelfLoop)
+	}
+	key := canonical(a, b)
+	if id, ok := g.linkIdx[key]; ok {
+		return id, fmt.Errorf("graph: link %d–%d already exists as %d: %w", a, b, id, ErrDuplicateLink)
+	}
+	id := LinkID(len(g.links))
+	g.links = append(g.links, Link{ID: id, A: a, B: b})
+	g.linkIdx[key] = id
+	g.adj[a] = append(g.adj[a], adjEntry{to: b, link: id})
+	g.adj[b] = append(g.adj[b], adjEntry{to: a, link: id})
+	return id, nil
+}
+
+func canonical(a, b NodeID) [2]NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]NodeID{a, b}
+}
+
+func (g *Graph) checkNode(v NodeID) error {
+	if v < 0 || int(v) >= len(g.names) {
+		return fmt.Errorf("graph: node %d out of range [0,%d): %w", v, len(g.names), ErrUnknownNode)
+	}
+	return nil
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.names) }
+
+// NumLinks returns the link count.
+func (g *Graph) NumLinks() int { return len(g.links) }
+
+// NodeName returns the name of node v. Unknown IDs yield an error.
+func (g *Graph) NodeName(v NodeID) (string, error) {
+	if err := g.checkNode(v); err != nil {
+		return "", err
+	}
+	return g.names[v], nil
+}
+
+// NodeByName looks a node up by name.
+func (g *Graph) NodeByName(name string) (NodeID, bool) {
+	id, ok := g.nameIdx[name]
+	return id, ok
+}
+
+// Link returns the link with the given ID.
+func (g *Graph) Link(id LinkID) (Link, error) {
+	if id < 0 || int(id) >= len(g.links) {
+		return Link{}, fmt.Errorf("graph: link %d out of range [0,%d): %w", id, len(g.links), ErrUnknownNode)
+	}
+	return g.links[id], nil
+}
+
+// Links returns a copy of all links in ID order.
+func (g *Graph) Links() []Link {
+	out := make([]Link, len(g.links))
+	copy(out, g.links)
+	return out
+}
+
+// LinkBetween returns the link joining a and b, if any.
+func (g *Graph) LinkBetween(a, b NodeID) (LinkID, bool) {
+	id, ok := g.linkIdx[canonical(a, b)]
+	return id, ok
+}
+
+// Neighbors returns the neighbor node IDs of v in insertion order.
+func (g *Graph) Neighbors(v NodeID) []NodeID {
+	if g.checkNode(v) != nil {
+		return nil
+	}
+	out := make([]NodeID, len(g.adj[v]))
+	for i, e := range g.adj[v] {
+		out[i] = e.to
+	}
+	return out
+}
+
+// IncidentLinks returns the IDs of links incident to v.
+func (g *Graph) IncidentLinks(v NodeID) []LinkID {
+	if g.checkNode(v) != nil {
+		return nil
+	}
+	out := make([]LinkID, len(g.adj[v]))
+	for i, e := range g.adj[v] {
+		out[i] = e.link
+	}
+	return out
+}
+
+// IncidentLinkSet returns the set of links incident to any node in vs.
+// This is the paper's L_m: the links an attacker set controls.
+func (g *Graph) IncidentLinkSet(vs []NodeID) map[LinkID]bool {
+	set := make(map[LinkID]bool)
+	for _, v := range vs {
+		for _, l := range g.IncidentLinks(v) {
+			set[l] = true
+		}
+	}
+	return set
+}
+
+// Degree returns the number of links incident to v.
+func (g *Graph) Degree(v NodeID) int {
+	if g.checkNode(v) != nil {
+		return 0
+	}
+	return len(g.adj[v])
+}
+
+// Nodes returns all node IDs in order.
+func (g *Graph) Nodes() []NodeID {
+	out := make([]NodeID, len(g.names))
+	for i := range out {
+		out[i] = NodeID(i)
+	}
+	return out
+}
+
+// SortedNames returns all node names sorted lexicographically; used by
+// deterministic tooling output.
+func (g *Graph) SortedNames() []string {
+	out := make([]string, len(g.names))
+	copy(out, g.names)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,154 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+)
+
+// line builds a path graph a–b–c–… for tests.
+func line(t *testing.T, names ...string) *Graph {
+	t.Helper()
+	g := New()
+	for _, n := range names {
+		g.AddNode(n)
+	}
+	for i := 0; i+1 < len(names); i++ {
+		if _, err := g.AddLink(NodeID(i), NodeID(i+1)); err != nil {
+			t.Fatalf("AddLink: %v", err)
+		}
+	}
+	return g
+}
+
+func TestAddNodeIdempotent(t *testing.T) {
+	g := New()
+	a := g.AddNode("a")
+	a2 := g.AddNode("a")
+	if a != a2 {
+		t.Errorf("AddNode twice gave %d and %d", a, a2)
+	}
+	if g.NumNodes() != 1 {
+		t.Errorf("NumNodes = %d, want 1", g.NumNodes())
+	}
+}
+
+func TestAddLink(t *testing.T) {
+	g := New()
+	a, b := g.AddNode("a"), g.AddNode("b")
+	id, err := g.AddLink(a, b)
+	if err != nil {
+		t.Fatalf("AddLink: %v", err)
+	}
+	l, err := g.Link(id)
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	if !l.Has(a) || !l.Has(b) {
+		t.Errorf("link endpoints = %d–%d, want a,b", l.A, l.B)
+	}
+	if l.Other(a) != b || l.Other(b) != a {
+		t.Error("Other wrong")
+	}
+}
+
+func TestAddLinkErrors(t *testing.T) {
+	g := New()
+	a, b := g.AddNode("a"), g.AddNode("b")
+	if _, err := g.AddLink(a, a); !errors.Is(err, ErrSelfLoop) {
+		t.Errorf("self loop: err = %v", err)
+	}
+	if _, err := g.AddLink(a, 99); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("unknown node: err = %v", err)
+	}
+	if _, err := g.AddLink(a, b); err != nil {
+		t.Fatalf("AddLink: %v", err)
+	}
+	if _, err := g.AddLink(b, a); !errors.Is(err, ErrDuplicateLink) {
+		t.Errorf("duplicate (reversed): err = %v", err)
+	}
+}
+
+func TestLinkOtherPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Other with non-endpoint did not panic")
+		}
+	}()
+	Link{ID: 0, A: 1, B: 2}.Other(3)
+}
+
+func TestNeighborsDegreesIncidence(t *testing.T) {
+	g := New()
+	a, b, c := g.AddNode("a"), g.AddNode("b"), g.AddNode("c")
+	ab, _ := g.AddLink(a, b)
+	ac, _ := g.AddLink(a, c)
+	if got := g.Degree(a); got != 2 {
+		t.Errorf("Degree(a) = %d, want 2", got)
+	}
+	nbrs := g.Neighbors(a)
+	if len(nbrs) != 2 || nbrs[0] != b || nbrs[1] != c {
+		t.Errorf("Neighbors(a) = %v", nbrs)
+	}
+	inc := g.IncidentLinks(a)
+	if len(inc) != 2 || inc[0] != ab || inc[1] != ac {
+		t.Errorf("IncidentLinks(a) = %v", inc)
+	}
+	set := g.IncidentLinkSet([]NodeID{b, c})
+	if !set[ab] || !set[ac] || len(set) != 2 {
+		t.Errorf("IncidentLinkSet = %v", set)
+	}
+}
+
+func TestLinkBetween(t *testing.T) {
+	g := line(t, "a", "b", "c")
+	if id, ok := g.LinkBetween(1, 0); !ok || id != 0 {
+		t.Errorf("LinkBetween(1,0) = %d,%v", id, ok)
+	}
+	if _, ok := g.LinkBetween(0, 2); ok {
+		t.Error("LinkBetween(0,2) found nonexistent link")
+	}
+}
+
+func TestNodeLookup(t *testing.T) {
+	g := line(t, "a", "b")
+	name, err := g.NodeName(1)
+	if err != nil || name != "b" {
+		t.Errorf("NodeName(1) = %q, %v", name, err)
+	}
+	if _, err := g.NodeName(5); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("NodeName(5): err = %v", err)
+	}
+	if id, ok := g.NodeByName("a"); !ok || id != 0 {
+		t.Errorf("NodeByName(a) = %d,%v", id, ok)
+	}
+	if _, ok := g.NodeByName("zzz"); ok {
+		t.Error("NodeByName(zzz) found nonexistent node")
+	}
+	if _, err := g.Link(99); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("Link(99): err = %v", err)
+	}
+}
+
+func TestLinksCopy(t *testing.T) {
+	g := line(t, "a", "b", "c")
+	ls := g.Links()
+	if len(ls) != 2 {
+		t.Fatalf("Links = %d, want 2", len(ls))
+	}
+	ls[0].A = 99
+	l0, _ := g.Link(0)
+	if l0.A == 99 {
+		t.Error("Links exposes internal storage")
+	}
+}
+
+func TestNodesAndSortedNames(t *testing.T) {
+	g := line(t, "c", "a", "b")
+	if got := g.Nodes(); len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Errorf("Nodes = %v", got)
+	}
+	names := g.SortedNames()
+	if names[0] != "a" || names[1] != "b" || names[2] != "c" {
+		t.Errorf("SortedNames = %v", names)
+	}
+}

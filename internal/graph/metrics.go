@@ -1,0 +1,106 @@
+package graph
+
+// Metrics summarizes a topology's structure: size, degree statistics,
+// distance statistics and clustering. The topology generators are
+// validated against these (a BA graph must look heavy-tailed and
+// small-world; an RGG must not), and topogen -stats prints them so
+// users can sanity-check custom maps before running experiments.
+type Metrics struct {
+	Nodes, Links int
+	MinDegree    int
+	MaxDegree    int
+	MeanDegree   float64
+	// Diameter is the longest shortest path (hops) within the largest
+	// component.
+	Diameter int
+	// MeanDistance is the average shortest-path length over connected
+	// pairs.
+	MeanDistance float64
+	// ClusteringCoeff is the global clustering coefficient:
+	// 3·triangles / connected triples.
+	ClusteringCoeff float64
+	// Components is the number of connected components.
+	Components int
+}
+
+// ComputeMetrics measures g. It runs a BFS per node (O(V·E)) and a
+// triangle count (O(Σ deg²)), fine for the hundreds-of-nodes topologies
+// this project uses.
+func ComputeMetrics(g *Graph) Metrics {
+	n := g.NumNodes()
+	m := Metrics{Nodes: n, Links: g.NumLinks(), Components: len(Components(g))}
+	if n == 0 {
+		return m
+	}
+	m.MinDegree = g.Degree(0)
+	for _, v := range g.Nodes() {
+		d := g.Degree(v)
+		if d < m.MinDegree {
+			m.MinDegree = d
+		}
+		if d > m.MaxDegree {
+			m.MaxDegree = d
+		}
+	}
+	m.MeanDegree = 2 * float64(g.NumLinks()) / float64(n)
+
+	// Distance statistics by BFS from every node.
+	var distSum float64
+	var pairCount int
+	dist := make([]int, n)
+	for s := 0; s < n; s++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		queue := []NodeID{NodeID(s)}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, e := range g.adj[v] {
+				if dist[e.to] < 0 {
+					dist[e.to] = dist[v] + 1
+					queue = append(queue, e.to)
+				}
+			}
+		}
+		for t := s + 1; t < n; t++ {
+			if dist[t] > 0 {
+				distSum += float64(dist[t])
+				pairCount++
+				if dist[t] > m.Diameter {
+					m.Diameter = dist[t]
+				}
+			}
+		}
+	}
+	if pairCount > 0 {
+		m.MeanDistance = distSum / float64(pairCount)
+	}
+
+	// Global clustering: count triangles and connected triples.
+	neighbor := make([]map[NodeID]bool, n)
+	for v := 0; v < n; v++ {
+		neighbor[v] = make(map[NodeID]bool, len(g.adj[v]))
+		for _, e := range g.adj[NodeID(v)] {
+			neighbor[v][e.to] = true
+		}
+	}
+	var triangles, triples int
+	for v := 0; v < n; v++ {
+		d := len(g.adj[NodeID(v)])
+		triples += d * (d - 1) / 2
+		adj := g.adj[NodeID(v)]
+		for i := 0; i < len(adj); i++ {
+			for j := i + 1; j < len(adj); j++ {
+				if neighbor[adj[i].to][adj[j].to] {
+					triangles++ // counted once per corner → 3 per triangle
+				}
+			}
+		}
+	}
+	if triples > 0 {
+		m.ClusteringCoeff = float64(triangles) / float64(triples)
+	}
+	return m
+}

@@ -1,0 +1,103 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestComputeMetricsLine(t *testing.T) {
+	g := line(t, "a", "b", "c", "d")
+	m := ComputeMetrics(g)
+	if m.Nodes != 4 || m.Links != 3 {
+		t.Fatalf("size = %d/%d", m.Nodes, m.Links)
+	}
+	if m.Diameter != 3 {
+		t.Errorf("diameter = %d, want 3", m.Diameter)
+	}
+	// Distances: 1+2+3 + 1+2 + 1 = 10 over 6 pairs.
+	if math.Abs(m.MeanDistance-10.0/6) > 1e-12 {
+		t.Errorf("mean distance = %g, want %g", m.MeanDistance, 10.0/6)
+	}
+	if m.ClusteringCoeff != 0 {
+		t.Errorf("clustering = %g, want 0 (no triangles)", m.ClusteringCoeff)
+	}
+	if m.MinDegree != 1 || m.MaxDegree != 2 {
+		t.Errorf("degrees = %d/%d", m.MinDegree, m.MaxDegree)
+	}
+	if m.Components != 1 {
+		t.Errorf("components = %d", m.Components)
+	}
+}
+
+func TestComputeMetricsTriangle(t *testing.T) {
+	g := New()
+	for i := 0; i < 3; i++ {
+		g.AddNode(string(rune('a' + i)))
+	}
+	mustLink(t, g, 0, 1)
+	mustLink(t, g, 1, 2)
+	mustLink(t, g, 2, 0)
+	m := ComputeMetrics(g)
+	if m.ClusteringCoeff != 1 {
+		t.Errorf("triangle clustering = %g, want 1", m.ClusteringCoeff)
+	}
+	if m.Diameter != 1 {
+		t.Errorf("diameter = %d, want 1", m.Diameter)
+	}
+	if m.MeanDegree != 2 {
+		t.Errorf("mean degree = %g", m.MeanDegree)
+	}
+}
+
+func TestComputeMetricsComplete(t *testing.T) {
+	g := New()
+	const n = 6
+	for i := 0; i < n; i++ {
+		g.AddNode(string(rune('a' + i)))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			mustLink(t, g, NodeID(i), NodeID(j))
+		}
+	}
+	m := ComputeMetrics(g)
+	if m.ClusteringCoeff != 1 || m.Diameter != 1 || m.MeanDistance != 1 {
+		t.Errorf("K6 metrics = %+v", m)
+	}
+}
+
+func TestComputeMetricsEmptyAndDisconnected(t *testing.T) {
+	if m := ComputeMetrics(New()); m.Nodes != 0 || m.Components != 0 {
+		t.Errorf("empty metrics = %+v", m)
+	}
+	g := New()
+	g.AddNode("a")
+	g.AddNode("b")
+	m := ComputeMetrics(g)
+	if m.Components != 2 || m.Diameter != 0 || m.MeanDistance != 0 {
+		t.Errorf("disconnected metrics = %+v", m)
+	}
+}
+
+func TestMetricsDistinguishGeneratorFamilies(t *testing.T) {
+	// BA graphs are small-world with hubs; RGGs are flat-degree with
+	// long geometric distances. The metrics must reflect that.
+	rng := rand.New(rand.NewSource(4))
+	ba, err := BarabasiAlbert(100, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rgg, _, err := RandomGeometric(100, math.Sqrt(20), GeometricRadiusForDegree(5, 5), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mBA := ComputeMetrics(ba)
+	mRGG := ComputeMetrics(rgg)
+	if mBA.MaxDegree <= mRGG.MaxDegree {
+		t.Errorf("BA max degree %d not above RGG %d", mBA.MaxDegree, mRGG.MaxDegree)
+	}
+	if mBA.Diameter >= mRGG.Diameter {
+		t.Errorf("BA diameter %d not below RGG %d", mBA.Diameter, mRGG.Diameter)
+	}
+}

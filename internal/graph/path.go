@@ -1,0 +1,268 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrNoPath is returned when no path exists between the requested
+// endpoints.
+var ErrNoPath = errors.New("graph: no path")
+
+// Path is a walk through the graph: len(Links) == len(Nodes)−1, and
+// Links[i] joins Nodes[i] and Nodes[i+1]. Paths used in tomography are
+// simple (no repeated node).
+type Path struct {
+	Nodes []NodeID
+	Links []LinkID
+}
+
+// Len returns the hop count (number of links).
+func (p Path) Len() int { return len(p.Links) }
+
+// Src returns the first node. It panics on an empty path.
+func (p Path) Src() NodeID { return p.Nodes[0] }
+
+// Dst returns the last node. It panics on an empty path.
+func (p Path) Dst() NodeID { return p.Nodes[len(p.Nodes)-1] }
+
+// HasNode reports whether v appears on the path.
+func (p Path) HasNode(v NodeID) bool {
+	for _, n := range p.Nodes {
+		if n == v {
+			return true
+		}
+	}
+	return false
+}
+
+// HasAnyNode reports whether any node in set appears on the path.
+// Endpoint monitors count: the paper allows monitors to be malicious.
+func (p Path) HasAnyNode(set map[NodeID]bool) bool {
+	for _, n := range p.Nodes {
+		if set[n] {
+			return true
+		}
+	}
+	return false
+}
+
+// HasLink reports whether link l appears on the path.
+func (p Path) HasLink(l LinkID) bool {
+	for _, x := range p.Links {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// HasAnyLink reports whether any link in set appears on the path.
+func (p Path) HasAnyLink(set map[LinkID]bool) bool {
+	for _, x := range p.Links {
+		if set[x] {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone deep-copies the path.
+func (p Path) Clone() Path {
+	n := make([]NodeID, len(p.Nodes))
+	copy(n, p.Nodes)
+	l := make([]LinkID, len(p.Links))
+	copy(l, p.Links)
+	return Path{Nodes: n, Links: l}
+}
+
+// Equal reports whether two paths visit the same nodes over the same
+// links in the same order.
+func (p Path) Equal(q Path) bool {
+	if len(p.Nodes) != len(q.Nodes) || len(p.Links) != len(q.Links) {
+		return false
+	}
+	for i := range p.Nodes {
+		if p.Nodes[i] != q.Nodes[i] {
+			return false
+		}
+	}
+	for i := range p.Links {
+		if p.Links[i] != q.Links[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks structural invariants of the path against g: length
+// bookkeeping, link endpoints matching consecutive nodes, and (for
+// simple paths) no repeated nodes.
+func (p Path) Validate(g *Graph) error {
+	if len(p.Nodes) == 0 {
+		return fmt.Errorf("graph: empty path")
+	}
+	if len(p.Links) != len(p.Nodes)-1 {
+		return fmt.Errorf("graph: path has %d nodes but %d links", len(p.Nodes), len(p.Links))
+	}
+	seen := make(map[NodeID]bool, len(p.Nodes))
+	for _, v := range p.Nodes {
+		if err := g.checkNode(v); err != nil {
+			return err
+		}
+		if seen[v] {
+			return fmt.Errorf("graph: path revisits node %d", v)
+		}
+		seen[v] = true
+	}
+	for i, lid := range p.Links {
+		l, err := g.Link(lid)
+		if err != nil {
+			return err
+		}
+		if !(l.Has(p.Nodes[i]) && l.Has(p.Nodes[i+1])) {
+			return fmt.Errorf("graph: link %d (%d–%d) does not join path nodes %d and %d",
+				lid, l.A, l.B, p.Nodes[i], p.Nodes[i+1])
+		}
+	}
+	return nil
+}
+
+// Format renders the path with node names when g is non-nil: "A→B→C".
+func (p Path) Format(g *Graph) string {
+	var b strings.Builder
+	for i, v := range p.Nodes {
+		if i > 0 {
+			b.WriteString("→")
+		}
+		if g != nil {
+			if name, err := g.NodeName(v); err == nil {
+				b.WriteString(name)
+				continue
+			}
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	return b.String()
+}
+
+// SimplePaths enumerates simple paths from src to dst by depth-first
+// search. maxHops bounds path length (0 means no bound); maxPaths bounds
+// how many paths are returned (0 means no bound). Neighbor order is
+// insertion order, so enumeration is deterministic.
+func SimplePaths(g *Graph, src, dst NodeID, maxHops, maxPaths int) ([]Path, error) {
+	if err := g.checkNode(src); err != nil {
+		return nil, err
+	}
+	if err := g.checkNode(dst); err != nil {
+		return nil, err
+	}
+	if src == dst {
+		return nil, fmt.Errorf("graph: SimplePaths from %d to itself: %w", src, ErrNoPath)
+	}
+	var (
+		out     []Path
+		nodes   = []NodeID{src}
+		links   []LinkID
+		visited = make(map[NodeID]bool)
+	)
+	visited[src] = true
+	var dfs func(v NodeID) bool // returns false when maxPaths reached
+	dfs = func(v NodeID) bool {
+		if maxHops > 0 && len(links) >= maxHops {
+			return true
+		}
+		for _, e := range g.adj[v] {
+			if visited[e.to] {
+				continue
+			}
+			nodes = append(nodes, e.to)
+			links = append(links, e.link)
+			if e.to == dst {
+				out = append(out, Path{Nodes: append([]NodeID(nil), nodes...), Links: append([]LinkID(nil), links...)})
+				if maxPaths > 0 && len(out) >= maxPaths {
+					nodes = nodes[:len(nodes)-1]
+					links = links[:len(links)-1]
+					return false
+				}
+			} else {
+				visited[e.to] = true
+				ok := dfs(e.to)
+				visited[e.to] = false
+				if !ok {
+					nodes = nodes[:len(nodes)-1]
+					links = links[:len(links)-1]
+					return false
+				}
+			}
+			nodes = nodes[:len(nodes)-1]
+			links = links[:len(links)-1]
+		}
+		return true
+	}
+	dfs(src)
+	if len(out) == 0 {
+		return nil, fmt.Errorf("graph: no simple path %d→%d within %d hops: %w", src, dst, maxHops, ErrNoPath)
+	}
+	return out, nil
+}
+
+// ShortestPath returns a minimum-hop path from src to dst by BFS, with
+// deterministic neighbor order.
+func ShortestPath(g *Graph, src, dst NodeID) (Path, error) {
+	if err := g.checkNode(src); err != nil {
+		return Path{}, err
+	}
+	if err := g.checkNode(dst); err != nil {
+		return Path{}, err
+	}
+	if src == dst {
+		return Path{}, fmt.Errorf("graph: ShortestPath from %d to itself: %w", src, ErrNoPath)
+	}
+	preds := make(map[NodeID]pred)
+	visited := make(map[NodeID]bool)
+	visited[src] = true
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range g.adj[v] {
+			if visited[e.to] {
+				continue
+			}
+			visited[e.to] = true
+			preds[e.to] = pred{node: v, link: e.link}
+			if e.to == dst {
+				return rebuild(src, dst, preds), nil
+			}
+			queue = append(queue, e.to)
+		}
+	}
+	return Path{}, fmt.Errorf("graph: %d and %d disconnected: %w", src, dst, ErrNoPath)
+}
+
+func rebuild(src, dst NodeID, preds map[NodeID]pred) Path {
+	var nodes []NodeID
+	var links []LinkID
+	for v := dst; v != src; {
+		p := preds[v]
+		nodes = append(nodes, v)
+		links = append(links, p.link)
+		v = p.node
+	}
+	nodes = append(nodes, src)
+	// Reverse into src→dst order.
+	for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
+		nodes[i], nodes[j] = nodes[j], nodes[i]
+	}
+	for i, j := 0, len(links)-1; i < j; i, j = i+1, j-1 {
+		links[i], links[j] = links[j], links[i]
+	}
+	return Path{Nodes: nodes, Links: links}
+}
+
+type pred struct {
+	node NodeID
+	link LinkID
+}

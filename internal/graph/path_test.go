@@ -1,0 +1,269 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// diamond builds the 4-node graph a–b, a–c, b–d, c–d, b–c.
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	for _, n := range []string{"a", "b", "c", "d"} {
+		g.AddNode(n)
+	}
+	for _, e := range [][2]NodeID{{0, 1}, {0, 2}, {1, 3}, {2, 3}, {1, 2}} {
+		if _, err := g.AddLink(e[0], e[1]); err != nil {
+			t.Fatalf("AddLink: %v", err)
+		}
+	}
+	return g
+}
+
+func TestShortestPathLine(t *testing.T) {
+	g := line(t, "a", "b", "c", "d")
+	p, err := ShortestPath(g, 0, 3)
+	if err != nil {
+		t.Fatalf("ShortestPath: %v", err)
+	}
+	if p.Len() != 3 {
+		t.Errorf("Len = %d, want 3", p.Len())
+	}
+	if err := p.Validate(g); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if p.Src() != 0 || p.Dst() != 3 {
+		t.Errorf("endpoints = %d,%d", p.Src(), p.Dst())
+	}
+}
+
+func TestShortestPathPicksShorter(t *testing.T) {
+	g := diamond(t)
+	p, err := ShortestPath(g, 0, 3)
+	if err != nil {
+		t.Fatalf("ShortestPath: %v", err)
+	}
+	if p.Len() != 2 {
+		t.Errorf("Len = %d, want 2", p.Len())
+	}
+}
+
+func TestShortestPathErrors(t *testing.T) {
+	g := New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	if _, err := ShortestPath(g, a, b); !errors.Is(err, ErrNoPath) {
+		t.Errorf("disconnected: err = %v", err)
+	}
+	if _, err := ShortestPath(g, a, a); !errors.Is(err, ErrNoPath) {
+		t.Errorf("self: err = %v", err)
+	}
+	if _, err := ShortestPath(g, a, 99); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("unknown: err = %v", err)
+	}
+}
+
+func TestSimplePathsDiamond(t *testing.T) {
+	g := diamond(t)
+	paths, err := SimplePaths(g, 0, 3, 0, 0)
+	if err != nil {
+		t.Fatalf("SimplePaths: %v", err)
+	}
+	// a→b→d, a→c→d, a→b→c→d, a→c→b→d.
+	if len(paths) != 4 {
+		t.Fatalf("found %d paths, want 4", len(paths))
+	}
+	for _, p := range paths {
+		if err := p.Validate(g); err != nil {
+			t.Errorf("path %v invalid: %v", p.Nodes, err)
+		}
+		if p.Src() != 0 || p.Dst() != 3 {
+			t.Errorf("path endpoints %d→%d", p.Src(), p.Dst())
+		}
+	}
+}
+
+func TestSimplePathsMaxHops(t *testing.T) {
+	g := diamond(t)
+	paths, err := SimplePaths(g, 0, 3, 2, 0)
+	if err != nil {
+		t.Fatalf("SimplePaths: %v", err)
+	}
+	if len(paths) != 2 {
+		t.Errorf("found %d paths within 2 hops, want 2", len(paths))
+	}
+}
+
+func TestSimplePathsMaxPaths(t *testing.T) {
+	g := diamond(t)
+	paths, err := SimplePaths(g, 0, 3, 0, 3)
+	if err != nil {
+		t.Fatalf("SimplePaths: %v", err)
+	}
+	if len(paths) != 3 {
+		t.Errorf("found %d paths with cap 3, want 3", len(paths))
+	}
+}
+
+func TestSimplePathsNoPath(t *testing.T) {
+	g := New()
+	a, b := g.AddNode("a"), g.AddNode("b")
+	if _, err := SimplePaths(g, a, b, 0, 0); !errors.Is(err, ErrNoPath) {
+		t.Errorf("err = %v, want ErrNoPath", err)
+	}
+}
+
+func TestPathPredicates(t *testing.T) {
+	g := diamond(t)
+	p, _ := ShortestPath(g, 0, 3)
+	if !p.HasNode(0) || p.HasNode(99) {
+		t.Error("HasNode wrong")
+	}
+	if !p.HasAnyNode(map[NodeID]bool{0: true}) || p.HasAnyNode(map[NodeID]bool{99: true}) {
+		t.Error("HasAnyNode wrong")
+	}
+	if !p.HasLink(p.Links[0]) || p.HasLink(99) {
+		t.Error("HasLink wrong")
+	}
+	if !p.HasAnyLink(map[LinkID]bool{p.Links[0]: true}) || p.HasAnyLink(map[LinkID]bool{99: true}) {
+		t.Error("HasAnyLink wrong")
+	}
+}
+
+func TestPathCloneEqual(t *testing.T) {
+	g := diamond(t)
+	p, _ := ShortestPath(g, 0, 3)
+	q := p.Clone()
+	if !p.Equal(q) {
+		t.Error("clone not Equal")
+	}
+	q.Nodes[0] = 2
+	if p.Nodes[0] == 2 {
+		t.Error("Clone shares storage")
+	}
+	if p.Equal(q) {
+		t.Error("Equal ignores node difference")
+	}
+}
+
+func TestPathValidateRejects(t *testing.T) {
+	g := diamond(t)
+	bad := Path{Nodes: []NodeID{0, 1}, Links: []LinkID{}}
+	if err := bad.Validate(g); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	empty := Path{}
+	if err := empty.Validate(g); err == nil {
+		t.Error("empty path accepted")
+	}
+	lid, _ := g.LinkBetween(0, 1)
+	revisit := Path{Nodes: []NodeID{0, 1, 0}, Links: []LinkID{lid, lid}}
+	if err := revisit.Validate(g); err == nil {
+		t.Error("revisiting path accepted")
+	}
+	wrongLink, _ := g.LinkBetween(2, 3)
+	mismatch := Path{Nodes: []NodeID{0, 1}, Links: []LinkID{wrongLink}}
+	if err := mismatch.Validate(g); err == nil {
+		t.Error("mismatched link accepted")
+	}
+}
+
+func TestPathFormat(t *testing.T) {
+	g := line(t, "a", "b")
+	p, _ := ShortestPath(g, 0, 1)
+	if got := p.Format(g); got != "a→b" {
+		t.Errorf("Format = %q", got)
+	}
+	if got := p.Format(nil); got != "0→1" {
+		t.Errorf("Format(nil) = %q", got)
+	}
+}
+
+func TestKShortestPathsDiamond(t *testing.T) {
+	g := diamond(t)
+	paths, err := KShortestPaths(g, 0, 3, 4)
+	if err != nil {
+		t.Fatalf("KShortestPaths: %v", err)
+	}
+	if len(paths) != 4 {
+		t.Fatalf("got %d paths, want 4", len(paths))
+	}
+	// Non-decreasing lengths, all valid, all distinct.
+	for i, p := range paths {
+		if err := p.Validate(g); err != nil {
+			t.Errorf("path %d invalid: %v", i, err)
+		}
+		if i > 0 && p.Len() < paths[i-1].Len() {
+			t.Errorf("paths not sorted by length at %d", i)
+		}
+		for j := 0; j < i; j++ {
+			if p.Equal(paths[j]) {
+				t.Errorf("paths %d and %d identical", i, j)
+			}
+		}
+	}
+	if paths[0].Len() != 2 || paths[1].Len() != 2 {
+		t.Error("two 2-hop paths expected first")
+	}
+}
+
+func TestKShortestPathsFewerAvailable(t *testing.T) {
+	g := line(t, "a", "b", "c")
+	paths, err := KShortestPaths(g, 0, 2, 5)
+	if err != nil {
+		t.Fatalf("KShortestPaths: %v", err)
+	}
+	if len(paths) != 1 {
+		t.Errorf("got %d paths on a line, want 1", len(paths))
+	}
+}
+
+func TestKShortestPathsBadK(t *testing.T) {
+	g := line(t, "a", "b")
+	if _, err := KShortestPaths(g, 0, 1, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestKShortestMatchesSimplePathsProperty(t *testing.T) {
+	// Property: on random connected graphs, KShortestPaths(k=all) finds
+	// exactly the simple paths found by exhaustive DFS (as sets of
+	// lengths), and each result is simple and valid.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(4)
+		g, err := ErdosRenyi(n, 0.5, rng)
+		if err != nil {
+			return false
+		}
+		if !Connected(g) {
+			return true // skip disconnected draws
+		}
+		src, dst := NodeID(0), NodeID(n-1)
+		all, err := SimplePaths(g, src, dst, 0, 0)
+		if errors.Is(err, ErrNoPath) {
+			return true
+		}
+		if err != nil {
+			return false
+		}
+		ks, err := KShortestPaths(g, src, dst, len(all))
+		if err != nil {
+			return false
+		}
+		if len(ks) != len(all) {
+			return false
+		}
+		for _, p := range ks {
+			if p.Validate(g) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

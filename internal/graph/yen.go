@@ -1,0 +1,140 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// KShortestPaths returns up to k loopless shortest paths (by hop count)
+// from src to dst using Yen's algorithm over BFS shortest paths. Results
+// are ordered by increasing length, ties broken by lexicographic node
+// sequence, so output is deterministic.
+//
+// Tomography path selection uses this to gather a diverse candidate pool
+// between each monitor pair without enumerating the exponential set of
+// all simple paths on large topologies.
+func KShortestPaths(g *Graph, src, dst NodeID, k int) ([]Path, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("graph: KShortestPaths with k=%d", k)
+	}
+	first, err := ShortestPath(g, src, dst)
+	if err != nil {
+		return nil, err
+	}
+	accepted := []Path{first}
+	var candidates []Path
+
+	for len(accepted) < k {
+		prev := accepted[len(accepted)-1]
+		// Each node on the previous path (except the last) is a spur.
+		for i := 0; i < len(prev.Nodes)-1; i++ {
+			spur := prev.Nodes[i]
+			root := Path{
+				Nodes: append([]NodeID(nil), prev.Nodes[:i+1]...),
+				Links: append([]LinkID(nil), prev.Links[:i]...),
+			}
+			// Links to hide: the next link of every accepted path
+			// sharing this root.
+			banLinks := make(map[LinkID]bool)
+			for _, p := range accepted {
+				if sharesRoot(p, root) && i < len(p.Links) {
+					banLinks[p.Links[i]] = true
+				}
+			}
+			// Nodes on the root (except the spur) are off-limits to
+			// keep paths loopless.
+			banNodes := make(map[NodeID]bool)
+			for _, v := range root.Nodes[:len(root.Nodes)-1] {
+				banNodes[v] = true
+			}
+			spurPath, err := shortestPathFiltered(g, spur, dst, banNodes, banLinks)
+			if err != nil {
+				if errors.Is(err, ErrNoPath) {
+					continue
+				}
+				return nil, err
+			}
+			total := Path{
+				Nodes: append(append([]NodeID(nil), root.Nodes[:len(root.Nodes)-1]...), spurPath.Nodes...),
+				Links: append(append([]LinkID(nil), root.Links...), spurPath.Links...),
+			}
+			if !containsPath(candidates, total) && !containsPath(accepted, total) {
+				candidates = append(candidates, total)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(a, b int) bool {
+			return lessPath(candidates[a], candidates[b])
+		})
+		accepted = append(accepted, candidates[0])
+		candidates = candidates[1:]
+	}
+	return accepted, nil
+}
+
+func sharesRoot(p, root Path) bool {
+	if len(p.Nodes) < len(root.Nodes) {
+		return false
+	}
+	for i, v := range root.Nodes {
+		if p.Nodes[i] != v {
+			return false
+		}
+	}
+	for i, l := range root.Links {
+		if p.Links[i] != l {
+			return false
+		}
+	}
+	return true
+}
+
+func containsPath(list []Path, p Path) bool {
+	for _, q := range list {
+		if q.Equal(p) {
+			return true
+		}
+	}
+	return false
+}
+
+func lessPath(a, b Path) bool {
+	if a.Len() != b.Len() {
+		return a.Len() < b.Len()
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			return a.Nodes[i] < b.Nodes[i]
+		}
+	}
+	return false
+}
+
+// shortestPathFiltered is BFS that ignores banned nodes and links.
+func shortestPathFiltered(g *Graph, src, dst NodeID, banNodes map[NodeID]bool, banLinks map[LinkID]bool) (Path, error) {
+	if banNodes[src] || banNodes[dst] {
+		return Path{}, fmt.Errorf("graph: endpoint banned: %w", ErrNoPath)
+	}
+	preds := make(map[NodeID]pred)
+	visited := map[NodeID]bool{src: true}
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range g.adj[v] {
+			if visited[e.to] || banNodes[e.to] || banLinks[e.link] {
+				continue
+			}
+			visited[e.to] = true
+			preds[e.to] = pred{node: v, link: e.link}
+			if e.to == dst {
+				return rebuild(src, dst, preds), nil
+			}
+			queue = append(queue, e.to)
+		}
+	}
+	return Path{}, fmt.Errorf("graph: filtered search %d→%d: %w", src, dst, ErrNoPath)
+}

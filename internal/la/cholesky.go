@@ -1,0 +1,79 @@
+package la
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cholesky is the lower-triangular Cholesky factor L of a symmetric
+// positive definite matrix: A = L·Lᵀ.
+type Cholesky struct {
+	l *Matrix
+}
+
+// FactorCholesky computes the Cholesky factorization of a symmetric
+// positive definite matrix. Only the lower triangle of a is read; the
+// caller is responsible for symmetry. It returns ErrNotSPD when a
+// diagonal pivot is not strictly positive, which in this project signals
+// a rank-deficient routing Gram matrix RᵀR (unidentifiable tomography).
+func FactorCholesky(a *Matrix) (*Cholesky, error) {
+	n := a.rows
+	if a.cols != n {
+		return nil, fmt.Errorf("la: FactorCholesky of %d×%d matrix: %w", a.rows, a.cols, ErrShape)
+	}
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.data[i*n+j]
+			li := l.data[i*n : i*n+j]
+			lj := l.data[j*n : j*n+j]
+			for k := range li {
+				s -= li[k] * lj[k]
+			}
+			if i == j {
+				if s <= spdTol {
+					return nil, fmt.Errorf("la: non-positive pivot %g at %d: %w", s, i, ErrNotSPD)
+				}
+				l.data[i*n+i] = math.Sqrt(s)
+			} else {
+				l.data[i*n+j] = s / l.data[j*n+j]
+			}
+		}
+	}
+	return &Cholesky{l: l}, nil
+}
+
+// spdTol is the minimum acceptable Cholesky pivot. Gram matrices of 0/1
+// routing matrices have integer entries, so anything this small means
+// rank deficiency rather than scaling.
+const spdTol = 1e-10
+
+// Solve solves A·x = b where A = L·Lᵀ is the factored matrix.
+func (c *Cholesky) Solve(b Vector) (Vector, error) {
+	n := c.l.rows
+	if len(b) != n {
+		return nil, fmt.Errorf("la: Cholesky.Solve with rhs length %d, want %d: %w", len(b), n, ErrShape)
+	}
+	// Forward substitution L·y = b.
+	y := b.Clone()
+	for i := 0; i < n; i++ {
+		row := c.l.data[i*n : i*n+i]
+		s := y[i]
+		for j, v := range row {
+			s -= v * y[j]
+		}
+		y[i] = s / c.l.data[i*n+i]
+	}
+	// Back substitution Lᵀ·x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= c.l.data[j*n+i] * y[j]
+		}
+		y[i] = s / c.l.data[i*n+i]
+	}
+	return y, nil
+}
+
+// L returns a copy of the lower-triangular factor.
+func (c *Cholesky) L() *Matrix { return c.l.Clone() }

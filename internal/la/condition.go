@@ -1,0 +1,103 @@
+package la
+
+import (
+	"fmt"
+	"math"
+)
+
+// SpectralNormEst estimates ‖A‖₂ (the largest singular value) by power
+// iteration on AᵀA. Deterministic: the start vector is all-ones with a
+// small index ramp to avoid starting orthogonal to the top singular
+// vector. iters ≤ 0 selects 100.
+func SpectralNormEst(a *Matrix, iters int) (float64, error) {
+	if a.rows == 0 || a.cols == 0 {
+		return 0, nil
+	}
+	if iters <= 0 {
+		iters = 100
+	}
+	v := make(Vector, a.cols)
+	for i := range v {
+		v[i] = 1 + float64(i)/float64(len(v)+1)
+	}
+	norm := v.Norm2()
+	for i := range v {
+		v[i] /= norm
+	}
+	at := a.T()
+	var sigma float64
+	for k := 0; k < iters; k++ {
+		av, err := a.MulVec(v)
+		if err != nil {
+			return 0, err
+		}
+		atav, err := at.MulVec(av)
+		if err != nil {
+			return 0, err
+		}
+		n := atav.Norm2()
+		if n == 0 {
+			return 0, nil // A maps v to 0; A is (numerically) zero on it
+		}
+		for i := range v {
+			v[i] = atav[i] / n
+		}
+		sigma = math.Sqrt(n)
+	}
+	return sigma, nil
+}
+
+// ConditionEst estimates the 2-norm condition number κ(A) = σ_max/σ_min
+// of a full-column-rank matrix via power iteration on AᵀA and on
+// (AᵀA)⁻¹ (through its Cholesky factorization). Tomography uses it to
+// report how much measurement noise the estimator x̂ = (RᵀR)⁻¹Rᵀy can
+// amplify. Fails with ErrNotSPD on rank-deficient input.
+func ConditionEst(a *Matrix, iters int) (float64, error) {
+	if a.rows < a.cols {
+		return 0, fmt.Errorf("la: ConditionEst of %d×%d matrix needs rows ≥ cols: %w", a.rows, a.cols, ErrShape)
+	}
+	sigmaMax, err := SpectralNormEst(a, iters)
+	if err != nil {
+		return 0, err
+	}
+	if sigmaMax == 0 {
+		return math.Inf(1), nil
+	}
+	gram, err := a.T().Mul(a)
+	if err != nil {
+		return 0, err
+	}
+	chol, err := FactorCholesky(gram)
+	if err != nil {
+		return 0, err
+	}
+	if iters <= 0 {
+		iters = 100
+	}
+	// Power iteration on (AᵀA)⁻¹: dominant eigenvalue is 1/σ_min².
+	v := make(Vector, a.cols)
+	for i := range v {
+		v[i] = 1 + float64(i)/float64(len(v)+1)
+	}
+	n := v.Norm2()
+	for i := range v {
+		v[i] /= n
+	}
+	var lamInv float64
+	for k := 0; k < iters; k++ {
+		w, err := chol.Solve(v)
+		if err != nil {
+			return 0, err
+		}
+		n := w.Norm2()
+		if n == 0 {
+			return math.Inf(1), nil
+		}
+		for i := range v {
+			v[i] = w[i] / n
+		}
+		lamInv = n
+	}
+	sigmaMin := 1 / math.Sqrt(lamInv)
+	return sigmaMax / sigmaMin, nil
+}

@@ -1,0 +1,102 @@
+package la
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpectralNormDiagonal(t *testing.T) {
+	a, _ := NewMatrixFrom(3, 3, []float64{
+		3, 0, 0,
+		0, 7, 0,
+		0, 0, 2,
+	})
+	got, err := SpectralNormEst(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-7) > 1e-6 {
+		t.Errorf("‖A‖₂ = %g, want 7", got)
+	}
+}
+
+func TestSpectralNormEmptyAndZero(t *testing.T) {
+	got, err := SpectralNormEst(NewMatrix(0, 0), 0)
+	if err != nil || got != 0 {
+		t.Errorf("empty: %g, %v", got, err)
+	}
+	got, err = SpectralNormEst(NewMatrix(3, 3), 0)
+	if err != nil || got != 0 {
+		t.Errorf("zero: %g, %v", got, err)
+	}
+}
+
+func TestConditionDiagonal(t *testing.T) {
+	a, _ := NewMatrixFrom(3, 3, []float64{
+		10, 0, 0,
+		0, 5, 0,
+		0, 0, 2,
+	})
+	got, err := ConditionEst(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-5) > 1e-6 {
+		t.Errorf("κ = %g, want 5", got)
+	}
+}
+
+func TestConditionIdentity(t *testing.T) {
+	got, err := ConditionEst(Identity(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-9 {
+		t.Errorf("κ(I) = %g, want 1", got)
+	}
+}
+
+func TestConditionRankDeficient(t *testing.T) {
+	a, _ := NewMatrixFrom(3, 2, []float64{1, 2, 2, 4, 3, 6})
+	if _, err := ConditionEst(a, 0); !errors.Is(err, ErrNotSPD) {
+		t.Errorf("rank-deficient: err = %v", err)
+	}
+	if _, err := ConditionEst(NewMatrix(2, 3), 0); !errors.Is(err, ErrShape) {
+		t.Errorf("wide: err = %v", err)
+	}
+}
+
+func TestConditionBoundsProperty(t *testing.T) {
+	// Property: κ ≥ 1, and ‖A·x‖ ≤ σ_max‖x‖ for random x.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		m := n + rng.Intn(4)
+		a := randomMatrix(rng, m, n)
+		kappa, err := ConditionEst(a, 200)
+		if err != nil {
+			return true // near-singular random draw
+		}
+		if kappa < 1-1e-6 {
+			return false
+		}
+		sigma, err := SpectralNormEst(a, 200)
+		if err != nil {
+			return false
+		}
+		for k := 0; k < 5; k++ {
+			x := randomVector(rng, n)
+			ax, _ := a.MulVec(x)
+			if ax.Norm2() > sigma*x.Norm2()*(1+1e-4) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,148 @@
+package la
+
+import (
+	"fmt"
+	"math"
+)
+
+// LU is an LU factorization with partial pivoting: P·A = L·U, stored
+// packed in lu (unit lower triangle below the diagonal, U on and above).
+type LU struct {
+	lu    *Matrix
+	pivot []int // row permutation: row i of PA is row pivot[i] of A
+	sign  int   // determinant sign of P
+}
+
+// FactorLU computes the LU factorization of square matrix a with partial
+// pivoting. It returns ErrSingular when a pivot collapses to (near) zero.
+func FactorLU(a *Matrix) (*LU, error) {
+	n := a.rows
+	if a.cols != n {
+		return nil, fmt.Errorf("la: FactorLU of %d×%d matrix: %w", a.rows, a.cols, ErrShape)
+	}
+	lu := a.Clone()
+	pivot := make([]int, n)
+	for i := range pivot {
+		pivot[i] = i
+	}
+	sign := 1
+	for k := 0; k < n; k++ {
+		// Find the pivot row.
+		p := k
+		max := math.Abs(lu.data[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(lu.data[i*n+k]); a > max {
+				max, p = a, i
+			}
+		}
+		if max < singularTol {
+			return nil, fmt.Errorf("la: zero pivot at column %d: %w", k, ErrSingular)
+		}
+		if p != k {
+			swapRows(lu, p, k)
+			pivot[p], pivot[k] = pivot[k], pivot[p]
+			sign = -sign
+		}
+		pk := lu.data[k*n+k]
+		for i := k + 1; i < n; i++ {
+			f := lu.data[i*n+k] / pk
+			lu.data[i*n+k] = f
+			if f == 0 {
+				continue
+			}
+			row := lu.data[i*n : (i+1)*n]
+			krow := lu.data[k*n : (k+1)*n]
+			for j := k + 1; j < n; j++ {
+				row[j] -= f * krow[j]
+			}
+		}
+	}
+	return &LU{lu: lu, pivot: pivot, sign: sign}, nil
+}
+
+// singularTol is the absolute pivot threshold below which a matrix is
+// treated as singular. Link metrics and routing matrices in this project
+// are O(1)–O(1e4), so an absolute threshold is adequate.
+const singularTol = 1e-12
+
+func swapRows(m *Matrix, i, j int) {
+	ri := m.data[i*m.cols : (i+1)*m.cols]
+	rj := m.data[j*m.cols : (j+1)*m.cols]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+// Solve solves A·x = b for x using the factorization.
+func (f *LU) Solve(b Vector) (Vector, error) {
+	n := f.lu.rows
+	if len(b) != n {
+		return nil, fmt.Errorf("la: LU.Solve with rhs length %d, want %d: %w", len(b), n, ErrShape)
+	}
+	// Apply permutation.
+	x := make(Vector, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.pivot[i]]
+	}
+	// Forward substitution with unit lower triangle.
+	for i := 1; i < n; i++ {
+		row := f.lu.data[i*n : (i+1)*n]
+		var s float64
+		for j := 0; j < i; j++ {
+			s += row[j] * x[j]
+		}
+		x[i] -= s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		row := f.lu.data[i*n : (i+1)*n]
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+	return x, nil
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	n := f.lu.rows
+	d := float64(f.sign)
+	for i := 0; i < n; i++ {
+		d *= f.lu.data[i*n+i]
+	}
+	return d
+}
+
+// SolveLU solves the square system A·x = b in one call.
+func SolveLU(a *Matrix, b Vector) (Vector, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// Inverse returns A⁻¹ for a square matrix A, or ErrSingular.
+func Inverse(a *Matrix) (*Matrix, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.rows
+	inv := NewMatrix(n, n)
+	e := make(Vector, n)
+	for j := 0; j < n; j++ {
+		e[j] = 1
+		col, err := f.Solve(e)
+		if err != nil {
+			return nil, err
+		}
+		e[j] = 0
+		for i := 0; i < n; i++ {
+			inv.data[i*n+j] = col[i]
+		}
+	}
+	return inv, nil
+}

@@ -1,0 +1,224 @@
+package la
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMatrixFrom(t *testing.T) {
+	m, err := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	if err != nil {
+		t.Fatalf("NewMatrixFrom: %v", err)
+	}
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("shape = %d×%d, want 2×3", m.Rows(), m.Cols())
+	}
+	if got := m.At(1, 2); got != 6 {
+		t.Errorf("At(1,2) = %g, want 6", got)
+	}
+}
+
+func TestNewMatrixFromShapeError(t *testing.T) {
+	if _, err := NewMatrixFrom(2, 2, []float64{1, 2, 3}); !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestMatrixSetAt(t *testing.T) {
+	m := NewMatrix(3, 3)
+	m.Set(2, 1, 7.5)
+	if got := m.At(2, 1); got != 7.5 {
+		t.Errorf("At(2,1) = %g, want 7.5", got)
+	}
+	if got := m.At(0, 0); got != 0 {
+		t.Errorf("At(0,0) = %g, want 0", got)
+	}
+}
+
+func TestMatrixBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At out of range did not panic")
+		}
+	}()
+	NewMatrix(2, 2).At(2, 0)
+}
+
+func TestIdentityMul(t *testing.T) {
+	a, _ := NewMatrixFrom(2, 2, []float64{1, 2, 3, 4})
+	got, err := a.Mul(Identity(2))
+	if err != nil {
+		t.Fatalf("Mul: %v", err)
+	}
+	if !got.Equal(a, 0) {
+		t.Errorf("A·I = %v, want %v", got, a)
+	}
+}
+
+func TestMulShapes(t *testing.T) {
+	a, _ := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b, _ := NewMatrixFrom(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	got, err := a.Mul(b)
+	if err != nil {
+		t.Fatalf("Mul: %v", err)
+	}
+	want, _ := NewMatrixFrom(2, 2, []float64{58, 64, 139, 154})
+	if !got.Equal(want, 1e-12) {
+		t.Errorf("Mul = %v, want %v", got, want)
+	}
+	if _, err := b.Mul(b); !errors.Is(err, ErrShape) {
+		t.Errorf("Mul of nonconforming shapes: err = %v, want ErrShape", err)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := NewMatrixFrom(2, 3, []float64{1, 0, 2, 0, 3, 0})
+	got, err := a.MulVec(Vector{1, 2, 3})
+	if err != nil {
+		t.Fatalf("MulVec: %v", err)
+	}
+	if !got.Equal(Vector{7, 6}, 1e-12) {
+		t.Errorf("MulVec = %v, want [7 6]", got)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a, _ := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	at := a.T()
+	if at.Rows() != 3 || at.Cols() != 2 {
+		t.Fatalf("T shape = %d×%d, want 3×2", at.Rows(), at.Cols())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if a.At(i, j) != at.At(j, i) {
+				t.Fatalf("T mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	// Property: (Aᵀ)ᵀ == A for random matrices.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := 1+rng.Intn(8), 1+rng.Intn(8)
+		a := randomMatrix(rng, r, c)
+		return a.T().T().Equal(a, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulAssociativityProperty(t *testing.T) {
+	// Property: (AB)C == A(BC) within floating tolerance.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		a, b, c := randomMatrix(rng, n, n), randomMatrix(rng, n, n), randomMatrix(rng, n, n)
+		ab, _ := a.Mul(b)
+		abc1, _ := ab.Mul(c)
+		bc, _ := b.Mul(c)
+		abc2, _ := a.Mul(bc)
+		return abc1.Equal(abc2, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a, _ := NewMatrixFrom(2, 2, []float64{1, 2, 3, 4})
+	b, _ := NewMatrixFrom(2, 2, []float64{4, 3, 2, 1})
+	sum, err := a.Add(b)
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	want, _ := NewMatrixFrom(2, 2, []float64{5, 5, 5, 5})
+	if !sum.Equal(want, 0) {
+		t.Errorf("Add = %v", sum)
+	}
+	diff, err := sum.Sub(b)
+	if err != nil {
+		t.Fatalf("Sub: %v", err)
+	}
+	if !diff.Equal(a, 0) {
+		t.Errorf("Sub round-trip = %v, want %v", diff, a)
+	}
+	if got := a.Scale(2).At(1, 1); got != 8 {
+		t.Errorf("Scale(2).At(1,1) = %g, want 8", got)
+	}
+}
+
+func TestRowColSetRow(t *testing.T) {
+	a, _ := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	if got := a.Row(1); !got.Equal(Vector{4, 5, 6}, 0) {
+		t.Errorf("Row(1) = %v", got)
+	}
+	if got := a.Col(2); !got.Equal(Vector{3, 6}, 0) {
+		t.Errorf("Col(2) = %v", got)
+	}
+	if err := a.SetRow(0, Vector{9, 9, 9}); err != nil {
+		t.Fatalf("SetRow: %v", err)
+	}
+	if got := a.Row(0); !got.Equal(Vector{9, 9, 9}, 0) {
+		t.Errorf("after SetRow Row(0) = %v", got)
+	}
+	if err := a.SetRow(0, Vector{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("SetRow short: err = %v, want ErrShape", err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a, _ := NewMatrixFrom(1, 2, []float64{1, 2})
+	b := a.Clone()
+	b.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	a, _ := NewMatrixFrom(2, 2, []float64{1, -7, 3, 4})
+	if got := a.MaxAbs(); got != 7 {
+		t.Errorf("MaxAbs = %g, want 7", got)
+	}
+	if got := NewMatrix(0, 0).MaxAbs(); got != 0 {
+		t.Errorf("MaxAbs of empty = %g, want 0", got)
+	}
+}
+
+func TestStringContainsShape(t *testing.T) {
+	s := NewMatrix(2, 2).String()
+	if len(s) == 0 {
+		t.Fatal("String is empty")
+	}
+}
+
+func randomMatrix(rng *rand.Rand, r, c int) *Matrix {
+	m := NewMatrix(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+func TestEqualTolerance(t *testing.T) {
+	a, _ := NewMatrixFrom(1, 1, []float64{1.0})
+	b, _ := NewMatrixFrom(1, 1, []float64{1.0 + 1e-9})
+	if !a.Equal(b, 1e-8) {
+		t.Error("Equal within tol = false")
+	}
+	if a.Equal(b, 1e-12) {
+		t.Error("Equal outside tol = true")
+	}
+	c := NewMatrix(2, 1)
+	if a.Equal(c, math.Inf(1)) {
+		t.Error("Equal across shapes = true")
+	}
+}

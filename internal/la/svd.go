@@ -1,0 +1,174 @@
+package la
+
+import (
+	"fmt"
+	"math"
+)
+
+// SVD is a thin singular value decomposition A = U·Σ·Vᵀ of an m×n
+// matrix with m ≥ n: U is m×n with orthonormal columns, Σ holds the
+// singular values in descending order, V is n×n orthogonal.
+type SVD struct {
+	U     *Matrix
+	Sigma Vector
+	V     *Matrix
+	m, n  int
+}
+
+// FactorSVD computes the thin SVD by one-sided Jacobi rotations:
+// repeatedly orthogonalize pairs of columns of a working copy of A while
+// accumulating the rotations into V; at convergence the working columns
+// are U·Σ. Robust and simple — exactly right for the modest dense
+// matrices of this project. Requires m ≥ n.
+func FactorSVD(a *Matrix) (*SVD, error) {
+	m, n := a.rows, a.cols
+	if m < n {
+		return nil, fmt.Errorf("la: FactorSVD of %d×%d matrix needs rows ≥ cols: %w", m, n, ErrShape)
+	}
+	w := a.Clone()
+	v := Identity(n)
+	const (
+		maxSweeps = 60
+		eps       = 1e-12
+	)
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				// Compute the 2×2 Gram entries for columns p, q.
+				var app, aqq, apq float64
+				for i := 0; i < m; i++ {
+					cp := w.data[i*n+p]
+					cq := w.data[i*n+q]
+					app += cp * cp
+					aqq += cq * cq
+					apq += cp * cq
+				}
+				if math.Abs(apq) <= eps*math.Sqrt(app*aqq)+1e-300 {
+					continue
+				}
+				off += math.Abs(apq)
+				// Jacobi rotation zeroing the (p,q) Gram entry.
+				tau := (aqq - app) / (2 * apq)
+				var t float64
+				if tau >= 0 {
+					t = 1 / (tau + math.Sqrt(1+tau*tau))
+				} else {
+					t = -1 / (-tau + math.Sqrt(1+tau*tau))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				for i := 0; i < m; i++ {
+					cp := w.data[i*n+p]
+					cq := w.data[i*n+q]
+					w.data[i*n+p] = c*cp - s*cq
+					w.data[i*n+q] = s*cp + c*cq
+				}
+				for i := 0; i < n; i++ {
+					vp := v.data[i*n+p]
+					vq := v.data[i*n+q]
+					v.data[i*n+p] = c*vp - s*vq
+					v.data[i*n+q] = s*vp + c*vq
+				}
+			}
+		}
+		if off == 0 {
+			break
+		}
+	}
+	// Column norms are the singular values; normalize to get U.
+	sigma := make(Vector, n)
+	u := NewMatrix(m, n)
+	for j := 0; j < n; j++ {
+		var norm float64
+		for i := 0; i < m; i++ {
+			norm += w.data[i*n+j] * w.data[i*n+j]
+		}
+		norm = math.Sqrt(norm)
+		sigma[j] = norm
+		if norm > 0 {
+			for i := 0; i < m; i++ {
+				u.data[i*n+j] = w.data[i*n+j] / norm
+			}
+		}
+	}
+	// Sort descending, permuting U and V consistently.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < n; i++ { // insertion sort by sigma desc
+		for j := i; j > 0 && sigma[order[j]] > sigma[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	us := NewMatrix(m, n)
+	vs := NewMatrix(n, n)
+	ss := make(Vector, n)
+	for k, idx := range order {
+		ss[k] = sigma[idx]
+		for i := 0; i < m; i++ {
+			us.data[i*n+k] = u.data[i*n+idx]
+		}
+		for i := 0; i < n; i++ {
+			vs.data[i*n+k] = v.data[i*n+idx]
+		}
+	}
+	return &SVD{U: us, Sigma: ss, V: vs, m: m, n: n}, nil
+}
+
+// Rank returns the numerical rank judged against tol (≤ 0 selects the
+// usual max(m,n)·σ₁·ε heuristic).
+func (s *SVD) Rank(tol float64) int {
+	if len(s.Sigma) == 0 {
+		return 0
+	}
+	if tol <= 0 {
+		tol = float64(s.m) * s.Sigma[0] * 1e-13
+	}
+	r := 0
+	for _, v := range s.Sigma {
+		if v > tol {
+			r++
+		}
+	}
+	return r
+}
+
+// Condition returns σ₁/σₙ (+Inf when rank-deficient).
+func (s *SVD) Condition() float64 {
+	if len(s.Sigma) == 0 {
+		return 1
+	}
+	min := s.Sigma[len(s.Sigma)-1]
+	if min == 0 {
+		return math.Inf(1)
+	}
+	return s.Sigma[0] / min
+}
+
+// PseudoInverseApply computes x = A⁺·b, the minimum-norm least-squares
+// solution, truncating singular values below tol (≤ 0 for the default).
+// Unlike the ridge of tomo.EstimateDeficient this is the exact
+// Moore–Penrose solution, usable on rank-deficient routing matrices.
+func (s *SVD) PseudoInverseApply(b Vector, tol float64) (Vector, error) {
+	if len(b) != s.m {
+		return nil, fmt.Errorf("la: PseudoInverseApply with rhs length %d, want %d: %w", len(b), s.m, ErrShape)
+	}
+	if tol <= 0 && len(s.Sigma) > 0 {
+		tol = float64(s.m) * s.Sigma[0] * 1e-13
+	}
+	// x = V · Σ⁺ · Uᵀ · b.
+	ub, err := s.U.T().MulVec(b)
+	if err != nil {
+		return nil, err
+	}
+	for i := range ub {
+		if s.Sigma[i] > tol {
+			ub[i] /= s.Sigma[i]
+		} else {
+			ub[i] = 0
+		}
+	}
+	return s.V.MulVec(ub)
+}

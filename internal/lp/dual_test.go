@@ -1,0 +1,202 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDualsKnownLP(t *testing.T) {
+	// maximize 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18.
+	// Optimum 36 at (2,6); known duals y = (0, 3/2, 1).
+	p := NewProblem(2)
+	if err := p.SetObjective([]float64{3, 5}); err != nil {
+		t.Fatal(err)
+	}
+	rhs := []float64{4, 12, 18}
+	rows := [][]float64{{1, 0}, {0, 2}, {3, 2}}
+	for i := range rows {
+		if err := p.AddConstraint(rows[i], LE, rhs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal {
+		t.Fatal(sol.Status)
+	}
+	want := []float64{0, 1.5, 1}
+	for i := range want {
+		if math.Abs(sol.Duals[i]-want[i]) > 1e-9 {
+			t.Errorf("dual[%d] = %g, want %g", i, sol.Duals[i], want[i])
+		}
+	}
+	// Strong duality: bᵀy = 0·4 + 1.5·12 + 1·18 = 36.
+	var by float64
+	for i := range rhs {
+		by += sol.Duals[i] * rhs[i]
+	}
+	if math.Abs(by-sol.Objective) > 1e-9 {
+		t.Errorf("bᵀy = %g, objective = %g", by, sol.Objective)
+	}
+}
+
+func TestDualsMinimization(t *testing.T) {
+	// minimize 2x + 3y s.t. x + y ≥ 10, x ≥ 2 → optimum 20 at (10, 0).
+	// Dual: multiplier 2 on the first row (binding), 0 on the second.
+	p := NewProblem(2)
+	if err := p.SetObjective([]float64{2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	p.Minimize()
+	if err := p.AddConstraint([]float64{1, 1}, GE, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]float64{1, 0}, GE, 2); err != nil {
+		t.Fatal(err)
+	}
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal {
+		t.Fatal(sol.Status)
+	}
+	by := sol.Duals[0]*10 + sol.Duals[1]*2
+	if math.Abs(by-20) > 1e-9 {
+		t.Errorf("bᵀy = %g, want 20 (duals %v)", by, sol.Duals)
+	}
+}
+
+func TestStrongDualityProperty(t *testing.T) {
+	// Property: on random bounded-feasible maximization LPs built ONLY
+	// from explicit constraints (no SetUpperBound), the optimum equals
+	// Σ duals·rhs, every ≤ dual is ≥ 0, and complementary slackness
+	// holds: a constraint with positive slack has zero dual.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		m := 1 + rng.Intn(4)
+		p := NewProblem(n)
+		c := make([]float64, n)
+		for j := range c {
+			c[j] = rng.NormFloat64()
+		}
+		if err := p.SetObjective(c); err != nil {
+			return false
+		}
+		rows := make([][]float64, 0, m+n)
+		rhs := make([]float64, 0, m+n)
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = rng.NormFloat64()
+			}
+			rows = append(rows, row)
+			rhs = append(rhs, 1+rng.Float64()*9)
+			if err := p.AddConstraint(row, LE, rhs[len(rhs)-1]); err != nil {
+				return false
+			}
+		}
+		// Box rows keep it bounded (explicit, so they carry duals too).
+		for j := 0; j < n; j++ {
+			row := make([]float64, n)
+			row[j] = 1
+			rows = append(rows, row)
+			rhs = append(rhs, 5+rng.Float64()*5)
+			if err := p.AddConstraint(row, LE, rhs[len(rhs)-1]); err != nil {
+				return false
+			}
+		}
+		sol, err := Solve(p)
+		if err != nil || sol.Status != Optimal {
+			return err == nil // infeasible/unbounded draws are fine
+		}
+		var by float64
+		for i := range rows {
+			y := sol.Duals[i]
+			if y < -1e-7 {
+				return false // ≤ rows in a max problem need y ≥ 0
+			}
+			by += y * rhs[i]
+			// Complementary slackness.
+			var ax float64
+			for j := range sol.X {
+				ax += rows[i][j] * sol.X[j]
+			}
+			slack := rhs[i] - ax
+			if slack > 1e-6 && y > 1e-6 {
+				return false
+			}
+		}
+		return math.Abs(by-sol.Objective) < 1e-6*(1+math.Abs(sol.Objective))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundDuals(t *testing.T) {
+	// maximize x with x ≤ 7 as a variable bound: the bound's dual is 1
+	// and strong duality runs through BoundDuals.
+	p := NewProblem(1)
+	if err := p.SetObjective([]float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetUpperBound(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Objective-7) > 1e-9 {
+		t.Fatalf("status=%v obj=%g", sol.Status, sol.Objective)
+	}
+	if math.Abs(sol.BoundDuals[0]-1) > 1e-9 {
+		t.Errorf("bound dual = %g, want 1", sol.BoundDuals[0])
+	}
+	if len(sol.Duals) != 0 {
+		t.Errorf("explicit duals = %v, want empty", sol.Duals)
+	}
+}
+
+func TestDualsEqualityConstraint(t *testing.T) {
+	// maximize x + y s.t. x + y = 5, x ≤ 3: optimum 5. The equality's
+	// dual must satisfy strong duality with the (slack) x ≤ 3 row.
+	p := NewProblem(2)
+	if err := p.SetObjective([]float64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]float64{1, 1}, EQ, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]float64{1, 0}, LE, 3); err != nil {
+		t.Fatal(err)
+	}
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal {
+		t.Fatal(sol.Status)
+	}
+	by := sol.Duals[0]*5 + sol.Duals[1]*3
+	if math.Abs(by-5) > 1e-9 {
+		t.Errorf("bᵀy = %g, want 5 (duals %v)", by, sol.Duals)
+	}
+}
+
+func TestDualsNegativeRHSFlip(t *testing.T) {
+	// maximize x s.t. −x ≤ −2 (⇒ x ≥ 2), x ≤ 5: optimum 5, first row
+	// slack at the optimum ⇒ zero dual; x ≤ 5 binding ⇒ dual 1.
+	p := NewProblem(1)
+	if err := p.SetObjective([]float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]float64{-1}, LE, -2); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]float64{1}, LE, 5); err != nil {
+		t.Fatal(err)
+	}
+	sol := mustSolve(t, p)
+	by := sol.Duals[0]*(-2) + sol.Duals[1]*5
+	if math.Abs(by-5) > 1e-9 {
+		t.Errorf("bᵀy = %g, want 5 (duals %v)", by, sol.Duals)
+	}
+	if math.Abs(sol.Duals[0]) > 1e-9 {
+		t.Errorf("slack row dual = %g, want 0", sol.Duals[0])
+	}
+}

@@ -1,0 +1,195 @@
+// Package lp implements a dense two-phase primal simplex solver for
+// linear programs with non-negative variables, used to solve the paper's
+// scapegoating optimizations (Eqs. 4, 8, 9): maximize the damage ‖m‖₁
+// subject to linear state constraints on the tomography estimate.
+//
+// The solver supports ≤, ≥ and = constraints, arbitrary-sign right-hand
+// sides, optional per-variable upper bounds, and reports infeasibility
+// and unboundedness explicitly. Bland's rule guards against cycling.
+// Problem sizes in this project are small (tens to a few hundred
+// variables and constraints), so a dense tableau is the simplest robust
+// choice.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Relation is the sense of a linear constraint.
+type Relation int
+
+// Constraint senses. Start at 1 so the zero value is invalid and misuse
+// is caught by validation.
+const (
+	LE Relation = iota + 1 // Σ aⱼxⱼ ≤ b
+	GE                     // Σ aⱼxⱼ ≥ b
+	EQ                     // Σ aⱼxⱼ = b
+)
+
+// String returns the conventional symbol for the relation.
+func (r Relation) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Relation(%d)", int(r))
+	}
+}
+
+// Status is the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota + 1
+	Infeasible
+	Unbounded
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// ErrBadProblem is returned when a problem is malformed (wrong
+// coefficient count, unknown relation, negative variable count).
+var ErrBadProblem = errors.New("lp: malformed problem")
+
+// Constraint is one linear constraint over the problem variables.
+type Constraint struct {
+	// Coeffs holds one coefficient per variable; length must equal the
+	// problem's NumVars.
+	Coeffs []float64
+	// Rel is the constraint sense.
+	Rel Relation
+	// RHS is the right-hand side, any sign.
+	RHS float64
+}
+
+// Problem is a linear program over n non-negative variables:
+//
+//	maximize  cᵀx   (or minimize, per Minimize)
+//	s.t.      constraints, 0 ≤ xⱼ ≤ upper[j]
+type Problem struct {
+	n           int
+	objective   []float64
+	minimize    bool
+	constraints []Constraint
+	upper       []float64 // +Inf when unbounded above
+}
+
+// NewProblem creates a maximization problem over n non-negative
+// variables with a zero objective.
+func NewProblem(n int) *Problem {
+	upper := make([]float64, n)
+	for i := range upper {
+		upper[i] = math.Inf(1)
+	}
+	return &Problem{
+		n:         n,
+		objective: make([]float64, n),
+		upper:     upper,
+	}
+}
+
+// NumVars returns the number of structural variables.
+func (p *Problem) NumVars() int { return p.n }
+
+// SetObjective sets the objective coefficient vector. The slice is
+// copied.
+func (p *Problem) SetObjective(c []float64) error {
+	if len(c) != p.n {
+		return fmt.Errorf("lp: objective needs %d coefficients, got %d: %w", p.n, len(c), ErrBadProblem)
+	}
+	copy(p.objective, c)
+	return nil
+}
+
+// SetObjectiveCoeff sets a single objective coefficient.
+func (p *Problem) SetObjectiveCoeff(j int, c float64) error {
+	if j < 0 || j >= p.n {
+		return fmt.Errorf("lp: objective index %d out of range [0,%d): %w", j, p.n, ErrBadProblem)
+	}
+	p.objective[j] = c
+	return nil
+}
+
+// Minimize switches the problem to minimization. The default is
+// maximization.
+func (p *Problem) Minimize() { p.minimize = true }
+
+// SetUpperBound bounds variable j above: xⱼ ≤ u. Pass +Inf to remove a
+// bound. Upper bounds are compiled to explicit ≤ rows at solve time.
+func (p *Problem) SetUpperBound(j int, u float64) error {
+	if j < 0 || j >= p.n {
+		return fmt.Errorf("lp: bound index %d out of range [0,%d): %w", j, p.n, ErrBadProblem)
+	}
+	if math.IsNaN(u) || u < 0 {
+		return fmt.Errorf("lp: bound %g for variable %d must be non-negative: %w", u, j, ErrBadProblem)
+	}
+	p.upper[j] = u
+	return nil
+}
+
+// AddConstraint appends a constraint. Coefficients are copied.
+func (p *Problem) AddConstraint(coeffs []float64, rel Relation, rhs float64) error {
+	if len(coeffs) != p.n {
+		return fmt.Errorf("lp: constraint needs %d coefficients, got %d: %w", p.n, len(coeffs), ErrBadProblem)
+	}
+	if rel != LE && rel != GE && rel != EQ {
+		return fmt.Errorf("lp: unknown relation %v: %w", rel, ErrBadProblem)
+	}
+	if math.IsNaN(rhs) {
+		return fmt.Errorf("lp: NaN right-hand side: %w", ErrBadProblem)
+	}
+	c := make([]float64, len(coeffs))
+	copy(c, coeffs)
+	p.constraints = append(p.constraints, Constraint{Coeffs: c, Rel: rel, RHS: rhs})
+	return nil
+}
+
+// NumConstraints returns the number of explicit constraints (upper
+// bounds excluded).
+func (p *Problem) NumConstraints() int { return len(p.constraints) }
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	// Status reports whether an optimum was found.
+	Status Status
+	// X is the optimal assignment when Status == Optimal, nil otherwise.
+	X []float64
+	// Objective is the optimal objective value in the problem's own
+	// sense (max or min) when Status == Optimal.
+	Objective float64
+	// Duals holds the simplex multipliers of the explicit constraints,
+	// in the order they were added, when Status == Optimal. Sign
+	// convention: the optimum equals Σ Duals[i]·RHS[i] + Σ
+	// BoundDuals[j]·upper[j] (strong duality) in the problem's own
+	// sense; for a maximization, ≤ rows have Duals ≥ 0 and ≥ rows
+	// Duals ≤ 0.
+	Duals []float64
+	// BoundDuals holds the multiplier of each variable's upper-bound
+	// row (zero entries for unbounded variables), aligned by variable
+	// index.
+	BoundDuals []float64
+	// Iterations counts simplex pivots across both phases.
+	Iterations int
+}
+
+// Feasible reports whether the solution carries a feasible optimum.
+func (s *Solution) Feasible() bool { return s != nil && s.Status == Optimal }

@@ -1,0 +1,424 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Numerical tolerances for the simplex. Problems in this project are
+// built from 0/1 routing matrices and millisecond-scale thresholds, so
+// an absolute 1e-9 band is far below any meaningful coefficient.
+const (
+	pivotTol  = 1e-9
+	zeroTol   = 1e-9
+	maxPivots = 200000
+)
+
+// Solve runs the two-phase primal simplex. A malformed problem returns
+// ErrBadProblem; infeasibility and unboundedness are reported in
+// Solution.Status, not as errors, because they are expected outcomes of
+// attack-feasibility queries.
+func Solve(p *Problem) (*Solution, error) {
+	if p == nil || p.n < 0 {
+		return nil, fmt.Errorf("lp: nil or negative-size problem: %w", ErrBadProblem)
+	}
+	t, err := newTableau(p)
+	if err != nil {
+		return nil, err
+	}
+	sol := &Solution{}
+
+	// Phase 1: drive artificial variables to zero.
+	if t.numArt > 0 {
+		t.setPhase1Objective()
+		if err := t.iterate(&sol.Iterations); err != nil {
+			return nil, err
+		}
+		if t.objValue() > zeroTol*float64(1+t.rows) {
+			sol.Status = Infeasible
+			return sol, nil
+		}
+		if err := t.evictArtificials(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 2: optimize the real objective.
+	t.setPhase2Objective(p)
+	if err := t.iterate(&sol.Iterations); err != nil {
+		if err == errUnbounded {
+			sol.Status = Unbounded
+			return sol, nil
+		}
+		return nil, err
+	}
+
+	sol.Status = Optimal
+	sol.X = t.extractSolution(p.n)
+	var obj float64
+	for j, c := range p.objective {
+		obj += c * sol.X[j]
+	}
+	sol.Objective = obj
+
+	// Split the row multipliers back into explicit-constraint duals and
+	// upper-bound duals (bound rows were appended after the explicit
+	// ones in newTableau, in variable order).
+	all := t.duals(p.minimize)
+	sol.Duals = all[:len(p.constraints)]
+	sol.BoundDuals = make([]float64, p.n)
+	bi := len(p.constraints)
+	for j, u := range p.upper {
+		if math.IsInf(u, 1) {
+			continue
+		}
+		sol.BoundDuals[j] = all[bi]
+		bi++
+	}
+	return sol, nil
+}
+
+var errUnbounded = fmt.Errorf("lp: unbounded")
+
+// tableau is a dense simplex tableau. Column layout:
+//
+//	[0, nStruct)                structural variables
+//	[nStruct, nStruct+numSlack) slack/surplus variables
+//	[..., ...+numArt)           artificial variables
+//	last column                 right-hand side
+//
+// Row `rows` (one past the constraints) is the objective row storing
+// reduced costs z_j − c_j for a maximization; the entering rule looks
+// for negative entries.
+type tableau struct {
+	rows, cols int // constraint rows, total variable columns (excl. RHS)
+	nStruct    int
+	numSlack   int
+	numArt     int
+	a          [][]float64 // (rows+1) × (cols+1)
+	basis      []int       // basis[i] = column basic in row i
+	artCols    map[int]bool
+	phase1     bool
+	// Dual bookkeeping: for tableau row i, auxCol[i] is the slack,
+	// surplus, or artificial column whose final reduced cost equals the
+	// row's simplex multiplier, and auxSign[i] folds in both the
+	// column's ±1 coefficient and any RHS-normalization row flip, so
+	// that dual_i = auxSign[i] · objRow[auxCol[i]] in the maximization
+	// tableau.
+	auxCol  []int
+	auxSign []float64
+}
+
+func newTableau(p *Problem) (*tableau, error) {
+	// Compile upper bounds into explicit ≤ rows.
+	cons := make([]Constraint, 0, len(p.constraints)+p.n)
+	cons = append(cons, p.constraints...)
+	for j, u := range p.upper {
+		if math.IsInf(u, 1) {
+			continue
+		}
+		row := make([]float64, p.n)
+		row[j] = 1
+		cons = append(cons, Constraint{Coeffs: row, Rel: LE, RHS: u})
+	}
+
+	m := len(cons)
+	// Count auxiliary columns. Normalize RHS ≥ 0 first (flip row sign
+	// and sense), then: LE gets a slack (basic), GE gets surplus +
+	// artificial, EQ gets artificial.
+	type rowPlan struct {
+		coeffs  []float64
+		rel     Relation
+		rhs     float64
+		flipped bool
+	}
+	plans := make([]rowPlan, m)
+	numSlack, numArt := 0, 0
+	for i, c := range cons {
+		coeffs := make([]float64, p.n)
+		copy(coeffs, c.Coeffs)
+		rel, rhs := c.Rel, c.RHS
+		if rhs < 0 {
+			for j := range coeffs {
+				coeffs[j] = -coeffs[j]
+			}
+			rhs = -rhs
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		plans[i] = rowPlan{coeffs, rel, rhs, rhs != c.RHS || rel != c.Rel}
+		switch rel {
+		case LE:
+			numSlack++
+		case GE:
+			numSlack++
+			numArt++
+		case EQ:
+			numArt++
+		}
+	}
+
+	cols := p.n + numSlack + numArt
+	t := &tableau{
+		rows:     m,
+		cols:     cols,
+		nStruct:  p.n,
+		numSlack: numSlack,
+		numArt:   numArt,
+		a:        make([][]float64, m+1),
+		basis:    make([]int, m),
+		artCols:  make(map[int]bool, numArt),
+		auxCol:   make([]int, m),
+		auxSign:  make([]float64, m),
+	}
+	for i := range t.a {
+		t.a[i] = make([]float64, cols+1)
+	}
+
+	slackAt := p.n
+	artAt := p.n + numSlack
+	for i, pl := range plans {
+		copy(t.a[i], pl.coeffs)
+		t.a[i][cols] = pl.rhs
+		sign := 1.0
+		if pl.flipped {
+			sign = -1.0
+		}
+		switch pl.rel {
+		case LE:
+			t.a[i][slackAt] = 1
+			t.basis[i] = slackAt
+			t.auxCol[i], t.auxSign[i] = slackAt, sign
+			slackAt++
+		case GE:
+			t.a[i][slackAt] = -1
+			slackAt++
+			t.a[i][artAt] = 1
+			t.basis[i] = artAt
+			t.artCols[artAt] = true
+			t.auxCol[i], t.auxSign[i] = artAt, sign
+			artAt++
+		case EQ:
+			t.a[i][artAt] = 1
+			t.basis[i] = artAt
+			t.artCols[artAt] = true
+			t.auxCol[i], t.auxSign[i] = artAt, sign
+			artAt++
+		}
+	}
+	return t, nil
+}
+
+// duals reads the simplex multipliers off the final objective row: the
+// reduced cost of row i's slack (cost-0 unit column) or artificial
+// (cost 0 in phase 2) equals c_Bᵀ·B⁻¹·e_i = y_i. auxSign folds in the
+// RHS-normalization flip; minimize converts the multipliers back to the
+// problem's own sense so that Σ y_i·b_i equals the reported optimum.
+func (t *tableau) duals(minimize bool) []float64 {
+	obj := t.a[t.rows]
+	out := make([]float64, t.rows)
+	for i := 0; i < t.rows; i++ {
+		y := t.auxSign[i] * obj[t.auxCol[i]]
+		if minimize {
+			y = -y
+		}
+		out[i] = y
+	}
+	return out
+}
+
+// setPhase1Objective loads the phase-1 objective: maximize −Σ artificials,
+// i.e. reduced costs start as Σ (rows with artificial basis) priced out.
+func (t *tableau) setPhase1Objective() {
+	t.phase1 = true
+	obj := t.a[t.rows]
+	for j := range obj {
+		obj[j] = 0
+	}
+	// Cost −1 on artificials ⇒ z_j − c_j row = Σ_basic-artificial-rows
+	// (−(−1)·row) ... computed by pricing out: for each row whose basis
+	// is artificial (cost −1), subtract the row from the objective.
+	for i := 0; i < t.rows; i++ {
+		if !t.artCols[t.basis[i]] {
+			continue
+		}
+		for j := 0; j <= t.cols; j++ {
+			obj[j] -= t.a[i][j]
+		}
+	}
+	// Basic artificial columns must show reduced cost 0; pricing out
+	// already guarantees it. Non-basic artificials get +1 (their cost
+	// −1 negated) — add c_j on their own columns.
+	for c := range t.artCols {
+		obj[c]++
+	}
+}
+
+// setPhase2Objective loads the real objective (converted to
+// maximization) and prices out the current basis. Artificial columns are
+// frozen by marking them unusable for entry.
+func (t *tableau) setPhase2Objective(p *Problem) {
+	t.phase1 = false
+	obj := t.a[t.rows]
+	for j := range obj {
+		obj[j] = 0
+	}
+	sign := 1.0
+	if p.minimize {
+		sign = -1.0
+	}
+	// Reduced cost row starts at −c_j for structural columns.
+	for j := 0; j < t.nStruct; j++ {
+		obj[j] = -sign * p.objective[j]
+	}
+	// Price out basic variables: make reduced cost of every basic
+	// column zero by row elimination.
+	for i := 0; i < t.rows; i++ {
+		b := t.basis[i]
+		f := obj[b]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j <= t.cols; j++ {
+			obj[j] -= f * t.a[i][j]
+		}
+	}
+}
+
+// objValue returns the current phase objective value (the negated RHS of
+// the objective row equals the maximized value; for phase 1 the value of
+// Σ artificials is its negation).
+func (t *tableau) objValue() float64 {
+	// For phase 1 we track maximize −Σart, objective row RHS holds the
+	// value of the maximized expression; Σart = −value.
+	return -t.a[t.rows][t.cols]
+}
+
+// iterate runs simplex pivots until optimality or unboundedness.
+func (t *tableau) iterate(pivots *int) error {
+	for {
+		if *pivots >= maxPivots {
+			return fmt.Errorf("lp: pivot limit %d exceeded (cycling?)", maxPivots)
+		}
+		enter := t.chooseEntering()
+		if enter < 0 {
+			return nil // optimal
+		}
+		leave := t.chooseLeaving(enter)
+		if leave < 0 {
+			if t.phase1 {
+				// Phase-1 objective is bounded by construction; this
+				// indicates numerical trouble.
+				return fmt.Errorf("lp: phase-1 unbounded — numerical failure")
+			}
+			return errUnbounded
+		}
+		t.pivot(leave, enter)
+		*pivots++
+	}
+}
+
+// chooseEntering returns the entering column by Bland's rule (smallest
+// index with negative reduced cost), or −1 at optimality. Artificial
+// columns never re-enter in phase 2.
+func (t *tableau) chooseEntering() int {
+	obj := t.a[t.rows]
+	for j := 0; j < t.cols; j++ {
+		if !t.phase1 && t.artCols[j] {
+			continue
+		}
+		if obj[j] < -pivotTol {
+			return j
+		}
+	}
+	return -1
+}
+
+// chooseLeaving runs the minimum-ratio test on column `enter`, breaking
+// ties by smallest basis index (Bland). Returns −1 when the column is
+// unbounded.
+func (t *tableau) chooseLeaving(enter int) int {
+	best := -1
+	bestRatio := math.Inf(1)
+	for i := 0; i < t.rows; i++ {
+		aij := t.a[i][enter]
+		if aij <= pivotTol {
+			continue
+		}
+		ratio := t.a[i][t.cols] / aij
+		if ratio < bestRatio-zeroTol ||
+			(math.Abs(ratio-bestRatio) <= zeroTol && best >= 0 && t.basis[i] < t.basis[best]) {
+			bestRatio = ratio
+			best = i
+		}
+	}
+	return best
+}
+
+// pivot performs a Gauss–Jordan pivot on (row, col).
+func (t *tableau) pivot(row, col int) {
+	pr := t.a[row]
+	pv := pr[col]
+	inv := 1 / pv
+	for j := 0; j <= t.cols; j++ {
+		pr[j] *= inv
+	}
+	pr[col] = 1 // exact
+	for i := 0; i <= t.rows; i++ {
+		if i == row {
+			continue
+		}
+		f := t.a[i][col]
+		if f == 0 {
+			continue
+		}
+		ri := t.a[i]
+		for j := 0; j <= t.cols; j++ {
+			ri[j] -= f * pr[j]
+		}
+		ri[col] = 0 // exact
+	}
+	t.basis[row] = col
+}
+
+// evictArtificials pivots zero-level artificial variables out of the
+// basis after phase 1. A row whose non-artificial coefficients are all
+// zero is redundant; its artificial stays basic at level zero, which is
+// harmless because artificial columns are barred from phase-2 entry and
+// the row can never change any structural value.
+func (t *tableau) evictArtificials() error {
+	for i := 0; i < t.rows; i++ {
+		if !t.artCols[t.basis[i]] {
+			continue
+		}
+		for j := 0; j < t.cols; j++ {
+			if t.artCols[j] {
+				continue
+			}
+			if math.Abs(t.a[i][j]) > pivotTol {
+				t.pivot(i, j)
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// extractSolution reads structural variable values off the basis.
+func (t *tableau) extractSolution(n int) []float64 {
+	x := make([]float64, n)
+	for i, b := range t.basis {
+		if b < n {
+			v := t.a[i][t.cols]
+			if v < 0 && v > -zeroTol {
+				v = 0 // clamp tiny negative noise
+			}
+			x[b] = v
+		}
+	}
+	return x
+}

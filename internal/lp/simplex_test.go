@@ -1,0 +1,391 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustSolve(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return sol
+}
+
+func TestSolveBasicMax(t *testing.T) {
+	// maximize 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 (classic):
+	// optimum 36 at (2, 6).
+	p := NewProblem(2)
+	if err := p.SetObjective([]float64{3, 5}); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		coeffs []float64
+		rhs    float64
+	}{
+		{[]float64{1, 0}, 4},
+		{[]float64{0, 2}, 12},
+		{[]float64{3, 2}, 18},
+	} {
+		if err := p.AddConstraint(c.coeffs, LE, c.rhs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if math.Abs(sol.Objective-36) > 1e-9 {
+		t.Errorf("objective = %g, want 36", sol.Objective)
+	}
+	if math.Abs(sol.X[0]-2) > 1e-9 || math.Abs(sol.X[1]-6) > 1e-9 {
+		t.Errorf("x = %v, want [2 6]", sol.X)
+	}
+}
+
+func TestSolveMinimization(t *testing.T) {
+	// minimize 2x + 3y s.t. x + y ≥ 10, x ≥ 2: optimum 2·10+0… with
+	// y free to be 0? x+y ≥ 10 and x ≥ 2 ⇒ cheapest is y=0, x=10 → 20?
+	// No: coefficient of y is 3 > 2, so all weight on x: x=10, y=0, obj 20.
+	p := NewProblem(2)
+	if err := p.SetObjective([]float64{2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	p.Minimize()
+	if err := p.AddConstraint([]float64{1, 1}, GE, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]float64{1, 0}, GE, 2); err != nil {
+		t.Fatal(err)
+	}
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Objective-20) > 1e-9 {
+		t.Errorf("objective = %g, want 20", sol.Objective)
+	}
+}
+
+func TestSolveEquality(t *testing.T) {
+	// maximize x + y s.t. x + y = 5, x ≤ 3 → 5, e.g. (3,2).
+	p := NewProblem(2)
+	if err := p.SetObjective([]float64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]float64{1, 1}, EQ, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]float64{1, 0}, LE, 3); err != nil {
+		t.Fatal(err)
+	}
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Objective-5) > 1e-9 {
+		t.Fatalf("status=%v obj=%g, want optimal 5", sol.Status, sol.Objective)
+	}
+	if math.Abs(sol.X[0]+sol.X[1]-5) > 1e-9 {
+		t.Errorf("x+y = %g, want 5", sol.X[0]+sol.X[1])
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	// x ≤ 1 and x ≥ 2 cannot hold together.
+	p := NewProblem(1)
+	if err := p.SetObjective([]float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]float64{1}, LE, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]float64{1}, GE, 2); err != nil {
+		t.Fatal(err)
+	}
+	sol := mustSolve(t, p)
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+	if sol.Feasible() {
+		t.Error("Feasible() = true for infeasible problem")
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	// maximize x with only x ≥ 1.
+	p := NewProblem(1)
+	if err := p.SetObjective([]float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]float64{1}, GE, 1); err != nil {
+		t.Fatal(err)
+	}
+	sol := mustSolve(t, p)
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// maximize x s.t. −x ≤ −2 (i.e. x ≥ 2), x ≤ 5 → 5.
+	p := NewProblem(1)
+	if err := p.SetObjective([]float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]float64{-1}, LE, -2); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]float64{1}, LE, 5); err != nil {
+		t.Fatal(err)
+	}
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Objective-5) > 1e-9 {
+		t.Fatalf("status=%v obj=%g, want optimal 5", sol.Status, sol.Objective)
+	}
+}
+
+func TestSolveUpperBounds(t *testing.T) {
+	// maximize x + y with x ≤ 2 (bound), y ≤ 3 (bound), x + y ≥ 1.
+	p := NewProblem(2)
+	if err := p.SetObjective([]float64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetUpperBound(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetUpperBound(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]float64{1, 1}, GE, 1); err != nil {
+		t.Fatal(err)
+	}
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Objective-5) > 1e-9 {
+		t.Fatalf("status=%v obj=%g, want optimal 5", sol.Status, sol.Objective)
+	}
+}
+
+func TestSolveDegenerate(t *testing.T) {
+	// Beale's classic cycling example (cycles under naive most-negative
+	// pivoting); Bland's rule must terminate with optimum 0.05.
+	p := NewProblem(4)
+	if err := p.SetObjective([]float64{0.75, -150, 0.02, -6}); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		coeffs []float64
+		rhs    float64
+	}{
+		{[]float64{0.25, -60, -0.04, 9}, 0},
+		{[]float64{0.5, -90, -0.02, 3}, 0},
+		{[]float64{0, 0, 1, 0}, 1},
+	} {
+		if err := p.AddConstraint(c.coeffs, LE, c.rhs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if math.Abs(sol.Objective-0.05) > 1e-9 {
+		t.Errorf("objective = %g, want 0.05", sol.Objective)
+	}
+}
+
+func TestSolveZeroVariables(t *testing.T) {
+	p := NewProblem(0)
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal || sol.Objective != 0 {
+		t.Fatalf("empty problem: status=%v obj=%g", sol.Status, sol.Objective)
+	}
+}
+
+func TestSolveRedundantEqualities(t *testing.T) {
+	// x + y = 2 stated twice: redundant row leaves an artificial basic
+	// at zero; the solve must still succeed.
+	p := NewProblem(2)
+	if err := p.SetObjective([]float64{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := p.AddConstraint([]float64{1, 1}, EQ, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Objective-2) > 1e-9 {
+		t.Fatalf("status=%v obj=%g, want optimal 2", sol.Status, sol.Objective)
+	}
+}
+
+func TestProblemValidation(t *testing.T) {
+	p := NewProblem(2)
+	if err := p.SetObjective([]float64{1}); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("short objective: err = %v", err)
+	}
+	if err := p.AddConstraint([]float64{1}, LE, 0); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("short constraint: err = %v", err)
+	}
+	if err := p.AddConstraint([]float64{1, 1}, Relation(0), 0); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("zero relation: err = %v", err)
+	}
+	if err := p.AddConstraint([]float64{1, 1}, LE, math.NaN()); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("NaN rhs: err = %v", err)
+	}
+	if err := p.SetUpperBound(5, 1); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("bad bound index: err = %v", err)
+	}
+	if err := p.SetUpperBound(0, -1); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("negative bound: err = %v", err)
+	}
+	if err := p.SetObjectiveCoeff(9, 1); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("bad objective index: err = %v", err)
+	}
+}
+
+func TestRelationStatusStrings(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Error("Relation strings wrong")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Error("Status strings wrong")
+	}
+	if Relation(99).String() == "" || Status(99).String() == "" {
+		t.Error("unknown enum String empty")
+	}
+}
+
+// TestSolutionFeasibilityProperty checks on random bounded LPs that the
+// reported optimum (a) satisfies every constraint and (b) dominates a
+// cloud of random feasible points — a sampling check of optimality.
+func TestSolutionFeasibilityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		m := 1 + rng.Intn(4)
+		p := NewProblem(n)
+		c := make([]float64, n)
+		for j := range c {
+			c[j] = rng.NormFloat64()
+		}
+		if err := p.SetObjective(c); err != nil {
+			return false
+		}
+		// Box-bound all variables so the LP is never unbounded.
+		ub := make([]float64, n)
+		for j := 0; j < n; j++ {
+			ub[j] = 1 + rng.Float64()*9
+			if err := p.SetUpperBound(j, ub[j]); err != nil {
+				return false
+			}
+		}
+		rows := make([][]float64, m)
+		rhs := make([]float64, m)
+		rels := make([]Relation, m)
+		for i := 0; i < m; i++ {
+			rows[i] = make([]float64, n)
+			for j := range rows[i] {
+				rows[i][j] = rng.NormFloat64()
+			}
+			rels[i] = []Relation{LE, GE}[rng.Intn(2)]
+			rhs[i] = rng.NormFloat64() * 5
+			if err := p.AddConstraint(rows[i], rels[i], rhs[i]); err != nil {
+				return false
+			}
+		}
+		sol, err := Solve(p)
+		if err != nil {
+			return false
+		}
+		feasible := func(x []float64) bool {
+			for j := range x {
+				if x[j] < -1e-9 || x[j] > ub[j]+1e-9 {
+					return false
+				}
+			}
+			for i := range rows {
+				var s float64
+				for j := range x {
+					s += rows[i][j] * x[j]
+				}
+				switch rels[i] {
+				case LE:
+					if s > rhs[i]+1e-7 {
+						return false
+					}
+				case GE:
+					if s < rhs[i]-1e-7 {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		objOf := func(x []float64) float64 {
+			var s float64
+			for j := range x {
+				s += c[j] * x[j]
+			}
+			return s
+		}
+		if sol.Status == Optimal {
+			if !feasible(sol.X) {
+				return false
+			}
+			for j, v := range sol.X {
+				if v < -1e-9 {
+					return false
+				}
+				_ = j
+			}
+		}
+		// Sample random points; any feasible sample must not beat the
+		// optimum, and if the LP claims infeasible no sample may be
+		// feasible.
+		for k := 0; k < 200; k++ {
+			x := make([]float64, n)
+			for j := range x {
+				x[j] = rng.Float64() * 10
+			}
+			if !feasible(x) {
+				continue
+			}
+			switch sol.Status {
+			case Infeasible:
+				return false
+			case Optimal:
+				if objOf(x) > sol.Objective+1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveNilProblem(t *testing.T) {
+	if _, err := Solve(nil); !errors.Is(err, ErrBadProblem) {
+		t.Fatalf("err = %v, want ErrBadProblem", err)
+	}
+}
+
+func TestIterationsReported(t *testing.T) {
+	p := NewProblem(2)
+	if err := p.SetObjective([]float64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]float64{1, 1}, LE, 1); err != nil {
+		t.Fatal(err)
+	}
+	sol := mustSolve(t, p)
+	if sol.Iterations <= 0 {
+		t.Errorf("Iterations = %d, want > 0", sol.Iterations)
+	}
+}

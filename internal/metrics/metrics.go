@@ -1,0 +1,92 @@
+// Package metrics defines the additive link-metric abstraction used by
+// network tomography. The paper's linear model y = Rx requires metrics
+// that add along a path: delay adds directly, while packet delivery
+// (success) ratios multiply and therefore add in the −log domain
+// (Section II-A, citing Castro et al.).
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadValue is returned when a raw metric value is outside its domain.
+var ErrBadValue = errors.New("metrics: value out of domain")
+
+// Kind selects a link performance metric.
+type Kind int
+
+// Supported metric kinds.
+const (
+	// Delay is a per-link latency in milliseconds; additive as-is.
+	Delay Kind = iota + 1
+	// Loss is a per-link delivery (success) ratio in (0, 1];
+	// its additive form is −ln(ratio).
+	Loss
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Delay:
+		return "delay"
+	case Loss:
+		return "loss"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Unit returns the display unit of the raw metric.
+func (k Kind) Unit() string {
+	switch k {
+	case Delay:
+		return "ms"
+	case Loss:
+		return "delivery ratio"
+	default:
+		return "?"
+	}
+}
+
+// ToAdditive converts a raw metric value to its additive form.
+// Delay passes through (must be ≥ 0); Loss maps delivery ratio
+// r ∈ (0,1] to −ln r ≥ 0.
+func (k Kind) ToAdditive(raw float64) (float64, error) {
+	switch k {
+	case Delay:
+		if raw < 0 || math.IsNaN(raw) || math.IsInf(raw, 0) {
+			return 0, fmt.Errorf("metrics: delay %g: %w", raw, ErrBadValue)
+		}
+		return raw, nil
+	case Loss:
+		if raw <= 0 || raw > 1 || math.IsNaN(raw) {
+			return 0, fmt.Errorf("metrics: delivery ratio %g not in (0,1]: %w", raw, ErrBadValue)
+		}
+		return -math.Log(raw), nil
+	default:
+		return 0, fmt.Errorf("metrics: unknown kind %d: %w", int(k), ErrBadValue)
+	}
+}
+
+// FromAdditive converts an additive value back to the raw metric:
+// identity for Delay, exp(−x) for Loss.
+func (k Kind) FromAdditive(x float64) float64 {
+	switch k {
+	case Loss:
+		return math.Exp(-x)
+	default:
+		return x
+	}
+}
+
+// AggregatePath sums additive link values along a path — the model's
+// defining assumption.
+func AggregatePath(linkValues []float64) float64 {
+	var s float64
+	for _, v := range linkValues {
+		s += v
+	}
+	return s
+}

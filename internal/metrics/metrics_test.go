@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDelayToAdditive(t *testing.T) {
+	got, err := Delay.ToAdditive(42)
+	if err != nil || got != 42 {
+		t.Errorf("ToAdditive(42) = %g, %v", got, err)
+	}
+	for _, bad := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if _, err := Delay.ToAdditive(bad); !errors.Is(err, ErrBadValue) {
+			t.Errorf("ToAdditive(%g): err = %v, want ErrBadValue", bad, err)
+		}
+	}
+}
+
+func TestLossToAdditive(t *testing.T) {
+	got, err := Loss.ToAdditive(1)
+	if err != nil || got != 0 {
+		t.Errorf("ToAdditive(1) = %g, %v; want 0", got, err)
+	}
+	got, err = Loss.ToAdditive(0.5)
+	if err != nil || math.Abs(got-math.Ln2) > 1e-12 {
+		t.Errorf("ToAdditive(0.5) = %g, %v; want ln2", got, err)
+	}
+	for _, bad := range []float64{0, -0.5, 1.5, math.NaN()} {
+		if _, err := Loss.ToAdditive(bad); !errors.Is(err, ErrBadValue) {
+			t.Errorf("ToAdditive(%g): err = %v, want ErrBadValue", bad, err)
+		}
+	}
+}
+
+func TestUnknownKind(t *testing.T) {
+	if _, err := Kind(0).ToAdditive(1); !errors.Is(err, ErrBadValue) {
+		t.Errorf("unknown kind: err = %v", err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	// Property: FromAdditive ∘ ToAdditive is identity on valid inputs.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := rng.Float64() * 1e4
+		ad, err := Delay.ToAdditive(d)
+		if err != nil || Delay.FromAdditive(ad) != d {
+			return false
+		}
+		r := math.Nextafter(0, 1) + rng.Float64()*(1-1e-9)
+		ar, err := Loss.ToAdditive(r)
+		if err != nil {
+			return false
+		}
+		return math.Abs(Loss.FromAdditive(ar)-r) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLossAdditivityProperty(t *testing.T) {
+	// Property: the additive form of a product of ratios is the sum of
+	// the additive forms — the reason tomography works for loss at all.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r1 := 0.1 + rng.Float64()*0.9
+		r2 := 0.1 + rng.Float64()*0.9
+		a1, _ := Loss.ToAdditive(r1)
+		a2, _ := Loss.ToAdditive(r2)
+		a12, _ := Loss.ToAdditive(r1 * r2)
+		return math.Abs(a12-(a1+a2)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggregatePath(t *testing.T) {
+	if got := AggregatePath([]float64{1, 2, 3}); got != 6 {
+		t.Errorf("AggregatePath = %g, want 6", got)
+	}
+	if got := AggregatePath(nil); got != 0 {
+		t.Errorf("AggregatePath(nil) = %g, want 0", got)
+	}
+}
+
+func TestStringsAndUnits(t *testing.T) {
+	if Delay.String() != "delay" || Loss.String() != "loss" {
+		t.Error("Kind strings wrong")
+	}
+	if Delay.Unit() != "ms" || Loss.Unit() != "delivery ratio" {
+		t.Error("units wrong")
+	}
+	if Kind(9).String() == "" || Kind(9).Unit() == "" {
+		t.Error("unknown kind strings empty")
+	}
+}

@@ -1,0 +1,154 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/la"
+)
+
+// DelayModel yields a link's instantaneous base delay at virtual time t
+// (ms). It lets simulations model traffic that varies over a measurement
+// campaign — diurnal load swings, slow drifts — which is what makes
+// fixed detection thresholds mis-calibrate in practice.
+//
+// Implementations must be deterministic functions of (link, t): the
+// engine may evaluate them in any event order.
+type DelayModel interface {
+	DelayAt(link graph.LinkID, t float64) float64
+}
+
+// ConstantDelays is the trivial model: one fixed delay per link.
+type ConstantDelays la.Vector
+
+// DelayAt returns the fixed delay of the link.
+func (c ConstantDelays) DelayAt(link graph.LinkID, _ float64) float64 {
+	return c[link]
+}
+
+// DiurnalDelays modulates base delays sinusoidally:
+//
+//	delay(l, t) = Base[l] · (1 + Amplitude·sin(2πt/Period + Phase[l]))
+//
+// with Amplitude in [0, 1) so delays stay positive. A per-link phase
+// (optional) desynchronizes links.
+type DiurnalDelays struct {
+	Base      la.Vector
+	Amplitude float64
+	Period    float64
+	// Phase is an optional per-link offset (radians); nil means 0.
+	Phase la.Vector
+}
+
+// Validate checks model parameters.
+func (d DiurnalDelays) Validate(numLinks int) error {
+	if len(d.Base) != numLinks {
+		return fmt.Errorf("netsim: diurnal base has %d entries for %d links: %w", len(d.Base), numLinks, ErrBadConfig)
+	}
+	if d.Amplitude < 0 || d.Amplitude >= 1 {
+		return fmt.Errorf("netsim: diurnal amplitude %g not in [0,1): %w", d.Amplitude, ErrBadConfig)
+	}
+	if d.Period <= 0 {
+		return fmt.Errorf("netsim: diurnal period %g: %w", d.Period, ErrBadConfig)
+	}
+	if d.Phase != nil && len(d.Phase) != numLinks {
+		return fmt.Errorf("netsim: diurnal phase has %d entries for %d links: %w", len(d.Phase), numLinks, ErrBadConfig)
+	}
+	return nil
+}
+
+// DelayAt evaluates the sinusoid.
+func (d DiurnalDelays) DelayAt(link graph.LinkID, t float64) float64 {
+	phase := 0.0
+	if d.Phase != nil {
+		phase = d.Phase[link]
+	}
+	return d.Base[link] * (1 + d.Amplitude*math.Sin(2*math.Pi*t/d.Period+phase))
+}
+
+// RunDelayModel simulates one measurement round with a time-varying
+// delay model: each hop's delay is the model's value at the moment the
+// probe leaves the node (plus jitter and any adversarial hold, exactly
+// as in RunDelay). cfg.LinkDelays is ignored except for validation;
+// pass the model's snapshot at t=0 when in doubt.
+func RunDelayModel(cfg Config, model DelayModel) (la.Vector, error) {
+	if model == nil {
+		return RunDelay(cfg)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if d, ok := model.(DiurnalDelays); ok {
+		if err := d.Validate(cfg.Graph.NumLinks()); err != nil {
+			return nil, err
+		}
+	}
+	eng := &engine{}
+	probes := cfg.probes()
+	sums := make(la.Vector, len(cfg.Paths))
+	for pi := range cfg.Paths {
+		for k := 0; k < probes; k++ {
+			launchProbeModel(eng, &cfg, model, pi, func(rtt float64) {
+				sums[pi] += rtt
+			})
+		}
+	}
+	eng.run()
+	for i := range sums {
+		sums[i] /= float64(probes)
+	}
+	return sums, nil
+}
+
+// launchProbeModel mirrors launchProbe with model-driven hop delays.
+func launchProbeModel(eng *engine, cfg *Config, model DelayModel, pi int, done func(rtt float64)) {
+	p := cfg.Paths[pi]
+	start := eng.now
+	extra := 0.0
+	attackerHit := false
+	if cfg.Plan != nil {
+		extra = cfg.Plan.ExtraDelay[pi]
+	}
+	var hop func(h int)
+	hop = func(h int) {
+		if h == len(p.Links) {
+			if !attackerHit && cfg.Plan != nil && cfg.Plan.Attackers[p.Nodes[h]] && extra > 0 {
+				attackerHit = true
+				eng.schedule(extra, func() { done(eng.now - start) })
+				return
+			}
+			done(eng.now - start)
+			return
+		}
+		delay := model.DelayAt(p.Links[h], eng.now)
+		if delay < 0 {
+			delay = 0
+		}
+		if cfg.Jitter > 0 {
+			delay += cfg.RNG.NormFloat64() * cfg.Jitter
+			if delay < 0 {
+				delay = 0
+			}
+		}
+		if !attackerHit && cfg.Plan != nil && cfg.Plan.Attackers[p.Nodes[h]] && extra > 0 {
+			attackerHit = true
+			delay += extra
+		}
+		eng.schedule(delay, func() { hop(h + 1) })
+	}
+	eng.schedule(0, func() { hop(0) })
+}
+
+// ShiftedModel offsets another model in time: DelayAt(l, t) =
+// Model.DelayAt(l, t + Offset). Campaigns use it to place each
+// measurement round at its wall-clock position on a diurnal curve.
+type ShiftedModel struct {
+	Model  DelayModel
+	Offset float64
+}
+
+// DelayAt evaluates the underlying model at the shifted time.
+func (s ShiftedModel) DelayAt(link graph.LinkID, t float64) float64 {
+	return s.Model.DelayAt(link, t+s.Offset)
+}

@@ -1,0 +1,139 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/la"
+	"repro/internal/tomo"
+)
+
+func TestConstantDelaysMatchesRunDelay(t *testing.T) {
+	f, paths, x := fig1Setup(t, 21)
+	plain, err := RunDelay(Config{Graph: f.G, Paths: paths, LinkDelays: x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := RunDelayModel(Config{Graph: f.G, Paths: paths, LinkDelays: x}, ConstantDelays(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !model.Equal(plain, 1e-9) {
+		t.Error("constant model diverges from RunDelay")
+	}
+}
+
+func TestNilModelFallsBack(t *testing.T) {
+	f, paths, x := fig1Setup(t, 22)
+	got, err := RunDelayModel(Config{Graph: f.G, Paths: paths, LinkDelays: x}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := RunDelay(Config{Graph: f.G, Paths: paths, LinkDelays: x})
+	if !got.Equal(want, 0) {
+		t.Error("nil model ≠ RunDelay")
+	}
+}
+
+func TestDiurnalValidate(t *testing.T) {
+	f, _, x := fig1Setup(t, 23)
+	n := f.G.NumLinks()
+	if err := (DiurnalDelays{Base: x, Amplitude: 0.5, Period: 100}).Validate(n); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+	bad := []DiurnalDelays{
+		{Base: la.Vector{1}, Amplitude: 0.5, Period: 100},
+		{Base: x, Amplitude: 1.0, Period: 100},
+		{Base: x, Amplitude: -0.1, Period: 100},
+		{Base: x, Amplitude: 0.5, Period: 0},
+		{Base: x, Amplitude: 0.5, Period: 100, Phase: la.Vector{1}},
+	}
+	for i, m := range bad {
+		if err := m.Validate(n); err == nil {
+			t.Errorf("bad model %d accepted", i)
+		}
+	}
+}
+
+func TestDiurnalDelayAt(t *testing.T) {
+	base := la.Vector{100}
+	m := DiurnalDelays{Base: base, Amplitude: 0.5, Period: 4}
+	// t=0 → sin 0 = 0 → 100; t=1 → sin(π/2) = 1 → 150; t=3 → −1 → 50.
+	for _, tc := range []struct{ t, want float64 }{{0, 100}, {1, 150}, {3, 50}} {
+		if got := m.DelayAt(0, tc.t); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("DelayAt(0, %g) = %g, want %g", tc.t, got, tc.want)
+		}
+	}
+	withPhase := DiurnalDelays{Base: base, Amplitude: 0.5, Period: 4, Phase: la.Vector{math.Pi / 2}}
+	if got := withPhase.DelayAt(0, 0); math.Abs(got-150) > 1e-9 {
+		t.Errorf("phased DelayAt = %g, want 150", got)
+	}
+}
+
+func TestDiurnalMeasurementsVaryAndAverageOut(t *testing.T) {
+	// All probes launch at t=0, so the first hop sees the t=0 delay and
+	// later hops slightly evolved values; the measurement differs from
+	// the constant run but stays within the modulation envelope.
+	f, paths, x := fig1Setup(t, 24)
+	m := DiurnalDelays{Base: x, Amplitude: 0.3, Period: 50}
+	got, err := RunDelayModel(Config{Graph: f.G, Paths: paths, LinkDelays: x}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tomo.RoutingMatrix(f.G, paths)
+	base, _ := r.MulVec(x)
+	different := false
+	for i := range got {
+		lo, hi := base[i]*0.7, base[i]*1.3
+		if got[i] < lo-1e-9 || got[i] > hi+1e-9 {
+			t.Errorf("path %d delay %g outside envelope [%g, %g]", i, got[i], lo, hi)
+		}
+		if math.Abs(got[i]-base[i]) > 1e-9 {
+			different = true
+		}
+	}
+	if !different {
+		t.Error("diurnal run identical to constant run")
+	}
+}
+
+func TestDiurnalWithAttackStillAddsM(t *testing.T) {
+	// The adversarial hold is additive on top of whatever the model
+	// yields: y'(attacked) − y(clean) = m exactly (no jitter).
+	f, paths, x := fig1Setup(t, 25)
+	m := DiurnalDelays{Base: x, Amplitude: 0.2, Period: 80}
+	b, _ := f.G.NodeByName("B")
+	plan := &AttackPlan{Attackers: map[graph.NodeID]bool{b: true}, ExtraDelay: make(la.Vector, len(paths))}
+	idx := -1
+	for i, p := range paths {
+		if p.HasNode(b) {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		t.Fatal("no path through B")
+	}
+	plan.ExtraDelay[idx] = 444
+	clean, err := RunDelayModel(Config{Graph: f.G, Paths: paths, LinkDelays: x}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacked, err := RunDelayModel(Config{Graph: f.G, Paths: paths, LinkDelays: x, Plan: plan}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := attacked[idx] - clean[idx]
+	// The hold shifts later hops in time, so their diurnal delays move
+	// a little too; the difference must be ≈ 444 within the modulation
+	// the shift can cause.
+	if math.Abs(diff-444) > 0.25*444 {
+		t.Errorf("attacked−clean = %g, want ≈ 444", diff)
+	}
+	for i := range paths {
+		if i != idx && math.Abs(attacked[i]-clean[i]) > 1e-9 {
+			t.Errorf("untouched path %d moved by %g", i, attacked[i]-clean[i])
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Package netsim is a packet-level discrete-event simulator for probe
+// measurements. It exists to validate the paper's algebraic model
+// against an operational one: monitors inject probe packets that hop
+// link by link through the topology, links add their true delay (plus
+// optional jitter), adversarial nodes hold probes on the paths they
+// control, and the resulting end-to-end measurements are compared with
+// y' = R·x* + m. With zero jitter the two agree exactly; with jitter the
+// simulator supplies the measurement noise that motivates the
+// empirically calibrated detection threshold of Remark 4.
+package netsim
+
+import "container/heap"
+
+// event is one scheduled action in virtual time. seq breaks ties so
+// simulation order — and therefore RNG consumption — is deterministic.
+type event struct {
+	time float64
+	seq  int
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// engine is a minimal discrete-event loop.
+type engine struct {
+	pq  eventHeap
+	now float64
+	seq int
+}
+
+// schedule enqueues fn to run `delay` time units from the engine's
+// current time. Negative delays are clamped to zero (events cannot run
+// in the past).
+func (e *engine) schedule(delay float64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	heap.Push(&e.pq, &event{time: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// run processes events in time order until the queue drains.
+func (e *engine) run() {
+	for e.pq.Len() > 0 {
+		ev := heap.Pop(&e.pq).(*event)
+		e.now = ev.time
+		ev.fn()
+	}
+}

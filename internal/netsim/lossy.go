@@ -1,0 +1,95 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/la"
+)
+
+// RunDelayWithLoss simulates the realistic combination the pure modes
+// abstract away: probes measure DELAY but can also be LOST. Each probe
+// independently survives every hop with the link's delivery probability
+// (and the attacker's extra drop, as in RunLoss); surviving probes carry
+// the hop-summed delay (plus jitter and the attacker's hold, as in
+// RunDelay). The per-path measurement is the mean delay over DELIVERED
+// probes, and the delivered counts come back alongside so the caller can
+// weight or exclude starved paths — tomo.EstimateWeighted with the
+// delivered counts as weights is the intended consumer (a path with zero
+// delivered probes has no measurement at all and must get weight 0).
+//
+// Probes are statistically independent, so this runs as a direct
+// per-probe computation rather than through the event engine.
+func RunDelayWithLoss(cfg Config, deliveryProbs la.Vector) (la.Vector, []int, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	if cfg.RNG == nil {
+		return nil, nil, fmt.Errorf("netsim: lossy delay mode needs an RNG: %w", ErrBadConfig)
+	}
+	if len(deliveryProbs) != cfg.Graph.NumLinks() {
+		return nil, nil, fmt.Errorf("netsim: %d delivery probs for %d links: %w",
+			len(deliveryProbs), cfg.Graph.NumLinks(), ErrBadConfig)
+	}
+	for i, p := range deliveryProbs {
+		if p <= 0 || p > 1 || math.IsNaN(p) {
+			return nil, nil, fmt.Errorf("netsim: delivery prob[%d] = %g: %w", i, p, ErrBadConfig)
+		}
+	}
+	probes := cfg.probes()
+	y := make(la.Vector, len(cfg.Paths))
+	delivered := make([]int, len(cfg.Paths))
+	for pi, path := range cfg.Paths {
+		extra := 0.0
+		if cfg.Plan != nil {
+			extra = cfg.Plan.ExtraDelay[pi]
+		}
+		for k := 0; k < probes; k++ {
+			delay := 0.0
+			attackerHit := false
+			ok := true
+			for h := range path.Links {
+				if !attackerHit && cfg.Plan != nil && cfg.Plan.Attackers[path.Nodes[h]] && extra > 0 {
+					attackerHit = true
+					delay += extra
+				}
+				hop := cfg.LinkDelays[path.Links[h]]
+				if cfg.Jitter > 0 {
+					hop += cfg.RNG.NormFloat64() * cfg.Jitter
+					if hop < 0 {
+						hop = 0
+					}
+				}
+				delay += hop
+				if cfg.RNG.Float64() >= deliveryProbs[path.Links[h]] {
+					ok = false
+					break
+				}
+			}
+			if ok && !attackerHit && cfg.Plan != nil && extra > 0 &&
+				cfg.Plan.Attackers[path.Nodes[len(path.Nodes)-1]] {
+				attackerHit = true
+				delay += extra
+			}
+			if ok {
+				delivered[pi]++
+				y[pi] += delay
+			}
+		}
+		if delivered[pi] > 0 {
+			y[pi] /= float64(delivered[pi])
+		}
+	}
+	return y, delivered, nil
+}
+
+// DeliveredWeights converts per-path delivered counts into estimator
+// weights: the variance of a mean over k probes scales as 1/k, so the
+// weight is simply k (zero for starved paths, which excludes them).
+func DeliveredWeights(delivered []int) la.Vector {
+	w := make(la.Vector, len(delivered))
+	for i, k := range delivered {
+		w[i] = float64(k)
+	}
+	return w
+}

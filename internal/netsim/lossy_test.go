@@ -1,0 +1,168 @@
+package netsim
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/la"
+	"repro/internal/tomo"
+)
+
+func TestRunDelayWithLossPerfectDelivery(t *testing.T) {
+	// Delivery 1 everywhere, no jitter: identical to RunDelay, every
+	// probe delivered.
+	f, paths, x := fig1Setup(t, 31)
+	probs := make(la.Vector, f.G.NumLinks())
+	for i := range probs {
+		probs[i] = 1
+	}
+	y, delivered, err := RunDelayWithLoss(Config{
+		Graph: f.G, Paths: paths, LinkDelays: x,
+		ProbesPerPath: 3, RNG: rand.New(rand.NewSource(1)),
+	}, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := RunDelay(Config{Graph: f.G, Paths: paths, LinkDelays: x})
+	if !y.Equal(want, 1e-9) {
+		t.Error("lossless run diverges from RunDelay")
+	}
+	for i, k := range delivered {
+		if k != 3 {
+			t.Errorf("path %d delivered %d of 3", i, k)
+		}
+	}
+}
+
+func TestRunDelayWithLossWeightedEstimation(t *testing.T) {
+	// Lossy links starve some paths of probes; the weighted estimator
+	// with delivered-count weights still recovers the link delays from
+	// whatever arrived, as long as the weighted system stays
+	// identifiable.
+	f, paths, x := fig1Setup(t, 32)
+	sys, err := tomo.NewSystem(f.G, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := make(la.Vector, f.G.NumLinks())
+	for i := range probs {
+		probs[i] = 0.95
+	}
+	probs[0] = 0.5 // one flaky link
+	y, delivered, err := RunDelayWithLoss(Config{
+		Graph: f.G, Paths: paths, LinkDelays: x,
+		ProbesPerPath: 200, RNG: rand.New(rand.NewSource(2)),
+	}, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xhat, err := sys.EstimateWeighted(y, DeliveredWeights(delivered))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No jitter: delivered probes carry exact delays, so the estimate is
+	// exact regardless of loss.
+	if !xhat.Equal(la.Vector(x), 1e-6) {
+		t.Errorf("weighted estimate diverges: %v vs %v", xhat, x)
+	}
+}
+
+func TestRunDelayWithLossStarvedPathExcluded(t *testing.T) {
+	// With 1 probe per path and a terrible link, some paths deliver
+	// nothing; their measurement must be 0 with count 0, and the caller
+	// can still estimate when enough other paths survive.
+	f, paths, x := fig1Setup(t, 33)
+	probs := make(la.Vector, f.G.NumLinks())
+	for i := range probs {
+		probs[i] = 0.995
+	}
+	probs[f.PaperLink[10]] = 0.01 // nearly dead link
+	y, delivered, err := RunDelayWithLoss(Config{
+		Graph: f.G, Paths: paths, LinkDelays: x,
+		ProbesPerPath: 1, RNG: rand.New(rand.NewSource(3)),
+	}, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	starved := 0
+	for i, k := range delivered {
+		if k == 0 {
+			starved++
+			if y[i] != 0 {
+				t.Errorf("starved path %d has y = %g", i, y[i])
+			}
+		}
+	}
+	if starved == 0 {
+		t.Fatal("no path starved; test setup ineffective")
+	}
+}
+
+func TestRunDelayWithLossAttackOnDeliveredProbes(t *testing.T) {
+	// The attacker's hold shows up in the delays of delivered probes on
+	// its paths.
+	f, paths, x := fig1Setup(t, 34)
+	probs := make(la.Vector, f.G.NumLinks())
+	for i := range probs {
+		probs[i] = 1
+	}
+	m := make(la.Vector, len(paths))
+	idx := -1
+	for i, p := range paths {
+		if p.HasNode(f.B) {
+			idx = i
+			break
+		}
+	}
+	m[idx] = 600
+	y, _, err := RunDelayWithLoss(Config{
+		Graph: f.G, Paths: paths, LinkDelays: x,
+		ProbesPerPath: 2, RNG: rand.New(rand.NewSource(4)),
+		Plan: &AttackPlan{Attackers: map[graph.NodeID]bool{f.B: true}, ExtraDelay: m},
+	}, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base float64
+	for _, l := range paths[idx].Links {
+		base += x[l]
+	}
+	if math.Abs(y[idx]-(base+600)) > 1e-9 {
+		t.Errorf("attacked path delay %g, want %g", y[idx], base+600)
+	}
+}
+
+func TestRunDelayWithLossValidation(t *testing.T) {
+	f, paths, x := fig1Setup(t, 35)
+	goodProbs := make(la.Vector, f.G.NumLinks())
+	for i := range goodProbs {
+		goodProbs[i] = 1
+	}
+	if _, _, err := RunDelayWithLoss(Config{
+		Graph: f.G, Paths: paths, LinkDelays: x,
+	}, goodProbs); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("nil RNG: err = %v", err)
+	}
+	if _, _, err := RunDelayWithLoss(Config{
+		Graph: f.G, Paths: paths, LinkDelays: x, RNG: rand.New(rand.NewSource(1)),
+	}, la.Vector{1}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("short probs: err = %v", err)
+	}
+	bad := goodProbs.Clone()
+	bad[0] = 0
+	if _, _, err := RunDelayWithLoss(Config{
+		Graph: f.G, Paths: paths, LinkDelays: x, RNG: rand.New(rand.NewSource(1)),
+	}, bad); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("zero prob: err = %v", err)
+	}
+}
+
+func TestDeliveredWeights(t *testing.T) {
+	w := DeliveredWeights([]int{3, 0, 7})
+	if !w.Equal(la.Vector{3, 0, 7}, 0) {
+		t.Errorf("weights = %v", w)
+	}
+}

@@ -1,0 +1,236 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/la"
+)
+
+// ErrBadConfig is returned for malformed simulator configuration.
+var ErrBadConfig = errors.New("netsim: bad config")
+
+// AttackPlan describes adversarial behaviour during a measurement round.
+// The first attacker node a probe meets on path i holds it for
+// ExtraDelay[i] (delay mode) or drops it with probability
+// 1 − exp(−ExtraDelay[i]) (loss mode, matching the additive −log
+// domain). Paths without an attacker are untouched, which enforces
+// Constraint 1 operationally rather than by assumption.
+type AttackPlan struct {
+	// Attackers is V_m.
+	Attackers map[graph.NodeID]bool
+	// ExtraDelay is the manipulation vector m, one entry per path.
+	ExtraDelay la.Vector
+}
+
+// Config parameterizes a simulation round.
+type Config struct {
+	// Graph is the topology.
+	Graph *graph.Graph
+	// Paths are the measurement paths probes follow.
+	Paths []graph.Path
+	// LinkDelays is the true per-link delay x* in milliseconds.
+	LinkDelays la.Vector
+	// Jitter is the standard deviation of zero-mean Gaussian per-hop
+	// delay noise (ms). Zero disables noise.
+	Jitter float64
+	// ProbesPerPath is how many probes each path sends; the measurement
+	// is their mean. Zero means 1.
+	ProbesPerPath int
+	// RNG drives jitter and loss draws. Required when Jitter > 0 or
+	// loss mode is used.
+	RNG *rand.Rand
+	// Plan is the optional attack. Nil means no attack.
+	Plan *AttackPlan
+}
+
+func (c *Config) validate() error {
+	if c.Graph == nil {
+		return fmt.Errorf("netsim: nil graph: %w", ErrBadConfig)
+	}
+	if len(c.Paths) == 0 {
+		return fmt.Errorf("netsim: no paths: %w", ErrBadConfig)
+	}
+	if len(c.LinkDelays) != c.Graph.NumLinks() {
+		return fmt.Errorf("netsim: %d link delays for %d links: %w",
+			len(c.LinkDelays), c.Graph.NumLinks(), ErrBadConfig)
+	}
+	for i, d := range c.LinkDelays {
+		if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+			return fmt.Errorf("netsim: link delay[%d] = %g: %w", i, d, ErrBadConfig)
+		}
+	}
+	for i, p := range c.Paths {
+		if err := p.Validate(c.Graph); err != nil {
+			return fmt.Errorf("netsim: path %d: %v: %w", i, err, ErrBadConfig)
+		}
+	}
+	if c.Jitter < 0 {
+		return fmt.Errorf("netsim: negative jitter: %w", ErrBadConfig)
+	}
+	if c.Jitter > 0 && c.RNG == nil {
+		return fmt.Errorf("netsim: jitter needs an RNG: %w", ErrBadConfig)
+	}
+	if c.Plan != nil {
+		if len(c.Plan.ExtraDelay) != len(c.Paths) {
+			return fmt.Errorf("netsim: plan has %d entries for %d paths: %w",
+				len(c.Plan.ExtraDelay), len(c.Paths), ErrBadConfig)
+		}
+		for i, m := range c.Plan.ExtraDelay {
+			if m < 0 || math.IsNaN(m) {
+				return fmt.Errorf("netsim: plan delay[%d] = %g: %w", i, m, ErrBadConfig)
+			}
+			if m > 0 && !c.Paths[i].HasAnyNode(c.Plan.Attackers) {
+				return fmt.Errorf("netsim: plan manipulates attacker-free path %d: %w", i, ErrBadConfig)
+			}
+		}
+	}
+	return nil
+}
+
+func (c *Config) probes() int {
+	if c.ProbesPerPath <= 0 {
+		return 1
+	}
+	return c.ProbesPerPath
+}
+
+// RunDelay simulates one measurement round in delay mode and returns the
+// per-path measured delays (mean over ProbesPerPath probes).
+func RunDelay(cfg Config) (la.Vector, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	eng := &engine{}
+	sums := make(la.Vector, len(cfg.Paths))
+	probes := cfg.probes()
+
+	for pi := range cfg.Paths {
+		for k := 0; k < probes; k++ {
+			launchProbe(eng, &cfg, pi, func(rtt float64) {
+				sums[pi] += rtt
+			})
+		}
+	}
+	eng.run()
+	for i := range sums {
+		sums[i] /= float64(probes)
+	}
+	return sums, nil
+}
+
+// launchProbe schedules the hop-by-hop traversal of one probe along path
+// pi, invoking done with the end-to-end delay on arrival.
+func launchProbe(eng *engine, cfg *Config, pi int, done func(rtt float64)) {
+	p := cfg.Paths[pi]
+	start := eng.now
+	extra := 0.0
+	attackerHit := false
+	if cfg.Plan != nil {
+		extra = cfg.Plan.ExtraDelay[pi]
+	}
+	var hop func(h int)
+	hop = func(h int) {
+		if h == len(p.Links) {
+			// The destination monitor can itself be the first (only)
+			// attacker on the path; holding the probe before reporting
+			// still delays the measurement.
+			if !attackerHit && cfg.Plan != nil && cfg.Plan.Attackers[p.Nodes[h]] && extra > 0 {
+				attackerHit = true
+				eng.schedule(extra, func() { done(eng.now - start) })
+				return
+			}
+			done(eng.now - start)
+			return
+		}
+		delay := cfg.LinkDelays[p.Links[h]]
+		if cfg.Jitter > 0 {
+			delay += cfg.RNG.NormFloat64() * cfg.Jitter
+			if delay < 0 {
+				delay = 0
+			}
+		}
+		// The first attacker node on the path holds the probe once.
+		// p.Nodes[h] is the node the probe is at before crossing link h.
+		if !attackerHit && cfg.Plan != nil && cfg.Plan.Attackers[p.Nodes[h]] && extra > 0 {
+			attackerHit = true
+			delay += extra
+		}
+		eng.schedule(delay, func() { hop(h + 1) })
+	}
+	eng.schedule(0, func() { hop(0) })
+}
+
+// RunLoss simulates a measurement round in loss mode: deliveryProbs[l]
+// is the per-link delivery probability, probesPerPath probes are sent
+// per path, and the returned vector holds measured per-path delivery
+// ratios. An attack plan converts each m_i to an extra drop probability
+// 1 − exp(−m_i), applied once at the first attacker node.
+func RunLoss(cfg Config, deliveryProbs la.Vector) (la.Vector, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.RNG == nil {
+		return nil, fmt.Errorf("netsim: loss mode needs an RNG: %w", ErrBadConfig)
+	}
+	if len(deliveryProbs) != cfg.Graph.NumLinks() {
+		return nil, fmt.Errorf("netsim: %d delivery probs for %d links: %w",
+			len(deliveryProbs), cfg.Graph.NumLinks(), ErrBadConfig)
+	}
+	for i, p := range deliveryProbs {
+		if p <= 0 || p > 1 || math.IsNaN(p) {
+			return nil, fmt.Errorf("netsim: delivery prob[%d] = %g: %w", i, p, ErrBadConfig)
+		}
+	}
+	probes := cfg.probes()
+	out := make(la.Vector, len(cfg.Paths))
+	for pi, path := range cfg.Paths {
+		dropProb := 0.0
+		if cfg.Plan != nil && cfg.Plan.ExtraDelay[pi] > 0 {
+			dropProb = 1 - math.Exp(-cfg.Plan.ExtraDelay[pi])
+		}
+		delivered := 0
+		for k := 0; k < probes; k++ {
+			ok := true
+			attackerHit := false
+			for h := range path.Links {
+				if !attackerHit && cfg.Plan != nil && cfg.Plan.Attackers[path.Nodes[h]] && dropProb > 0 {
+					attackerHit = true
+					if cfg.RNG.Float64() < dropProb {
+						ok = false
+						break
+					}
+				}
+				if cfg.RNG.Float64() >= deliveryProbs[path.Links[h]] {
+					ok = false
+					break
+				}
+			}
+			// Destination-monitor attacker drops the report itself.
+			if ok && !attackerHit && cfg.Plan != nil && dropProb > 0 &&
+				cfg.Plan.Attackers[path.Nodes[len(path.Nodes)-1]] {
+				if cfg.RNG.Float64() < dropProb {
+					ok = false
+				}
+			}
+			if ok {
+				delivered++
+			}
+		}
+		out[pi] = float64(delivered) / float64(probes)
+	}
+	return out, nil
+}
+
+// RoutineDelays draws the paper's routine traffic: per-link delays
+// uniform on [1, 20] ms (Section V-A).
+func RoutineDelays(g *graph.Graph, rng *rand.Rand) la.Vector {
+	x := make(la.Vector, g.NumLinks())
+	for i := range x {
+		x[i] = 1 + rng.Float64()*19
+	}
+	return x
+}

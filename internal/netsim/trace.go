@@ -1,0 +1,139 @@
+package netsim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/la"
+)
+
+// HopRecord is one hop of a traced probe: the probe left FromNode at
+// Depart, crossed Link, and reached ToNode at Arrive (virtual ms). Held
+// marks the hop where an adversary injected its extra delay.
+type HopRecord struct {
+	FromNode graph.NodeID
+	ToNode   graph.NodeID
+	Link     graph.LinkID
+	Depart   float64
+	Arrive   float64
+	Held     bool
+}
+
+// ProbeTrace is the full record of one probe's journey.
+type ProbeTrace struct {
+	PathIndex int
+	ProbeSeq  int
+	Hops      []HopRecord
+	// EndToEnd is the measured delay (last arrival − first departure).
+	EndToEnd float64
+}
+
+// Format renders the trace with node names for debugging and forensic
+// output ("which hop ate 2000 ms?").
+func (tr ProbeTrace) Format(g *graph.Graph) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "path %d probe %d: %.2f ms\n", tr.PathIndex, tr.ProbeSeq, tr.EndToEnd)
+	for _, h := range tr.Hops {
+		from, _ := g.NodeName(h.FromNode)
+		to, _ := g.NodeName(h.ToNode)
+		mark := ""
+		if h.Held {
+			mark = "  [HELD]"
+		}
+		fmt.Fprintf(&b, "  %s→%s link %d: %.2f→%.2f (%.2f ms)%s\n",
+			from, to, h.Link+1, h.Depart, h.Arrive, h.Arrive-h.Depart, mark)
+	}
+	return b.String()
+}
+
+// RunDelayTraced is RunDelay with per-probe hop traces: it returns the
+// per-path mean measurements plus one ProbeTrace per probe, in launch
+// order. Traces let tests and forensics attribute every millisecond of
+// an end-to-end measurement to a specific hop — including exactly where
+// an adversary held the probe.
+func RunDelayTraced(cfg Config) (la.Vector, []ProbeTrace, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	eng := &engine{}
+	probes := cfg.probes()
+	sums := make(la.Vector, len(cfg.Paths))
+	traces := make([]ProbeTrace, 0, len(cfg.Paths)*probes)
+
+	for pi := range cfg.Paths {
+		for k := 0; k < probes; k++ {
+			tr := &ProbeTrace{PathIndex: pi, ProbeSeq: k}
+			traces = append(traces, ProbeTrace{})
+			slot := len(traces) - 1
+			launchProbeTraced(eng, &cfg, pi, tr, func(rtt float64) {
+				tr.EndToEnd = rtt
+				traces[slot] = *tr
+				sums[pi] += rtt
+			})
+		}
+	}
+	eng.run()
+	for i := range sums {
+		sums[i] /= float64(probes)
+	}
+	return sums, traces, nil
+}
+
+// launchProbeTraced mirrors launchProbe but records each hop.
+func launchProbeTraced(eng *engine, cfg *Config, pi int, tr *ProbeTrace, done func(rtt float64)) {
+	p := cfg.Paths[pi]
+	start := eng.now
+	extra := 0.0
+	attackerHit := false
+	if cfg.Plan != nil {
+		extra = cfg.Plan.ExtraDelay[pi]
+	}
+	var hop func(h int)
+	hop = func(h int) {
+		if h == len(p.Links) {
+			if !attackerHit && cfg.Plan != nil && cfg.Plan.Attackers[p.Nodes[h]] && extra > 0 {
+				attackerHit = true
+				if n := len(tr.Hops); n > 0 {
+					tr.Hops[n-1].Held = true
+				}
+				eng.schedule(extra, func() {
+					if n := len(tr.Hops); n > 0 {
+						tr.Hops[n-1].Arrive = eng.now
+					}
+					done(eng.now - start)
+				})
+				return
+			}
+			done(eng.now - start)
+			return
+		}
+		delay := cfg.LinkDelays[p.Links[h]]
+		if cfg.Jitter > 0 {
+			delay += cfg.RNG.NormFloat64() * cfg.Jitter
+			if delay < 0 {
+				delay = 0
+			}
+		}
+		held := false
+		if !attackerHit && cfg.Plan != nil && cfg.Plan.Attackers[p.Nodes[h]] && extra > 0 {
+			attackerHit = true
+			held = true
+			delay += extra
+		}
+		depart := eng.now
+		rec := HopRecord{
+			FromNode: p.Nodes[h],
+			ToNode:   p.Nodes[h+1],
+			Link:     p.Links[h],
+			Depart:   depart,
+			Held:     held,
+		}
+		eng.schedule(delay, func() {
+			rec.Arrive = eng.now
+			tr.Hops = append(tr.Hops, rec)
+			hop(h + 1)
+		})
+	}
+	eng.schedule(0, func() { hop(0) })
+}

@@ -1,0 +1,134 @@
+package netsim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/la"
+)
+
+func TestRunDelayTracedMatchesRunDelay(t *testing.T) {
+	f, paths, x := fig1Setup(t, 11)
+	plain, err := RunDelay(Config{Graph: f.G, Paths: paths, LinkDelays: x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, traces, err := RunDelayTraced(Config{Graph: f.G, Paths: paths, LinkDelays: x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !traced.Equal(plain, 1e-9) {
+		t.Error("traced measurements diverge from plain")
+	}
+	if len(traces) != len(paths) {
+		t.Fatalf("traces = %d, want %d", len(traces), len(paths))
+	}
+}
+
+func TestTraceHopAccounting(t *testing.T) {
+	// Each trace's hop delays must sum to the end-to-end measurement and
+	// each hop delay must equal the link's true delay (no jitter).
+	f, paths, x := fig1Setup(t, 12)
+	_, traces, err := RunDelayTraced(Config{Graph: f.G, Paths: paths, LinkDelays: x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range traces {
+		if len(tr.Hops) != paths[tr.PathIndex].Len() {
+			t.Fatalf("trace %d: %d hops for %d links", tr.PathIndex, len(tr.Hops), paths[tr.PathIndex].Len())
+		}
+		var sum float64
+		for _, h := range tr.Hops {
+			d := h.Arrive - h.Depart
+			sum += d
+			if math.Abs(d-x[h.Link]) > 1e-9 {
+				t.Errorf("trace %d link %d: hop delay %g ≠ true %g", tr.PathIndex, h.Link, d, x[h.Link])
+			}
+		}
+		if math.Abs(sum-tr.EndToEnd) > 1e-9 {
+			t.Errorf("trace %d: hops sum %g ≠ end-to-end %g", tr.PathIndex, sum, tr.EndToEnd)
+		}
+	}
+}
+
+func TestTraceMarksHeldHop(t *testing.T) {
+	f, paths, x := fig1Setup(t, 13)
+	attackers := map[graph.NodeID]bool{f.B: true}
+	m := make(la.Vector, len(paths))
+	victim := -1
+	for i, p := range paths {
+		if p.HasNode(f.B) {
+			victim = i
+			m[i] = 777
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no path through B")
+	}
+	_, traces, err := RunDelayTraced(Config{
+		Graph: f.G, Paths: paths, LinkDelays: x,
+		Plan: &AttackPlan{Attackers: attackers, ExtraDelay: m},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var held int
+	for _, tr := range traces {
+		for _, h := range tr.Hops {
+			if h.Held {
+				held++
+				if tr.PathIndex != victim {
+					t.Errorf("held hop on unattacked path %d", tr.PathIndex)
+				}
+				// The held hop's delay includes the injected 777 ms.
+				if h.Arrive-h.Depart < 777 {
+					t.Errorf("held hop delay %g < injected 777", h.Arrive-h.Depart)
+				}
+			}
+		}
+		if tr.PathIndex == victim {
+			var sum float64
+			for _, h := range tr.Hops {
+				sum += h.Arrive - h.Depart
+			}
+			if math.Abs(sum-tr.EndToEnd) > 1e-9 {
+				t.Errorf("attacked trace: hops %g ≠ end-to-end %g", sum, tr.EndToEnd)
+			}
+		}
+	}
+	if held != 1 {
+		t.Errorf("held hops = %d, want exactly 1", held)
+	}
+}
+
+func TestTraceFormat(t *testing.T) {
+	f, paths, x := fig1Setup(t, 14)
+	_, traces, err := RunDelayTraced(Config{Graph: f.G, Paths: paths, LinkDelays: x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := traces[0].Format(f.G)
+	if !strings.Contains(s, "→") || !strings.Contains(s, "ms") {
+		t.Errorf("Format output %q malformed", s)
+	}
+}
+
+func TestTracedDeterministicWithJitter(t *testing.T) {
+	f, paths, x := fig1Setup(t, 15)
+	run := func() la.Vector {
+		y, _, err := RunDelayTraced(Config{
+			Graph: f.G, Paths: paths, LinkDelays: x,
+			Jitter: 2, ProbesPerPath: 3, RNG: newSeededRNG(5),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return y
+	}
+	if !run().Equal(run(), 0) {
+		t.Error("traced run not deterministic")
+	}
+}

@@ -1,0 +1,78 @@
+package tomo
+
+import (
+	"math"
+
+	"repro/internal/la"
+)
+
+// IdentifiableLinks reports, per link, whether its metric is uniquely
+// determined by the selected measurement paths: link l is identifiable
+// iff the unit vector e_l lies in the row space of R. Operationally we
+// test whether appending e_l to R's rows raises the rank — if it does,
+// e_l carries new information, so x_l is NOT pinned down by the paths.
+//
+// On a full-column-rank system every entry is true; on deficient systems
+// this pinpoints which links the operator can actually diagnose — and
+// therefore which links can even serve as credible scapegoats.
+func IdentifiableLinks(s *System) []bool {
+	r := s.R()
+	nLinks := s.NumLinks()
+	baseRank := la.Rank(r)
+	out := make([]bool, nLinks)
+	if baseRank == nLinks {
+		for i := range out {
+			out[i] = true
+		}
+		return out
+	}
+	rows := make([][]float64, r.Rows())
+	for i := range rows {
+		rows[i] = r.Row(i)
+	}
+	for l := 0; l < nLinks; l++ {
+		aug := la.NewMatrix(r.Rows()+1, nLinks)
+		for i, row := range rows {
+			if err := aug.SetRow(i, row); err != nil {
+				panic("tomo: IdentifiableLinks: " + err.Error())
+			}
+		}
+		unit := make(la.Vector, nLinks)
+		unit[l] = 1
+		if err := aug.SetRow(r.Rows(), unit); err != nil {
+			panic("tomo: IdentifiableLinks: " + err.Error())
+		}
+		out[l] = la.Rank(aug) == baseRank
+	}
+	return out
+}
+
+// EstimateDeficient computes a minimum-norm-style estimate on systems
+// that are not fully identifiable, by solving the normal equations with
+// a small Tikhonov ridge: x̂ = (RᵀR + λI)⁻¹Rᵀy. Identifiable links get
+// estimates close to Estimate's; unidentifiable ones get a smoothed
+// compromise instead of an error. λ ≤ 0 selects a scale-aware default.
+func EstimateDeficient(s *System, y la.Vector, lambda float64) (la.Vector, error) {
+	r := s.R()
+	rt := r.T()
+	gram, err := rt.Mul(r)
+	if err != nil {
+		return nil, err
+	}
+	if lambda <= 0 {
+		lambda = math.Max(1e-8, gram.MaxAbs()*1e-8)
+	}
+	n := gram.Rows()
+	for i := 0; i < n; i++ {
+		gram.Set(i, i, gram.At(i, i)+lambda)
+	}
+	chol, err := la.FactorCholesky(gram)
+	if err != nil {
+		return nil, err
+	}
+	rhs, err := rt.MulVec(y)
+	if err != nil {
+		return nil, err
+	}
+	return chol.Solve(rhs)
+}

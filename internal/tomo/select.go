@@ -1,0 +1,438 @@
+package tomo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// SelectOptions steer measurement-path selection.
+type SelectOptions struct {
+	// Exhaustive enumerates all simple paths per monitor pair (small
+	// graphs only). When false, PerPair Yen k-shortest paths per pair
+	// form the candidate pool.
+	Exhaustive bool
+	// PerPair is the candidate count per monitor pair in non-exhaustive
+	// mode. Zero means a default of 10.
+	PerPair int
+	// MaxHops bounds candidate path length in exhaustive mode (0: none).
+	MaxHops int
+	// TargetPaths is the desired total number of selected paths. If it
+	// exceeds what identifiability needs, extra candidates are added for
+	// redundancy (which is what makes scapegoating detectable at all —
+	// Theorem 3 needs a non-square R). 0 selects ~25% more than the
+	// minimum, at least one extra.
+	TargetPaths int
+	// RNG shuffles candidate order for the paper's "random selection
+	// algorithm". Nil keeps the deterministic order (shortest first).
+	RNG *rand.Rand
+}
+
+func (o SelectOptions) perPair() int {
+	if o.PerPair <= 0 {
+		return 10
+	}
+	return o.PerPair
+}
+
+// CandidatePaths gathers the candidate path pool between all monitor
+// pairs, deterministically ordered (length, then node sequence).
+func CandidatePaths(g *graph.Graph, monitors []graph.NodeID, opts SelectOptions) ([]graph.Path, error) {
+	if len(monitors) < 2 {
+		return nil, fmt.Errorf("tomo: need ≥ 2 monitors, got %d", len(monitors))
+	}
+	seen := make(map[graph.NodeID]bool, len(monitors))
+	for _, m := range monitors {
+		if seen[m] {
+			return nil, fmt.Errorf("tomo: duplicate monitor %d", m)
+		}
+		seen[m] = true
+	}
+	var all []graph.Path
+	for i := 0; i < len(monitors); i++ {
+		for j := i + 1; j < len(monitors); j++ {
+			var (
+				paths []graph.Path
+				err   error
+			)
+			if opts.Exhaustive {
+				paths, err = graph.SimplePaths(g, monitors[i], monitors[j], opts.MaxHops, 0)
+			} else {
+				paths, err = graph.KShortestPaths(g, monitors[i], monitors[j], opts.perPair())
+			}
+			if err != nil {
+				if errors.Is(err, graph.ErrNoPath) {
+					continue // disconnected pair contributes nothing
+				}
+				return nil, fmt.Errorf("tomo: candidates %d–%d: %w", monitors[i], monitors[j], err)
+			}
+			all = append(all, paths...)
+		}
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("tomo: no candidate paths between monitors: %w", graph.ErrNoPath)
+	}
+	sort.SliceStable(all, func(a, b int) bool { return pathLess(all[a], all[b]) })
+	return all, nil
+}
+
+func pathLess(a, b graph.Path) bool {
+	if a.Len() != b.Len() {
+		return a.Len() < b.Len()
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			return a.Nodes[i] < b.Nodes[i]
+		}
+	}
+	return false
+}
+
+// SelectPaths picks measurement paths from the candidate pool: first a
+// greedy pass adds any path that increases the routing-matrix rank
+// (stand-in for the minimum monitor placement rule's path selection,
+// DESIGN.md §5), then extra paths fill up to TargetPaths for redundancy.
+// The achieved rank is returned alongside; callers decide whether a
+// rank-deficient selection is fatal.
+func SelectPaths(g *graph.Graph, monitors []graph.NodeID, opts SelectOptions) ([]graph.Path, int, error) {
+	cands, err := CandidatePaths(g, monitors, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	if opts.RNG != nil {
+		opts.RNG.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	}
+	nLinks := g.NumLinks()
+	tracker := newRankTracker(nLinks)
+	var selected []graph.Path
+	var rest []graph.Path
+	for _, p := range cands {
+		if tracker.tryAdd(pathRow(p, nLinks)) {
+			selected = append(selected, p)
+		} else {
+			rest = append(rest, p)
+		}
+	}
+	rank := tracker.rank
+	target := opts.TargetPaths
+	if target <= 0 {
+		target = len(selected) + max(1, len(selected)/4)
+	}
+	for _, p := range rest {
+		if len(selected) >= target {
+			break
+		}
+		selected = append(selected, p)
+	}
+	return selected, rank, nil
+}
+
+// pathRow renders a path as a routing-matrix row.
+func pathRow(p graph.Path, nLinks int) []float64 {
+	row := make([]float64, nLinks)
+	for _, l := range p.Links {
+		row[int(l)] = 1
+	}
+	return row
+}
+
+// rankTracker maintains a row-echelon basis for incremental rank
+// queries: tryAdd reduces the row against the basis and keeps it only if
+// a nonzero pivot remains.
+type rankTracker struct {
+	cols  int
+	basis map[int][]float64 // pivot column → reduced row
+	rank  int
+}
+
+func newRankTracker(cols int) *rankTracker {
+	return &rankTracker{cols: cols, basis: make(map[int][]float64)}
+}
+
+const rankEps = 1e-9
+
+func (rt *rankTracker) tryAdd(row []float64) bool {
+	r := make([]float64, len(row))
+	copy(r, row)
+	for col := 0; col < rt.cols; col++ {
+		if math.Abs(r[col]) <= rankEps {
+			r[col] = 0
+			continue
+		}
+		b, ok := rt.basis[col]
+		if !ok {
+			// Normalize and store.
+			inv := 1 / r[col]
+			for k := col; k < rt.cols; k++ {
+				r[k] *= inv
+			}
+			rt.basis[col] = r
+			rt.rank++
+			return true
+		}
+		f := r[col]
+		for k := col; k < rt.cols; k++ {
+			r[k] -= f * b[k]
+		}
+	}
+	return false
+}
+
+// PlaceOptions steer monitor placement.
+type PlaceOptions struct {
+	// Initial is the starting number of monitors (minimum 2; default 3).
+	Initial int
+	// MaxMonitors caps the search (default: all nodes).
+	MaxMonitors int
+	// Select carries path-selection options used at each step.
+	Select SelectOptions
+}
+
+func (o PlaceOptions) initial() int {
+	if o.Initial < 2 {
+		return 3
+	}
+	return o.Initial
+}
+
+// PlaceMonitors randomly grows a monitor set until the candidate paths
+// make every link identifiable (full column rank), following the
+// paper's "random selection algorithm based on the minimum monitor
+// placement rule in [16]". Degree-1 nodes are forced to be monitors
+// first: a link ending in a degree-1 non-monitor can never appear on a
+// monitor-to-monitor simple path, so identifiability is impossible
+// without them. Returns the monitors, the selected paths, and the
+// achieved rank (== NumLinks on success).
+//
+// Candidates are generated incrementally — only pairs involving the
+// newly added monitor are explored on each growth step — so placement on
+// hundred-node topologies stays fast. Paths rejected by the rank test
+// stay in a redundancy pool; rejection is permanent because the basis
+// only ever grows.
+func PlaceMonitors(g *graph.Graph, rng *rand.Rand, opts PlaceOptions) ([]graph.NodeID, []graph.Path, int, error) {
+	if rng == nil {
+		return nil, nil, 0, fmt.Errorf("tomo: PlaceMonitors needs an RNG")
+	}
+	n := g.NumNodes()
+	if n < 2 {
+		return nil, nil, 0, fmt.Errorf("tomo: cannot place monitors on %d nodes", n)
+	}
+	maxMon := opts.MaxMonitors
+	if maxMon <= 0 || maxMon > n {
+		maxMon = n
+	}
+	nLinks := g.NumLinks()
+	tracker := newRankTracker(nLinks)
+	var (
+		monitors []graph.NodeID
+		inSet    = make(map[graph.NodeID]bool)
+		selected []graph.Path
+		pool     []graph.Path // candidates that did not raise the rank
+	)
+	// addMonitor explores paths between v and each existing monitor.
+	addMonitor := func(v graph.NodeID) error {
+		for _, u := range monitors {
+			var (
+				paths []graph.Path
+				err   error
+			)
+			if opts.Select.Exhaustive {
+				paths, err = graph.SimplePaths(g, u, v, opts.Select.MaxHops, 0)
+			} else {
+				paths, err = graph.KShortestPaths(g, u, v, opts.Select.perPair())
+			}
+			if err != nil {
+				if errors.Is(err, graph.ErrNoPath) {
+					continue
+				}
+				return err
+			}
+			if opts.Select.RNG != nil {
+				opts.Select.RNG.Shuffle(len(paths), func(i, j int) { paths[i], paths[j] = paths[j], paths[i] })
+			}
+			for _, p := range paths {
+				if tracker.tryAdd(pathRow(p, nLinks)) {
+					selected = append(selected, p)
+				} else {
+					pool = append(pool, p)
+				}
+			}
+		}
+		inSet[v] = true
+		monitors = append(monitors, v)
+		return nil
+	}
+	opts.Select.RNG = rng
+
+	// Degree-1 nodes must be monitors (see doc comment).
+	for _, v := range g.Nodes() {
+		if g.Degree(v) == 1 && len(monitors) < maxMon {
+			if err := addMonitor(v); err != nil {
+				return nil, nil, 0, err
+			}
+		}
+	}
+	perm := rng.Perm(n)
+	pi := 0
+	nextRandom := func() (graph.NodeID, bool) {
+		for pi < n {
+			v := graph.NodeID(perm[pi])
+			pi++
+			if !inSet[v] {
+				return v, true
+			}
+		}
+		return 0, false
+	}
+	for len(monitors) < opts.initial() {
+		v, ok := nextRandom()
+		if !ok {
+			break
+		}
+		if err := addMonitor(v); err != nil {
+			return nil, nil, 0, err
+		}
+	}
+	for tracker.rank < nLinks && len(monitors) < maxMon {
+		v, ok := nextRandom()
+		if !ok {
+			break
+		}
+		if err := addMonitor(v); err != nil {
+			return nil, nil, 0, err
+		}
+	}
+
+	// Fill redundancy paths from the pool up to the target.
+	target := opts.Select.TargetPaths
+	if target <= 0 {
+		target = len(selected) + max(1, len(selected)/4)
+	}
+	if rng != nil {
+		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	}
+	for _, p := range pool {
+		if len(selected) >= target {
+			break
+		}
+		selected = append(selected, p)
+	}
+	return monitors, selected, tracker.rank, nil
+}
+
+// NodePresenceRatios returns, for every node, the fraction of
+// measurement paths the node appears on. Section VI proposes minimizing
+// the maximum of these as a security-aware placement objective: a
+// compromised node that sits on few paths can manipulate few
+// measurements.
+func NodePresenceRatios(g *graph.Graph, paths []graph.Path) []float64 {
+	counts := make([]float64, g.NumNodes())
+	for _, p := range paths {
+		for _, v := range p.Nodes {
+			counts[v]++
+		}
+	}
+	if len(paths) > 0 {
+		inv := 1 / float64(len(paths))
+		for i := range counts {
+			counts[i] *= inv
+		}
+	}
+	return counts
+}
+
+// InteriorPresenceRatios is NodePresenceRatios restricted to interior
+// (non-endpoint) appearances. Endpoints are monitors that unavoidably
+// sit on every one of their own paths, so the endpoint-dominated maximum
+// is insensitive to the thing Section VI cares about: how many *other*
+// nodes' measurements a compromised node can touch.
+func InteriorPresenceRatios(g *graph.Graph, paths []graph.Path) []float64 {
+	counts := make([]float64, g.NumNodes())
+	for _, p := range paths {
+		if len(p.Nodes) < 3 {
+			continue
+		}
+		for _, v := range p.Nodes[1 : len(p.Nodes)-1] {
+			counts[v]++
+		}
+	}
+	if len(paths) > 0 {
+		inv := 1 / float64(len(paths))
+		for i := range counts {
+			counts[i] *= inv
+		}
+	}
+	return counts
+}
+
+// SelectPathsSecure performs rank-greedy selection like SelectPaths, but
+// fills the redundancy quota with candidates that minimize the maximum
+// node-presence ratio instead of taking them in pool order. This is the
+// Section VI extension: identifiability first, then presence-ratio
+// minimization.
+func SelectPathsSecure(g *graph.Graph, monitors []graph.NodeID, opts SelectOptions) ([]graph.Path, int, error) {
+	cands, err := CandidatePaths(g, monitors, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	if opts.RNG != nil {
+		opts.RNG.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	}
+	nLinks := g.NumLinks()
+	tracker := newRankTracker(nLinks)
+	var selected, rest []graph.Path
+	for _, p := range cands {
+		if tracker.tryAdd(pathRow(p, nLinks)) {
+			selected = append(selected, p)
+		} else {
+			rest = append(rest, p)
+		}
+	}
+	rank := tracker.rank
+	target := opts.TargetPaths
+	if target <= 0 {
+		target = len(selected) + max(1, len(selected)/4)
+	}
+	// Only interior appearances count: endpoint (monitor) presence is
+	// unavoidable and would drown the objective.
+	counts := make([]int, g.NumNodes())
+	bump := func(p graph.Path, delta int) {
+		if len(p.Nodes) < 3 {
+			return
+		}
+		for _, v := range p.Nodes[1 : len(p.Nodes)-1] {
+			counts[v] += delta
+		}
+	}
+	for _, p := range selected {
+		bump(p, 1)
+	}
+	maxCount := func() int {
+		m := 0
+		for _, c := range counts {
+			if c > m {
+				m = c
+			}
+		}
+		return m
+	}
+	for len(selected) < target && len(rest) > 0 {
+		bestIdx, bestScore := -1, math.MaxInt
+		for i, p := range rest {
+			bump(p, 1)
+			if s := maxCount(); s < bestScore {
+				bestScore, bestIdx = s, i
+			}
+			bump(p, -1)
+		}
+		p := rest[bestIdx]
+		bump(p, 1)
+		selected = append(selected, p)
+		rest = append(rest[:bestIdx], rest[bestIdx+1:]...)
+	}
+	return selected, rank, nil
+}

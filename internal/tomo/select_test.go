@@ -1,0 +1,238 @@
+package tomo
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/topo"
+)
+
+func TestCandidatePathsFig1(t *testing.T) {
+	f := topo.Fig1()
+	cands, err := CandidatePaths(f.G, f.Monitors, SelectOptions{Exhaustive: true})
+	if err != nil {
+		t.Fatalf("CandidatePaths: %v", err)
+	}
+	if len(cands) < 23 {
+		t.Errorf("candidates = %d, want ≥ 23", len(cands))
+	}
+	for i, p := range cands {
+		if err := p.Validate(f.G); err != nil {
+			t.Errorf("candidate %d invalid: %v", i, err)
+		}
+		// Sorted by length.
+		if i > 0 && p.Len() < cands[i-1].Len() {
+			t.Errorf("candidates unsorted at %d", i)
+		}
+	}
+}
+
+func TestCandidatePathsErrors(t *testing.T) {
+	f := topo.Fig1()
+	if _, err := CandidatePaths(f.G, []graph.NodeID{f.M1}, SelectOptions{}); err == nil {
+		t.Error("single monitor accepted")
+	}
+	if _, err := CandidatePaths(f.G, []graph.NodeID{f.M1, f.M1}, SelectOptions{}); err == nil {
+		t.Error("duplicate monitor accepted")
+	}
+	g := graph.New()
+	a, b := g.AddNode("a"), g.AddNode("b")
+	if _, err := CandidatePaths(g, []graph.NodeID{a, b}, SelectOptions{}); err == nil {
+		t.Error("disconnected monitors accepted")
+	}
+}
+
+func TestSelectPathsReachesFullRank(t *testing.T) {
+	f := topo.Fig1()
+	paths, rank, err := SelectPaths(f.G, f.Monitors, SelectOptions{Exhaustive: true, TargetPaths: 23})
+	if err != nil {
+		t.Fatalf("SelectPaths: %v", err)
+	}
+	if rank != 10 {
+		t.Errorf("rank = %d, want 10", rank)
+	}
+	if len(paths) != 23 {
+		t.Errorf("selected = %d, want 23", len(paths))
+	}
+	r := RoutingMatrix(f.G, paths)
+	s, err := NewSystem(f.G, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Identifiable() {
+		t.Errorf("selection not identifiable (R is %d×%d)", r.Rows(), r.Cols())
+	}
+}
+
+func TestSelectPathsRandomizedStillFullRank(t *testing.T) {
+	f := topo.Fig1()
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		_, rank, err := SelectPaths(f.G, f.Monitors, SelectOptions{Exhaustive: true, TargetPaths: 23, RNG: rng})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rank != 10 {
+			t.Errorf("seed %d: rank = %d, want 10", seed, rank)
+		}
+	}
+}
+
+func TestSelectPathsDefaultTarget(t *testing.T) {
+	f := topo.Fig1()
+	paths, rank, err := SelectPaths(f.G, f.Monitors, SelectOptions{Exhaustive: true})
+	if err != nil {
+		t.Fatalf("SelectPaths: %v", err)
+	}
+	// Default adds ≥ 1 redundancy path beyond the rank-greedy set.
+	if len(paths) <= rank {
+		t.Errorf("selected %d paths with rank %d; want redundancy", len(paths), rank)
+	}
+}
+
+func TestRankTracker(t *testing.T) {
+	rt := newRankTracker(3)
+	if !rt.tryAdd([]float64{1, 0, 0}) {
+		t.Error("first row rejected")
+	}
+	if !rt.tryAdd([]float64{1, 1, 0}) {
+		t.Error("independent row rejected")
+	}
+	if rt.tryAdd([]float64{2, 1, 0}) {
+		t.Error("dependent row accepted")
+	}
+	if !rt.tryAdd([]float64{0, 0, 5}) {
+		t.Error("third independent row rejected")
+	}
+	if rt.rank != 3 {
+		t.Errorf("rank = %d, want 3", rt.rank)
+	}
+	if rt.tryAdd([]float64{1, 2, 3}) {
+		t.Error("row accepted beyond full rank")
+	}
+}
+
+func TestPlaceMonitorsFig1(t *testing.T) {
+	f := topo.Fig1()
+	rng := rand.New(rand.NewSource(1))
+	monitors, paths, rank, err := PlaceMonitors(f.G, rng, PlaceOptions{
+		Select: SelectOptions{Exhaustive: true},
+	})
+	if err != nil {
+		t.Fatalf("PlaceMonitors: %v", err)
+	}
+	if rank != f.G.NumLinks() {
+		t.Errorf("rank = %d, want %d", rank, f.G.NumLinks())
+	}
+	// M2 has degree 1, so it must be a monitor.
+	found := false
+	for _, m := range monitors {
+		if m == f.M2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("degree-1 node M2 not selected as monitor")
+	}
+	if len(paths) == 0 {
+		t.Error("no paths selected")
+	}
+}
+
+func TestPlaceMonitorsISP(t *testing.T) {
+	g, err := topo.ISP(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	_, paths, rank, err := PlaceMonitors(g, rng, PlaceOptions{
+		Initial: 10,
+		Select:  SelectOptions{PerPair: 8},
+	})
+	if err != nil {
+		t.Fatalf("PlaceMonitors: %v", err)
+	}
+	if rank != g.NumLinks() {
+		t.Errorf("rank = %d, want %d (full identifiability)", rank, g.NumLinks())
+	}
+	s, err := NewSystem(g, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Identifiable() {
+		t.Error("ISP system not identifiable")
+	}
+	if s.NumPaths() <= s.NumLinks() {
+		t.Errorf("R square or under-determined (%d×%d); detection needs redundancy", s.NumPaths(), s.NumLinks())
+	}
+}
+
+func TestPlaceMonitorsErrors(t *testing.T) {
+	f := topo.Fig1()
+	if _, _, _, err := PlaceMonitors(f.G, nil, PlaceOptions{}); err == nil {
+		t.Error("nil RNG accepted")
+	}
+	g := graph.New()
+	g.AddNode("only")
+	if _, _, _, err := PlaceMonitors(g, rand.New(rand.NewSource(1)), PlaceOptions{}); err == nil {
+		t.Error("1-node graph accepted")
+	}
+}
+
+func TestNodePresenceRatios(t *testing.T) {
+	f := topo.Fig1()
+	paths, _, err := SelectPaths(f.G, f.Monitors, SelectOptions{Exhaustive: true, TargetPaths: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratios := NodePresenceRatios(f.G, paths)
+	if len(ratios) != f.G.NumNodes() {
+		t.Fatalf("ratios = %d, want %d", len(ratios), f.G.NumNodes())
+	}
+	for v, r := range ratios {
+		if r < 0 || r > 1 {
+			t.Errorf("node %d ratio %g outside [0,1]", v, r)
+		}
+	}
+	// Monitors appear on their own paths; M1 must be present on some.
+	if ratios[f.M1] == 0 {
+		t.Error("M1 presence 0")
+	}
+	if got := NodePresenceRatios(f.G, nil); len(got) != f.G.NumNodes() {
+		t.Error("empty path set mishandled")
+	}
+}
+
+func TestSelectPathsSecureLowersPresence(t *testing.T) {
+	f := topo.Fig1()
+	opts := SelectOptions{Exhaustive: true, TargetPaths: 23}
+	plain, rankP, err := SelectPaths(f.G, f.Monitors, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secure, rankS, err := SelectPathsSecure(f.G, f.Monitors, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rankS != rankP {
+		t.Errorf("secure rank = %d, plain rank = %d", rankS, rankP)
+	}
+	if len(secure) != len(plain) {
+		t.Errorf("secure selected %d, plain %d", len(secure), len(plain))
+	}
+	maxOf := func(paths []graph.Path) float64 {
+		var m float64
+		// Exclude monitors: they sit on every own path by construction.
+		isMon := map[graph.NodeID]bool{f.M1: true, f.M2: true, f.M3: true}
+		for v, r := range NodePresenceRatios(f.G, paths) {
+			if !isMon[graph.NodeID(v)] && r > m {
+				m = r
+			}
+		}
+		return m
+	}
+	if maxOf(secure) > maxOf(plain)+1e-9 {
+		t.Errorf("secure max presence %.3f worse than plain %.3f", maxOf(secure), maxOf(plain))
+	}
+}

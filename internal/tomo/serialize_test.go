@@ -1,0 +1,68 @@
+package tomo
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/topo"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	f, s := fig1System(t)
+	var buf strings.Builder
+	if err := s.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := LoadSystem(f.G, strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("LoadSystem: %v", err)
+	}
+	if loaded.NumPaths() != s.NumPaths() {
+		t.Fatalf("paths = %d, want %d", loaded.NumPaths(), s.NumPaths())
+	}
+	for i, p := range loaded.Paths() {
+		if !p.Equal(s.Paths()[i]) {
+			t.Errorf("path %d differs after round trip", i)
+		}
+	}
+	if !loaded.R().Equal(s.R(), 0) {
+		t.Error("routing matrix differs after round trip")
+	}
+	if !loaded.Identifiable() {
+		t.Error("round-tripped system lost identifiability")
+	}
+}
+
+func TestLoadSystemRejects(t *testing.T) {
+	f := topo.Fig1()
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"garbage", "not json"},
+		{"bad version", `{"version": 99, "paths": [["M1","A"]]}`},
+		{"no paths", `{"version": 1, "paths": []}`},
+		{"short path", `{"version": 1, "paths": [["M1"]]}`},
+		{"unknown node", `{"version": 1, "paths": [["M1","ZZZ"]]}`},
+		{"no link", `{"version": 1, "paths": [["M1","D"]]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := LoadSystem(f.G, strings.NewReader(tc.doc)); err == nil {
+				t.Errorf("accepted %q", tc.doc)
+			}
+		})
+	}
+}
+
+func TestLoadSystemAgainstWrongTopology(t *testing.T) {
+	// A config saved on Fig1 must not load against Abilene (names differ).
+	_, s := fig1System(t)
+	var buf strings.Builder
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSystem(topo.Abilene(), strings.NewReader(buf.String())); err == nil {
+		t.Error("Fig1 config loaded against Abilene")
+	}
+}

@@ -1,0 +1,78 @@
+// Package tomo implements the network tomography engine of the paper's
+// Section II: routing-matrix construction from measurement paths, the
+// least-squares link-metric estimator x̂ = (RᵀR)⁻¹Rᵀy (Eq. 2),
+// identifiability checks, and identifiability-driven monitor placement
+// and measurement-path selection.
+package tomo
+
+import (
+	"fmt"
+)
+
+// State is the diagnostic state of a link (Definition 1).
+type State int
+
+// Link states. Start at 1 so the zero value is invalid.
+const (
+	Normal State = iota + 1
+	Uncertain
+	Abnormal
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Normal:
+		return "normal"
+	case Uncertain:
+		return "uncertain"
+	case Abnormal:
+		return "abnormal"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Thresholds hold the classification bounds of Definition 1: a link is
+// normal below Lower (b_l), abnormal above Upper (b_u), uncertain
+// between. Setting Lower == Upper gives the two-state variant of
+// Remark 1.
+type Thresholds struct {
+	Lower float64 // b_l
+	Upper float64 // b_u
+}
+
+// DefaultThresholds are the paper's experimental setup (Section V-A):
+// normal below 100 ms, abnormal above 800 ms.
+func DefaultThresholds() Thresholds {
+	return Thresholds{Lower: 100, Upper: 800}
+}
+
+// Validate checks Lower ≤ Upper and non-negative bounds.
+func (t Thresholds) Validate() error {
+	if t.Lower < 0 || t.Upper < t.Lower {
+		return fmt.Errorf("tomo: thresholds (b_l=%g, b_u=%g) need 0 ≤ b_l ≤ b_u", t.Lower, t.Upper)
+	}
+	return nil
+}
+
+// Classify maps a link metric to its state per Definition 1.
+func (t Thresholds) Classify(x float64) State {
+	switch {
+	case x < t.Lower:
+		return Normal
+	case x > t.Upper:
+		return Abnormal
+	default:
+		return Uncertain
+	}
+}
+
+// ClassifyAll maps a metric vector to states.
+func (t Thresholds) ClassifyAll(x []float64) []State {
+	out := make([]State, len(x))
+	for i, v := range x {
+		out[i] = t.Classify(v)
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package tomo
+
+import "testing"
+
+func TestClassify(t *testing.T) {
+	th := DefaultThresholds()
+	tests := []struct {
+		x    float64
+		want State
+	}{
+		{0, Normal},
+		{99.9, Normal},
+		{100, Uncertain}, // b_l ≤ x ≤ b_u is uncertain (Definition 1)
+		{500, Uncertain},
+		{800, Uncertain},
+		{800.1, Abnormal},
+		{5000, Abnormal},
+	}
+	for _, tt := range tests {
+		if got := th.Classify(tt.x); got != tt.want {
+			t.Errorf("Classify(%g) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestClassifyTwoState(t *testing.T) {
+	// Remark 1: b = b_l = b_u collapses to two useful states (only the
+	// single point b remains uncertain).
+	th := Thresholds{Lower: 100, Upper: 100}
+	if got := th.Classify(99); got != Normal {
+		t.Errorf("Classify(99) = %v", got)
+	}
+	if got := th.Classify(101); got != Abnormal {
+		t.Errorf("Classify(101) = %v", got)
+	}
+	if got := th.Classify(100); got != Uncertain {
+		t.Errorf("Classify(100) = %v", got)
+	}
+}
+
+func TestThresholdsValidate(t *testing.T) {
+	if err := DefaultThresholds().Validate(); err != nil {
+		t.Errorf("default invalid: %v", err)
+	}
+	if err := (Thresholds{Lower: -1, Upper: 5}).Validate(); err == nil {
+		t.Error("negative lower accepted")
+	}
+	if err := (Thresholds{Lower: 5, Upper: 1}).Validate(); err == nil {
+		t.Error("inverted thresholds accepted")
+	}
+}
+
+func TestClassifyAll(t *testing.T) {
+	th := DefaultThresholds()
+	got := th.ClassifyAll([]float64{10, 400, 900})
+	want := []State{Normal, Uncertain, Abnormal}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ClassifyAll[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Normal.String() != "normal" || Uncertain.String() != "uncertain" || Abnormal.String() != "abnormal" {
+		t.Error("state strings wrong")
+	}
+	if State(0).String() == "" {
+		t.Error("zero state string empty")
+	}
+}

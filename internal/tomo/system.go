@@ -1,0 +1,159 @@
+package tomo
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/la"
+)
+
+// ErrNotIdentifiable is returned when the routing matrix lacks full
+// column rank, i.e. the selected paths cannot distinguish all links.
+var ErrNotIdentifiable = errors.New("tomo: link metrics not identifiable")
+
+// System binds a topology to a set of measurement paths and exposes the
+// paper's linear measurement model y = Rx (Eq. 1) and its least-squares
+// inverse (Eq. 2).
+type System struct {
+	g     *graph.Graph
+	paths []graph.Path
+	r     *la.Matrix
+	t     *la.Matrix // (RᵀR)⁻¹Rᵀ, built lazily by Operator
+}
+
+// NewSystem validates the measurement paths against g (simple,
+// well-formed, monitor endpoints are the caller's concern) and builds
+// the routing matrix.
+func NewSystem(g *graph.Graph, paths []graph.Path) (*System, error) {
+	if g == nil {
+		return nil, fmt.Errorf("tomo: nil graph")
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("tomo: no measurement paths")
+	}
+	for i, p := range paths {
+		if err := p.Validate(g); err != nil {
+			return nil, fmt.Errorf("tomo: path %d: %w", i, err)
+		}
+	}
+	r := RoutingMatrix(g, paths)
+	copied := make([]graph.Path, len(paths))
+	for i, p := range paths {
+		copied[i] = p.Clone()
+	}
+	return &System{g: g, paths: copied, r: r}, nil
+}
+
+// RoutingMatrix builds the 0/1 matrix R with R[i][j] = 1 iff link j lies
+// on path i (Eq. 1).
+func RoutingMatrix(g *graph.Graph, paths []graph.Path) *la.Matrix {
+	r := la.NewMatrix(len(paths), g.NumLinks())
+	for i, p := range paths {
+		for _, l := range p.Links {
+			r.Set(i, int(l), 1)
+		}
+	}
+	return r
+}
+
+// Graph returns the underlying topology.
+func (s *System) Graph() *graph.Graph { return s.g }
+
+// Paths returns the measurement paths (shared slice; callers must not
+// mutate).
+func (s *System) Paths() []graph.Path { return s.paths }
+
+// NumPaths returns |P|.
+func (s *System) NumPaths() int { return len(s.paths) }
+
+// NumLinks returns |L|.
+func (s *System) NumLinks() int { return s.g.NumLinks() }
+
+// R returns the routing matrix (shared; callers must not mutate).
+func (s *System) R() *la.Matrix { return s.r }
+
+// Rank returns the numerical rank of R.
+func (s *System) Rank() int { return la.Rank(s.r) }
+
+// Identifiable reports whether R has full column rank, the paper's
+// prerequisite for Eq. 2.
+func (s *System) Identifiable() bool { return s.Rank() == s.g.NumLinks() }
+
+// Operator returns T = (RᵀR)⁻¹Rᵀ, computing and caching it on first
+// use. Fails with ErrNotIdentifiable when R lacks full column rank.
+func (s *System) Operator() (*la.Matrix, error) {
+	if s.t != nil {
+		return s.t, nil
+	}
+	t, err := la.NormalEquationOperator(s.r)
+	if err != nil {
+		if errors.Is(err, la.ErrNotSPD) {
+			return nil, fmt.Errorf("%w: %v", ErrNotIdentifiable, err)
+		}
+		return nil, err
+	}
+	s.t = t
+	return t, nil
+}
+
+// Measure applies the forward model: y = Rx for true link metrics x.
+func (s *System) Measure(x la.Vector) (la.Vector, error) {
+	y, err := s.r.MulVec(x)
+	if err != nil {
+		return nil, fmt.Errorf("tomo: Measure: %w", err)
+	}
+	return y, nil
+}
+
+// Estimate inverts measurements into link metrics: x̂ = (RᵀR)⁻¹Rᵀy
+// (Eq. 2).
+func (s *System) Estimate(y la.Vector) (la.Vector, error) {
+	t, err := s.Operator()
+	if err != nil {
+		return nil, err
+	}
+	xhat, err := t.MulVec(y)
+	if err != nil {
+		return nil, fmt.Errorf("tomo: Estimate: %w", err)
+	}
+	return xhat, nil
+}
+
+// Residual returns R·x̂ − y, the inconsistency vector the paper's
+// detection method tests (Eq. 23).
+func (s *System) Residual(xhat, y la.Vector) (la.Vector, error) {
+	rx, err := s.r.MulVec(xhat)
+	if err != nil {
+		return nil, fmt.Errorf("tomo: Residual: %w", err)
+	}
+	res, err := rx.Sub(y)
+	if err != nil {
+		return nil, fmt.Errorf("tomo: Residual: %w", err)
+	}
+	return res, nil
+}
+
+// PathsWithLink returns the indices of measurement paths containing
+// link l.
+func (s *System) PathsWithLink(l graph.LinkID) []int {
+	var out []int
+	for i, p := range s.paths {
+		if p.HasLink(l) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// PathsWithAnyNode returns the indices of measurement paths touching any
+// node in set — the paths an attacker set can manipulate (Constraint 1).
+func (s *System) PathsWithAnyNode(set map[graph.NodeID]bool) []int {
+	var out []int
+	for i, p := range s.paths {
+		if p.HasAnyNode(set) {
+			out = append(out, i)
+		}
+	}
+	return out
+}

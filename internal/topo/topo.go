@@ -1,0 +1,188 @@
+// Package topo provides the concrete network topologies the paper's
+// evaluation runs on: the seven-node example of Fig. 1 (reconstructed
+// from the constraints in the text, see DESIGN.md §4), a synthetic
+// Rocketfuel-AS1221-like ISP topology (substitution documented in
+// DESIGN.md §5), and the wireless random-geometric scenario of
+// Section V-C.
+package topo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"repro/internal/graph"
+)
+
+// Fig1Topology is the paper's running example: monitors M1–M3, internal
+// nodes A–D, links numbered 1–10 as in the paper's figure.
+type Fig1Topology struct {
+	G *graph.Graph
+	// Named node handles.
+	M1, M2, M3, A, B, C, D graph.NodeID
+	// Monitors is {M1, M2, M3}.
+	Monitors []graph.NodeID
+	// PaperLink maps the paper's 1-based link numbers (index 1..10) to
+	// graph link IDs. Index 0 is unused.
+	PaperLink [11]graph.LinkID
+	// Attackers is the paper's malicious pair {B, C}.
+	Attackers []graph.NodeID
+}
+
+// Fig1 builds the reconstructed Fig. 1 topology:
+//
+//	1: M1–A   2: A–B    3: B–M1  4: A–C   5: B–D
+//	6: C–M1   7: C–D    8: M3–C  9: M3–D  10: D–M2
+//
+// The assignment satisfies every structural fact the paper states:
+// links 2–8 all touch B or C; node B's incident links are exactly
+// {2, 3, 5}; every path through link 1 carries B or C (A's other links
+// lead only to B and C); the links 8,7,5,3 form a valid monitor-to-
+// monitor path M3→C→D→B→M1 (the paper's cooperative example); and the
+// attacker-free route M3–D–M2 is the paper's path 17 (links 9, 10).
+// Every non-monitor node has degree ≥ 3, which the 23 selected paths
+// need for full column rank (a degree-2 internal node makes its two
+// links inseparable on any monitor-to-monitor path).
+func Fig1() *Fig1Topology {
+	g := graph.New()
+	t := &Fig1Topology{G: g}
+	t.M1 = g.AddNode("M1")
+	t.M2 = g.AddNode("M2")
+	t.M3 = g.AddNode("M3")
+	t.A = g.AddNode("A")
+	t.B = g.AddNode("B")
+	t.C = g.AddNode("C")
+	t.D = g.AddNode("D")
+	t.Monitors = []graph.NodeID{t.M1, t.M2, t.M3}
+	t.Attackers = []graph.NodeID{t.B, t.C}
+
+	pairs := [][2]graph.NodeID{
+		1:  {t.M1, t.A},
+		2:  {t.A, t.B},
+		3:  {t.B, t.M1},
+		4:  {t.A, t.C},
+		5:  {t.B, t.D},
+		6:  {t.C, t.M1},
+		7:  {t.C, t.D},
+		8:  {t.M3, t.C},
+		9:  {t.M3, t.D},
+		10: {t.D, t.M2},
+	}
+	for num := 1; num <= 10; num++ {
+		id, err := g.AddLink(pairs[num][0], pairs[num][1])
+		if err != nil {
+			// The table above is a fixed valid simple graph; failure is
+			// a programming error, not a runtime condition.
+			panic(fmt.Sprintf("topo: Fig1 link %d: %v", num, err))
+		}
+		t.PaperLink[num] = id
+	}
+	return t
+}
+
+// ISPNodes and ISPAttach parameterize the synthetic AS1221-like map:
+// Rocketfuel's AS1221 (Telstra) backbone has ~104 routers and ~300
+// links; BarabasiAlbert(104, 3) matches both scale and the heavy-tailed
+// degree mix.
+const (
+	ISPNodes  = 104
+	ISPAttach = 3
+)
+
+// ISP returns the synthetic Rocketfuel-AS1221-like wireline topology.
+// Deterministic for a given seed.
+func ISP(seed int64) (*graph.Graph, error) {
+	g, err := graph.BarabasiAlbert(ISPNodes, ISPAttach, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, fmt.Errorf("topo: ISP: %w", err)
+	}
+	return g, nil
+}
+
+// Wireless parameters from Section V-C: 100 nodes at density λ=5 on
+// [0, √(100/λ)]², radius chosen for 5 expected neighbors.
+const (
+	WirelessNodes   = 100
+	WirelessDensity = 5.0
+	WirelessDegree  = 5.0
+)
+
+// Wireless returns the paper's wireless scenario: a random geometric
+// graph with the Section V-C parameters. If the draw is disconnected the
+// giant component is used (the paper's tomography needs a connected
+// measurement substrate); positions are returned for the surviving
+// nodes. Deterministic for a given seed.
+func Wireless(seed int64) (*graph.Graph, []graph.Point, error) {
+	rng := rand.New(rand.NewSource(seed))
+	size := math.Sqrt(float64(WirelessNodes) / WirelessDensity)
+	radius := graph.GeometricRadiusForDegree(WirelessDensity, WirelessDegree)
+	g, pts, err := graph.RandomGeometric(WirelessNodes, size, radius, rng)
+	if err != nil {
+		return nil, nil, fmt.Errorf("topo: Wireless: %w", err)
+	}
+	if graph.Connected(g) {
+		return g, pts, nil
+	}
+	sub, orig := graph.GiantComponent(g)
+	subPts := make([]graph.Point, len(orig))
+	for i, v := range orig {
+		subPts[i] = pts[v]
+	}
+	return sub, subPts, nil
+}
+
+// Abilene returns the Abilene (Internet2) backbone as of the mid-2000s:
+// 11 routers, 14 links. It is the standard small real-world wireline
+// topology in the tomography literature and complements the synthetic
+// AS1221-like map with a network whose structure is public knowledge.
+func Abilene() *graph.Graph {
+	g := graph.New()
+	names := []string{
+		"Seattle", "Sunnyvale", "LosAngeles", "Denver", "KansasCity",
+		"Houston", "Chicago", "Indianapolis", "Atlanta", "WashingtonDC",
+		"NewYork",
+	}
+	ids := make(map[string]graph.NodeID, len(names))
+	for _, n := range names {
+		ids[n] = g.AddNode(n)
+	}
+	edges := [][2]string{
+		{"Seattle", "Sunnyvale"},
+		{"Seattle", "Denver"},
+		{"Sunnyvale", "LosAngeles"},
+		{"Sunnyvale", "Denver"},
+		{"LosAngeles", "Houston"},
+		{"Denver", "KansasCity"},
+		{"KansasCity", "Houston"},
+		{"KansasCity", "Indianapolis"},
+		{"Houston", "Atlanta"},
+		{"Chicago", "Indianapolis"},
+		{"Chicago", "NewYork"},
+		{"Indianapolis", "Atlanta"},
+		{"Atlanta", "WashingtonDC"},
+		{"WashingtonDC", "NewYork"},
+	}
+	for _, e := range edges {
+		if _, err := g.AddLink(ids[e[0]], ids[e[1]]); err != nil {
+			// The table above is a fixed valid simple graph.
+			panic(fmt.Sprintf("topo: Abilene edge %v: %v", e, err))
+		}
+	}
+	return g
+}
+
+// FromEdgeListFile loads a topology from an edge-list file, e.g. a real
+// Rocketfuel map exported as "routerA routerB" lines.
+func FromEdgeListFile(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("topo: open %s: %w", path, err)
+	}
+	defer f.Close()
+	g, err := graph.ParseEdgeList(f)
+	if err != nil {
+		return nil, fmt.Errorf("topo: parse %s: %w", path, err)
+	}
+	return g, nil
+}

@@ -1,0 +1,219 @@
+package topo
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tomo"
+)
+
+func TestFig1Shape(t *testing.T) {
+	f := Fig1()
+	if f.G.NumNodes() != 7 {
+		t.Errorf("nodes = %d, want 7", f.G.NumNodes())
+	}
+	if f.G.NumLinks() != 10 {
+		t.Errorf("links = %d, want 10", f.G.NumLinks())
+	}
+	if len(f.Monitors) != 3 || len(f.Attackers) != 2 {
+		t.Errorf("monitors = %d, attackers = %d", len(f.Monitors), len(f.Attackers))
+	}
+	if !graph.Connected(f.G) {
+		t.Error("Fig1 disconnected")
+	}
+}
+
+// TestFig1PaperConstraints verifies every structural fact the paper
+// states about the example network.
+func TestFig1PaperConstraints(t *testing.T) {
+	f := Fig1()
+
+	// Links 2–8 all touch B or C (the attacker-controlled set).
+	for num := 2; num <= 8; num++ {
+		l, err := f.G.Link(f.PaperLink[num])
+		if err != nil {
+			t.Fatalf("Link %d: %v", num, err)
+		}
+		if !(l.Has(f.B) || l.Has(f.C)) {
+			t.Errorf("paper link %d does not touch B or C", num)
+		}
+	}
+	// Links 1, 9, 10 touch neither B nor C.
+	for _, num := range []int{1, 9, 10} {
+		l, _ := f.G.Link(f.PaperLink[num])
+		if l.Has(f.B) || l.Has(f.C) {
+			t.Errorf("paper link %d touches an attacker", num)
+		}
+	}
+
+	// Every simple monitor-to-monitor path through link 1 carries B or C.
+	mal := map[graph.NodeID]bool{f.B: true, f.C: true}
+	for _, pair := range [][2]graph.NodeID{{f.M1, f.M2}, {f.M1, f.M3}, {f.M2, f.M3}} {
+		paths, err := graph.SimplePaths(f.G, pair[0], pair[1], 0, 0)
+		if err != nil {
+			t.Fatalf("SimplePaths: %v", err)
+		}
+		for _, p := range paths {
+			if p.HasLink(f.PaperLink[1]) && !p.HasAnyNode(mal) {
+				t.Errorf("path %s uses link 1 without attackers", p.Format(f.G))
+			}
+		}
+	}
+
+	// The paper's path 17 (links 9, 10: M3–D–M2) avoids both attackers.
+	p17 := graph.Path{
+		Nodes: []graph.NodeID{f.M3, f.D, f.M2},
+		Links: []graph.LinkID{f.PaperLink[9], f.PaperLink[10]},
+	}
+	if err := p17.Validate(f.G); err != nil {
+		t.Fatalf("path 17 invalid: %v", err)
+	}
+	if p17.HasAnyNode(mal) {
+		t.Error("path 17 carries an attacker")
+	}
+
+	// The paper's path 3 (links 1,4,7,10 over M1,A,C,D,M2) is valid.
+	p3 := graph.Path{
+		Nodes: []graph.NodeID{f.M1, f.A, f.C, f.D, f.M2},
+		Links: []graph.LinkID{f.PaperLink[1], f.PaperLink[4], f.PaperLink[7], f.PaperLink[10]},
+	}
+	if err := p3.Validate(f.G); err != nil {
+		t.Errorf("paper path 3 invalid: %v", err)
+	}
+}
+
+func TestFig1EnoughPaths(t *testing.T) {
+	// The paper selects 23 measurement paths; the topology must offer
+	// at least that many simple monitor-to-monitor paths.
+	f := Fig1()
+	total := 0
+	for _, pair := range [][2]graph.NodeID{{f.M1, f.M2}, {f.M1, f.M3}, {f.M2, f.M3}} {
+		paths, err := graph.SimplePaths(f.G, pair[0], pair[1], 0, 0)
+		if err != nil {
+			t.Fatalf("SimplePaths: %v", err)
+		}
+		total += len(paths)
+	}
+	if total < 23 {
+		t.Errorf("only %d monitor-to-monitor simple paths, paper uses 23", total)
+	}
+}
+
+func TestISP(t *testing.T) {
+	g, err := ISP(1)
+	if err != nil {
+		t.Fatalf("ISP: %v", err)
+	}
+	if g.NumNodes() != ISPNodes {
+		t.Errorf("nodes = %d, want %d", g.NumNodes(), ISPNodes)
+	}
+	// ≈300 links: C(4,2) + 3·100 = 306.
+	if g.NumLinks() < 290 || g.NumLinks() > 320 {
+		t.Errorf("links = %d, want ≈306", g.NumLinks())
+	}
+	if !graph.Connected(g) {
+		t.Error("ISP topology disconnected")
+	}
+}
+
+func TestISPDeterministic(t *testing.T) {
+	a, err := ISP(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ISP(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumLinks() != b.NumLinks() {
+		t.Error("ISP not deterministic")
+	}
+}
+
+func TestWireless(t *testing.T) {
+	g, pts, err := Wireless(1)
+	if err != nil {
+		t.Fatalf("Wireless: %v", err)
+	}
+	if g.NumNodes() == 0 || g.NumNodes() > WirelessNodes {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if len(pts) != g.NumNodes() {
+		t.Fatalf("points = %d, nodes = %d", len(pts), g.NumNodes())
+	}
+	if !graph.Connected(g) {
+		t.Error("Wireless returned disconnected graph")
+	}
+	// Average degree should be in the ballpark of the λ=5 design.
+	avg := 2 * float64(g.NumLinks()) / float64(g.NumNodes())
+	if avg < 2 || avg > 9 {
+		t.Errorf("average degree %.1f implausible for λ=5 design", avg)
+	}
+}
+
+func TestFromEdgeListFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "net.txt")
+	if err := os.WriteFile(path, []byte("a b\nb c\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := FromEdgeListFile(path)
+	if err != nil {
+		t.Fatalf("FromEdgeListFile: %v", err)
+	}
+	if g.NumNodes() != 3 || g.NumLinks() != 2 {
+		t.Errorf("parsed %d nodes %d links", g.NumNodes(), g.NumLinks())
+	}
+	if _, err := FromEdgeListFile(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte("a a\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromEdgeListFile(bad); err == nil {
+		t.Error("self-loop file accepted")
+	}
+}
+
+func TestAbilene(t *testing.T) {
+	g := Abilene()
+	if g.NumNodes() != 11 {
+		t.Errorf("nodes = %d, want 11", g.NumNodes())
+	}
+	if g.NumLinks() != 14 {
+		t.Errorf("links = %d, want 14", g.NumLinks())
+	}
+	if !graph.Connected(g) {
+		t.Error("Abilene disconnected")
+	}
+	// Degree sanity: every router has 2–4 links on the real map.
+	for _, v := range g.Nodes() {
+		if d := g.Degree(v); d < 2 || d > 4 {
+			name, _ := g.NodeName(v)
+			t.Errorf("%s degree %d outside [2,4]", name, d)
+		}
+	}
+}
+
+func TestAbileneIdentifiable(t *testing.T) {
+	// With enough monitors the Abilene map is fully identifiable.
+	g := Abilene()
+	rng := rand.New(rand.NewSource(2))
+	_, paths, rank, err := tomo.PlaceMonitors(g, rng, tomo.PlaceOptions{
+		Initial: 5,
+		Select:  tomo.SelectOptions{PerPair: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rank != g.NumLinks() {
+		t.Fatalf("rank = %d of %d", rank, g.NumLinks())
+	}
+	if len(paths) <= g.NumLinks() {
+		t.Errorf("square system (%d paths); want redundancy", len(paths))
+	}
+}
