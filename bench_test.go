@@ -143,6 +143,87 @@ func BenchmarkTomographyEstimate(b *testing.B) {
 	}
 }
 
+// BenchmarkEstimateColdVsWarm isolates the win of the memoized
+// normal-equation factorization: "cold" rebuilds the system and refactors
+// R for every estimate (the pre-cache behaviour of a one-shot CLI),
+// "warm" reuses one system the way tomographyd's solver cache does, so
+// steady-state estimates are a single matvec against the cached operator.
+func BenchmarkEstimateColdVsWarm(b *testing.B) {
+	f, sys, x := fig1Fixture(b)
+	y, err := sys.Measure(x)
+	if err != nil {
+		b.Fatal(err)
+	}
+	paths := sys.Paths()
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fresh, err := tomo.NewSystem(f.G, paths)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := fresh.Estimate(y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		warm, err := tomo.NewSystem(f.G, paths)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := warm.Estimate(y); err != nil { // pay factorization up front
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := warm.Estimate(y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEstimateColdVsWarmISP is the same comparison at ISP scale
+// (~104 nodes), where refactorization dominates even more.
+func BenchmarkEstimateColdVsWarmISP(b *testing.B) {
+	env, err := experiment.NewEnv(experiment.Wireline, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := netsim.RoutineDelays(env.G, rand.New(rand.NewSource(1)))
+	y, err := env.Sys.Measure(x)
+	if err != nil {
+		b.Fatal(err)
+	}
+	paths := env.Sys.Paths()
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fresh, err := tomo.NewSystem(env.G, paths)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := fresh.Estimate(y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		warm, err := tomo.NewSystem(env.G, paths)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := warm.Estimate(y); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := warm.Estimate(y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func BenchmarkRoutingOperatorISP(b *testing.B) {
 	env, err := experiment.NewEnv(experiment.Wireline, 1)
 	if err != nil {

@@ -1,0 +1,108 @@
+// Command tomographyd runs the tomography-inference service: it loads or
+// accepts measurement configurations over HTTP/JSON, serves single and
+// batched estimate requests from a digest-keyed solver cache, and runs
+// the paper's scapegoat consistency check (Eq. 23) on inspected rounds.
+//
+// Usage:
+//
+//	tomographyd [-addr :8723] [-workers N] [-timeout 5s] [-preload fig1|abilene|isp|wireless] [-seed S] [-alpha A]
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// finish (bounded by -timeout), new connections are refused.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8723", "listen address")
+	workers := flag.Int("workers", serve.DefaultWorkers, "max concurrent solver requests")
+	timeout := flag.Duration("timeout", serve.DefaultRequestTimeout, "per-request timeout")
+	preload := flag.String("preload", "", "register a built-in topology at startup: fig1, abilene, isp, wireless")
+	seed := flag.Int64("seed", 1, "RNG seed for -preload path selection")
+	alpha := flag.Float64("alpha", 0, "detection threshold for the preloaded topology (0 = paper default)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, *addr, serve.Config{Workers: *workers, RequestTimeout: *timeout}, *preload, *seed, *alpha, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "tomographyd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon on addr and blocks until ctx is cancelled (or
+// the listener fails), then shuts down gracefully. Factored out of main
+// so tests can drive the full lifecycle.
+func run(ctx context.Context, addr string, cfg serve.Config, preload string, seed int64, alpha float64, logw io.Writer) error {
+	srv := serve.New(cfg)
+	if preload != "" {
+		if err := preloadTopology(srv, preload, seed, alpha); err != nil {
+			return err
+		}
+		fmt.Fprintf(logw, "tomographyd: preloaded topology %q\n", preload)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(logw, "tomographyd: listening on %s (workers=%d, timeout=%s)\n",
+		ln.Addr(), cfg.Workers, cfg.RequestTimeout)
+
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(logw, "tomographyd: shutting down\n")
+	grace := cfg.RequestTimeout
+	if grace <= 0 {
+		grace = serve.DefaultRequestTimeout
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), grace+time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// preloadTopology registers one of the repo's built-in topologies (with
+// automatically selected identifiable paths) so the daemon starts ready
+// to serve estimates without a client-side registration step.
+func preloadTopology(srv *serve.Server, kind string, seed int64, alpha float64) error {
+	env, err := cli.BuildSystem("", kind, seed, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return fmt.Errorf("preload %q: %w", kind, err)
+	}
+	if _, err := srv.Registry().RegisterSystem(kind, env.Sys, alpha); err != nil {
+		return fmt.Errorf("preload %q: %w", kind, err)
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// startDaemon runs the daemon on an ephemeral port and returns its base
+// URL plus a cancel func; the returned done channel yields run's error.
+func startDaemon(t *testing.T, preload string) (base string, cancel context.CancelFunc, done chan error, logs *lockedBuffer) {
+	t.Helper()
+	ctx, cancelCtx := context.WithCancel(context.Background())
+	logs = &lockedBuffer{}
+	done = make(chan error, 1)
+	go func() {
+		done <- run(ctx, "127.0.0.1:0", serve.Config{Workers: 2, RequestTimeout: 2 * time.Second}, preload, 1, 0, logs)
+	}()
+	addrRe := regexp.MustCompile(`listening on ([0-9.]+:\d+)`)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if m := addrRe.FindStringSubmatch(logs.String()); m != nil {
+			return "http://" + m[1], cancelCtx, done, logs
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("daemon exited early: %v (logs: %s)", err, logs.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never started listening (logs: %s)", logs.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// lockedBuffer makes the run() log writer safe to read while the daemon
+// goroutine writes to it.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestDaemonLifecycle(t *testing.T) {
+	base, cancel, done, logs := startDaemon(t, "fig1")
+	defer cancel()
+
+	// The preloaded topology is live and serves estimates end to end.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hr serve.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hr.Status != "ok" || len(hr.Topologies) != 1 || hr.Topologies[0] != "fig1" {
+		t.Fatalf("healthz = %+v", hr)
+	}
+
+	body, _ := json.Marshal(serve.RoundsRequest{Topology: "fig1", Y: make([]float64, 23)})
+	resp, err = http.Post(base+"/v1/estimate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("estimate: %d %s", resp.StatusCode, buf.String())
+	}
+
+	// Graceful shutdown: cancellation (the SIGTERM path) drains and exits
+	// cleanly.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after cancel", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if !strings.Contains(logs.String(), "shutting down") {
+		t.Errorf("missing shutdown log line in %q", logs.String())
+	}
+	// The listener is actually closed.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Errorf("daemon still serving after shutdown")
+	}
+}
+
+func TestDaemonServesConcurrentClients(t *testing.T) {
+	base, cancel, done, _ := startDaemon(t, "fig1")
+	defer func() {
+		cancel()
+		<-done
+	}()
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for k := 0; k < 8; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rounds := make([][]float64, 4)
+			for i := range rounds {
+				rounds[i] = make([]float64, 23)
+			}
+			body, _ := json.Marshal(serve.RoundsRequest{Topology: "fig1", Rounds: rounds})
+			resp, err := http.Post(base+"/v1/inspect", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			var buf bytes.Buffer
+			_, _ = buf.ReadFrom(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("inspect: %d %s", resp.StatusCode, buf.String())
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestDaemonBadPreload(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := run(ctx, "127.0.0.1:0", serve.Config{}, "no-such-kind", 1, 0, &lockedBuffer{})
+	if err == nil {
+		t.Fatal("run accepted an unknown preload kind")
+	}
+}

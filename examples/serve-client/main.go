@@ -1,0 +1,225 @@
+// Serve-client demo: runs tomographyd's service core in-process, registers
+// the paper's Fig. 1 measurement configuration over the HTTP API, then
+// streams 100 measurement rounds at it — half clean, half carrying the
+// chosen-victim scapegoating attack on link 10 (Fig. 4) — and prints the
+// detector verdict stream. The detection threshold is calibrated from
+// clean simulated rounds exactly like the paper's Remark 4 setup, so the
+// expected outcome is zero false alarms on clean rounds and alarms on
+// every attacked round (the {B,C} → link-10 cut is imperfect, Theorem 3).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/graph"
+	"repro/internal/la"
+	"repro/internal/netsim"
+	"repro/internal/serve"
+	"repro/internal/tomo"
+	"repro/internal/topo"
+)
+
+const (
+	rounds        = 100
+	jitter        = 1.0 // per-hop noise stddev (ms)
+	probesPerPath = 3
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "serve-client: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// --- Build the Fig. 1 measurement configuration -----------------
+	f := topo.Fig1()
+	paths, rank, err := tomo.SelectPaths(f.G, f.Monitors, tomo.SelectOptions{Exhaustive: true, TargetPaths: 23})
+	if err != nil {
+		return err
+	}
+	sys, err := tomo.NewSystem(f.G, paths)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Fig. 1: %d paths over %d links, rank %d\n", sys.NumPaths(), sys.NumLinks(), rank)
+
+	// --- Calibrate the detector from clean rounds (Remark 4) --------
+	rng := rand.New(rand.NewSource(1))
+	trueX := netsim.RoutineDelays(f.G, rng)
+	simRound := func() (la.Vector, error) {
+		return netsim.RunDelay(netsim.Config{
+			Graph: f.G, Paths: sys.Paths(), LinkDelays: trueX,
+			Jitter: jitter, ProbesPerPath: probesPerPath, RNG: rng,
+		})
+	}
+	var calib []la.Vector
+	for k := 0; k < 50; k++ {
+		y, err := simRound()
+		if err != nil {
+			return err
+		}
+		calib = append(calib, y)
+	}
+	alpha, err := detect.Calibrate(sys, calib, 1.0, 1.5)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("calibrated α = %.1f ms from %d clean rounds\n", alpha, len(calib))
+
+	// --- Start the daemon in-process --------------------------------
+	srv := serve.New(serve.Config{Workers: 4})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("tomographyd core listening on %s\n", ln.Addr())
+
+	// --- Register the configuration over the wire --------------------
+	name := func(v graph.NodeID) string {
+		n, err := f.G.NodeName(v)
+		if err != nil {
+			panic(err)
+		}
+		return n
+	}
+	var edges [][]string
+	for _, l := range f.G.Links() {
+		edges = append(edges, []string{name(l.A), name(l.B)})
+	}
+	var walks [][]string
+	for _, p := range sys.Paths() {
+		var w []string
+		for _, v := range p.Nodes {
+			w = append(w, name(v))
+		}
+		walks = append(walks, w)
+	}
+	var reg serve.TopologyResponse
+	if err := post(base+"/v1/topologies", serve.TopologyRequest{
+		Name: "fig1", Edges: edges, Paths: walks, Alpha: alpha,
+	}, &reg); err != nil {
+		return err
+	}
+	fmt.Printf("registered %q: digest %.12s…, solver cached: %v\n\n", reg.Name, reg.Digest, reg.SolverCached)
+
+	// --- Plan the attack: chosen victim link 10, attackers {B, C} ----
+	sc := &core.Scenario{
+		Sys:        sys,
+		Thresholds: tomo.DefaultThresholds(),
+		Attackers:  f.Attackers,
+		TrueX:      trueX,
+	}
+	res, err := core.ChosenVictim(sc, []graph.LinkID{f.PaperLink[10]})
+	if err != nil {
+		return err
+	}
+	if !res.Feasible {
+		return fmt.Errorf("chosen-victim attack infeasible")
+	}
+	manipulated := 0
+	for _, m := range res.M {
+		if m > 1e-9 {
+			manipulated++
+		}
+	}
+	fmt.Printf("attack: victims=link10, damage %.0f ms over %d manipulated paths\n\n", res.Damage, manipulated)
+
+	// --- Stream 100 rounds through POST /v1/inspect -------------------
+	var falseAlarms, detections, missed int
+	const batch = 10
+	for start := 0; start < rounds; start += batch {
+		var ys [][]float64
+		var attacked []bool
+		for i := start; i < start+batch; i++ {
+			y, err := simRound()
+			if err != nil {
+				return err
+			}
+			atk := i%2 == 1 // odd rounds carry the attack
+			if atk {
+				y, err = y.Add(res.M)
+				if err != nil {
+					return err
+				}
+			}
+			ys = append(ys, y)
+			attacked = append(attacked, atk)
+		}
+		var insp serve.InspectResponse
+		if err := post(base+"/v1/inspect", serve.RoundsRequest{Topology: "fig1", Rounds: ys}, &insp); err != nil {
+			return err
+		}
+		for i, rep := range insp.Reports {
+			verdict := "clean   "
+			switch {
+			case rep.Detected && attacked[i]:
+				verdict = "DETECTED"
+				detections++
+			case rep.Detected:
+				verdict = "FALSE+  "
+				falseAlarms++
+			case attacked[i]:
+				verdict = "MISSED  "
+				missed++
+			}
+			fmt.Printf("round %3d  attacked=%-5v residual=%8.1f ms  %s\n",
+				start+i, attacked[i], rep.ResidualNorm, verdict)
+		}
+	}
+
+	fmt.Printf("\n%d rounds: %d detections, %d missed attacks, %d false alarms (α = %.1f ms)\n",
+		rounds, detections, missed, falseAlarms, alpha)
+	var health serve.HealthResponse
+	if err := get(base+"/healthz", &health); err != nil {
+		return err
+	}
+	fmt.Printf("daemon: %s, topologies %v, up %.2fs\n", health.Status, health.Topologies, health.UptimeSeconds)
+	if missed > 0 || falseAlarms > 0 {
+		return fmt.Errorf("detector underperformed: %d missed, %d false alarms", missed, falseAlarms)
+	}
+	return nil
+}
+
+func post(url string, body, into any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		return fmt.Errorf("POST %s: %s: %s", url, resp.Status, buf.String())
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}
+
+func get(url string, into any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}

@@ -26,6 +26,9 @@ const DefaultAlpha = 200.0
 var ErrBadInput = errors.New("detect: bad input")
 
 // Detector runs the consistency check of Eq. 23 on a tomography system.
+// A Detector is immutable after New and safe for concurrent Inspect
+// calls: long-lived services should build one Detector per registered
+// system and share it across request handlers.
 type Detector struct {
 	sys   *tomo.System
 	alpha float64
@@ -48,6 +51,16 @@ func New(sys *tomo.System, alpha float64) (*Detector, error) {
 
 // Alpha returns the detection threshold in use.
 func (d *Detector) Alpha() float64 { return d.alpha }
+
+// Warm forces the underlying system's least-squares factorization so the
+// first Inspect on a fresh system does not pay the factorization cost
+// inside a latency-sensitive path. It surfaces tomo.ErrNotIdentifiable
+// eagerly, which lets a service reject an unusable configuration at
+// registration time instead of on first inspection.
+func (d *Detector) Warm() error {
+	_, err := d.sys.Factor()
+	return err
+}
 
 // Report is the outcome of inspecting one measurement vector.
 type Report struct {

@@ -2,7 +2,9 @@ package detect
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -275,5 +277,129 @@ func TestCalibrateErrors(t *testing.T) {
 	}
 	if _, err := Calibrate(sc.Sys, []la.Vector{{1}}, 1, 1); err == nil {
 		t.Error("short sample accepted")
+	}
+}
+
+func TestCalibrateEdgeCases(t *testing.T) {
+	sc, _, _ := fig1Attack(t, 11, 10, false)
+	clean, err := sc.CleanMeasurements()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run("nil system", func(t *testing.T) {
+		if _, err := Calibrate(nil, []la.Vector{clean}, 1, 1); !errors.Is(err, ErrBadInput) {
+			t.Errorf("err = %v, want ErrBadInput", err)
+		}
+	})
+	t.Run("empty clean runs", func(t *testing.T) {
+		if _, err := Calibrate(sc.Sys, nil, 1, 1); !errors.Is(err, ErrBadInput) {
+			t.Errorf("err = %v, want ErrBadInput", err)
+		}
+	})
+	t.Run("bad quantile", func(t *testing.T) {
+		for _, q := range []float64{0, -0.5, 1.5} {
+			if _, err := Calibrate(sc.Sys, []la.Vector{clean}, q, 1); !errors.Is(err, ErrBadInput) {
+				t.Errorf("q=%g: err = %v, want ErrBadInput", q, err)
+			}
+		}
+	})
+	t.Run("single run", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(3))
+		y := clean.Clone()
+		for i := range y {
+			y[i] += rng.NormFloat64() * 2
+		}
+		// Any quantile of a single sample is that sample's residual norm.
+		aLow, err := Calibrate(sc.Sys, []la.Vector{y}, 0.01, 1)
+		if err != nil {
+			t.Fatalf("Calibrate: %v", err)
+		}
+		aHigh, err := Calibrate(sc.Sys, []la.Vector{y}, 1, 1)
+		if err != nil {
+			t.Fatalf("Calibrate: %v", err)
+		}
+		if aLow != aHigh {
+			t.Errorf("single-sample quantiles differ: %g vs %g", aLow, aHigh)
+		}
+		if aHigh <= 0 {
+			t.Errorf("noisy single run gave alpha = %g, want > 0", aHigh)
+		}
+	})
+	t.Run("zero headroom defaults to 1", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(4))
+		var runs []la.Vector
+		for k := 0; k < 5; k++ {
+			y := clean.Clone()
+			for i := range y {
+				y[i] += rng.NormFloat64() * 2
+			}
+			runs = append(runs, y)
+		}
+		a0, err := Calibrate(sc.Sys, runs, 1, 0)
+		if err != nil {
+			t.Fatalf("Calibrate: %v", err)
+		}
+		a1, err := Calibrate(sc.Sys, runs, 1, 1)
+		if err != nil {
+			t.Fatalf("Calibrate: %v", err)
+		}
+		if a0 != a1 {
+			t.Errorf("zero headroom alpha %g != unit headroom alpha %g", a0, a1)
+		}
+	})
+	t.Run("noiseless runs give zero alpha", func(t *testing.T) {
+		a, err := Calibrate(sc.Sys, []la.Vector{clean, clean.Clone()}, 1, 2)
+		if err != nil {
+			t.Fatalf("Calibrate: %v", err)
+		}
+		if a > 1e-6 {
+			t.Errorf("alpha = %g on exact measurements, want ~0", a)
+		}
+	})
+}
+
+func TestInspectConcurrent(t *testing.T) {
+	// One long-lived detector shared across goroutines, mixing clean and
+	// attacked rounds; exercises the lazy factorization under -race.
+	sc, res, _ := fig1Attack(t, 12, 10, false)
+	clean, err := sc.CleanMeasurements()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(sc.Sys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Warm(); err != nil {
+		t.Fatalf("Warm: %v", err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for k := 0; k < 16; k++ {
+		attacked := k%2 == 1
+		y := clean
+		if attacked {
+			y = res.YObserved
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				rep, err := d.Inspect(y)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if rep.Detected != attacked {
+					errs <- fmt.Errorf("attacked=%v but Detected=%v", attacked, rep.Detected)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }

@@ -1,0 +1,77 @@
+package la
+
+import (
+	"fmt"
+	"sync"
+)
+
+// NormalFactor is a reusable factorization of the normal equations for a
+// tall full-column-rank matrix R: it holds Rᵀ together with the Cholesky
+// factor of the Gram matrix RᵀR, so that repeated least-squares solves
+// x̂ = (RᵀR)⁻¹Rᵀ·y cost one matvec plus two triangular substitutions —
+// no refactorization. The dense operator T is memoized on first request,
+// so every consumer sharing a factor also shares one T. A NormalFactor
+// is safe for concurrent use; callers must not mutate what it returns.
+type NormalFactor struct {
+	rt   *Matrix
+	chol *Cholesky
+
+	opOnce sync.Once
+	op     *Matrix
+	opErr  error
+}
+
+// FactorNormal factors the normal equations of r once. It fails with
+// ErrNotSPD when r lacks full column rank (in tomography terms: the link
+// metrics are not identifiable).
+func FactorNormal(r *Matrix) (*NormalFactor, error) {
+	rt := r.T()
+	gram, err := rt.Mul(r)
+	if err != nil {
+		return nil, err
+	}
+	chol, err := FactorCholesky(gram)
+	if err != nil {
+		return nil, fmt.Errorf("la: matrix not full column rank: %w", err)
+	}
+	return &NormalFactor{rt: rt, chol: chol}, nil
+}
+
+// Rows returns the row count of the factored matrix (measurement paths).
+func (f *NormalFactor) Rows() int { return f.rt.cols }
+
+// Cols returns the column count of the factored matrix (links).
+func (f *NormalFactor) Cols() int { return f.rt.rows }
+
+// Solve returns the least-squares solution x̂ = (RᵀR)⁻¹Rᵀ·y using only
+// back-substitution against the cached factor.
+func (f *NormalFactor) Solve(y Vector) (Vector, error) {
+	rty, err := f.rt.MulVec(y)
+	if err != nil {
+		return nil, err
+	}
+	return f.chol.Solve(rty)
+}
+
+// Operator returns the dense estimation operator T = (RᵀR)⁻¹Rᵀ,
+// materializing it from the factor (one triangular solve per column) on
+// first call and returning the same matrix afterwards. The returned
+// matrix is shared; callers must not mutate it.
+func (f *NormalFactor) Operator() (*Matrix, error) {
+	f.opOnce.Do(func() {
+		n, p := f.Cols(), f.Rows()
+		t := NewMatrix(n, p)
+		for j := 0; j < p; j++ {
+			col, err := f.chol.Solve(f.rt.Col(j))
+			if err != nil {
+				f.opErr = err
+				return
+			}
+			for i := 0; i < n; i++ {
+				t.data[i*t.cols+j] = col[i]
+			}
+		}
+		f.op = t
+	})
+	return f.op, f.opErr
+}

@@ -296,6 +296,61 @@ func TestNormalEquationOperatorRankDeficient(t *testing.T) {
 	}
 }
 
+func TestNormalFactorSolveMatchesOperator(t *testing.T) {
+	// Property: the factored back-substitution solve and the dense
+	// operator matvec produce the same estimate.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		m := n + 2 + rng.Intn(4)
+		a := randomMatrix(rng, m, n)
+		y := randomVector(rng, m)
+		nf, err := FactorNormal(a)
+		if err != nil {
+			return true // rank-deficient random draw; skip
+		}
+		x1, err := nf.Solve(y)
+		if err != nil {
+			return false
+		}
+		tOp, err := nf.Operator()
+		if err != nil {
+			return false
+		}
+		x2, _ := tOp.MulVec(y)
+		return x1.Equal(x2, 1e-8)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalFactorDims(t *testing.T) {
+	a, _ := NewMatrixFrom(4, 3, []float64{
+		1, 1, 0,
+		0, 1, 1,
+		1, 0, 1,
+		1, 1, 1,
+	})
+	nf, err := FactorNormal(a)
+	if err != nil {
+		t.Fatalf("FactorNormal: %v", err)
+	}
+	if nf.Rows() != 4 || nf.Cols() != 3 {
+		t.Errorf("dims = %d×%d, want 4×3", nf.Rows(), nf.Cols())
+	}
+	if _, err := nf.Solve(Vector{1, 2}); !errors.Is(err, ErrShape) {
+		t.Fatalf("short rhs: err = %v, want ErrShape", err)
+	}
+}
+
+func TestNormalFactorRankDeficient(t *testing.T) {
+	a, _ := NewMatrixFrom(3, 2, []float64{1, 1, 0, 0, 1, 1})
+	if _, err := FactorNormal(a); !errors.Is(err, ErrNotSPD) {
+		t.Fatalf("err = %v, want ErrNotSPD", err)
+	}
+}
+
 func TestQRMatchesNormalEquations(t *testing.T) {
 	// Property: QR least squares and the normal-equation operator agree.
 	f := func(seed int64) bool {

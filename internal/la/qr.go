@@ -179,27 +179,12 @@ func Rank(a *Matrix) int {
 // NormalEquationOperator returns T = (RᵀR)⁻¹Rᵀ, the linear operator the
 // paper's tomography estimator applies to a measurement vector (Eq. 2).
 // It fails with ErrNotSPD when R lacks full column rank (link metrics not
-// identifiable).
+// identifiable). Callers that solve repeatedly against the same R should
+// hold a NormalFactor instead.
 func NormalEquationOperator(r *Matrix) (*Matrix, error) {
-	rt := r.T()
-	gram, err := rt.Mul(r)
+	f, err := FactorNormal(r)
 	if err != nil {
 		return nil, err
 	}
-	chol, err := FactorCholesky(gram)
-	if err != nil {
-		return nil, fmt.Errorf("la: routing matrix not full column rank: %w", err)
-	}
-	n, p := r.cols, r.rows
-	t := NewMatrix(n, p)
-	for j := 0; j < p; j++ {
-		col, err := chol.Solve(rt.Col(j))
-		if err != nil {
-			return nil, err
-		}
-		for i := 0; i < n; i++ {
-			t.data[i*t.cols+j] = col[i]
-		}
-	}
-	return t, nil
+	return f.Operator()
 }

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the estimate-latency
+// histogram, spanning sub-microsecond warm matvecs to pathological
+// multi-second solves.
+var latencyBuckets = [numLatencyBuckets]float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1,
+}
+
+const numLatencyBuckets = 7
+
+// Metrics is the daemon's observability state: request counters per
+// route, the estimate-latency histogram, solver-cache traffic, and
+// detector alarms. All fields are updated atomically; a single Metrics
+// is shared by every handler goroutine.
+type Metrics struct {
+	ReqTopologies atomic.Int64 // POST /v1/topologies requests
+	ReqEstimate   atomic.Int64 // POST /v1/estimate requests
+	ReqInspect    atomic.Int64 // POST /v1/inspect requests
+	ReqErrors     atomic.Int64 // requests answered with a 4xx/5xx
+	ReqRejected   atomic.Int64 // requests shed by the worker pool
+
+	EstimateRounds atomic.Int64 // measurement rounds estimated
+	InspectRounds  atomic.Int64 // measurement rounds inspected
+	Alarms         atomic.Int64 // rounds the detector flagged
+
+	CacheHits   atomic.Int64 // solver-cache hits at registration
+	CacheMisses atomic.Int64 // solver-cache misses (factorizations run)
+
+	latCounts [numLatencyBuckets + 1]atomic.Int64 // +Inf bucket last
+	latCount  atomic.Int64
+	latSumNs  atomic.Int64
+}
+
+// ObserveEstimate records one solve's wall-clock latency.
+func (m *Metrics) ObserveEstimate(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for ; i < len(latencyBuckets); i++ {
+		if s <= latencyBuckets[i] {
+			break
+		}
+	}
+	m.latCounts[i].Add(1)
+	m.latCount.Add(1)
+	m.latSumNs.Add(d.Nanoseconds())
+}
+
+// WritePrometheus renders the metrics in the Prometheus text exposition
+// format (no client library needed for counters and histograms).
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	fmt.Fprintf(w, "# HELP tomographyd_requests_total API requests by route.\n")
+	fmt.Fprintf(w, "# TYPE tomographyd_requests_total counter\n")
+	fmt.Fprintf(w, "tomographyd_requests_total{route=%q} %d\n", "topologies", m.ReqTopologies.Load())
+	fmt.Fprintf(w, "tomographyd_requests_total{route=%q} %d\n", "estimate", m.ReqEstimate.Load())
+	fmt.Fprintf(w, "tomographyd_requests_total{route=%q} %d\n", "inspect", m.ReqInspect.Load())
+	counter("tomographyd_request_errors_total", "Requests answered with an error status.", m.ReqErrors.Load())
+	counter("tomographyd_requests_rejected_total", "Requests shed by the worker pool (timeout or shutdown).", m.ReqRejected.Load())
+	counter("tomographyd_estimate_rounds_total", "Measurement rounds estimated.", m.EstimateRounds.Load())
+	counter("tomographyd_inspect_rounds_total", "Measurement rounds inspected.", m.InspectRounds.Load())
+	counter("tomographyd_detector_alarms_total", "Rounds flagged by the scapegoat detector.", m.Alarms.Load())
+	counter("tomographyd_solver_cache_hits_total", "Registrations served from the solver cache.", m.CacheHits.Load())
+	counter("tomographyd_solver_cache_misses_total", "Registrations that ran a fresh factorization.", m.CacheMisses.Load())
+
+	fmt.Fprintf(w, "# HELP tomographyd_estimate_latency_seconds Per-round estimate latency.\n")
+	fmt.Fprintf(w, "# TYPE tomographyd_estimate_latency_seconds histogram\n")
+	var cum int64
+	for i, ub := range latencyBuckets {
+		cum += m.latCounts[i].Load()
+		fmt.Fprintf(w, "tomographyd_estimate_latency_seconds_bucket{le=%q} %d\n", fmt.Sprintf("%g", ub), cum)
+	}
+	cum += m.latCounts[len(latencyBuckets)].Load()
+	fmt.Fprintf(w, "tomographyd_estimate_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "tomographyd_estimate_latency_seconds_sum %g\n", float64(m.latSumNs.Load())/1e9)
+	fmt.Fprintf(w, "tomographyd_estimate_latency_seconds_count %d\n", m.latCount.Load())
+}

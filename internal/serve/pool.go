@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrSaturated is returned when a request cannot obtain a worker slot
+// before its deadline — the service's load-shedding signal.
+var ErrSaturated = errors.New("serve: worker pool saturated")
+
+// Pool bounds the number of requests doing solver work concurrently. The
+// HTTP layer accepts arbitrarily many connections; the pool is what
+// keeps a burst of heavy batch requests from starving the scheduler and
+// blowing past memory limits. Acquisition respects the request context,
+// so a caller whose deadline expires while queued is shed with
+// ErrSaturated instead of being served late.
+type Pool struct {
+	sem chan struct{}
+}
+
+// NewPool creates a pool with n worker slots (n < 1 is treated as 1).
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	return &Pool{sem: make(chan struct{}, n)}
+}
+
+// Size returns the number of worker slots.
+func (p *Pool) Size() int { return cap(p.sem) }
+
+// Do runs fn on an acquired worker slot, or fails with ErrSaturated when
+// ctx is done first. fn's error is returned as-is.
+func (p *Pool) Do(ctx context.Context, fn func() error) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %v", ErrSaturated, err)
+	}
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		return fmt.Errorf("%w: %v", ErrSaturated, ctx.Err())
+	}
+	defer func() { <-p.sem }()
+	return fn()
+}

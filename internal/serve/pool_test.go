@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const slots = 3
+	p := NewPool(slots)
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < 24; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := p.Do(context.Background(), func() error {
+				n := cur.Add(1)
+				for {
+					old := peak.Load()
+					if n <= old || peak.CompareAndSwap(old, n) {
+						break
+					}
+				}
+				time.Sleep(time.Millisecond)
+				cur.Add(-1)
+				return nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > slots {
+		t.Errorf("peak concurrency %d exceeds %d slots", got, slots)
+	}
+}
+
+func TestPoolShedsOnDeadline(t *testing.T) {
+	p := NewPool(1)
+	release := make(chan struct{})
+	acquired := make(chan struct{})
+	go func() {
+		_ = p.Do(context.Background(), func() error {
+			close(acquired)
+			<-release
+			return nil
+		})
+	}()
+	<-acquired
+	defer close(release)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	err := p.Do(ctx, func() error { return nil })
+	if !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated", err)
+	}
+}
+
+func TestPoolPropagatesFnError(t *testing.T) {
+	p := NewPool(2)
+	want := errors.New("boom")
+	if err := p.Do(context.Background(), func() error { return want }); !errors.Is(err, want) {
+		t.Fatalf("err = %v, want %v", err, want)
+	}
+}
+
+func TestPoolMinimumSize(t *testing.T) {
+	if got := NewPool(0).Size(); got != 1 {
+		t.Errorf("NewPool(0).Size() = %d, want 1", got)
+	}
+	if got := NewPool(-3).Size(); got != 1 {
+		t.Errorf("NewPool(-3).Size() = %d, want 1", got)
+	}
+}

@@ -1,0 +1,218 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/detect"
+	"repro/internal/graph"
+	"repro/internal/la"
+	"repro/internal/tomo"
+)
+
+// Registry errors, mapped to HTTP statuses by the handler layer.
+var (
+	ErrNotFound   = errors.New("serve: topology not registered")
+	ErrBadRequest = errors.New("serve: bad request")
+	ErrConflict   = errors.New("serve: topology name already registered")
+)
+
+// Entry is one registered measurement configuration: a tomography system
+// with its factorization warmed, plus the long-lived detector built on
+// it. Entries are immutable after registration and shared by all request
+// handlers.
+type Entry struct {
+	Name   string
+	Sys    *tomo.System
+	Det    *detect.Detector
+	Digest string
+	// CacheHit records whether registration reused a cached solver.
+	CacheHit bool
+}
+
+// solverCache shares normal-equation factorizations between systems with
+// identical routing matrices, keyed by tomo's R digest. The digest is
+// the invalidation key: any change to the topology or path set changes R
+// and therefore misses the cache, so stale solvers can never be applied.
+type solverCache struct {
+	mu sync.Mutex
+	m  map[string]*la.NormalFactor
+
+	metrics *Metrics
+}
+
+// adopt installs a cached factor into sys, or factors sys and caches the
+// result. Reports whether the cache was hit.
+func (c *solverCache) adopt(digest string, sys *tomo.System) (bool, error) {
+	c.mu.Lock()
+	fac, ok := c.m[digest]
+	c.mu.Unlock()
+	if ok {
+		if err := sys.AdoptFactor(fac); err != nil {
+			return false, err
+		}
+		if c.metrics != nil {
+			c.metrics.CacheHits.Add(1)
+		}
+		return true, nil
+	}
+	fac, err := sys.Factor()
+	if err != nil {
+		return false, err
+	}
+	c.mu.Lock()
+	c.m[digest] = fac
+	c.mu.Unlock()
+	if c.metrics != nil {
+		c.metrics.CacheMisses.Add(1)
+	}
+	return false, nil
+}
+
+// Registry holds the daemon's registered topologies and the shared
+// solver cache. Safe for concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry
+	cache   *solverCache
+}
+
+// NewRegistry creates an empty registry whose solver cache reports to
+// metrics (which may be nil).
+func NewRegistry(metrics *Metrics) *Registry {
+	return &Registry{
+		entries: make(map[string]*Entry),
+		cache:   &solverCache{m: make(map[string]*la.NormalFactor), metrics: metrics},
+	}
+}
+
+// RegisterSystem registers an already-built tomography system under
+// name, precomputing (or cache-adopting) its solver and building its
+// detector with threshold alpha (0 selects detect.DefaultAlpha). It
+// fails with ErrConflict on a name collision and with
+// tomo.ErrNotIdentifiable when the system cannot support estimation.
+func (r *Registry) RegisterSystem(name string, sys *tomo.System, alpha float64) (*Entry, error) {
+	if name == "" {
+		return nil, fmt.Errorf("%w: empty topology name", ErrBadRequest)
+	}
+	if sys == nil {
+		return nil, fmt.Errorf("%w: nil system", ErrBadRequest)
+	}
+	digest := sys.Digest()
+	hit, err := r.cache.adopt(digest, sys)
+	if err != nil {
+		return nil, err
+	}
+	det, err := detect.New(sys, alpha)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	entry := &Entry{Name: name, Sys: sys, Det: det, Digest: digest, CacheHit: hit}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.entries[name]; exists {
+		return nil, fmt.Errorf("%w: %q", ErrConflict, name)
+	}
+	r.entries[name] = entry
+	return entry, nil
+}
+
+// Register builds a topology from named edges and node-name paths (the
+// wire format of POST /v1/topologies) and registers it. Node names are
+// created on first mention in an edge; paths must walk existing links.
+func (r *Registry) Register(name string, edges [][]string, paths [][]string, alpha float64) (*Entry, error) {
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("%w: no edges", ErrBadRequest)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("%w: no paths", ErrBadRequest)
+	}
+	g := graph.New()
+	nodes := make(map[string]graph.NodeID)
+	node := func(n string) (graph.NodeID, error) {
+		if n == "" {
+			return 0, fmt.Errorf("%w: empty node name", ErrBadRequest)
+		}
+		if id, ok := nodes[n]; ok {
+			return id, nil
+		}
+		id := g.AddNode(n)
+		nodes[n] = id
+		return id, nil
+	}
+	for i, e := range edges {
+		if len(e) != 2 {
+			return nil, fmt.Errorf("%w: edge %d has %d endpoints, want 2", ErrBadRequest, i, len(e))
+		}
+		a, err := node(e[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := node(e[1])
+		if err != nil {
+			return nil, err
+		}
+		if _, err := g.AddLink(a, b); err != nil {
+			return nil, fmt.Errorf("%w: edge %d (%s–%s): %v", ErrBadRequest, i, e[0], e[1], err)
+		}
+	}
+	walked := make([]graph.Path, 0, len(paths))
+	for pi, names := range paths {
+		if len(names) < 2 {
+			return nil, fmt.Errorf("%w: path %d has %d nodes, want ≥ 2", ErrBadRequest, pi, len(names))
+		}
+		var p graph.Path
+		for i, n := range names {
+			v, ok := g.NodeByName(n)
+			if !ok {
+				return nil, fmt.Errorf("%w: path %d: unknown node %q", ErrBadRequest, pi, n)
+			}
+			p.Nodes = append(p.Nodes, v)
+			if i > 0 {
+				l, ok := g.LinkBetween(p.Nodes[i-1], v)
+				if !ok {
+					return nil, fmt.Errorf("%w: path %d: no link %q–%q", ErrBadRequest, pi, names[i-1], n)
+				}
+				p.Links = append(p.Links, l)
+			}
+		}
+		walked = append(walked, p)
+	}
+	sys, err := tomo.NewSystem(g, walked)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return r.RegisterSystem(name, sys, alpha)
+}
+
+// Get returns the entry registered under name.
+func (r *Registry) Get(name string) (*Entry, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return e, nil
+}
+
+// Names returns the registered topology names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.entries))
+	for n := range r.entries {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of registered topologies.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}

@@ -1,0 +1,399 @@
+// Package serve is the service core of tomographyd: a long-lived,
+// concurrent tomography-inference daemon. It keeps registered
+// measurement configurations (topology + paths) behind a digest-keyed
+// solver cache, so every steady-state estimate is a single matvec
+// against an operator materialized once at registration, and it runs the
+// paper's scapegoat consistency check (‖R·x̂ − y'‖₁ > α, Eq. 23 /
+// Remark 4) on every inspected measurement round.
+//
+// The HTTP/JSON API:
+//
+//	POST /v1/topologies  register {name, edges, paths, alpha}
+//	POST /v1/estimate    {topology, y | rounds} → x̂ per round
+//	POST /v1/inspect     {topology, y | rounds, alpha?} → detector verdicts
+//	GET  /healthz        liveness + registry size
+//	GET  /metrics        Prometheus text exposition
+//
+// Solver work fans out over a bounded worker pool with per-request
+// timeouts; saturated or expired requests are shed with 503.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/detect"
+	"repro/internal/la"
+	"repro/internal/tomo"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Workers bounds concurrent solver work; 0 means DefaultWorkers.
+	Workers int
+	// RequestTimeout caps each request's time in queue plus solve; 0
+	// means DefaultRequestTimeout, negative disables the timeout.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request bodies; 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultWorkers        = 8
+	DefaultRequestTimeout = 5 * time.Second
+	DefaultMaxBodyBytes   = 16 << 20
+)
+
+// Server wires the registry, worker pool, and metrics behind an
+// http.Handler. Create with New, mount Handler on an http.Server.
+type Server struct {
+	reg     *Registry
+	pool    *Pool
+	metrics *Metrics
+	timeout time.Duration
+	maxBody int64
+	start   time.Time
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	if cfg.Workers == 0 {
+		cfg.Workers = DefaultWorkers
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	m := &Metrics{}
+	return &Server{
+		reg:     NewRegistry(m),
+		pool:    NewPool(cfg.Workers),
+		metrics: m,
+		timeout: cfg.RequestTimeout,
+		maxBody: cfg.MaxBodyBytes,
+		start:   time.Now(),
+	}
+}
+
+// Registry exposes the registry for in-process preloading (the daemon's
+// -preload flag and the example client register built-in topologies
+// without going through the wire format).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Metrics exposes the server's metrics (read-mostly; handlers write).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Handler returns the daemon's routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/topologies", s.handleTopologies)
+	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
+	mux.HandleFunc("POST /v1/inspect", s.handleInspect)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// --- Wire types ---------------------------------------------------------
+
+// TopologyRequest is the body of POST /v1/topologies.
+type TopologyRequest struct {
+	// Name keys the configuration for later estimate/inspect calls.
+	Name string `json:"name"`
+	// Edges are undirected links as [from, to] node-name pairs; nodes
+	// are created on first mention.
+	Edges [][]string `json:"edges"`
+	// Paths are measurement paths as node-name walks over the edges.
+	Paths [][]string `json:"paths"`
+	// Alpha is the detection threshold; 0 selects the paper's default.
+	Alpha float64 `json:"alpha,omitempty"`
+}
+
+// TopologyResponse describes a successful registration.
+type TopologyResponse struct {
+	Name         string  `json:"name"`
+	Digest       string  `json:"digest"`
+	NumLinks     int     `json:"numLinks"`
+	NumPaths     int     `json:"numPaths"`
+	Identifiable bool    `json:"identifiable"`
+	Alpha        float64 `json:"alpha"`
+	SolverCached bool    `json:"solverCached"`
+}
+
+// RoundsRequest is the shared body of POST /v1/estimate and
+// POST /v1/inspect: one measurement vector in Y, or a batch in Rounds.
+type RoundsRequest struct {
+	Topology string      `json:"topology"`
+	Y        []float64   `json:"y,omitempty"`
+	Rounds   [][]float64 `json:"rounds,omitempty"`
+	// Alpha optionally overrides the registered detection threshold
+	// (inspect only; 0 keeps the registered value).
+	Alpha float64 `json:"alpha,omitempty"`
+}
+
+// rounds normalizes the single/batched forms into one slice.
+func (rr *RoundsRequest) rounds() ([]la.Vector, error) {
+	if (rr.Y == nil) == (rr.Rounds == nil) {
+		return nil, fmt.Errorf("%w: provide exactly one of y and rounds", ErrBadRequest)
+	}
+	if rr.Y != nil {
+		return []la.Vector{rr.Y}, nil
+	}
+	out := make([]la.Vector, len(rr.Rounds))
+	for i, y := range rr.Rounds {
+		if y == nil {
+			return nil, fmt.Errorf("%w: rounds[%d] is null", ErrBadRequest, i)
+		}
+		out[i] = y
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: empty rounds", ErrBadRequest)
+	}
+	return out, nil
+}
+
+// EstimateResult is one round's tomography outcome.
+type EstimateResult struct {
+	XHat []float64 `json:"xhat"`
+}
+
+// EstimateResponse is the body of a successful POST /v1/estimate.
+type EstimateResponse struct {
+	Topology string           `json:"topology"`
+	Results  []EstimateResult `json:"results"`
+}
+
+// InspectVerdict is one round's detector outcome.
+type InspectVerdict struct {
+	Detected     bool    `json:"detected"`
+	ResidualNorm float64 `json:"residualNorm"`
+	SquareR      bool    `json:"squareR,omitempty"`
+}
+
+// InspectResponse is the body of a successful POST /v1/inspect.
+type InspectResponse struct {
+	Topology string           `json:"topology"`
+	Alpha    float64          `json:"alpha"`
+	Alarms   int              `json:"alarms"`
+	Reports  []InspectVerdict `json:"reports"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status        string   `json:"status"`
+	Topologies    []string `json:"topologies"`
+	UptimeSeconds float64  `json:"uptimeSeconds"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// --- Handlers -----------------------------------------------------------
+
+func (s *Server) handleTopologies(w http.ResponseWriter, req *http.Request) {
+	s.metrics.ReqTopologies.Add(1)
+	var tr TopologyRequest
+	if !s.decode(w, req, &tr) {
+		return
+	}
+	ctx, cancel := s.requestContext(req)
+	defer cancel()
+	var entry *Entry
+	err := s.pool.Do(ctx, func() error {
+		e, err := s.reg.Register(tr.Name, tr.Edges, tr.Paths, tr.Alpha)
+		entry = e
+		return err
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, TopologyResponse{
+		Name:         entry.Name,
+		Digest:       entry.Digest,
+		NumLinks:     entry.Sys.NumLinks(),
+		NumPaths:     entry.Sys.NumPaths(),
+		Identifiable: true, // registration factors R; rank deficiency was rejected
+		Alpha:        entry.Det.Alpha(),
+		SolverCached: entry.CacheHit,
+	})
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, req *http.Request) {
+	s.metrics.ReqEstimate.Add(1)
+	var rr RoundsRequest
+	if !s.decode(w, req, &rr) {
+		return
+	}
+	rounds, err := rr.rounds()
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	entry, err := s.reg.Get(rr.Topology)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	ctx, cancel := s.requestContext(req)
+	defer cancel()
+	results := make([]EstimateResult, len(rounds))
+	err = s.pool.Do(ctx, func() error {
+		for i, y := range rounds {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("%w after %d/%d rounds: %v", ErrSaturated, i, len(rounds), err)
+			}
+			t0 := time.Now()
+			xhat, err := entry.Sys.Estimate(y)
+			if err != nil {
+				return fmt.Errorf("%w: round %d: %v", ErrBadRequest, i, err)
+			}
+			s.metrics.ObserveEstimate(time.Since(t0))
+			s.metrics.EstimateRounds.Add(1)
+			results[i] = EstimateResult{XHat: xhat}
+		}
+		return nil
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, EstimateResponse{Topology: entry.Name, Results: results})
+}
+
+func (s *Server) handleInspect(w http.ResponseWriter, req *http.Request) {
+	s.metrics.ReqInspect.Add(1)
+	var rr RoundsRequest
+	if !s.decode(w, req, &rr) {
+		return
+	}
+	rounds, err := rr.rounds()
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	entry, err := s.reg.Get(rr.Topology)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	det := entry.Det
+	if rr.Alpha != 0 {
+		if rr.Alpha < 0 {
+			s.fail(w, fmt.Errorf("%w: negative alpha %g", ErrBadRequest, rr.Alpha))
+			return
+		}
+		override, err := detect.New(entry.Sys, rr.Alpha)
+		if err != nil {
+			s.fail(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+			return
+		}
+		det = override
+	}
+	ctx, cancel := s.requestContext(req)
+	defer cancel()
+	reports := make([]InspectVerdict, len(rounds))
+	alarms := 0
+	err = s.pool.Do(ctx, func() error {
+		for i, y := range rounds {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("%w after %d/%d rounds: %v", ErrSaturated, i, len(rounds), err)
+			}
+			t0 := time.Now()
+			rep, err := det.Inspect(y)
+			if err != nil {
+				return fmt.Errorf("%w: round %d: %v", ErrBadRequest, i, err)
+			}
+			s.metrics.ObserveEstimate(time.Since(t0))
+			s.metrics.InspectRounds.Add(1)
+			if rep.Detected {
+				alarms++
+				s.metrics.Alarms.Add(1)
+			}
+			reports[i] = InspectVerdict{
+				Detected:     rep.Detected,
+				ResidualNorm: rep.ResidualNorm,
+				SquareR:      rep.SquareR,
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, InspectResponse{
+		Topology: entry.Name,
+		Alpha:    det.Alpha(),
+		Alarms:   alarms,
+		Reports:  reports,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		Topologies:    s.reg.Names(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w)
+}
+
+// --- Plumbing -----------------------------------------------------------
+
+func (s *Server) requestContext(req *http.Request) (context.Context, context.CancelFunc) {
+	if s.timeout < 0 {
+		return context.WithCancel(req.Context())
+	}
+	return context.WithTimeout(req.Context(), s.timeout)
+}
+
+func (s *Server) decode(w http.ResponseWriter, req *http.Request, into any) bool {
+	req.Body = http.MaxBytesReader(w, req.Body, s.maxBody)
+	dec := json.NewDecoder(req.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		s.fail(w, fmt.Errorf("%w: invalid JSON body: %v", ErrBadRequest, err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	s.metrics.ReqErrors.Add(1)
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrConflict):
+		status = http.StatusConflict
+	case errors.Is(err, tomo.ErrNotIdentifiable):
+		status = http.StatusUnprocessableEntity
+	case errors.Is(err, ErrSaturated):
+		status = http.StatusServiceUnavailable
+		s.metrics.ReqRejected.Add(1)
+	}
+	s.writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	// Encoding failures here mean a broken connection; nothing to do.
+	_ = enc.Encode(body)
+}

@@ -1,0 +1,498 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/la"
+	"repro/internal/tomo"
+	"repro/internal/topo"
+)
+
+// fig1Wire converts the Fig. 1 topology with its 23 identifiable paths
+// into the POST /v1/topologies wire format.
+func fig1Wire(t *testing.T) (edges, paths [][]string, f *topo.Fig1Topology, sys *tomo.System) {
+	t.Helper()
+	f = topo.Fig1()
+	selected, rank, err := tomo.SelectPaths(f.G, f.Monitors, tomo.SelectOptions{Exhaustive: true, TargetPaths: 23})
+	if err != nil || rank != 10 {
+		t.Fatalf("SelectPaths: rank=%d err=%v", rank, err)
+	}
+	sys, err = tomo.NewSystem(f.G, selected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := func(v graph.NodeID) string {
+		n, err := f.G.NodeName(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	for _, l := range f.G.Links() {
+		edges = append(edges, []string{name(l.A), name(l.B)})
+	}
+	for _, p := range selected {
+		var walk []string
+		for _, v := range p.Nodes {
+			walk = append(walk, name(v))
+		}
+		paths = append(paths, walk)
+	}
+	return edges, paths, f, sys
+}
+
+func postJSON(t *testing.T, ts *httptest.Server, path string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+func decodeInto(t *testing.T, raw []byte, into any) {
+	t.Helper()
+	if err := json.Unmarshal(raw, into); err != nil {
+		t.Fatalf("decode %s: %v", raw, err)
+	}
+}
+
+func TestRegisterEstimateInspectOverHTTP(t *testing.T) {
+	edges, paths, f, sys := fig1Wire(t)
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, raw := postJSON(t, ts, "/v1/topologies", TopologyRequest{
+		Name: "fig1", Edges: edges, Paths: paths,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register status = %d, body %s", resp.StatusCode, raw)
+	}
+	var topoResp TopologyResponse
+	decodeInto(t, raw, &topoResp)
+	if topoResp.NumLinks != 10 || topoResp.NumPaths != 23 || !topoResp.Identifiable {
+		t.Fatalf("unexpected registration: %+v", topoResp)
+	}
+	if topoResp.Digest != sys.Digest() {
+		t.Errorf("wire digest %q != local digest %q", topoResp.Digest, sys.Digest())
+	}
+
+	// Clean estimate round trips the forward model.
+	x := make(la.Vector, 10)
+	rng := rand.New(rand.NewSource(5))
+	for i := range x {
+		x[i] = 1 + rng.Float64()*19
+	}
+	y, err := sys.Measure(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, raw = postJSON(t, ts, "/v1/estimate", RoundsRequest{Topology: "fig1", Y: y})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("estimate status = %d, body %s", resp.StatusCode, raw)
+	}
+	var est EstimateResponse
+	decodeInto(t, raw, &est)
+	if len(est.Results) != 1 {
+		t.Fatalf("got %d results, want 1", len(est.Results))
+	}
+	if !la.Vector(est.Results[0].XHat).Equal(x, 1e-8) {
+		t.Errorf("x̂ = %v, want %v", est.Results[0].XHat, x)
+	}
+
+	// Attacked rounds alarm, clean rounds don't.
+	sc := &core.Scenario{
+		Sys:        sys,
+		Thresholds: tomo.DefaultThresholds(),
+		Attackers:  f.Attackers,
+		TrueX:      x,
+	}
+	res, err := core.ChosenVictim(sc, []graph.LinkID{f.PaperLink[10]})
+	if err != nil || !res.Feasible {
+		t.Fatalf("ChosenVictim: feasible=%v err=%v", res != nil && res.Feasible, err)
+	}
+	resp, raw = postJSON(t, ts, "/v1/inspect", RoundsRequest{
+		Topology: "fig1",
+		Rounds:   [][]float64{y, res.YObserved, y},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("inspect status = %d, body %s", resp.StatusCode, raw)
+	}
+	var insp InspectResponse
+	decodeInto(t, raw, &insp)
+	if len(insp.Reports) != 3 {
+		t.Fatalf("got %d reports, want 3", len(insp.Reports))
+	}
+	want := []bool{false, true, false}
+	for i, rep := range insp.Reports {
+		if rep.Detected != want[i] {
+			t.Errorf("round %d: detected=%v, want %v (residual %g)", i, rep.Detected, want[i], rep.ResidualNorm)
+		}
+	}
+	if insp.Alarms != 1 {
+		t.Errorf("alarms = %d, want 1", insp.Alarms)
+	}
+
+	// A huge alpha override silences the alarm without re-registering.
+	resp, raw = postJSON(t, ts, "/v1/inspect", RoundsRequest{
+		Topology: "fig1", Y: res.YObserved, Alpha: 1e12,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("inspect override status = %d, body %s", resp.StatusCode, raw)
+	}
+	decodeInto(t, raw, &insp)
+	if insp.Alarms != 0 || insp.Alpha != 1e12 {
+		t.Errorf("override: alarms=%d alpha=%g, want 0 and 1e12", insp.Alarms, insp.Alpha)
+	}
+}
+
+func TestHTTPErrorMapping(t *testing.T) {
+	edges, paths, _, _ := fig1Wire(t)
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if resp, raw := postJSON(t, ts, "/v1/topologies", TopologyRequest{Name: "fig1", Edges: edges, Paths: paths}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %d %s", resp.StatusCode, raw)
+	}
+
+	t.Run("duplicate name conflicts", func(t *testing.T) {
+		resp, _ := postJSON(t, ts, "/v1/topologies", TopologyRequest{Name: "fig1", Edges: edges, Paths: paths})
+		if resp.StatusCode != http.StatusConflict {
+			t.Errorf("status = %d, want 409", resp.StatusCode)
+		}
+	})
+	t.Run("unknown topology 404", func(t *testing.T) {
+		resp, _ := postJSON(t, ts, "/v1/estimate", RoundsRequest{Topology: "nope", Y: make([]float64, 23)})
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("status = %d, want 404", resp.StatusCode)
+		}
+	})
+	t.Run("malformed JSON 400", func(t *testing.T) {
+		resp, err := http.Post(ts.URL+"/v1/estimate", "application/json", strings.NewReader("{not json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("status = %d, want 400", resp.StatusCode)
+		}
+	})
+	t.Run("neither y nor rounds 400", func(t *testing.T) {
+		resp, _ := postJSON(t, ts, "/v1/estimate", RoundsRequest{Topology: "fig1"})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("status = %d, want 400", resp.StatusCode)
+		}
+	})
+	t.Run("wrong measurement length 400", func(t *testing.T) {
+		resp, _ := postJSON(t, ts, "/v1/inspect", RoundsRequest{Topology: "fig1", Y: []float64{1, 2}})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("status = %d, want 400", resp.StatusCode)
+		}
+	})
+	t.Run("unidentifiable topology 422", func(t *testing.T) {
+		// A path cover that cannot separate the two links of a chain.
+		resp, _ := postJSON(t, ts, "/v1/topologies", TopologyRequest{
+			Name:  "chain",
+			Edges: [][]string{{"m1", "a"}, {"a", "m2"}},
+			Paths: [][]string{{"m1", "a", "m2"}},
+		})
+		if resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Errorf("status = %d, want 422", resp.StatusCode)
+		}
+	})
+	t.Run("GET on POST route rejected", func(t *testing.T) {
+		resp, err := http.Get(ts.URL + "/v1/estimate")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("status = %d, want 405", resp.StatusCode)
+		}
+	})
+}
+
+func TestConcurrentEstimateAndInspect(t *testing.T) {
+	// Many goroutines hammer estimate and inspect on a shared topology;
+	// under -race this is the service's core concurrency guarantee.
+	edges, paths, _, sys := fig1Wire(t)
+	srv := New(Config{Workers: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if resp, raw := postJSON(t, ts, "/v1/topologies", TopologyRequest{Name: "fig1", Edges: edges, Paths: paths}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %d %s", resp.StatusCode, raw)
+	}
+	x := make(la.Vector, 10)
+	for i := range x {
+		x[i] = float64(2 + i)
+	}
+	y, err := sys.Measure(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 128)
+	for k := 0; k < 24; k++ {
+		inspect := k%2 == 1
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				path := "/v1/estimate"
+				if inspect {
+					path = "/v1/inspect"
+				}
+				raw, _ := json.Marshal(RoundsRequest{Topology: "fig1", Rounds: [][]float64{y, y}})
+				resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(raw))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var buf bytes.Buffer
+				_, _ = buf.ReadFrom(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("%s: status %d: %s", path, resp.StatusCode, buf.String())
+					return
+				}
+				if inspect {
+					var ir InspectResponse
+					if err := json.Unmarshal(buf.Bytes(), &ir); err != nil {
+						errs <- err
+						return
+					}
+					if ir.Alarms != 0 {
+						errs <- fmt.Errorf("clean rounds alarmed: %+v", ir)
+						return
+					}
+				} else {
+					var er EstimateResponse
+					if err := json.Unmarshal(buf.Bytes(), &er); err != nil {
+						errs <- err
+						return
+					}
+					if !la.Vector(er.Results[0].XHat).Equal(x, 1e-8) {
+						errs <- fmt.Errorf("estimate drifted: %v", er.Results[0].XHat)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := srv.Metrics().EstimateRounds.Load(); got != 120 {
+		t.Errorf("estimate rounds = %d, want 120", got)
+	}
+	if got := srv.Metrics().InspectRounds.Load(); got != 120 {
+		t.Errorf("inspect rounds = %d, want 120", got)
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	edges, paths, _, sys := fig1Wire(t)
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if resp, raw := postJSON(t, ts, "/v1/topologies", TopologyRequest{Name: "fig1", Edges: edges, Paths: paths}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %d %s", resp.StatusCode, raw)
+	}
+	y := make([]float64, sys.NumPaths())
+	if resp, raw := postJSON(t, ts, "/v1/estimate", RoundsRequest{Topology: "fig1", Y: y}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("estimate: %d %s", resp.StatusCode, raw)
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hr HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hr.Status != "ok" || len(hr.Topologies) != 1 || hr.Topologies[0] != "fig1" {
+		t.Errorf("healthz = %+v", hr)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	text := buf.String()
+	for _, want := range []string{
+		`tomographyd_requests_total{route="topologies"} 1`,
+		`tomographyd_requests_total{route="estimate"} 1`,
+		"tomographyd_estimate_rounds_total 1",
+		"tomographyd_solver_cache_misses_total 1",
+		"tomographyd_estimate_latency_seconds_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestPoolShedsOnExpiredContext(t *testing.T) {
+	// A request whose deadline expires while the pool is full is shed
+	// with 503 instead of queuing forever.
+	_, _, _, sys := fig1Wire(t)
+	srv := New(Config{Workers: 1, RequestTimeout: 1})
+	// Occupy the only worker slot directly.
+	release := make(chan struct{})
+	acquired := make(chan struct{})
+	go func() {
+		_ = srv.pool.Do(context.Background(), func() error {
+			close(acquired)
+			<-release
+			return nil
+		})
+	}()
+	<-acquired
+	defer close(release)
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if _, err := srv.Registry().RegisterSystem("fig1", sys, 0); err != nil {
+		t.Fatal(err)
+	}
+	resp, raw := postJSON(t, ts, "/v1/estimate", RoundsRequest{Topology: "fig1", Y: make([]float64, sys.NumPaths())})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d (%s), want 503", resp.StatusCode, raw)
+	}
+	if srv.Metrics().ReqRejected.Load() == 0 {
+		t.Errorf("rejected counter not incremented")
+	}
+	var er errorResponse
+	decodeInto(t, raw, &er)
+	if !strings.Contains(er.Error, "saturated") {
+		t.Errorf("error %q does not mention saturation", er.Error)
+	}
+}
+
+func TestRegistryDirect(t *testing.T) {
+	m := &Metrics{}
+	reg := NewRegistry(m)
+	_, _, _, sys := fig1Wire(t)
+	e1, err := reg.RegisterSystem("a", sys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.CacheHit {
+		t.Errorf("first registration hit the cache")
+	}
+	// Same R under a different name: the factorization is shared.
+	sys2, err := tomo.NewSystem(sys.Graph(), sys.Paths())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := reg.RegisterSystem("b", sys2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e2.CacheHit {
+		t.Errorf("identical routing matrix missed the solver cache")
+	}
+	if e1.Digest != e2.Digest {
+		t.Errorf("digests differ for identical R")
+	}
+	if m.CacheHits.Load() != 1 || m.CacheMisses.Load() != 1 {
+		t.Errorf("cache hits/misses = %d/%d, want 1/1", m.CacheHits.Load(), m.CacheMisses.Load())
+	}
+	if _, err := reg.RegisterSystem("a", sys, 0); !errors.Is(err, ErrConflict) {
+		t.Errorf("duplicate name: err = %v, want ErrConflict", err)
+	}
+	if _, err := reg.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get missing: err = %v, want ErrNotFound", err)
+	}
+	if names := reg.Names(); len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names = %v", names)
+	}
+	if reg.Len() != 2 {
+		t.Errorf("Len = %d, want 2", reg.Len())
+	}
+}
+
+func TestRegisterWireValidation(t *testing.T) {
+	reg := NewRegistry(nil)
+	valid := func() (edges, paths [][]string) {
+		return [][]string{{"m1", "m2"}, {"m2", "m3"}, {"m1", "m3"}},
+			[][]string{{"m1", "m2"}, {"m2", "m3"}, {"m1", "m3"}}
+	}
+	t.Run("valid registers", func(t *testing.T) {
+		edges, paths := valid()
+		e, err := reg.Register("tri", edges, paths, 0)
+		if err != nil {
+			t.Fatalf("Register: %v", err)
+		}
+		if e.Sys.NumLinks() != 3 || e.Sys.NumPaths() != 3 {
+			t.Errorf("got %d links, %d paths", e.Sys.NumLinks(), e.Sys.NumPaths())
+		}
+	})
+	cases := []struct {
+		name  string
+		mutil func(edges, paths [][]string) (e, p [][]string)
+	}{
+		{"no edges", func(e, p [][]string) ([][]string, [][]string) { return nil, p }},
+		{"no paths", func(e, p [][]string) ([][]string, [][]string) { return e, nil }},
+		{"bad edge arity", func(e, p [][]string) ([][]string, [][]string) {
+			return append(e, []string{"x"}), p
+		}},
+		{"empty node name", func(e, p [][]string) ([][]string, [][]string) {
+			return append(e, []string{"", "y"}), p
+		}},
+		{"self loop", func(e, p [][]string) ([][]string, [][]string) {
+			return append(e, []string{"z", "z"}), p
+		}},
+		{"short path", func(e, p [][]string) ([][]string, [][]string) {
+			return e, append(p, []string{"m1"})
+		}},
+		{"unknown path node", func(e, p [][]string) ([][]string, [][]string) {
+			return e, append(p, []string{"m1", "ghost"})
+		}},
+	}
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			edges, paths := valid()
+			e, p := tc.mutil(edges, paths)
+			if _, err := reg.Register(fmt.Sprintf("bad%d", i), e, p, 0); !errors.Is(err, ErrBadRequest) {
+				t.Errorf("err = %v, want ErrBadRequest", err)
+			}
+		})
+	}
+	// A walk over a non-existent link is rejected.
+	if _, err := reg.Register("nolink",
+		[][]string{{"m1", "a"}, {"a", "m2"}},
+		[][]string{{"m1", "m2"}}, 0); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("missing link: err = %v, want ErrBadRequest", err)
+	}
+}

@@ -1,12 +1,41 @@
 package tomo
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
 
 	"repro/internal/graph"
 )
+
+// Digest returns a stable hex digest of the routing matrix: SHA-256 over
+// its dimensions and the set of link indices on each path, in path
+// order. Two systems share a digest exactly when they share R — and
+// therefore share the normal-equation factorization — which makes the
+// digest the cache-invalidation key for long-lived solver caches (a
+// changed topology or path set changes R and thus the key).
+func (s *System) Digest() string {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(s.r.Rows()))
+	put(uint64(s.r.Cols()))
+	for i := 0; i < s.r.Rows(); i++ {
+		for j := 0; j < s.r.Cols(); j++ {
+			if s.r.At(i, j) != 0 {
+				put(uint64(j))
+			}
+		}
+		put(^uint64(0)) // row sentinel
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
 
 // systemDoc is the JSON schema for a saved measurement configuration:
 // paths as node-name sequences, so the file survives node-ID reordering

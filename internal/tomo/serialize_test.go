@@ -66,3 +66,42 @@ func TestLoadSystemAgainstWrongTopology(t *testing.T) {
 		t.Error("Fig1 config loaded against Abilene")
 	}
 }
+
+func TestDigestStableAndDiscriminating(t *testing.T) {
+	f, s := fig1System(t)
+	d1 := s.Digest()
+	if d1 == "" || d1 != s.Digest() {
+		t.Fatalf("digest not stable: %q vs %q", d1, s.Digest())
+	}
+	// Same topology and paths, rebuilt from scratch: same R, same digest.
+	s2, err := NewSystem(f.G, s.Paths())
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	if s2.Digest() != d1 {
+		t.Errorf("identical systems digest differently")
+	}
+	// Dropping a path changes R and must change the digest.
+	s3, err := NewSystem(f.G, s.Paths()[:len(s.Paths())-1])
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	if s3.Digest() == d1 {
+		t.Errorf("different routing matrices share a digest")
+	}
+}
+
+func TestDigestSurvivesSaveLoad(t *testing.T) {
+	f, s := fig1System(t)
+	var buf strings.Builder
+	if err := s.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := LoadSystem(f.G, strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("LoadSystem: %v", err)
+	}
+	if loaded.Digest() != s.Digest() {
+		t.Errorf("digest changed across save/load round trip")
+	}
+}

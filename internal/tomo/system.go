@@ -3,6 +3,7 @@ package tomo
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/la"
@@ -15,11 +16,18 @@ var ErrNotIdentifiable = errors.New("tomo: link metrics not identifiable")
 // System binds a topology to a set of measurement paths and exposes the
 // paper's linear measurement model y = Rx (Eq. 1) and its least-squares
 // inverse (Eq. 2).
+//
+// The normal-equation factorization and the dense operator are computed
+// at most once per System and shared by every subsequent Estimate and
+// Operator call; a System is safe for concurrent use once constructed.
 type System struct {
 	g     *graph.Graph
 	paths []graph.Path
 	r     *la.Matrix
-	t     *la.Matrix // (RᵀR)⁻¹Rᵀ, built lazily by Operator
+
+	facOnce sync.Once
+	fac     *la.NormalFactor
+	facErr  error
 }
 
 // NewSystem validates the measurement paths against g (simple,
@@ -80,21 +88,52 @@ func (s *System) Rank() int { return la.Rank(s.r) }
 // prerequisite for Eq. 2.
 func (s *System) Identifiable() bool { return s.Rank() == s.g.NumLinks() }
 
-// Operator returns T = (RᵀR)⁻¹Rᵀ, computing and caching it on first
-// use. Fails with ErrNotIdentifiable when R lacks full column rank.
-func (s *System) Operator() (*la.Matrix, error) {
-	if s.t != nil {
-		return s.t, nil
-	}
-	t, err := la.NormalEquationOperator(s.r)
-	if err != nil {
-		if errors.Is(err, la.ErrNotSPD) {
-			return nil, fmt.Errorf("%w: %v", ErrNotIdentifiable, err)
+// Factor returns the normal-equation factorization of R, computing it at
+// most once (sync.Once) and reusing it for every later call. Fails with
+// ErrNotIdentifiable when R lacks full column rank. The returned factor
+// is immutable and safe to share across goroutines and Systems.
+func (s *System) Factor() (*la.NormalFactor, error) {
+	s.facOnce.Do(func() {
+		fac, err := la.FactorNormal(s.r)
+		if err != nil {
+			if errors.Is(err, la.ErrNotSPD) {
+				err = fmt.Errorf("%w: %v", ErrNotIdentifiable, err)
+			}
+			s.facErr = err
+			return
 		}
+		s.fac = fac
+	})
+	return s.fac, s.facErr
+}
+
+// AdoptFactor installs a precomputed normal-equation factorization —
+// typically one cached under this system's Digest by a long-lived
+// service — so that Factor and Estimate skip factorization entirely. It
+// rejects a factor whose dimensions do not match R. If this system has
+// already factored (or adopted), the call is a no-op.
+func (s *System) AdoptFactor(fac *la.NormalFactor) error {
+	if fac == nil {
+		return fmt.Errorf("tomo: AdoptFactor: nil factor")
+	}
+	if fac.Rows() != s.r.Rows() || fac.Cols() != s.r.Cols() {
+		return fmt.Errorf("tomo: AdoptFactor: factor is %d×%d, routing matrix is %d×%d",
+			fac.Rows(), fac.Cols(), s.r.Rows(), s.r.Cols())
+	}
+	s.facOnce.Do(func() { s.fac = fac })
+	return nil
+}
+
+// Operator returns T = (RᵀR)⁻¹Rᵀ, materialized once per factorization
+// and shared afterwards (systems that adopted a cached factor share the
+// operator too). Fails with ErrNotIdentifiable when R lacks full column
+// rank.
+func (s *System) Operator() (*la.Matrix, error) {
+	fac, err := s.Factor()
+	if err != nil {
 		return nil, err
 	}
-	s.t = t
-	return t, nil
+	return fac.Operator()
 }
 
 // Measure applies the forward model: y = Rx for true link metrics x.
@@ -107,7 +146,12 @@ func (s *System) Measure(x la.Vector) (la.Vector, error) {
 }
 
 // Estimate inverts measurements into link metrics: x̂ = (RᵀR)⁻¹Rᵀy
-// (Eq. 2).
+// (Eq. 2). The operator is materialized from the cached factorization on
+// first use, so steady-state estimates are a single matvec. Applying T
+// (rather than back-substituting through the factor) keeps estimates
+// bit-identical to the attack-LP construction, which reads T's entries;
+// the two differ by rounding, and classification thresholds can sit
+// exactly on an LP bound.
 func (s *System) Estimate(y la.Vector) (la.Vector, error) {
 	t, err := s.Operator()
 	if err != nil {

@@ -3,6 +3,7 @@ package tomo
 import (
 	"errors"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -202,5 +203,116 @@ func TestOperatorCached(t *testing.T) {
 	}
 	if t1 != t2 {
 		t.Error("Operator not cached")
+	}
+}
+
+func TestFactorMemoized(t *testing.T) {
+	_, s := fig1System(t)
+	f1, err := s.Factor()
+	if err != nil {
+		t.Fatalf("Factor: %v", err)
+	}
+	f2, err := s.Factor()
+	if err != nil {
+		t.Fatalf("Factor: %v", err)
+	}
+	if f1 != f2 {
+		t.Errorf("Factor recomputed instead of reusing the cached factorization")
+	}
+	op1, err := s.Operator()
+	if err != nil {
+		t.Fatalf("Operator: %v", err)
+	}
+	op2, _ := s.Operator()
+	if op1 != op2 {
+		t.Errorf("Operator recomputed instead of reusing the cached matrix")
+	}
+}
+
+func TestAdoptFactor(t *testing.T) {
+	f, s := fig1System(t)
+	fac, err := s.Factor()
+	if err != nil {
+		t.Fatalf("Factor: %v", err)
+	}
+	// A second system over the same R adopts the cached factor.
+	s2, err := NewSystem(f.G, s.Paths())
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	if err := s2.AdoptFactor(fac); err != nil {
+		t.Fatalf("AdoptFactor: %v", err)
+	}
+	got, err := s2.Factor()
+	if err != nil {
+		t.Fatalf("Factor: %v", err)
+	}
+	if got != fac {
+		t.Errorf("adopted factor not reused")
+	}
+	// Estimates through the adopted factor invert the forward model.
+	x := make(la.Vector, s2.NumLinks())
+	for i := range x {
+		x[i] = float64(i + 1)
+	}
+	y, err := s2.Measure(x)
+	if err != nil {
+		t.Fatalf("Measure: %v", err)
+	}
+	xhat, err := s2.Estimate(y)
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	if !xhat.Equal(x, 1e-8) {
+		t.Errorf("estimate via adopted factor = %v, want %v", xhat, x)
+	}
+	// Dimension mismatches are rejected.
+	s3, err := NewSystem(f.G, s.Paths()[:len(s.Paths())-1])
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	if err := s3.AdoptFactor(fac); err == nil {
+		t.Errorf("AdoptFactor accepted mismatched dimensions")
+	}
+	if err := s3.AdoptFactor(nil); err == nil {
+		t.Errorf("AdoptFactor accepted nil factor")
+	}
+}
+
+func TestEstimateConcurrent(t *testing.T) {
+	// First factorization races with concurrent estimates; under -race
+	// this guards the sync.Once paths in Factor/Operator.
+	_, s := fig1System(t)
+	x := make(la.Vector, s.NumLinks())
+	for i := range x {
+		x[i] = 10 * float64(i+1)
+	}
+	y, err := s.Measure(x)
+	if err != nil {
+		t.Fatalf("Measure: %v", err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for k := 0; k < 16; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			xhat, err := s.Estimate(y)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !xhat.Equal(x, 1e-8) {
+				errs <- errors.New("concurrent estimate mismatch")
+			}
+			if _, err := s.Operator(); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# CI gate: build everything, vet, and run the full test suite under the
+# race detector (the serve/tomographyd concurrency guarantees depend on
+# passing -race, not just the plain run).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test -race ./...
