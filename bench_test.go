@@ -485,7 +485,7 @@ func BenchmarkExtraLossStudy(b *testing.B) {
 
 func BenchmarkExtraEvasionStudy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.EvasionStudy(int64(i+1), nil); err != nil {
+		if _, err := experiment.EvasionStudy(experiment.EvasionStudyConfig{Seed: int64(i + 1)}); err != nil {
 			b.Fatal(err)
 		}
 	}

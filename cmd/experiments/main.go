@@ -4,9 +4,13 @@
 //
 // Usage:
 //
-//	experiments [-fig N] [-seed S] [-trials T] [-extras] [-json DIR]
+//	experiments [-fig N] [-seed S] [-trials T] [-parallel W] [-progress] [-extras] [-json DIR]
 //
-// Without -fig, every figure runs in order.
+// Without -fig, every figure runs in order. Monte Carlo trials fan out
+// over -parallel workers (default GOMAXPROCS); the worker count only
+// changes wall-clock time, never the numbers — every trial derives its
+// own PRNG from (seed, trial index), so output is bit-identical to a
+// sequential run.
 package main
 
 import (
@@ -17,19 +21,59 @@ import (
 	"path/filepath"
 
 	"repro/internal/experiment"
+	"repro/internal/mc"
 )
 
 func main() {
 	fig := flag.Int("fig", 0, "figure to run (4–9); 0 runs all")
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	trials := flag.Int("trials", 0, "trial count for Figs. 7–9 (0 = per-figure default)")
+	parallel := flag.Int("parallel", 0, "trial worker count (0 = GOMAXPROCS); never changes results")
+	progress := flag.Bool("progress", false, "report per-runner trial progress on stderr")
 	extras := flag.Bool("extras", false, "also run the beyond-paper studies (loss-domain grey-hole, α-evasion sweep, placement and centrality studies)")
 	jsonDir := flag.String("json", "", "also write results as JSON files into this directory")
 	flag.Parse()
 
-	if err := run(*fig, *seed, *trials, *extras, *jsonDir); err != nil {
+	opts := runOpts{
+		fig:      *fig,
+		seed:     *seed,
+		trials:   *trials,
+		parallel: *parallel,
+		progress: *progress,
+		extras:   *extras,
+		jsonDir:  *jsonDir,
+	}
+	if err := run(opts); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+// runOpts carries the command-line configuration.
+type runOpts struct {
+	fig      int
+	seed     int64
+	trials   int
+	parallel int
+	progress bool
+	extras   bool
+	jsonDir  string
+}
+
+// progressFn returns a per-runner progress reporter (every ~10% of the
+// trials), or nil when -progress is off.
+func (o runOpts) progressFn(name string) mc.Progress {
+	if !o.progress {
+		return nil
+	}
+	return func(done, total int) {
+		step := total / 10
+		if step == 0 {
+			step = 1
+		}
+		if done%step == 0 || done == total {
+			fmt.Fprintf(os.Stderr, "experiments: %s %d/%d trials\n", name, done, total)
+		}
 	}
 }
 
@@ -53,119 +97,150 @@ func emit(jsonDir, name string, v fmt.Stringer) error {
 	return nil
 }
 
-func run(fig int, seed int64, trials int, extras bool, jsonDir string) error {
+func run(o runOpts) error {
 	figs := []int{4, 5, 6, 7, 8, 9}
-	if fig != 0 {
-		figs = []int{fig}
+	if o.fig != 0 {
+		figs = []int{o.fig}
 	}
 	for _, f := range figs {
 		switch f {
 		case 4:
-			r, err := experiment.Fig4(seed)
+			r, err := experiment.Fig4(o.seed)
 			if err != nil {
 				return err
 			}
-			if err := emit(jsonDir, "fig4", r); err != nil {
+			if err := emit(o.jsonDir, "fig4", r); err != nil {
 				return err
 			}
 		case 5:
-			r, err := experiment.Fig5(seed)
+			r, err := experiment.Fig5(o.seed)
 			if err != nil {
 				return err
 			}
-			if err := emit(jsonDir, "fig5", r); err != nil {
+			if err := emit(o.jsonDir, "fig5", r); err != nil {
 				return err
 			}
 		case 6:
-			r, err := experiment.Fig6(seed)
+			r, err := experiment.Fig6(o.seed)
 			if err != nil {
 				return err
 			}
-			if err := emit(jsonDir, "fig6", r); err != nil {
+			if err := emit(o.jsonDir, "fig6", r); err != nil {
 				return err
 			}
 		case 7:
 			for _, kind := range []experiment.NetworkKind{experiment.Wireline, experiment.Wireless} {
-				r, err := experiment.Fig7(experiment.Fig7Config{Kind: kind, Seed: seed, Trials: trials})
+				name := fmt.Sprintf("fig7-%v", kind)
+				r, err := experiment.Fig7(experiment.Fig7Config{
+					Kind: kind, Seed: o.seed, Trials: o.trials,
+					Parallel: o.parallel, Progress: o.progressFn(name),
+				})
 				if err != nil {
 					return err
 				}
-				if err := emit(jsonDir, fmt.Sprintf("fig7-%v", kind), r); err != nil {
+				if err := emit(o.jsonDir, name, r); err != nil {
 					return err
 				}
 			}
 		case 8:
 			for _, kind := range []experiment.NetworkKind{experiment.Wireline, experiment.Wireless} {
-				r, err := experiment.Fig8(experiment.Fig8Config{Kind: kind, Seed: seed, Trials: trials})
+				name := fmt.Sprintf("fig8-%v", kind)
+				r, err := experiment.Fig8(experiment.Fig8Config{
+					Kind: kind, Seed: o.seed, Trials: o.trials,
+					Parallel: o.parallel, Progress: o.progressFn(name),
+				})
 				if err != nil {
 					return err
 				}
-				if err := emit(jsonDir, fmt.Sprintf("fig8-%v", kind), r); err != nil {
+				if err := emit(o.jsonDir, name, r); err != nil {
 					return err
 				}
 			}
 		case 9:
-			r, err := experiment.Fig9(experiment.Fig9Config{Seed: seed, Trials: trials})
+			r, err := experiment.Fig9(experiment.Fig9Config{
+				Seed: o.seed, Trials: o.trials,
+				Parallel: o.parallel, Progress: o.progressFn("fig9"),
+			})
 			if err != nil {
 				return err
 			}
-			if err := emit(jsonDir, "fig9", r); err != nil {
+			if err := emit(o.jsonDir, "fig9", r); err != nil {
 				return err
 			}
 		default:
 			return fmt.Errorf("unknown figure %d (want 4–9)", f)
 		}
 	}
-	if extras {
-		loss, err := experiment.LossStudy(experiment.LossStudyConfig{Seed: seed})
+	if o.extras {
+		loss, err := experiment.LossStudy(experiment.LossStudyConfig{
+			Seed: o.seed, Parallel: o.parallel, Progress: o.progressFn("loss-study"),
+		})
 		if err != nil {
 			return err
 		}
-		if err := emit(jsonDir, "loss-study", loss); err != nil {
+		if err := emit(o.jsonDir, "loss-study", loss); err != nil {
 			return err
 		}
-		ev, err := experiment.EvasionStudy(seed, nil)
+		ev, err := experiment.EvasionStudy(experiment.EvasionStudyConfig{
+			Seed: o.seed, Parallel: o.parallel, Progress: o.progressFn("evasion-study"),
+		})
 		if err != nil {
 			return err
 		}
-		if err := emit(jsonDir, "evasion-study", ev); err != nil {
+		if err := emit(o.jsonDir, "evasion-study", ev); err != nil {
 			return err
 		}
-		ps, err := experiment.PlacementStudy(experiment.PlacementStudyConfig{Seed: seed, Trials: trials})
+		ps, err := experiment.PlacementStudy(experiment.PlacementStudyConfig{
+			Seed: o.seed, Trials: o.trials,
+			Parallel: o.parallel, Progress: o.progressFn("placement-study"),
+		})
 		if err != nil {
 			return err
 		}
-		if err := emit(jsonDir, "placement-study", ps); err != nil {
+		if err := emit(o.jsonDir, "placement-study", ps); err != nil {
 			return err
 		}
 		for _, kind := range []experiment.NetworkKind{experiment.Wireline, experiment.Wireless} {
-			cs, err := experiment.CentralityStudy(experiment.CentralityStudyConfig{Kind: kind, Seed: seed, Trials: trials})
+			name := fmt.Sprintf("centrality-study-%v", kind)
+			cs, err := experiment.CentralityStudy(experiment.CentralityStudyConfig{
+				Kind: kind, Seed: o.seed, Trials: o.trials,
+				Parallel: o.parallel, Progress: o.progressFn(name),
+			})
 			if err != nil {
 				return err
 			}
-			if err := emit(jsonDir, fmt.Sprintf("centrality-study-%v", kind), cs); err != nil {
+			if err := emit(o.jsonDir, name, cs); err != nil {
 				return err
 			}
 		}
-		ls, err := experiment.LatencyStudy(experiment.LatencyStudyConfig{Seed: seed, Trials: trials})
+		ls, err := experiment.LatencyStudy(experiment.LatencyStudyConfig{
+			Seed: o.seed, Trials: o.trials,
+			Parallel: o.parallel, Progress: o.progressFn("latency-study"),
+		})
 		if err != nil {
 			return err
 		}
-		if err := emit(jsonDir, "latency-study", ls); err != nil {
+		if err := emit(o.jsonDir, "latency-study", ls); err != nil {
 			return err
 		}
-		dm, err := experiment.DetectorMatrix(experiment.DetectorMatrixConfig{Seed: seed, Trials: trials})
+		dm, err := experiment.DetectorMatrix(experiment.DetectorMatrixConfig{
+			Seed: o.seed, Trials: o.trials,
+			Parallel: o.parallel, Progress: o.progressFn("detector-matrix"),
+		})
 		if err != nil {
 			return err
 		}
-		if err := emit(jsonDir, "detector-matrix", dm); err != nil {
+		if err := emit(o.jsonDir, "detector-matrix", dm); err != nil {
 			return err
 		}
-		roc, err := experiment.RocStudy(experiment.RocStudyConfig{Seed: seed, Rounds: trials * 10})
+		roc, err := experiment.RocStudy(experiment.RocStudyConfig{
+			Seed: o.seed, Rounds: o.trials * 10,
+			Parallel: o.parallel, Progress: o.progressFn("roc-study"),
+		})
 		if err != nil {
 			return err
 		}
-		if err := emit(jsonDir, "roc-study", roc); err != nil {
+		if err := emit(o.jsonDir, "roc-study", roc); err != nil {
 			return err
 		}
 	}

@@ -8,32 +8,32 @@ import (
 )
 
 func TestRunFig4(t *testing.T) {
-	if err := run(4, 1, 0, false, ""); err != nil {
+	if err := run(runOpts{fig: 4, seed: 1}); err != nil {
 		t.Fatalf("fig 4: %v", err)
 	}
 }
 
 func TestRunFig5(t *testing.T) {
-	if err := run(5, 1, 0, false, ""); err != nil {
+	if err := run(runOpts{fig: 5, seed: 1}); err != nil {
 		t.Fatalf("fig 5: %v", err)
 	}
 }
 
 func TestRunFig6(t *testing.T) {
-	if err := run(6, 1, 0, false, ""); err != nil {
+	if err := run(runOpts{fig: 6, seed: 1}); err != nil {
 		t.Fatalf("fig 6: %v", err)
 	}
 }
 
 func TestRunFig9(t *testing.T) {
-	if err := run(9, 1, 4, false, ""); err != nil {
+	if err := run(runOpts{fig: 9, seed: 1, trials: 4}); err != nil {
 		t.Fatalf("fig 9: %v", err)
 	}
 }
 
 func TestRunJSONOutput(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(4, 1, 0, false, dir); err != nil {
+	if err := run(runOpts{fig: 4, seed: 1, jsonDir: dir}); err != nil {
 		t.Fatalf("json run: %v", err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "fig4.json"))
@@ -53,7 +53,7 @@ func TestRunJSONOutput(t *testing.T) {
 }
 
 func TestRunUnknownFig(t *testing.T) {
-	if err := run(3, 1, 0, false, ""); err == nil {
+	if err := run(runOpts{fig: 3, seed: 1}); err == nil {
 		t.Fatal("figure 3 accepted")
 	}
 }
@@ -62,7 +62,7 @@ func TestRunFig8SmallTrials(t *testing.T) {
 	if testing.Short() {
 		t.Skip("fig 8 in short mode")
 	}
-	if err := run(8, 1, 3, false, ""); err != nil {
+	if err := run(runOpts{fig: 8, seed: 1, trials: 3}); err != nil {
 		t.Fatalf("fig 8: %v", err)
 	}
 }

@@ -1,0 +1,42 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Trial-pool benchmarks: the same Fig. 7 ISP run at 1 and 8 workers.
+// Results are bit-identical across the variants (see
+// TestRunnersWorkerCountInvariant); the speedup scales with physical
+// cores, so on a multicore machine the 8-worker variant should run the
+// 64 trials several times faster than the sequential one.
+func BenchmarkFig7ISPTrialPool(b *testing.B) {
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Fig7(Fig7Config{
+					Kind: Wireline, Seed: 1, Trials: 64, Parallel: workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig9TrialPool covers the flattened (strategy × cut) pool,
+// whose per-trial cost is dominated by the packet simulator rather than
+// LP solves.
+func BenchmarkFig9TrialPool(b *testing.B) {
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Fig9(Fig9Config{
+					Seed: 1, Trials: 8, Parallel: workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -2,11 +2,11 @@ package experiment
 
 import (
 	"fmt"
-	"math/rand"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/mc"
 	"repro/internal/netsim"
 	"repro/internal/tomo"
 )
@@ -22,6 +22,11 @@ type CentralityStudyConfig struct {
 	// TopK is the size of the high-centrality candidate pool
 	// (default 10).
 	TopK int
+	// Parallel is the trial worker count (0 = GOMAXPROCS); it never
+	// changes the result.
+	Parallel int
+	// Progress, when non-nil, is called after each completed trial.
+	Progress mc.Progress
 }
 
 func (c CentralityStudyConfig) trials() int {
@@ -71,36 +76,57 @@ func CentralityStudy(cfg CentralityStudyConfig) (*CentralityStudyResult, error) 
 	}
 	topNodes := graph.TopKByCentrality(env.G, cfg.topK())
 	out := &CentralityStudyResult{Kind: cfg.Kind}
+	type centralityTrial struct {
+		controlled float64
+		feasible   bool
+		damage     float64
+	}
+	// Both arms split the same base seed, so they face the same per-trial
+	// delay draws and differ only in the attacker pool.
+	trialSeed := cfg.Seed + 6000
 	for _, central := range []bool{false, true} {
-		rng := rand.New(rand.NewSource(cfg.Seed + 6000))
+		central := central
+		results, err := mc.Run(cfg.trials(), mc.Options{Workers: cfg.Parallel, Progress: cfg.Progress},
+			func(trial int) (centralityTrial, error) {
+				rng := mc.RNG(trialSeed, trial)
+				var attacker graph.NodeID
+				if central {
+					attacker = topNodes[rng.Intn(len(topNodes))]
+				} else {
+					attacker = graph.NodeID(rng.Intn(env.G.NumNodes()))
+				}
+				sc := &core.Scenario{
+					Sys:        env.Sys,
+					Thresholds: tomo.DefaultThresholds(),
+					Attackers:  []graph.NodeID{attacker},
+					TrueX:      netsim.RoutineDelays(env.G, rng),
+				}
+				paths, err := sc.ControlledPaths()
+				if err != nil {
+					return centralityTrial{}, err
+				}
+				r := centralityTrial{controlled: float64(len(paths))}
+				res, err := core.MaxDamage(sc, core.MaxDamageOptions{MaxVictims: 1, FirstFeasible: true})
+				if err != nil {
+					return centralityTrial{}, err
+				}
+				if res.Feasible {
+					r.feasible = true
+					r.damage = res.Damage
+				}
+				return r, nil
+			})
+		if err != nil {
+			return nil, err
+		}
 		arm := CentralityArm{Central: central}
 		var controlled, damage float64
 		successes := 0
-		for trial := 0; trial < cfg.trials(); trial++ {
-			var attacker graph.NodeID
-			if central {
-				attacker = topNodes[rng.Intn(len(topNodes))]
-			} else {
-				attacker = graph.NodeID(rng.Intn(env.G.NumNodes()))
-			}
-			sc := &core.Scenario{
-				Sys:        env.Sys,
-				Thresholds: tomo.DefaultThresholds(),
-				Attackers:  []graph.NodeID{attacker},
-				TrueX:      netsim.RoutineDelays(env.G, rng),
-			}
-			paths, err := sc.ControlledPaths()
-			if err != nil {
-				return nil, err
-			}
-			controlled += float64(len(paths))
-			res, err := core.MaxDamage(sc, core.MaxDamageOptions{MaxVictims: 1, FirstFeasible: true})
-			if err != nil {
-				return nil, err
-			}
-			if res.Feasible {
+		for _, r := range results {
+			controlled += r.controlled
+			if r.feasible {
 				successes++
-				damage += res.Damage
+				damage += r.damage
 			}
 		}
 		arm.SuccessRate = float64(successes) / float64(cfg.trials())

@@ -1,0 +1,104 @@
+package experiment
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// The worker-count-invariance contract: every Monte Carlo runner must
+// produce bit-identical results whether its trials run on one worker or
+// eight. Each case runs a small configuration both ways and deep-equals
+// the structured results.
+func TestRunnersWorkerCountInvariant(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(parallel int) (any, error)
+	}{
+		{"fig7-wireless", func(p int) (any, error) {
+			return Fig7(Fig7Config{Kind: Wireless, Seed: 1, Trials: 12, Parallel: p})
+		}},
+		{"fig8-wireless", func(p int) (any, error) {
+			return Fig8(Fig8Config{Kind: Wireless, Seed: 1, Trials: 3, Parallel: p})
+		}},
+		{"fig9", func(p int) (any, error) {
+			return Fig9(Fig9Config{Seed: 1, Trials: 2, Parallel: p})
+		}},
+		{"centrality", func(p int) (any, error) {
+			return CentralityStudy(CentralityStudyConfig{Kind: Wireless, Seed: 1, Trials: 4, Parallel: p})
+		}},
+		{"evasion", func(p int) (any, error) {
+			return EvasionStudy(EvasionStudyConfig{Seed: 1, Alphas: []float64{500, 2000}, Parallel: p})
+		}},
+		{"latency", func(p int) (any, error) {
+			return LatencyStudy(LatencyStudyConfig{Seed: 1, Trials: 2, Parallel: p})
+		}},
+		{"loss", func(p int) (any, error) {
+			return LossStudy(LossStudyConfig{Seed: 1, ProbesPerPath: 500, Parallel: p})
+		}},
+		{"placement", func(p int) (any, error) {
+			return PlacementStudy(PlacementStudyConfig{Seed: 1, Trials: 4, Parallel: p})
+		}},
+		{"roc", func(p int) (any, error) {
+			return RocStudy(RocStudyConfig{Seed: 1, Rounds: 6, Parallel: p})
+		}},
+		{"matrix", func(p int) (any, error) {
+			return DetectorMatrix(DetectorMatrixConfig{Seed: 1, Trials: 2, Parallel: p})
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			seq, err := tc.run(1)
+			if err != nil {
+				t.Fatalf("parallel=1: %v", err)
+			}
+			par, err := tc.run(8)
+			if err != nil {
+				t.Fatalf("parallel=8: %v", err)
+			}
+			if !reflect.DeepEqual(seq, par) {
+				t.Errorf("results differ between 1 and 8 workers:\nseq: %+v\npar: %+v", seq, par)
+			}
+		})
+	}
+}
+
+// Distinct runners must be safe to run concurrently — they share no
+// mutable state. Meaningful under -race (scripts/check.sh runs it).
+func TestRunnersConcurrently(t *testing.T) {
+	runners := []func() error{
+		func() error {
+			_, err := Fig7(Fig7Config{Kind: Wireless, Seed: 2, Trials: 6, Parallel: 4})
+			return err
+		},
+		func() error {
+			_, err := Fig9(Fig9Config{Seed: 2, Trials: 2, Parallel: 4})
+			return err
+		},
+		func() error {
+			_, err := EvasionStudy(EvasionStudyConfig{Seed: 2, Alphas: []float64{1000}, Parallel: 4})
+			return err
+		},
+		func() error {
+			_, err := RocStudy(RocStudyConfig{Seed: 2, Rounds: 4, Parallel: 4})
+			return err
+		},
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(runners))
+	for i, fn := range runners {
+		wg.Add(1)
+		go func(i int, fn func() error) {
+			defer wg.Done()
+			errs[i] = fn()
+		}(i, fn)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("runner %d: %v", i, err)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/mc"
 )
 
 // EvasionPoint is one point of the damage-vs-threshold trade-off.
@@ -33,12 +34,33 @@ type EvasionStudyResult struct {
 	PlainDamage float64 `json:"plain_damage"`
 }
 
-// EvasionStudy runs the sweep on the Fig. 1 network.
-func EvasionStudy(seed int64, alphas []float64) (*EvasionStudyResult, error) {
-	if len(alphas) == 0 {
-		alphas = []float64{50, 100, 200, 500, 1000, 2000, 5000, 10000}
+// EvasionStudyConfig parameterizes the sweep.
+type EvasionStudyConfig struct {
+	// Seed drives the Fig. 1 environment.
+	Seed int64
+	// Alphas are the residual budgets to sweep (default a spread from 50
+	// to 10000 ms).
+	Alphas []float64
+	// Parallel is the per-point worker count (0 = GOMAXPROCS); it never
+	// changes the result.
+	Parallel int
+	// Progress, when non-nil, is called after each completed point.
+	Progress mc.Progress
+}
+
+func (c EvasionStudyConfig) alphas() []float64 {
+	if len(c.Alphas) > 0 {
+		return c.Alphas
 	}
-	env, err := NewFig1Env(seed)
+	return []float64{50, 100, 200, 500, 1000, 2000, 5000, 10000}
+}
+
+// EvasionStudy runs the sweep on the Fig. 1 network. Each α point is an
+// independent LP solve against the shared environment, so the sweep
+// fans out over the trial pool.
+func EvasionStudy(cfg EvasionStudyConfig) (*EvasionStudyResult, error) {
+	alphas := cfg.alphas()
+	env, err := NewFig1Env(cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -50,31 +72,35 @@ func EvasionStudy(seed int64, alphas []float64) (*EvasionStudyResult, error) {
 	if !plain.Feasible {
 		return nil, fmt.Errorf("experiment: evasion baseline infeasible")
 	}
-	out := &EvasionStudyResult{PlainDamage: plain.Damage}
-	for _, alpha := range alphas {
-		sc := &core.Scenario{
-			Sys:        env.Sys,
-			Thresholds: env.Scenario.Thresholds,
-			Attackers:  env.Scenario.Attackers,
-			TrueX:      env.Scenario.TrueX,
-			EvadeAlpha: alpha,
-		}
-		res, err := core.ChosenVictim(sc, victim)
-		if err != nil {
-			return nil, err
-		}
-		pt := EvasionPoint{Alpha: alpha, Feasible: res.Feasible}
-		if res.Feasible {
-			pt.Damage = res.Damage
-			resid, err := sc.Sys.Residual(res.XHat, res.YObserved)
-			if err != nil {
-				return nil, err
+	points, err := mc.Run(len(alphas), mc.Options{Workers: cfg.Parallel, Progress: cfg.Progress},
+		func(i int) (EvasionPoint, error) {
+			alpha := alphas[i]
+			sc := &core.Scenario{
+				Sys:        env.Sys,
+				Thresholds: env.Scenario.Thresholds,
+				Attackers:  env.Scenario.Attackers,
+				TrueX:      env.Scenario.TrueX,
+				EvadeAlpha: alpha,
 			}
-			pt.Residual = resid.Norm1()
-		}
-		out.Points = append(out.Points, pt)
+			res, err := core.ChosenVictim(sc, victim)
+			if err != nil {
+				return EvasionPoint{}, err
+			}
+			pt := EvasionPoint{Alpha: alpha, Feasible: res.Feasible}
+			if res.Feasible {
+				pt.Damage = res.Damage
+				resid, err := sc.Sys.Residual(res.XHat, res.YObserved)
+				if err != nil {
+					return EvasionPoint{}, err
+				}
+				pt.Residual = resid.Norm1()
+			}
+			return pt, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &EvasionStudyResult{PlainDamage: plain.Damage, Points: points}, nil
 }
 
 // String renders the sweep as a table.

@@ -6,7 +6,7 @@ import (
 )
 
 func TestEvasionStudy(t *testing.T) {
-	r, err := EvasionStudy(1, nil)
+	r, err := EvasionStudy(EvasionStudyConfig{Seed: 1})
 	if err != nil {
 		t.Fatalf("EvasionStudy: %v", err)
 	}

@@ -9,7 +9,12 @@
 //	Fig. 8 — single-attacker max-damage and obfuscation success
 //	Fig. 9 — detection ratios under perfect and imperfect cuts
 //
-// All runners are deterministic for a given seed.
+// All runners are deterministic for a given seed. The Monte Carlo
+// runners (Figs. 7–9 and the beyond-paper studies) execute their trials
+// through the shared internal/mc pool: each trial derives its own PRNG
+// from (seed, trial index), so results are bit-identical no matter how
+// many workers run them — the Parallel knob on each config only changes
+// wall-clock time.
 package experiment
 
 import (

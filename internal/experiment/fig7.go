@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/mc"
 	"repro/internal/netsim"
 	"repro/internal/tomo"
 	"repro/internal/topo"
@@ -91,6 +92,11 @@ type Fig7Config struct {
 	// MaxAttackers bounds the attacker-set size drawn per trial
 	// (uniform on 1..MaxAttackers; default 4).
 	MaxAttackers int
+	// Parallel is the trial worker count (0 = GOMAXPROCS); it never
+	// changes the result.
+	Parallel int
+	// Progress, when non-nil, is called after each completed trial.
+	Progress mc.Progress
 }
 
 func (c Fig7Config) trials() int {
@@ -126,52 +132,72 @@ type Fig7Result struct {
 	Monotone bool `json:"monotone"`
 }
 
+// fig7Trial is one trial's outcome, aggregated in trial order.
+type fig7Trial struct {
+	ok      bool
+	bin     int
+	success bool
+}
+
 // Fig7 sweeps random chosen-victim attacks and bins success by attack
-// presence ratio, reproducing Fig. 7 for one topology family.
+// presence ratio, reproducing Fig. 7 for one topology family. Trials
+// run through the shared mc pool; each draws its own PRNG from
+// (Seed, trial), so the worker count never changes the curve.
 func Fig7(cfg Fig7Config) (*Fig7Result, error) {
 	env, err := NewEnv(cfg.Kind, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 1000))
 	const nBins = 10
+	trialSeed := cfg.Seed + 1000
+	results, err := mc.Run(cfg.trials(), mc.Options{Workers: cfg.Parallel, Progress: cfg.Progress},
+		func(trial int) (fig7Trial, error) {
+			rng := mc.RNG(trialSeed, trial)
+			victim, attackers, ok := sampleVictimAndAttackers(env, cfg.maxAttackers(), rng)
+			if !ok {
+				return fig7Trial{}, nil
+			}
+			ratio, err := core.PresenceRatio(env.Sys, attackers, []graph.LinkID{victim})
+			if err != nil {
+				return fig7Trial{}, fmt.Errorf("experiment: fig7 trial %d: %w", trial, err)
+			}
+			sc := &core.Scenario{
+				Sys:        env.Sys,
+				Thresholds: tomo.DefaultThresholds(),
+				Attackers:  attackers,
+				TrueX:      netsim.RoutineDelays(env.G, rng),
+				// Scapegoating should leave the victim as the unambiguous
+				// root cause; without confinement, least squares lets far-
+				// away manipulation smear onto the victim's estimate and
+				// low-presence attacks "succeed" by making half the network
+				// look broken.
+				ConfineOthers: true,
+			}
+			res, err := core.ChosenVictim(sc, []graph.LinkID{victim})
+			if err != nil {
+				return fig7Trial{}, fmt.Errorf("experiment: fig7 trial %d: %w", trial, err)
+			}
+			b := int(ratio * nBins)
+			if b >= nBins {
+				b = nBins - 1
+			}
+			return fig7Trial{ok: true, bin: b, success: res.Feasible}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	bins := make([]Fig7Bin, nBins)
 	for b := range bins {
 		bins[b].Lo = float64(b) / nBins
 		bins[b].Hi = float64(b+1) / nBins
 	}
-	for trial := 0; trial < cfg.trials(); trial++ {
-		victim, attackers, ok := sampleVictimAndAttackers(env, cfg.maxAttackers(), rng)
-		if !ok {
+	for _, t := range results {
+		if !t.ok {
 			continue
 		}
-		ratio, err := core.PresenceRatio(env.Sys, attackers, []graph.LinkID{victim})
-		if err != nil {
-			return nil, fmt.Errorf("experiment: fig7 trial %d: %w", trial, err)
-		}
-		sc := &core.Scenario{
-			Sys:        env.Sys,
-			Thresholds: tomo.DefaultThresholds(),
-			Attackers:  attackers,
-			TrueX:      netsim.RoutineDelays(env.G, rng),
-			// Scapegoating should leave the victim as the unambiguous
-			// root cause; without confinement, least squares lets far-
-			// away manipulation smear onto the victim's estimate and
-			// low-presence attacks "succeed" by making half the network
-			// look broken.
-			ConfineOthers: true,
-		}
-		res, err := core.ChosenVictim(sc, []graph.LinkID{victim})
-		if err != nil {
-			return nil, fmt.Errorf("experiment: fig7 trial %d: %w", trial, err)
-		}
-		b := int(ratio * nBins)
-		if b >= nBins {
-			b = nBins - 1
-		}
-		bins[b].Trials++
-		if res.Feasible {
-			bins[b].Successes++
+		bins[t.bin].Trials++
+		if t.success {
+			bins[t.bin].Successes++
 		}
 	}
 	out := &Fig7Result{Kind: cfg.Kind, Bins: bins, Monotone: true}

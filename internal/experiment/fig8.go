@@ -2,10 +2,10 @@ package experiment
 
 import (
 	"fmt"
-	"math/rand"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/mc"
 	"repro/internal/netsim"
 	"repro/internal/tomo"
 )
@@ -22,6 +22,11 @@ type Fig8Config struct {
 	// ObfuscationMinVictims is the success bar of Section V-C2
 	// (default 5, as in the paper).
 	ObfuscationMinVictims int
+	// Parallel is the trial worker count (0 = GOMAXPROCS); it never
+	// changes the result.
+	Parallel int
+	// Progress, when non-nil, is called after each completed trial.
+	Progress mc.Progress
 }
 
 func (c Fig8Config) trials() int {
@@ -59,38 +64,60 @@ func Fig8(cfg Fig8Config) (*Fig8Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 2000))
+	type fig8Trial struct {
+		mdFeasible bool
+		mdDamage   float64
+		obSuccess  bool
+		obDamage   float64
+	}
+	trialSeed := cfg.Seed + 2000
+	results, err := mc.Run(cfg.trials(), mc.Options{Workers: cfg.Parallel, Progress: cfg.Progress},
+		func(trial int) (fig8Trial, error) {
+			rng := mc.RNG(trialSeed, trial)
+			attacker := pickRandomAttackers(env.G, 1, rng)
+			sc := &core.Scenario{
+				Sys:        env.Sys,
+				Thresholds: tomo.DefaultThresholds(),
+				Attackers:  attacker,
+				TrueX:      netsim.RoutineDelays(env.G, rng),
+			}
+			var r fig8Trial
+			// Success is "does any feasible victim exist", so the first
+			// feasible candidate answers it without sweeping every link.
+			md, err := core.MaxDamage(sc, core.MaxDamageOptions{MaxVictims: 1, FirstFeasible: true})
+			if err != nil {
+				return r, fmt.Errorf("experiment: fig8 trial %d max-damage: %w", trial, err)
+			}
+			if md.Feasible {
+				r.mdFeasible = true
+				r.mdDamage = md.Damage
+			}
+			// Obfuscation's goal is "no evident outliers" (Section III-C3),
+			// so links outside L_o must not cross the abnormal threshold.
+			sc.ConfineOthers = true
+			ob, err := core.Obfuscate(sc, core.ObfuscationOptions{MinVictims: cfg.minVictims()})
+			if err != nil {
+				return r, fmt.Errorf("experiment: fig8 trial %d obfuscate: %w", trial, err)
+			}
+			if ob.Feasible && countUncertainVictims(ob) >= cfg.minVictims() {
+				r.obSuccess = true
+				r.obDamage = ob.Damage
+			}
+			return r, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	out := &Fig8Result{Kind: cfg.Kind, Trials: cfg.trials()}
 	var mdDamage, obDamage float64
-	for trial := 0; trial < cfg.trials(); trial++ {
-		attacker := pickRandomAttackers(env.G, 1, rng)
-		sc := &core.Scenario{
-			Sys:        env.Sys,
-			Thresholds: tomo.DefaultThresholds(),
-			Attackers:  attacker,
-			TrueX:      netsim.RoutineDelays(env.G, rng),
-		}
-		// Success is "does any feasible victim exist", so the first
-		// feasible candidate answers it without sweeping every link.
-		md, err := core.MaxDamage(sc, core.MaxDamageOptions{MaxVictims: 1, FirstFeasible: true})
-		if err != nil {
-			return nil, fmt.Errorf("experiment: fig8 trial %d max-damage: %w", trial, err)
-		}
-		if md.Feasible {
+	for _, r := range results {
+		if r.mdFeasible {
 			out.MaxDamageSuccesses++
-			mdDamage += md.Damage
+			mdDamage += r.mdDamage
 		}
-		// Obfuscation's goal is "no evident outliers" (Section III-C3),
-		// so links outside L_o must not cross the abnormal threshold.
-		sc.ConfineOthers = true
-		ob, err := core.Obfuscate(sc, core.ObfuscationOptions{MinVictims: cfg.minVictims()})
-		sc.ConfineOthers = false
-		if err != nil {
-			return nil, fmt.Errorf("experiment: fig8 trial %d obfuscate: %w", trial, err)
-		}
-		if ob.Feasible && countUncertainVictims(ob) >= cfg.minVictims() {
+		if r.obSuccess {
 			out.ObfuscateSuccesses++
-			obDamage += ob.Damage
+			obDamage += r.obDamage
 		}
 	}
 	out.MaxDamageRate = float64(out.MaxDamageSuccesses) / float64(out.Trials)

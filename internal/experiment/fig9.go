@@ -9,6 +9,7 @@ import (
 	"repro/internal/detect"
 	"repro/internal/graph"
 	"repro/internal/la"
+	"repro/internal/mc"
 	"repro/internal/netsim"
 )
 
@@ -49,6 +50,11 @@ type Fig9Config struct {
 	// simulator (default 1 ms). Detection must tolerate it without
 	// false alarms.
 	Jitter float64
+	// Parallel is the trial worker count (0 = GOMAXPROCS); it never
+	// changes the result.
+	Parallel int
+	// Progress, when non-nil, is called after each completed trial.
+	Progress mc.Progress
 }
 
 func (c Fig9Config) trials() int {
@@ -103,28 +109,52 @@ type Fig9Result struct {
 // construction of Theorem 1; imperfect-cut trials use the paper's plain
 // damage-maximizing LPs.
 func Fig9(cfg Fig9Config) (*Fig9Result, error) {
-	out := &Fig9Result{}
-	rng := rand.New(rand.NewSource(cfg.Seed + 3000))
+	type fig9CellKey struct {
+		strategy StrategyKind
+		perfect  bool
+	}
+	cells := []fig9CellKey{}
 	for _, strategy := range []StrategyKind{ChosenVictimStrategy, MaxDamageStrategy, ObfuscationStrategy} {
 		for _, perfect := range []bool{true, false} {
-			cell := Fig9Cell{Strategy: strategy, PerfectCut: perfect, Trials: cfg.trials()}
-			for trial := 0; trial < cfg.trials(); trial++ {
-				detected, attacked, err := fig9Trial(cfg, strategy, perfect, rng.Int63())
-				if err != nil {
-					return nil, fmt.Errorf("experiment: fig9 %v perfect=%v trial %d: %w", strategy, perfect, trial, err)
-				}
-				if attacked {
-					cell.Attacks++
-					if detected {
-						cell.Detected++
-					}
-				}
-			}
-			if cell.Attacks > 0 {
-				cell.Ratio = float64(cell.Detected) / float64(cell.Attacks)
-			}
-			out.Cells = append(out.Cells, cell)
+			cells = append(cells, fig9CellKey{strategy, perfect})
 		}
+	}
+	type fig9Outcome struct {
+		detected bool
+		attacked bool
+	}
+	// One flat pool run over all (cell × trial) pairs; every trial's env,
+	// attack, and measurement noise derive from its own split seed.
+	trials := cfg.trials()
+	trialSeed := cfg.Seed + 3000
+	results, err := mc.Run(len(cells)*trials, mc.Options{Workers: cfg.Parallel, Progress: cfg.Progress},
+		func(t int) (fig9Outcome, error) {
+			cell, trial := cells[t/trials], t%trials
+			detected, attacked, err := fig9Trial(cfg, cell.strategy, cell.perfect, mc.Split(trialSeed, t))
+			if err != nil {
+				return fig9Outcome{}, fmt.Errorf("experiment: fig9 %v perfect=%v trial %d: %w",
+					cell.strategy, cell.perfect, trial, err)
+			}
+			return fig9Outcome{detected: detected, attacked: attacked}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig9Result{}
+	for c, key := range cells {
+		cell := Fig9Cell{Strategy: key.strategy, PerfectCut: key.perfect, Trials: trials}
+		for _, r := range results[c*trials : (c+1)*trials] {
+			if r.attacked {
+				cell.Attacks++
+				if r.detected {
+					cell.Detected++
+				}
+			}
+		}
+		if cell.Attacks > 0 {
+			cell.Ratio = float64(cell.Detected) / float64(cell.Attacks)
+		}
+		out.Cells = append(out.Cells, cell)
 	}
 	// False-alarm arm: clean noisy measurement rounds.
 	env, err := NewFig1Env(cfg.Seed)
@@ -135,17 +165,25 @@ func Fig9(cfg Fig9Config) (*Fig9Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out.CleanRuns = cfg.trials()
-	for k := 0; k < out.CleanRuns; k++ {
-		y, err := simulateMeasurements(env, nil, cfg.jitter(), rng.Int63())
-		if err != nil {
-			return nil, err
-		}
-		rep, err := det.Inspect(y)
-		if err != nil {
-			return nil, err
-		}
-		if rep.Detected {
+	out.CleanRuns = trials
+	cleanSeed := cfg.Seed + 3100
+	alarms, err := mc.Run(out.CleanRuns, mc.Options{Workers: cfg.Parallel},
+		func(k int) (bool, error) {
+			y, err := simulateMeasurements(env, nil, cfg.jitter(), mc.Split(cleanSeed, k))
+			if err != nil {
+				return false, err
+			}
+			rep, err := det.Inspect(y)
+			if err != nil {
+				return false, err
+			}
+			return rep.Detected, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range alarms {
+		if a {
 			out.FalseAlarms++
 		}
 	}

@@ -1,0 +1,63 @@
+package experiment
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden figure tables")
+
+// Golden-figure regression tests: the rendered summary table of each
+// figure is pinned under testdata/. Any change to the RNG streams, the
+// solvers, or the table formatting shows up as a diff here. Regenerate
+// with:
+//
+//	go test ./internal/experiment -run TestGoldenFigures -update
+func TestGoldenFigures(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func() (fmt.Stringer, error)
+	}{
+		{"fig4", func() (fmt.Stringer, error) { return Fig4(1) }},
+		{"fig5", func() (fmt.Stringer, error) { return Fig5(1) }},
+		{"fig6", func() (fmt.Stringer, error) { return Fig6(1) }},
+		{"fig7-wireless", func() (fmt.Stringer, error) {
+			return Fig7(Fig7Config{Kind: Wireless, Seed: 1, Trials: 40})
+		}},
+		{"fig8-wireless", func() (fmt.Stringer, error) {
+			return Fig8(Fig8Config{Kind: Wireless, Seed: 1, Trials: 4})
+		}},
+		{"fig9", func() (fmt.Stringer, error) {
+			return Fig9(Fig9Config{Seed: 1, Trials: 3})
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			r, err := tc.run()
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			got := r.String()
+			path := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatalf("update %s: %v", path, err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read %s (run with -update to create): %v", path, err)
+			}
+			if got != string(want) {
+				t.Errorf("%s drifted from golden table.\ngot:\n%s\nwant:\n%s\nRun with -update if the change is intended.",
+					tc.name, got, want)
+			}
+		})
+	}
+}

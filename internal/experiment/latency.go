@@ -8,6 +8,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/mc"
 	"repro/internal/netsim"
 )
 
@@ -50,6 +51,11 @@ type LatencyStudyConfig struct {
 	Alpha float64
 	// Horizon is the number of post-onset rounds to wait (default 40).
 	Horizon int
+	// Parallel is the trial worker count (0 = GOMAXPROCS); it never
+	// changes the result.
+	Parallel int
+	// Progress, when non-nil, is called after each completed trial.
+	Progress mc.Progress
 }
 
 func (c LatencyStudyConfig) trials() int {
@@ -78,47 +84,70 @@ func (c LatencyStudyConfig) horizon() int {
 func LatencyStudy(cfg LatencyStudyConfig) (*LatencyStudyResult, error) {
 	alpha := cfg.alpha()
 	out := &LatencyStudyResult{Alpha: alpha}
-	rng := rand.New(rand.NewSource(cfg.Seed + 7000))
 	const onset = 3
-	for _, frac := range []float64{0.3, 0.5, 0.7, 0.9} {
+	type latencyTrial struct {
+		feasible bool
+		damage   float64
+		detected bool
+		rounds   float64
+	}
+	trialSeed := cfg.Seed + 7000
+	fracs := []float64{0.3, 0.5, 0.7, 0.9}
+	for f, frac := range fracs {
+		f, frac := f, frac
+		results, err := mc.Run(cfg.trials(), mc.Options{Workers: cfg.Parallel, Progress: cfg.Progress},
+			func(trial int) (latencyTrial, error) {
+				env, err := NewFig1Env(cfg.Seed + int64(trial))
+				if err != nil {
+					return latencyTrial{}, err
+				}
+				sc := env.Scenario
+				sc.EvadeAlpha = frac * alpha
+				res, err := core.ChosenVictim(sc, []graph.LinkID{env.Topo.PaperLink[10]})
+				if err != nil {
+					return latencyTrial{}, fmt.Errorf("experiment: latency trial %d: %w", trial, err)
+				}
+				if !res.Feasible {
+					return latencyTrial{}, nil
+				}
+				r := latencyTrial{feasible: true, damage: res.Damage}
+				camp, err := campaign.Run(campaign.Config{
+					Sys: env.Sys, TrueX: sc.TrueX,
+					Rounds: onset + cfg.horizon(),
+					Jitter: 1, ProbesPerPath: 3,
+					RNG: rand.New(rand.NewSource(mc.Split(trialSeed, f*cfg.trials()+trial))),
+					Plan: &netsim.AttackPlan{
+						Attackers:  map[graph.NodeID]bool{env.Topo.B: true, env.Topo.C: true},
+						ExtraDelay: res.M,
+					},
+					AttackFrom: onset,
+					Alpha:      alpha,
+					Drift:      0.15 * alpha,
+					Ceiling:    2 * alpha,
+				})
+				if err != nil {
+					return latencyTrial{}, fmt.Errorf("experiment: latency trial %d: %w", trial, err)
+				}
+				if camp.FirstCusumAlarm >= onset {
+					r.detected = true
+					r.rounds = float64(camp.FirstCusumAlarm - onset)
+				}
+				return r, nil
+			})
+		if err != nil {
+			return nil, err
+		}
 		pt := LatencyPoint{Budget: frac * alpha, Trials: cfg.trials()}
 		var totalRounds float64
-		for trial := 0; trial < cfg.trials(); trial++ {
-			env, err := NewFig1Env(cfg.Seed + int64(trial))
-			if err != nil {
-				return nil, err
-			}
-			sc := env.Scenario
-			sc.EvadeAlpha = frac * alpha
-			res, err := core.ChosenVictim(sc, []graph.LinkID{env.Topo.PaperLink[10]})
-			if err != nil {
-				return nil, fmt.Errorf("experiment: latency trial %d: %w", trial, err)
-			}
-			if !res.Feasible {
+		for _, r := range results {
+			if !r.feasible {
 				continue
 			}
 			pt.Feasible = true
-			pt.Damage = res.Damage
-			camp, err := campaign.Run(campaign.Config{
-				Sys: env.Sys, TrueX: sc.TrueX,
-				Rounds: onset + cfg.horizon(),
-				Jitter: 1, ProbesPerPath: 3,
-				RNG: rand.New(rand.NewSource(rng.Int63())),
-				Plan: &netsim.AttackPlan{
-					Attackers:  map[graph.NodeID]bool{env.Topo.B: true, env.Topo.C: true},
-					ExtraDelay: res.M,
-				},
-				AttackFrom: onset,
-				Alpha:      alpha,
-				Drift:      0.15 * alpha,
-				Ceiling:    2 * alpha,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("experiment: latency trial %d: %w", trial, err)
-			}
-			if camp.FirstCusumAlarm >= onset {
+			pt.Damage = r.damage
+			if r.detected {
 				pt.Detected++
-				totalRounds += float64(camp.FirstCusumAlarm - onset)
+				totalRounds += r.rounds
 			}
 		}
 		if pt.Detected > 0 {

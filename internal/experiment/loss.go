@@ -10,6 +10,7 @@ import (
 	"repro/internal/detect"
 	"repro/internal/graph"
 	"repro/internal/la"
+	"repro/internal/mc"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/tomo"
@@ -24,6 +25,11 @@ type LossStudyConfig struct {
 	// path with delivery p has std ≈ √((1−p)/(p·n)), so heavily dropped
 	// paths need many probes for a stable estimate).
 	ProbesPerPath int
+	// Parallel is the worker count for the calibration rounds
+	// (0 = GOMAXPROCS); it never changes the result.
+	Parallel int
+	// Progress, when non-nil, is called after each calibration round.
+	Progress mc.Progress
 }
 
 func (c LossStudyConfig) probes() int {
@@ -106,13 +112,16 @@ func LossStudy(cfg LossStudyConfig) (*LossStudyResult, error) {
 	}
 	th := tomo.Thresholds{Lower: thLower, Upper: thUpper}
 
-	runRound := func(plan *netsim.AttackPlan) (la.Vector, error) {
+	// Every measurement round draws probes from its own split PRNG, so
+	// rounds are independent of each other and of execution order.
+	roundSeed := cfg.Seed + 5100
+	runRound := func(plan *netsim.AttackPlan, round int) (la.Vector, error) {
 		measured, err := netsim.RunLoss(netsim.Config{
 			Graph:         f.G,
 			Paths:         env.Sys.Paths(),
 			LinkDelays:    trueX, // unused by loss mode but validated
 			ProbesPerPath: cfg.probes(),
-			RNG:           rng,
+			RNG:           mc.RNG(roundSeed, round),
 			Plan:          plan,
 		}, ratios)
 		if err != nil {
@@ -132,7 +141,7 @@ func LossStudy(cfg LossStudyConfig) (*LossStudyResult, error) {
 	out := &LossStudyResult{}
 
 	// 1. Clean round: tomography recovers the per-link ratios.
-	yClean, err := runRound(nil)
+	yClean, err := runRound(nil, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -147,14 +156,14 @@ func LossStudy(cfg LossStudyConfig) (*LossStudyResult, error) {
 		}
 	}
 
-	// 2. Calibrate the detector on clean sampled rounds.
-	var cleanRuns []la.Vector
-	for k := 0; k < 30; k++ {
-		y, err := runRound(nil)
-		if err != nil {
-			return nil, err
-		}
-		cleanRuns = append(cleanRuns, y)
+	// 2. Calibrate the detector on clean sampled rounds, fanned out over
+	// the trial pool (rounds 1..30 of the split stream).
+	cleanRuns, err := mc.Run(30, mc.Options{Workers: cfg.Parallel, Progress: cfg.Progress},
+		func(k int) (la.Vector, error) {
+			return runRound(nil, 1+k)
+		})
+	if err != nil {
+		return nil, err
 	}
 	alpha, err := detect.Calibrate(env.Sys, cleanRuns, 1.0, 1.5)
 	if err != nil {
@@ -193,7 +202,7 @@ func LossStudy(cfg LossStudyConfig) (*LossStudyResult, error) {
 	yAttack, err := runRound(&netsim.AttackPlan{
 		Attackers:  map[graph.NodeID]bool{f.B: true, f.C: true},
 		ExtraDelay: res.M,
-	})
+	}, 31)
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/mc"
 	"repro/internal/netsim"
 )
 
@@ -67,6 +68,11 @@ type DetectorMatrixConfig struct {
 	Seed   int64
 	Trials int // per mode (default 8)
 	Alpha  float64
+	// Parallel is the trial worker count (0 = GOMAXPROCS); it never
+	// changes the result.
+	Parallel int
+	// Progress, when non-nil, is called after each completed trial.
+	Progress mc.Progress
 }
 
 func (c DetectorMatrixConfig) trials() int {
@@ -89,53 +95,73 @@ func (c DetectorMatrixConfig) alpha() float64 {
 func DetectorMatrix(cfg DetectorMatrixConfig) (*DetectorMatrixResult, error) {
 	alpha := cfg.alpha()
 	out := &DetectorMatrixResult{Alpha: alpha}
-	rng := rand.New(rand.NewSource(cfg.Seed + 8000))
-	for _, mode := range []AttackMode{PlainImperfect, PlainPerfect, StealthyPerfect, EvasiveImperfect} {
+	type matrixTrial struct {
+		feasible bool
+		oneShot  bool
+		cusum    bool
+	}
+	trialSeed := cfg.Seed + 8000
+	for m, mode := range []AttackMode{PlainImperfect, PlainPerfect, StealthyPerfect, EvasiveImperfect} {
+		m, mode := m, mode
+		results, err := mc.Run(cfg.trials(), mc.Options{Workers: cfg.Parallel, Progress: cfg.Progress},
+			func(trial int) (matrixTrial, error) {
+				env, err := NewFig1Env(cfg.Seed + int64(trial))
+				if err != nil {
+					return matrixTrial{}, err
+				}
+				sc := env.Scenario
+				victim := env.Topo.PaperLink[10]
+				switch mode {
+				case PlainPerfect:
+					victim = env.Topo.PaperLink[1]
+				case StealthyPerfect:
+					victim = env.Topo.PaperLink[1]
+					sc.Stealthy = true
+				case EvasiveImperfect:
+					sc.EvadeAlpha = 0.9 * alpha
+				}
+				res, err := core.ChosenVictim(sc, []graph.LinkID{victim})
+				if err != nil {
+					return matrixTrial{}, fmt.Errorf("experiment: matrix %v trial %d: %w", mode, trial, err)
+				}
+				if !res.Feasible {
+					return matrixTrial{}, nil
+				}
+				camp, err := campaign.Run(campaign.Config{
+					Sys: env.Sys, TrueX: sc.TrueX, Rounds: 12,
+					Jitter: 1, ProbesPerPath: 3,
+					RNG: rand.New(rand.NewSource(mc.Split(trialSeed, m*cfg.trials()+trial))),
+					Plan: &netsim.AttackPlan{
+						Attackers:  map[graph.NodeID]bool{env.Topo.B: true, env.Topo.C: true},
+						ExtraDelay: res.M,
+					},
+					AttackFrom: 0,
+					Alpha:      alpha,
+					Drift:      0.15 * alpha,
+					Ceiling:    2 * alpha,
+				})
+				if err != nil {
+					return matrixTrial{}, fmt.Errorf("experiment: matrix %v trial %d: %w", mode, trial, err)
+				}
+				return matrixTrial{
+					feasible: true,
+					oneShot:  camp.FirstOneShotAlarm >= 0,
+					cusum:    camp.FirstCusumAlarm >= 0,
+				}, nil
+			})
+		if err != nil {
+			return nil, err
+		}
 		cell := MatrixCell{Mode: mode, Trials: cfg.trials()}
-		for trial := 0; trial < cfg.trials(); trial++ {
-			env, err := NewFig1Env(cfg.Seed + int64(trial))
-			if err != nil {
-				return nil, err
-			}
-			sc := env.Scenario
-			victim := env.Topo.PaperLink[10]
-			switch mode {
-			case PlainPerfect:
-				victim = env.Topo.PaperLink[1]
-			case StealthyPerfect:
-				victim = env.Topo.PaperLink[1]
-				sc.Stealthy = true
-			case EvasiveImperfect:
-				sc.EvadeAlpha = 0.9 * alpha
-			}
-			res, err := core.ChosenVictim(sc, []graph.LinkID{victim})
-			if err != nil {
-				return nil, fmt.Errorf("experiment: matrix %v trial %d: %w", mode, trial, err)
-			}
-			if !res.Feasible {
+		for _, r := range results {
+			if !r.feasible {
 				continue
 			}
 			cell.Feasible++
-			camp, err := campaign.Run(campaign.Config{
-				Sys: env.Sys, TrueX: sc.TrueX, Rounds: 12,
-				Jitter: 1, ProbesPerPath: 3,
-				RNG: rand.New(rand.NewSource(rng.Int63())),
-				Plan: &netsim.AttackPlan{
-					Attackers:  map[graph.NodeID]bool{env.Topo.B: true, env.Topo.C: true},
-					ExtraDelay: res.M,
-				},
-				AttackFrom: 0,
-				Alpha:      alpha,
-				Drift:      0.15 * alpha,
-				Ceiling:    2 * alpha,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("experiment: matrix %v trial %d: %w", mode, trial, err)
-			}
-			if camp.FirstOneShotAlarm >= 0 {
+			if r.oneShot {
 				cell.OneShot++
 			}
-			if camp.FirstCusumAlarm >= 0 {
+			if r.cusum {
 				cell.Cusum++
 			}
 		}

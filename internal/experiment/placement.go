@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/mc"
 	"repro/internal/netsim"
 	"repro/internal/tomo"
 	"repro/internal/topo"
@@ -19,6 +20,11 @@ type PlacementStudyConfig struct {
 	// Trials is the number of random single-attacker max-damage
 	// attempts per selection policy (default 30).
 	Trials int
+	// Parallel is the trial worker count (0 = GOMAXPROCS); it never
+	// changes the result.
+	Parallel int
+	// Progress, when non-nil, is called after each completed trial.
+	Progress mc.Progress
 }
 
 func (c PlacementStudyConfig) trials() int {
@@ -110,21 +116,31 @@ func PlacementStudy(cfg PlacementStudyConfig) (*PlacementStudyResult, error) {
 			arm.MeanPresence = sum / float64(n)
 		}
 
-		trialRng := rand.New(rand.NewSource(cfg.Seed + 4100))
+		// Both arms split the same base seed, so the same attacker and
+		// delay draws hit the plain and secure selections alike.
+		trialSeed := cfg.Seed + 4100
+		feasible, err := mc.Run(cfg.trials(), mc.Options{Workers: cfg.Parallel, Progress: cfg.Progress},
+			func(trial int) (bool, error) {
+				rng := mc.RNG(trialSeed, trial)
+				attacker := pickRandomAttackers(g, 1, rng)
+				sc := &core.Scenario{
+					Sys:        sys,
+					Thresholds: tomo.DefaultThresholds(),
+					Attackers:  attacker,
+					TrueX:      netsim.RoutineDelays(g, rng),
+				}
+				res, err := core.MaxDamage(sc, core.MaxDamageOptions{MaxVictims: 1, FirstFeasible: true})
+				if err != nil {
+					return false, err
+				}
+				return res.Feasible, nil
+			})
+		if err != nil {
+			return nil, err
+		}
 		successes := 0
-		for trial := 0; trial < cfg.trials(); trial++ {
-			attacker := pickRandomAttackers(g, 1, trialRng)
-			sc := &core.Scenario{
-				Sys:        sys,
-				Thresholds: tomo.DefaultThresholds(),
-				Attackers:  attacker,
-				TrueX:      netsim.RoutineDelays(g, trialRng),
-			}
-			res, err := core.MaxDamage(sc, core.MaxDamageOptions{MaxVictims: 1, FirstFeasible: true})
-			if err != nil {
-				return nil, err
-			}
-			if res.Feasible {
+		for _, ok := range feasible {
+			if ok {
 				successes++
 			}
 		}

@@ -2,12 +2,12 @@ package experiment
 
 import (
 	"fmt"
-	"math/rand"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/detect"
 	"repro/internal/graph"
+	"repro/internal/mc"
 	"repro/internal/netsim"
 )
 
@@ -45,6 +45,11 @@ type RocStudyConfig struct {
 	// Alphas are the thresholds to sweep (default a decade around the
 	// noise floor).
 	Alphas []float64
+	// Parallel is the per-round worker count (0 = GOMAXPROCS); it never
+	// changes the result.
+	Parallel int
+	// Progress, when non-nil, is called after each completed round.
+	Progress mc.Progress
 }
 
 func (c RocStudyConfig) rounds() int {
@@ -94,36 +99,37 @@ func RocStudy(cfg RocStudyConfig) (*RocStudyResult, error) {
 		Attackers:  map[graph.NodeID]bool{env.Topo.B: true, env.Topo.C: true},
 		ExtraDelay: m,
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 9000))
-	simulate := func(p *netsim.AttackPlan) ([]float64, error) {
-		norms := make([]float64, 0, cfg.rounds())
-		det, err := detect.New(env.Sys, 1) // threshold irrelevant; we keep norms
-		if err != nil {
-			return nil, err
-		}
-		for k := 0; k < cfg.rounds(); k++ {
-			y, err := netsim.RunDelay(netsim.Config{
-				Graph: env.Topo.G, Paths: env.Sys.Paths(), LinkDelays: env.Scenario.TrueX,
-				Jitter: cfg.jitter(), ProbesPerPath: 3,
-				RNG:  rng,
-				Plan: p,
-			})
-			if err != nil {
-				return nil, err
-			}
-			rep, err := det.Inspect(y)
-			if err != nil {
-				return nil, err
-			}
-			norms = append(norms, rep.ResidualNorm)
-		}
-		return norms, nil
-	}
-	cleanNorms, err := simulate(nil)
+	det, err := detect.New(env.Sys, 1) // threshold irrelevant; we keep norms
 	if err != nil {
 		return nil, err
 	}
-	attackNorms, err := simulate(plan)
+	// Clean and attacked arms use disjoint halves of the split stream:
+	// round k of the attacked arm is trial rounds+k.
+	roundSeed := cfg.Seed + 9000
+	simulate := func(p *netsim.AttackPlan, arm int) ([]float64, error) {
+		return mc.Run(cfg.rounds(), mc.Options{Workers: cfg.Parallel, Progress: cfg.Progress},
+			func(k int) (float64, error) {
+				y, err := netsim.RunDelay(netsim.Config{
+					Graph: env.Topo.G, Paths: env.Sys.Paths(), LinkDelays: env.Scenario.TrueX,
+					Jitter: cfg.jitter(), ProbesPerPath: 3,
+					RNG:  mc.RNG(roundSeed, arm*cfg.rounds()+k),
+					Plan: p,
+				})
+				if err != nil {
+					return 0, err
+				}
+				rep, err := det.Inspect(y)
+				if err != nil {
+					return 0, err
+				}
+				return rep.ResidualNorm, nil
+			})
+	}
+	cleanNorms, err := simulate(nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	attackNorms, err := simulate(plan, 1)
 	if err != nil {
 		return nil, err
 	}

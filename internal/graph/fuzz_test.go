@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseEdgeList drives the edge-list reader with arbitrary input.
+// The parser must never panic, and any graph it accepts must survive a
+// write → reparse round trip with identical node and link counts and
+// the same adjacency.
+func FuzzParseEdgeList(f *testing.F) {
+	f.Add("a b\nb c\nc a\n")
+	f.Add("# comment\n\nu v\nv w\nu v\n")
+	f.Add("n0 n1")
+	f.Add("x x\n")
+	f.Add("one two three\n")
+	f.Add("#\n # indented comment is a 3-field line\na\tb\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<16 {
+			return
+		}
+		g, err := ParseEdgeList(strings.NewReader(input))
+		if err != nil {
+			return // malformed input is rejected, not parsed
+		}
+		if g.NumLinks() > 0 && g.NumNodes() < 2 {
+			t.Fatalf("%d links with %d nodes", g.NumLinks(), g.NumNodes())
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("write accepted graph: %v", err)
+		}
+		g2, err := ParseEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("reparse own output: %v\noutput:\n%s", err, buf.String())
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumLinks() != g.NumLinks() {
+			t.Fatalf("round trip changed size: %d/%d nodes, %d/%d links",
+				g.NumNodes(), g2.NumNodes(), g.NumLinks(), g2.NumLinks())
+		}
+		for _, l := range g.Links() {
+			an, err := g.NodeName(l.A)
+			if err != nil {
+				t.Fatalf("node name: %v", err)
+			}
+			bn, err := g.NodeName(l.B)
+			if err != nil {
+				t.Fatalf("node name: %v", err)
+			}
+			a2, ok := g2.NodeByName(an)
+			if !ok {
+				t.Fatalf("node %q lost in round trip", an)
+			}
+			b2, ok := g2.NodeByName(bn)
+			if !ok {
+				t.Fatalf("node %q lost in round trip", bn)
+			}
+			if _, ok := g2.LinkBetween(a2, b2); !ok {
+				t.Fatalf("link %q–%q lost in round trip", an, bn)
+			}
+		}
+	})
+}

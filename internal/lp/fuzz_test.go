@@ -1,0 +1,150 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// buildFuzzProblem decodes bytes into a small LP: the first byte fixes
+// the variable count (1–4) and sense, the rest stream in as objective
+// coefficients, optional upper bounds, and up to six constraints with
+// byte-decoded coefficients. Returns nil when the bytes run out before a
+// minimal problem forms.
+func buildFuzzProblem(data []byte) *Problem {
+	if len(data) < 3 {
+		return nil
+	}
+	pos := 0
+	next := func() (byte, bool) {
+		if pos >= len(data) {
+			return 0, false
+		}
+		b := data[pos]
+		pos++
+		return b, true
+	}
+	// Coefficients cover negatives, zeros, and fractional values.
+	coef := func(b byte) float64 { return float64(int8(b)) / 4 }
+
+	head, _ := next()
+	n := int(head&0x03) + 1
+	p := NewProblem(n)
+	if head&0x04 != 0 {
+		p.Minimize()
+	}
+	obj := make([]float64, n)
+	for j := range obj {
+		b, ok := next()
+		if !ok {
+			return nil
+		}
+		obj[j] = coef(b)
+	}
+	if err := p.SetObjective(obj); err != nil {
+		return nil
+	}
+	if head&0x08 != 0 {
+		for j := 0; j < n; j++ {
+			b, ok := next()
+			if !ok {
+				break
+			}
+			if b%3 == 0 {
+				continue // leave this variable unbounded above
+			}
+			if err := p.SetUpperBound(j, float64(b%32)); err != nil {
+				return nil
+			}
+		}
+	}
+	rels := []Relation{LE, GE, EQ}
+	for c := 0; c < 6; c++ {
+		rb, ok := next()
+		if !ok {
+			break
+		}
+		coeffs := make([]float64, n)
+		for j := range coeffs {
+			b, ok := next()
+			if !ok {
+				return p
+			}
+			coeffs[j] = coef(b)
+		}
+		rhsB, ok := next()
+		if !ok {
+			return p
+		}
+		if err := p.AddConstraint(coeffs, rels[int(rb)%len(rels)], coef(rhsB)); err != nil {
+			return nil
+		}
+	}
+	return p
+}
+
+// FuzzSolve drives the simplex solver with random small LPs. The solver
+// must never panic or loop forever, and any solution it labels Optimal
+// must actually be feasible (non-negativity, upper bounds, every
+// constraint) with the objective equal to c·x.
+func FuzzSolve(f *testing.F) {
+	f.Add([]byte{0x01, 0x04, 0xfc, 0x00, 0x04, 0xfc, 0x08})
+	f.Add([]byte{0x07, 0x10, 0xf0, 0x20, 0x01, 0x04, 0x04, 0x04, 0x10})
+	f.Add([]byte{0x0e, 0x08, 0x08, 0x08, 0x05, 0x07, 0x02, 0x01, 0x04, 0x00, 0x0c})
+	f.Add([]byte{0x00, 0xff, 0x02, 0x80, 0x7f, 0x00, 0x01, 0x01, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 256 {
+			return // keep each case tiny; size adds nothing here
+		}
+		p := buildFuzzProblem(data)
+		if p == nil {
+			return
+		}
+		sol, err := Solve(p)
+		if err != nil {
+			return // infeasible/unbounded/cycle-limit are all legitimate
+		}
+		if sol.Status != Optimal {
+			return
+		}
+		if len(sol.X) != p.NumVars() {
+			t.Fatalf("optimal solution has %d vars, problem has %d", len(sol.X), p.NumVars())
+		}
+		const tol = 1e-6
+		dot := 0.0
+		for j, x := range sol.X {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Fatalf("x[%d] = %v", j, x)
+			}
+			if x < -tol {
+				t.Fatalf("x[%d] = %g violates x ≥ 0", j, x)
+			}
+			if u, ok := p.UpperBound(j); ok && x > u+tol {
+				t.Fatalf("x[%d] = %g violates upper bound %g", j, x, u)
+			}
+			dot += p.ObjectiveCoeff(j) * x
+		}
+		if math.Abs(dot-sol.Objective) > tol*(1+math.Abs(dot)) {
+			t.Fatalf("objective %g but c·x = %g", sol.Objective, dot)
+		}
+		for i, con := range p.Constraints() {
+			lhs := 0.0
+			for j, a := range con.Coeffs {
+				lhs += a * sol.X[j]
+			}
+			switch con.Rel {
+			case LE:
+				if lhs > con.RHS+tol {
+					t.Fatalf("constraint %d: %g ≤ %g violated", i, lhs, con.RHS)
+				}
+			case GE:
+				if lhs < con.RHS-tol {
+					t.Fatalf("constraint %d: %g ≥ %g violated", i, lhs, con.RHS)
+				}
+			case EQ:
+				if math.Abs(lhs-con.RHS) > tol {
+					t.Fatalf("constraint %d: %g = %g violated", i, lhs, con.RHS)
+				}
+			}
+		}
+	})
+}

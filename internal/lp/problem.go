@@ -167,6 +167,21 @@ func (p *Problem) AddConstraint(coeffs []float64, rel Relation, rhs float64) err
 // bounds excluded).
 func (p *Problem) NumConstraints() int { return len(p.constraints) }
 
+// ObjectiveCoeff returns the objective coefficient of variable j.
+func (p *Problem) ObjectiveCoeff(j int) float64 { return p.objective[j] }
+
+// UpperBound returns variable j's upper bound; ok is false when the
+// variable is unbounded above.
+func (p *Problem) UpperBound(j int) (u float64, ok bool) {
+	u = p.upper[j]
+	return u, !math.IsInf(u, 1)
+}
+
+// Constraints returns the explicit constraint rows. The slice and its
+// coefficient vectors are shared, not copied — callers must not mutate
+// them.
+func (p *Problem) Constraints() []Constraint { return p.constraints }
+
 // Solution is the result of solving a Problem.
 type Solution struct {
 	// Status reports whether an optimum was found.

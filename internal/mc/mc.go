@@ -1,0 +1,128 @@
+// Package mc is the shared Monte Carlo trial engine behind every
+// experiment runner: it fans independent trials out over a bounded
+// worker pool while keeping results bit-identical to a sequential run.
+//
+// The determinism contract has two halves:
+//
+//  1. Seed splitting. A trial never reads a shared PRNG stream; it
+//     derives its own child PRNG from (base seed, trial index) via
+//     Split, so a trial's outcome is a pure function of (seed, trial)
+//     no matter which worker executes it or in which order.
+//  2. Ordered aggregation. Run returns results indexed by trial, and
+//     callers fold them in trial order, so aggregation never depends
+//     on completion order.
+//
+// Together these make the worker count a pure throughput knob: for a
+// fixed seed, Run with 1 worker and Run with N workers return deeply
+// equal results (asserted per runner in internal/experiment's
+// determinism tests).
+package mc
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Split derives the child seed for one trial from a base seed. It is a
+// SplitMix64-style finalizer over the (seed, trial) pair: child streams
+// for neighbouring trials and neighbouring base seeds are uncorrelated,
+// which plain seed+trial arithmetic does not give with math/rand's
+// lagged Fibonacci source.
+func Split(seed int64, trial int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(uint64(trial)+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// RNG returns the child PRNG for one trial of a base seed.
+func RNG(seed int64, trial int) *rand.Rand {
+	return rand.New(rand.NewSource(Split(seed, trial)))
+}
+
+// Progress receives (done, total) after each completed trial. Calls are
+// serialized by the engine, but arrive in completion order, not trial
+// order — progress displays only.
+type Progress func(done, total int)
+
+// Options configures one Run.
+type Options struct {
+	// Workers bounds trial concurrency; 0 or negative selects
+	// GOMAXPROCS. The worker count never changes Run's results.
+	Workers int
+	// Progress, when non-nil, is invoked after each completed trial.
+	Progress Progress
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes fn(0..n-1) over a bounded worker pool and returns the
+// per-trial results in trial order. fn must be safe for concurrent
+// calls and derive any randomness it needs from the trial index (RNG).
+//
+// Error semantics match a sequential loop that stops at the first
+// failure: when any trial fails, Run returns nil results and the error
+// of the lowest failing trial index. Trials are dispatched in index
+// order, so every trial below a failing one has already been dispatched
+// and is allowed to finish; trials above it may be skipped.
+func Run[T any](n int, opts Options, fn func(trial int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	workers := opts.workers()
+	if workers > n {
+		workers = n
+	}
+
+	trials := make(chan int)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	var wg sync.WaitGroup
+	var progressMu sync.Mutex
+	done := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range trials {
+				out[t], errs[t] = fn(t)
+				if errs[t] != nil {
+					stopOnce.Do(func() { close(stop) })
+				}
+				if opts.Progress != nil {
+					progressMu.Lock()
+					done++
+					opts.Progress(done, n)
+					progressMu.Unlock()
+				}
+			}
+		}()
+	}
+feed:
+	for t := 0; t < n; t++ {
+		select {
+		case trials <- t:
+		case <-stop:
+			break feed
+		}
+	}
+	close(trials)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,179 @@
+package mc
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSplitDistinctAcrossTrialsAndSeeds(t *testing.T) {
+	seen := make(map[int64]string)
+	for seed := int64(0); seed < 8; seed++ {
+		for trial := 0; trial < 256; trial++ {
+			s := Split(seed, trial)
+			key := fmt.Sprintf("seed %d trial %d", seed, trial)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("Split collision: %s and %s both give %d", prev, key, s)
+			}
+			seen[s] = key
+		}
+	}
+}
+
+func TestSplitIsPureFunction(t *testing.T) {
+	if Split(42, 7) != Split(42, 7) {
+		t.Error("Split not deterministic")
+	}
+	if Split(42, 7) == Split(42, 8) || Split(42, 7) == Split(43, 7) {
+		t.Error("Split ignores one of its inputs")
+	}
+}
+
+func TestRNGStreamsIndependent(t *testing.T) {
+	// Trial i's draws must not depend on whether trial i-1 drew anything:
+	// the whole point of splitting over sharing.
+	a := RNG(1, 5).Float64()
+	r := RNG(1, 4)
+	for i := 0; i < 100; i++ {
+		r.Float64()
+	}
+	b := RNG(1, 5).Float64()
+	if a != b {
+		t.Error("trial stream perturbed by sibling draws")
+	}
+}
+
+// runSum is a trial function whose per-trial output depends on the trial
+// PRNG; any ordering or sharing bug changes the results.
+func runSum(trial int) (float64, error) {
+	rng := RNG(99, trial)
+	s := 0.0
+	for i := 0; i < 50; i++ {
+		s += rng.Float64()
+	}
+	return s + float64(trial), nil
+}
+
+func TestRunWorkerCountInvariance(t *testing.T) {
+	want, err := Run(64, Options{Workers: 1}, runSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 64, 100} {
+		got, err := Run(64, Options{Workers: workers}, runSum)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("workers=%d: results differ from sequential", workers)
+		}
+	}
+}
+
+func TestRunDefaultWorkers(t *testing.T) {
+	if w := (Options{}).workers(); w != runtime.GOMAXPROCS(0) {
+		t.Errorf("default workers = %d, want GOMAXPROCS = %d", w, runtime.GOMAXPROCS(0))
+	}
+	if w := (Options{Workers: -3}).workers(); w != runtime.GOMAXPROCS(0) {
+		t.Errorf("negative workers = %d, want GOMAXPROCS", w)
+	}
+	got, err := Run(10, Options{}, runSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Errorf("len = %d", len(got))
+	}
+}
+
+func TestRunZeroTrials(t *testing.T) {
+	got, err := Run(0, Options{}, runSum)
+	if err != nil || got != nil {
+		t.Errorf("Run(0) = %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestRunLowestErrorWins(t *testing.T) {
+	errAt := func(bad ...int) func(int) (int, error) {
+		set := make(map[int]bool)
+		for _, b := range bad {
+			set[b] = true
+		}
+		return func(trial int) (int, error) {
+			if set[trial] {
+				return 0, fmt.Errorf("trial %d failed", trial)
+			}
+			return trial, nil
+		}
+	}
+	for _, workers := range []int{1, 4, 16} {
+		got, err := Run(32, Options{Workers: workers}, errAt(19, 7, 28))
+		if got != nil {
+			t.Errorf("workers=%d: partial results returned with error", workers)
+		}
+		if err == nil || err.Error() != "trial 7 failed" {
+			t.Errorf("workers=%d: err = %v, want lowest failing trial 7", workers, err)
+		}
+	}
+}
+
+func TestRunErrorStopsDispatch(t *testing.T) {
+	// After an early failure, far-later trials must not all run: the
+	// feeder stops. With 2 workers and an error at trial 0, the count of
+	// executed trials stays far below n.
+	var ran int64
+	_, err := Run(10_000, Options{Workers: 2}, func(trial int) (int, error) {
+		atomic.AddInt64(&ran, 1)
+		if trial == 0 {
+			return 0, errors.New("boom")
+		}
+		return trial, nil
+	})
+	if err == nil {
+		t.Fatal("no error surfaced")
+	}
+	if n := atomic.LoadInt64(&ran); n > 100 {
+		t.Errorf("%d trials ran after early failure", n)
+	}
+}
+
+func TestRunProgress(t *testing.T) {
+	var calls, lastDone, lastTotal int
+	_, err := Run(25, Options{Workers: 5, Progress: func(done, total int) {
+		calls++
+		lastDone, lastTotal = done, total
+	}}, runSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 25 {
+		t.Errorf("progress calls = %d, want 25", calls)
+	}
+	if lastDone != 25 || lastTotal != 25 {
+		t.Errorf("final progress = (%d, %d), want (25, 25)", lastDone, lastTotal)
+	}
+}
+
+// TestRunConcurrentStress exercises the pool under the race detector:
+// many trials, heavy worker oversubscription, shared read-only state.
+func TestRunConcurrentStress(t *testing.T) {
+	shared := make([]float64, 512)
+	for i := range shared {
+		shared[i] = float64(i) * 0.5
+	}
+	got, err := Run(512, Options{Workers: 32}, func(trial int) (float64, error) {
+		rng := RNG(7, trial)
+		return shared[trial] + rng.Float64(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v < shared[i] || v > shared[i]+1 {
+			t.Fatalf("trial %d result %g out of range", i, v)
+		}
+	}
+}
