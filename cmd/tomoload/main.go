@@ -1,0 +1,162 @@
+// Command tomoload is the deterministic, fault-injecting load generator
+// for tomographyd. It synthesizes measurement traffic under the paper's
+// scapegoating campaigns (clean, chosen-victim, stealthy, maxdamage,
+// obfuscate), optionally wraps the connection in a chaos transport
+// (latency, drops, truncation, resets), and replays a plan that is a
+// pure function of the seed: two runs with the same flags print the same
+// transcript digest.
+//
+// Usage:
+//
+//	tomoload [-addr URL] [-n 10000] [-duration 0] [-workers 8] [-rps 0]
+//	         [-seed 1] [-chaos latency=2ms,drop=0.01,...] [-scenarios all]
+//	         [-fault 0.05] [-verify]
+//
+// With no -addr, tomoload boots an in-process tomographyd (the e2e
+// harness) and tears it down after the run — a self-contained soak.
+// Against a remote daemon, scenario topologies are registered first
+// (an existing identical registration is tolerated). -verify scrapes
+// /metrics before and after the run and checks that the server's counter
+// deltas reconcile exactly with the client-side transcript; any mismatch
+// exits non-zero.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/e2e"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "", "daemon base URL (empty: boot an in-process harness)")
+	n := flag.Int("n", 10000, "total requests to issue")
+	duration := flag.Duration("duration", 0, "optional wall-clock cap (0 = run all -n requests)")
+	workers := flag.Int("workers", 8, "client concurrency")
+	rps := flag.Float64("rps", 0, "request rate limit (0 = unthrottled)")
+	seed := flag.Int64("seed", 1, "base seed; fixes the full request and fault plan")
+	chaosSpec := flag.String("chaos", "off", "fault spec: latency=2ms,jitter=1ms,drop=0.01,truncate=0.02,reset=0.005")
+	scenarioSpec := flag.String("scenarios", "all", "comma-separated campaign kinds: clean,chosen-victim,stealthy,maxdamage,obfuscate")
+	fault := flag.Float64("fault", 0.05, "fraction of deliberate client-fault ops (bad JSON, ghost topology, short y)")
+	verify := flag.Bool("verify", false, "reconcile server /metrics deltas against the transcript; exit 1 on mismatch")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, options{
+		addr: *addr, n: *n, duration: *duration, workers: *workers,
+		rps: *rps, seed: *seed, chaos: *chaosSpec, scenarios: *scenarioSpec,
+		fault: *fault, verify: *verify,
+	}, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "tomoload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	addr      string
+	n         int
+	duration  time.Duration
+	workers   int
+	rps       float64
+	seed      int64
+	chaos     string
+	scenarios string
+	fault     float64
+	verify    bool
+}
+
+// run executes one load campaign. Factored out of main so tests can
+// drive the full flag-to-summary path.
+func run(ctx context.Context, opt options, out io.Writer) error {
+	chaos, err := e2e.ParseChaosSpec(opt.chaos)
+	if err != nil {
+		return err
+	}
+	kinds, err := e2e.ParseKinds(opt.scenarios)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "tomoload: building %d scenario(s) (seed %d)\n", len(kinds), opt.seed)
+	scenarios, err := e2e.BuildScenarios(kinds, opt.seed)
+	if err != nil {
+		return err
+	}
+
+	base := opt.addr
+	if base == "" {
+		// Self-contained mode: a real tomographyd core over loopback,
+		// with the request deadline disabled so the transcript digest is
+		// deterministic (the pool queues instead of shedding).
+		h := e2e.NewHarness(serve.Config{RequestTimeout: -1})
+		defer h.Close()
+		base = h.URL()
+		fmt.Fprintf(out, "tomoload: in-process daemon at %s\n", base)
+	}
+
+	// Registration and metrics scrapes use a plain client: setup and
+	// verification must not be disturbed by chaos.
+	plain := e2e.NewClient(base, nil)
+	for _, sc := range scenarios {
+		tr, err := plain.Register(ctx, sc.Name, sc.Sys, 0)
+		if err != nil {
+			return err
+		}
+		switch {
+		case tr == nil:
+			fmt.Fprintf(out, "tomoload: %s already registered\n", sc.Name)
+		default:
+			fmt.Fprintf(out, "tomoload: registered %s (digest %.12s…, cached=%v)\n",
+				sc.Name, tr.Digest, tr.SolverCached)
+		}
+	}
+
+	var pre map[string]float64
+	if opt.verify {
+		if pre, err = plain.MetricsSnapshot(ctx); err != nil {
+			return fmt.Errorf("pre-run metrics scrape: %w", err)
+		}
+	}
+
+	fmt.Fprintf(out, "tomoload: issuing %d requests (workers %d, rps %g, chaos %s, fault %.2f)\n",
+		opt.n, opt.workers, opt.rps, chaos, opt.fault)
+	tr, err := e2e.RunLoad(ctx, e2e.LoadConfig{
+		BaseURL:   base,
+		Scenarios: scenarios,
+		Requests:  opt.n,
+		Duration:  opt.duration,
+		Workers:   opt.workers,
+		RPS:       opt.rps,
+		Seed:      opt.seed,
+		Chaos:     chaos,
+		FaultFrac: opt.fault,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, tr.Summary())
+	fmt.Fprintf(out, "transcript digest: %s\n", tr.Digest())
+
+	if opt.verify {
+		post, err := plain.MetricsSnapshot(ctx)
+		if err != nil {
+			return fmt.Errorf("post-run metrics scrape: %w", err)
+		}
+		if msgs := tr.Expected().ReconcileScrape(pre, post); len(msgs) != 0 {
+			for _, m := range msgs {
+				fmt.Fprintf(out, "verify: MISMATCH %s\n", m)
+			}
+			return fmt.Errorf("verification failed: %d counter mismatch(es)", len(msgs))
+		}
+		fmt.Fprintln(out, "verify: server metrics reconcile with the transcript")
+	}
+	return nil
+}

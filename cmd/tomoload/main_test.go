@@ -1,0 +1,66 @@
+package main
+
+import (
+	"context"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestRunSelfContainedVerifies drives the full CLI path: in-process
+// daemon, chaos enabled, verification on. The digest line must appear
+// and verification must pass.
+func TestRunSelfContainedVerifies(t *testing.T) {
+	var out strings.Builder
+	err := run(context.Background(), options{
+		n: 400, workers: 6, seed: 11,
+		chaos:     "drop=0.05,truncate=0.05,reset=0.02",
+		scenarios: "clean,chosen-victim,stealthy",
+		fault:     0.1, verify: true,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	text := out.String()
+	if !regexp.MustCompile(`transcript digest: [0-9a-f]{64}`).MatchString(text) {
+		t.Errorf("no digest line in output:\n%s", text)
+	}
+	if !strings.Contains(text, "verify: server metrics reconcile") {
+		t.Errorf("verification did not pass:\n%s", text)
+	}
+}
+
+// TestRunIsDeterministic runs the same flags twice against fresh
+// in-process daemons and compares the digest lines.
+func TestRunIsDeterministic(t *testing.T) {
+	digest := func() string {
+		var out strings.Builder
+		err := run(context.Background(), options{
+			n: 300, workers: 4, seed: 23,
+			chaos: "drop=0.03,truncate=0.04", scenarios: "clean,chosen-victim",
+			fault: 0.08,
+		}, &out)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		m := regexp.MustCompile(`transcript digest: ([0-9a-f]{64})`).FindStringSubmatch(out.String())
+		if m == nil {
+			t.Fatalf("no digest in output:\n%s", out.String())
+		}
+		return m[1]
+	}
+	if d1, d2 := digest(), digest(); d1 != d2 {
+		t.Errorf("same-flag runs diverge: %s vs %s", d1, d2)
+	}
+}
+
+// TestRunRejectsBadFlags pins the error paths for malformed specs.
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run(context.Background(), options{n: 10, chaos: "drop=7"}, &out); err == nil {
+		t.Error("bad chaos spec accepted")
+	}
+	if err := run(context.Background(), options{n: 10, scenarios: "bogus"}, &out); err == nil {
+		t.Error("bad scenario list accepted")
+	}
+}

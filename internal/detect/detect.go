@@ -64,7 +64,11 @@ func (d *Detector) Warm() error {
 
 // Report is the outcome of inspecting one measurement vector.
 type Report struct {
-	// Detected is true when the residual exceeds the threshold.
+	// Detected is true when the residual strictly exceeds the threshold:
+	// ‖R·x̂ − y'‖₁ > α. A residual exactly equal to α is classified
+	// clean — the boundary belongs to the attacker, matching Remark 4's
+	// framing where an evasive attacker may spend residual budget up to
+	// and including α without tripping the alarm.
 	Detected bool
 	// ResidualNorm is ‖R·x̂ − y'‖₁.
 	ResidualNorm float64

@@ -1,0 +1,183 @@
+package detect
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/la"
+	"repro/internal/netsim"
+	"repro/internal/tomo"
+	"repro/internal/topo"
+)
+
+func fig1System(t *testing.T) (*topo.Fig1Topology, *tomo.System) {
+	t.Helper()
+	f := topo.Fig1()
+	paths, rank, err := tomo.SelectPaths(f.G, f.Monitors, tomo.SelectOptions{Exhaustive: true, TargetPaths: 23})
+	if err != nil || rank != f.G.NumLinks() {
+		t.Fatalf("rank=%d err=%v", rank, err)
+	}
+	sys, err := tomo.NewSystem(f.G, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, sys
+}
+
+// TestZeroResidualNeverDetects feeds the detector perfectly consistent
+// measurements y = R·x: the residual is numerically zero and no finite
+// positive threshold can fire.
+func TestZeroResidualNeverDetects(t *testing.T) {
+	_, sys := fig1System(t)
+	x := netsim.RoutineDelays(sys.Graph(), rand.New(rand.NewSource(5)))
+	y, err := sys.Measure(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alpha := range []float64{1e-6, 1, DefaultAlpha} {
+		d, err := New(sys, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := d.Inspect(y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Detected {
+			t.Errorf("α=%g: consistent measurements detected (residual %g)", alpha, rep.ResidualNorm)
+		}
+		if rep.ResidualNorm > 1e-6 {
+			t.Errorf("α=%g: residual %g for y = R·x", alpha, rep.ResidualNorm)
+		}
+	}
+}
+
+// TestAllPathsInfectedStillDetected manipulates every measurement path
+// at once — the worst case short of a consistent construction. A uniform
+// shift of all 23 Fig. 1 paths does not lie in the column space of R, so
+// the residual survives and the detector fires: controlling every path
+// is NOT the same as a perfect cut.
+func TestAllPathsInfectedStillDetected(t *testing.T) {
+	_, sys := fig1System(t)
+	x := netsim.RoutineDelays(sys.Graph(), rand.New(rand.NewSource(6)))
+	y, err := sys.Measure(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yAtt := y.Clone()
+	for i := range yAtt {
+		yAtt[i] += 1000 // every path infected by the same 1000 ms
+	}
+	d, err := New(sys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Inspect(yAtt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ResidualNorm <= d.Alpha() {
+		t.Fatalf("uniform all-path manipulation left residual %g ≤ α=%g", rep.ResidualNorm, d.Alpha())
+	}
+	if !rep.Detected {
+		t.Error("all-path manipulation not detected")
+	}
+	if rep.Detected != (rep.ResidualNorm > d.Alpha()) {
+		t.Error("Detected inconsistent with the strict-inequality contract")
+	}
+}
+
+// TestSinglePathTopologyIsVacuous pins Theorem 3's degenerate case on
+// the smallest possible system: two monitors, one link, one path. R is
+// the 1×1 identity — square and invertible — so x̂ reproduces any y
+// exactly, the residual is identically zero, and the detector can never
+// fire no matter how large the manipulation. SquareR must flag this.
+func TestSinglePathTopologyIsVacuous(t *testing.T) {
+	g := graph.New()
+	a := g.AddNode("M1")
+	b := g.AddNode("M2")
+	l, err := g.AddLink(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := graph.Path{Nodes: []graph.NodeID{a, b}, Links: []graph.LinkID{l}}
+	sys, err := tomo.NewSystem(g, []graph.Path{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(sys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, y := range []la.Vector{{3}, {3000}, {3e6}} {
+		rep, err := d.Inspect(y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.SquareR {
+			t.Fatal("square 1×1 system not flagged SquareR")
+		}
+		if rep.Detected || rep.ResidualNorm > 1e-9 {
+			t.Errorf("y=%v: detected=%v residual=%g on an invertible system", y, rep.Detected, rep.ResidualNorm)
+		}
+		if rep.XHat[0] != y[0] {
+			t.Errorf("y=%v: x̂=%g, want exact reproduction", y, rep.XHat[0])
+		}
+	}
+}
+
+// TestAlphaBoundaryIsStrict pins the boundary semantics of Remark 4's
+// test: the alarm condition is the strict ‖R·x̂ − y'‖₁ > α, so a
+// residual exactly equal to the threshold is classified clean, and the
+// next float below the residual flips it to detected.
+func TestAlphaBoundaryIsStrict(t *testing.T) {
+	_, sys := fig1System(t)
+	x := netsim.RoutineDelays(sys.Graph(), rand.New(rand.NewSource(7)))
+	y, err := sys.Measure(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb one path to get a strictly positive residual norm.
+	yAtt := y.Clone()
+	yAtt[0] += 500
+	probe, err := New(sys, DefaultAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := probe.Inspect(yAtt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := rep.ResidualNorm
+	if norm <= 0 {
+		t.Fatalf("fixture produced a zero residual")
+	}
+
+	// α exactly at the residual: not detected (strict inequality).
+	atBoundary, err := New(sys, norm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = atBoundary.Inspect(yAtt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Detected {
+		t.Errorf("residual %g detected at α == residual; boundary must classify clean", norm)
+	}
+
+	// α one ulp below the residual: detected.
+	below, err := New(sys, math.Nextafter(norm, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = below.Inspect(yAtt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Detected {
+		t.Errorf("residual %g not detected at α one ulp below it", norm)
+	}
+}

@@ -1,0 +1,279 @@
+// Package e2e is the full-stack scenario harness for tomographyd: it
+// boots a real server over loopback, synthesizes measurement traffic
+// with internal/netsim under the attack campaigns of internal/core, and
+// drives it through the live HTTP path with a deterministic,
+// fault-injecting load generator.
+//
+// Determinism contract (mirrors internal/mc): every per-request decision
+// — operation, scenario, measurement rounds, chaos faults — is a pure
+// function of (base seed, request index) via mc.Split, and the
+// transcript is aggregated in request-index order. A fixed-seed run
+// therefore produces a byte-identical transcript digest no matter how
+// many workers execute it or how the scheduler interleaves them.
+package e2e
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Chaos fault sentinels, surfaced to callers reading through a chaotic
+// transport.
+var (
+	// ErrDropped marks a request the chaos layer never transmitted.
+	ErrDropped = errors.New("e2e: chaos dropped request")
+	// ErrReset marks a response body cut by a simulated connection reset.
+	ErrReset = errors.New("e2e: chaos reset connection")
+)
+
+// ChaosConfig parameterizes the fault-injecting transport. Zero value =
+// no faults. Probabilities are per request in [0, 1].
+type ChaosConfig struct {
+	// Latency is a fixed pre-send delay (a slow client).
+	Latency time.Duration
+	// Jitter adds a uniform [0, Jitter) delay on top of Latency.
+	Jitter time.Duration
+	// Drop is the probability the request is never sent (ErrDropped).
+	Drop float64
+	// Truncate is the probability the response body is cut short: reads
+	// hit a clean EOF after a deterministic byte budget.
+	Truncate float64
+	// Reset is the probability the response body fails mid-read with
+	// ErrReset (a torn connection rather than a clean EOF).
+	Reset float64
+	// Seed feeds the fallback PRNG used for requests that carry no
+	// per-request seed (see WithRequestSeed).
+	Seed int64
+}
+
+// Enabled reports whether any fault or delay is configured.
+func (c ChaosConfig) Enabled() bool {
+	return c.Latency > 0 || c.Jitter > 0 || c.Drop > 0 || c.Truncate > 0 || c.Reset > 0
+}
+
+// Validate rejects probabilities outside [0, 1] and negative delays.
+func (c ChaosConfig) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"drop", c.Drop}, {"truncate", c.Truncate}, {"reset", c.Reset}} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("e2e: chaos %s probability %g not in [0,1]", p.name, p.v)
+		}
+	}
+	if c.Latency < 0 || c.Jitter < 0 {
+		return fmt.Errorf("e2e: negative chaos latency")
+	}
+	return nil
+}
+
+// ParseChaosSpec parses the CLI form of a chaos configuration:
+// comma-separated key=value pairs, e.g.
+//
+//	latency=2ms,jitter=1ms,drop=0.01,truncate=0.02,reset=0.005
+//
+// The empty string and "off" mean no chaos.
+func ParseChaosSpec(spec string) (ChaosConfig, error) {
+	var cfg ChaosConfig
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "off" {
+		return cfg, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return cfg, fmt.Errorf("e2e: chaos spec %q: want key=value", part)
+		}
+		key, val := kv[0], kv[1]
+		switch key {
+		case "latency", "jitter":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return cfg, fmt.Errorf("e2e: chaos %s: %w", key, err)
+			}
+			if key == "latency" {
+				cfg.Latency = d
+			} else {
+				cfg.Jitter = d
+			}
+		case "drop", "truncate", "reset":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return cfg, fmt.Errorf("e2e: chaos %s: %w", key, err)
+			}
+			switch key {
+			case "drop":
+				cfg.Drop = p
+			case "truncate":
+				cfg.Truncate = p
+			case "reset":
+				cfg.Reset = p
+			}
+		default:
+			return cfg, fmt.Errorf("e2e: unknown chaos knob %q", key)
+		}
+	}
+	return cfg, cfg.Validate()
+}
+
+// String renders the config back into spec form (for logs and goldens).
+func (c ChaosConfig) String() string {
+	if !c.Enabled() {
+		return "off"
+	}
+	var parts []string
+	if c.Latency > 0 {
+		parts = append(parts, "latency="+c.Latency.String())
+	}
+	if c.Jitter > 0 {
+		parts = append(parts, "jitter="+c.Jitter.String())
+	}
+	if c.Drop > 0 {
+		parts = append(parts, fmt.Sprintf("drop=%g", c.Drop))
+	}
+	if c.Truncate > 0 {
+		parts = append(parts, fmt.Sprintf("truncate=%g", c.Truncate))
+	}
+	if c.Reset > 0 {
+		parts = append(parts, fmt.Sprintf("reset=%g", c.Reset))
+	}
+	return strings.Join(parts, ",")
+}
+
+type chaosSeedKey struct{}
+
+// WithRequestSeed pins the chaos decisions for one request to seed: a
+// Chaos transport seeing this context derives all its draws from it, so
+// the faults a request suffers are a pure function of the seed rather
+// than of scheduling order. The load generator seeds every request from
+// (base seed, request index); other clients may leave it unset and get
+// the transport's internal (locked, nondeterministic-order) stream.
+func WithRequestSeed(ctx context.Context, seed int64) context.Context {
+	return context.WithValue(ctx, chaosSeedKey{}, seed)
+}
+
+// Chaos is a composable fault-injecting http.RoundTripper: it wraps any
+// base transport with pre-send latency, request drops, and response-body
+// truncation/reset. Safe for concurrent use.
+type Chaos struct {
+	cfg  ChaosConfig
+	base http.RoundTripper
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewChaos wraps base (nil = http.DefaultTransport) with cfg.
+func NewChaos(cfg ChaosConfig, base http.RoundTripper) (*Chaos, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Chaos{cfg: cfg, base: base, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// Client returns an http.Client using this transport.
+func (c *Chaos) Client() *http.Client { return &http.Client{Transport: c} }
+
+// decisions is the full fault plan for one request, drawn up-front so
+// the draw sequence is fixed regardless of which faults are enabled.
+type decisions struct {
+	drop     bool
+	extraLat time.Duration
+	truncate bool
+	reset    bool
+	// cut is the response-body byte budget for truncate/reset: 1..256.
+	cut int
+}
+
+func (c *Chaos) plan(req *http.Request) decisions {
+	var draw func() float64
+	if seed, ok := req.Context().Value(chaosSeedKey{}).(int64); ok {
+		rng := rand.New(rand.NewSource(seed))
+		draw = rng.Float64
+	} else {
+		draw = func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return c.rng.Float64()
+		}
+	}
+	// Fixed draw order: drop, jitter, truncate, reset, cut.
+	var d decisions
+	d.drop = draw() < c.cfg.Drop
+	if c.cfg.Jitter > 0 {
+		d.extraLat = time.Duration(draw() * float64(c.cfg.Jitter))
+	} else {
+		_ = draw()
+	}
+	d.truncate = draw() < c.cfg.Truncate
+	d.reset = draw() < c.cfg.Reset
+	d.cut = 1 + int(draw()*255)
+	return d
+}
+
+// RoundTrip applies the request's fault plan around the base transport.
+func (c *Chaos) RoundTrip(req *http.Request) (*http.Response, error) {
+	d := c.plan(req)
+	if d.drop {
+		return nil, ErrDropped
+	}
+	if delay := c.cfg.Latency + d.extraLat; delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	resp, err := c.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case d.truncate:
+		resp.Body = &cutBody{rc: resp.Body, remain: d.cut, errAfter: io.EOF}
+	case d.reset:
+		resp.Body = &cutBody{rc: resp.Body, remain: d.cut, errAfter: ErrReset}
+	}
+	return resp, nil
+}
+
+// cutBody delivers at most remain bytes of the wrapped body, then
+// returns errAfter (io.EOF models truncation, ErrReset a torn
+// connection). Close always closes the real body so the connection is
+// torn down rather than reused in a half-read state.
+type cutBody struct {
+	rc       io.ReadCloser
+	remain   int
+	errAfter error
+}
+
+func (b *cutBody) Read(p []byte) (int, error) {
+	if b.remain <= 0 {
+		return 0, b.errAfter
+	}
+	if len(p) > b.remain {
+		p = p[:b.remain]
+	}
+	n, err := b.rc.Read(p)
+	b.remain -= n
+	if err != nil {
+		return n, err
+	}
+	if b.remain <= 0 && b.errAfter != io.EOF {
+		return n, b.errAfter
+	}
+	return n, nil
+}
+
+func (b *cutBody) Close() error { return b.rc.Close() }

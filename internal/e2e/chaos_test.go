@@ -1,0 +1,179 @@
+package e2e
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestParseChaosSpecRoundTrip(t *testing.T) {
+	cases := []string{
+		"off",
+		"latency=2ms,jitter=1ms,drop=0.01,truncate=0.02,reset=0.005",
+		"drop=0.5",
+		"latency=100ms",
+	}
+	for _, spec := range cases {
+		cfg, err := ParseChaosSpec(spec)
+		if err != nil {
+			t.Fatalf("parse %q: %v", spec, err)
+		}
+		again, err := ParseChaosSpec(cfg.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", cfg.String(), err)
+		}
+		if again != cfg {
+			t.Errorf("%q: round trip %+v != %+v", spec, again, cfg)
+		}
+	}
+	if cfg, err := ParseChaosSpec(""); err != nil || cfg.Enabled() {
+		t.Errorf("empty spec: cfg=%+v err=%v", cfg, err)
+	}
+	for _, bad := range []string{"drop=2", "drop=-0.1", "latency=fast", "nonsense=1", "drop"} {
+		if _, err := ParseChaosSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+// flatTransport answers every request with a fixed 200 body, counting
+// the requests that actually reach it.
+type flatTransport struct {
+	hits int
+	body string
+}
+
+func (f *flatTransport) RoundTrip(*http.Request) (*http.Response, error) {
+	f.hits++
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Body:       io.NopCloser(strings.NewReader(f.body)),
+		Header:     make(http.Header),
+	}, nil
+}
+
+// TestChaosSeededDecisionsAreDeterministic replays the same per-request
+// seeds through two independent Chaos transports and requires identical
+// fault patterns — the property the transcript digest rests on.
+func TestChaosSeededDecisionsAreDeterministic(t *testing.T) {
+	cfg := ChaosConfig{Drop: 0.4, Truncate: 0.3, Reset: 0.2}
+	run := func() []string {
+		ft := &flatTransport{body: strings.Repeat("x", 1000)}
+		ch, err := NewChaos(cfg, ft)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var outcomes []string
+		for i := 0; i < 200; i++ {
+			req, err := http.NewRequestWithContext(
+				WithRequestSeed(context.Background(), int64(i)), "GET", "http://x/", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := ch.RoundTrip(req)
+			switch {
+			case errors.Is(err, ErrDropped):
+				outcomes = append(outcomes, "drop")
+			case err != nil:
+				t.Fatalf("request %d: %v", i, err)
+			default:
+				raw, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				switch {
+				case errors.Is(rerr, ErrReset):
+					outcomes = append(outcomes, "reset")
+				case rerr != nil:
+					t.Fatalf("request %d read: %v", i, rerr)
+				case len(raw) < 1000:
+					outcomes = append(outcomes, "truncate")
+				default:
+					outcomes = append(outcomes, "clean")
+				}
+			}
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	counts := make(map[string]int)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d: %s vs %s", i, a[i], b[i])
+		}
+		counts[a[i]]++
+	}
+	for _, kind := range []string{"drop", "truncate", "reset", "clean"} {
+		if counts[kind] == 0 {
+			t.Errorf("outcome %q never occurred in 200 draws", kind)
+		}
+	}
+}
+
+// TestChaosTruncateDeliversPartialBody pins the truncation semantics: at
+// most 256 bytes arrive, then a clean EOF, so io.ReadAll succeeds with a
+// short body and only the JSON parse downstream fails.
+func TestChaosTruncateDeliversPartialBody(t *testing.T) {
+	ft := &flatTransport{body: strings.Repeat("y", 4096)}
+	ch, err := NewChaos(ChaosConfig{Truncate: 1}, ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequestWithContext(WithRequestSeed(context.Background(), 7), "GET", "http://x/", nil)
+	resp, err := ch.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("truncation must end in a clean EOF, got %v", err)
+	}
+	if len(raw) == 0 || len(raw) > 256 {
+		t.Errorf("truncated body is %d bytes, want 1..256", len(raw))
+	}
+}
+
+// TestChaosResetSurfacesErrReset pins the reset semantics: the body read
+// fails with ErrReset rather than a clean EOF.
+func TestChaosResetSurfacesErrReset(t *testing.T) {
+	ft := &flatTransport{body: strings.Repeat("z", 4096)}
+	ch, err := NewChaos(ChaosConfig{Reset: 1}, ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequestWithContext(WithRequestSeed(context.Background(), 7), "GET", "http://x/", nil)
+	resp, err := ch.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !errors.Is(err, ErrReset) {
+		t.Fatalf("read error = %v, want ErrReset", err)
+	}
+}
+
+// TestChaosOffIsTransparent routes through a real server with a zero
+// config and expects no interference.
+func TestChaosOffIsTransparent(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte("hello"))
+	}))
+	defer ts.Close()
+	ch, err := NewChaos(ChaosConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ch.Client().Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || string(raw) != "hello" {
+		t.Fatalf("body=%q err=%v", raw, err)
+	}
+}

@@ -1,0 +1,256 @@
+package e2e
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/graph"
+	"repro/internal/la"
+	"repro/internal/mc"
+	"repro/internal/netsim"
+	"repro/internal/tomo"
+	"repro/internal/topo"
+)
+
+// ScenarioKind names a traffic campaign against the Fig. 1 testbed.
+type ScenarioKind string
+
+// The five campaign kinds. "clean" sends unmanipulated routine traffic;
+// the others run one of the paper's attack strategies through the packet
+// simulator. "stealthy" is Theorem 1's consistent construction against a
+// perfectly cut victim (link 1), which Theorem 3 proves undetectable;
+// "chosen-victim" frames link 10, whose path M3–D–M2 is attacker-free,
+// so the plain attack leaves a residual the Eq. 23 detector sees.
+const (
+	KindClean        ScenarioKind = "clean"
+	KindChosenVictim ScenarioKind = "chosen-victim"
+	KindStealthy     ScenarioKind = "stealthy"
+	KindMaxDamage    ScenarioKind = "maxdamage"
+	KindObfuscate    ScenarioKind = "obfuscate"
+)
+
+// AllKinds lists every scenario kind in canonical order.
+func AllKinds() []ScenarioKind {
+	return []ScenarioKind{KindClean, KindChosenVictim, KindStealthy, KindMaxDamage, KindObfuscate}
+}
+
+// ParseKinds parses a comma-separated kind list ("" = all kinds).
+func ParseKinds(spec string) ([]ScenarioKind, error) {
+	if spec == "" || spec == "all" {
+		return AllKinds(), nil
+	}
+	known := make(map[ScenarioKind]bool)
+	for _, k := range AllKinds() {
+		known[k] = true
+	}
+	var out []ScenarioKind
+	for _, s := range splitCSV(spec) {
+		k := ScenarioKind(s)
+		if !known[k] {
+			return nil, fmt.Errorf("e2e: unknown scenario kind %q", s)
+		}
+		out = append(out, k)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("e2e: empty scenario list %q", spec)
+	}
+	return out, nil
+}
+
+// Traffic-synthesis parameters, matching the campaign package's fixtures:
+// ±1 ms Gaussian per-hop jitter, three probes per path per round. At
+// these settings clean Fig. 1 traffic never trips the default α = 200
+// detector, while a plain attack on an imperfect cut always does.
+const (
+	TrafficJitter = 1.0
+	TrafficProbes = 3
+)
+
+// maxFeasibilityDraws bounds the search for a routine-traffic draw on
+// which the requested attack strategy is feasible.
+const maxFeasibilityDraws = 32
+
+// Scenario is one runnable campaign: a Fig. 1 tomography system, a true
+// link-metric draw, the (possibly nil) attack plan, and a client-side
+// detector identical to the one the server builds at registration.
+type Scenario struct {
+	// Kind is the campaign kind this scenario was built for.
+	Kind ScenarioKind
+	// Name is the topology registration name ("fig1-" + kind).
+	Name string
+	// Sys is the Fig. 1 system with the 23 exhaustive paths (rank 10).
+	Sys *tomo.System
+	// TrueX is the routine per-link delay draw the campaign runs over.
+	TrueX la.Vector
+	// Plan is the attack (nil for the clean campaign).
+	Plan *netsim.AttackPlan
+	// Det mirrors the detector the server registers for this topology
+	// (default α), so verdicts can be precomputed client-side.
+	Det *detect.Detector
+	// Draw is the index of the routine-traffic draw used (the first one
+	// on which the strategy was feasible).
+	Draw int
+	// Damage is ‖m‖₁ of the solved attack (0 for clean).
+	Damage float64
+}
+
+// PerfectCut reports whether this scenario's attack is the consistent
+// perfect-cut construction, i.e. undetectable by Theorem 3.
+func (s *Scenario) PerfectCut() bool { return s.Kind == KindStealthy }
+
+// BuildScenario assembles the Fig. 1 campaign of the given kind. The
+// true link metrics are drawn with mc.RNG(seed, draw) for draw = 0, 1,
+// …: the first draw on which the strategy is feasible wins, so the
+// result is a pure function of (kind, seed). Clean always uses draw 0.
+func BuildScenario(kind ScenarioKind, seed int64) (*Scenario, error) {
+	f := topo.Fig1()
+	paths, rank, err := tomo.SelectPaths(f.G, f.Monitors, tomo.SelectOptions{Exhaustive: true, TargetPaths: 23})
+	if err != nil {
+		return nil, fmt.Errorf("e2e: select paths: %w", err)
+	}
+	if rank != f.G.NumLinks() {
+		return nil, fmt.Errorf("e2e: fig1 path set rank %d, want %d", rank, f.G.NumLinks())
+	}
+	sys, err := tomo.NewSystem(f.G, paths)
+	if err != nil {
+		return nil, fmt.Errorf("e2e: build system: %w", err)
+	}
+	det, err := detect.New(sys, 0)
+	if err != nil {
+		return nil, fmt.Errorf("e2e: build detector: %w", err)
+	}
+	base := &Scenario{
+		Kind: kind,
+		Name: "fig1-" + string(kind),
+		Sys:  sys,
+		Det:  det,
+	}
+
+	for draw := 0; draw < maxFeasibilityDraws; draw++ {
+		x := netsim.RoutineDelays(f.G, mc.RNG(seed, draw))
+		if kind == KindClean {
+			base.TrueX = x
+			base.Draw = draw
+			return base, nil
+		}
+		sc := &core.Scenario{
+			Sys:        sys,
+			Thresholds: tomo.DefaultThresholds(),
+			Attackers:  f.Attackers,
+			TrueX:      x,
+		}
+		var res *core.Result
+		switch kind {
+		case KindChosenVictim:
+			// Link 10 sits on the attacker-free path M3–D–M2: an
+			// imperfect cut, so the plain attack is detectable.
+			res, err = core.ChosenVictim(sc, []graph.LinkID{f.PaperLink[10]})
+		case KindStealthy:
+			// Link 1 is perfectly cut by {B, C}; the consistent
+			// construction (m = R·Δx̂) leaves a zero residual.
+			sc.Stealthy = true
+			res, err = core.ChosenVictim(sc, []graph.LinkID{f.PaperLink[1]})
+		case KindMaxDamage:
+			res, err = core.MaxDamage(sc, core.MaxDamageOptions{FirstFeasible: true})
+		case KindObfuscate:
+			res, err = core.Obfuscate(sc, core.ObfuscationOptions{})
+		default:
+			return nil, fmt.Errorf("e2e: unknown scenario kind %q", kind)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("e2e: %s strategy: %w", kind, err)
+		}
+		if !res.Feasible {
+			continue
+		}
+		base.TrueX = x
+		base.Draw = draw
+		base.Plan = attackPlan(f, sys, res.M)
+		base.Damage = res.Damage
+		return base, nil
+	}
+	return nil, fmt.Errorf("e2e: %s infeasible on %d routine-traffic draws (seed %d)",
+		kind, maxFeasibilityDraws, seed)
+}
+
+// BuildScenarios builds one scenario per kind over a shared seed.
+func BuildScenarios(kinds []ScenarioKind, seed int64) ([]*Scenario, error) {
+	out := make([]*Scenario, 0, len(kinds))
+	for _, k := range kinds {
+		sc, err := BuildScenario(k, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sc)
+	}
+	return out, nil
+}
+
+// attackPlan converts a strategy solution into a simulator plan. LP
+// solutions carry ~1e-13 residue on paths the attackers do not sit on;
+// netsim rejects any positive manipulation there (Constraint 1 is
+// enforced operationally), so sub-nanosecond entries and attacker-free
+// paths are clamped to exactly zero.
+func attackPlan(f *topo.Fig1Topology, sys *tomo.System, m la.Vector) *netsim.AttackPlan {
+	attackers := map[graph.NodeID]bool{f.B: true, f.C: true}
+	clamped := make(la.Vector, len(m))
+	for i, v := range m {
+		if v < 1e-9 || !sys.Paths()[i].HasAnyNode(attackers) {
+			continue
+		}
+		clamped[i] = v
+	}
+	return &netsim.AttackPlan{Attackers: attackers, ExtraDelay: clamped}
+}
+
+// Round is one synthesized measurement round plus the verdict an
+// identically configured detector reaches on it. The server must agree:
+// the same y roundtrips the wire exactly (JSON float64 encoding is
+// lossless) and the server runs the same Inspect code.
+type Round struct {
+	// Y is the per-path measurement vector y' the monitors observe.
+	Y la.Vector
+	// Detected is the precomputed Eq. 23 verdict at the default α.
+	Detected bool
+	// ResidualNorm is the precomputed ‖R·x̂ − y'‖₁.
+	ResidualNorm float64
+}
+
+// GenRounds synthesizes n measurement rounds through the packet
+// simulator; round r draws its jitter from mc.RNG(seed, r), so the
+// traffic is a pure function of (scenario, seed, r).
+func (s *Scenario) GenRounds(seed int64, n int) ([]Round, error) {
+	out := make([]Round, n)
+	for r := 0; r < n; r++ {
+		y, err := netsim.RunDelay(netsim.Config{
+			Graph:         s.Sys.Graph(),
+			Paths:         s.Sys.Paths(),
+			LinkDelays:    s.TrueX,
+			Jitter:        TrafficJitter,
+			ProbesPerPath: TrafficProbes,
+			RNG:           mc.RNG(seed, r),
+			Plan:          s.Plan,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("e2e: %s round %d: %w", s.Name, r, err)
+		}
+		rep, err := s.Det.Inspect(y)
+		if err != nil {
+			return nil, fmt.Errorf("e2e: %s round %d inspect: %w", s.Name, r, err)
+		}
+		out[r] = Round{Y: y, Detected: rep.Detected, ResidualNorm: rep.ResidualNorm}
+	}
+	return out, nil
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

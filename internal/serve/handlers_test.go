@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestRouteStatusAndHeaders pins status code and Content-Type for every
+// route, including method mismatches and unknown paths. The JSON routes
+// must answer application/json on success AND on error; /metrics must
+// answer the Prometheus text content type.
+func TestRouteStatusAndHeaders(t *testing.T) {
+	edges, paths, _, sys := fig1Wire(t)
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if resp, raw := postJSON(t, ts, "/v1/topologies", TopologyRequest{Name: "fig1", Edges: edges, Paths: paths}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %d %s", resp.StatusCode, raw)
+	}
+	validRounds, err := json.Marshal(RoundsRequest{Topology: "fig1", Y: make([]float64, sys.NumPaths())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerAgain, err := json.Marshal(TopologyRequest{Name: "fig1-alias", Edges: edges, Paths: paths})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name        string
+		method      string
+		path        string
+		body        []byte
+		wantStatus  int
+		wantCT      string // Content-Type prefix
+		wantAllowed bool   // 405 responses must carry an Allow header
+	}{
+		{"topologies POST", "POST", "/v1/topologies", registerAgain, http.StatusCreated, "application/json", false},
+		{"topologies GET is 405", "GET", "/v1/topologies", nil, http.StatusMethodNotAllowed, "", true},
+		{"estimate POST", "POST", "/v1/estimate", validRounds, http.StatusOK, "application/json", false},
+		{"estimate GET is 405", "GET", "/v1/estimate", nil, http.StatusMethodNotAllowed, "", true},
+		{"estimate DELETE is 405", "DELETE", "/v1/estimate", nil, http.StatusMethodNotAllowed, "", true},
+		{"inspect POST", "POST", "/v1/inspect", validRounds, http.StatusOK, "application/json", false},
+		{"inspect GET is 405", "GET", "/v1/inspect", nil, http.StatusMethodNotAllowed, "", true},
+		{"healthz GET", "GET", "/healthz", nil, http.StatusOK, "application/json", false},
+		{"healthz POST is 405", "POST", "/healthz", []byte("{}"), http.StatusMethodNotAllowed, "", true},
+		{"metrics GET", "GET", "/metrics", nil, http.StatusOK, "text/plain; version=0.0.4", false},
+		{"metrics POST is 405", "POST", "/metrics", []byte("{}"), http.StatusMethodNotAllowed, "", true},
+		{"evict DELETE", "DELETE", "/v1/topologies/fig1-alias", nil, http.StatusOK, "application/json", false},
+		{"evict missing is 404", "DELETE", "/v1/topologies/ghost", nil, http.StatusNotFound, "application/json", false},
+		{"evict GET is 405", "GET", "/v1/topologies/fig1", nil, http.StatusMethodNotAllowed, "", true},
+		{"unknown path is 404", "GET", "/v1/nope", nil, http.StatusNotFound, "", false},
+		{"error body is JSON", "POST", "/v1/estimate", []byte("{broken"), http.StatusBadRequest, "application/json", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, bytes.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.body != nil {
+				req.Header.Set("Content-Type", "application/json")
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status = %d, want %d (body %s)", resp.StatusCode, tc.wantStatus, body)
+			}
+			if tc.wantCT != "" && !strings.HasPrefix(resp.Header.Get("Content-Type"), tc.wantCT) {
+				t.Errorf("Content-Type = %q, want prefix %q", resp.Header.Get("Content-Type"), tc.wantCT)
+			}
+			if tc.wantAllowed && resp.Header.Get("Allow") == "" {
+				t.Errorf("405 without an Allow header")
+			}
+		})
+	}
+}
+
+// TestOversizedBody413 exercises the request-size limit on both
+// announcement paths: a declared Content-Length over the limit and a
+// body that overruns the limit while being read.
+func TestOversizedBody413(t *testing.T) {
+	edges, paths, _, _ := fig1Wire(t)
+	srv := New(Config{MaxBodyBytes: 512})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	big, err := json.Marshal(TopologyRequest{Name: "big", Edges: edges, Paths: paths})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(big) <= 512 {
+		t.Fatalf("fixture body only %d bytes; raise the payload", len(big))
+	}
+
+	t.Run("content-length over limit", func(t *testing.T) {
+		resp, raw := postJSON(t, ts, "/v1/topologies", TopologyRequest{Name: "big", Edges: edges, Paths: paths})
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("status = %d (%s), want 413", resp.StatusCode, raw)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Errorf("Content-Type = %q", ct)
+		}
+		var er errorResponse
+		decodeInto(t, raw, &er)
+		if !strings.Contains(er.Error, "too large") {
+			t.Errorf("error %q does not mention the size limit", er.Error)
+		}
+	})
+
+	t.Run("chunked body over limit", func(t *testing.T) {
+		// No Content-Length: the limit must trip inside the JSON decode.
+		req, err := http.NewRequest("POST", ts.URL+"/v1/topologies", io.NopCloser(bytes.NewReader(big)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.ContentLength = -1
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("status = %d (%s), want 413", resp.StatusCode, body)
+		}
+	})
+
+	if got := srv.Metrics().ReqErrors.Load(); got != 2 {
+		t.Errorf("ReqErrors = %d, want 2", got)
+	}
+}
+
+// TestEvictLifecycleOverHTTP walks register → estimate → evict → 404 →
+// re-register, asserting the solver cache stays warm across the evict.
+func TestEvictLifecycleOverHTTP(t *testing.T) {
+	edges, paths, _, sys := fig1Wire(t)
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if resp, raw := postJSON(t, ts, "/v1/topologies", TopologyRequest{Name: "fig1", Edges: edges, Paths: paths}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %d %s", resp.StatusCode, raw)
+	}
+	y := make([]float64, sys.NumPaths())
+	if resp, raw := postJSON(t, ts, "/v1/estimate", RoundsRequest{Topology: "fig1", Y: y}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("estimate: %d %s", resp.StatusCode, raw)
+	}
+
+	req, err := http.NewRequest("DELETE", ts.URL+"/v1/topologies/fig1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evict: %d %s", resp.StatusCode, raw)
+	}
+	var ev EvictResponse
+	decodeInto(t, raw, &ev)
+	if ev.Name != "fig1" || ev.Digest != sys.Digest() {
+		t.Errorf("evict response = %+v", ev)
+	}
+
+	if resp, _ := postJSON(t, ts, "/v1/estimate", RoundsRequest{Topology: "fig1", Y: y}); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("estimate after evict: %d, want 404", resp.StatusCode)
+	}
+	// Re-registering the identical configuration hits the solver cache.
+	resp2, raw2 := postJSON(t, ts, "/v1/topologies", TopologyRequest{Name: "fig1", Edges: edges, Paths: paths})
+	if resp2.StatusCode != http.StatusCreated {
+		t.Fatalf("re-register: %d %s", resp2.StatusCode, raw2)
+	}
+	var tr TopologyResponse
+	decodeInto(t, raw2, &tr)
+	if !tr.SolverCached {
+		t.Errorf("re-registration after evict missed the solver cache")
+	}
+	if got := srv.Metrics().Evictions.Load(); got != 1 {
+		t.Errorf("Evictions = %d, want 1", got)
+	}
+	if got := srv.Metrics().ReqEvict.Load(); got != 1 {
+		t.Errorf("ReqEvict = %d, want 1", got)
+	}
+
+	text := metricsText(t, ts)
+	for _, want := range []string{
+		`tomographyd_requests_total{route="evict"} 1`,
+		"tomographyd_evictions_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func metricsText(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}

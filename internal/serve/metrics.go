@@ -22,10 +22,13 @@ const numLatencyBuckets = 7
 // is shared by every handler goroutine.
 type Metrics struct {
 	ReqTopologies atomic.Int64 // POST /v1/topologies requests
+	ReqEvict      atomic.Int64 // DELETE /v1/topologies/{name} requests
 	ReqEstimate   atomic.Int64 // POST /v1/estimate requests
 	ReqInspect    atomic.Int64 // POST /v1/inspect requests
 	ReqErrors     atomic.Int64 // requests answered with a 4xx/5xx
 	ReqRejected   atomic.Int64 // requests shed by the worker pool
+
+	Evictions atomic.Int64 // topologies actually removed (evict 200s)
 
 	EstimateRounds atomic.Int64 // measurement rounds estimated
 	InspectRounds  atomic.Int64 // measurement rounds inspected
@@ -64,7 +67,9 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "tomographyd_requests_total{route=%q} %d\n", "topologies", m.ReqTopologies.Load())
 	fmt.Fprintf(w, "tomographyd_requests_total{route=%q} %d\n", "estimate", m.ReqEstimate.Load())
 	fmt.Fprintf(w, "tomographyd_requests_total{route=%q} %d\n", "inspect", m.ReqInspect.Load())
+	fmt.Fprintf(w, "tomographyd_requests_total{route=%q} %d\n", "evict", m.ReqEvict.Load())
 	counter("tomographyd_request_errors_total", "Requests answered with an error status.", m.ReqErrors.Load())
+	counter("tomographyd_evictions_total", "Topologies removed via DELETE.", m.Evictions.Load())
 	counter("tomographyd_requests_rejected_total", "Requests shed by the worker pool (timeout or shutdown).", m.ReqRejected.Load())
 	counter("tomographyd_estimate_rounds_total", "Measurement rounds estimated.", m.EstimateRounds.Load())
 	counter("tomographyd_inspect_rounds_total", "Measurement rounds inspected.", m.InspectRounds.Load())

@@ -17,6 +17,7 @@ var (
 	ErrNotFound   = errors.New("serve: topology not registered")
 	ErrBadRequest = errors.New("serve: bad request")
 	ErrConflict   = errors.New("serve: topology name already registered")
+	ErrTooLarge   = errors.New("serve: request body too large")
 )
 
 // Entry is one registered measurement configuration: a tomography system
@@ -185,6 +186,23 @@ func (r *Registry) Register(name string, edges [][]string, paths [][]string, alp
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	return r.RegisterSystem(name, sys, alpha)
+}
+
+// Evict removes the entry registered under name and returns it, or
+// ErrNotFound. Entries are immutable and shared, so handlers holding the
+// entry keep serving their in-flight requests; only new lookups miss.
+// The solver cache deliberately keeps the factorization: it is keyed by
+// the routing-matrix digest, not the name, so a re-registration of the
+// same configuration stays warm and a different one can never alias it.
+func (r *Registry) Evict(name string) (*Entry, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	delete(r.entries, name)
+	return e, nil
 }
 
 // Get returns the entry registered under name.

@@ -94,6 +94,7 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/topologies", s.handleTopologies)
+	mux.HandleFunc("DELETE /v1/topologies/{name}", s.handleEvict)
 	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
 	mux.HandleFunc("POST /v1/inspect", s.handleInspect)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -125,6 +126,12 @@ type TopologyResponse struct {
 	Identifiable bool    `json:"identifiable"`
 	Alpha        float64 `json:"alpha"`
 	SolverCached bool    `json:"solverCached"`
+}
+
+// EvictResponse is the body of a successful DELETE /v1/topologies/{name}.
+type EvictResponse struct {
+	Name   string `json:"name"`
+	Digest string `json:"digest"`
 }
 
 // RoundsRequest is the shared body of POST /v1/estimate and
@@ -225,6 +232,17 @@ func (s *Server) handleTopologies(w http.ResponseWriter, req *http.Request) {
 		Alpha:        entry.Det.Alpha(),
 		SolverCached: entry.CacheHit,
 	})
+}
+
+func (s *Server) handleEvict(w http.ResponseWriter, req *http.Request) {
+	s.metrics.ReqEvict.Add(1)
+	entry, err := s.reg.Evict(req.PathValue("name"))
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.metrics.Evictions.Add(1)
+	s.writeJSON(w, http.StatusOK, EvictResponse{Name: entry.Name, Digest: entry.Digest})
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, req *http.Request) {
@@ -361,10 +379,19 @@ func (s *Server) requestContext(req *http.Request) (context.Context, context.Can
 }
 
 func (s *Server) decode(w http.ResponseWriter, req *http.Request, into any) bool {
+	if req.ContentLength > s.maxBody {
+		s.fail(w, fmt.Errorf("%w: body is %d bytes, limit %d", ErrTooLarge, req.ContentLength, s.maxBody))
+		return false
+	}
 	req.Body = http.MaxBytesReader(w, req.Body, s.maxBody)
 	dec := json.NewDecoder(req.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.fail(w, fmt.Errorf("%w: body exceeds %d bytes", ErrTooLarge, mbe.Limit))
+			return false
+		}
 		s.fail(w, fmt.Errorf("%w: invalid JSON body: %v", ErrBadRequest, err))
 		return false
 	}
@@ -381,6 +408,8 @@ func (s *Server) fail(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	case errors.Is(err, ErrConflict):
 		status = http.StatusConflict
+	case errors.Is(err, ErrTooLarge):
+		status = http.StatusRequestEntityTooLarge
 	case errors.Is(err, tomo.ErrNotIdentifiable):
 		status = http.StatusUnprocessableEntity
 	case errors.Is(err, ErrSaturated):

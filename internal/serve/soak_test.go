@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/la"
+	"repro/internal/tomo"
+)
+
+// TestRegistrySoakConcurrentRegisterEstimateEvict hammers one Registry
+// with register/estimate/evict from 16 goroutines and reconciles the
+// final metrics against client-side tallies. The short mode stays around
+// a couple of seconds; the long mode (go test without -short) multiplies
+// the iteration count. Run under -race this is the registry's core
+// concurrency contract: entries are immutable, lookups never observe a
+// half-built entry, and eviction never corrupts a concurrent estimate.
+func TestRegistrySoakConcurrentRegisterEstimateEvict(t *testing.T) {
+	_, _, _, sys := fig1Wire(t)
+	m := &Metrics{}
+	reg := NewRegistry(m)
+
+	// Phase 0: warm the solver cache once so the concurrent phase has an
+	// exact expectation (every later registration of the same R digest
+	// must hit; concurrent first-misses would make the split racy).
+	warm, err := tomo.NewSystem(sys.Graph(), sys.Paths())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.RegisterSystem("warm", warm, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Evict("warm"); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 16
+	iters := 2000 // must stay divisible by 4: the op mix cycles i % 4
+	if testing.Short() {
+		iters = 248
+	}
+
+	y := make(la.Vector, sys.NumPaths())
+	for i := range y {
+		y[i] = float64(1 + i)
+	}
+	var (
+		privateOK           atomic.Int64
+		hotOK, hotConflict  atomic.Int64
+		evictOK, evictMiss  atomic.Int64
+		estimates, misses   atomic.Int64
+		cacheHitRegistered  atomic.Int64
+		cacheMissRegistered atomic.Int64
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch i % 4 {
+				case 0: // private name: register must succeed exactly once
+					s2, err := tomo.NewSystem(sys.Graph(), sys.Paths())
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					name := fmt.Sprintf("g%d-i%d", w, i)
+					e, err := reg.RegisterSystem(name, s2, 0)
+					if err != nil {
+						t.Errorf("register %s: %v", name, err)
+						return
+					}
+					privateOK.Add(1)
+					if e.CacheHit {
+						cacheHitRegistered.Add(1)
+					} else {
+						cacheMissRegistered.Add(1)
+					}
+				case 1: // contended name: conflict is a normal outcome
+					s2, err := tomo.NewSystem(sys.Graph(), sys.Paths())
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					e, err := reg.RegisterSystem("hot", s2, 0)
+					switch {
+					case err == nil:
+						hotOK.Add(1)
+						if e.CacheHit {
+							cacheHitRegistered.Add(1)
+						} else {
+							cacheMissRegistered.Add(1)
+						}
+					default:
+						hotConflict.Add(1)
+					}
+				case 2: // estimate through whatever entry is visible
+					e, err := reg.Get("hot")
+					if err != nil {
+						misses.Add(1)
+						continue
+					}
+					xhat, err := e.Sys.Estimate(y)
+					if err != nil || len(xhat) != sys.NumLinks() {
+						t.Errorf("estimate via entry: %v", err)
+						return
+					}
+					estimates.Add(1)
+				case 3: // evict the contended name
+					if _, err := reg.Evict("hot"); err == nil {
+						evictOK.Add(1)
+					} else {
+						evictMiss.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Deep reconciliation: every counter has an exact client-side twin.
+	perOp := int64(workers * iters / 4)
+	if got := privateOK.Load(); got != perOp {
+		t.Errorf("private registers %d != attempts %d", got, perOp)
+	}
+	if got := hotOK.Load() + hotConflict.Load(); got != perOp {
+		t.Errorf("hot registers %d != attempts %d", got, perOp)
+	}
+	if got := evictOK.Load() + evictMiss.Load(); got != perOp {
+		t.Errorf("evictions %d != attempts %d", got, perOp)
+	}
+	// The warm-up guaranteed a cached factor, so every concurrent
+	// registration must have hit the cache.
+	if cacheMissRegistered.Load() != 0 {
+		t.Errorf("%d registrations missed a warm cache", cacheMissRegistered.Load())
+	}
+	if got := cacheHitRegistered.Load(); got != privateOK.Load()+hotOK.Load() {
+		t.Errorf("successful registrations with cache hit = %d, want %d", got, privateOK.Load()+hotOK.Load())
+	}
+	// RegisterSystem adopts the solver cache before the name-conflict
+	// check, so every attempt — including hot-name conflicts — counts one
+	// cache hit in the metrics.
+	wantHits := privateOK.Load() + hotOK.Load() + hotConflict.Load()
+	if got := m.CacheHits.Load(); got != wantHits {
+		t.Errorf("metrics CacheHits = %d, want %d", got, wantHits)
+	}
+	if got := m.CacheMisses.Load(); got != 1 {
+		t.Errorf("metrics CacheMisses = %d, want 1 (warm-up only)", got)
+	}
+	// Registry size: all private names survive; "hot" survives iff the
+	// last interleaved op on it was a successful register.
+	hotAlive := int64(0)
+	if _, err := reg.Get("hot"); err == nil {
+		hotAlive = 1
+	}
+	wantLen := int(privateOK.Load() + hotAlive)
+	if got := reg.Len(); got != wantLen {
+		t.Errorf("registry Len = %d, want %d", got, wantLen)
+	}
+	// Successful hot registers exceed successful evicts by exactly
+	// hotAlive: every evict removed one earlier successful register.
+	if got := hotOK.Load() - evictOK.Load(); got != hotAlive {
+		t.Errorf("hot register/evict imbalance: %d, want %d", got, hotAlive)
+	}
+	if estimates.Load()+misses.Load() != perOp {
+		t.Errorf("estimate ops %d != attempts %d", estimates.Load()+misses.Load(), perOp)
+	}
+}

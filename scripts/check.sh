@@ -18,6 +18,10 @@ go build ./...
 go vet ./...
 go test -race ./...
 
+# Fast full-stack smoke: Theorem 3 over live HTTP, chaos reconciliation,
+# eviction churn, and cancellation — the short-mode e2e contract.
+go test -short -race -run Smoke ./internal/e2e
+
 go test -run='^$' -fuzz=FuzzSolve -fuzztime=10s ./internal/lp
 go test -run='^$' -fuzz=FuzzParseEdgeList -fuzztime=10s ./internal/graph
 
