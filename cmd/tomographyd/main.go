@@ -6,6 +6,13 @@
 // Usage:
 //
 //	tomographyd [-addr :8723] [-workers N] [-timeout 5s] [-preload fig1|abilene|isp|wireless] [-seed S] [-alpha A]
+//	            [-log-level info] [-log-json] [-trace-cap N]
+//
+// Observability: structured logs (log/slog) go to stdout, one line per
+// API request with a request ID; Prometheus metrics (request counters,
+// per-stage latency histograms, runtime gauges) are served on /metrics;
+// the last -trace-cap completed request traces are served as JSON on
+// /debug/traces; pprof profiles live under /debug/pprof/.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // finish (bounded by -timeout), new connections are refused.
@@ -17,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net"
 	"net/http"
@@ -26,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -36,12 +45,27 @@ func main() {
 	preload := flag.String("preload", "", "register a built-in topology at startup: fig1, abilene, isp, wireless")
 	seed := flag.Int64("seed", 1, "RNG seed for -preload path selection")
 	alpha := flag.Float64("alpha", 0, "detection threshold for the preloaded topology (0 = paper default)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
+	traceCap := flag.Int("trace-cap", obs.DefaultTraceCapacity, "completed request traces retained for /debug/traces")
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tomographyd: %v\n", err)
+		os.Exit(2)
+	}
+	cfg := serve.Config{
+		Workers:        *workers,
+		RequestTimeout: *timeout,
+		Logger:         obs.NewLogger(os.Stdout, level, *logJSON),
+		TraceCapacity:  *traceCap,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if err := run(ctx, *addr, serve.Config{Workers: *workers, RequestTimeout: *timeout}, *preload, *seed, *alpha, os.Stdout); err != nil {
+	if err := run(ctx, *addr, cfg, *preload, *seed, *alpha, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "tomographyd: %v\n", err)
 		os.Exit(1)
 	}
@@ -49,21 +73,26 @@ func main() {
 
 // run starts the daemon on addr and blocks until ctx is cancelled (or
 // the listener fails), then shuts down gracefully. Factored out of main
-// so tests can drive the full lifecycle.
+// so tests can drive the full lifecycle. When cfg.Logger is unset a
+// text logger writing to logw is installed, so tests can capture the
+// daemon's log stream.
 func run(ctx context.Context, addr string, cfg serve.Config, preload string, seed int64, alpha float64, logw io.Writer) error {
+	if cfg.Logger == nil {
+		cfg.Logger = obs.NewLogger(logw, slog.LevelInfo, false)
+	}
+	log := cfg.Logger
 	srv := serve.New(cfg)
 	if preload != "" {
 		if err := preloadTopology(srv, preload, seed, alpha); err != nil {
 			return err
 		}
-		fmt.Fprintf(logw, "tomographyd: preloaded topology %q\n", preload)
+		log.Info("preloaded topology", "kind", preload)
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(logw, "tomographyd: listening on %s (workers=%d, timeout=%s)\n",
-		ln.Addr(), cfg.Workers, cfg.RequestTimeout)
+	log.Info("listening", "addr", ln.Addr().String(), "workers", cfg.Workers, "timeout", cfg.RequestTimeout)
 
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),
@@ -77,7 +106,7 @@ func run(ctx context.Context, addr string, cfg serve.Config, preload string, see
 		return err
 	case <-ctx.Done():
 	}
-	fmt.Fprintf(logw, "tomographyd: shutting down\n")
+	log.Info("shutting down")
 	grace := cfg.RequestTimeout
 	if grace <= 0 {
 		grace = serve.DefaultRequestTimeout

@@ -25,7 +25,7 @@ func startDaemon(t *testing.T, preload string) (base string, cancel context.Canc
 	go func() {
 		done <- run(ctx, "127.0.0.1:0", serve.Config{Workers: 2, RequestTimeout: 2 * time.Second}, preload, 1, 0, logs)
 	}()
-	addrRe := regexp.MustCompile(`listening on ([0-9.]+:\d+)`)
+	addrRe := regexp.MustCompile(`msg=listening addr=([0-9.]+:\d+)`)
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		if m := addrRe.FindStringSubmatch(logs.String()); m != nil {

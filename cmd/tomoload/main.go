@@ -10,7 +10,7 @@
 //
 //	tomoload [-addr URL] [-n 10000] [-duration 0] [-workers 8] [-rps 0]
 //	         [-seed 1] [-chaos latency=2ms,drop=0.01,...] [-scenarios all]
-//	         [-fault 0.05] [-verify]
+//	         [-fault 0.05] [-verify] [-report]
 //
 // With no -addr, tomoload boots an in-process tomographyd (the e2e
 // harness) and tears it down after the run — a self-contained soak.
@@ -46,6 +46,7 @@ func main() {
 	scenarioSpec := flag.String("scenarios", "all", "comma-separated campaign kinds: clean,chosen-victim,stealthy,maxdamage,obfuscate")
 	fault := flag.Float64("fault", 0.05, "fraction of deliberate client-fault ops (bad JSON, ghost topology, short y)")
 	verify := flag.Bool("verify", false, "reconcile server /metrics deltas against the transcript; exit 1 on mismatch")
+	report := flag.Bool("report", false, "print p50/p95/p99 client-side latency per op from the transcript")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -54,7 +55,7 @@ func main() {
 	if err := run(ctx, options{
 		addr: *addr, n: *n, duration: *duration, workers: *workers,
 		rps: *rps, seed: *seed, chaos: *chaosSpec, scenarios: *scenarioSpec,
-		fault: *fault, verify: *verify,
+		fault: *fault, verify: *verify, report: *report,
 	}, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "tomoload: %v\n", err)
 		os.Exit(1)
@@ -72,6 +73,7 @@ type options struct {
 	scenarios string
 	fault     float64
 	verify    bool
+	report    bool
 }
 
 // run executes one load campaign. Factored out of main so tests can
@@ -143,6 +145,11 @@ func run(ctx context.Context, opt options, out io.Writer) error {
 		return err
 	}
 	fmt.Fprint(out, tr.Summary())
+	if opt.report {
+		// Per-op latency quantiles from the same histogram code that
+		// backs the server's /metrics histograms (obs.Histogram).
+		fmt.Fprint(out, tr.Report())
+	}
 	fmt.Fprintf(out, "transcript digest: %s\n", tr.Digest())
 
 	if opt.verify {

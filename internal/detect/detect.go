@@ -10,11 +10,13 @@
 package detect
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/la"
+	"repro/internal/obs"
 	"repro/internal/tomo"
 )
 
@@ -85,11 +87,20 @@ type Report struct {
 // Inspect estimates link metrics from the observed measurements and
 // tests the model consistency (Eq. 23 with Remark 4's threshold).
 func (d *Detector) Inspect(yObserved la.Vector) (*Report, error) {
+	return d.InspectCtx(context.Background(), yObserved)
+}
+
+// InspectCtx is Inspect under a "detect.inspect" trace span annotated
+// with the verdict and the (quantized) residual norm; the tomography
+// solve appears as a child span.
+func (d *Detector) InspectCtx(ctx context.Context, yObserved la.Vector) (*Report, error) {
+	ctx, span := obs.StartSpan(ctx, "detect.inspect")
+	defer span.End()
 	if len(yObserved) != d.sys.NumPaths() {
 		return nil, fmt.Errorf("detect: measurement vector has %d entries, want %d: %w",
 			len(yObserved), d.sys.NumPaths(), ErrBadInput)
 	}
-	xhat, err := d.sys.Estimate(yObserved)
+	xhat, err := d.sys.EstimateCtx(ctx, yObserved)
 	if err != nil {
 		return nil, fmt.Errorf("detect: %w", err)
 	}
@@ -98,6 +109,8 @@ func (d *Detector) Inspect(yObserved la.Vector) (*Report, error) {
 		return nil, fmt.Errorf("detect: %w", err)
 	}
 	norm := res.Norm1()
+	span.SetBool("detected", norm > d.alpha)
+	span.SetFloat("residual_norm", norm)
 	return &Report{
 		Detected:     norm > d.alpha,
 		ResidualNorm: norm,

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/la"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/tomo"
 )
@@ -114,6 +115,9 @@ func (c *Client) do(ctx context.Context, method, path string, body any) (int, []
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if id := obs.RequestID(ctx); id != "" {
+		req.Header.Set("X-Request-Id", id)
 	}
 	resp, err := c.HTTP.Do(req)
 	if err != nil {

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/la"
 	"repro/internal/mc"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -157,6 +158,10 @@ type Record struct {
 	// VerdictMismatch flags a server verdict that disagreed with the
 	// client-side precomputation — an invariant violation.
 	VerdictMismatch bool
+	// LatencyNS is the client-observed wall time of the request in
+	// nanoseconds. It is timing, not plan, so Digest excludes it; it
+	// feeds Transcript.Report's per-op latency quantiles.
+	LatencyNS int64
 }
 
 // Transcript is the full outcome of a load run.
@@ -199,6 +204,8 @@ func (t *Transcript) Digest() string {
 type ExpectedMetrics struct {
 	ReqEstimate    int64
 	ReqInspect     int64
+	ReqHealthz     int64
+	ReqMetrics     int64
 	ReqErrors      int64
 	EstimateRounds int64
 	InspectRounds  int64
@@ -235,6 +242,10 @@ func (t *Transcript) Expected() ExpectedMetrics {
 			e.ReqInspect++
 			e.InspectRounds += int64(r.Rounds)
 			e.Alarms += int64(r.ExpAlarms)
+		case OpHealthz:
+			e.ReqHealthz++
+		case OpMetrics:
+			e.ReqMetrics++
 		case OpBadJSON, OpNotFound:
 			e.ReqEstimate++
 			e.ReqErrors++
@@ -258,6 +269,8 @@ func (e ExpectedMetrics) Reconcile(m *serve.Metrics) []string {
 	}
 	check("ReqEstimate", m.ReqEstimate.Load(), e.ReqEstimate)
 	check("ReqInspect", m.ReqInspect.Load(), e.ReqInspect)
+	check("ReqHealthz", m.ReqHealthz.Load(), e.ReqHealthz)
+	check("ReqMetrics", m.ReqMetrics.Load(), e.ReqMetrics)
 	check("ReqErrors", m.ReqErrors.Load(), e.ReqErrors)
 	check("EstimateRounds", m.EstimateRounds.Load(), e.EstimateRounds)
 	check("InspectRounds", m.InspectRounds.Load(), e.InspectRounds)
@@ -281,6 +294,12 @@ func (e ExpectedMetrics) ReconcileScrape(pre, post map[string]float64) []string 
 	}
 	check(`tomographyd_requests_total{route="estimate"}`, e.ReqEstimate)
 	check(`tomographyd_requests_total{route="inspect"}`, e.ReqInspect)
+	check(`tomographyd_requests_total{route="healthz"}`, e.ReqHealthz)
+	// The metrics route counts its own scrapes: the counter increments
+	// before the exposition renders, so the post scrape includes itself
+	// while the pre scrape's own hit is present in both readings and
+	// cancels in the delta — hence exactly one extra hit.
+	check(`tomographyd_requests_total{route="metrics"}`, e.ReqMetrics+1)
 	check("tomographyd_request_errors_total", e.ReqErrors)
 	check("tomographyd_estimate_rounds_total", e.EstimateRounds)
 	check("tomographyd_inspect_rounds_total", e.InspectRounds)
@@ -319,6 +338,42 @@ func (t *Transcript) Summary() string {
 	fmt.Fprintf(&b, "  sent %d dropped %d skipped %d\n", e.Sent, e.Dropped, e.Skipped)
 	fmt.Fprintf(&b, "  estimate rounds %d  inspect rounds %d  alarms expected %d observed %d\n",
 		e.EstimateRounds, e.InspectRounds, e.Alarms, alarms)
+	return b.String()
+}
+
+// Report renders per-op client-side latency quantiles (p50/p95/p99)
+// over the sent requests of the transcript. The quantiles come from
+// obs.Histogram — the same bucketing and interpolation code behind the
+// server's /metrics histograms — so client and server latency reports
+// are directly comparable. Skipped and dropped requests carry no
+// latency and are excluded.
+func (t *Transcript) Report() string {
+	hists := make(map[string]*obs.Histogram)
+	for i := range t.Records {
+		r := &t.Records[i]
+		if r.Op == opSkipped || r.ErrClass == ErrClassDropped {
+			continue
+		}
+		h := hists[r.Op]
+		if h == nil {
+			h = obs.NewHistogram(nil)
+			hists[r.Op] = h
+		}
+		h.Observe(float64(r.LatencyNS) / 1e9)
+	}
+	ops := make([]string, 0, len(hists))
+	for op := range hists {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	var b strings.Builder
+	fmt.Fprintf(&b, "client latency (s), %d requests:\n", t.Requests)
+	fmt.Fprintf(&b, "  %-8s %8s %10s %10s %10s\n", "op", "count", "p50", "p95", "p99")
+	for _, op := range ops {
+		h := hists[op]
+		fmt.Fprintf(&b, "  %-8s %8d %10.6f %10.6f %10.6f\n",
+			op, h.Count(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+	}
 	return b.String()
 }
 
@@ -454,11 +509,16 @@ func (g *gen) pickRounds(rng *rand.Rand, si, k int) []Round {
 	return out
 }
 
-func (g *gen) execute(ctx context.Context, i int) Record {
+func (g *gen) execute(ctx context.Context, i int) (rec Record) {
 	rng := mc.RNG(g.cfg.Seed, i)
 	op := g.planOp(rng)
 	ctx = WithRequestSeed(ctx, mc.Split(g.cfg.Seed, chaosSeedBase+i))
-	rec := Record{Index: i, Op: op, Alarms: -1}
+	// The request ID rides the X-Request-Id header (Client.do), so one
+	// generator index correlates with one daemon log line and trace.
+	ctx = obs.WithRequestID(ctx, fmt.Sprintf("load-%06d", i))
+	rec = Record{Index: i, Op: op, Alarms: -1}
+	start := time.Now()
+	defer func() { rec.LatencyNS = time.Since(start).Nanoseconds() }()
 
 	switch op {
 	case OpEstimate, OpEstimateBatch:

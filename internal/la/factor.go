@@ -1,8 +1,11 @@
 package la
 
 import (
+	"context"
 	"fmt"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // NormalFactor is a reusable factorization of the normal equations for a
@@ -25,6 +28,18 @@ type NormalFactor struct {
 // ErrNotSPD when r lacks full column rank (in tomography terms: the link
 // metrics are not identifiable).
 func FactorNormal(r *Matrix) (*NormalFactor, error) {
+	return FactorNormalCtx(context.Background(), r)
+}
+
+// FactorNormalCtx is FactorNormal under a trace span ("la.factor_normal"
+// with the matrix shape), so services can see factorization cost inside
+// a registration trace. With no active span in ctx it costs two pointer
+// checks.
+func FactorNormalCtx(ctx context.Context, r *Matrix) (*NormalFactor, error) {
+	_, span := obs.StartSpan(ctx, "la.factor_normal")
+	defer span.End()
+	span.SetInt("rows", r.Rows())
+	span.SetInt("cols", r.Cols())
 	rt := r.T()
 	gram, err := rt.Mul(r)
 	if err != nil {
@@ -58,8 +73,19 @@ func (f *NormalFactor) Solve(y Vector) (Vector, error) {
 // first call and returning the same matrix afterwards. The returned
 // matrix is shared; callers must not mutate it.
 func (f *NormalFactor) Operator() (*Matrix, error) {
+	return f.OperatorCtx(context.Background())
+}
+
+// OperatorCtx is Operator under a trace span. The span
+// ("la.operator_materialize") is created only on the call that actually
+// materializes T — cache-warm calls add nothing to the trace.
+func (f *NormalFactor) OperatorCtx(ctx context.Context) (*Matrix, error) {
 	f.opOnce.Do(func() {
+		_, span := obs.StartSpan(ctx, "la.operator_materialize")
+		defer span.End()
 		n, p := f.Cols(), f.Rows()
+		span.SetInt("rows", n)
+		span.SetInt("cols", p)
 		t := NewMatrix(n, p)
 		for j := 0; j < p; j++ {
 			col, err := f.chol.Solve(f.rt.Col(j))

@@ -19,9 +19,12 @@
 package mc
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Split derives the child seed for one trial from a base seed. It is a
@@ -75,6 +78,20 @@ func (o Options) workers() int {
 // order, so every trial below a failing one has already been dispatched
 // and is allowed to finish; trials above it may be skipped.
 func Run[T any](n int, opts Options, fn func(trial int) (T, error)) ([]T, error) {
+	return RunCtx(context.Background(), n, opts, func(_ context.Context, trial int) (T, error) {
+		return fn(trial)
+	})
+}
+
+// RunCtx is Run with trace propagation: when ctx carries an active obs
+// span, the whole pool run is wrapped in an "mc.run" span (trial and
+// worker counts as attributes) with one "mc.trial" child per trial. The
+// per-trial spans are created by the dispatch goroutine in trial-index
+// order — so the child order in a dumped trace is deterministic no
+// matter how many workers raced — and each trial's fn receives a context
+// carrying its own span. With no active span the overhead is a few
+// pointer checks.
+func RunCtx[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Context, trial int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -85,7 +102,16 @@ func Run[T any](n int, opts Options, fn func(trial int) (T, error)) ([]T, error)
 		workers = n
 	}
 
-	trials := make(chan int)
+	_, runSpan := obs.StartSpan(ctx, "mc.run")
+	defer runSpan.End()
+	runSpan.SetInt("trials", n)
+	runSpan.SetInt("workers", workers)
+
+	type job struct {
+		t    int
+		span *obs.Span
+	}
+	trials := make(chan job)
 	stop := make(chan struct{})
 	var stopOnce sync.Once
 	var wg sync.WaitGroup
@@ -95,9 +121,10 @@ func Run[T any](n int, opts Options, fn func(trial int) (T, error)) ([]T, error)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for t := range trials {
-				out[t], errs[t] = fn(t)
-				if errs[t] != nil {
+			for j := range trials {
+				out[j.t], errs[j.t] = fn(j.span.Context(ctx), j.t)
+				j.span.End()
+				if errs[j.t] != nil {
 					stopOnce.Do(func() { close(stop) })
 				}
 				if opts.Progress != nil {
@@ -111,9 +138,12 @@ func Run[T any](n int, opts Options, fn func(trial int) (T, error)) ([]T, error)
 	}
 feed:
 	for t := 0; t < n; t++ {
+		span := runSpan.NewChild("mc.trial")
+		span.SetInt("trial", t)
 		select {
-		case trials <- t:
+		case trials <- job{t: t, span: span}:
 		case <-stop:
+			span.End()
 			break feed
 		}
 	}

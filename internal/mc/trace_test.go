@@ -1,0 +1,74 @@
+package mc
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestRunCtxTraceStructure pins the trial-pool trace shape: one mc.run
+// span under the caller's root, with one mc.trial child per trial in
+// index order regardless of worker count (the dispatch goroutine, not
+// the racing workers, creates the spans).
+func TestRunCtxTraceStructure(t *testing.T) {
+	tracer := obs.NewTracer(obs.NewFakeClock(time.Unix(0, 0), time.Microsecond), 4)
+	ctx, root := tracer.StartRoot(context.Background(), "test.root")
+
+	const n = 8
+	results, err := RunCtx(ctx, n, Options{Workers: 4}, func(ctx context.Context, trial int) (int, error) {
+		if _, span := obs.StartSpan(ctx, "work"); span == nil {
+			return 0, fmt.Errorf("trial %d: context carries no active span", trial)
+		}
+		return trial * trial, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r != i*i {
+			t.Fatalf("results[%d] = %d", i, r)
+		}
+	}
+	root.End()
+
+	dumps := tracer.Dump(1)
+	if len(dumps) != 1 {
+		t.Fatalf("got %d traces, want 1", len(dumps))
+	}
+	children := dumps[0].Root.Children
+	if len(children) != 1 || children[0].Name != "mc.run" {
+		t.Fatalf("root children = %+v, want one mc.run", children)
+	}
+	run := children[0]
+	if run.Attrs["trials"] != "8" || run.Attrs["workers"] != "4" {
+		t.Errorf("mc.run attrs = %v", run.Attrs)
+	}
+	if len(run.Children) != n {
+		t.Fatalf("mc.run has %d children, want %d", len(run.Children), n)
+	}
+	for i, c := range run.Children {
+		if c.Name != "mc.trial" || c.Attrs["trial"] != fmt.Sprint(i) {
+			t.Errorf("child %d = %s %v, want mc.trial trial=%d", i, c.Name, c.Attrs, i)
+		}
+	}
+}
+
+// TestRunCtxNoSpanIsNoop: without an active span in ctx, RunCtx must
+// still run every trial and record nothing.
+func TestRunCtxNoSpanIsNoop(t *testing.T) {
+	results, err := RunCtx(context.Background(), 3, Options{Workers: 2}, func(ctx context.Context, trial int) (int, error) {
+		if _, span := obs.StartSpan(ctx, "work"); span != nil {
+			return 0, fmt.Errorf("trial %d: unexpected active span", trial)
+		}
+		return trial, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+}

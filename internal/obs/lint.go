@@ -1,0 +1,299 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lint statically checks a Prometheus text exposition for the format
+// invariants the registry promises: every sample preceded by matching
+// HELP/TYPE lines, valid metric and label names, parseable quoted label
+// values and sample values, no duplicate series, histogram suffix
+// discipline (_bucket/_sum/_count only under a histogram TYPE),
+// cumulative bucket counts monotone in le with le="+Inf" present and
+// equal to _count. It returns every violation found (nil when clean).
+func Lint(text string) []error {
+	var errs []error
+	fail := func(line int, format string, args ...any) {
+		errs = append(errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+
+	type histSeries struct {
+		buckets  map[float64]float64 // le → cumulative count
+		hasInf   bool
+		infCount float64
+		sum      *float64
+		count    *float64
+		firstAt  int
+	}
+	helpSeen := map[string]bool{}
+	typeSeen := map[string]string{} // family → kind
+	seenSeries := map[string]int{}  // full series key → first line
+	hists := map[string]*histSeries{}
+
+	// familyOf strips histogram suffixes when the base family is typed
+	// histogram.
+	familyOf := func(name string) string {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suf)
+			if base != name && typeSeen[base] == "histogram" {
+				return base
+			}
+		}
+		return name
+	}
+
+	lines := strings.Split(text, "\n")
+	for i, raw := range lines {
+		ln := i + 1
+		line := strings.TrimRight(raw, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				fail(ln, "malformed comment %q (want # HELP/# TYPE)", line)
+				continue
+			}
+			name := fields[2]
+			if !validMetricName(name) {
+				fail(ln, "invalid metric name %q in %s line", name, fields[1])
+				continue
+			}
+			if fields[1] == "HELP" {
+				if helpSeen[name] {
+					fail(ln, "duplicate HELP for %q", name)
+				}
+				helpSeen[name] = true
+			} else {
+				if _, dup := typeSeen[name]; dup {
+					fail(ln, "duplicate TYPE for %q", name)
+				}
+				kind := ""
+				if len(fields) >= 4 {
+					kind = fields[3]
+				}
+				switch kind {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					fail(ln, "unknown TYPE %q for %q", kind, name)
+				}
+				typeSeen[name] = kind
+				if !helpSeen[name] {
+					fail(ln, "TYPE for %q not preceded by HELP", name)
+				}
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			fail(ln, "%v", err)
+			continue
+		}
+		fam := familyOf(name)
+		if _, ok := typeSeen[fam]; !ok {
+			fail(ln, "sample %q has no preceding TYPE for family %q", name, fam)
+		}
+		if !helpSeen[fam] {
+			fail(ln, "sample %q has no preceding HELP for family %q", name, fam)
+		}
+		for _, l := range labels {
+			if !validLabelName(l.Key) {
+				fail(ln, "invalid label name %q", l.Key)
+			}
+		}
+		key := seriesKey(name, labels)
+		if first, dup := seenSeries[key]; dup {
+			fail(ln, "duplicate series %s (first at line %d)", key, first)
+		}
+		seenSeries[key] = ln
+
+		// Histogram bookkeeping: group by family + non-le labels.
+		if typeSeen[fam] == "histogram" {
+			var le string
+			var rest []Attr
+			for _, l := range labels {
+				if l.Key == "le" {
+					le = l.Value
+				} else {
+					rest = append(rest, l)
+				}
+			}
+			hkey := seriesKey(fam, rest)
+			h := hists[hkey]
+			if h == nil {
+				h = &histSeries{buckets: map[float64]float64{}, firstAt: ln}
+				hists[hkey] = h
+			}
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if le == "" {
+					fail(ln, "histogram bucket %s missing le label", key)
+				} else if le == "+Inf" {
+					h.hasInf = true
+					h.infCount = value
+				} else {
+					ub, err := strconv.ParseFloat(le, 64)
+					if err != nil {
+						fail(ln, "unparseable le=%q", le)
+					} else {
+						h.buckets[ub] = value
+					}
+				}
+			case strings.HasSuffix(name, "_sum"):
+				v := value
+				h.sum = &v
+			case strings.HasSuffix(name, "_count"):
+				v := value
+				h.count = &v
+			default:
+				fail(ln, "bare sample %q under histogram family %q", name, fam)
+			}
+		}
+	}
+
+	// Whole-histogram invariants.
+	hkeys := make([]string, 0, len(hists))
+	for k := range hists {
+		hkeys = append(hkeys, k)
+	}
+	sort.Strings(hkeys)
+	for _, k := range hkeys {
+		h := hists[k]
+		if !h.hasInf {
+			errs = append(errs, fmt.Errorf("histogram %s: missing le=\"+Inf\" bucket", k))
+		}
+		if h.sum == nil {
+			errs = append(errs, fmt.Errorf("histogram %s: missing _sum", k))
+		}
+		if h.count == nil {
+			errs = append(errs, fmt.Errorf("histogram %s: missing _count", k))
+		} else if h.hasInf && h.infCount != *h.count {
+			errs = append(errs, fmt.Errorf("histogram %s: le=\"+Inf\" bucket %g != _count %g", k, h.infCount, *h.count))
+		}
+		ubs := make([]float64, 0, len(h.buckets))
+		for ub := range h.buckets {
+			ubs = append(ubs, ub)
+		}
+		sort.Float64s(ubs)
+		prev := 0.0
+		for _, ub := range ubs {
+			if h.buckets[ub] < prev {
+				errs = append(errs, fmt.Errorf("histogram %s: bucket le=%g count %g below previous %g (not cumulative)", k, ub, h.buckets[ub], prev))
+			}
+			prev = h.buckets[ub]
+		}
+		if h.hasInf && len(ubs) > 0 && h.infCount < prev {
+			errs = append(errs, fmt.Errorf("histogram %s: le=\"+Inf\" %g below le=%g %g", k, h.infCount, ubs[len(ubs)-1], prev))
+		}
+	}
+	return errs
+}
+
+// parseSample splits `name{k="v",...} value` into parts, validating
+// quoting with an escape-aware scan.
+func parseSample(line string) (name string, labels []Attr, value float64, err error) {
+	rest := line
+	i := 0
+	for i < len(rest) && rest[i] != '{' && rest[i] != ' ' {
+		i++
+	}
+	name = rest[:i]
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = rest[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, labs, perr := parseLabels(rest)
+		if perr != nil {
+			return "", nil, 0, perr
+		}
+		labels = labs
+		rest = rest[end:]
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	if rest == "" {
+		return "", nil, 0, fmt.Errorf("sample %q has no value", name)
+	}
+	v, perr := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if perr != nil {
+		return "", nil, 0, fmt.Errorf("unparseable value %q for %q", rest, name)
+	}
+	return name, labels, v, nil
+}
+
+// parseLabels scans a `{k="v",...}` block starting at s[0] == '{' and
+// returns the index just past the closing brace.
+func parseLabels(s string) (end int, labels []Attr, err error) {
+	i := 1
+	for {
+		if i >= len(s) {
+			return 0, nil, fmt.Errorf("unterminated label block in %q", s)
+		}
+		if s[i] == '}' {
+			return i + 1, labels, nil
+		}
+		j := i
+		for j < len(s) && s[j] != '=' {
+			j++
+		}
+		if j >= len(s) {
+			return 0, nil, fmt.Errorf("label without '=' in %q", s)
+		}
+		key := s[i:j]
+		j++ // past '='
+		if j >= len(s) || s[j] != '"' {
+			return 0, nil, fmt.Errorf("label %q value not quoted", key)
+		}
+		j++ // past opening quote
+		var val strings.Builder
+		for {
+			if j >= len(s) {
+				return 0, nil, fmt.Errorf("unterminated quoted value for label %q", key)
+			}
+			c := s[j]
+			if c == '\\' {
+				if j+1 >= len(s) {
+					return 0, nil, fmt.Errorf("dangling escape in label %q", key)
+				}
+				switch s[j+1] {
+				case '\\', '"':
+					val.WriteByte(s[j+1])
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, nil, fmt.Errorf("bad escape \\%c in label %q", s[j+1], key)
+				}
+				j += 2
+				continue
+			}
+			if c == '"' {
+				j++
+				break
+			}
+			val.WriteByte(c)
+			j++
+		}
+		labels = append(labels, Attr{Key: key, Value: val.String()})
+		if j < len(s) && s[j] == ',' {
+			j++
+		}
+		i = j
+	}
+}
+
+func seriesKey(name string, labels []Attr) string {
+	if len(labels) == 0 {
+		return name
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = fmt.Sprintf("%s=%q", l.Key, l.Value)
+	}
+	sort.Strings(parts)
+	return name + "{" + strings.Join(parts, ",") + "}"
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLintAcceptsWellFormedExposition(t *testing.T) {
+	text := `# HELP reqs_total Requests.
+# TYPE reqs_total counter
+reqs_total{route="estimate"} 3
+reqs_total{route="inspect"} 1
+# HELP lat_seconds Latency.
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 2
+lat_seconds_bucket{le="1"} 3
+lat_seconds_bucket{le="+Inf"} 4
+lat_seconds_sum 2.5
+lat_seconds_count 4
+# HELP up_gauge Uptime.
+# TYPE up_gauge gauge
+up_gauge 12.5
+`
+	if errs := Lint(text); errs != nil {
+		t.Fatalf("clean exposition rejected: %v", errs)
+	}
+}
+
+func TestLintViolations(t *testing.T) {
+	cases := []struct {
+		name, text, wantSub string
+	}{
+		{"missing help",
+			"# TYPE a_total counter\na_total 1\n",
+			"not preceded by HELP"},
+		{"missing type",
+			"# HELP a_total A.\na_total 1\n",
+			"no preceding TYPE"},
+		{"bad metric name",
+			"# HELP a-b A.\n",
+			"invalid metric name"},
+		{"unquoted label",
+			"# HELP a_total A.\n# TYPE a_total counter\na_total{route=est} 1\n",
+			"not quoted"},
+		{"bad value",
+			"# HELP a_total A.\n# TYPE a_total counter\na_total one\n",
+			"unparseable value"},
+		{"duplicate series",
+			"# HELP a_total A.\n# TYPE a_total counter\na_total 1\na_total 2\n",
+			"duplicate series"},
+		{"non-monotone buckets",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"0.1\"} 5\nh_bucket{le=\"1\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+			"not cumulative"},
+		{"inf != count",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_sum 1\nh_count 5\n",
+			"!= _count"},
+		{"missing inf",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"1\"} 4\nh_sum 1\nh_count 4\n",
+			"missing le=\"+Inf\""},
+		{"missing sum",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_count 4\n",
+			"missing _sum"},
+		{"unknown type",
+			"# HELP a A.\n# TYPE a widget\n",
+			"unknown TYPE"},
+		{"unterminated quote",
+			"# HELP a_total A.\n# TYPE a_total counter\na_total{route=\"es} 1\n",
+			"unterminated"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			errs := Lint(c.text)
+			if errs == nil {
+				t.Fatalf("lint accepted bad exposition:\n%s", c.text)
+			}
+			found := false
+			for _, e := range errs {
+				if strings.Contains(e.Error(), c.wantSub) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no error mentions %q; got %v", c.wantSub, errs)
+			}
+		})
+	}
+}

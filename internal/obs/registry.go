@@ -1,0 +1,429 @@
+// Package obs is the repo's unified observability layer: a stdlib-only
+// instrument registry (counters, gauges, histograms, with optional
+// labels) rendered in the Prometheus text exposition format, a
+// request-scoped tracer with an injectable clock (trace.go), and
+// log/slog helpers with request-ID propagation (log.go).
+//
+// The registry is deliberately small: every instrument is registered up
+// front under a validated metric name, rendering is deterministic
+// (families sorted by name, series sorted by label value), and the
+// exposition it emits passes the package's own Lint (lint.go), which CI
+// runs against the live daemon.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyBuckets are the upper bounds (seconds) shared by the
+// server- and client-side latency histograms, spanning sub-microsecond
+// warm matvecs to pathological multi-second solves.
+var DefaultLatencyBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1}
+
+// --- Instruments --------------------------------------------------------
+
+// Counter is a monotonically increasing integer metric. The zero value
+// is ready to use; registry-created counters render on WritePrometheus.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n must be non-negative to keep the
+// counter monotone; this is not enforced, matching sync/atomic idiom).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is a settable float metric.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a cumulative-bucket latency/size distribution with the
+// same semantics as a Prometheus histogram. Create with NewHistogram or
+// through a Registry.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1; the +Inf bucket is last
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// NewHistogram builds an unregistered histogram over the given strictly
+// increasing upper bounds (the +Inf bucket is implicit). It panics on
+// invalid bounds; nil selects DefaultLatencyBuckets. Standalone
+// histograms back client-side latency reports (cmd/tomoload -report)
+// with the same bucketing and quantile code the server exports.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not strictly increasing: %v", bounds))
+		}
+	}
+	h := &Histogram{bounds: bounds}
+	h.counts = make([]atomic.Int64, len(bounds)+1)
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for ; i < len(h.bounds); i++ {
+		if v <= h.bounds[i] {
+			break
+		}
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		upd := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, upd) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear
+// interpolation inside the bucket the rank falls in — the standard
+// histogram_quantile estimate. Observations in the +Inf bucket clamp to
+// the highest finite bound. Returns 0 when nothing was observed.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum, lower := 0.0, 0.0
+	for i, ub := range h.bounds {
+		c := float64(h.counts[i].Load())
+		if c > 0 && cum+c >= rank {
+			frac := (rank - cum) / c
+			return lower + frac*(ub-lower)
+		}
+		cum += c
+		lower = ub
+	}
+	if len(h.bounds) > 0 {
+		return h.bounds[len(h.bounds)-1]
+	}
+	return 0
+}
+
+// --- Vectors (one label dimension) --------------------------------------
+
+// CounterVec is a family of counters split by one label.
+type CounterVec struct {
+	fam *family
+}
+
+// With returns the counter for the given label value, creating it on
+// first use. Values are rendered escaped; cardinality is the caller's
+// responsibility.
+func (v *CounterVec) With(value string) *Counter {
+	return v.fam.series(value, func() any { return &Counter{} }).(*Counter)
+}
+
+// HistogramVec is a family of histograms split by one label.
+type HistogramVec struct {
+	fam    *family
+	bounds []float64
+}
+
+// With returns the histogram for the given label value, creating it on
+// first use.
+func (v *HistogramVec) With(value string) *Histogram {
+	return v.fam.series(value, func() any { return NewHistogram(v.bounds) }).(*Histogram)
+}
+
+// --- Registry -----------------------------------------------------------
+
+// family is one HELP/TYPE block: a metric name plus its series (one for
+// unlabeled instruments, one per label value for vectors).
+type family struct {
+	name, help, kind string
+	label            string // "" for unlabeled families
+
+	mu     sync.Mutex
+	byVal  map[string]any
+	values []string // insertion order; render sorts
+}
+
+func (f *family) series(value string, mk func() any) any {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.byVal[value]; ok {
+		return s
+	}
+	s := mk()
+	f.byVal[value] = s
+	f.values = append(f.values, value)
+	return s
+}
+
+// Registry owns a set of instruments and renders them in the Prometheus
+// text exposition format. Registration panics on invalid or duplicate
+// names (programming errors); all other operations are safe for
+// concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	collect  []func()
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) newFamily(name, help, kind, label string) *family {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	if label != "" && !validLabelName(label) {
+		panic(fmt.Sprintf("obs: invalid label name %q on %q", label, name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[name]; dup {
+		panic(fmt.Sprintf("obs: metric %q registered twice", name))
+	}
+	f := &family{name: name, help: help, kind: kind, label: label, byVal: make(map[string]any)}
+	r.families[name] = f
+	return f
+}
+
+// Counter registers and returns an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.newFamily(name, help, "counter", "")
+	return f.series("", func() any { return &Counter{} }).(*Counter)
+}
+
+// CounterVec registers a counter family split by one label.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	return &CounterVec{fam: r.newFamily(name, help, "counter", label)}
+}
+
+// CounterFunc registers a counter whose value is read from fn at render
+// time (for externally accumulated totals such as GC pause seconds).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	f := r.newFamily(name, help, "counter", "")
+	f.series("", func() any { return valueFunc(fn) })
+}
+
+// Gauge registers and returns an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.newFamily(name, help, "gauge", "")
+	return f.series("", func() any { return &Gauge{} }).(*Gauge)
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at render
+// time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.newFamily(name, help, "gauge", "")
+	f.series("", func() any { return valueFunc(fn) })
+}
+
+// Histogram registers and returns an unlabeled histogram over bounds
+// (nil selects DefaultLatencyBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	f := r.newFamily(name, help, "histogram", "")
+	return f.series("", func() any { return NewHistogram(bounds) }).(*Histogram)
+}
+
+// HistogramVec registers a histogram family split by one label.
+func (r *Registry) HistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	return &HistogramVec{fam: r.newFamily(name, help, "histogram", label), bounds: bounds}
+}
+
+// valueFunc wraps a read-at-render callback as a series.
+type valueFunc func() float64
+
+// OnCollect registers a hook run at the start of every WritePrometheus
+// — the place to refresh snapshot-style sources (runtime.MemStats)
+// exactly once per scrape instead of once per gauge.
+func (r *Registry) OnCollect(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collect = append(r.collect, fn)
+}
+
+// WritePrometheus renders every registered instrument in the text
+// exposition format, families sorted by name and series by label value,
+// so two scrapes of the same state are byte-identical.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	collect := append([]func(){}, r.collect...)
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	for _, fn := range collect {
+		fn()
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		f.write(w)
+	}
+}
+
+func (f *family) write(w io.Writer) {
+	f.mu.Lock()
+	values := append([]string{}, f.values...)
+	series := make([]any, len(values))
+	for i, v := range values {
+		series[i] = f.byVal[v]
+	}
+	f.mu.Unlock()
+	if len(values) == 0 {
+		return
+	}
+	sort.Sort(&byValue{values, series})
+	fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+	for i, v := range values {
+		labels := ""
+		if f.label != "" {
+			labels = fmt.Sprintf("{%s=%q}", f.label, escapeLabel(v))
+		}
+		switch s := series[i].(type) {
+		case *Counter:
+			fmt.Fprintf(w, "%s%s %d\n", f.name, labels, s.Load())
+		case *Gauge:
+			fmt.Fprintf(w, "%s%s %g\n", f.name, labels, s.Value())
+		case valueFunc:
+			fmt.Fprintf(w, "%s%s %g\n", f.name, labels, s())
+		case *Histogram:
+			s.write(w, f.name, f.label, v)
+		}
+	}
+}
+
+// write renders one histogram series. The +Inf bucket and the _count
+// line use the same snapshot of the buckets, so cumulative counts are
+// monotone and le="+Inf" equals _count even under concurrent Observe.
+func (h *Histogram) write(w io.Writer, name, label, value string) {
+	pair := func(le string) string {
+		if label == "" {
+			return fmt.Sprintf("{le=%q}", le)
+		}
+		return fmt.Sprintf("{%s=%q,le=%q}", label, escapeLabel(value), le)
+	}
+	suffix := ""
+	if label != "" {
+		suffix = fmt.Sprintf("{%s=%q}", label, escapeLabel(value))
+	}
+	var cum int64
+	for i, ub := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, pair(fmt.Sprintf("%g", ub)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, pair("+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, suffix, h.Sum())
+	fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, cum)
+}
+
+type byValue struct {
+	values []string
+	series []any
+}
+
+func (b *byValue) Len() int           { return len(b.values) }
+func (b *byValue) Less(i, j int) bool { return b.values[i] < b.values[j] }
+func (b *byValue) Swap(i, j int) {
+	b.values[i], b.values[j] = b.values[j], b.values[i]
+	b.series[i], b.series[j] = b.series[j], b.series[i]
+}
+
+func escapeHelp(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}
+
+// escapeLabel escapes backslashes and newlines in a label value; %q at
+// the call site adds the surrounding quotes and escapes the quotes
+// themselves.
+func escapeLabel(s string) string {
+	return s // %q handles ", \, and control characters
+}

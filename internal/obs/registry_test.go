@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryRenderDeterministic(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("zz_total", "Last alphabetically.")
+	c.Add(3)
+	v := reg.CounterVec("aa_requests_total", "Requests by route.", "route")
+	v.With("inspect").Inc()
+	v.With("estimate").Add(2)
+	g := reg.Gauge("mm_gauge", "A gauge.")
+	g.Set(1.5)
+	h := reg.Histogram("hh_latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var b1, b2 strings.Builder
+	reg.WritePrometheus(&b1)
+	reg.WritePrometheus(&b2)
+	if b1.String() != b2.String() {
+		t.Fatalf("two renders differ:\n%s\n---\n%s", b1.String(), b2.String())
+	}
+	out := b1.String()
+
+	// Families sorted by name, series by label value.
+	ia := strings.Index(out, "aa_requests_total")
+	ih := strings.Index(out, "hh_latency_seconds")
+	iz := strings.Index(out, "zz_total")
+	if !(ia < ih && ih < iz) {
+		t.Fatalf("families not sorted:\n%s", out)
+	}
+	if strings.Index(out, `route="estimate"`) > strings.Index(out, `route="inspect"`) {
+		t.Fatalf("series not sorted by label value:\n%s", out)
+	}
+	for _, want := range []string{
+		"# HELP aa_requests_total Requests by route.\n# TYPE aa_requests_total counter\n",
+		"aa_requests_total{route=\"estimate\"} 2\n",
+		"aa_requests_total{route=\"inspect\"} 1\n",
+		"zz_total 3\n",
+		"mm_gauge 1.5\n",
+		"hh_latency_seconds_bucket{le=\"0.1\"} 1\n",
+		"hh_latency_seconds_bucket{le=\"1\"} 1\n",
+		"hh_latency_seconds_bucket{le=\"+Inf\"} 2\n",
+		"hh_latency_seconds_sum 5.05\n",
+		"hh_latency_seconds_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if errs := Lint(out); errs != nil {
+		t.Fatalf("render fails own lint: %v", errs)
+	}
+}
+
+func TestRegistryPanicsOnBadRegistration(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	reg := NewRegistry()
+	reg.Counter("ok_total", "fine")
+	mustPanic("duplicate", func() { reg.Counter("ok_total", "again") })
+	mustPanic("bad name", func() { reg.Counter("1bad", "leading digit") })
+	mustPanic("bad char", func() { reg.Counter("has-dash", "dash") })
+	mustPanic("bad label", func() { reg.CounterVec("v_total", "v", "bad-label") })
+	mustPanic("bad bounds", func() { NewHistogram([]float64{1, 1}) })
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{0.01, 0.1, 1})
+	// 10 observations in (0.01, 0.1].
+	for i := 0; i < 10; i++ {
+		h.Observe(0.05)
+	}
+	// Median rank 5 of 10 falls at the middle of the (0.01, 0.1] bucket.
+	got := h.Quantile(0.5)
+	want := 0.01 + 0.5*(0.1-0.01)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Quantile(0.5) = %g, want %g", got, want)
+	}
+	if q := h.Quantile(0.999); q < 0.01 || q > 0.1 {
+		t.Fatalf("Quantile(0.999) = %g outside observed bucket", q)
+	}
+	// +Inf observations clamp to the top finite bound.
+	h2 := NewHistogram([]float64{1})
+	h2.Observe(100)
+	if q := h2.Quantile(0.5); q != 1 {
+		t.Fatalf("overflow quantile = %g, want clamp to 1", q)
+	}
+	if NewHistogram(nil).Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(DefaultLatencyBuckets)
+	var wg sync.WaitGroup
+	const goroutines, each = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.ObserveDuration(time.Duration(g*i) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != goroutines*each {
+		t.Fatalf("Count = %d, want %d", h.Count(), goroutines*each)
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.CounterVec("esc_total", "Escaping.", "path")
+	v.With(`a"b\c`).Inc()
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	if !strings.Contains(out, `esc_total{path="a\"b\\c"} 1`) {
+		t.Fatalf("escaped label not rendered correctly:\n%s", out)
+	}
+	if errs := Lint(out); errs != nil {
+		t.Fatalf("escaped render fails lint: %v", errs)
+	}
+}
+
+func TestOnCollectRunsPerRender(t *testing.T) {
+	reg := NewRegistry()
+	n := 0
+	reg.OnCollect(func() { n++ })
+	reg.GaugeFunc("fn_gauge", "From collect.", func() float64 { return float64(n) })
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	reg.WritePrometheus(&b)
+	if n != 2 {
+		t.Fatalf("OnCollect ran %d times, want 2", n)
+	}
+}
+
+func TestRegisterRuntimeLints(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntime(reg)
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{"go_goroutines", "go_heap_alloc_bytes", "go_gc_cycles_total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("runtime metrics missing %q", want)
+		}
+	}
+	if errs := Lint(out); errs != nil {
+		t.Fatalf("runtime metrics fail lint: %v", errs)
+	}
+}

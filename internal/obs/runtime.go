@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RegisterRuntime adds Go runtime gauges (goroutines, heap, GC) to reg.
+// The MemStats snapshot is refreshed once per scrape via an OnCollect
+// hook rather than once per gauge, so a single /metrics render is
+// internally consistent.
+func RegisterRuntime(reg *Registry) {
+	var (
+		mu         sync.Mutex
+		ms         runtime.MemStats
+		goroutines int
+	)
+	reg.OnCollect(func() {
+		mu.Lock()
+		defer mu.Unlock()
+		runtime.ReadMemStats(&ms)
+		goroutines = runtime.NumGoroutine()
+	})
+	read := func(f func() float64) func() float64 {
+		return func() float64 {
+			mu.Lock()
+			defer mu.Unlock()
+			return f()
+		}
+	}
+	reg.GaugeFunc("go_goroutines", "Number of goroutines.",
+		read(func() float64 { return float64(goroutines) }))
+	reg.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		read(func() float64 { return float64(ms.HeapAlloc) }))
+	reg.GaugeFunc("go_heap_objects", "Number of allocated heap objects.",
+		read(func() float64 { return float64(ms.HeapObjects) }))
+	reg.GaugeFunc("go_next_gc_bytes", "Heap size target of the next GC cycle.",
+		read(func() float64 { return float64(ms.NextGC) }))
+	reg.CounterFunc("go_gc_cycles_total", "Completed GC cycles.",
+		read(func() float64 { return float64(ms.NumGC) }))
+	reg.CounterFunc("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.",
+		read(func() float64 { return float64(ms.PauseTotalNs) / 1e9 }))
+}

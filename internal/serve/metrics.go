@@ -1,91 +1,103 @@
 package serve
 
 import (
-	"fmt"
 	"io"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// latencyBuckets are the upper bounds (seconds) of the estimate-latency
-// histogram, spanning sub-microsecond warm matvecs to pathological
-// multi-second solves.
-var latencyBuckets = [numLatencyBuckets]float64{
-	1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1,
-}
-
-const numLatencyBuckets = 7
-
-// Metrics is the daemon's observability state: request counters per
-// route, the estimate-latency histogram, solver-cache traffic, and
-// detector alarms. All fields are updated atomically; a single Metrics
-// is shared by every handler goroutine.
+// Metrics is the daemon's observability state, built on the
+// internal/obs instrument registry: request counters per route, the
+// estimate-latency histogram, per-stage (trace-span) latency
+// histograms, solver-cache traffic, detector alarms, and Go runtime
+// gauges. A single Metrics is shared by every handler goroutine; all
+// instruments are safe for concurrent use.
+//
+// Route accounting: every mounted API route — including GET /healthz
+// and GET /metrics — increments tomographyd_requests_total{route=...}
+// in the instrumentation middleware, so a load generator can reconcile
+// its request counts against a scrape exactly. The only requests not
+// counted are those the mux rejects before reaching a handler
+// (unknown paths, 405 method mismatches) and the /debug/* endpoints,
+// which are deliberately uninstrumented so that scraping traces or
+// profiles never perturbs the request counters or the trace ring.
 type Metrics struct {
-	ReqTopologies atomic.Int64 // POST /v1/topologies requests
-	ReqEvict      atomic.Int64 // DELETE /v1/topologies/{name} requests
-	ReqEstimate   atomic.Int64 // POST /v1/estimate requests
-	ReqInspect    atomic.Int64 // POST /v1/inspect requests
-	ReqErrors     atomic.Int64 // requests answered with a 4xx/5xx
-	ReqRejected   atomic.Int64 // requests shed by the worker pool
+	reg *obs.Registry
 
-	Evictions atomic.Int64 // topologies actually removed (evict 200s)
+	ReqTopologies *obs.Counter // POST /v1/topologies requests
+	ReqEvict      *obs.Counter // DELETE /v1/topologies/{name} requests
+	ReqEstimate   *obs.Counter // POST /v1/estimate requests
+	ReqInspect    *obs.Counter // POST /v1/inspect requests
+	ReqHealthz    *obs.Counter // GET /healthz requests
+	ReqMetrics    *obs.Counter // GET /metrics requests
+	ReqErrors     *obs.Counter // requests answered with a 4xx/5xx
+	ReqRejected   *obs.Counter // requests shed by the worker pool
 
-	EstimateRounds atomic.Int64 // measurement rounds estimated
-	InspectRounds  atomic.Int64 // measurement rounds inspected
-	Alarms         atomic.Int64 // rounds the detector flagged
+	Evictions *obs.Counter // topologies actually removed (evict 200s)
 
-	CacheHits   atomic.Int64 // solver-cache hits at registration
-	CacheMisses atomic.Int64 // solver-cache misses (factorizations run)
+	EstimateRounds *obs.Counter // measurement rounds estimated
+	InspectRounds  *obs.Counter // measurement rounds inspected
+	Alarms         *obs.Counter // rounds the detector flagged
 
-	latCounts [numLatencyBuckets + 1]atomic.Int64 // +Inf bucket last
-	latCount  atomic.Int64
-	latSumNs  atomic.Int64
+	CacheHits   *obs.Counter // solver-cache hits at registration
+	CacheMisses *obs.Counter // solver-cache misses (factorizations run)
+
+	// EstimateLatency is the per-round solve/inspect latency histogram
+	// (tomographyd_estimate_latency_seconds, as before the obs
+	// migration).
+	EstimateLatency *obs.Histogram
+	// stageLatency aggregates trace-span durations per stage name
+	// (tomographyd_stage_latency_seconds{stage="tomo.solve"} etc.),
+	// fed by the server tracer's span-end hook.
+	stageLatency *obs.HistogramVec
 }
+
+// NewMetrics builds the daemon's instrument set on a fresh obs
+// registry, pre-creating every route series so a scrape of an idle
+// daemon already shows all routes at zero.
+func NewMetrics() *Metrics {
+	reg := obs.NewRegistry()
+	m := &Metrics{reg: reg}
+	req := reg.CounterVec("tomographyd_requests_total", "API requests by route.", "route")
+	m.ReqTopologies = req.With("topologies")
+	m.ReqEstimate = req.With("estimate")
+	m.ReqInspect = req.With("inspect")
+	m.ReqEvict = req.With("evict")
+	m.ReqHealthz = req.With("healthz")
+	m.ReqMetrics = req.With("metrics")
+	m.ReqErrors = reg.Counter("tomographyd_request_errors_total", "Requests answered with an error status.")
+	m.Evictions = reg.Counter("tomographyd_evictions_total", "Topologies removed via DELETE.")
+	m.ReqRejected = reg.Counter("tomographyd_requests_rejected_total", "Requests shed by the worker pool (timeout or shutdown).")
+	m.EstimateRounds = reg.Counter("tomographyd_estimate_rounds_total", "Measurement rounds estimated.")
+	m.InspectRounds = reg.Counter("tomographyd_inspect_rounds_total", "Measurement rounds inspected.")
+	m.Alarms = reg.Counter("tomographyd_detector_alarms_total", "Rounds flagged by the scapegoat detector.")
+	m.CacheHits = reg.Counter("tomographyd_solver_cache_hits_total", "Registrations served from the solver cache.")
+	m.CacheMisses = reg.Counter("tomographyd_solver_cache_misses_total", "Registrations that ran a fresh factorization.")
+	m.EstimateLatency = reg.Histogram("tomographyd_estimate_latency_seconds", "Per-round estimate latency.", obs.DefaultLatencyBuckets)
+	m.stageLatency = reg.HistogramVec("tomographyd_stage_latency_seconds", "Trace-span duration by pipeline stage.", "stage", obs.DefaultLatencyBuckets)
+	obs.RegisterRuntime(reg)
+	return m
+}
+
+// Registry exposes the underlying obs registry (for mounting extra
+// instruments next to the daemon's).
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
 
 // ObserveEstimate records one solve's wall-clock latency.
 func (m *Metrics) ObserveEstimate(d time.Duration) {
-	s := d.Seconds()
-	i := 0
-	for ; i < len(latencyBuckets); i++ {
-		if s <= latencyBuckets[i] {
-			break
-		}
-	}
-	m.latCounts[i].Add(1)
-	m.latCount.Add(1)
-	m.latSumNs.Add(d.Nanoseconds())
+	m.EstimateLatency.ObserveDuration(d)
+}
+
+// ObserveStage records one trace span's duration under its stage name —
+// installed as the server tracer's span-end hook, so every span in
+// every trace also lands in a per-stage latency histogram.
+func (m *Metrics) ObserveStage(stage string, d time.Duration) {
+	m.stageLatency.With(stage).ObserveDuration(d)
 }
 
 // WritePrometheus renders the metrics in the Prometheus text exposition
-// format (no client library needed for counters and histograms).
+// format (no client library needed).
 func (m *Metrics) WritePrometheus(w io.Writer) {
-	counter := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-	fmt.Fprintf(w, "# HELP tomographyd_requests_total API requests by route.\n")
-	fmt.Fprintf(w, "# TYPE tomographyd_requests_total counter\n")
-	fmt.Fprintf(w, "tomographyd_requests_total{route=%q} %d\n", "topologies", m.ReqTopologies.Load())
-	fmt.Fprintf(w, "tomographyd_requests_total{route=%q} %d\n", "estimate", m.ReqEstimate.Load())
-	fmt.Fprintf(w, "tomographyd_requests_total{route=%q} %d\n", "inspect", m.ReqInspect.Load())
-	fmt.Fprintf(w, "tomographyd_requests_total{route=%q} %d\n", "evict", m.ReqEvict.Load())
-	counter("tomographyd_request_errors_total", "Requests answered with an error status.", m.ReqErrors.Load())
-	counter("tomographyd_evictions_total", "Topologies removed via DELETE.", m.Evictions.Load())
-	counter("tomographyd_requests_rejected_total", "Requests shed by the worker pool (timeout or shutdown).", m.ReqRejected.Load())
-	counter("tomographyd_estimate_rounds_total", "Measurement rounds estimated.", m.EstimateRounds.Load())
-	counter("tomographyd_inspect_rounds_total", "Measurement rounds inspected.", m.InspectRounds.Load())
-	counter("tomographyd_detector_alarms_total", "Rounds flagged by the scapegoat detector.", m.Alarms.Load())
-	counter("tomographyd_solver_cache_hits_total", "Registrations served from the solver cache.", m.CacheHits.Load())
-	counter("tomographyd_solver_cache_misses_total", "Registrations that ran a fresh factorization.", m.CacheMisses.Load())
-
-	fmt.Fprintf(w, "# HELP tomographyd_estimate_latency_seconds Per-round estimate latency.\n")
-	fmt.Fprintf(w, "# TYPE tomographyd_estimate_latency_seconds histogram\n")
-	var cum int64
-	for i, ub := range latencyBuckets {
-		cum += m.latCounts[i].Load()
-		fmt.Fprintf(w, "tomographyd_estimate_latency_seconds_bucket{le=%q} %d\n", fmt.Sprintf("%g", ub), cum)
-	}
-	cum += m.latCounts[len(latencyBuckets)].Load()
-	fmt.Fprintf(w, "tomographyd_estimate_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
-	fmt.Fprintf(w, "tomographyd_estimate_latency_seconds_sum %g\n", float64(m.latSumNs.Load())/1e9)
-	fmt.Fprintf(w, "tomographyd_estimate_latency_seconds_count %d\n", m.latCount.Load())
+	m.reg.WritePrometheus(w)
 }

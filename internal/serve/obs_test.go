@@ -1,0 +1,248 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// get fetches path and returns the response plus the full body.
+func get(t *testing.T, ts *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+// TestMetricsExpositionLint drives real traffic through the daemon and
+// then runs the exposition-format linter over a live /metrics scrape:
+// HELP/TYPE pairing, series uniqueness, and histogram invariants must
+// all hold on the real output, not just on hand-written fixtures.
+func TestMetricsExpositionLint(t *testing.T) {
+	edges, paths, _, sys := fig1Wire(t)
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if resp, raw := postJSON(t, ts, "/v1/topologies", TopologyRequest{Name: "fig1", Edges: edges, Paths: paths}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %d %s", resp.StatusCode, raw)
+	}
+	y := make([]float64, sys.NumPaths())
+	if resp, raw := postJSON(t, ts, "/v1/estimate", RoundsRequest{Topology: "fig1", Y: y}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("estimate: %d %s", resp.StatusCode, raw)
+	}
+	if resp, raw := postJSON(t, ts, "/v1/inspect", RoundsRequest{Topology: "fig1", Y: y}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("inspect: %d %s", resp.StatusCode, raw)
+	}
+	get(t, ts, "/healthz")
+
+	_, raw := get(t, ts, "/metrics")
+	text := string(raw)
+	for _, err := range obs.Lint(text) {
+		t.Errorf("lint: %v", err)
+	}
+	for _, want := range []string{
+		`tomographyd_requests_total{route="estimate"} 1`,
+		`tomographyd_requests_total{route="healthz"} 1`,
+		// The scrape we are inspecting counted itself.
+		`tomographyd_requests_total{route="metrics"} 1`,
+		`tomographyd_stage_latency_seconds_bucket{stage="http.estimate",le="+Inf"} 1`,
+		`tomographyd_stage_latency_seconds_bucket{stage="tomo.solve",le="+Inf"} 2`,
+		"tomographyd_estimate_latency_seconds_count 2",
+		"go_goroutines",
+		"go_gc_cycles_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestDebugTracesEndpoint exercises the trace ring over HTTP: the last
+// TraceCapacity traces are retained oldest-first, eviction is counted,
+// ?n limits the dump, and a bad n is a 400. /debug requests themselves
+// must not produce traces.
+func TestDebugTracesEndpoint(t *testing.T) {
+	srv := New(Config{TraceCapacity: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 6; i++ {
+		get(t, ts, "/healthz")
+	}
+	resp, raw := get(t, ts, "/debug/traces")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/traces: %d %s", resp.StatusCode, raw)
+	}
+	var tr TracesResponse
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Capacity != 4 || tr.Dropped != 2 || len(tr.Traces) != 4 {
+		t.Fatalf("got capacity=%d dropped=%d traces=%d, want 4/2/4", tr.Capacity, tr.Dropped, len(tr.Traces))
+	}
+	for i, d := range tr.Traces {
+		if d.Root.Name != "http.healthz" {
+			t.Errorf("trace %d root = %q, want http.healthz", i, d.Root.Name)
+		}
+	}
+	// Oldest first: IDs ascend.
+	for i := 1; i < len(tr.Traces); i++ {
+		if tr.Traces[i].ID <= tr.Traces[i-1].ID {
+			t.Errorf("trace IDs not ascending: %d then %d", tr.Traces[i-1].ID, tr.Traces[i].ID)
+		}
+	}
+
+	_, raw = get(t, ts, "/debug/traces?n=2")
+	var limited TracesResponse
+	if err := json.Unmarshal(raw, &limited); err != nil {
+		t.Fatal(err)
+	}
+	if len(limited.Traces) != 2 {
+		t.Fatalf("?n=2 returned %d traces", len(limited.Traces))
+	}
+
+	if resp, _ := get(t, ts, "/debug/traces?n=bogus"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad n: status %d, want 400", resp.StatusCode)
+	}
+
+	// Reading traces/pprof must not have appended traces (the /debug
+	// routes are uninstrumented by design).
+	_, raw = get(t, ts, "/debug/traces")
+	var again TracesResponse
+	if err := json.Unmarshal(raw, &again); err != nil {
+		t.Fatal(err)
+	}
+	if again.Dropped != 2 || len(again.Traces) != 4 {
+		t.Errorf("debug scrapes perturbed the ring: dropped=%d traces=%d", again.Dropped, len(again.Traces))
+	}
+	for _, d := range again.Traces {
+		if strings.HasPrefix(d.Root.Name, "http.debug") {
+			t.Errorf("found a trace for a /debug route: %q", d.Root.Name)
+		}
+	}
+}
+
+// TestEstimateTraceStructure checks that one estimate request produces
+// a trace whose root wraps the registry lookup and the solve, with the
+// request ID attached.
+func TestEstimateTraceStructure(t *testing.T) {
+	edges, paths, _, sys := fig1Wire(t)
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if resp, raw := postJSON(t, ts, "/v1/topologies", TopologyRequest{Name: "fig1", Edges: edges, Paths: paths}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %d %s", resp.StatusCode, raw)
+	}
+	if resp, raw := postJSON(t, ts, "/v1/estimate", RoundsRequest{Topology: "fig1", Y: make([]float64, sys.NumPaths())}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("estimate: %d %s", resp.StatusCode, raw)
+	}
+
+	dumps := srv.Tracer().Dump(1)
+	if len(dumps) != 1 {
+		t.Fatalf("got %d traces, want 1", len(dumps))
+	}
+	root := dumps[0].Root
+	if root.Name != "http.estimate" {
+		t.Fatalf("root = %q, want http.estimate", root.Name)
+	}
+	if root.Attrs["status"] != "200" || root.Attrs["req_id"] == "" {
+		t.Errorf("root attrs = %v, want status=200 and a req_id", root.Attrs)
+	}
+	var names []string
+	for _, c := range root.Children {
+		names = append(names, c.Name)
+	}
+	if len(names) != 2 || names[0] != "registry.get" || names[1] != "tomo.solve" {
+		t.Fatalf("children = %v, want [registry.get tomo.solve]", names)
+	}
+	if root.Children[0].Attrs["topology"] != "fig1" || root.Children[0].Attrs["found"] != "true" {
+		t.Errorf("registry.get attrs = %v", root.Children[0].Attrs)
+	}
+}
+
+// TestRequestIDHeader pins the correlation contract: an incoming
+// X-Request-Id is echoed back; absent one, the server mints req-%08d.
+func TestRequestIDHeader(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-Id", "corr-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "corr-42" {
+		t.Errorf("echoed id = %q, want corr-42", got)
+	}
+
+	resp, _ = get(t, ts, "/healthz")
+	if got := resp.Header.Get("X-Request-Id"); !regexp.MustCompile(`^req-\d{8}$`).MatchString(got) {
+		t.Errorf("minted id = %q, want req-%%08d form", got)
+	}
+}
+
+// TestRequestLogging captures the structured log stream: one line per
+// API request carrying route, request ID, and status, with client
+// errors at WARN.
+func TestRequestLogging(t *testing.T) {
+	var buf bytes.Buffer
+	srv := New(Config{Logger: obs.NewLogger(&buf, slog.LevelInfo, false)})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-Id", "log-check")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Post(ts.URL+"/v1/estimate", "application/json", strings.NewReader("{broken"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	logs := buf.String()
+	for _, want := range []string{
+		"msg=request route=healthz req_id=log-check status=200",
+		"level=WARN msg=request route=estimate",
+		"status=400",
+	} {
+		if !strings.Contains(logs, want) {
+			t.Errorf("logs missing %q in:\n%s", want, logs)
+		}
+	}
+}
+
+// TestPprofMounted verifies the profiling endpoints answer.
+func TestPprofMounted(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		if resp, raw := get(t, ts, path); resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d body %.80s", path, resp.StatusCode, raw)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/detect"
 	"repro/internal/graph"
 	"repro/internal/la"
+	"repro/internal/obs"
 	"repro/internal/tomo"
 )
 
@@ -45,11 +47,16 @@ type solverCache struct {
 }
 
 // adopt installs a cached factor into sys, or factors sys and caches the
-// result. Reports whether the cache was hit.
-func (c *solverCache) adopt(digest string, sys *tomo.System) (bool, error) {
+// result. Reports whether the cache was hit. The lookup runs under a
+// "cache.adopt" span; a miss additionally produces the factorization
+// span from tomo.FactorCtx.
+func (c *solverCache) adopt(ctx context.Context, digest string, sys *tomo.System) (bool, error) {
+	ctx, span := obs.StartSpan(ctx, "cache.adopt")
+	defer span.End()
 	c.mu.Lock()
 	fac, ok := c.m[digest]
 	c.mu.Unlock()
+	span.SetBool("hit", ok)
 	if ok {
 		if err := sys.AdoptFactor(fac); err != nil {
 			return false, err
@@ -59,7 +66,7 @@ func (c *solverCache) adopt(digest string, sys *tomo.System) (bool, error) {
 		}
 		return true, nil
 	}
-	fac, err := sys.Factor()
+	fac, err := sys.FactorCtx(ctx)
 	if err != nil {
 		return false, err
 	}
@@ -95,6 +102,16 @@ func NewRegistry(metrics *Metrics) *Registry {
 // fails with ErrConflict on a name collision and with
 // tomo.ErrNotIdentifiable when the system cannot support estimation.
 func (r *Registry) RegisterSystem(name string, sys *tomo.System, alpha float64) (*Entry, error) {
+	return r.RegisterSystemCtx(context.Background(), name, sys, alpha)
+}
+
+// RegisterSystemCtx is RegisterSystem under a "registry.register" trace
+// span, with the solver-cache lookup (and any cold factorization) as
+// child spans.
+func (r *Registry) RegisterSystemCtx(ctx context.Context, name string, sys *tomo.System, alpha float64) (*Entry, error) {
+	ctx, span := obs.StartSpan(ctx, "registry.register")
+	defer span.End()
+	span.SetAttr("topology", name)
 	if name == "" {
 		return nil, fmt.Errorf("%w: empty topology name", ErrBadRequest)
 	}
@@ -102,7 +119,7 @@ func (r *Registry) RegisterSystem(name string, sys *tomo.System, alpha float64) 
 		return nil, fmt.Errorf("%w: nil system", ErrBadRequest)
 	}
 	digest := sys.Digest()
-	hit, err := r.cache.adopt(digest, sys)
+	hit, err := r.cache.adopt(ctx, digest, sys)
 	if err != nil {
 		return nil, err
 	}
@@ -124,6 +141,12 @@ func (r *Registry) RegisterSystem(name string, sys *tomo.System, alpha float64) 
 // wire format of POST /v1/topologies) and registers it. Node names are
 // created on first mention in an edge; paths must walk existing links.
 func (r *Registry) Register(name string, edges [][]string, paths [][]string, alpha float64) (*Entry, error) {
+	return r.RegisterCtx(context.Background(), name, edges, paths, alpha)
+}
+
+// RegisterCtx is Register with trace propagation into the registration
+// spans.
+func (r *Registry) RegisterCtx(ctx context.Context, name string, edges [][]string, paths [][]string, alpha float64) (*Entry, error) {
 	if len(edges) == 0 {
 		return nil, fmt.Errorf("%w: no edges", ErrBadRequest)
 	}
@@ -185,7 +208,7 @@ func (r *Registry) Register(name string, edges [][]string, paths [][]string, alp
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
-	return r.RegisterSystem(name, sys, alpha)
+	return r.RegisterSystemCtx(ctx, name, sys, alpha)
 }
 
 // Evict removes the entry registered under name and returns it, or

@@ -13,9 +13,14 @@
 //	POST /v1/inspect     {topology, y | rounds, alpha?} → detector verdicts
 //	GET  /healthz        liveness + registry size
 //	GET  /metrics        Prometheus text exposition
+//	GET  /debug/traces   last N completed request traces as JSON
+//	GET  /debug/pprof/   net/http/pprof profiles
 //
 // Solver work fans out over a bounded worker pool with per-request
-// timeouts; saturated or expired requests are shed with 503.
+// timeouts; saturated or expired requests are shed with 503. Every API
+// request runs under an instrumentation middleware (internal/obs):
+// request counter, request ID, a trace root span wrapping the hot path
+// end-to-end, and one structured log line.
 package serve
 
 import (
@@ -23,11 +28,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/detect"
 	"repro/internal/la"
+	"repro/internal/obs"
 	"repro/internal/tomo"
 )
 
@@ -40,6 +50,15 @@ type Config struct {
 	RequestTimeout time.Duration
 	// MaxBodyBytes caps request bodies; 0 means DefaultMaxBodyBytes.
 	MaxBodyBytes int64
+	// Logger receives one structured line per API request (route,
+	// request ID, status, duration); nil discards logs.
+	Logger *slog.Logger
+	// Clock drives request timing and trace timestamps; nil means the
+	// wall clock. Tests inject obs.FakeClock to golden-compare traces.
+	Clock obs.Clock
+	// TraceCapacity bounds the completed-trace ring buffer served at
+	// /debug/traces; 0 means obs.DefaultTraceCapacity.
+	TraceCapacity int
 }
 
 // Defaults for Config zero values.
@@ -49,15 +68,20 @@ const (
 	DefaultMaxBodyBytes   = 16 << 20
 )
 
-// Server wires the registry, worker pool, and metrics behind an
-// http.Handler. Create with New, mount Handler on an http.Server.
+// Server wires the registry, worker pool, metrics, tracer, and logger
+// behind an http.Handler. Create with New, mount Handler on an
+// http.Server.
 type Server struct {
 	reg     *Registry
 	pool    *Pool
 	metrics *Metrics
+	tracer  *obs.Tracer
+	log     *slog.Logger
+	clock   obs.Clock
 	timeout time.Duration
 	maxBody int64
 	start   time.Time
+	reqSeq  atomic.Int64
 }
 
 // New builds a Server from cfg.
@@ -71,14 +95,26 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
-	m := &Metrics{}
+	if cfg.Clock == nil {
+		cfg.Clock = obs.WallClock()
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.DiscardLogger()
+	}
+	m := NewMetrics()
+	tracer := obs.NewTracer(cfg.Clock, cfg.TraceCapacity)
+	// Every finished span doubles as a per-stage latency sample.
+	tracer.OnSpanEnd(m.ObserveStage)
 	return &Server{
 		reg:     NewRegistry(m),
 		pool:    NewPool(cfg.Workers),
 		metrics: m,
+		tracer:  tracer,
+		log:     cfg.Logger,
+		clock:   cfg.Clock,
 		timeout: cfg.RequestTimeout,
 		maxBody: cfg.MaxBodyBytes,
-		start:   time.Now(),
+		start:   cfg.Clock.Now(),
 	}
 }
 
@@ -90,16 +126,94 @@ func (s *Server) Registry() *Registry { return s.reg }
 // Metrics exposes the server's metrics (read-mostly; handlers write).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// Handler returns the daemon's routing table.
+// Tracer exposes the server's trace collector.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// Handler returns the daemon's routing table. API routes run under the
+// instrumentation middleware (request counter, request ID, root span,
+// structured log line); the /debug/* endpoints are deliberately
+// uninstrumented so that pulling traces or profiles never perturbs the
+// request counters or the trace ring buffer.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/topologies", s.handleTopologies)
-	mux.HandleFunc("DELETE /v1/topologies/{name}", s.handleEvict)
-	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
-	mux.HandleFunc("POST /v1/inspect", s.handleInspect)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/topologies", s.instrument("topologies", s.metrics.ReqTopologies, s.handleTopologies))
+	mux.HandleFunc("DELETE /v1/topologies/{name}", s.instrument("evict", s.metrics.ReqEvict, s.handleEvict))
+	mux.HandleFunc("POST /v1/estimate", s.instrument("estimate", s.metrics.ReqEstimate, s.handleEstimate))
+	mux.HandleFunc("POST /v1/inspect", s.instrument("inspect", s.metrics.ReqInspect, s.handleInspect))
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.metrics.ReqHealthz, s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.metrics.ReqMetrics, s.handleMetrics))
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// statusWriter records the response status for the middleware's span
+// attribute and log line.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Unwrap supports http.ResponseController.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// instrument wraps one API route: it counts the hit, assigns a request
+// ID (honouring an incoming X-Request-Id so clients can correlate,
+// minting req-%08d otherwise), opens the trace root span, and emits one
+// structured log line when the handler returns. The request counter is
+// incremented before the handler runs, so a /metrics scrape observes
+// its own hit.
+func (s *Server) instrument(route string, counter *obs.Counter, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		counter.Inc()
+		id := req.Header.Get("X-Request-Id")
+		if id == "" {
+			id = fmt.Sprintf("req-%08d", s.reqSeq.Add(1))
+		}
+		ctx := obs.WithRequestID(req.Context(), id)
+		ctx, span := s.tracer.StartRoot(ctx, "http."+route)
+		span.SetAttr("req_id", id)
+		w.Header().Set("X-Request-Id", id)
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, req.WithContext(ctx))
+		status := sw.status()
+		span.SetInt("status", status)
+		span.End()
+		level := slog.LevelInfo
+		switch {
+		case status >= 500:
+			level = slog.LevelError
+		case status >= 400:
+			level = slog.LevelWarn
+		}
+		s.log.Log(req.Context(), level, "request",
+			"route", route, "req_id", id, "status", status, "dur", span.Duration())
+	}
 }
 
 // --- Wire types ---------------------------------------------------------
@@ -199,6 +313,14 @@ type HealthResponse struct {
 	UptimeSeconds float64  `json:"uptimeSeconds"`
 }
 
+// TracesResponse is the body of GET /debug/traces: the last N completed
+// request traces, oldest first, plus ring-buffer accounting.
+type TracesResponse struct {
+	Capacity int             `json:"capacity"`
+	Dropped  int64           `json:"dropped"`
+	Traces   []obs.TraceDump `json:"traces"`
+}
+
 type errorResponse struct {
 	Error string `json:"error"`
 }
@@ -206,7 +328,6 @@ type errorResponse struct {
 // --- Handlers -----------------------------------------------------------
 
 func (s *Server) handleTopologies(w http.ResponseWriter, req *http.Request) {
-	s.metrics.ReqTopologies.Add(1)
 	var tr TopologyRequest
 	if !s.decode(w, req, &tr) {
 		return
@@ -215,7 +336,7 @@ func (s *Server) handleTopologies(w http.ResponseWriter, req *http.Request) {
 	defer cancel()
 	var entry *Entry
 	err := s.pool.Do(ctx, func() error {
-		e, err := s.reg.Register(tr.Name, tr.Edges, tr.Paths, tr.Alpha)
+		e, err := s.reg.RegisterCtx(ctx, tr.Name, tr.Edges, tr.Paths, tr.Alpha)
 		entry = e
 		return err
 	})
@@ -235,7 +356,6 @@ func (s *Server) handleTopologies(w http.ResponseWriter, req *http.Request) {
 }
 
 func (s *Server) handleEvict(w http.ResponseWriter, req *http.Request) {
-	s.metrics.ReqEvict.Add(1)
 	entry, err := s.reg.Evict(req.PathValue("name"))
 	if err != nil {
 		s.fail(w, err)
@@ -246,7 +366,6 @@ func (s *Server) handleEvict(w http.ResponseWriter, req *http.Request) {
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, req *http.Request) {
-	s.metrics.ReqEstimate.Add(1)
 	var rr RoundsRequest
 	if !s.decode(w, req, &rr) {
 		return
@@ -256,7 +375,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, req *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	entry, err := s.reg.Get(rr.Topology)
+	entry, err := s.lookup(req.Context(), rr.Topology)
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -269,12 +388,12 @@ func (s *Server) handleEstimate(w http.ResponseWriter, req *http.Request) {
 			if err := ctx.Err(); err != nil {
 				return fmt.Errorf("%w after %d/%d rounds: %v", ErrSaturated, i, len(rounds), err)
 			}
-			t0 := time.Now()
-			xhat, err := entry.Sys.Estimate(y)
+			t0 := s.clock.Now()
+			xhat, err := entry.Sys.EstimateCtx(ctx, y)
 			if err != nil {
 				return fmt.Errorf("%w: round %d: %v", ErrBadRequest, i, err)
 			}
-			s.metrics.ObserveEstimate(time.Since(t0))
+			s.metrics.ObserveEstimate(s.clock.Now().Sub(t0))
 			s.metrics.EstimateRounds.Add(1)
 			results[i] = EstimateResult{XHat: xhat}
 		}
@@ -288,7 +407,6 @@ func (s *Server) handleEstimate(w http.ResponseWriter, req *http.Request) {
 }
 
 func (s *Server) handleInspect(w http.ResponseWriter, req *http.Request) {
-	s.metrics.ReqInspect.Add(1)
 	var rr RoundsRequest
 	if !s.decode(w, req, &rr) {
 		return
@@ -298,7 +416,7 @@ func (s *Server) handleInspect(w http.ResponseWriter, req *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	entry, err := s.reg.Get(rr.Topology)
+	entry, err := s.lookup(req.Context(), rr.Topology)
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -325,12 +443,12 @@ func (s *Server) handleInspect(w http.ResponseWriter, req *http.Request) {
 			if err := ctx.Err(); err != nil {
 				return fmt.Errorf("%w after %d/%d rounds: %v", ErrSaturated, i, len(rounds), err)
 			}
-			t0 := time.Now()
-			rep, err := det.Inspect(y)
+			t0 := s.clock.Now()
+			rep, err := det.InspectCtx(ctx, y)
 			if err != nil {
 				return fmt.Errorf("%w: round %d: %v", ErrBadRequest, i, err)
 			}
-			s.metrics.ObserveEstimate(time.Since(t0))
+			s.metrics.ObserveEstimate(s.clock.Now().Sub(t0))
 			s.metrics.InspectRounds.Add(1)
 			if rep.Detected {
 				alarms++
@@ -360,13 +478,41 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, HealthResponse{
 		Status:        "ok",
 		Topologies:    s.reg.Names(),
-		UptimeSeconds: time.Since(s.start).Seconds(),
+		UptimeSeconds: s.clock.Now().Sub(s.start).Seconds(),
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.WritePrometheus(w)
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, req *http.Request) {
+	n := 0
+	if q := req.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("serve: bad n %q", q)})
+			return
+		}
+		n = v
+	}
+	s.writeJSON(w, http.StatusOK, TracesResponse{
+		Capacity: s.tracer.Capacity(),
+		Dropped:  s.tracer.Dropped(),
+		Traces:   s.tracer.Dump(n),
+	})
+}
+
+// lookup resolves a topology under a "registry.get" span, so the cache
+// lookup stage shows up in request traces.
+func (s *Server) lookup(ctx context.Context, name string) (*Entry, error) {
+	_, span := obs.StartSpan(ctx, "registry.get")
+	defer span.End()
+	span.SetAttr("topology", name)
+	entry, err := s.reg.Get(name)
+	span.SetBool("found", err == nil)
+	return entry, err
 }
 
 // --- Plumbing -----------------------------------------------------------

@@ -400,7 +400,7 @@ func TestPoolShedsOnExpiredContext(t *testing.T) {
 }
 
 func TestRegistryDirect(t *testing.T) {
-	m := &Metrics{}
+	m := NewMetrics()
 	reg := NewRegistry(m)
 	_, _, _, sys := fig1Wire(t)
 	e1, err := reg.RegisterSystem("a", sys, 0)

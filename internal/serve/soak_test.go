@@ -19,7 +19,7 @@ import (
 // half-built entry, and eviction never corrupts a concurrent estimate.
 func TestRegistrySoakConcurrentRegisterEstimateEvict(t *testing.T) {
 	_, _, _, sys := fig1Wire(t)
-	m := &Metrics{}
+	m := NewMetrics()
 	reg := NewRegistry(m)
 
 	// Phase 0: warm the solver cache once so the concurrent phase has an

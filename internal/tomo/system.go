@@ -1,12 +1,14 @@
 package tomo
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/la"
+	"repro/internal/obs"
 )
 
 // ErrNotIdentifiable is returned when the routing matrix lacks full
@@ -93,8 +95,15 @@ func (s *System) Identifiable() bool { return s.Rank() == s.g.NumLinks() }
 // ErrNotIdentifiable when R lacks full column rank. The returned factor
 // is immutable and safe to share across goroutines and Systems.
 func (s *System) Factor() (*la.NormalFactor, error) {
+	return s.FactorCtx(context.Background())
+}
+
+// FactorCtx is Factor under a trace span: the "la.factor_normal" span
+// appears in the trace only on the call that actually factors — warm
+// calls add nothing.
+func (s *System) FactorCtx(ctx context.Context) (*la.NormalFactor, error) {
 	s.facOnce.Do(func() {
-		fac, err := la.FactorNormal(s.r)
+		fac, err := la.FactorNormalCtx(ctx, s.r)
 		if err != nil {
 			if errors.Is(err, la.ErrNotSPD) {
 				err = fmt.Errorf("%w: %v", ErrNotIdentifiable, err)
@@ -129,11 +138,17 @@ func (s *System) AdoptFactor(fac *la.NormalFactor) error {
 // operator too). Fails with ErrNotIdentifiable when R lacks full column
 // rank.
 func (s *System) Operator() (*la.Matrix, error) {
-	fac, err := s.Factor()
+	return s.OperatorCtx(context.Background())
+}
+
+// OperatorCtx is Operator under a trace span (factorization and
+// materialization spans fire only on the calls that do the work).
+func (s *System) OperatorCtx(ctx context.Context) (*la.Matrix, error) {
+	fac, err := s.FactorCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return fac.Operator()
+	return fac.OperatorCtx(ctx)
 }
 
 // Measure applies the forward model: y = Rx for true link metrics x.
@@ -153,7 +168,18 @@ func (s *System) Measure(x la.Vector) (la.Vector, error) {
 // the two differ by rounding, and classification thresholds can sit
 // exactly on an LP bound.
 func (s *System) Estimate(y la.Vector) (la.Vector, error) {
-	t, err := s.Operator()
+	return s.EstimateCtx(context.Background(), y)
+}
+
+// EstimateCtx is Estimate under a "tomo.solve" trace span annotated with
+// the system shape; cold-start factorization/materialization appear as
+// children when they actually run.
+func (s *System) EstimateCtx(ctx context.Context, y la.Vector) (la.Vector, error) {
+	ctx, span := obs.StartSpan(ctx, "tomo.solve")
+	defer span.End()
+	span.SetInt("paths", s.NumPaths())
+	span.SetInt("links", s.NumLinks())
+	t, err := s.OperatorCtx(ctx)
 	if err != nil {
 		return nil, err
 	}

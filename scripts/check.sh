@@ -22,6 +22,12 @@ go test -race ./...
 # eviction churn, and cancellation — the short-mode e2e contract.
 go test -short -race -run Smoke ./internal/e2e
 
+# Observability smoke: live /metrics lints clean under load, the trace
+# golden is byte-stable, and the serve instrumentation (request IDs,
+# trace ring, stage histograms, structured logs) holds under -race.
+go test -race -run 'TestObsSmoke|TestTraceGoldenDeterministic' ./internal/e2e
+go test -race -run 'TestMetricsExpositionLint|TestDebugTraces|TestEstimateTraceStructure|TestRequestID|TestRequestLogging|TestPprofMounted' ./internal/serve
+
 go test -run='^$' -fuzz=FuzzSolve -fuzztime=10s ./internal/lp
 go test -run='^$' -fuzz=FuzzParseEdgeList -fuzztime=10s ./internal/graph
 
