@@ -7,6 +7,7 @@
 //
 //	tomographyd [-addr :8723] [-workers N] [-timeout 5s] [-preload fig1|abilene|isp|wireless] [-seed S] [-alpha A]
 //	            [-log-level info] [-log-json] [-trace-cap N]
+//	            [-data-dir DIR] [-fsync interval] [-fsync-interval 100ms] [-compact-threshold BYTES]
 //
 // Observability: structured logs (log/slog) go to stdout, one line per
 // API request with a request ID; Prometheus metrics (request counters,
@@ -14,8 +15,19 @@
 // the last -trace-cap completed request traces are served as JSON on
 // /debug/traces; pprof profiles live under /debug/pprof/.
 //
+// Durability: with -data-dir set, every topology registration and
+// eviction is journaled to a checksummed write-ahead log before the
+// request is acknowledged, and folded into snapshots past
+// -compact-threshold bytes. On boot the daemon recovers the journal and
+// re-registers every surviving topology (re-factoring each distinct
+// routing matrix once into the solver cache), so a restart comes back
+// warm. -fsync selects the durability/latency trade-off: always (fsync
+// per append), interval (background flush every -fsync-interval), or
+// never (OS page cache only).
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
-// finish (bounded by -timeout), new connections are refused.
+// finish (bounded by -timeout), new connections are refused, and the WAL
+// is flushed and fsynced before the process exits.
 package main
 
 import (
@@ -36,6 +48,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
@@ -48,6 +61,10 @@ func main() {
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	traceCap := flag.Int("trace-cap", obs.DefaultTraceCapacity, "completed request traces retained for /debug/traces")
+	dataDir := flag.String("data-dir", "", "directory for the durable topology journal (empty = in-memory only)")
+	fsyncMode := flag.String("fsync", "interval", "WAL fsync policy: always, interval, never")
+	fsyncInterval := flag.Duration("fsync-interval", store.DefaultFsyncInterval, "flush cadence under -fsync=interval")
+	compactThreshold := flag.Int64("compact-threshold", store.DefaultCompactThreshold, "WAL bytes before folding into a snapshot (negative disables compaction)")
 	flag.Parse()
 
 	level, err := obs.ParseLevel(*logLevel)
@@ -55,44 +72,116 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tomographyd: %v\n", err)
 		os.Exit(2)
 	}
-	cfg := serve.Config{
-		Workers:        *workers,
-		RequestTimeout: *timeout,
-		Logger:         obs.NewLogger(os.Stdout, level, *logJSON),
-		TraceCapacity:  *traceCap,
+	fsync, err := store.ParseFsyncPolicy(*fsyncMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tomographyd: %v\n", err)
+		os.Exit(2)
+	}
+	opts := options{
+		addr: *addr,
+		cfg: serve.Config{
+			Workers:        *workers,
+			RequestTimeout: *timeout,
+			Logger:         obs.NewLogger(os.Stdout, level, *logJSON),
+			TraceCapacity:  *traceCap,
+		},
+		preload:          *preload,
+		seed:             *seed,
+		alpha:            *alpha,
+		dataDir:          *dataDir,
+		fsync:            fsync,
+		fsyncInterval:    *fsyncInterval,
+		compactThreshold: *compactThreshold,
+		logw:             os.Stdout,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if err := run(ctx, *addr, cfg, *preload, *seed, *alpha, os.Stdout); err != nil {
+	if err := run(ctx, opts); err != nil {
 		fmt.Fprintf(os.Stderr, "tomographyd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-// run starts the daemon on addr and blocks until ctx is cancelled (or
-// the listener fails), then shuts down gracefully. Factored out of main
-// so tests can drive the full lifecycle. When cfg.Logger is unset a
-// text logger writing to logw is installed, so tests can capture the
+// options collects everything run needs to bring the daemon up, so
+// tests can drive the full lifecycle — including the persistence
+// path — without threading a growing parameter list.
+type options struct {
+	addr             string
+	cfg              serve.Config
+	preload          string
+	seed             int64
+	alpha            float64
+	dataDir          string // "" = no persistence
+	fsync            store.FsyncPolicy
+	fsyncInterval    time.Duration
+	compactThreshold int64
+	logw             io.Writer
+}
+
+// run starts the daemon and blocks until ctx is cancelled (or the
+// listener fails), then shuts down gracefully: HTTP drains first, then
+// the WAL is flushed, fsynced, and closed. Factored out of main so
+// tests can drive the full lifecycle. When cfg.Logger is unset a text
+// logger writing to opts.logw is installed, so tests can capture the
 // daemon's log stream.
-func run(ctx context.Context, addr string, cfg serve.Config, preload string, seed int64, alpha float64, logw io.Writer) error {
-	if cfg.Logger == nil {
-		cfg.Logger = obs.NewLogger(logw, slog.LevelInfo, false)
+func run(ctx context.Context, opts options) error {
+	if opts.cfg.Logger == nil {
+		opts.cfg.Logger = obs.NewLogger(opts.logw, slog.LevelInfo, false)
 	}
-	log := cfg.Logger
-	srv := serve.New(cfg)
-	if preload != "" {
-		if err := preloadTopology(srv, preload, seed, alpha); err != nil {
-			return err
+	log := opts.cfg.Logger
+	srv := serve.New(opts.cfg)
+
+	var st *store.Store
+	if opts.dataDir != "" {
+		dir := opts.dataDir
+		metrics := store.NewMetrics(srv.Metrics().Registry(), func() float64 {
+			return float64(store.DirSize(dir))
+		})
+		var err error
+		st, err = store.Open(ctx, dir, store.Options{
+			Fsync:            opts.fsync,
+			FsyncInterval:    opts.fsyncInterval,
+			CompactThreshold: opts.compactThreshold,
+			Metrics:          metrics,
+			Logger:           log,
+		})
+		if err != nil {
+			return fmt.Errorf("open data dir %s: %w", dir, err)
 		}
-		log.Info("preloaded topology", "kind", preload)
+		// Close is idempotent; this backstop covers every early-return
+		// path, while the shutdown path below closes explicitly so a
+		// final-fsync failure is surfaced rather than swallowed.
+		defer st.Close()
+		rec := st.Recovered()
+		n, err := srv.Registry().Restore(ctx, rec.Topologies)
+		if err != nil {
+			return fmt.Errorf("warm start from %s: %w", dir, err)
+		}
+		srv.Registry().AttachStore(st)
+		log.Info("warm start", "data_dir", dir,
+			"topologies", n, "replayed", rec.ReplayedRecords,
+			"snapshot_seq", rec.SnapshotSeq, "torn_tail", rec.TornTail)
 	}
-	ln, err := net.Listen("tcp", addr)
+
+	if opts.preload != "" {
+		// A recovered journal may already hold the preload topology;
+		// re-registering would be a name conflict, so skip it.
+		if _, err := srv.Registry().Get(opts.preload); err == nil {
+			log.Info("preload already recovered from journal", "kind", opts.preload)
+		} else {
+			if err := preloadTopology(srv, opts.preload, opts.seed, opts.alpha); err != nil {
+				return err
+			}
+			log.Info("preloaded topology", "kind", opts.preload)
+		}
+	}
+	ln, err := net.Listen("tcp", opts.addr)
 	if err != nil {
 		return err
 	}
-	log.Info("listening", "addr", ln.Addr().String(), "workers", cfg.Workers, "timeout", cfg.RequestTimeout)
+	log.Info("listening", "addr", ln.Addr().String(), "workers", opts.cfg.Workers, "timeout", opts.cfg.RequestTimeout)
 
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),
@@ -107,7 +196,14 @@ func run(ctx context.Context, addr string, cfg serve.Config, preload string, see
 	case <-ctx.Done():
 	}
 	log.Info("shutting down")
-	grace := cfg.RequestTimeout
+	// Flush the WAL before draining HTTP: every mutation acknowledged so
+	// far becomes durable even if the drain itself times out or hangs.
+	if st != nil {
+		if err := st.Sync(); err != nil {
+			log.Warn("wal flush at shutdown", "err", err)
+		}
+	}
+	grace := opts.cfg.RequestTimeout
 	if grace <= 0 {
 		grace = serve.DefaultRequestTimeout
 	}
@@ -118,6 +214,14 @@ func run(ctx context.Context, addr string, cfg serve.Config, preload string, see
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	if st != nil {
+		// Final close fsyncs the tail written by requests that completed
+		// during the drain.
+		if err := st.Close(); err != nil {
+			return fmt.Errorf("close data dir: %w", err)
+		}
+		log.Info("journal closed", "data_dir", opts.dataDir)
 	}
 	return nil
 }

@@ -13,17 +13,31 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 // startDaemon runs the daemon on an ephemeral port and returns its base
 // URL plus a cancel func; the returned done channel yields run's error.
 func startDaemon(t *testing.T, preload string) (base string, cancel context.CancelFunc, done chan error, logs *lockedBuffer) {
 	t.Helper()
+	return startDaemonOpts(t, options{preload: preload})
+}
+
+// startDaemonOpts is startDaemon with full control over the daemon
+// options (the persistence tests set dataDir and fsync).
+func startDaemonOpts(t *testing.T, opts options) (base string, cancel context.CancelFunc, done chan error, logs *lockedBuffer) {
+	t.Helper()
 	ctx, cancelCtx := context.WithCancel(context.Background())
 	logs = &lockedBuffer{}
 	done = make(chan error, 1)
+	opts.addr = "127.0.0.1:0"
+	opts.cfg = serve.Config{Workers: 2, RequestTimeout: 2 * time.Second}
+	if opts.seed == 0 {
+		opts.seed = 1
+	}
+	opts.logw = logs
 	go func() {
-		done <- run(ctx, "127.0.0.1:0", serve.Config{Workers: 2, RequestTimeout: 2 * time.Second}, preload, 1, 0, logs)
+		done <- run(ctx, opts)
 	}()
 	addrRe := regexp.MustCompile(`msg=listening addr=([0-9.]+:\d+)`)
 	deadline := time.Now().Add(5 * time.Second)
@@ -152,8 +166,123 @@ func TestDaemonServesConcurrentClients(t *testing.T) {
 func TestDaemonBadPreload(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	err := run(ctx, "127.0.0.1:0", serve.Config{}, "no-such-kind", 1, 0, &lockedBuffer{})
+	err := run(ctx, options{addr: "127.0.0.1:0", preload: "no-such-kind", seed: 1, logw: &lockedBuffer{}})
 	if err == nil {
 		t.Fatal("run accepted an unknown preload kind")
+	}
+}
+
+// TestDaemonDataDirRestart is the daemon-level warm-start contract:
+// register a topology over HTTP, shut the daemon down (the SIGTERM
+// path), start a fresh daemon on the same -data-dir, and demand the
+// topology is already live with byte-identical estimate responses —
+// no client-side re-registration.
+func TestDaemonDataDirRestart(t *testing.T) {
+	dir := t.TempDir()
+	opts := options{dataDir: dir, fsync: store.FsyncAlways}
+
+	base, cancel, done, _ := startDaemonOpts(t, opts)
+	// Register a topology over the wire (a 3-node chain: two paths that
+	// overlap on one link keeps the response non-trivial).
+	regBody, _ := json.Marshal(serve.TopologyRequest{
+		Name:  "chain",
+		Edges: [][]string{{"a", "b"}, {"b", "c"}},
+		Paths: [][]string{{"a", "b"}, {"a", "b", "c"}},
+	})
+	resp, err := http.Post(base+"/v1/topologies", "application/json", bytes.NewReader(regBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %d %s", resp.StatusCode, buf.String())
+	}
+	estimate := func(base string) []byte {
+		t.Helper()
+		body, _ := json.Marshal(serve.RoundsRequest{Topology: "chain", Y: []float64{1.5, 2.5}})
+		resp, err := http.Post(base+"/v1/estimate", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("estimate: %d %s", resp.StatusCode, buf.String())
+		}
+		return buf.Bytes()
+	}
+	before := estimate(base)
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("first daemon shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("first daemon did not shut down")
+	}
+
+	base2, cancel2, done2, logs2 := startDaemonOpts(t, opts)
+	defer func() {
+		cancel2()
+		<-done2
+	}()
+	if !strings.Contains(logs2.String(), "msg=\"warm start\"") {
+		t.Errorf("restarted daemon did not log a warm start: %q", logs2.String())
+	}
+	resp, err = http.Get(base2 + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hr serve.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(hr.Topologies) != 1 || hr.Topologies[0] != "chain" {
+		t.Fatalf("restarted healthz = %+v, want [chain]", hr)
+	}
+	after := estimate(base2)
+	if !bytes.Equal(before, after) {
+		t.Fatalf("estimate diverged across restart:\n before %s\n after  %s", before, after)
+	}
+}
+
+// TestDaemonPreloadSkipsRecovered proves a -preload name already in the
+// journal is not re-registered (which would be a fatal name conflict at
+// boot).
+func TestDaemonPreloadSkipsRecovered(t *testing.T) {
+	dir := t.TempDir()
+	opts := options{dataDir: dir, fsync: store.FsyncAlways, preload: "fig1"}
+
+	_, cancel, done, _ := startDaemonOpts(t, opts)
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("first daemon: %v", err)
+	}
+
+	base, cancel2, done2, logs := startDaemonOpts(t, opts)
+	defer func() {
+		cancel2()
+		<-done2
+	}()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hr serve.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(hr.Topologies) != 1 || hr.Topologies[0] != "fig1" {
+		t.Fatalf("healthz after recovered preload = %+v", hr)
+	}
+	if !strings.Contains(logs.String(), "preload already recovered") {
+		t.Errorf("missing recovered-preload log line in %q", logs.String())
 	}
 }

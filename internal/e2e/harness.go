@@ -11,19 +11,22 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/graph"
 	"repro/internal/la"
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/store"
 	"repro/internal/tomo"
 )
 
 // Harness is a real tomographyd service core mounted on a loopback
 // httptest server — the same handler, registry, worker pool, and metrics
-// the production daemon runs, minus only the TCP listener flags.
+// the production daemon runs, minus only the TCP listener flags. A
+// persistent harness (NewPersistentHarness) additionally carries the
+// durable store, exactly as the daemon wires it under -data-dir.
 type Harness struct {
 	Server *serve.Server
 	HTTP   *httptest.Server
+	Store  *store.Store // nil unless built by NewPersistentHarness
 }
 
 // NewHarness boots a server with cfg over loopback. Soak tests that
@@ -35,50 +38,58 @@ func NewHarness(cfg serve.Config) *Harness {
 	return &Harness{Server: srv, HTTP: httptest.NewServer(srv.Handler())}
 }
 
+// NewPersistentHarness boots a server whose registry journals to dir,
+// recovering whatever a previous harness (or crash) left there first —
+// the same open → restore → attach sequence cmd/tomographyd runs at
+// boot, including the store_* instrument family on the harness metrics
+// registry. Callers that simulate a crash simply drop the harness
+// without calling Close; callers that simulate a graceful restart call
+// Close and reopen on the same dir.
+func NewPersistentHarness(ctx context.Context, cfg serve.Config, dir string, sopts store.Options) (*Harness, error) {
+	srv := serve.New(cfg)
+	if sopts.Metrics == nil {
+		sopts.Metrics = store.NewMetrics(srv.Metrics().Registry(), func() float64 {
+			return float64(store.DirSize(dir))
+		})
+	}
+	st, err := store.Open(ctx, dir, sopts)
+	if err != nil {
+		return nil, fmt.Errorf("e2e: open store: %w", err)
+	}
+	if _, err := srv.Registry().Restore(ctx, st.Recovered().Topologies); err != nil {
+		st.Close()
+		return nil, fmt.Errorf("e2e: warm start: %w", err)
+	}
+	srv.Registry().AttachStore(st)
+	return &Harness{Server: srv, HTTP: httptest.NewServer(srv.Handler()), Store: st}, nil
+}
+
 // URL is the harness's loopback base URL.
 func (h *Harness) URL() string { return h.HTTP.URL }
 
 // Metrics exposes the live server metrics for reconciliation.
 func (h *Harness) Metrics() *serve.Metrics { return h.Server.Metrics() }
 
-// Close shuts the loopback server down.
-func (h *Harness) Close() { h.HTTP.Close() }
+// Close shuts the loopback server down, then the store (when
+// persistent) so the journal's tail is fsynced — the graceful-restart
+// path. Crash tests skip Close entirely.
+func (h *Harness) Close() {
+	h.HTTP.Close()
+	if h.Store != nil {
+		h.Store.Close()
+	}
+}
 
 // WireTopology converts a built tomography system into the
-// POST /v1/topologies wire format (named edges and node-name walks).
+// POST /v1/topologies wire format (named edges and node-name walks) —
+// the same serialization the persistence journal uses, so a registered
+// and a recovered topology are digest-identical by construction.
 func WireTopology(name string, sys *tomo.System, alpha float64) (serve.TopologyRequest, error) {
-	g := sys.Graph()
-	nodeName := func(v graph.NodeID) (string, error) {
-		n, err := g.NodeName(v)
-		if err != nil {
-			return "", fmt.Errorf("e2e: wire topology: %w", err)
-		}
-		return n, nil
+	doc, err := serve.DocFromSystem(name, sys, alpha)
+	if err != nil {
+		return serve.TopologyRequest{}, fmt.Errorf("e2e: wire topology: %w", err)
 	}
-	req := serve.TopologyRequest{Name: name, Alpha: alpha}
-	for _, l := range g.Links() {
-		a, err := nodeName(l.A)
-		if err != nil {
-			return req, err
-		}
-		b, err := nodeName(l.B)
-		if err != nil {
-			return req, err
-		}
-		req.Edges = append(req.Edges, []string{a, b})
-	}
-	for _, p := range sys.Paths() {
-		walk := make([]string, 0, len(p.Nodes))
-		for _, v := range p.Nodes {
-			n, err := nodeName(v)
-			if err != nil {
-				return req, err
-			}
-			walk = append(walk, n)
-		}
-		req.Paths = append(req.Paths, walk)
-	}
-	return req, nil
+	return serve.TopologyRequest{Name: doc.Name, Edges: doc.Edges, Paths: doc.Paths, Alpha: doc.Alpha}, nil
 }
 
 // Client is a thin JSON client for the daemon API, usable against the

@@ -81,8 +81,20 @@ func NewMetrics() *Metrics {
 }
 
 // Registry exposes the underlying obs registry (for mounting extra
-// instruments next to the daemon's).
+// instruments next to the daemon's — cmd/tomographyd adds the store_*
+// family here when -data-dir is set).
 func (m *Metrics) Registry() *obs.Registry { return m.reg }
+
+// trackRegistry registers tomographyd_topologies_registered, a
+// collect-time gauge over the live registry: unlike the cumulative
+// register/evict counters, it reports current cardinality, so an
+// operator can see registry size directly on /metrics. Called once by
+// serve.New, after the registry exists.
+func (m *Metrics) trackRegistry(reg *Registry) {
+	m.reg.GaugeFunc("tomographyd_topologies_registered",
+		"Topologies currently registered (live registry cardinality).",
+		func() float64 { return float64(reg.Len()) })
+}
 
 // ObserveEstimate records one solve's wall-clock latency.
 func (m *Metrics) ObserveEstimate(d time.Duration) {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/la"
 	"repro/internal/obs"
+	"repro/internal/store"
 	"repro/internal/tomo"
 )
 
@@ -20,6 +21,11 @@ var (
 	ErrBadRequest = errors.New("serve: bad request")
 	ErrConflict   = errors.New("serve: topology name already registered")
 	ErrTooLarge   = errors.New("serve: request body too large")
+	// ErrStore means the attached persistence backend refused to log a
+	// mutation. The mutation did NOT take effect: durability comes
+	// before acknowledgement, so a registration or eviction that cannot
+	// be journaled is not applied in memory either.
+	ErrStore = errors.New("serve: persistence failure")
 )
 
 // Entry is one registered measurement configuration: a tomography system
@@ -81,10 +87,16 @@ func (c *solverCache) adopt(ctx context.Context, digest string, sys *tomo.System
 
 // Registry holds the daemon's registered topologies and the shared
 // solver cache. Safe for concurrent use.
+//
+// With a store attached (AttachStore), every mutation is journaled —
+// and, per the store's fsync policy, durable — before it becomes
+// visible or is acknowledged; the WAL order matches the registry order
+// because the append happens under the registry write lock.
 type Registry struct {
 	mu      sync.RWMutex
 	entries map[string]*Entry
 	cache   *solverCache
+	store   store.Backend
 }
 
 // NewRegistry creates an empty registry whose solver cache reports to
@@ -109,6 +121,25 @@ func (r *Registry) RegisterSystem(name string, sys *tomo.System, alpha float64) 
 // span, with the solver-cache lookup (and any cold factorization) as
 // child spans.
 func (r *Registry) RegisterSystemCtx(ctx context.Context, name string, sys *tomo.System, alpha float64) (*Entry, error) {
+	return r.registerSystem(ctx, name, sys, alpha, true, nil)
+}
+
+// wireShape carries a registration's original wire-format edges and
+// paths so the journal can persist them verbatim instead of re-deriving
+// them from the built system (the derivation walks every link and path
+// node under the registry lock — measurable register latency).
+type wireShape struct {
+	edges, paths [][]string
+}
+
+// registerSystem is the shared registration core. With persist set and
+// a store attached, the mutation is journaled under the registry lock
+// before it becomes visible; Restore passes persist=false because the
+// records being applied came from the journal. wire, when non-nil, is
+// the request's own edge/path serialization, reused for the journal
+// record (it is exactly what docFromSystem would rebuild: node names in
+// link insertion order, paths as node walks).
+func (r *Registry) registerSystem(ctx context.Context, name string, sys *tomo.System, alpha float64, persist bool, wire *wireShape) (*Entry, error) {
 	ctx, span := obs.StartSpan(ctx, "registry.register")
 	defer span.End()
 	span.SetAttr("topology", name)
@@ -133,6 +164,21 @@ func (r *Registry) RegisterSystemCtx(ctx context.Context, name string, sys *tomo
 	if _, exists := r.entries[name]; exists {
 		return nil, fmt.Errorf("%w: %q", ErrConflict, name)
 	}
+	if r.store != nil && persist {
+		var doc store.TopologyDoc
+		if wire != nil {
+			doc = store.TopologyDoc{Name: name, Edges: wire.edges, Paths: wire.paths, Alpha: det.Alpha(), Digest: digest}
+		} else {
+			var err error
+			doc, err = docFromSystem(name, sys, det.Alpha(), digest)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+			}
+		}
+		if err := r.store.AppendRegister(doc); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrStore, err)
+		}
+	}
 	r.entries[name] = entry
 	return entry, nil
 }
@@ -147,6 +193,16 @@ func (r *Registry) Register(name string, edges [][]string, paths [][]string, alp
 // RegisterCtx is Register with trace propagation into the registration
 // spans.
 func (r *Registry) RegisterCtx(ctx context.Context, name string, edges [][]string, paths [][]string, alpha float64) (*Entry, error) {
+	sys, err := buildWireSystem(edges, paths)
+	if err != nil {
+		return nil, err
+	}
+	return r.registerSystem(ctx, name, sys, alpha, true, &wireShape{edges: edges, paths: paths})
+}
+
+// buildWireSystem assembles a tomography system from the wire format:
+// named edges and node-name walks.
+func buildWireSystem(edges [][]string, paths [][]string) (*tomo.System, error) {
 	if len(edges) == 0 {
 		return nil, fmt.Errorf("%w: no edges", ErrBadRequest)
 	}
@@ -208,7 +264,94 @@ func (r *Registry) RegisterCtx(ctx context.Context, name string, edges [][]strin
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
-	return r.RegisterSystemCtx(ctx, name, sys, alpha)
+	return sys, nil
+}
+
+// AttachStore installs the persistence backend. From this call on,
+// every successful registration and eviction is journaled before it is
+// applied or acknowledged. Attach after Restore, never before: the
+// restore path must not re-journal the records it is replaying.
+func (r *Registry) AttachStore(b store.Backend) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.store = b
+}
+
+// Restore registers recovered topology documents without journaling
+// them, verifying that each rebuilt system reproduces the digest
+// recorded at original registration time — a corrupt or hand-edited
+// document fails loudly here rather than silently serving a different
+// routing matrix. Returns the number of topologies restored.
+func (r *Registry) Restore(ctx context.Context, docs []store.TopologyDoc) (int, error) {
+	ctx, span := obs.StartSpan(ctx, "registry.restore")
+	defer span.End()
+	for i, doc := range docs {
+		sys, err := buildWireSystem(doc.Edges, doc.Paths)
+		if err != nil {
+			return i, fmt.Errorf("serve: restore %q: %w", doc.Name, err)
+		}
+		entry, err := r.registerSystem(ctx, doc.Name, sys, doc.Alpha, false, nil)
+		if err != nil {
+			return i, fmt.Errorf("serve: restore %q: %w", doc.Name, err)
+		}
+		if doc.Digest != "" && entry.Digest != doc.Digest {
+			return i, fmt.Errorf("serve: restore %q: rebuilt routing matrix digest %s, journal recorded %s",
+				doc.Name, entry.Digest, doc.Digest)
+		}
+	}
+	span.SetInt("topologies", len(docs))
+	return len(docs), nil
+}
+
+// DocFromSystem converts a registered system back into its persisted
+// wire form: named edges in link order and node-name walks in path
+// order. The round trip doc → buildWireSystem reproduces the routing
+// matrix exactly (same digest), which Restore verifies.
+func DocFromSystem(name string, sys *tomo.System, alpha float64) (store.TopologyDoc, error) {
+	return docFromSystem(name, sys, alpha, sys.Digest())
+}
+
+// docFromSystem is DocFromSystem with the digest supplied by a caller
+// that already computed it (the journaled register path runs under the
+// registry lock; recomputing the SHA-256 there is pure latency).
+func docFromSystem(name string, sys *tomo.System, alpha float64, digest string) (store.TopologyDoc, error) {
+	g := sys.Graph()
+	links := g.Links()
+	doc := store.TopologyDoc{
+		Name: name, Alpha: alpha, Digest: digest,
+		Edges: make([][]string, 0, len(links)),
+		Paths: make([][]string, 0, len(sys.Paths())),
+	}
+	nodeName := func(v graph.NodeID) (string, error) {
+		n, err := g.NodeName(v)
+		if err != nil {
+			return "", fmt.Errorf("serve: doc from system: %w", err)
+		}
+		return n, nil
+	}
+	for _, l := range links {
+		a, err := nodeName(l.A)
+		if err != nil {
+			return doc, err
+		}
+		b, err := nodeName(l.B)
+		if err != nil {
+			return doc, err
+		}
+		doc.Edges = append(doc.Edges, []string{a, b})
+	}
+	for _, p := range sys.Paths() {
+		walk := make([]string, 0, len(p.Nodes))
+		for _, v := range p.Nodes {
+			n, err := nodeName(v)
+			if err != nil {
+				return doc, err
+			}
+			walk = append(walk, n)
+		}
+		doc.Paths = append(doc.Paths, walk)
+	}
+	return doc, nil
 }
 
 // Evict removes the entry registered under name and returns it, or
@@ -217,12 +360,20 @@ func (r *Registry) RegisterCtx(ctx context.Context, name string, edges [][]strin
 // The solver cache deliberately keeps the factorization: it is keyed by
 // the routing-matrix digest, not the name, so a re-registration of the
 // same configuration stays warm and a different one can never alias it.
+// With a store attached the eviction is journaled first; a journal
+// failure leaves the entry registered (and the error tells the client
+// the eviction did not happen).
 func (r *Registry) Evict(name string) (*Entry, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	e, ok := r.entries[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if r.store != nil {
+		if err := r.store.AppendEvict(name); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrStore, err)
+		}
 	}
 	delete(r.entries, name)
 	return e, nil

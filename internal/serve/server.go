@@ -105,8 +105,10 @@ func New(cfg Config) *Server {
 	tracer := obs.NewTracer(cfg.Clock, cfg.TraceCapacity)
 	// Every finished span doubles as a per-stage latency sample.
 	tracer.OnSpanEnd(m.ObserveStage)
+	reg := NewRegistry(m)
+	m.trackRegistry(reg)
 	return &Server{
-		reg:     NewRegistry(m),
+		reg:     reg,
 		pool:    NewPool(cfg.Workers),
 		metrics: m,
 		tracer:  tracer,
@@ -561,6 +563,10 @@ func (s *Server) fail(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrSaturated):
 		status = http.StatusServiceUnavailable
 		s.metrics.ReqRejected.Add(1)
+	case errors.Is(err, ErrStore):
+		// The journal refused the mutation; nothing was applied. 500:
+		// the request was valid, the daemon's disk is the problem.
+		status = http.StatusInternalServerError
 	}
 	s.writeJSON(w, status, errorResponse{Error: err.Error()})
 }

@@ -22,7 +22,7 @@ import (
 
 // fig1Wire converts the Fig. 1 topology with its 23 identifiable paths
 // into the POST /v1/topologies wire format.
-func fig1Wire(t *testing.T) (edges, paths [][]string, f *topo.Fig1Topology, sys *tomo.System) {
+func fig1Wire(t testing.TB) (edges, paths [][]string, f *topo.Fig1Topology, sys *tomo.System) {
 	t.Helper()
 	f = topo.Fig1()
 	selected, rank, err := tomo.SelectPaths(f.G, f.Monitors, tomo.SelectOptions{Exhaustive: true, TargetPaths: 23})

@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// openStore opens a store in dir with test-friendly options.
+func openStore(t *testing.T, dir string, opts store.Options) *store.Store {
+	t.Helper()
+	st, err := store.Open(context.Background(), dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// restoreRegistry builds a fresh registry warm-started from dir.
+func restoreRegistry(t *testing.T, dir string) (*Registry, *store.Store) {
+	t.Helper()
+	st := openStore(t, dir, store.Options{})
+	reg := NewRegistry(NewMetrics())
+	if _, err := reg.Restore(context.Background(), st.Recovered().Topologies); err != nil {
+		t.Fatal(err)
+	}
+	reg.AttachStore(st)
+	return reg, st
+}
+
+func TestRegistryPersistsAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	edges, paths, _, sys := fig1Wire(t)
+
+	st := openStore(t, dir, store.Options{Fsync: store.FsyncAlways})
+	reg := NewRegistry(NewMetrics())
+	reg.AttachStore(st)
+	// One registration through the wire format, one through an
+	// already-built system (the preload path) — both must journal.
+	wired, err := reg.Register("wire", edges, paths, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := reg.RegisterSystem("direct", sys, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Register("doomed", edges, paths, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Evict("doomed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reg2, st2 := restoreRegistry(t, dir)
+	defer st2.Close()
+	names := reg2.Names()
+	if len(names) != 2 || names[0] != "direct" || names[1] != "wire" {
+		t.Fatalf("restored names %v, want [direct wire]", names)
+	}
+	for _, want := range []*Entry{wired, direct} {
+		got, err := reg2.Get(want.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Digest != want.Digest {
+			t.Errorf("%s digest %s, want %s", want.Name, got.Digest, want.Digest)
+		}
+		if got.Det.Alpha() != want.Det.Alpha() {
+			t.Errorf("%s alpha %g, want %g", want.Name, got.Det.Alpha(), want.Det.Alpha())
+		}
+	}
+	// Evict-then-restart must not resurrect.
+	if _, err := reg2.Get("doomed"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("evicted topology resurrected: %v", err)
+	}
+	// Restored entries estimate identically to the originals: the
+	// rebuilt routing matrix is digest-identical, so the operator is
+	// the same matrix.
+	y := make([]float64, sys.NumPaths())
+	for i := range y {
+		y[i] = float64(i + 1)
+	}
+	want, err := wired.Sys.Estimate(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotEntry, _ := reg2.Get("wire")
+	got, err := gotEntry.Sys.Estimate(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("estimate diverged after restart at link %d: %g vs %g", i, want[i], got[i])
+		}
+	}
+}
+
+func TestRestoreVerifiesDigest(t *testing.T) {
+	edges, paths, _, _ := fig1Wire(t)
+	reg := NewRegistry(NewMetrics())
+	docs := []store.TopologyDoc{{
+		Name: "tampered", Edges: edges, Paths: paths, Alpha: 0,
+		Digest: "0000000000000000000000000000000000000000000000000000000000000000",
+	}}
+	n, err := reg.Restore(context.Background(), docs)
+	if err == nil || !strings.Contains(err.Error(), "digest") {
+		t.Fatalf("restore accepted a digest mismatch (n=%d, err=%v)", n, err)
+	}
+	if reg.Len() != 0 && err == nil {
+		t.Fatal("tampered topology left registered")
+	}
+}
+
+// failingBackend journals nothing and fails on demand.
+type failingBackend struct {
+	registers, evicts int
+	fail              bool
+}
+
+func (f *failingBackend) AppendRegister(store.TopologyDoc) error {
+	f.registers++
+	if f.fail {
+		return errors.New("disk on fire")
+	}
+	return nil
+}
+
+func (f *failingBackend) AppendEvict(string) error {
+	f.evicts++
+	if f.fail {
+		return errors.New("disk on fire")
+	}
+	return nil
+}
+
+func TestStoreFailureBlocksMutation(t *testing.T) {
+	edges, paths, _, _ := fig1Wire(t)
+	fb := &failingBackend{}
+	reg := NewRegistry(NewMetrics())
+	reg.AttachStore(fb)
+
+	if _, err := reg.Register("ok", edges, paths, 0); err != nil {
+		t.Fatal(err)
+	}
+	fb.fail = true
+	// A registration the journal refuses must not become visible.
+	if _, err := reg.Register("lost", edges, paths, 0); !errors.Is(err, ErrStore) {
+		t.Fatalf("register err = %v, want ErrStore", err)
+	}
+	if _, err := reg.Get("lost"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("unjournaled registration became visible")
+	}
+	// An eviction the journal refuses must leave the entry live.
+	if _, err := reg.Evict("ok"); !errors.Is(err, ErrStore) {
+		t.Fatalf("evict err = %v, want ErrStore", err)
+	}
+	if _, err := reg.Get("ok"); err != nil {
+		t.Fatal("entry vanished despite journal failure")
+	}
+	// Conflicts are checked before journaling: re-registering a live
+	// name never reaches the backend.
+	before := fb.registers
+	if _, err := reg.Register("ok", edges, paths, 0); !errors.Is(err, ErrConflict) {
+		t.Fatalf("conflict err = %v", err)
+	}
+	if fb.registers != before {
+		t.Fatal("conflicting registration reached the journal")
+	}
+}
+
+func TestTopologiesRegisteredGauge(t *testing.T) {
+	edges, paths, _, _ := fig1Wire(t)
+	srv := New(Config{})
+	scrape := func() string {
+		var b strings.Builder
+		srv.Metrics().WritePrometheus(&b)
+		return b.String()
+	}
+	if !strings.Contains(scrape(), "tomographyd_topologies_registered 0") {
+		t.Fatalf("idle scrape missing zero gauge:\n%s", scrape())
+	}
+	if _, err := srv.Registry().Register("a", edges, paths, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Registry().Register("b", edges, paths, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(scrape(), "tomographyd_topologies_registered 2") {
+		t.Fatalf("gauge did not track registrations:\n%s", scrape())
+	}
+	if _, err := srv.Registry().Evict("a"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(scrape(), "tomographyd_topologies_registered 1") {
+		t.Fatalf("gauge did not track eviction:\n%s", scrape())
+	}
+}
+
+// BenchmarkRegisterPersistence compares wire-format registration
+// latency (the server-side work of POST /v1/topologies: build the
+// system, digest it, adopt the cached solver, build the detector —
+// plus, with a store attached, journal the mutation) without a store,
+// with a -fsync=never store, and with -fsync=always. The acceptance
+// bar is never ≤ 2x baseline. The solver cache is warmed first so no
+// iteration pays a factorization.
+func BenchmarkRegisterPersistence(b *testing.B) {
+	edges, paths, _, _ := fig1Wire(b)
+	run := func(b *testing.B, attach func(*Registry) func()) {
+		reg := NewRegistry(NewMetrics())
+		if _, err := reg.Register("warm", edges, paths, 0); err != nil {
+			b.Fatal(err)
+		}
+		cleanup := attach(reg)
+		if cleanup != nil {
+			defer cleanup()
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := reg.Register(fmt.Sprintf("n%d", i), edges, paths, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("baseline", func(b *testing.B) {
+		run(b, func(*Registry) func() { return nil })
+	})
+	for _, policy := range []store.FsyncPolicy{store.FsyncNever, store.FsyncAlways} {
+		b.Run("store-fsync="+policy.String(), func(b *testing.B) {
+			run(b, func(reg *Registry) func() {
+				// Compaction is disabled: its cost scales with the live
+				// registry, which b.N distinct registrations inflate far
+				// beyond any real deployment; snapshot folding is
+				// benchmarked at realistic state sizes in internal/store.
+				st, err := store.Open(context.Background(), b.TempDir(),
+					store.Options{Fsync: policy, CompactThreshold: -1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				reg.AttachStore(st)
+				return func() { st.Close() }
+			})
+		})
+	}
+}

@@ -1,0 +1,320 @@
+// Package store is tomographyd's crash-safe persistence subsystem: an
+// append-only write-ahead log of registry mutations (register/evict)
+// with length-prefixed, CRC32C-framed, versioned records; point-in-time
+// snapshots of the full registry written with atomic rename-into-place
+// and described by a MANIFEST; log compaction that folds the WAL into a
+// fresh snapshot once it crosses a size threshold; and a recovery path
+// that loads the latest snapshot, replays the WAL tail, and truncates
+// at the first torn or corrupt record instead of failing.
+//
+// Everything is stdlib-only. The on-disk format is documented in
+// DESIGN.md §10.
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"strconv"
+)
+
+// Op is a WAL record's mutation kind.
+type Op uint8
+
+// WAL mutation kinds. The zero value is deliberately invalid so a
+// zeroed record can never decode as valid.
+const (
+	OpRegister Op = 1
+	OpEvict    Op = 2
+)
+
+// String names the op for logs and errors.
+func (op Op) String() string {
+	switch op {
+	case OpRegister:
+		return "register"
+	case OpEvict:
+		return "evict"
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// recordVersion is the payload format version. Decoders reject other
+// versions as corrupt rather than guessing.
+const recordVersion = 1
+
+// Frame layout: an 8-byte header followed by the payload.
+//
+//	[0:4]  uint32 LE  payload length N
+//	[4:8]  uint32 LE  CRC32C over the payload
+//	[8:8+N]           payload = version(1) | op(1) | seq(8, LE) | JSON body
+//
+// The CRC covers the whole payload — version, op, seq, and body — so a
+// flipped bit anywhere in the record (including the metadata) fails the
+// checksum, and a corrupted length field either exceeds MaxRecordBytes
+// or frames a span whose CRC cannot match.
+const (
+	headerBytes  = 8
+	payloadMeta  = 10 // version + op + seq
+	minFrameSize = headerBytes + payloadMeta
+)
+
+// MaxRecordBytes caps a single WAL record. A length prefix above this
+// is treated as corruption, so arbitrary garbage can never make the
+// decoder attempt a multi-gigabyte allocation.
+const MaxRecordBytes = 16 << 20
+
+// Decode errors. ErrTorn means the buffer ends mid-record (the classic
+// crash-during-append tail) and more bytes could complete it; ErrCorrupt
+// means the frame is complete but provably damaged (bad CRC, bad
+// version, undecodable body). Recovery truncates the log at either.
+var (
+	ErrTorn    = errors.New("store: torn record")
+	ErrCorrupt = errors.New("store: corrupt record")
+)
+
+// crcTable is the Castagnoli polynomial table (CRC32C), the same
+// checksum used by ext4 metadata, iSCSI, and most LSM WAL formats.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// TopologyDoc is the persisted form of one registered measurement
+// configuration — exactly the information needed to rebuild the
+// routing matrix (and therefore the solver factorization) on recovery.
+// Digest is the tomo.System routing-matrix digest recorded at
+// registration time; recovery verifies the rebuilt system reproduces it
+// byte-for-byte before serving traffic.
+type TopologyDoc struct {
+	Name   string     `json:"name"`
+	Edges  [][]string `json:"edges"`
+	Paths  [][]string `json:"paths"`
+	Alpha  float64    `json:"alpha"`
+	Digest string     `json:"digest"`
+}
+
+// Record is one WAL entry: a registry mutation with its log sequence
+// number. Seq is assigned by the store, strictly increasing across the
+// log's lifetime (snapshots record the last folded seq, so replay can
+// skip records already captured by a snapshot).
+type Record struct {
+	Op  Op
+	Seq uint64
+	// Doc is the registered configuration (OpRegister only).
+	Doc TopologyDoc
+	// Name is the evicted topology name (OpEvict only).
+	Name string
+}
+
+// evictBody is the JSON body of an OpEvict record.
+type evictBody struct {
+	Name string `json:"name"`
+}
+
+// EncodeRecord appends the framed record to buf and returns the
+// extended slice. The JSON body is emitted by a hand-rolled,
+// reflection-free encoder (the append path holds the registry lock, so
+// every microsecond here is registration latency; reflection-based
+// json.Marshal was the hot spot of the journaled register path) whose
+// output the strict decoder reads back unchanged. Encoding never fails
+// for well-formed records; it panics on an unknown op or a non-finite
+// alpha (programming errors, not input corruption).
+func EncodeRecord(buf []byte, rec Record) []byte {
+	start := len(buf)
+	var hdr [headerBytes]byte
+	buf = append(buf, hdr[:]...) // length+CRC, patched once the payload exists
+	var meta [payloadMeta]byte
+	meta[0] = recordVersion
+	meta[1] = byte(rec.Op)
+	binary.LittleEndian.PutUint64(meta[2:10], rec.Seq)
+	buf = append(buf, meta[:]...)
+	switch rec.Op {
+	case OpRegister:
+		buf = appendRegisterBody(buf, rec.Doc)
+	case OpEvict:
+		buf = append(buf, `{"name":`...)
+		buf = appendJSONString(buf, rec.Name)
+		buf = append(buf, '}')
+	default:
+		panic(fmt.Sprintf("store: EncodeRecord: unknown op %d", rec.Op))
+	}
+	payload := buf[start+headerBytes:]
+	binary.LittleEndian.PutUint32(buf[start:start+4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[start+4:start+8], crc32.Checksum(payload, crcTable))
+	return buf
+}
+
+// appendRegisterBody emits a TopologyDoc exactly as encoding/json
+// would modulo float formatting (shortest round-trip form, still a
+// valid JSON number), so existing journals and new ones decode through
+// the same strict path.
+func appendRegisterBody(b []byte, doc TopologyDoc) []byte {
+	if math.IsNaN(doc.Alpha) || math.IsInf(doc.Alpha, 0) {
+		panic(fmt.Sprintf("store: EncodeRecord: non-finite alpha %g", doc.Alpha))
+	}
+	b = append(b, `{"name":`...)
+	b = appendJSONString(b, doc.Name)
+	b = append(b, `,"edges":`...)
+	b = appendStringMatrix(b, doc.Edges)
+	b = append(b, `,"paths":`...)
+	b = appendStringMatrix(b, doc.Paths)
+	b = append(b, `,"alpha":`...)
+	b = strconv.AppendFloat(b, doc.Alpha, 'g', -1, 64)
+	b = append(b, `,"digest":`...)
+	b = appendJSONString(b, doc.Digest)
+	return append(b, '}')
+}
+
+// appendStringMatrix emits a [][]string; nil (outer or inner) emits
+// null, matching encoding/json, so decode→encode→decode is exact.
+func appendStringMatrix(b []byte, m [][]string) []byte {
+	if m == nil {
+		return append(b, "null"...)
+	}
+	b = append(b, '[')
+	for i, row := range m {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		if row == nil {
+			b = append(b, "null"...)
+			continue
+		}
+		b = append(b, '[')
+		for j, s := range row {
+			if j > 0 {
+				b = append(b, ',')
+			}
+			b = appendJSONString(b, s)
+		}
+		b = append(b, ']')
+	}
+	return append(b, ']')
+}
+
+// appendSnapshotDoc emits a snapshotDoc through the same hand-rolled
+// codec as WAL record bodies (compaction holds the store lock while it
+// serializes the full live state, so snapshot encoding is append
+// latency for whichever registration crossed the threshold).
+func appendSnapshotDoc(b []byte, seq uint64, docs []TopologyDoc) []byte {
+	b = append(b, `{"version":`...)
+	b = strconv.AppendInt(b, snapshotVersion, 10)
+	b = append(b, `,"seq":`...)
+	b = strconv.AppendUint(b, seq, 10)
+	b = append(b, `,"topologies":`...)
+	if docs == nil {
+		b = append(b, "null"...)
+	} else {
+		b = append(b, '[')
+		for i, d := range docs {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendRegisterBody(b, d)
+		}
+		b = append(b, ']')
+	}
+	return append(b, '}')
+}
+
+// appendJSONString appends s as an RFC 8259 string literal. Multi-byte
+// UTF-8 passes through verbatim (valid JSON; the decoder reads it back
+// unchanged); only what JSON requires escaping for — quote, backslash,
+// and C0 controls — is escaped.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x20 && c != '"' && c != '\\' {
+			continue // clean run; copied in bulk at the next escape or the end
+		}
+		b = append(b, s[start:i]...)
+		switch c {
+		case '"':
+			b = append(b, '\\', '"')
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '\n':
+			b = append(b, '\\', 'n')
+		case '\r':
+			b = append(b, '\\', 'r')
+		case '\t':
+			b = append(b, '\\', 't')
+		default:
+			const hex = "0123456789abcdef"
+			b = append(b, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
+		}
+		start = i + 1
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
+}
+
+// DecodeRecord decodes the first record framed in b, returning the
+// record and the number of bytes consumed. It never panics on arbitrary
+// input. A short buffer yields ErrTorn; a complete frame that fails the
+// CRC, carries an unknown version or op, or holds an undecodable body
+// yields ErrCorrupt. A record that decodes without error is guaranteed
+// to have had a matching CRC32C over its entire payload.
+func DecodeRecord(b []byte) (Record, int, error) {
+	if len(b) < headerBytes {
+		return Record{}, 0, fmt.Errorf("%w: %d header bytes of %d", ErrTorn, len(b), headerBytes)
+	}
+	n := binary.LittleEndian.Uint32(b[0:4])
+	if n < payloadMeta || n > MaxRecordBytes {
+		return Record{}, 0, fmt.Errorf("%w: implausible payload length %d", ErrCorrupt, n)
+	}
+	if uint32(len(b)-headerBytes) < n {
+		return Record{}, 0, fmt.Errorf("%w: %d payload bytes of %d", ErrTorn, len(b)-headerBytes, n)
+	}
+	payload := b[headerBytes : headerBytes+int(n)]
+	if got, want := crc32.Checksum(payload, crcTable), binary.LittleEndian.Uint32(b[4:8]); got != want {
+		return Record{}, 0, fmt.Errorf("%w: CRC32C %08x, frame says %08x", ErrCorrupt, got, want)
+	}
+	if v := payload[0]; v != recordVersion {
+		return Record{}, 0, fmt.Errorf("%w: record version %d, want %d", ErrCorrupt, v, recordVersion)
+	}
+	rec := Record{
+		Op:  Op(payload[1]),
+		Seq: binary.LittleEndian.Uint64(payload[2:10]),
+	}
+	body := payload[payloadMeta:]
+	switch rec.Op {
+	case OpRegister:
+		if err := strictUnmarshal(body, &rec.Doc); err != nil {
+			return Record{}, 0, fmt.Errorf("%w: register body: %v", ErrCorrupt, err)
+		}
+		if rec.Doc.Name == "" {
+			return Record{}, 0, fmt.Errorf("%w: register record without a name", ErrCorrupt)
+		}
+	case OpEvict:
+		var eb evictBody
+		if err := strictUnmarshal(body, &eb); err != nil {
+			return Record{}, 0, fmt.Errorf("%w: evict body: %v", ErrCorrupt, err)
+		}
+		if eb.Name == "" {
+			return Record{}, 0, fmt.Errorf("%w: evict record without a name", ErrCorrupt)
+		}
+		rec.Name = eb.Name
+	default:
+		return Record{}, 0, fmt.Errorf("%w: unknown op %d", ErrCorrupt, payload[1])
+	}
+	return rec, headerBytes + int(n), nil
+}
+
+// strictUnmarshal decodes JSON rejecting unknown fields and trailing
+// garbage, so a record body is exactly one well-formed document.
+func strictUnmarshal(b []byte, into any) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after body")
+	}
+	return nil
+}

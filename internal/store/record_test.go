@@ -1,0 +1,133 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+)
+
+func regRecord(seq uint64, name string) Record {
+	return Record{
+		Op:  OpRegister,
+		Seq: seq,
+		Doc: TopologyDoc{
+			Name:   name,
+			Edges:  [][]string{{"a", "b"}, {"b", "c"}},
+			Paths:  [][]string{{"a", "b", "c"}},
+			Alpha:  200,
+			Digest: "abc123",
+		},
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	recs := []Record{
+		regRecord(1, "fig1"),
+		{Op: OpEvict, Seq: 2, Name: "fig1"},
+		regRecord(3, "isp"),
+	}
+	var buf []byte
+	for _, r := range recs {
+		buf = EncodeRecord(buf, r)
+	}
+	off := 0
+	for i, want := range recs {
+		got, n, err := DecodeRecord(buf[off:])
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got.Op != want.Op || got.Seq != want.Seq || got.Name != want.Name {
+			t.Fatalf("record %d: got %+v, want %+v", i, got, want)
+		}
+		if want.Op == OpRegister {
+			if got.Doc.Name != want.Doc.Name || got.Doc.Digest != want.Doc.Digest ||
+				len(got.Doc.Edges) != len(want.Doc.Edges) || len(got.Doc.Paths) != len(want.Doc.Paths) ||
+				got.Doc.Alpha != want.Doc.Alpha {
+				t.Fatalf("record %d doc: got %+v, want %+v", i, got.Doc, want.Doc)
+			}
+		}
+		off += n
+	}
+	if off != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", off, len(buf))
+	}
+}
+
+func TestDecodeRecordTornPrefixes(t *testing.T) {
+	frame := EncodeRecord(nil, regRecord(7, "x"))
+	// Every strict prefix must report a torn record, never corrupt: the
+	// missing bytes could still arrive (or, in a file, were lost in a
+	// crash mid-append).
+	for n := 0; n < len(frame); n++ {
+		_, _, err := DecodeRecord(frame[:n])
+		if !errors.Is(err, ErrTorn) {
+			t.Fatalf("prefix %d/%d: err = %v, want ErrTorn", n, len(frame), err)
+		}
+	}
+}
+
+func TestDecodeRecordFlippedBitsFailCRC(t *testing.T) {
+	frame := EncodeRecord(nil, regRecord(9, "flip"))
+	// Flipping any single payload byte (including version/op/seq) must
+	// fail the checksum.
+	for i := headerBytes; i < len(frame); i++ {
+		mut := bytes.Clone(frame)
+		mut[i] ^= 0x40
+		if _, _, err := DecodeRecord(mut); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip byte %d: err = %v, want ErrCorrupt", i, err)
+		}
+	}
+	// Flipping the stored CRC itself must also fail.
+	mut := bytes.Clone(frame)
+	mut[5] ^= 0x01
+	if _, _, err := DecodeRecord(mut); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("flip crc: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecodeRecordImplausibleLength(t *testing.T) {
+	var b [headerBytes]byte
+	binary.LittleEndian.PutUint32(b[0:4], MaxRecordBytes+1)
+	if _, _, err := DecodeRecord(b[:]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversized length: err = %v, want ErrCorrupt", err)
+	}
+	binary.LittleEndian.PutUint32(b[0:4], payloadMeta-1)
+	if _, _, err := DecodeRecord(b[:]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("undersized length: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecodeRecordBadVersionOpAndBody(t *testing.T) {
+	good := EncodeRecord(nil, regRecord(1, "v"))
+
+	// reframe recomputes the length and CRC after payload surgery, so
+	// the decode failure is attributable to the content, not the frame.
+	reframe := func(mutate func(payload []byte) []byte) []byte {
+		payload := bytes.Clone(good[headerBytes:])
+		payload = mutate(payload)
+		out := make([]byte, headerBytes)
+		binary.LittleEndian.PutUint32(out[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(out[4:8], crc32.Checksum(payload, crcTable))
+		return append(out, payload...)
+	}
+
+	cases := map[string][]byte{
+		"future version": reframe(func(p []byte) []byte { p[0] = recordVersion + 1; return p }),
+		"unknown op":     reframe(func(p []byte) []byte { p[1] = 99; return p }),
+		"garbage body":   reframe(func(p []byte) []byte { return append(p[:payloadMeta], []byte("{not json")...) }),
+		"empty name": reframe(func(p []byte) []byte {
+			return append(p[:payloadMeta], []byte(`{"name":"","edges":null,"paths":null,"alpha":0,"digest":""}`)...)
+		}),
+		"unknown field": reframe(func(p []byte) []byte {
+			return append(p[:payloadMeta], []byte(`{"name":"x","bogus":1}`)...)
+		}),
+		"trailing data": reframe(func(p []byte) []byte { return append(p, []byte(`{}`)...) }),
+	}
+	for name, frame := range cases {
+		if _, _, err := DecodeRecord(frame); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}

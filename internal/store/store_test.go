@@ -1,0 +1,517 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func doc(name string) TopologyDoc {
+	return TopologyDoc{
+		Name:   name,
+		Edges:  [][]string{{"a", "b"}, {"b", "c"}, {"c", "a"}},
+		Paths:  [][]string{{"a", "b", "c"}, {"b", "c", "a"}},
+		Alpha:  200,
+		Digest: "digest-" + name,
+	}
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	st, err := Open(context.Background(), dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func names(docs []TopologyDoc) []string {
+	out := make([]string, len(docs))
+	for i, d := range docs {
+		out[i] = d.Name
+	}
+	return out
+}
+
+func TestOpenEmptyDir(t *testing.T) {
+	st := mustOpen(t, t.TempDir(), Options{})
+	defer st.Close()
+	rec := st.Recovered()
+	if len(rec.Topologies) != 0 || rec.LastSeq != 0 || rec.TornTail {
+		t.Fatalf("fresh store recovered %+v", rec)
+	}
+}
+
+func TestAppendReopenRecover(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir, Options{Fsync: FsyncAlways})
+	for _, n := range []string{"one", "two", "three"} {
+		if err := st.AppendRegister(doc(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.AppendEvict("two"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := mustOpen(t, dir, Options{})
+	defer st2.Close()
+	rec := st2.Recovered()
+	got := names(rec.Topologies)
+	if len(got) != 2 || got[0] != "one" || got[1] != "three" {
+		t.Fatalf("recovered %v, want [one three]", got)
+	}
+	if rec.ReplayedRecords != 4 || rec.LastSeq != 4 || rec.TornTail {
+		t.Fatalf("recovered accounting %+v", rec)
+	}
+	for _, d := range rec.Topologies {
+		if d.Digest != "digest-"+d.Name || len(d.Edges) != 3 || len(d.Paths) != 2 || d.Alpha != 200 {
+			t.Fatalf("doc %q lost content: %+v", d.Name, d)
+		}
+	}
+}
+
+func TestEvictThenRestartDoesNotResurrect(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir, Options{})
+	if err := st.AppendRegister(doc("ghost")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendEvict("ghost"); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	// Several restart generations: the evicted name must stay gone even
+	// across repeated recover/append cycles and a compaction.
+	for gen := 0; gen < 3; gen++ {
+		st, err := Open(context.Background(), dir, Options{})
+		if err != nil {
+			t.Fatalf("gen %d: %v", gen, err)
+		}
+		if got := names(st.Recovered().Topologies); len(got) != gen {
+			t.Fatalf("gen %d: recovered %v", gen, got)
+		}
+		if _, live := st.state["ghost"]; live {
+			t.Fatalf("gen %d: ghost resurrected", gen)
+		}
+		if err := st.AppendRegister(doc(fmt.Sprintf("live-%d", gen))); err != nil {
+			t.Fatal(err)
+		}
+		if gen == 1 {
+			if err := st.Compact(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st.Close()
+	}
+}
+
+func TestTornFinalRecordTruncated(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir, Options{})
+	if err := st.AppendRegister(doc("keep")); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	// Simulate a crash mid-append: a valid frame prefix cut short.
+	walPath := filepath.Join(dir, walName)
+	torn := EncodeRecord(nil, Record{Op: OpRegister, Seq: 2, Doc: doc("lost")})
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(torn[:len(torn)-5]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	before, _ := os.Stat(walPath)
+
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg, nil)
+	st2 := mustOpen(t, dir, Options{Metrics: m})
+	rec := st2.Recovered()
+	if got := names(rec.Topologies); len(got) != 1 || got[0] != "keep" {
+		t.Fatalf("recovered %v, want [keep]", got)
+	}
+	if !rec.TornTail {
+		t.Fatal("torn tail not reported")
+	}
+	wantDropped := int64(len(torn) - 5)
+	if rec.TruncatedBytes != wantDropped {
+		t.Fatalf("truncated %d bytes, want %d", rec.TruncatedBytes, wantDropped)
+	}
+	if m.Truncations.Load() != 1 || m.TruncatedBytes.Load() != wantDropped {
+		t.Fatalf("metrics truncations=%d bytes=%d", m.Truncations.Load(), m.TruncatedBytes.Load())
+	}
+	// The file itself was truncated to the valid prefix...
+	after, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() != before.Size()-wantDropped {
+		t.Fatalf("wal size %d, want %d", after.Size(), before.Size()-wantDropped)
+	}
+	// ...and appending after recovery yields a clean, replayable log.
+	if err := st2.AppendRegister(doc("after")); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+	st3 := mustOpen(t, dir, Options{})
+	defer st3.Close()
+	if got := names(st3.Recovered().Topologies); len(got) != 2 || got[1] != "after" {
+		t.Fatalf("post-truncation recovery %v, want [keep after]", got)
+	}
+	if st3.Recovered().TornTail {
+		t.Fatal("clean log reported torn")
+	}
+}
+
+func TestCorruptMiddleRecordDropsTail(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir, Options{})
+	frames := make([]int, 0, 3)
+	for _, n := range []string{"a", "b", "c"} {
+		before := st.WALSize()
+		if err := st.AppendRegister(doc(n)); err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, int(st.WALSize()-before))
+	}
+	st.Close()
+
+	// Flip one byte inside the second record's payload.
+	walPath := filepath.Join(dir, walName)
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[frames[0]+headerBytes+3] ^= 0xFF
+	if err := os.WriteFile(walPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := mustOpen(t, dir, Options{})
+	defer st2.Close()
+	rec := st2.Recovered()
+	// Everything from the corrupt record on is dropped: replay cannot
+	// trust frame boundaries past a failed checksum.
+	if got := names(rec.Topologies); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("recovered %v, want [a]", got)
+	}
+	if !rec.TornTail || rec.TruncatedBytes != int64(frames[1]+frames[2]) {
+		t.Fatalf("accounting %+v, want %d truncated bytes", rec, frames[1]+frames[2])
+	}
+}
+
+func TestCompactionFoldsWALIntoSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	// A tiny threshold forces frequent compaction.
+	st := mustOpen(t, dir, Options{CompactThreshold: 512})
+	for i := 0; i < 50; i++ {
+		if err := st.AppendRegister(doc(fmt.Sprintf("t%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			if err := st.AppendEvict(fmt.Sprintf("t%02d", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if st.WALSize() >= 1024 {
+		t.Fatalf("wal never compacted: %d bytes", st.WALSize())
+	}
+	// Exactly one snapshot file survives, and MANIFEST names it.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := 0
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), snapPrefix) {
+			snaps++
+		}
+	}
+	if snaps != 1 {
+		t.Fatalf("%d snapshot files on disk, want 1", snaps)
+	}
+	wantLive := st.snapshotStateLocked()
+	st.Close()
+
+	st2 := mustOpen(t, dir, Options{})
+	defer st2.Close()
+	rec := st2.Recovered()
+	if rec.SnapshotSeq == 0 {
+		t.Fatal("recovery did not load a snapshot")
+	}
+	got := names(rec.Topologies)
+	want := names(wantLive)
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d topologies, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("order diverged at %d: %v vs %v", i, got, want)
+		}
+	}
+}
+
+func TestRecoverySkipsRecordsAlreadyFolded(t *testing.T) {
+	// Simulate a crash between compaction's MANIFEST rename and its WAL
+	// truncate: the WAL still holds records the snapshot already folded.
+	dir := t.TempDir()
+	st := mustOpen(t, dir, Options{CompactThreshold: -1})
+	for _, n := range []string{"a", "b"} {
+		if err := st.AppendRegister(doc(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendRegister(doc("c")); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	// Rebuild the pre-truncation WAL: folded records 1..2 plus live 3.
+	var wal []byte
+	wal = EncodeRecord(wal, Record{Op: OpRegister, Seq: 1, Doc: doc("a")})
+	wal = EncodeRecord(wal, Record{Op: OpRegister, Seq: 2, Doc: doc("b")})
+	wal = EncodeRecord(wal, Record{Op: OpRegister, Seq: 3, Doc: doc("c")})
+	if err := os.WriteFile(filepath.Join(dir, walName), wal, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := mustOpen(t, dir, Options{})
+	defer st2.Close()
+	rec := st2.Recovered()
+	if got := names(rec.Topologies); len(got) != 3 {
+		t.Fatalf("recovered %v, want [a b c]", got)
+	}
+	if rec.SkippedRecords != 2 || rec.ReplayedRecords != 1 {
+		t.Fatalf("skipped=%d replayed=%d, want 2/1", rec.SkippedRecords, rec.ReplayedRecords)
+	}
+	// A replayed duplicate register must not duplicate the entry.
+	seen := map[string]int{}
+	for _, d := range rec.Topologies {
+		seen[d.Name]++
+	}
+	for n, c := range seen {
+		if c != 1 {
+			t.Fatalf("topology %q appears %d times", n, c)
+		}
+	}
+}
+
+func TestCorruptSnapshotIsAHardError(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir, Options{})
+	if err := st.AppendRegister(doc("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	// Damage the snapshot the manifest points at. Unlike a torn WAL
+	// tail, this must refuse to open: acknowledged state is missing and
+	// no truncation rule can recover it.
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), snapPrefix) {
+			p := filepath.Join(dir, e.Name())
+			raw, _ := os.ReadFile(p)
+			raw[len(raw)/2] ^= 0xFF
+			if err := os.WriteFile(p, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := Open(context.Background(), dir, Options{}); err == nil {
+		t.Fatal("open accepted a checksum-failing snapshot")
+	}
+}
+
+func TestSequenceRegressionTruncates(t *testing.T) {
+	dir := t.TempDir()
+	var wal []byte
+	wal = EncodeRecord(wal, Record{Op: OpRegister, Seq: 1, Doc: doc("a")})
+	wal = EncodeRecord(wal, Record{Op: OpRegister, Seq: 1, Doc: doc("b")}) // repeats seq
+	if err := os.WriteFile(filepath.Join(dir, walName), wal, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st := mustOpen(t, dir, Options{})
+	defer st.Close()
+	rec := st.Recovered()
+	if got := names(rec.Topologies); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("recovered %v, want [a]", got)
+	}
+	if !rec.TornTail {
+		t.Fatal("sequence regression not treated as corruption")
+	}
+}
+
+func TestFsyncPolicies(t *testing.T) {
+	for _, policy := range []FsyncPolicy{FsyncAlways, FsyncInterval, FsyncNever} {
+		t.Run(policy.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			st := mustOpen(t, dir, Options{Fsync: policy, FsyncInterval: time.Millisecond})
+			for i := 0; i < 20; i++ {
+				if err := st.AppendRegister(doc(fmt.Sprintf("p%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if policy == FsyncInterval {
+				time.Sleep(20 * time.Millisecond) // let the syncer run at least once
+			}
+			if err := st.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+			st2 := mustOpen(t, dir, Options{})
+			defer st2.Close()
+			if got := len(st2.Recovered().Topologies); got != 20 {
+				t.Fatalf("recovered %d topologies, want 20", got)
+			}
+		})
+	}
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	for in, want := range map[string]FsyncPolicy{
+		"always": FsyncAlways, "Interval": FsyncInterval, " never ": FsyncNever,
+	} {
+		got, err := ParseFsyncPolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParseFsyncPolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseFsyncPolicy("sometimes"); err == nil {
+		t.Error("accepted unknown policy")
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	st := mustOpen(t, t.TempDir(), Options{})
+	st.Close()
+	if err := st.AppendRegister(doc("late")); err == nil {
+		t.Fatal("append accepted after close")
+	}
+	if err := st.Sync(); err == nil {
+		t.Fatal("sync accepted after close")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestConcurrentAppendsStayReplayable(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir, Options{Fsync: FsyncNever, CompactThreshold: 8 << 10})
+	const workers, per = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				name := fmt.Sprintf("w%d-i%d", w, i)
+				if err := st.AppendRegister(doc(name)); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%2 == 0 {
+					if err := st.AppendEvict(name); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wantLive := workers * per / 2
+	st.Close()
+	st2 := mustOpen(t, dir, Options{})
+	defer st2.Close()
+	rec := st2.Recovered()
+	if rec.TornTail {
+		t.Fatal("concurrent appends left a torn log")
+	}
+	if got := len(rec.Topologies); got != wantLive {
+		t.Fatalf("recovered %d topologies, want %d", got, wantLive)
+	}
+}
+
+func TestDirSize(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir, Options{})
+	if err := st.AppendRegister(doc("size")); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	if got := DirSize(dir); got <= 0 {
+		t.Fatalf("DirSize = %d, want > 0", got)
+	}
+	if DirSize(filepath.Join(dir, "no-such-subdir")) != 0 {
+		t.Fatal("DirSize of missing dir != 0")
+	}
+}
+
+func TestMetricsCounts(t *testing.T) {
+	reg := obs.NewRegistry()
+	dir := t.TempDir()
+	m := NewMetrics(reg, func() float64 { return float64(DirSize(dir)) })
+	st := mustOpen(t, dir, Options{Fsync: FsyncAlways, CompactThreshold: -1, Metrics: m})
+	for i := 0; i < 5; i++ {
+		if err := st.AppendRegister(doc(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	if got := m.Records.Load(); got != 5 {
+		t.Errorf("records = %d, want 5", got)
+	}
+	if m.Snapshots.Load() != 1 || m.Compactions.Load() != 1 {
+		t.Errorf("snapshots/compactions = %d/%d, want 1/1", m.Snapshots.Load(), m.Compactions.Load())
+	}
+	if got := m.AppendLatency.Count(); got != 5 {
+		t.Errorf("append latency observations = %d, want 5", got)
+	}
+	if m.FsyncLatency.Count() == 0 {
+		t.Error("no fsync latency observations under FsyncAlways")
+	}
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	text := b.String()
+	for _, want := range []string{
+		"store_wal_records_total 5",
+		"store_snapshots_total 1",
+		"store_compactions_total 1",
+		"store_data_dir_bytes",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	for _, err := range obs.Lint(text) {
+		t.Errorf("lint: %v", err)
+	}
+}

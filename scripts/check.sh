@@ -28,7 +28,16 @@ go test -short -race -run Smoke ./internal/e2e
 go test -race -run 'TestObsSmoke|TestTraceGoldenDeterministic' ./internal/e2e
 go test -race -run 'TestMetricsExpositionLint|TestDebugTraces|TestEstimateTraceStructure|TestRequestID|TestRequestLogging|TestPprofMounted' ./internal/serve
 
+# Durability: the store's recovery paths (torn tails, corrupt records,
+# the compaction crash windows) and the kill/restart contracts at every
+# layer — store, daemon, e2e — under -race.
+go test -race -run 'TestTorn|TestCorrupt|TestCompaction|TestRecovery|TestSequenceRegression|TestConcurrentAppends|TestEvictThenRestart' ./internal/store
+go test -race -run 'TestRegistryPersists|TestStoreFailure|TestRestoreVerifies' ./internal/serve
+go test -race -run 'TestDaemonDataDirRestart|TestDaemonPreloadSkipsRecovered' ./cmd/tomographyd
+go test -race -run 'TestKillRestart' ./internal/e2e
+
 go test -run='^$' -fuzz=FuzzSolve -fuzztime=10s ./internal/lp
 go test -run='^$' -fuzz=FuzzParseEdgeList -fuzztime=10s ./internal/graph
+go test -run='^$' -fuzz=FuzzDecodeRecord -fuzztime=10s ./internal/store
 
 go test -run='^$' -bench=. -benchtime=1x ./...
