@@ -2,10 +2,17 @@
 //
 // Usage:
 //
-//	topogen -kind fig1|isp|wireless|er|waxman [-seed S] [-n N] [-p P] [-out FILE] [-stats]
+//	topogen -kind fig1|isp|backbone|wireless|er|waxman [-seed S] [-n N] [-p P] [-links L] [-out FILE] [-stats]
 //
 // The output is a parseable edge list ("nameA nameB" per line) usable by
 // tomograph and scapegoat via -topo FILE.
+//
+// The backbone kind synthesizes an ISP-scale router map at a target
+// link count (-links, default 100000): preferential attachment with
+// m = 3, giving the Rocketfuel-style power-law degree mix P(k) ∝ k⁻³
+// with minimum degree 3 (see internal/topo.Backbone). Deterministic for
+// a given seed, so a 100k-link evaluation topology is a two-integer
+// recipe rather than a 2 MB artifact.
 package main
 
 import (
@@ -20,21 +27,22 @@ import (
 )
 
 func main() {
-	kind := flag.String("kind", "fig1", "topology kind: fig1, isp, wireless, er, waxman")
+	kind := flag.String("kind", "fig1", "topology kind: fig1, isp, backbone, wireless, er, waxman")
 	seed := flag.Int64("seed", 1, "RNG seed")
 	n := flag.Int("n", 50, "node count (er, waxman)")
 	p := flag.Float64("p", 0.1, "edge probability (er)")
+	links := flag.Int("links", 100000, "target link count (backbone)")
 	out := flag.String("out", "", "output file (default stdout)")
 	stats := flag.Bool("stats", false, "print topology metrics to stderr")
 	flag.Parse()
 
-	if err := run(*kind, *seed, *n, *p, *out, *stats); err != nil {
+	if err := run(*kind, *seed, *n, *p, *links, *out, *stats); err != nil {
 		fmt.Fprintf(os.Stderr, "topogen: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(kind string, seed int64, n int, p float64, out string, stats bool) error {
+func run(kind string, seed int64, n int, p float64, links int, out string, stats bool) error {
 	var (
 		g   *graph.Graph
 		err error
@@ -45,6 +53,8 @@ func run(kind string, seed int64, n int, p float64, out string, stats bool) erro
 		g = topo.Fig1().G
 	case "isp":
 		g, err = topo.ISP(seed)
+	case "backbone":
+		g, err = topo.Backbone(seed, links)
 	case "wireless":
 		g, _, err = topo.Wireless(seed)
 	case "er":

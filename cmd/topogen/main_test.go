@@ -1,6 +1,8 @@
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,10 +11,10 @@ import (
 
 func TestRunAllKinds(t *testing.T) {
 	dir := t.TempDir()
-	for _, kind := range []string{"fig1", "isp", "wireless", "er", "waxman"} {
+	for _, kind := range []string{"fig1", "isp", "wireless", "er", "waxman", "backbone"} {
 		t.Run(kind, func(t *testing.T) {
 			out := filepath.Join(dir, kind+".txt")
-			if err := run(kind, 1, 30, 0.2, out, true); err != nil {
+			if err := run(kind, 1, 30, 0.2, 1000, out, true); err != nil {
 				t.Fatalf("run(%s): %v", kind, err)
 			}
 			data, err := os.ReadFile(out)
@@ -29,14 +31,35 @@ func TestRunAllKinds(t *testing.T) {
 	}
 }
 
+// TestBackboneGoldenDigest pins the backbone generator's output
+// byte-for-byte: a (seed, links) pair must regenerate the identical
+// edge list forever, because scale topologies are distributed as
+// recipes, not artifacts — a drifted generator would silently change
+// every downstream benchmark and registered digest.
+func TestBackboneGoldenDigest(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "backbone.txt")
+	if err := run("backbone", 7, 0, 0, 1000, out, false); err != nil {
+		t.Fatalf("run(backbone): %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(data)
+	const want = "7819b88c0dccb738d63aa63523347e4626e763f034503ff2e4decf5f16a4a8f7"
+	if got := hex.EncodeToString(sum[:]); got != want {
+		t.Fatalf("backbone(seed=7, links=1000) edge-list digest drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
 func TestRunUnknownKind(t *testing.T) {
-	if err := run("nope", 1, 10, 0.1, "", false); err == nil {
+	if err := run("nope", 1, 10, 0.1, 1000, "", false); err == nil {
 		t.Fatal("unknown kind accepted")
 	}
 }
 
 func TestRunBadPath(t *testing.T) {
-	if err := run("fig1", 1, 10, 0.1, "/nonexistent-dir/x.txt", false); err == nil {
+	if err := run("fig1", 1, 10, 0.1, 1000, "/nonexistent-dir/x.txt", false); err == nil {
 		t.Fatal("bad output path accepted")
 	}
 }

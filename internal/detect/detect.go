@@ -54,13 +54,14 @@ func New(sys *tomo.System, alpha float64) (*Detector, error) {
 // Alpha returns the detection threshold in use.
 func (d *Detector) Alpha() float64 { return d.alpha }
 
-// Warm forces the underlying system's least-squares factorization so the
-// first Inspect on a fresh system does not pay the factorization cost
-// inside a latency-sensitive path. It surfaces tomo.ErrNotIdentifiable
-// eagerly, which lets a service reject an unusable configuration at
-// registration time instead of on first inspection.
+// Warm forces the underlying system's solver construction (dense
+// factorization or sparse identifiability screen) so the first Inspect
+// on a fresh system does not pay that cost inside a latency-sensitive
+// path. It surfaces tomo.ErrNotIdentifiable eagerly, which lets a
+// service reject an unusable configuration at registration time instead
+// of on first inspection.
 func (d *Detector) Warm() error {
-	_, err := d.sys.Factor()
+	_, err := d.sys.Solver()
 	return err
 }
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/tomo"
 )
 
 // Metrics is the daemon's observability state, built on the
@@ -47,6 +48,13 @@ type Metrics struct {
 	// (tomographyd_estimate_latency_seconds, as before the obs
 	// migration).
 	EstimateLatency *obs.Histogram
+	// SolverIterations and SolverResidual record every iterative
+	// (sparse CGLS) solve: how many iterations it took and the final
+	// measurement-space residual norm ‖y − R·x̂‖₂. Dense Cholesky
+	// solves have no iteration count and do not observe here, so these
+	// histograms are exactly the sparse path's convergence telemetry.
+	SolverIterations *obs.Histogram
+	SolverResidual   *obs.Histogram
 	// stageLatency aggregates trace-span durations per stage name
 	// (tomographyd_stage_latency_seconds{stage="tomo.solve"} etc.),
 	// fed by the server tracer's span-end hook.
@@ -75,6 +83,10 @@ func NewMetrics() *Metrics {
 	m.CacheHits = reg.Counter("tomographyd_solver_cache_hits_total", "Registrations served from the solver cache.")
 	m.CacheMisses = reg.Counter("tomographyd_solver_cache_misses_total", "Registrations that ran a fresh factorization.")
 	m.EstimateLatency = reg.Histogram("tomographyd_estimate_latency_seconds", "Per-round estimate latency.", obs.DefaultLatencyBuckets)
+	m.SolverIterations = reg.Histogram("tomographyd_solver_iterations", "Iterations per sparse (CGLS) solve.",
+		[]float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500})
+	m.SolverResidual = reg.Histogram("tomographyd_solver_residual_norm", "Final residual norm per sparse (CGLS) solve.",
+		[]float64{1e-12, 1e-9, 1e-6, 1e-3, 1, 1e3})
 	m.stageLatency = reg.HistogramVec("tomographyd_stage_latency_seconds", "Trace-span duration by pipeline stage.", "stage", obs.DefaultLatencyBuckets)
 	obs.RegisterRuntime(reg)
 	return m
@@ -94,6 +106,14 @@ func (m *Metrics) trackRegistry(reg *Registry) {
 	m.reg.GaugeFunc("tomographyd_topologies_registered",
 		"Topologies currently registered (live registry cardinality).",
 		func() float64 { return float64(reg.Len()) })
+}
+
+// ObserveSolve records one iterative solve's convergence statistics —
+// installed as every registered system's solve observer, so the sparse
+// path's iteration counts and residual norms land on /metrics.
+func (m *Metrics) ObserveSolve(st tomo.SolveStats) {
+	m.SolverIterations.Observe(float64(st.Iterations))
+	m.SolverResidual.Observe(st.ResidualNorm)
 }
 
 // ObserveEstimate records one solve's wall-clock latency.

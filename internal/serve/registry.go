@@ -9,7 +9,6 @@ import (
 
 	"repro/internal/detect"
 	"repro/internal/graph"
-	"repro/internal/la"
 	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/tomo"
@@ -41,30 +40,34 @@ type Entry struct {
 	CacheHit bool
 }
 
-// solverCache shares normal-equation factorizations between systems with
-// identical routing matrices, keyed by tomo's R digest. The digest is
-// the invalidation key: any change to the topology or path set changes R
-// and therefore misses the cache, so stale solvers can never be applied.
+// solverCache shares solvers — dense normal-equation factorizations or
+// sparse iterative engines, whichever tomo selected — between systems
+// with identical routing matrices, keyed by tomo's R digest. The digest
+// is the invalidation key: any change to the topology or path set
+// changes R and therefore misses the cache, so stale solvers can never
+// be applied. Sparse solvers cache the identifiability screen (the
+// expensive CondEst pass), so re-registering an ISP-scale configuration
+// is warm just like the dense ~100–400x case.
 type solverCache struct {
 	mu sync.Mutex
-	m  map[string]*la.NormalFactor
+	m  map[string]tomo.Solver
 
 	metrics *Metrics
 }
 
-// adopt installs a cached factor into sys, or factors sys and caches the
-// result. Reports whether the cache was hit. The lookup runs under a
-// "cache.adopt" span; a miss additionally produces the factorization
-// span from tomo.FactorCtx.
+// adopt installs a cached solver into sys, or builds sys's solver and
+// caches the result. Reports whether the cache was hit. The lookup runs
+// under a "cache.adopt" span; a miss additionally produces the
+// factorization (or sparse-screen) span from tomo.SolverCtx.
 func (c *solverCache) adopt(ctx context.Context, digest string, sys *tomo.System) (bool, error) {
 	ctx, span := obs.StartSpan(ctx, "cache.adopt")
 	defer span.End()
 	c.mu.Lock()
-	fac, ok := c.m[digest]
+	sv, ok := c.m[digest]
 	c.mu.Unlock()
 	span.SetBool("hit", ok)
 	if ok {
-		if err := sys.AdoptFactor(fac); err != nil {
+		if err := sys.AdoptSolver(sv); err != nil {
 			return false, err
 		}
 		if c.metrics != nil {
@@ -72,12 +75,12 @@ func (c *solverCache) adopt(ctx context.Context, digest string, sys *tomo.System
 		}
 		return true, nil
 	}
-	fac, err := sys.FactorCtx(ctx)
+	sv, err := sys.SolverCtx(ctx)
 	if err != nil {
 		return false, err
 	}
 	c.mu.Lock()
-	c.m[digest] = fac
+	c.m[digest] = sv
 	c.mu.Unlock()
 	if c.metrics != nil {
 		c.metrics.CacheMisses.Add(1)
@@ -104,7 +107,7 @@ type Registry struct {
 func NewRegistry(metrics *Metrics) *Registry {
 	return &Registry{
 		entries: make(map[string]*Entry),
-		cache:   &solverCache{m: make(map[string]*la.NormalFactor), metrics: metrics},
+		cache:   &solverCache{m: make(map[string]tomo.Solver), metrics: metrics},
 	}
 }
 
@@ -150,6 +153,13 @@ func (r *Registry) registerSystem(ctx context.Context, name string, sys *tomo.Sy
 		return nil, fmt.Errorf("%w: nil system", ErrBadRequest)
 	}
 	digest := sys.Digest()
+	if m := r.cache.metrics; m != nil {
+		// Feed every iterative solve's iteration count and residual
+		// norm into the solver histograms. Installed before the system
+		// is published to the entries map, so no handler can race the
+		// write.
+		sys.SetSolveObserver(m.ObserveSolve)
+	}
 	hit, err := r.cache.adopt(ctx, digest, sys)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/la"
+	"repro/internal/tomo"
+	"repro/internal/topo"
+)
+
+// backboneSparse builds a backbone measurement system on the forced
+// sparse route: links-scale topology, one-hop probe per link plus a
+// multi-hop mesh.
+func backboneSparse(t testing.TB, seed int64, links, extra int) *tomo.System {
+	t.Helper()
+	g, err := topo.Backbone(seed, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := topo.BackbonePaths(g, extra, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := tomo.NewSparseSystem(g, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestRegisterSparseSystemFeedsSolverMetrics(t *testing.T) {
+	m := NewMetrics()
+	reg := NewRegistry(m)
+	sys := backboneSparse(t, 11, 400, 50)
+	e, err := reg.RegisterSystem("bb", sys, 0)
+	if err != nil {
+		t.Fatalf("RegisterSystem: %v", err)
+	}
+	if e.Sys.Dense() {
+		t.Fatal("sparse system registered with a dense mirror")
+	}
+	x := make(la.Vector, sys.NumLinks())
+	for i := range x {
+		x[i] = 1 + float64(i%7)/10
+	}
+	y, err := sys.Measure(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const solves = 4
+	for k := 0; k < solves; k++ {
+		if _, err := e.Sys.Estimate(y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.SolverIterations.Count(); got != solves {
+		t.Errorf("SolverIterations count = %d, want %d", got, solves)
+	}
+	if got := m.SolverResidual.Count(); got != solves {
+		t.Errorf("SolverResidual count = %d, want %d", got, solves)
+	}
+	var b strings.Builder
+	m.WritePrometheus(&b)
+	text := b.String()
+	for _, metric := range []string{"tomographyd_solver_iterations", "tomographyd_solver_residual_norm"} {
+		if !strings.Contains(text, metric) {
+			t.Errorf("/metrics exposition missing %s", metric)
+		}
+	}
+}
+
+func TestSparseSolverCacheShared(t *testing.T) {
+	m := NewMetrics()
+	reg := NewRegistry(m)
+	a := backboneSparse(t, 12, 300, 40)
+	e1, err := reg.RegisterSystem("a", a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.CacheHit {
+		t.Error("first sparse registration hit the cache")
+	}
+	// Same topology recipe ⇒ same routing matrix ⇒ same digest: the
+	// second registration must adopt the cached sparse solver and skip
+	// the CondEst screen.
+	b := backboneSparse(t, 12, 300, 40)
+	e2, err := reg.RegisterSystem("b", b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e2.CacheHit {
+		t.Error("identical sparse routing matrix missed the solver cache")
+	}
+	if e1.Digest != e2.Digest {
+		t.Error("digests differ for identical sparse R")
+	}
+	if m.CacheHits.Load() != 1 || m.CacheMisses.Load() != 1 {
+		t.Errorf("cache hits/misses = %d/%d, want 1/1", m.CacheHits.Load(), m.CacheMisses.Load())
+	}
+}
+
+// TestRegisterISPScale is the subsystem's acceptance check: register a
+// ≥100k-link backbone and run an estimate through the full registry
+// path without ever materializing a dense P×L or L×L operator, with the
+// solve statistics landing in the metrics histograms.
+func TestRegisterISPScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ISP-scale registration skipped in -short mode")
+	}
+	m := NewMetrics()
+	reg := NewRegistry(m)
+	sys := backboneSparse(t, 100, 100000, 1000)
+	if sys.NumLinks() < 100000 {
+		t.Fatalf("backbone has %d links, want ≥ 100000", sys.NumLinks())
+	}
+	e, err := reg.RegisterSystem("isp", sys, 0)
+	if err != nil {
+		t.Fatalf("RegisterSystem at 100k links: %v", err)
+	}
+	if e.Sys.Dense() {
+		t.Fatal("100k-link system materialized a dense mirror")
+	}
+	x := make(la.Vector, sys.NumLinks())
+	for i := range x {
+		x[i] = 1 + float64(i%11)/10
+	}
+	y, err := sys.Measure(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xhat, err := e.Sys.Estimate(y)
+	if err != nil {
+		t.Fatalf("Estimate at 100k links: %v", err)
+	}
+	if !xhat.Equal(x, 1e-5) {
+		t.Fatal("noise-free 100k-link estimate did not recover the true metrics")
+	}
+	if m.SolverIterations.Count() == 0 || m.SolverResidual.Count() == 0 {
+		t.Error("ISP-scale solve left no trace in the solver histograms")
+	}
+}

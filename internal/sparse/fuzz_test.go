@@ -1,0 +1,118 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/la"
+)
+
+// decodeFuzzTriplets turns a byte stream into matrix dimensions and a
+// triplet list that deliberately covers the hostile cases: negative and
+// out-of-range indices, duplicated coordinates in arbitrary order,
+// exact cancellations, and non-finite values.
+func decodeFuzzTriplets(data []byte) (rows, cols int, ts []Triplet) {
+	if len(data) < 2 {
+		return 0, 0, nil
+	}
+	// Dimensions in [-2, 13] so negative shapes are reachable.
+	rows = int(data[0]%16) - 2
+	cols = int(data[1]%16) - 2
+	data = data[2:]
+	for len(data) >= 3 {
+		v := float64(int8(data[2])) / 4
+		switch data[2] {
+		case 0x7d:
+			v = math.NaN()
+		case 0x7e:
+			v = math.Inf(1)
+		case 0x7f:
+			v = math.Inf(-1)
+		}
+		ts = append(ts, Triplet{
+			Row: int(int8(data[0])) % 16,
+			Col: int(int8(data[1])) % 16,
+			Val: v,
+		})
+		data = data[3:]
+	}
+	return rows, cols, ts
+}
+
+// FuzzCSRFromTriplets drives CSR assembly with arbitrary triplet
+// streams. FromTriplets must never panic; it must reject exactly the
+// inputs with out-of-range indices or non-finite values; and when it
+// accepts, the result must agree entry-for-entry with a naive dense
+// accumulation and satisfy the canonical CSR invariants.
+func FuzzCSRFromTriplets(f *testing.F) {
+	f.Add([]byte{4, 4, 0, 0, 4, 0, 0, 8, 1, 2, 0xfc})
+	f.Add([]byte{3, 3, 2, 2, 4, 0, 1, 4, 0, 1, 0xfc}) // dup that cancels
+	f.Add([]byte{2, 2, 0xff, 0, 4})                   // negative row
+	f.Add([]byte{2, 2, 0, 0, 0x7d})                   // NaN value
+	f.Add([]byte{0, 0})                               // negative dims
+	f.Add([]byte{5, 5, 9, 0, 4})                      // row out of range
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 512 {
+			return
+		}
+		rows, cols, ts := decodeFuzzTriplets(data)
+		m, err := FromTriplets(rows, cols, ts)
+
+		// Decide validity independently of the implementation.
+		valid := rows >= 0 && cols >= 0
+		for _, tr := range ts {
+			if tr.Row < 0 || tr.Row >= rows || tr.Col < 0 || tr.Col >= cols ||
+				math.IsNaN(tr.Val) || math.IsInf(tr.Val, 0) {
+				valid = false
+			}
+		}
+		if !valid {
+			if err == nil {
+				t.Fatalf("invalid input accepted: %d×%d %v", rows, cols, ts)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("valid input rejected: %d×%d %v: %v", rows, cols, ts, err)
+		}
+
+		// Naive dense accumulation is the ground truth. Duplicates sum
+		// in input order, which matches the documented contract.
+		want := la.NewMatrix(rows, cols)
+		for _, tr := range ts {
+			want.Set(tr.Row, tr.Col, want.At(tr.Row, tr.Col)+tr.Val)
+		}
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				if got := m.At(i, j); got != want.At(i, j) {
+					t.Fatalf("At(%d,%d) = %g, dense accumulation %g", i, j, got, want.At(i, j))
+				}
+			}
+		}
+
+		// Canonical form: strictly increasing columns per row, no
+		// stored zeros, NNZ consistent with iteration.
+		seen := 0
+		for i := 0; i < rows; i++ {
+			prev := -1
+			m.Row(i, func(j int, v float64) {
+				seen++
+				if j <= prev {
+					t.Errorf("row %d: column %d not after %d", i, j, prev)
+				}
+				if v == 0 {
+					t.Errorf("row %d col %d: explicit zero stored", i, j)
+				}
+				prev = j
+			})
+		}
+		if seen != m.NNZ() {
+			t.Fatalf("Row iteration saw %d entries, NNZ() = %d", seen, m.NNZ())
+		}
+
+		// Round trip through the dense mirror must be exact.
+		if !m.Dense().Equal(want, 0) {
+			t.Fatal("Dense() disagrees with accumulation")
+		}
+	})
+}

@@ -1,0 +1,122 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/la"
+)
+
+// LSQR solves min‖b − A·x‖₂ by Golub-Kahan bidiagonalization
+// (Paige & Saunders 1982), matrix-free like CGLS but with two extras
+// the tomography stack wants: running estimates of ‖A‖F and cond(A)
+// maintained from the bidiagonalization itself, and an
+// ErrIllConditioned abort when the condition estimate crosses
+// Options.CondLimit — the matrix-free analogue of dense Cholesky
+// refusing a rank-deficient Gram matrix.
+//
+// Deterministic: fixed summation order, no randomness, no parallelism.
+func LSQR(a *CSR, b la.Vector, opts Options) (*Result, error) {
+	if len(b) != a.rows {
+		return nil, fmt.Errorf("sparse: LSQR rhs has length %d, want %d: %w", len(b), a.rows, la.ErrShape)
+	}
+	tol, maxIter, condLim := opts.tol(), opts.maxIter(a.cols), opts.condLimit()
+	x := make(la.Vector, a.cols)
+	res := &Result{X: x}
+
+	// β₁u₁ = b
+	u := b.Clone()
+	beta := u.Norm2()
+	if beta == 0 {
+		res.Converged = true
+		return res, nil
+	}
+	scale(u, 1/beta)
+	// α₁v₁ = Aᵀu₁
+	v, err := a.MulVecT(u)
+	if err != nil {
+		return nil, err
+	}
+	alfa := v.Norm2()
+	if alfa == 0 {
+		// b ⊥ range(A): x = 0 is optimal.
+		res.ResidualNorm = beta
+		res.Converged = true
+		return res, nil
+	}
+	scale(v, 1/alfa)
+	w := v.Clone()
+	arnorm0 := alfa * beta // ‖Aᵀb‖
+	phibar, rhobar := beta, alfa
+	var anorm, ddnorm float64
+
+	for itn := 1; itn <= maxIter; itn++ {
+		// Continue the bidiagonalization: βu = Av − αu, αv = Aᵀu − βv.
+		av, err := a.MulVec(v)
+		if err != nil {
+			return nil, err
+		}
+		for i := range u {
+			u[i] = av[i] - alfa*u[i]
+		}
+		beta = u.Norm2()
+		if beta > 0 {
+			scale(u, 1/beta)
+		}
+		anorm = math.Sqrt(anorm*anorm + alfa*alfa + beta*beta)
+		atu, err := a.MulVecT(u)
+		if err != nil {
+			return nil, err
+		}
+		for i := range v {
+			v[i] = atu[i] - beta*v[i]
+		}
+		alfa = v.Norm2()
+		if alfa > 0 {
+			scale(v, 1/alfa)
+		}
+
+		// Plane rotation to eliminate the subdiagonal of the lower
+		// bidiagonal matrix.
+		rho := math.Hypot(rhobar, beta)
+		cs := rhobar / rho
+		sn := beta / rho
+		theta := sn * alfa
+		rhobar = -cs * alfa
+		phi := cs * phibar
+		phibar = sn * phibar
+
+		t1 := phi / rho
+		t2 := -theta / rho
+		var dknorm float64
+		for i := range w {
+			dk := w[i] / rho
+			dknorm += dk * dk
+			x[i] += t1 * w[i]
+			w[i] = v[i] + t2*w[i]
+		}
+		ddnorm += dknorm
+
+		res.Iterations = itn
+		res.ResidualNorm = phibar
+		res.NormalResidual = alfa * math.Abs(sn*phi)
+		res.ANorm = anorm
+		res.ACond = anorm * math.Sqrt(ddnorm)
+		if res.ACond > condLim {
+			return res, fmt.Errorf("%w: LSQR condition estimate %.3g exceeds limit %.3g at iteration %d",
+				ErrIllConditioned, res.ACond, condLim, itn)
+		}
+		if res.NormalResidual <= tol*arnorm0 {
+			res.Converged = true
+			return res, nil
+		}
+	}
+	return res, fmt.Errorf("%w: LSQR stopped after %d iterations with ‖Aᵀr‖/‖Aᵀb‖ = %.3g (tol %.3g)",
+		ErrNotConverged, res.Iterations, res.NormalResidual/arnorm0, tol)
+}
+
+func scale(v la.Vector, s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}

@@ -1,0 +1,319 @@
+package sparse
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/la"
+)
+
+// randomTall builds a random full-rank-with-overwhelming-probability
+// tall sparse-ish matrix and a dense mirror.
+func randomTall(rng *rand.Rand, rows, cols int) (*CSR, *la.Matrix) {
+	d := la.NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < 0.5 {
+				d.Set(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	// Guarantee full column rank: add identity rows scaled by 1 over
+	// the first cols rows (rows ≥ cols in all callers).
+	for j := 0; j < cols; j++ {
+		d.Set(j, j, d.At(j, j)+1)
+	}
+	return FromDense(d), d
+}
+
+func solveDense(t *testing.T, d *la.Matrix, b la.Vector) la.Vector {
+	t.Helper()
+	fac, err := la.FactorNormal(d)
+	if err != nil {
+		t.Fatalf("dense oracle factor: %v", err)
+	}
+	x, err := fac.Solve(b)
+	if err != nil {
+		t.Fatalf("dense oracle solve: %v", err)
+	}
+	return x
+}
+
+func TestCGLSAgreesWithDenseOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		rows := 5 + rng.Intn(20)
+		cols := 2 + rng.Intn(rows-2)
+		a, d := randomTall(rng, rows, cols)
+		b := make(la.Vector, rows)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		want := solveDense(t, d, b)
+		res, err := CGLS(a, b, Options{})
+		if err != nil {
+			t.Fatalf("trial %d (%d×%d): CGLS: %v", trial, rows, cols, err)
+		}
+		if !res.Converged {
+			t.Fatalf("trial %d: converged not set", trial)
+		}
+		if !res.X.Equal(want, 1e-7) {
+			t.Fatalf("trial %d (%d×%d): CGLS %v vs dense %v", trial, rows, cols, res.X, want)
+		}
+	}
+}
+
+func TestLSQRAgreesWithDenseOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 30; trial++ {
+		rows := 5 + rng.Intn(20)
+		cols := 2 + rng.Intn(rows-2)
+		a, d := randomTall(rng, rows, cols)
+		b := make(la.Vector, rows)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		want := solveDense(t, d, b)
+		res, err := LSQR(a, b, Options{})
+		if err != nil {
+			t.Fatalf("trial %d (%d×%d): LSQR: %v", trial, rows, cols, err)
+		}
+		if !res.X.Equal(want, 1e-7) {
+			t.Fatalf("trial %d (%d×%d): LSQR %v vs dense %v", trial, rows, cols, res.X, want)
+		}
+		if res.ACond <= 0 || res.ANorm <= 0 {
+			t.Fatalf("trial %d: missing conditioning estimates: anorm %g acond %g", trial, res.ANorm, res.ACond)
+		}
+	}
+}
+
+func TestSolversAgreeOnConsistentSystem(t *testing.T) {
+	// For b = A·x* with full-rank A the unique least-squares solution
+	// is x*; both solvers must recover it to tolerance.
+	rng := rand.New(rand.NewSource(23))
+	a, _ := randomTall(rng, 40, 15)
+	xstar := make(la.Vector, 15)
+	for i := range xstar {
+		xstar[i] = rng.Float64()
+	}
+	b, err := a.MulVec(xstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, solve := range map[string]func(*CSR, la.Vector, Options) (*Result, error){
+		"CGLS": CGLS, "LSQR": LSQR,
+	} {
+		res, err := solve(a, b, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.X.Equal(xstar, 1e-7) {
+			t.Fatalf("%s did not recover the consistent solution", name)
+		}
+		if res.ResidualNorm > 1e-7 {
+			t.Fatalf("%s residual %g on a consistent system", name, res.ResidualNorm)
+		}
+	}
+}
+
+func TestSolversReportNonConvergence(t *testing.T) {
+	// An ill-conditioned dense-ish system with a starvation budget: the
+	// solver must say so, not return silently garbage.
+	rng := rand.New(rand.NewSource(24))
+	d := la.NewMatrix(30, 20)
+	for i := 0; i < 30; i++ {
+		for j := 0; j < 20; j++ {
+			d.Set(i, j, rng.NormFloat64()*math.Pow(10, -float64(j)/3))
+		}
+	}
+	a := FromDense(d)
+	b := make(la.Vector, 30)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	for name, solve := range map[string]func(*CSR, la.Vector, Options) (*Result, error){
+		"CGLS": CGLS, "LSQR": LSQR,
+	} {
+		res, err := solve(a, b, Options{Tol: 1e-14, MaxIter: 2, CondLimit: 1e30})
+		if !errors.Is(err, ErrNotConverged) {
+			t.Fatalf("%s: err = %v, want ErrNotConverged", name, err)
+		}
+		if res == nil || res.Iterations != 2 {
+			t.Fatalf("%s: partial result missing or wrong iteration count: %+v", name, res)
+		}
+		if res.Converged {
+			t.Fatalf("%s: Converged true alongside ErrNotConverged", name)
+		}
+	}
+}
+
+func TestLSQRCondLimitAborts(t *testing.T) {
+	// Severely graded columns (condition ≫ the limit): LSQR's running
+	// acond estimate must trip CondLimit with ErrIllConditioned while
+	// iterating, instead of grinding toward a meaningless solution.
+	// (True rank deficiency is screened by CondEst before a solver is
+	// ever built — Krylov iterates stay in range(Aᵀ), so a converged
+	// LSQR on a singular system is still a valid least-squares point.)
+	rng := rand.New(rand.NewSource(25))
+	d := la.NewMatrix(30, 20)
+	for i := 0; i < 30; i++ {
+		for j := 0; j < 20; j++ {
+			d.Set(i, j, rng.NormFloat64()*math.Pow(10, -float64(j)))
+		}
+	}
+	a := FromDense(d)
+	b := make(la.Vector, 30)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	_, err := LSQR(a, b, Options{Tol: 1e-15, CondLimit: 1e4})
+	if !errors.Is(err, ErrIllConditioned) {
+		t.Fatalf("err = %v, want ErrIllConditioned", err)
+	}
+}
+
+func TestCGLSZeroRHS(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	a, _ := randomTall(rng, 10, 4)
+	res, err := CGLS(a, make(la.Vector, 10), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Iterations != 0 {
+		t.Fatalf("zero RHS should converge instantly: %+v", res)
+	}
+	for _, v := range res.X {
+		if v != 0 {
+			t.Fatalf("zero RHS produced nonzero solution %v", res.X)
+		}
+	}
+}
+
+func TestSolversRejectWrongRHSLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	a, _ := randomTall(rng, 10, 4)
+	if _, err := CGLS(a, make(la.Vector, 9), Options{}); !errors.Is(err, la.ErrShape) {
+		t.Errorf("CGLS: err = %v, want ErrShape", err)
+	}
+	if _, err := LSQR(a, make(la.Vector, 9), Options{}); !errors.Is(err, la.ErrShape) {
+		t.Errorf("LSQR: err = %v, want ErrShape", err)
+	}
+}
+
+func TestSolversDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	a, _ := randomTall(rng, 25, 10)
+	b := make(la.Vector, 25)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	first, err := CGLS(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 5; k++ {
+		again, err := CGLS(a, b, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Iterations != first.Iterations {
+			t.Fatalf("iteration count varies across identical runs: %d vs %d", again.Iterations, first.Iterations)
+		}
+		for i := range first.X {
+			if again.X[i] != first.X[i] {
+				t.Fatalf("run %d: iterate not bit-identical at %d", k, i)
+			}
+		}
+	}
+}
+
+func TestCondEstMatchesSVD(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 10; trial++ {
+		rows := 8 + rng.Intn(12)
+		cols := 3 + rng.Intn(5)
+		a, d := randomTall(rng, rows, cols)
+		svd, err := la.FactorSVD(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantCond := svd.Condition()
+		sigMax, sigMin, err := CondEst(a, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sigMin <= 0 {
+			t.Fatalf("trial %d: full-rank matrix estimated singular (σmin %g)", trial, sigMin)
+		}
+		gotCond := sigMax / sigMin
+		if gotCond < wantCond*0.5 || gotCond > wantCond*2 {
+			t.Fatalf("trial %d: CondEst %.3g vs SVD condition %.3g", trial, gotCond, wantCond)
+		}
+		if RankDeficient(sigMax, sigMin) {
+			t.Fatalf("trial %d: full-rank matrix classified rank-deficient", trial)
+		}
+	}
+}
+
+func TestCondEstFlagsDegenerateMatrices(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	t.Run("duplicate column", func(t *testing.T) {
+		d := la.NewMatrix(10, 4)
+		for i := 0; i < 10; i++ {
+			v := rng.NormFloat64()
+			d.Set(i, 0, v)
+			d.Set(i, 3, v)
+			d.Set(i, 1, rng.NormFloat64())
+			d.Set(i, 2, rng.NormFloat64())
+		}
+		sigMax, sigMin, err := CondEst(FromDense(d), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !RankDeficient(sigMax, sigMin) {
+			t.Fatalf("duplicate column not flagged: σmax %g σmin %g", sigMax, sigMin)
+		}
+	})
+	t.Run("zero column", func(t *testing.T) {
+		d := la.NewMatrix(6, 3)
+		for i := 0; i < 6; i++ {
+			d.Set(i, 0, rng.NormFloat64())
+			d.Set(i, 2, rng.NormFloat64())
+		}
+		sigMax, sigMin, err := CondEst(FromDense(d), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !RankDeficient(sigMax, sigMin) {
+			t.Fatalf("zero column not flagged: σmax %g σmin %g", sigMax, sigMin)
+		}
+	})
+	t.Run("column sum dependency", func(t *testing.T) {
+		// col2 = col0 + col1: a dependency no single-column screen sees.
+		d := la.NewMatrix(12, 3)
+		for i := 0; i < 12; i++ {
+			a, b := rng.NormFloat64(), rng.NormFloat64()
+			d.Set(i, 0, a)
+			d.Set(i, 1, b)
+			d.Set(i, 2, a+b)
+		}
+		sigMax, sigMin, err := CondEst(FromDense(d), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !RankDeficient(sigMax, sigMin) {
+			t.Fatalf("summed-column dependency not flagged: σmax %g σmin %g", sigMax, sigMin)
+		}
+	})
+	t.Run("zero matrix", func(t *testing.T) {
+		sigMax, sigMin, err := CondEst(FromDense(la.NewMatrix(4, 3)), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !RankDeficient(sigMax, sigMin) {
+			t.Fatalf("zero matrix not flagged: σmax %g σmin %g", sigMax, sigMin)
+		}
+	})
+}

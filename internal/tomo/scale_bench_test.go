@@ -1,0 +1,111 @@
+package tomo
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/la"
+	"repro/internal/topo"
+)
+
+// benchBackbone memoizes the generated topologies: at 100k links the
+// preferential-attachment build plus shortest-path mesh dominates the
+// measured region otherwise.
+var benchBackbones = map[int]struct {
+	g     *graph.Graph
+	paths []graph.Path
+}{}
+
+func backboneSystemInputs(b *testing.B, links int) (*graph.Graph, []graph.Path) {
+	b.Helper()
+	if got, ok := benchBackbones[links]; ok {
+		return got.g, got.paths
+	}
+	g, err := topo.Backbone(int64(links), links)
+	if err != nil {
+		b.Fatal(err)
+	}
+	paths, err := topo.BackbonePaths(g, links/10, int64(links))
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchBackbones[links] = struct {
+		g     *graph.Graph
+		paths []graph.Path
+	}{g, paths}
+	return g, paths
+}
+
+// BenchmarkSparseFactor measures sparse "factorization" — CSR assembly
+// plus the matrix-free identifiability screen (coverage + CondEst) —
+// across ISP scales. The 100k case is the acceptance scale: it must
+// complete without ever materializing a dense P×L or L×L array.
+func BenchmarkSparseFactor(b *testing.B) {
+	for _, links := range []int{1000, 10000, 100000} {
+		g, paths := backboneSystemInputs(b, links)
+		b.Run(fmt.Sprintf("links=%d", links), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s, err := NewSparseSystem(g, paths)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.Solver(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSparseEstimate measures the steady-state estimate: one
+// matrix-free CGLS solve on a warm system (solver already screened).
+func BenchmarkSparseEstimate(b *testing.B) {
+	for _, links := range []int{1000, 10000, 100000} {
+		g, paths := backboneSystemInputs(b, links)
+		s, err := NewSparseSystem(g, paths)
+		if err != nil {
+			b.Fatal(err)
+		}
+		x := make(la.Vector, g.NumLinks())
+		for i := range x {
+			x[i] = 1 + float64(i%9)/10
+		}
+		y, err := s.Measure(x)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Solver(); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("links=%d", links), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Estimate(y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDenseFactor pins the dense baseline at the largest scale it
+// can reach, so BENCH_sparse.json captures the crossover the DenseBudget
+// threshold encodes.
+func BenchmarkDenseFactor(b *testing.B) {
+	g, paths := backboneSystemInputs(b, 1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := NewSystem(g, paths)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !s.Dense() {
+			b.Fatal("1k-link system should be within DenseBudget")
+		}
+		if _, err := s.Factor(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

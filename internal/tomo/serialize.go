@@ -24,14 +24,14 @@ func (s *System) Digest() string {
 		binary.LittleEndian.PutUint64(buf[:], v)
 		h.Write(buf[:])
 	}
-	put(uint64(s.r.Rows()))
-	put(uint64(s.r.Cols()))
-	for i := 0; i < s.r.Rows(); i++ {
-		for j := 0; j < s.r.Cols(); j++ {
-			if s.r.At(i, j) != 0 {
-				put(uint64(j))
-			}
-		}
+	put(uint64(s.sr.Rows()))
+	put(uint64(s.sr.Cols()))
+	for i := 0; i < s.sr.Rows(); i++ {
+		// CSR stores each row's nonzero columns in increasing order, so
+		// this emits byte-identical output to the historical dense scan
+		// — digests (and therefore solver-cache keys and WAL records)
+		// are unchanged.
+		s.sr.Row(i, func(j int, _ float64) { put(uint64(j)) })
 		put(^uint64(0)) // row sentinel
 	}
 	return hex.EncodeToString(h.Sum(nil))

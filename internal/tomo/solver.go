@@ -1,0 +1,133 @@
+package tomo
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/la"
+	"repro/internal/obs"
+	"repro/internal/sparse"
+)
+
+// Solver is the least-squares engine behind Estimate, abstracted so the
+// dense Cholesky route (bit-exact, materialized operator, small
+// systems) and the matrix-free iterative route (CGLS, ISP scale) are
+// interchangeable behind one registration/cache/estimate pipeline. A
+// Solver is immutable and safe for concurrent use; long-lived services
+// cache them keyed by routing-matrix digest and share one Solver across
+// every System with the same R.
+type Solver interface {
+	// Rows and Cols are the dimensions of the factored routing matrix
+	// (paths × links), used by adoption checks.
+	Rows() int
+	Cols() int
+	// Method names the engine ("cholesky" or "cgls") for metrics and
+	// trace annotation.
+	Method() string
+	// SolveCtx returns the least-squares estimate for measurements y.
+	// Iterative engines also return per-solve statistics; the dense
+	// engine returns nil stats.
+	SolveCtx(ctx context.Context, y la.Vector) (la.Vector, *SolveStats, error)
+}
+
+// SolveStats describes one iterative solve, fed to the observer a
+// service installs with SetSolveObserver (and from there into the
+// tomographyd_solver_* histograms).
+type SolveStats struct {
+	Method         string
+	Iterations     int
+	ResidualNorm   float64 // ‖y − R·x̂‖₂
+	NormalResidual float64 // ‖Rᵀ(y − R·x̂)‖₂
+	Converged      bool
+}
+
+// denseSolver wraps the normal-equation Cholesky factorization and
+// applies the memoized dense operator T = (RᵀR)⁻¹Rᵀ, exactly as the
+// pre-sparse Estimate did — the dense route stays bit-exact with the
+// attack-LP construction, which reads T's entries.
+type denseSolver struct {
+	fac *la.NormalFactor
+}
+
+func (d denseSolver) Rows() int      { return d.fac.Rows() }
+func (d denseSolver) Cols() int      { return d.fac.Cols() }
+func (d denseSolver) Method() string { return "cholesky" }
+
+func (d denseSolver) SolveCtx(ctx context.Context, y la.Vector) (la.Vector, *SolveStats, error) {
+	t, err := d.fac.OperatorCtx(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	xhat, err := t.MulVec(y)
+	if err != nil {
+		return nil, nil, fmt.Errorf("tomo: Estimate: %w", err)
+	}
+	return xhat, nil, nil
+}
+
+// sparseSolver runs matrix-free CGLS against the CSR routing matrix.
+// Construction (newSparseSolver) is the sparse analogue of
+// factorization: it validates identifiability up front so registration
+// rejects a hopeless system instead of every later estimate timing out.
+type sparseSolver struct {
+	a    *sparse.CSR
+	opts sparse.Options
+}
+
+func (s *sparseSolver) Rows() int      { return s.a.Rows() }
+func (s *sparseSolver) Cols() int      { return s.a.Cols() }
+func (s *sparseSolver) Method() string { return "cgls" }
+
+func (s *sparseSolver) SolveCtx(ctx context.Context, y la.Vector) (la.Vector, *SolveStats, error) {
+	_, span := obs.StartSpan(ctx, "tomo.cgls")
+	defer span.End()
+	res, err := sparse.CGLS(s.a, y, s.opts)
+	if res == nil {
+		return nil, nil, err
+	}
+	span.SetInt("iterations", res.Iterations)
+	span.SetBool("converged", res.Converged)
+	stats := &SolveStats{
+		Method:         "cgls",
+		Iterations:     res.Iterations,
+		ResidualNorm:   res.ResidualNorm,
+		NormalResidual: res.NormalResidual,
+		Converged:      res.Converged,
+	}
+	if err != nil {
+		return nil, stats, fmt.Errorf("tomo: iterative estimate: %w", err)
+	}
+	return res.X, stats, nil
+}
+
+// newSparseSolver builds the iterative solver for routing matrix a,
+// running the matrix-free identifiability screen: shape (at least as
+// many paths as links), column coverage (every link on some path), and
+// a CondEst rank check. Each failure maps to ErrNotIdentifiable, the
+// same verdict the dense route reaches through Cholesky's ErrNotSPD.
+func newSparseSolver(ctx context.Context, a *sparse.CSR, opts sparse.Options) (*sparseSolver, error) {
+	_, span := obs.StartSpan(ctx, "tomo.sparse_factor")
+	defer span.End()
+	span.SetInt("rows", a.Rows())
+	span.SetInt("cols", a.Cols())
+	span.SetInt("nnz", a.NNZ())
+	if a.Rows() < a.Cols() {
+		return nil, fmt.Errorf("%w: %d paths cannot identify %d links", ErrNotIdentifiable, a.Rows(), a.Cols())
+	}
+	for j, n := range a.ColNorms() {
+		if n == 0 {
+			return nil, fmt.Errorf("%w: link %d is on no measurement path", ErrNotIdentifiable, j)
+		}
+	}
+	sigMax, sigMin, err := sparse.CondEst(a, 0)
+	if err != nil {
+		return nil, fmt.Errorf("tomo: sparse factor: %w", err)
+	}
+	span.SetFloat("sigma_max", sigMax)
+	span.SetFloat("sigma_min", sigMin)
+	if sparse.RankDeficient(sigMax, sigMin) {
+		return nil, fmt.Errorf("%w: routing matrix numerically rank-deficient (σmax %.3g, σmin %.3g)",
+			ErrNotIdentifiable, sigMax, sigMin)
+	}
+	return &sparseSolver{a: a, opts: opts}, nil
+}

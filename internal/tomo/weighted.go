@@ -34,6 +34,9 @@ func (s *System) EstimateWeighted(y la.Vector, w la.Vector) (la.Vector, error) {
 			return nil, fmt.Errorf("tomo: weight[%d] = %g: %w", i, wi, ErrBadWeights)
 		}
 	}
+	if s.r == nil {
+		return nil, fmt.Errorf("%w: weighted estimation runs the dense route only", ErrDenseSuppressed)
+	}
 	// Scale rows by √w and reuse the ordinary solver on (√W·R, √W·y).
 	nP, nL := s.NumPaths(), s.NumLinks()
 	scaled := la.NewMatrix(nP, nL)

@@ -1,0 +1,81 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Backbone synthesizes an ISP backbone router graph at a target link
+// count — the ≥100k-link scale the sparse estimation path exists for,
+// where the AS1221-like map (ISP, ~300 links) is three orders of
+// magnitude too small.
+//
+// Degree distribution (documented, deterministic for a given seed):
+// preferential attachment with m = ISPAttach = 3, i.e. a seed clique of
+// m+1 routers followed by one router per step attaching to 3 distinct
+// existing routers with probability proportional to degree. This yields
+// the Barabási-Albert power law P(k) ∝ k⁻³ with minimum degree 3 — the
+// same heavy-tailed mix Rocketfuel measured on real ISP router maps,
+// and the same model the paper-scale ISP() stands on, just grown to
+// backbone size. Link count is exactly 3n − 6 for n routers; n is
+// chosen as the smallest count reaching the requested links.
+func Backbone(seed int64, links int) (*graph.Graph, error) {
+	minLinks := ISPAttach * (ISPAttach + 1) / 2 // the seed clique
+	if links < minLinks {
+		return nil, fmt.Errorf("topo: Backbone: need ≥ %d links, got %d", minLinks, links)
+	}
+	// links(n) = 3n − 6, so the smallest sufficient n is ⌈(links+6)/3⌉.
+	n := (links + 2*ISPAttach + ISPAttach - 1) / ISPAttach
+	if n < ISPAttach+1 {
+		n = ISPAttach + 1
+	}
+	g, err := graph.BarabasiAlbert(n, ISPAttach, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, fmt.Errorf("topo: Backbone: %w", err)
+	}
+	return g, nil
+}
+
+// BackbonePaths returns a full-column-rank measurement mesh for g: one
+// direct probe per link (so the routing matrix contains the identity —
+// full column rank by construction, and every link observable), plus
+// `extra` shortest paths between seeded random router pairs that make
+// the system overdetermined — without them R would be square and the
+// paper's consistency check vacuous (Theorem 3's SquareR case).
+//
+// This is the monitoring pattern backbone operators actually deploy:
+// cheap per-adjacency liveness probes everywhere, plus a budget of
+// longer end-to-end probes between vantage points. Deterministic for a
+// given seed. The total path count is NumLinks + extra.
+func BackbonePaths(g *graph.Graph, extra int, seed int64) ([]graph.Path, error) {
+	if extra < 1 {
+		return nil, fmt.Errorf("topo: BackbonePaths: need ≥ 1 extra path (extra=%d) or R is square and detection vacuous", extra)
+	}
+	paths := make([]graph.Path, 0, g.NumLinks()+extra)
+	for _, l := range g.Links() {
+		paths = append(paths, graph.Path{
+			Nodes: []graph.NodeID{l.A, l.B},
+			Links: []graph.LinkID{l.ID},
+		})
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := g.NumNodes()
+	for len(paths) < g.NumLinks()+extra {
+		src := graph.NodeID(rng.Intn(n))
+		dst := graph.NodeID(rng.Intn(n))
+		if src == dst {
+			continue
+		}
+		p, err := graph.ShortestPath(g, src, dst)
+		if err != nil {
+			return nil, fmt.Errorf("topo: BackbonePaths: %w", err)
+		}
+		if p.Len() < 2 {
+			continue // one-hop duplicates of the probe mesh add nothing
+		}
+		paths = append(paths, p)
+	}
+	return paths, nil
+}

@@ -1,0 +1,131 @@
+package topo
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestBackboneScalesToTarget(t *testing.T) {
+	for _, target := range []int{6, 100, 1000, 10000} {
+		g, err := Backbone(1, target)
+		if err != nil {
+			t.Fatalf("Backbone(1, %d): %v", target, err)
+		}
+		if g.NumLinks() < target {
+			t.Errorf("Backbone(1, %d): only %d links", target, g.NumLinks())
+		}
+		// links(n) = 3n − 6 means the overshoot is at most one
+		// attachment step.
+		if g.NumLinks() > target+ISPAttach {
+			t.Errorf("Backbone(1, %d): %d links overshoots by more than one step", target, g.NumLinks())
+		}
+		if !graph.Connected(g) {
+			t.Errorf("Backbone(1, %d): disconnected", target)
+		}
+	}
+}
+
+func TestBackboneDegreeFloor(t *testing.T) {
+	g, err := Backbone(3, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Preferential attachment with m = 3: every router has degree ≥ 3.
+	for _, v := range g.Nodes() {
+		if g.Degree(v) < ISPAttach {
+			t.Fatalf("node %d has degree %d < %d", v, g.Degree(v), ISPAttach)
+		}
+	}
+	// Heavy tail: some hub should far exceed the mean degree (~6).
+	m := graph.ComputeMetrics(g)
+	if m.MaxDegree < 4*int(m.MeanDegree) {
+		t.Errorf("max degree %d shows no heavy tail (mean %.1f)", m.MaxDegree, m.MeanDegree)
+	}
+}
+
+func TestBackboneDeterministic(t *testing.T) {
+	a, err := Backbone(42, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Backbone(42, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumLinks() != b.NumLinks() {
+		t.Fatalf("link counts differ: %d vs %d", a.NumLinks(), b.NumLinks())
+	}
+	la, lb := a.Links(), b.Links()
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatalf("link %d differs: %+v vs %+v", i, la[i], lb[i])
+		}
+	}
+}
+
+func TestBackboneRejectsTinyTarget(t *testing.T) {
+	if _, err := Backbone(1, 2); err == nil {
+		t.Fatal("accepted a target below the seed clique")
+	}
+}
+
+func TestBackbonePathsMesh(t *testing.T) {
+	g, err := Backbone(5, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const extra = 40
+	paths, err := BackbonePaths(g, extra, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != g.NumLinks()+extra {
+		t.Fatalf("got %d paths, want %d", len(paths), g.NumLinks()+extra)
+	}
+	covered := make(map[graph.LinkID]bool)
+	for i, p := range paths {
+		if err := p.Validate(g); err != nil {
+			t.Fatalf("path %d invalid: %v", i, err)
+		}
+		for _, l := range p.Links {
+			covered[l] = true
+		}
+		if i >= g.NumLinks() && p.Len() < 2 {
+			t.Errorf("extra path %d is a one-hop duplicate", i)
+		}
+	}
+	if len(covered) != g.NumLinks() {
+		t.Fatalf("mesh covers %d of %d links", len(covered), g.NumLinks())
+	}
+}
+
+func TestBackbonePathsDeterministic(t *testing.T) {
+	g, err := Backbone(5, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := BackbonePaths(g, 10, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BackbonePaths(g, 10, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("path %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestBackbonePathsRejectsSquare(t *testing.T) {
+	g, err := Backbone(5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BackbonePaths(g, 0, 1); err == nil {
+		t.Fatal("extra=0 accepted: square R makes the consistency check vacuous")
+	}
+}

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Runs the sparse-substrate benchmarks — CSR kernels plus the tomo-level
+# factor/estimate scaling sweep at 1k/10k/100k links — and emits the
+# results as BENCH_sparse.json at the repo root, so scaling regressions
+# show up as a reviewable diff rather than a vibe.
+#
+# Usage: scripts/bench.sh [benchtime]
+#   benchtime: go test -benchtime value (default 1x — each benchmark runs
+#   once; the 100k cases are expensive enough that a single iteration is
+#   already stable to a few percent).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-1x}"
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run='^$' -bench='Sparse|BenchmarkDenseFactor' -benchtime="$benchtime" \
+    ./internal/sparse ./internal/tomo | tee "$tmp"
+
+awk '
+BEGIN { print "{"; first = 1 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)           # strip GOMAXPROCS suffix
+    nsop = ""; bop = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op")     nsop   = $(i-1)
+        if ($(i) == "B/op")      bop    = $(i-1)
+        if ($(i) == "allocs/op") allocs = $(i-1)
+    }
+    if (nsop == "") next
+    if (!first) printf ",\n"
+    first = 0
+    printf "  \"%s\": {\"ns_per_op\": %s", name, nsop
+    if (bop != "")    printf ", \"bytes_per_op\": %s", bop
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END { print "\n}" }
+' "$tmp" > BENCH_sparse.json
+
+echo "wrote BENCH_sparse.json ($(grep -c ns_per_op BENCH_sparse.json) benchmarks)"

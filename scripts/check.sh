@@ -36,8 +36,19 @@ go test -race -run 'TestRegistryPersists|TestStoreFailure|TestRestoreVerifies' .
 go test -race -run 'TestDaemonDataDirRestart|TestDaemonPreloadSkipsRecovered' ./cmd/tomographyd
 go test -race -run 'TestKillRestart' ./internal/e2e
 
+# Sparse substrate: CSR kernels and the matrix-free CGLS/LSQR/CondEst
+# stack under -race, the dense/sparse agreement and solver-selection
+# contracts in tomo, solver-cache sharing plus the ISP-scale acceptance
+# path in serve, the live-HTTP sparse round trip, and the backbone
+# generator's determinism.
+go test -race ./internal/sparse
+go test -race -run 'TestSparse|TestWeightedEstimateSuppressedOnSparse' ./internal/tomo ./internal/e2e
+go test -race -run 'TestRegisterSparseSystemFeedsSolverMetrics|TestSparseSolverCacheShared|TestRegisterISPScale' ./internal/serve
+go test -race -run 'TestBackbone' ./internal/topo ./cmd/topogen
+
 go test -run='^$' -fuzz=FuzzSolve -fuzztime=10s ./internal/lp
 go test -run='^$' -fuzz=FuzzParseEdgeList -fuzztime=10s ./internal/graph
 go test -run='^$' -fuzz=FuzzDecodeRecord -fuzztime=10s ./internal/store
+go test -run='^$' -fuzz=FuzzCSRFromTriplets -fuzztime=10s ./internal/sparse
 
 go test -run='^$' -bench=. -benchtime=1x ./...
