@@ -6,8 +6,14 @@
 // Usage:
 //
 //	tomographyd [-addr :8723] [-workers N] [-timeout 5s] [-preload fig1|abilene|isp|wireless] [-seed S] [-alpha A]
-//	            [-log-level info] [-log-json] [-trace-cap N]
+//	            [-log-level info] [-log-json] [-trace-cap N] [-session-idle 5m]
 //	            [-data-dir DIR] [-fsync interval] [-fsync-interval 100ms] [-compact-threshold BYTES]
+//
+// Streaming: POST /v1/sessions opens a long-lived round session bound
+// to a registered topology; NDJSON batches on /v1/sessions/{id}/rounds
+// return one verdict per measurement round. Sessions idle past
+// -session-idle are removed by a background reaper (negative disables
+// reaping; in-flight streams are never reaped).
 //
 // Observability: structured logs (log/slog) go to stdout, one line per
 // API request with a request ID; Prometheus metrics (request counters,
@@ -61,6 +67,7 @@ func main() {
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	traceCap := flag.Int("trace-cap", obs.DefaultTraceCapacity, "completed request traces retained for /debug/traces")
+	sessionIdle := flag.Duration("session-idle", serve.DefaultSessionIdleTimeout, "idle timeout before round sessions are reaped (negative disables)")
 	dataDir := flag.String("data-dir", "", "directory for the durable topology journal (empty = in-memory only)")
 	fsyncMode := flag.String("fsync", "interval", "WAL fsync policy: always, interval, never")
 	fsyncInterval := flag.Duration("fsync-interval", store.DefaultFsyncInterval, "flush cadence under -fsync=interval")
@@ -80,10 +87,11 @@ func main() {
 	opts := options{
 		addr: *addr,
 		cfg: serve.Config{
-			Workers:        *workers,
-			RequestTimeout: *timeout,
-			Logger:         obs.NewLogger(os.Stdout, level, *logJSON),
-			TraceCapacity:  *traceCap,
+			Workers:            *workers,
+			RequestTimeout:     *timeout,
+			Logger:             obs.NewLogger(os.Stdout, level, *logJSON),
+			TraceCapacity:      *traceCap,
+			SessionIdleTimeout: *sessionIdle,
 		},
 		preload:          *preload,
 		seed:             *seed,
@@ -132,6 +140,34 @@ func run(ctx context.Context, opts options) error {
 	}
 	log := opts.cfg.Logger
 	srv := serve.New(opts.cfg)
+
+	// Background session reaper: sweep at a quarter of the idle timeout
+	// (never faster than once a second) so an abandoned session outlives
+	// its deadline by at most ~25%. A negative timeout disables reaping
+	// entirely, matching the serve-layer contract.
+	if idle := opts.cfg.SessionIdleTimeout; idle >= 0 {
+		if idle == 0 {
+			idle = serve.DefaultSessionIdleTimeout
+		}
+		tick := idle / 4
+		if tick < time.Second {
+			tick = time.Second
+		}
+		go func() {
+			t := time.NewTicker(tick)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if n := srv.ReapSessions(); n > 0 {
+						log.Info("reaped idle sessions", "count", n, "idle", idle)
+					}
+				}
+			}
+		}()
+	}
 
 	var st *store.Store
 	if opts.dataDir != "" {

@@ -11,6 +11,13 @@
 //	tomoload [-addr URL] [-n 10000] [-duration 0] [-workers 8] [-rps 0]
 //	         [-seed 1] [-chaos latency=2ms,drop=0.01,...] [-scenarios all]
 //	         [-fault 0.05] [-verify] [-report]
+//	tomoload -stream [-sessions 8] [-rounds 1000] [-batch 64] [-churn 1] ...
+//
+// With -stream, tomoload opens long-lived round sessions and drives
+// batched NDJSON measurement streams through them (with optional
+// mid-stream path churn) instead of issuing one-shot requests; the
+// transcript digest covers every verdict stream and is equally a pure
+// function of the seed.
 //
 // With no -addr, tomoload boots an in-process tomographyd (the e2e
 // harness) and tears it down after the run — a self-contained soak.
@@ -47,6 +54,11 @@ func main() {
 	fault := flag.Float64("fault", 0.05, "fraction of deliberate client-fault ops (bad JSON, ghost topology, short y)")
 	verify := flag.Bool("verify", false, "reconcile server /metrics deltas against the transcript; exit 1 on mismatch")
 	report := flag.Bool("report", false, "print p50/p95/p99 client-side latency per op from the transcript")
+	stream := flag.Bool("stream", false, "drive NDJSON round-stream sessions instead of one-shot requests")
+	sessions := flag.Int("sessions", 8, "round sessions to open (with -stream)")
+	roundsPer := flag.Int("rounds", 1000, "measurement rounds per session (with -stream)")
+	batch := flag.Int("batch", 64, "max rounds per NDJSON request line (with -stream)")
+	churn := flag.Int("churn", 1, "mid-stream path mutations per session (with -stream)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -56,6 +68,8 @@ func main() {
 		addr: *addr, n: *n, duration: *duration, workers: *workers,
 		rps: *rps, seed: *seed, chaos: *chaosSpec, scenarios: *scenarioSpec,
 		fault: *fault, verify: *verify, report: *report,
+		stream: *stream, sessions: *sessions, rounds: *roundsPer,
+		batch: *batch, churn: *churn,
 	}, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "tomoload: %v\n", err)
 		os.Exit(1)
@@ -74,6 +88,11 @@ type options struct {
 	fault     float64
 	verify    bool
 	report    bool
+	stream    bool
+	sessions  int
+	rounds    int
+	batch     int
+	churn     int
 }
 
 // run executes one load campaign. Factored out of main so tests can
@@ -94,11 +113,18 @@ func run(ctx context.Context, opt options, out io.Writer) error {
 	}
 
 	base := opt.addr
+	var h *e2e.Harness
 	if base == "" {
 		// Self-contained mode: a real tomographyd core over loopback,
 		// with the request deadline disabled so the transcript digest is
-		// deterministic (the pool queues instead of shedding).
-		h := e2e.NewHarness(serve.Config{RequestTimeout: -1})
+		// deterministic (the pool queues instead of shedding). Streaming
+		// additionally widens the pool past the client concurrency so no
+		// session stream is ever 429-shed by our own load.
+		cfg := serve.Config{RequestTimeout: -1}
+		if opt.stream {
+			cfg.Workers = max(16, 2*opt.workers)
+		}
+		h = e2e.NewHarness(cfg)
 		defer h.Close()
 		base = h.URL()
 		fmt.Fprintf(out, "tomoload: in-process daemon at %s\n", base)
@@ -119,6 +145,10 @@ func run(ctx context.Context, opt options, out io.Writer) error {
 			fmt.Fprintf(out, "tomoload: registered %s (digest %.12s…, cached=%v)\n",
 				sc.Name, tr.Digest, tr.SolverCached)
 		}
+	}
+
+	if opt.stream {
+		return runStream(ctx, opt, chaos, scenarios, base, h, out)
 	}
 
 	var pre map[string]float64
@@ -164,6 +194,52 @@ func run(ctx context.Context, opt options, out io.Writer) error {
 			return fmt.Errorf("verification failed: %d counter mismatch(es)", len(msgs))
 		}
 		fmt.Fprintln(out, "verify: server metrics reconcile with the transcript")
+	}
+	return nil
+}
+
+// runStream drives the -stream campaign: batched NDJSON round streams
+// through long-lived sessions, with the same seed-determinism contract
+// as the one-shot path. Client-side verdict verification (every verdict
+// checked against a local precomputation) always runs; -verify adds the
+// server-side counter reconcile, which needs the in-process harness —
+// a shared remote daemon's absolute counters are not ours to assert on.
+func runStream(ctx context.Context, opt options, chaos e2e.ChaosConfig,
+	scenarios []*e2e.Scenario, base string, h *e2e.Harness, out io.Writer) error {
+	fmt.Fprintf(out, "tomoload: streaming %d session(s) x %d rounds (batch %d, churn %d, workers %d, chaos %s)\n",
+		opt.sessions, opt.rounds, opt.batch, opt.churn, opt.workers, chaos)
+	tr, err := e2e.RunStream(ctx, e2e.StreamConfig{
+		BaseURL:          base,
+		Scenarios:        scenarios,
+		Sessions:         opt.sessions,
+		RoundsPerSession: opt.rounds,
+		BatchMax:         opt.batch,
+		Workers:          opt.workers,
+		Seed:             opt.seed,
+		Chaos:            chaos,
+		PathChurn:        opt.churn,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, tr.Summary())
+	fmt.Fprintf(out, "transcript digest: %s\n", tr.Digest())
+	e := tr.Expected()
+	if e.Mismatches != 0 {
+		return fmt.Errorf("%d verdict(s) disagreed with the client-side precomputation", e.Mismatches)
+	}
+	if opt.verify {
+		if h == nil {
+			fmt.Fprintln(out, "verify: remote daemon; verdict precomputation check passed, counter reconcile skipped")
+			return nil
+		}
+		if msgs := e.Reconcile(h.Metrics()); len(msgs) != 0 {
+			for _, m := range msgs {
+				fmt.Fprintf(out, "verify: MISMATCH %s\n", m)
+			}
+			return fmt.Errorf("verification failed: %d counter mismatch(es)", len(msgs))
+		}
+		fmt.Fprintln(out, "verify: server metrics reconcile with the stream transcript")
 	}
 	return nil
 }

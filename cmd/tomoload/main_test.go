@@ -54,6 +54,38 @@ func TestRunIsDeterministic(t *testing.T) {
 	}
 }
 
+// TestRunStreamSelfContainedVerifies drives the -stream CLI path end to
+// end: in-process daemon, chaotic NDJSON round streams with mid-stream
+// path churn, full server-side reconcile. Two runs must print the same
+// digest line.
+func TestRunStreamSelfContainedVerifies(t *testing.T) {
+	stream := func() string {
+		var out strings.Builder
+		err := run(context.Background(), options{
+			workers: 4, seed: 31,
+			chaos:     "drop=0.05,truncate=0.1,reset=0.05",
+			scenarios: "clean,chosen-victim,stealthy",
+			verify:    true,
+			stream:    true, sessions: 6, rounds: 80, batch: 16, churn: 1,
+		}, &out)
+		if err != nil {
+			t.Fatalf("run -stream: %v\noutput:\n%s", err, out.String())
+		}
+		text := out.String()
+		if !strings.Contains(text, "verify: server metrics reconcile with the stream transcript") {
+			t.Errorf("stream verification did not pass:\n%s", text)
+		}
+		m := regexp.MustCompile(`transcript digest: ([0-9a-f]{64})`).FindStringSubmatch(text)
+		if m == nil {
+			t.Fatalf("no digest in output:\n%s", text)
+		}
+		return m[1]
+	}
+	if d1, d2 := stream(), stream(); d1 != d2 {
+		t.Errorf("same-flag stream runs diverge: %s vs %s", d1, d2)
+	}
+}
+
 // TestRunRejectsBadFlags pins the error paths for malformed specs.
 func TestRunRejectsBadFlags(t *testing.T) {
 	var out strings.Builder
@@ -62,5 +94,10 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run(context.Background(), options{n: 10, scenarios: "bogus"}, &out); err == nil {
 		t.Error("bad scenario list accepted")
+	}
+	if err := run(context.Background(), options{
+		stream: true, sessions: 0, rounds: 10, scenarios: "clean",
+	}, &out); err == nil {
+		t.Error("zero-session stream accepted")
 	}
 }

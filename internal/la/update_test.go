@@ -1,0 +1,276 @@
+package la
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// routingStyleMatrix draws an (n+extra)×n 0/1 routing matrix shaped like
+// the probe meshes this project factors: an identity block (one
+// dedicated probe per link) plus extra random multi-link paths. The
+// identity block keeps it full column rank by construction.
+func routingStyleMatrix(rng *rand.Rand, n, extra int) *Matrix {
+	r := NewMatrix(n+extra, n)
+	for j := 0; j < n; j++ {
+		r.Set(j, j, 1)
+	}
+	for i := 0; i < extra; i++ {
+		ones := 0
+		for j := 0; j < n; j++ {
+			if rng.Float64() < 0.4 {
+				r.Set(n+i, j, 1)
+				ones++
+			}
+		}
+		if ones == 0 {
+			r.Set(n+i, rng.Intn(n), 1)
+		}
+	}
+	return r
+}
+
+// randomRouteRow draws a non-empty 0/1 path-incidence row over n links.
+func randomRouteRow(rng *rand.Rand, n int) Vector {
+	v := make(Vector, n)
+	ones := 0
+	for j := range v {
+		if rng.Float64() < 0.4 {
+			v[j] = 1
+			ones++
+		}
+	}
+	if ones == 0 {
+		v[rng.Intn(n)] = 1
+	}
+	return v
+}
+
+// appendRow returns r with row appended (dense, for the cold oracle).
+func appendRow(r *Matrix, row Vector) *Matrix {
+	out := NewMatrix(r.Rows()+1, r.Cols())
+	for i := 0; i < r.Rows(); i++ {
+		out.SetRow(i, r.Row(i))
+	}
+	out.SetRow(r.Rows(), row)
+	return out
+}
+
+// dropRow returns r with row i removed (dense, for the cold oracle).
+func dropRow(r *Matrix, i int) *Matrix {
+	out := NewMatrix(r.Rows()-1, r.Cols())
+	for k, o := 0, 0; k < r.Rows(); k++ {
+		if k == i {
+			continue
+		}
+		out.SetRow(o, r.Row(k))
+		o++
+	}
+	return out
+}
+
+// factorsAgree compares two normal factors: identical Cholesky L (the
+// SPD factor with positive diagonal is unique, so entrywise agreement is
+// the strongest check) and identical least-squares solutions on a
+// shared right-hand side.
+func factorsAgree(t *testing.T, tag string, got, want *NormalFactor, rng *rand.Rand, tol float64) {
+	t.Helper()
+	gl, wl := got.chol.L(), want.chol.L()
+	scale := 1 + wl.MaxAbs()
+	if !gl.Equal(wl, tol*scale) {
+		d, _ := gl.Sub(wl)
+		t.Fatalf("%s: updated factor disagrees with cold refactorization (max |ΔL| = %g, tol %g)", tag, d.MaxAbs(), tol*scale)
+	}
+	y := make(Vector, got.Rows())
+	for i := range y {
+		y[i] = 10 * (2*rng.Float64() - 1)
+	}
+	xg, err := got.Solve(y)
+	if err != nil {
+		t.Fatalf("%s: updated-factor solve: %v", tag, err)
+	}
+	xw, err := want.Solve(y)
+	if err != nil {
+		t.Fatalf("%s: cold-factor solve: %v", tag, err)
+	}
+	if !xg.Equal(xw, tol*(1+xw.Norm2())) {
+		t.Fatalf("%s: solutions diverge: %v vs %v", tag, xg, xw)
+	}
+}
+
+// Property (satellite 1): across 200 seeded topologies, a rank-1
+// update/downdate of the normal-equation factor agrees with a cold
+// refactorization to 1e-10 — on the factor entries themselves and on
+// least-squares solutions — and a round trip (add then remove the same
+// row) returns to the original factor.
+func TestRank1UpdateMatchesColdRefactorization(t *testing.T) {
+	const tol = 1e-10
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(12)
+		extra := 1 + rng.Intn(8)
+		r := routingStyleMatrix(rng, n, extra)
+		nf, err := FactorNormal(r)
+		if err != nil {
+			t.Fatalf("seed %d: FactorNormal: %v", seed, err)
+		}
+
+		// Update: append a random path row.
+		row := randomRouteRow(rng, n)
+		up, refactored, err := nf.AddRow(row)
+		if err != nil {
+			t.Fatalf("seed %d: AddRow: %v", seed, err)
+		}
+		if refactored {
+			t.Fatalf("seed %d: AddRow fell back to refactorization on a well-conditioned system", seed)
+		}
+		rUp := appendRow(r, row)
+		cold, err := FactorNormal(rUp)
+		if err != nil {
+			t.Fatalf("seed %d: cold FactorNormal after add: %v", seed, err)
+		}
+		if up.Rows() != r.Rows()+1 || up.Cols() != n {
+			t.Fatalf("seed %d: AddRow shape %d×%d, want %d×%d", seed, up.Rows(), up.Cols(), r.Rows()+1, n)
+		}
+		factorsAgree(t, "update", up, cold, rng, tol)
+
+		// Downdate: remove one of the extra (non-identity) rows, which
+		// provably preserves full column rank.
+		i := n + rng.Intn(extra)
+		down, _, err := nf.RemoveRow(i)
+		if err != nil {
+			t.Fatalf("seed %d: RemoveRow(%d): %v", seed, i, err)
+		}
+		coldDown, err := FactorNormal(dropRow(r, i))
+		if err != nil {
+			t.Fatalf("seed %d: cold FactorNormal after remove: %v", seed, err)
+		}
+		factorsAgree(t, "downdate", down, coldDown, rng, tol)
+
+		// Round trip: adding a row and removing it again must return to
+		// the original factor.
+		back, _, err := up.RemoveRow(up.Rows() - 1)
+		if err != nil {
+			t.Fatalf("seed %d: round-trip RemoveRow: %v", seed, err)
+		}
+		factorsAgree(t, "round-trip", back, nf, rng, tol)
+	}
+}
+
+// The downdate-to-rank-deficient edge: removing a measurement row that
+// carried the only coverage of a link must surface an explicit error —
+// matching ErrNotSPD like every other identifiability failure — and
+// never hand back a factor.
+func TestDowndateToRankDeficientErrors(t *testing.T) {
+	// R = I₃: every row is the sole measurement of its link.
+	nf, err := FactorNormal(Identity(3))
+	if err != nil {
+		t.Fatalf("FactorNormal(I): %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		got, refactored, err := nf.RemoveRow(i)
+		if got != nil {
+			t.Fatalf("RemoveRow(%d) on I₃ returned a factor for a rank-deficient system", i)
+		}
+		if !errors.Is(err, ErrNotSPD) {
+			t.Fatalf("RemoveRow(%d) on I₃: err = %v, want ErrNotSPD", i, err)
+		}
+		if !refactored {
+			t.Fatalf("RemoveRow(%d) on I₃ rejected without consulting the dense oracle", i)
+		}
+	}
+
+	// Direct Cholesky layer: downdating A = I by e₀ leaves a singular
+	// matrix; Downdate must refuse with ErrDowndate.
+	chol, err := FactorCholesky(Identity(2))
+	if err != nil {
+		t.Fatalf("FactorCholesky(I): %v", err)
+	}
+	if _, err := chol.Downdate(Vector{1, 0}); !errors.Is(err, ErrDowndate) {
+		t.Fatalf("Downdate(e0) on I: err = %v, want ErrDowndate", err)
+	}
+	// Overdrawing (‖L⁻¹v‖ > 1) is indefinite, not merely singular.
+	if _, err := chol.Downdate(Vector{2, 0}); !errors.Is(err, ErrDowndate) {
+		t.Fatalf("Downdate(2·e0) on I: err = %v, want ErrDowndate", err)
+	}
+
+	// A removal that leaves a 1e-18 Gram pivot: the downdate reports
+	// indefiniteness, the oracle confirms rank deficiency, and the
+	// caller gets an explicit error either way.
+	r := NewMatrix(3, 2)
+	r.Set(0, 0, 1)
+	r.Set(1, 1, 1)
+	r.Set(2, 1, 1e-9)
+	nf, err = FactorNormal(r)
+	if err != nil {
+		t.Fatalf("FactorNormal: %v", err)
+	}
+	if got, _, err := nf.RemoveRow(1); got != nil || !errors.Is(err, ErrNotSPD) {
+		t.Fatalf("RemoveRow leaving ε² pivot: factor %v, err %v; want nil factor and ErrNotSPD", got, err)
+	}
+}
+
+// Shape guards on the update entry points.
+func TestUpdateShapeErrors(t *testing.T) {
+	nf, err := FactorNormal(Identity(3))
+	if err != nil {
+		t.Fatalf("FactorNormal: %v", err)
+	}
+	if _, _, err := nf.AddRow(Vector{1, 2}); !errors.Is(err, ErrShape) {
+		t.Fatalf("AddRow with short row: err = %v, want ErrShape", err)
+	}
+	if _, _, err := nf.RemoveRow(-1); !errors.Is(err, ErrShape) {
+		t.Fatalf("RemoveRow(-1): err = %v, want ErrShape", err)
+	}
+	if _, _, err := nf.RemoveRow(3); !errors.Is(err, ErrShape) {
+		t.Fatalf("RemoveRow past end: err = %v, want ErrShape", err)
+	}
+	chol, err := FactorCholesky(Identity(2))
+	if err != nil {
+		t.Fatalf("FactorCholesky: %v", err)
+	}
+	if _, err := chol.Update(Vector{1}); !errors.Is(err, ErrShape) {
+		t.Fatalf("Update with short vector: err = %v, want ErrShape", err)
+	}
+	if _, err := chol.Downdate(Vector{1}); !errors.Is(err, ErrShape) {
+		t.Fatalf("Downdate with short vector: err = %v, want ErrShape", err)
+	}
+}
+
+// BenchmarkQRUpdate pits the rank-1 factor update against the cold
+// refactorization it replaces, at a dense-route scale (1k links). The
+// update is O(links² + links·paths); the cold path pays the full Gram
+// product plus an O(links³) Cholesky.
+func BenchmarkQRUpdate(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	const links, extra = 1000, 100
+	r := routingStyleMatrix(rng, links, extra)
+	nf, err := FactorNormal(r)
+	if err != nil {
+		b.Fatalf("FactorNormal: %v", err)
+	}
+	row := randomRouteRow(rng, links)
+	rUp := appendRow(r, row)
+
+	b.Run("update-1k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := nf.AddRow(row); err != nil {
+				b.Fatalf("AddRow: %v", err)
+			}
+		}
+	})
+	b.Run("downdate-1k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := nf.RemoveRow(links + extra - 1); err != nil {
+				b.Fatalf("RemoveRow: %v", err)
+			}
+		}
+	})
+	b.Run("cold-1k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := FactorNormal(rUp); err != nil {
+				b.Fatalf("FactorNormal: %v", err)
+			}
+		}
+	})
+}

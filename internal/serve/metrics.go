@@ -26,20 +26,38 @@ import (
 type Metrics struct {
 	reg *obs.Registry
 
-	ReqTopologies *obs.Counter // POST /v1/topologies requests
-	ReqEvict      *obs.Counter // DELETE /v1/topologies/{name} requests
-	ReqEstimate   *obs.Counter // POST /v1/estimate requests
-	ReqInspect    *obs.Counter // POST /v1/inspect requests
-	ReqHealthz    *obs.Counter // GET /healthz requests
-	ReqMetrics    *obs.Counter // GET /metrics requests
-	ReqErrors     *obs.Counter // requests answered with a 4xx/5xx
-	ReqRejected   *obs.Counter // requests shed by the worker pool
+	ReqTopologies    *obs.Counter // POST /v1/topologies requests
+	ReqEvict         *obs.Counter // DELETE /v1/topologies/{name} requests
+	ReqEstimate      *obs.Counter // POST /v1/estimate requests
+	ReqInspect       *obs.Counter // POST /v1/inspect requests
+	ReqHealthz       *obs.Counter // GET /healthz requests
+	ReqMetrics       *obs.Counter // GET /metrics requests
+	ReqSessions      *obs.Counter // POST /v1/sessions requests
+	ReqSessionGet    *obs.Counter // GET /v1/sessions/{id} requests
+	ReqRounds        *obs.Counter // POST /v1/sessions/{id}/rounds requests
+	ReqSessionPaths  *obs.Counter // POST /v1/sessions/{id}/paths requests
+	ReqSessionDelete *obs.Counter // DELETE /v1/sessions/{id} requests
+	ReqErrors        *obs.Counter // requests answered with a 4xx/5xx
+	ReqRejected      *obs.Counter // requests shed by the worker pool
+	ReqBusy          *obs.Counter // round streams shed with 429 (pool full)
 
 	Evictions *obs.Counter // topologies actually removed (evict 200s)
 
 	EstimateRounds *obs.Counter // measurement rounds estimated
 	InspectRounds  *obs.Counter // measurement rounds inspected
 	Alarms         *obs.Counter // rounds the detector flagged
+
+	SessionsOpened *obs.Counter // sessions created
+	SessionsClosed *obs.Counter // sessions closed via DELETE
+	SessionsReaped *obs.Counter // sessions removed by the idle reaper
+	SessionRounds  *obs.Counter // rounds streamed through sessions
+	SessionAlarms  *obs.Counter // streamed rounds the detector flagged
+
+	// PathMutations counts session path add/remove operations by the
+	// solver-derivation route tomo reports ("rank1-update",
+	// "rank1-downdate", "refactor", "sparse-append", "coverage-screen",
+	// "cold") — the updating-vs-refactor decision made observable.
+	PathMutations *obs.CounterVec
 
 	CacheHits   *obs.Counter // solver-cache hits at registration
 	CacheMisses *obs.Counter // solver-cache misses (factorizations run)
@@ -48,6 +66,10 @@ type Metrics struct {
 	// (tomographyd_estimate_latency_seconds, as before the obs
 	// migration).
 	EstimateLatency *obs.Histogram
+	// RoundLatency is the streamed-round latency histogram: per-round
+	// amortized solve+verdict time inside session round streams, the
+	// number the batched API exists to shrink.
+	RoundLatency *obs.Histogram
 	// SolverIterations and SolverResidual record every iterative
 	// (sparse CGLS) solve: how many iterations it took and the final
 	// measurement-space residual norm ‖y − R·x̂‖₂. Dense Cholesky
@@ -74,15 +96,28 @@ func NewMetrics() *Metrics {
 	m.ReqEvict = req.With("evict")
 	m.ReqHealthz = req.With("healthz")
 	m.ReqMetrics = req.With("metrics")
+	m.ReqSessions = req.With("sessions")
+	m.ReqSessionGet = req.With("session_get")
+	m.ReqRounds = req.With("rounds")
+	m.ReqSessionPaths = req.With("session_paths")
+	m.ReqSessionDelete = req.With("session_delete")
 	m.ReqErrors = reg.Counter("tomographyd_request_errors_total", "Requests answered with an error status.")
+	m.ReqBusy = reg.Counter("tomographyd_requests_busy_total", "Round streams shed with 429 because every worker slot was taken.")
 	m.Evictions = reg.Counter("tomographyd_evictions_total", "Topologies removed via DELETE.")
 	m.ReqRejected = reg.Counter("tomographyd_requests_rejected_total", "Requests shed by the worker pool (timeout or shutdown).")
 	m.EstimateRounds = reg.Counter("tomographyd_estimate_rounds_total", "Measurement rounds estimated.")
 	m.InspectRounds = reg.Counter("tomographyd_inspect_rounds_total", "Measurement rounds inspected.")
 	m.Alarms = reg.Counter("tomographyd_detector_alarms_total", "Rounds flagged by the scapegoat detector.")
+	m.SessionsOpened = reg.Counter("tomographyd_sessions_opened_total", "Round sessions created.")
+	m.SessionsClosed = reg.Counter("tomographyd_sessions_closed_total", "Round sessions closed via DELETE.")
+	m.SessionsReaped = reg.Counter("tomographyd_sessions_reaped_total", "Round sessions removed by the idle reaper.")
+	m.SessionRounds = reg.Counter("tomographyd_session_rounds_total", "Measurement rounds streamed through sessions.")
+	m.SessionAlarms = reg.Counter("tomographyd_session_alarms_total", "Streamed rounds flagged by the scapegoat detector.")
+	m.PathMutations = reg.CounterVec("tomographyd_path_mutations_total", "Session path mutations by solver-derivation method.", "method")
 	m.CacheHits = reg.Counter("tomographyd_solver_cache_hits_total", "Registrations served from the solver cache.")
 	m.CacheMisses = reg.Counter("tomographyd_solver_cache_misses_total", "Registrations that ran a fresh factorization.")
 	m.EstimateLatency = reg.Histogram("tomographyd_estimate_latency_seconds", "Per-round estimate latency.", obs.DefaultLatencyBuckets)
+	m.RoundLatency = reg.Histogram("tomographyd_round_latency_seconds", "Amortized per-round latency inside session round streams.", obs.DefaultLatencyBuckets)
 	m.SolverIterations = reg.Histogram("tomographyd_solver_iterations", "Iterations per sparse (CGLS) solve.",
 		[]float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500})
 	m.SolverResidual = reg.Histogram("tomographyd_solver_residual_norm", "Final residual norm per sparse (CGLS) solve.",
@@ -106,6 +141,15 @@ func (m *Metrics) trackRegistry(reg *Registry) {
 	m.reg.GaugeFunc("tomographyd_topologies_registered",
 		"Topologies currently registered (live registry cardinality).",
 		func() float64 { return float64(reg.Len()) })
+}
+
+// trackSessions registers tomographyd_sessions_active, a collect-time
+// gauge over the live session table — the streaming counterpart of
+// trackRegistry. Called once by serve.New, after the table exists.
+func (m *Metrics) trackSessions(t *sessionTable) {
+	m.reg.GaugeFunc("tomographyd_sessions_active",
+		"Round sessions currently open (live session-table cardinality).",
+		func() float64 { return float64(t.len()) })
 }
 
 // ObserveSolve records one iterative solve's convergence statistics —

@@ -31,6 +31,25 @@ func NewPool(n int) *Pool {
 // Size returns the number of worker slots.
 func (p *Pool) Size() int { return cap(p.sem) }
 
+// ErrBusy is returned by TryDo when every worker slot is taken at the
+// moment of the call. Unlike ErrSaturated (a deadline expiring while
+// queued), ErrBusy is an instantaneous verdict: round streams use it to
+// shed with 429 before committing to a response stream, instead of
+// holding a long-lived request in the queue.
+var ErrBusy = errors.New("serve: all worker slots busy")
+
+// TryDo runs fn on a worker slot if one is free right now, failing fast
+// with ErrBusy otherwise. fn's error is returned as-is.
+func (p *Pool) TryDo(fn func() error) error {
+	select {
+	case p.sem <- struct{}{}:
+	default:
+		return ErrBusy
+	}
+	defer func() { <-p.sem }()
+	return fn()
+}
+
 // Do runs fn on an acquired worker slot, or fails with ErrSaturated when
 // ctx is done first. fn's error is returned as-is.
 func (p *Pool) Do(ctx context.Context, fn func() error) error {

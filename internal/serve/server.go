@@ -59,6 +59,10 @@ type Config struct {
 	// TraceCapacity bounds the completed-trace ring buffer served at
 	// /debug/traces; 0 means obs.DefaultTraceCapacity.
 	TraceCapacity int
+	// SessionIdleTimeout is how long a round session may sit idle before
+	// the reaper removes it; 0 means DefaultSessionIdleTimeout, negative
+	// disables reaping.
+	SessionIdleTimeout time.Duration
 }
 
 // Defaults for Config zero values.
@@ -82,6 +86,9 @@ type Server struct {
 	maxBody int64
 	start   time.Time
 	reqSeq  atomic.Int64
+
+	sessions *sessionTable
+	idle     time.Duration
 }
 
 // New builds a Server from cfg.
@@ -101,23 +108,30 @@ func New(cfg Config) *Server {
 	if cfg.Logger == nil {
 		cfg.Logger = obs.DiscardLogger()
 	}
+	if cfg.SessionIdleTimeout == 0 {
+		cfg.SessionIdleTimeout = DefaultSessionIdleTimeout
+	}
 	m := NewMetrics()
 	tracer := obs.NewTracer(cfg.Clock, cfg.TraceCapacity)
 	// Every finished span doubles as a per-stage latency sample.
 	tracer.OnSpanEnd(m.ObserveStage)
 	reg := NewRegistry(m)
 	m.trackRegistry(reg)
-	return &Server{
-		reg:     reg,
-		pool:    NewPool(cfg.Workers),
-		metrics: m,
-		tracer:  tracer,
-		log:     cfg.Logger,
-		clock:   cfg.Clock,
-		timeout: cfg.RequestTimeout,
-		maxBody: cfg.MaxBodyBytes,
-		start:   cfg.Clock.Now(),
+	srv := &Server{
+		reg:      reg,
+		pool:     NewPool(cfg.Workers),
+		metrics:  m,
+		tracer:   tracer,
+		log:      cfg.Logger,
+		clock:    cfg.Clock,
+		timeout:  cfg.RequestTimeout,
+		maxBody:  cfg.MaxBodyBytes,
+		start:    cfg.Clock.Now(),
+		sessions: newSessionTable(),
+		idle:     cfg.SessionIdleTimeout,
 	}
+	m.trackSessions(srv.sessions)
+	return srv
 }
 
 // Registry exposes the registry for in-process preloading (the daemon's
@@ -142,6 +156,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/topologies/{name}", s.instrument("evict", s.metrics.ReqEvict, s.handleEvict))
 	mux.HandleFunc("POST /v1/estimate", s.instrument("estimate", s.metrics.ReqEstimate, s.handleEstimate))
 	mux.HandleFunc("POST /v1/inspect", s.instrument("inspect", s.metrics.ReqInspect, s.handleInspect))
+	mux.HandleFunc("POST /v1/sessions", s.instrument("sessions", s.metrics.ReqSessions, s.handleSessionCreate))
+	mux.HandleFunc("GET /v1/sessions/{id}", s.instrument("session_get", s.metrics.ReqSessionGet, s.handleSessionGet))
+	mux.HandleFunc("POST /v1/sessions/{id}/rounds", s.instrument("rounds", s.metrics.ReqRounds, s.handleSessionRounds))
+	mux.HandleFunc("POST /v1/sessions/{id}/paths", s.instrument("session_paths", s.metrics.ReqSessionPaths, s.handleSessionPaths))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.instrument("session_delete", s.metrics.ReqSessionDelete, s.handleSessionDelete))
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.metrics.ReqHealthz, s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.metrics.ReqMetrics, s.handleMetrics))
 	mux.HandleFunc("GET /debug/traces", s.handleTraces)
@@ -558,6 +577,10 @@ func (s *Server) fail(w http.ResponseWriter, err error) {
 		status = http.StatusConflict
 	case errors.Is(err, ErrTooLarge):
 		status = http.StatusRequestEntityTooLarge
+	case errors.Is(err, ErrGone):
+		status = http.StatusGone
+	case errors.Is(err, ErrBusy):
+		status = http.StatusTooManyRequests
 	case errors.Is(err, tomo.ErrNotIdentifiable):
 		status = http.StatusUnprocessableEntity
 	case errors.Is(err, ErrSaturated):

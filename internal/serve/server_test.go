@@ -71,7 +71,7 @@ func postJSON(t *testing.T, ts *httptest.Server, path string, body any) (*http.R
 	return resp, out.Bytes()
 }
 
-func decodeInto(t *testing.T, raw []byte, into any) {
+func decodeInto(t testing.TB, raw []byte, into any) {
 	t.Helper()
 	if err := json.Unmarshal(raw, into); err != nil {
 		t.Fatalf("decode %s: %v", raw, err)

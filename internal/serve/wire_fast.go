@@ -1,0 +1,387 @@
+package serve
+
+import (
+	"math"
+	"strconv"
+)
+
+// Fast NDJSON wire path for round streams.
+//
+// encoding/json's reflection walk costs ~250ns per float in each
+// direction, and a round stream is almost nothing but floats: at 1k
+// rounds x 23 paths the reflective codec spends more time on the wire
+// format than the solver spends on the estimates. The helpers here
+// hand-roll the two hot shapes — StreamRound in, StreamVerdict out —
+// and every one degrades to encoding/json on any input it does not
+// fully understand, so semantics (including error behaviour on
+// malformed lines) are unchanged; only the happy path gets cheaper.
+//
+// The float formatting replicates encoding/json's ES6-style rules
+// exactly ('f' format in [1e-6, 1e21), 'e' elsewhere, with the
+// two-digit negative exponent trimmed), so fast-encoded bytes are
+// byte-identical to what the reflective encoder would have produced.
+
+// appendJSONFloat appends f the way encoding/json renders a float64.
+// ok is false for NaN/Inf, which JSON cannot represent — callers fall
+// back to encoding/json to fail the same way it would.
+func appendJSONFloat(dst []byte, f float64) (out []byte, ok bool) {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return dst, false
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	n := len(dst)
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		// encoding/json cleans "e-09" up to "e-9".
+		if l := len(dst); l-n >= 4 && dst[l-4] == 'e' && dst[l-3] == '-' && dst[l-2] == '0' {
+			dst[l-2] = dst[l-1]
+			dst = dst[:l-1]
+		}
+	}
+	return dst, true
+}
+
+// fastScan is a minimal JSON scanner over one NDJSON line. It accepts
+// only the grammar the fast paths need (objects with simple keys,
+// arrays of numbers, booleans); anything richer makes the caller fall
+// back to encoding/json.
+type fastScan struct {
+	b []byte
+	i int
+}
+
+func (s *fastScan) ws() {
+	for s.i < len(s.b) {
+		switch s.b[s.i] {
+		case ' ', '\t', '\r', '\n':
+			s.i++
+		default:
+			return
+		}
+	}
+}
+
+func (s *fastScan) eat(c byte) bool {
+	s.ws()
+	if s.i < len(s.b) && s.b[s.i] == c {
+		s.i++
+		return true
+	}
+	return false
+}
+
+// lit consumes the exact literal (no surrounding whitespace skipped
+// beyond the leading run).
+func (s *fastScan) lit(l string) bool {
+	s.ws()
+	if s.i+len(l) > len(s.b) || string(s.b[s.i:s.i+len(l)]) != l {
+		return false
+	}
+	s.i += len(l)
+	return true
+}
+
+// key reads a simple quoted key (no escapes).
+func (s *fastScan) key() ([]byte, bool) {
+	if !s.eat('"') {
+		return nil, false
+	}
+	start := s.i
+	for s.i < len(s.b) {
+		switch s.b[s.i] {
+		case '"':
+			k := s.b[start:s.i]
+			s.i++
+			return k, true
+		case '\\':
+			return nil, false
+		default:
+			s.i++
+		}
+	}
+	return nil, false
+}
+
+// number reads one JSON number. The digit run is validated loosely and
+// handed to strconv.ParseFloat, which is correctly rounded — estimates
+// computed from a fast-parsed y are bit-identical to the reflective
+// path's.
+func (s *fastScan) number() (float64, bool) {
+	s.ws()
+	start := s.i
+	if s.i < len(s.b) && s.b[s.i] == '-' {
+		s.i++
+	}
+	if s.i >= len(s.b) || s.b[s.i] < '0' || s.b[s.i] > '9' {
+		return 0, false
+	}
+	for s.i < len(s.b) {
+		c := s.b[s.i]
+		if (c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-' {
+			s.i++
+			continue
+		}
+		break
+	}
+	f, err := strconv.ParseFloat(string(s.b[start:s.i]), 64)
+	return f, err == nil
+}
+
+// floats reads a JSON array of numbers. An empty array yields a
+// non-nil empty slice, matching encoding/json.
+func (s *fastScan) floats() ([]float64, bool) {
+	if !s.eat('[') {
+		return nil, false
+	}
+	if s.eat(']') {
+		return []float64{}, true
+	}
+	out := make([]float64, 0, 8)
+	for {
+		f, ok := s.number()
+		if !ok {
+			return nil, false
+		}
+		out = append(out, f)
+		if s.eat(',') {
+			continue
+		}
+		if s.eat(']') {
+			return out, true
+		}
+		return nil, false
+	}
+}
+
+func (s *fastScan) boolean() (bool, bool) {
+	if s.lit("true") {
+		return true, true
+	}
+	if s.lit("false") {
+		return false, true
+	}
+	return false, false
+}
+
+func (s *fastScan) done() bool {
+	s.ws()
+	return s.i == len(s.b)
+}
+
+// parseStreamRound is the fast path for one request line. It reports
+// false — leaving sr untouched semantically (the caller re-zeroes it) —
+// whenever the line strays from the plain {"y":[...]}/{"rounds":[[...]]}
+// shapes, so unusual-but-valid and invalid JSON both land in
+// encoding/json and behave exactly as before.
+func parseStreamRound(line []byte, sr *StreamRound) bool {
+	s := fastScan{b: line}
+	if !s.eat('{') {
+		return false
+	}
+	if s.eat('}') {
+		return s.done()
+	}
+	for {
+		k, ok := s.key()
+		if !ok || !s.eat(':') {
+			return false
+		}
+		switch string(k) {
+		case "y":
+			ys, ok := s.floats()
+			if !ok {
+				return false
+			}
+			sr.Y = ys
+		case "rounds":
+			if !s.eat('[') {
+				return false
+			}
+			// Reset so a duplicate "rounds" key keeps last-wins
+			// semantics, matching encoding/json.
+			sr.Rounds = nil
+			if s.eat(']') {
+				sr.Rounds = [][]float64{}
+				break
+			}
+			for {
+				row, ok := s.floats()
+				if !ok {
+					return false
+				}
+				sr.Rounds = append(sr.Rounds, row)
+				if s.eat(',') {
+					continue
+				}
+				if s.eat(']') {
+					break
+				}
+				return false
+			}
+		case "packed":
+			// base64's alphabet needs no JSON escaping, so the simple
+			// no-escape string reader is exact here.
+			p, ok := s.key()
+			if !ok {
+				return false
+			}
+			sr.Packed = string(p)
+		case "xhat":
+			v, ok := s.boolean()
+			if !ok {
+				return false
+			}
+			sr.XHat = &v
+		default:
+			return false
+		}
+		if s.eat(',') {
+			continue
+		}
+		if s.eat('}') {
+			return s.done()
+		}
+		return false
+	}
+}
+
+// AppendStreamRound appends sr's NDJSON wire form (with trailing
+// newline), byte-identical to encoding/json's rendering. ok is false
+// when sr needs the reflective encoder (non-finite values); callers
+// fall back to json.Encoder then. Exported for streaming clients that
+// build request lines in bulk.
+func AppendStreamRound(dst []byte, sr *StreamRound) (out []byte, ok bool) {
+	dst = append(dst, '{')
+	sep := false
+	field := func(name string) {
+		if sep {
+			dst = append(dst, ',')
+		}
+		sep = true
+		dst = append(dst, '"')
+		dst = append(dst, name...)
+		dst = append(dst, '"', ':')
+	}
+	if len(sr.Y) > 0 { // omitempty drops empty slices, not just nil
+		field("y")
+		dst, ok = appendFloats(dst, sr.Y)
+		if !ok {
+			return dst, false
+		}
+	}
+	if len(sr.Rounds) > 0 {
+		field("rounds")
+		dst = append(dst, '[')
+		for i, row := range sr.Rounds {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst, ok = appendFloats(dst, row)
+			if !ok {
+				return dst, false
+			}
+		}
+		dst = append(dst, ']')
+	}
+	if sr.Packed != "" {
+		// Emit raw only when the payload stays inside the base64
+		// alphabet, which never needs JSON (or HTML) escaping; anything
+		// else goes through the reflective encoder.
+		for i := 0; i < len(sr.Packed); i++ {
+			c := sr.Packed[i]
+			if !(c >= 'A' && c <= 'Z' || c >= 'a' && c <= 'z' || c >= '0' && c <= '9' ||
+				c == '+' || c == '/' || c == '=') {
+				return dst, false
+			}
+		}
+		field("packed")
+		dst = append(dst, '"')
+		dst = append(dst, sr.Packed...)
+		dst = append(dst, '"')
+	}
+	if sr.XHat != nil {
+		field("xhat")
+		dst = strconv.AppendBool(dst, *sr.XHat)
+	}
+	dst = append(dst, '}', '\n')
+	return dst, true
+}
+
+func appendFloats(dst []byte, xs []float64) (out []byte, ok bool) {
+	dst = append(dst, '[')
+	for i, x := range xs {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst, ok = appendJSONFloat(dst, x)
+		if !ok {
+			return dst, false
+		}
+	}
+	return append(dst, ']'), true
+}
+
+// appendStreamVerdict appends v's NDJSON line, byte-identical to the
+// reflective encoder (xhat omitted when nil, per its omitempty tag).
+func appendStreamVerdict(dst []byte, v *StreamVerdict) (out []byte, ok bool) {
+	dst = append(dst, `{"round":`...)
+	dst = strconv.AppendInt(dst, int64(v.Round), 10)
+	dst = append(dst, `,"detected":`...)
+	dst = strconv.AppendBool(dst, v.Detected)
+	dst = append(dst, `,"residualNorm":`...)
+	dst, ok = appendJSONFloat(dst, v.ResidualNorm)
+	if !ok {
+		return dst, false
+	}
+	if len(v.XHat) > 0 { // omitempty: empty estimates are dropped like nil
+		dst = append(dst, `,"xhat":`...)
+		dst, ok = appendFloats(dst, v.XHat)
+		if !ok {
+			return dst, false
+		}
+	}
+	return append(dst, '}', '\n'), true
+}
+
+// ParseStreamVerdict is the client-side fast path for one response
+// line. It accepts exactly the key order the server emits (round,
+// detected, residualNorm, then optional xhat) and reports false for
+// anything else — summary lines, error lines, hand-written JSON — which
+// callers then route through a reflective decode. Parsed floats are
+// bit-identical to encoding/json's.
+func ParseStreamVerdict(line []byte, v *StreamVerdict) bool {
+	s := fastScan{b: line}
+	if !s.eat('{') || !s.lit(`"round"`) || !s.eat(':') {
+		return false
+	}
+	n, ok := s.number()
+	if !ok || n != math.Trunc(n) {
+		return false
+	}
+	v.Round = int(n)
+	if !s.eat(',') || !s.lit(`"detected"`) || !s.eat(':') {
+		return false
+	}
+	if v.Detected, ok = s.boolean(); !ok {
+		return false
+	}
+	if !s.eat(',') || !s.lit(`"residualNorm"`) || !s.eat(':') {
+		return false
+	}
+	if v.ResidualNorm, ok = s.number(); !ok {
+		return false
+	}
+	if s.eat(',') {
+		if !s.lit(`"xhat"`) || !s.eat(':') {
+			return false
+		}
+		if v.XHat, ok = s.floats(); !ok {
+			return false
+		}
+	}
+	return s.eat('}') && s.done()
+}

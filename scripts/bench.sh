@@ -2,7 +2,9 @@
 # Runs the sparse-substrate benchmarks — CSR kernels plus the tomo-level
 # factor/estimate scaling sweep at 1k/10k/100k links — and emits the
 # results as BENCH_sparse.json at the repo root, so scaling regressions
-# show up as a reviewable diff rather than a vibe.
+# show up as a reviewable diff rather than a vibe. Also runs the
+# streaming benchmarks (batched estimates, rank-1 QR up/downdates) into
+# BENCH_stream.json the same way.
 #
 # Usage: scripts/bench.sh [benchtime]
 #   benchtime: go test -benchtime value (default 1x — each benchmark runs
@@ -15,29 +17,36 @@ benchtime="${1:-1x}"
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
+# emit_json RAW OUT: fold `go test -bench` output into a flat JSON map.
+emit_json() {
+    awk '
+    BEGIN { print "{"; first = 1 }
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)           # strip GOMAXPROCS suffix
+        nsop = ""; bop = ""; allocs = ""
+        for (i = 2; i <= NF; i++) {
+            if ($(i) == "ns/op")     nsop   = $(i-1)
+            if ($(i) == "B/op")      bop    = $(i-1)
+            if ($(i) == "allocs/op") allocs = $(i-1)
+        }
+        if (nsop == "") next
+        if (!first) printf ",\n"
+        first = 0
+        printf "  \"%s\": {\"ns_per_op\": %s", name, nsop
+        if (bop != "")    printf ", \"bytes_per_op\": %s", bop
+        if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+        printf "}"
+    }
+    END { print "\n}" }
+    ' "$1" > "$2"
+    echo "wrote $2 ($(grep -c ns_per_op "$2") benchmarks)"
+}
+
 go test -run='^$' -bench='Sparse|BenchmarkDenseFactor' -benchtime="$benchtime" \
     ./internal/sparse ./internal/tomo | tee "$tmp"
+emit_json "$tmp" BENCH_sparse.json
 
-awk '
-BEGIN { print "{"; first = 1 }
-/^Benchmark/ {
-    name = $1
-    sub(/-[0-9]+$/, "", name)           # strip GOMAXPROCS suffix
-    nsop = ""; bop = ""; allocs = ""
-    for (i = 2; i <= NF; i++) {
-        if ($(i) == "ns/op")     nsop   = $(i-1)
-        if ($(i) == "B/op")      bop    = $(i-1)
-        if ($(i) == "allocs/op") allocs = $(i-1)
-    }
-    if (nsop == "") next
-    if (!first) printf ",\n"
-    first = 0
-    printf "  \"%s\": {\"ns_per_op\": %s", name, nsop
-    if (bop != "")    printf ", \"bytes_per_op\": %s", bop
-    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
-    printf "}"
-}
-END { print "\n}" }
-' "$tmp" > BENCH_sparse.json
-
-echo "wrote BENCH_sparse.json ($(grep -c ns_per_op BENCH_sparse.json) benchmarks)"
+go test -run='^$' -bench='BenchmarkEstimateBatch|BenchmarkQRUpdate' -benchtime="$benchtime" \
+    ./internal/tomo ./internal/la | tee "$tmp"
+emit_json "$tmp" BENCH_stream.json

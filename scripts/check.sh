@@ -46,6 +46,17 @@ go test -race -run 'TestSparse|TestWeightedEstimateSuppressedOnSparse' ./interna
 go test -race -run 'TestRegisterSparseSystemFeedsSolverMetrics|TestSparseSolverCacheShared|TestRegisterISPScale' ./internal/serve
 go test -race -run 'TestBackbone' ./internal/topo ./cmd/topogen
 
+# Streaming: session lifecycle/reaping/shedding and the mutate-delete
+# races under -race, the fast NDJSON codec's byte-equivalence with
+# encoding/json (including the packed wire form), rank-1 vs cold
+# refactorization agreement, and the e2e stream harness — worker-count
+# digest invariance plus chaos cut mid-NDJSON-stream reconciliation.
+# (-short skips only the wall-clock speedup comparison, which is a
+# benchmark, not a race-safety gate.)
+go test -race -run 'TestSession|TestStreamRound|TestAppendStream|TestParseStream|TestPacked|TestAppendJSONFloat' ./internal/serve
+go test -race -run 'TestRank1|TestDowndate|TestUpdateShape|TestEstimateBatch|TestAddRemovePath' ./internal/la ./internal/tomo
+go test -short -race -run 'TestStream|TestGoldenStream|TestRunStream' ./internal/e2e ./cmd/tomoload
+
 go test -run='^$' -fuzz=FuzzSolve -fuzztime=10s ./internal/lp
 go test -run='^$' -fuzz=FuzzParseEdgeList -fuzztime=10s ./internal/graph
 go test -run='^$' -fuzz=FuzzDecodeRecord -fuzztime=10s ./internal/store
