@@ -243,6 +243,16 @@ func run(o runOpts) error {
 		if err := emit(o.jsonDir, "roc-study", roc); err != nil {
 			return err
 		}
+		stale, err := experiment.StaleStudy(experiment.StaleStudyConfig{
+			Seed: o.seed, Trials: o.trials,
+			Parallel: o.parallel, Progress: o.progressFn("stale-study"),
+		})
+		if err != nil {
+			return err
+		}
+		if err := emit(o.jsonDir, "stale-study", stale); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -12,12 +12,23 @@
 //	         [-seed 1] [-chaos latency=2ms,drop=0.01,...] [-scenarios all]
 //	         [-fault 0.05] [-verify] [-report]
 //	tomoload -stream [-sessions 8] [-rounds 1000] [-batch 64] [-churn 1] ...
+//	tomoload -churn-script five-epoch [-seed 1] [-workers 8] ...
 //
 // With -stream, tomoload opens long-lived round sessions and drives
 // batched NDJSON measurement streams through them (with optional
 // mid-stream path churn) instead of issuing one-shot requests; the
 // transcript digest covers every verdict stream and is equally a pure
 // function of the seed.
+//
+// With -churn-script, tomoload replays a time-scripted dynamic-network
+// campaign: the scenario DSL schedules link failures, path flaps,
+// monitor churn, and attacker windows on a virtual clock, and each
+// routing epoch takes the cheapest correct route against the daemon
+// (evict + re-register on structural churn, session rank-1 path
+// mutations on flap-only churn, no-op on attack boundaries). The value
+// is the builtin script name "five-epoch" or a path to a JSON script
+// file. Every server verdict is checked against a local precomputation
+// and the transcript digest is invariant under -workers.
 //
 // With no -addr, tomoload boots an in-process tomographyd (the e2e
 // harness) and tears it down after the run — a self-contained soak.
@@ -59,6 +70,7 @@ func main() {
 	roundsPer := flag.Int("rounds", 1000, "measurement rounds per session (with -stream)")
 	batch := flag.Int("batch", 64, "max rounds per NDJSON request line (with -stream)")
 	churn := flag.Int("churn", 1, "mid-stream path mutations per session (with -stream)")
+	churnScript := flag.String("churn-script", "", `dynamic-network campaign: builtin script name ("five-epoch") or JSON script file`)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -69,7 +81,7 @@ func main() {
 		rps: *rps, seed: *seed, chaos: *chaosSpec, scenarios: *scenarioSpec,
 		fault: *fault, verify: *verify, report: *report,
 		stream: *stream, sessions: *sessions, rounds: *roundsPer,
-		batch: *batch, churn: *churn,
+		batch: *batch, churn: *churn, churnScript: *churnScript,
 	}, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "tomoload: %v\n", err)
 		os.Exit(1)
@@ -93,11 +105,17 @@ type options struct {
 	rounds    int
 	batch     int
 	churn     int
+	// churnScript, when non-empty, switches to dynamic-campaign replay:
+	// the builtin script name ("five-epoch") or a JSON script file path.
+	churnScript string
 }
 
 // run executes one load campaign. Factored out of main so tests can
 // drive the full flag-to-summary path.
 func run(ctx context.Context, opt options, out io.Writer) error {
+	if opt.churnScript != "" {
+		return runChurn(ctx, opt, out)
+	}
 	chaos, err := e2e.ParseChaosSpec(opt.chaos)
 	if err != nil {
 		return err
@@ -195,6 +213,58 @@ func run(ctx context.Context, opt options, out io.Writer) error {
 		}
 		fmt.Fprintln(out, "verify: server metrics reconcile with the transcript")
 	}
+	return nil
+}
+
+// runChurn replays a time-scripted dynamic-network campaign against a
+// live daemon. The script compiles into per-epoch systems and attack
+// plans before any traffic flows; the run then walks the epochs,
+// evicting and re-registering on structural churn, mutating the open
+// session's paths on flap-only churn, and holding on attack-window
+// boundaries. Every verdict is checked against the local
+// precomputation, and the printed digest is invariant under -workers.
+func runChurn(ctx context.Context, opt options, out io.Writer) error {
+	var script *e2e.ChurnScript
+	if opt.churnScript == "five-epoch" {
+		script = e2e.FiveEpochScript()
+	} else {
+		fh, err := os.Open(opt.churnScript)
+		if err != nil {
+			return fmt.Errorf("open churn script (not a builtin name): %w", err)
+		}
+		script, err = e2e.ParseChurnScript(fh)
+		fh.Close()
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", opt.churnScript, err)
+		}
+	}
+	fmt.Fprintf(out, "tomoload: compiling churn script %q (seed %d, %d event(s))\n",
+		script.Name, opt.seed, len(script.Events))
+	plan, err := e2e.CompileChurn(script, opt.seed)
+	if err != nil {
+		return err
+	}
+
+	base := opt.addr
+	if base == "" {
+		h := e2e.NewHarness(serve.Config{RequestTimeout: -1})
+		defer h.Close()
+		base = h.URL()
+		fmt.Fprintf(out, "tomoload: in-process daemon at %s\n", base)
+	}
+	tr, err := e2e.RunChurn(ctx, e2e.NewClient(base, nil), plan, opt.workers)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, tr.Summary())
+	var mismatches int
+	for _, ep := range tr.Epochs {
+		mismatches += ep.VerdictMismatch
+	}
+	if mismatches != 0 {
+		return fmt.Errorf("%d verdict(s) disagreed with the client-side precomputation", mismatches)
+	}
+	fmt.Fprintln(out, "verify: every verdict matches the client-side precomputation")
 	return nil
 }
 

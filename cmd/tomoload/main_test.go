@@ -86,6 +86,33 @@ func TestRunStreamSelfContainedVerifies(t *testing.T) {
 	}
 }
 
+// TestRunChurnScriptSelfContained drives the -churn-script CLI path:
+// builtin five-epoch script, in-process daemon, verdict verification.
+// Two runs with different worker counts must print the same digest.
+func TestRunChurnScriptSelfContained(t *testing.T) {
+	campaign := func(workers int) string {
+		var out strings.Builder
+		err := run(context.Background(), options{
+			churnScript: "five-epoch", seed: 7, workers: workers,
+		}, &out)
+		if err != nil {
+			t.Fatalf("run -churn-script: %v\noutput:\n%s", err, out.String())
+		}
+		text := out.String()
+		if !strings.Contains(text, "verify: every verdict matches") {
+			t.Errorf("churn verification did not pass:\n%s", text)
+		}
+		m := regexp.MustCompile(`digest ([0-9a-f]{64})`).FindStringSubmatch(text)
+		if m == nil {
+			t.Fatalf("no digest in output:\n%s", text)
+		}
+		return m[1]
+	}
+	if d1, d2 := campaign(1), campaign(6); d1 != d2 {
+		t.Errorf("churn digests diverge across worker counts: %s vs %s", d1, d2)
+	}
+}
+
 // TestRunRejectsBadFlags pins the error paths for malformed specs.
 func TestRunRejectsBadFlags(t *testing.T) {
 	var out strings.Builder
@@ -99,5 +126,10 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		stream: true, sessions: 0, rounds: 10, scenarios: "clean",
 	}, &out); err == nil {
 		t.Error("zero-session stream accepted")
+	}
+	if err := run(context.Background(), options{
+		churnScript: "no-such-script.json",
+	}, &out); err == nil {
+		t.Error("missing churn script file accepted")
 	}
 }

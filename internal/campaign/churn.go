@@ -1,0 +1,268 @@
+// Churn-aware campaign compilation: multi-epoch monitoring where the
+// routing regime changes between epochs (link failures, ECMP-style path
+// flaps, monitor churn) and the attacker re-solves its LP against each
+// epoch's routing matrix, active only inside scripted windows. This is
+// the compilation layer the time-scripted churn engine (internal/e2e)
+// and the defender-stale-matrix experiment ride on.
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/graph"
+	"repro/internal/la"
+	"repro/internal/mc"
+	"repro/internal/netsim"
+	"repro/internal/tomo"
+)
+
+// ErrInfeasible reports that an epoch's attack LP had no solution on
+// the given routing regime and traffic draw — the caller decides
+// whether to re-draw traffic, skip the window, or fail the script.
+var ErrInfeasible = errors.New("campaign: attack infeasible on this epoch")
+
+// EpochAttack describes the attacker's intent for one routing epoch.
+// The concrete manipulation vector is NOT part of the intent: it is
+// re-solved against each epoch's routing matrix by CompileAttack,
+// because a manipulation computed for epoch N's paths is meaningless —
+// and rejected by netsim — on epoch N+1's.
+type EpochAttack struct {
+	// Attackers is V_m in the epoch's graph.
+	Attackers []graph.NodeID
+	// Victims is L_s, the links to scapegoat.
+	Victims []graph.LinkID
+	// Stealthy selects Theorem 1's consistent construction (zero
+	// residual, undetectable under a perfect cut) instead of the plain
+	// damage-maximizing chosen-victim LP.
+	Stealthy bool
+}
+
+// CompileAttack re-solves the chosen-victim (or stealthy) LP against
+// one epoch's routing regime and returns the simulator plan plus the
+// achieved damage ‖m‖₁. LP solutions carry ~1e-13 residue on paths the
+// attackers do not sit on; netsim enforces Constraint 1 operationally,
+// so those entries are clamped to exactly zero. Returns ErrInfeasible
+// when the strategy has no solution on this regime and traffic draw.
+func CompileAttack(sys *tomo.System, trueX la.Vector, atk *EpochAttack) (*netsim.AttackPlan, float64, error) {
+	if sys == nil || atk == nil {
+		return nil, 0, fmt.Errorf("campaign: nil system or attack: %w", ErrBadConfig)
+	}
+	sc := &core.Scenario{
+		Sys:        sys,
+		Thresholds: tomo.DefaultThresholds(),
+		Attackers:  atk.Attackers,
+		TrueX:      trueX,
+		Stealthy:   atk.Stealthy,
+	}
+	res, err := core.ChosenVictim(sc, atk.Victims)
+	if err != nil {
+		return nil, 0, fmt.Errorf("campaign: epoch attack: %w", err)
+	}
+	if !res.Feasible {
+		return nil, 0, ErrInfeasible
+	}
+	attackers := make(map[graph.NodeID]bool, len(atk.Attackers))
+	for _, v := range atk.Attackers {
+		attackers[v] = true
+	}
+	clamped := make(la.Vector, len(res.M))
+	for i, v := range res.M {
+		if v < 1e-9 || !sys.Paths()[i].HasAnyNode(attackers) {
+			continue
+		}
+		clamped[i] = v
+	}
+	return &netsim.AttackPlan{Attackers: attackers, ExtraDelay: clamped}, res.Damage, nil
+}
+
+// FlapPath picks an ECMP-style reroute for one measurement path: an
+// index r into the system's path set and an alternate simple route
+// between the same endpoints, not already in the set, such that
+// substituting it for path r keeps the system identifiable. Candidate
+// order is driven by rng, so distinct flap events draw distinct
+// reroutes deterministically; the search itself is exhaustive enough
+// that failure means the regime genuinely has no identifiable reroute.
+func FlapPath(sys *tomo.System, rng *rand.Rand) (int, graph.Path, error) {
+	if sys == nil {
+		return 0, graph.Path{}, fmt.Errorf("campaign: nil system: %w", ErrBadConfig)
+	}
+	g := sys.Graph()
+	paths := sys.Paths()
+	order := rng.Perm(len(paths))
+	for _, r := range order {
+		p := paths[r]
+		alts, err := graph.SimplePaths(g, p.Src(), p.Dst(), 0, 64)
+		if err != nil {
+			continue
+		}
+		for _, ai := range rng.Perm(len(alts)) {
+			alt := alts[ai]
+			if pathInSet(alt, paths) {
+				continue
+			}
+			trial := make([]graph.Path, 0, len(paths))
+			trial = append(trial, paths[:r]...)
+			trial = append(trial, paths[r+1:]...)
+			trial = append(trial, alt)
+			cand, err := tomo.NewSystem(g, trial)
+			if err != nil || !cand.Identifiable() {
+				continue
+			}
+			return r, alt, nil
+		}
+	}
+	return 0, graph.Path{}, fmt.Errorf("campaign: no identifiable reroute exists for any path")
+}
+
+func pathInSet(p graph.Path, set []graph.Path) bool {
+	for _, q := range set {
+		if p.Equal(q) {
+			return true
+		}
+	}
+	return false
+}
+
+// Epoch is one routing regime of a multi-epoch campaign: its own
+// tomography system (the post-churn routing matrix), true link metrics,
+// round budget, and optional attack plan already compiled against this
+// regime (CompileAttack).
+type Epoch struct {
+	// Name tags the epoch in records and renders.
+	Name string
+	// Sys is this epoch's tomography system.
+	Sys *tomo.System
+	// TrueX is the true per-link metric vector in this epoch's link
+	// numbering.
+	TrueX la.Vector
+	// Rounds is the measurement rounds spent in this regime (≥ 1).
+	Rounds int
+	// Plan is the epoch's attack (nil = clean regime).
+	Plan *netsim.AttackPlan
+	// Alpha is the detection threshold (0 = detect.DefaultAlpha).
+	Alpha float64
+	// Jitter and ProbesPerPath parameterize traffic synthesis.
+	Jitter        float64
+	ProbesPerPath int
+}
+
+// EpochRound is one round of a multi-epoch campaign transcript.
+type EpochRound struct {
+	// Epoch and Round locate the record (Round is epoch-local).
+	Epoch, Round int
+	// Attacked marks rounds simulated under the epoch's plan.
+	Attacked bool
+	// Residual is ‖R·x̂ − y'‖₁ under the epoch's own (fresh) detector.
+	Residual float64
+	// Alarm is the Eq. 23 verdict at the epoch's α.
+	Alarm bool
+}
+
+// EpochsResult is a multi-epoch campaign transcript.
+type EpochsResult struct {
+	Rounds []EpochRound
+	// Alarms counts per-epoch alarms, index-aligned with the input.
+	Alarms []int
+}
+
+// RunEpochs executes a multi-epoch campaign over a netsim.World: epoch
+// 0 pins the initial regime, every subsequent epoch is a mid-run Swap,
+// and each epoch's rounds are inspected by a detector built on that
+// epoch's own routing matrix — the promptly-re-learning defender. Round
+// traffic is a pure function of (seed, global round index), so results
+// are bit-identical across runs.
+func RunEpochs(epochs []Epoch, seed int64) (*EpochsResult, error) {
+	if len(epochs) == 0 {
+		return nil, fmt.Errorf("campaign: no epochs: %w", ErrBadConfig)
+	}
+	var world *netsim.World
+	out := &EpochsResult{Alarms: make([]int, len(epochs))}
+	gi := 0
+	for ei := range epochs {
+		ep := &epochs[ei]
+		if ep.Sys == nil || ep.Rounds < 1 {
+			return nil, fmt.Errorf("campaign: epoch %d malformed: %w", ei, ErrBadConfig)
+		}
+		regime := netsim.Config{
+			Graph:         ep.Sys.Graph(),
+			Paths:         ep.Sys.Paths(),
+			LinkDelays:    ep.TrueX,
+			Jitter:        ep.Jitter,
+			ProbesPerPath: ep.ProbesPerPath,
+		}
+		var err error
+		if world == nil {
+			world, err = netsim.NewWorld(regime)
+		} else {
+			err = world.Swap(regime)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("campaign: epoch %d (%s): %w", ei, ep.Name, err)
+		}
+		det, err := detect.New(ep.Sys, ep.Alpha)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: epoch %d (%s): %w", ei, ep.Name, err)
+		}
+		for r := 0; r < ep.Rounds; r++ {
+			y, err := world.Round(mc.RNG(seed, gi), ep.Plan)
+			if err != nil {
+				return nil, fmt.Errorf("campaign: epoch %d round %d: %w", ei, r, err)
+			}
+			rep, err := det.Inspect(y)
+			if err != nil {
+				return nil, fmt.Errorf("campaign: epoch %d round %d: %w", ei, r, err)
+			}
+			rec := EpochRound{
+				Epoch:    ei,
+				Round:    r,
+				Attacked: ep.Plan != nil,
+				Residual: rep.ResidualNorm,
+				Alarm:    rep.Detected,
+			}
+			if rec.Alarm {
+				out.Alarms[ei]++
+			}
+			out.Rounds = append(out.Rounds, rec)
+			gi++
+		}
+	}
+	return out, nil
+}
+
+// String renders the per-epoch alarm summary.
+func (r *EpochsResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %-9s %6s %12s %7s\n", "epoch", "attacked", "rounds", "residual", "alarms")
+	ei := -1
+	var rounds, attacked int
+	var resSum float64
+	flush := func() {
+		if ei < 0 {
+			return
+		}
+		att := "false"
+		if attacked > 0 {
+			att = "true"
+		}
+		fmt.Fprintf(&b, "%-6d %-9s %6d %9.1f ms %7d\n",
+			ei, att, rounds, resSum/float64(rounds), r.Alarms[ei])
+	}
+	for _, rec := range r.Rounds {
+		if rec.Epoch != ei {
+			flush()
+			ei, rounds, attacked, resSum = rec.Epoch, 0, 0, 0
+		}
+		rounds++
+		if rec.Attacked {
+			attacked++
+		}
+		resSum += rec.Residual
+	}
+	flush()
+	return b.String()
+}

@@ -1,0 +1,203 @@
+package campaign
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/mc"
+	"repro/internal/netsim"
+	"repro/internal/tomo"
+	"repro/internal/topo"
+)
+
+// fig1Sys builds the canonical Fig. 1 system (23 exhaustive paths,
+// rank 10) plus a routine-traffic draw.
+func fig1Sys(t *testing.T, seed int64) (*topo.Fig1Topology, *tomo.System, []float64) {
+	t.Helper()
+	f := topo.Fig1()
+	paths, rank, err := tomo.SelectPaths(f.G, f.Monitors, tomo.SelectOptions{Exhaustive: true, TargetPaths: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rank != f.G.NumLinks() {
+		t.Fatalf("rank %d, want %d", rank, f.G.NumLinks())
+	}
+	sys, err := tomo.NewSystem(f.G, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, sys, netsim.RoutineDelays(f.G, mc.RNG(seed, 0))
+}
+
+func TestCompileAttackPerEpoch(t *testing.T) {
+	f, sys, x := fig1Sys(t, 1)
+
+	// Plain chosen-victim on link 10 (imperfect cut): feasible, positive
+	// damage, manipulation confined to attacker paths.
+	plan, damage, err := CompileAttack(sys, x, &EpochAttack{
+		Attackers: f.Attackers,
+		Victims:   []graph.LinkID{f.PaperLink[10]},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if damage <= 0 {
+		t.Errorf("chosen-victim damage %g, want > 0", damage)
+	}
+	attackers := map[graph.NodeID]bool{f.B: true, f.C: true}
+	for i, m := range plan.ExtraDelay {
+		if m > 0 && !sys.Paths()[i].HasAnyNode(attackers) {
+			t.Errorf("path %d manipulated without an attacker on it", i)
+		}
+	}
+
+	// Stealthy on link 1 (perfect cut by {B, C}): also feasible.
+	_, sdamage, err := CompileAttack(sys, x, &EpochAttack{
+		Attackers: f.Attackers,
+		Victims:   []graph.LinkID{f.PaperLink[1]},
+		Stealthy:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sdamage <= 0 {
+		t.Errorf("stealthy damage %g, want > 0", sdamage)
+	}
+
+	// Stealthy on link 10 (imperfect cut): Theorem 3's converse says the
+	// consistent construction cannot exist — must be ErrInfeasible.
+	if _, _, err := CompileAttack(sys, x, &EpochAttack{
+		Attackers: f.Attackers,
+		Victims:   []graph.LinkID{f.PaperLink[10]},
+		Stealthy:  true,
+	}); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("stealthy imperfect-cut attack: err %v, want ErrInfeasible", err)
+	}
+}
+
+func TestFlapPathKeepsIdentifiability(t *testing.T) {
+	_, sys, _ := fig1Sys(t, 1)
+	r, alt, err := FlapPath(sys, mc.RNG(7, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := sys.Paths()[r]
+	if alt.Src() != old.Src() || alt.Dst() != old.Dst() {
+		t.Fatalf("reroute endpoints %v→%v differ from path %d's %v→%v",
+			alt.Src(), alt.Dst(), r, old.Src(), old.Dst())
+	}
+	if pathInSet(alt, sys.Paths()) {
+		t.Fatal("reroute duplicates an existing path")
+	}
+	flapped := make([]graph.Path, 0, sys.NumPaths())
+	flapped = append(flapped, sys.Paths()[:r]...)
+	flapped = append(flapped, sys.Paths()[r+1:]...)
+	flapped = append(flapped, alt)
+	s2, err := tomo.NewSystem(sys.Graph(), flapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Identifiable() {
+		t.Fatal("flapped system lost identifiability")
+	}
+
+	// Determinism: same rng seed, same reroute.
+	r2, alt2, err := FlapPath(sys, mc.RNG(7, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 != r || !alt2.Equal(alt) {
+		t.Errorf("flap not deterministic: (%d, %v) vs (%d, %v)", r, alt, r2, alt2)
+	}
+}
+
+// TestRunEpochsAttackWindow runs a three-epoch campaign — clean, then
+// an attacker window with the plain chosen-victim attack re-solved on
+// that epoch's routing, then clean again — and checks the detector
+// story: zero alarms outside the window, every round alarmed inside it
+// (the imperfect cut leaves a residual far above α on every round).
+func TestRunEpochsAttackWindow(t *testing.T) {
+	f, sys, x := fig1Sys(t, 1)
+
+	// The window epoch routes over a flapped path set: the attacker
+	// solves against the flapped matrix, not the base one.
+	r, alt, err := FlapPath(sys, mc.RNG(3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flapped := make([]graph.Path, 0, sys.NumPaths())
+	flapped = append(flapped, sys.Paths()[:r]...)
+	flapped = append(flapped, sys.Paths()[r+1:]...)
+	flapped = append(flapped, alt)
+	fsys, err := tomo.NewSystem(sys.Graph(), flapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, _, err := CompileAttack(fsys, x, &EpochAttack{
+		Attackers: f.Attackers,
+		Victims:   []graph.LinkID{f.PaperLink[10]},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := RunEpochs([]Epoch{
+		{Name: "pre", Sys: sys, TrueX: x, Rounds: 4, Jitter: 1, ProbesPerPath: 3},
+		{Name: "window", Sys: fsys, TrueX: x, Rounds: 4, Plan: plan, Jitter: 1, ProbesPerPath: 3},
+		{Name: "post", Sys: sys, TrueX: x, Rounds: 4, Jitter: 1, ProbesPerPath: 3},
+	}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Alarms; got[0] != 0 || got[1] != 4 || got[2] != 0 {
+		t.Fatalf("per-epoch alarms %v, want [0 4 0]\n%s", got, res)
+	}
+	if len(res.Rounds) != 12 {
+		t.Fatalf("%d round records, want 12", len(res.Rounds))
+	}
+
+	// Determinism: a rerun is bit-identical.
+	res2, err := RunEpochs([]Epoch{
+		{Name: "pre", Sys: sys, TrueX: x, Rounds: 4, Jitter: 1, ProbesPerPath: 3},
+		{Name: "window", Sys: fsys, TrueX: x, Rounds: 4, Plan: plan, Jitter: 1, ProbesPerPath: 3},
+		{Name: "post", Sys: sys, TrueX: x, Rounds: 4, Jitter: 1, ProbesPerPath: 3},
+	}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Rounds {
+		if res.Rounds[i] != res2.Rounds[i] {
+			t.Fatalf("round %d drifted between identical runs: %+v vs %+v",
+				i, res.Rounds[i], res2.Rounds[i])
+		}
+	}
+}
+
+// TestRunEpochsStealthyWindowInvisible pins Theorem 3 under churn: a
+// stealthy window on the perfectly cut link 1 does real damage but
+// never alarms, even though the routing regime around it churns.
+func TestRunEpochsStealthyWindowInvisible(t *testing.T) {
+	f, sys, x := fig1Sys(t, 1)
+	plan, damage, err := CompileAttack(sys, x, &EpochAttack{
+		Attackers: f.Attackers,
+		Victims:   []graph.LinkID{f.PaperLink[1]},
+		Stealthy:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if damage <= 0 {
+		t.Fatal("stealthy window solved with zero damage")
+	}
+	res, err := RunEpochs([]Epoch{
+		{Name: "pre", Sys: sys, TrueX: x, Rounds: 3, Jitter: 1, ProbesPerPath: 3},
+		{Name: "stealthy", Sys: sys, TrueX: x, Rounds: 6, Plan: plan, Jitter: 1, ProbesPerPath: 3},
+	}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alarms[1] != 0 {
+		t.Fatalf("stealthy window alarmed %d times\n%s", res.Alarms[1], res)
+	}
+}

@@ -1,0 +1,449 @@
+package e2e
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/serve"
+	"repro/internal/store"
+	"repro/internal/tomo"
+	"repro/internal/topo"
+)
+
+func TestChurnScriptParseValidate(t *testing.T) {
+	// The canonical script round-trips through JSON.
+	s := FiveEpochScript()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	blob := `{
+	  "name": "mini",
+	  "horizon": 4000,
+	  "events": [
+	    {"at": 2000, "kind": "fail-link", "link": ["C", "D"]}
+	  ]
+	}`
+	parsed, err := ParseChurnScript(strings.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Name != "mini" || parsed.roundSpacing() != 1000 {
+		t.Fatalf("parsed %+v", parsed)
+	}
+
+	bad := []ChurnScript{
+		{Name: "", Horizon: 1000},
+		{Name: "x", Horizon: 0},
+		{Name: "x", Horizon: 1000, Events: []ChurnEvent{{At: 1000, Kind: ChurnFlap}}},
+		{Name: "x", Horizon: 1000, Events: []ChurnEvent{{At: 10, Kind: "melt"}}},
+		{Name: "x", Horizon: 1000, Events: []ChurnEvent{{At: 10, Kind: ChurnFailLink, Link: []string{"C"}}}},
+		{Name: "x", Horizon: 1000, Events: []ChurnEvent{{At: 10, Kind: ChurnAttackStart, Victim: 11}}},
+		{Name: "x", Horizon: 1000, Events: []ChurnEvent{{At: 10, Kind: ChurnMonitorLeave}}},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("bad script %d validated", i)
+		}
+	}
+}
+
+// TestChurnCompileFiveEpoch pins the compiled shape of the canonical
+// campaign: six epochs whose transition routes exercise every mechanism
+// — full re-registration for structural churn, session path mutations
+// for the flap, a no-op hold for the attack window — with every epoch
+// identifiable and the attack compiled only inside its window.
+func TestChurnCompileFiveEpoch(t *testing.T) {
+	plan, err := CompileChurn(FiveEpochScript(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Epochs) != 6 {
+		t.Fatalf("%d epochs, want 6", len(plan.Epochs))
+	}
+	wantTags := []string{
+		"base", "fail-link", "flap", "attack-start",
+		"attack-stop+monitor-leave+monitor-join",
+		"recover-link+monitor-leave+monitor-join",
+	}
+	for i, ep := range plan.Epochs {
+		if ep.Tag != wantTags[i] {
+			t.Errorf("epoch %d tag %q, want %q", i, ep.Tag, wantTags[i])
+		}
+		if ep.Rounds != 4 {
+			t.Errorf("epoch %d: %d rounds, want 4", i, ep.Rounds)
+		}
+		if !ep.Sys.Identifiable() {
+			t.Errorf("epoch %d not identifiable", i)
+		}
+		if (ep.Plan != nil) != (i == 3) {
+			t.Errorf("epoch %d plan presence %v", i, ep.Plan != nil)
+		}
+		if len(ep.TrueX) != ep.Sys.Graph().NumLinks() {
+			t.Errorf("epoch %d TrueX dim %d vs %d links", i, len(ep.TrueX), ep.Sys.Graph().NumLinks())
+		}
+	}
+	// Transition-route shapes: structural boundaries have no delta
+	// (re-register), the flap has exactly one op, the attack window an
+	// empty non-nil hold delta.
+	for _, i := range []int{0, 1, 4, 5} {
+		if plan.Epochs[i].Delta != nil {
+			t.Errorf("epoch %d should re-register, has delta %v", i, plan.Epochs[i].Delta)
+		}
+	}
+	if d := plan.Epochs[2].Delta; len(d) != 1 || d == nil {
+		t.Errorf("flap epoch delta %v, want exactly one op", d)
+	} else {
+		if len(d[0].AddWalk) < 2 {
+			t.Errorf("flap op walk %v", d[0].AddWalk)
+		}
+		if d[0].Remove < 0 || d[0].Remove >= plan.Epochs[1].Sys.NumPaths() {
+			t.Errorf("flap op removes out-of-range path %d", d[0].Remove)
+		}
+	}
+	if d := plan.Epochs[3].Delta; d == nil || len(d) != 0 {
+		t.Errorf("attack-window epoch delta %v, want empty hold", d)
+	}
+	if plan.Epochs[3].Damage <= 0 {
+		t.Error("attack window compiled with zero damage")
+	}
+	// The failed link is gone from the middle epochs and back at the end.
+	if l0, l1, l5 := plan.Epochs[0].Sys.Graph().NumLinks(), plan.Epochs[1].Sys.Graph().NumLinks(),
+		plan.Epochs[5].Sys.Graph().NumLinks(); l0 != 10 || l1 != 9 || l5 != 10 {
+		t.Errorf("link counts %d/%d/%d across fail→recover, want 10/9/10", l0, l1, l5)
+	}
+
+	// Determinism: recompilation is structurally identical.
+	plan2, err := CompileChurn(FiveEpochScript(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan2.Draw != plan.Draw {
+		t.Fatalf("draw drifted %d vs %d", plan.Draw, plan2.Draw)
+	}
+	for i := range plan.Epochs {
+		if plan.Epochs[i].Sys.Digest() != plan2.Epochs[i].Sys.Digest() {
+			t.Errorf("epoch %d routing digest drifted between identical compiles", i)
+		}
+	}
+}
+
+// TestGoldenChurnTranscript runs the five-epoch campaign against a live
+// harness at two different worker counts and pins (a) that the two
+// transcripts digest identically — per-round work is a pure function of
+// (seed, round index), aggregation is by index — and (b) the digest and
+// per-epoch story against a committed golden. Regenerate with:
+//
+//	go test ./internal/e2e -run TestGoldenChurnTranscript -update
+func TestGoldenChurnTranscript(t *testing.T) {
+	plan, err := CompileChurn(FiveEpochScript(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) *ChurnTranscript {
+		t.Helper()
+		h := NewHarness(serve.Config{RequestTimeout: -1})
+		defer h.Close()
+		tr, err := RunChurn(context.Background(), NewClient(h.URL(), nil), plan, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	tr1 := run(1)
+	tr5 := run(5)
+	if d1, d5 := tr1.Digest(), tr5.Digest(); d1 != d5 {
+		t.Fatalf("digest depends on worker count:\n 1 worker  %s\n 5 workers %s\n%s\n%s",
+			d1, d5, tr1.Summary(), tr5.Summary())
+	}
+	for _, ep := range tr1.Epochs {
+		if ep.VerdictMismatch != 0 {
+			t.Errorf("epoch %d: %d verdict mismatches\n%s", ep.Index, ep.VerdictMismatch, tr1.Summary())
+		}
+		if ep.Alarms != ep.ExpAlarms {
+			t.Errorf("epoch %d: %d alarms, expected %d", ep.Index, ep.Alarms, ep.ExpAlarms)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "digest %s\n", tr1.Digest())
+	for _, ep := range tr1.Epochs {
+		fmt.Fprintf(&b, "%s|%s|%s rounds=%d alarms=%d mm=%d\n",
+			ep.Tag, ep.Route, strings.Join(ep.Mutations, ","),
+			ep.Rounds, ep.Alarms, ep.VerdictMismatch)
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "churn.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatalf("update %s: %v", path, err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s (run with -update to create): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("churn transcript drifted from golden:\n got:\n%s\n want:\n%s", got, want)
+	}
+}
+
+// TestSessionSurvivesEvictionChurn pins the session/registry isolation
+// contract (DESIGN.md §13): a streaming session holds its own system
+// snapshot, so evicting — even replacing — the topology it was opened
+// on neither disturbs its in-flight rounds nor changes its matrix. The
+// session drains cleanly; only sessions opened after the swap see the
+// new routing.
+func TestSessionSurvivesEvictionChurn(t *testing.T) {
+	scenarios := buildKinds(t, 1, KindClean)
+	_, c := newTestHarness(t, scenarios)
+	sc := scenarios[0]
+	ctx := context.Background()
+
+	rs, err := sc.GenRounds(77, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := make([]serve.StreamRound, len(rs))
+	noX := false
+	for i, r := range rs {
+		lines[i] = serve.StreamRound{Y: r.Y, XHat: &noX}
+	}
+
+	old, err := c.OpenSession(ctx, sc.Name, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.StreamRounds(ctx, old.ID, lines[:2])
+	if err != nil || res.ErrClass != "" || len(res.Verdicts) != 2 {
+		t.Fatalf("pre-evict stream: res %+v err %v", res, err)
+	}
+
+	// Evict and replace the topology with a *different* system (leaner
+	// path selection → different matrix and path count) under the same
+	// name.
+	if status, err := c.Evict(ctx, sc.Name); err != nil || status != http.StatusOK {
+		t.Fatalf("evict: status %d err %v", status, err)
+	}
+	g := sc.Sys.Graph()
+	monitors := topo.Fig1().Monitors
+	leanPaths, rank, err := tomo.SelectPaths(g, monitors, tomo.SelectOptions{Exhaustive: true})
+	if err != nil || rank != g.NumLinks() {
+		t.Fatalf("lean selection: rank %d err %v", rank, err)
+	}
+	lean, err := tomo.NewSystem(g, leanPaths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lean.NumPaths() == sc.Sys.NumPaths() {
+		t.Fatalf("replacement system must differ (both %d paths)", lean.NumPaths())
+	}
+	if _, err := c.Register(ctx, sc.Name, lean, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// The old session still serves the OLD matrix: same width, verdicts
+	// exactly matching the precomputed detector on the original system.
+	res, err = c.StreamRounds(ctx, old.ID, lines[2:])
+	if err != nil || res.ErrClass != "" || len(res.Verdicts) != 2 {
+		t.Fatalf("post-evict stream on old session: res %+v err %v", res, err)
+	}
+	for i, v := range res.Verdicts {
+		want := rs[2+i]
+		if v.Detected != want.Detected || !within(v.ResidualNorm, want.ResidualNorm, 1e-6) {
+			t.Errorf("old session round %d: verdict (%v, %g) vs precomputed (%v, %g)",
+				i, v.Detected, v.ResidualNorm, want.Detected, want.ResidualNorm)
+		}
+	}
+	// Its mutation surface is alive too.
+	status, pr, err := c.MutateSessionPaths(ctx, old.ID,
+		serve.SessionPathsRequest{Add: walkNames(t, sc.Sys, 0)})
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("mutate on old session after evict: status %d err %v", status, err)
+	}
+	if pr.NumPaths != sc.Sys.NumPaths()+1 {
+		t.Errorf("old session grew to %d paths, want %d", pr.NumPaths, sc.Sys.NumPaths()+1)
+	}
+
+	// A session opened now binds the NEW system.
+	fresh, err := c.OpenSession(ctx, sc.Name, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, info, err := c.SessionInfo(ctx, fresh.ID); err != nil || st != http.StatusOK {
+		t.Fatalf("fresh session info: status %d err %v", st, err)
+	} else if info.NumPaths != lean.NumPaths() {
+		t.Errorf("fresh session has %d paths, want new system's %d", info.NumPaths, lean.NumPaths())
+	}
+
+	// Both drain cleanly with full accounting.
+	if status, cr, err := c.CloseSession(ctx, old.ID); err != nil || status != http.StatusOK || cr.Rounds != 4 {
+		t.Fatalf("old session close: status %d resp %+v err %v", status, cr, err)
+	}
+	if status, _, err := c.CloseSession(ctx, fresh.ID); err != nil || status != http.StatusOK {
+		t.Fatalf("fresh session close: status %d err %v", status, err)
+	}
+}
+
+func within(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+// walkNames renders path pi of sys as a node-name walk.
+func walkNames(t *testing.T, sys *tomo.System, pi int) []string {
+	t.Helper()
+	w, err := walkOf(sys.Graph(), sys.Paths()[pi])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestEvictionRaceWALReconcile races concurrent estimate/inspect
+// traffic against two evict/re-register churners on a journal-backed
+// harness: no request may see anything but 200/404 (and no torn state —
+// every 200 verdict must match the registered system's own detector),
+// and afterwards the WAL must hold exactly one append per acknowledged
+// mutation and replay to a working registry.
+func TestEvictionRaceWALReconcile(t *testing.T) {
+	dir := t.TempDir()
+	scenarios := buildKinds(t, 1, KindClean)
+	sc := scenarios[0]
+	h, c := persistentHarness(t, dir, store.Options{})
+	if _, err := c.Register(context.Background(), sc.Name, sc.Sys, 0); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := sc.GenRounds(13, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRes := make([]float64, len(rs))
+	wantDet := make([]bool, len(rs))
+	for i, r := range rs {
+		wantRes[i], wantDet[i] = r.ResidualNorm, r.Detected
+	}
+
+	before, err := c.MetricsSnapshot(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var registers, evictions atomic.Int64
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	for k := 0; k < 2; k++ {
+		churn.Add(1)
+		go func() {
+			defer churn.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				status, err := c.Evict(context.Background(), sc.Name)
+				if err != nil || (status != http.StatusOK && status != http.StatusNotFound) {
+					t.Errorf("evict: status %d err %v", status, err)
+					return
+				}
+				if status == http.StatusOK {
+					evictions.Add(1)
+				}
+				tr, err := c.Register(context.Background(), sc.Name, sc.Sys, 0)
+				if err != nil {
+					t.Errorf("re-register: %v", err)
+					return
+				}
+				if tr != nil {
+					registers.Add(1)
+				}
+			}
+		}()
+	}
+
+	var work sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		work.Add(1)
+		go func(w int) {
+			defer work.Done()
+			for i := 0; i < 50; i++ {
+				if w%2 == 0 {
+					status, er, err := c.Estimate(context.Background(), sc.Name, ysOf(rs))
+					if err != nil || (status != http.StatusOK && status != http.StatusNotFound) {
+						t.Errorf("estimate: status %d err %v", status, err)
+						return
+					}
+					if status == http.StatusOK && len(er.Results) != len(rs) {
+						t.Errorf("estimate 200 with %d results for %d rounds — torn read", len(er.Results), len(rs))
+						return
+					}
+				} else {
+					status, ir, err := c.Inspect(context.Background(), sc.Name, ysOf(rs), 0)
+					if err != nil || (status != http.StatusOK && status != http.StatusNotFound) {
+						t.Errorf("inspect: status %d err %v", status, err)
+						return
+					}
+					if status == http.StatusOK {
+						for j, rep := range ir.Reports {
+							if rep.Detected != wantDet[j] || !within(rep.ResidualNorm, wantRes[j], 1e-6) {
+								t.Errorf("inspect verdict %d torn under churn: (%v, %g) want (%v, %g)",
+									j, rep.Detected, rep.ResidualNorm, wantDet[j], wantRes[j])
+								return
+							}
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	work.Wait()
+	close(stop)
+	churn.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// WAL accounting: exactly one append per acknowledged mutation —
+	// the racing reads contributed nothing.
+	after, err := c.MetricsSnapshot(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := after["store_wal_records_total"] - before["store_wal_records_total"]
+	wantDelta := float64(registers.Load() + evictions.Load())
+	if delta != wantDelta {
+		t.Errorf("WAL grew by %g records for %g acknowledged mutations (%d registers, %d evicts)",
+			delta, wantDelta, registers.Load(), evictions.Load())
+	}
+
+	// Graceful close, then replay: the journal must reconstruct the
+	// topology the churn left registered, serving correct verdicts.
+	h.Close()
+	h2, c2 := persistentHarness(t, dir, store.Options{})
+	defer h2.Close()
+	status, ir, err := c2.Inspect(context.Background(), sc.Name, ysOf(rs), 0)
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("inspect after replay: status %d err %v", status, err)
+	}
+	for j, rep := range ir.Reports {
+		if rep.Detected != wantDet[j] || !within(rep.ResidualNorm, wantRes[j], 1e-6) {
+			t.Fatalf("replayed registry verdict %d: (%v, %g) want (%v, %g)",
+				j, rep.Detected, rep.ResidualNorm, wantDet[j], wantRes[j])
+		}
+	}
+}

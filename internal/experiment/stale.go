@@ -1,0 +1,333 @@
+// Defender-stale-matrix study: what happens when the network churns
+// faster than the defender re-learns its routing matrix. Each trial
+// runs a multi-epoch flap-chained campaign with an attacker window in
+// the middle; the defender then inspects epoch e's measurements with
+// the matrix it learned at epoch e−lag. Lag 0 is the promptly
+// re-learning defender every other experiment assumes; positive lags
+// quantify how routing churn alone degrades the Eq. 23 detector —
+// false alarms on clean traffic (the residual now measures the routing
+// delta, not the attack) and polluted damage attribution inside the
+// window.
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/detect"
+	"repro/internal/graph"
+	"repro/internal/la"
+	"repro/internal/mc"
+	"repro/internal/netsim"
+	"repro/internal/tomo"
+	"repro/internal/topo"
+)
+
+// StaleStudyConfig parameterizes the stale-matrix study.
+type StaleStudyConfig struct {
+	Seed   int64
+	Trials int   // default 6
+	Lags   []int // defender staleness in epochs (default 0, 1, 2)
+	// Epochs is the flap-chain length (default 5); RoundsPerEpoch the
+	// measurement rounds per regime (default 6). The attacker window
+	// covers the middle epochs [Epochs/2−1, Epochs/2].
+	Epochs         int
+	RoundsPerEpoch int
+	Alpha          float64 // 0 = detect.DefaultAlpha
+	// Parallel is the trial worker count (0 = GOMAXPROCS); it never
+	// changes the result.
+	Parallel int
+	// Progress, when non-nil, is called after each completed trial.
+	Progress mc.Progress
+}
+
+func (c StaleStudyConfig) trials() int {
+	if c.Trials <= 0 {
+		return 6
+	}
+	return c.Trials
+}
+
+func (c StaleStudyConfig) lags() []int {
+	if len(c.Lags) == 0 {
+		return []int{0, 1, 2}
+	}
+	return c.Lags
+}
+
+func (c StaleStudyConfig) epochs() int {
+	if c.Epochs <= 0 {
+		return 5
+	}
+	return c.Epochs
+}
+
+func (c StaleStudyConfig) rounds() int {
+	if c.RoundsPerEpoch <= 0 {
+		return 6
+	}
+	return c.RoundsPerEpoch
+}
+
+func (c StaleStudyConfig) alpha() float64 {
+	if c.Alpha <= 0 {
+		return detect.DefaultAlpha
+	}
+	return c.Alpha
+}
+
+// StaleRow aggregates one defender lag across all trials and epochs.
+type StaleRow struct {
+	Lag int `json:"lag"`
+	// Clean/Attack split measurement rounds by whether the attacker
+	// window was active when they were taken.
+	CleanRounds  int `json:"clean_rounds"`
+	CleanAlarms  int `json:"clean_alarms"`
+	AttackRounds int `json:"attack_rounds"`
+	AttackAlarms int `json:"attack_alarms"`
+	// CleanResidual / AttackResidual are mean ‖R·x̂ − y‖₁ under the
+	// lagged matrix — the quantitative churn penalty even when it stays
+	// under α.
+	CleanResidual  float64 `json:"clean_residual_ms"`
+	AttackResidual float64 `json:"attack_residual_ms"`
+	// MeanDamage is the mean |x̂[victim] − x[victim]| over attacked
+	// rounds, as the lagged defender estimates it.
+	MeanDamage float64 `json:"mean_damage_ms"`
+}
+
+// StaleStudyResult is the per-lag alarm/damage table.
+type StaleStudyResult struct {
+	Alpha float64    `json:"alpha"`
+	Rows  []StaleRow `json:"rows"`
+}
+
+// staleTrial is one trial's contribution, already split per lag.
+type staleTrial struct {
+	rows []StaleRow
+}
+
+// StaleStudy runs the defender-stale-matrix experiment on Fig. 1. The
+// routing chain is flap-only — the graph, link numbering, and path
+// count never change, so a lagged matrix still has compatible
+// dimensions; what shifts between epochs is which routes the
+// measurements actually took, which is exactly the mismatch the study
+// isolates.
+func StaleStudy(cfg StaleStudyConfig) (*StaleStudyResult, error) {
+	alpha := cfg.alpha()
+	lags := cfg.lags()
+	nEpochs := cfg.epochs()
+	rounds := cfg.rounds()
+	atkFrom, atkTo := nEpochs/2-1, nEpochs/2
+	if atkFrom < 0 {
+		atkFrom = 0
+	}
+
+	trials, err := mc.Run(cfg.trials(), mc.Options{Workers: cfg.Parallel, Progress: cfg.Progress},
+		func(trial int) (staleTrial, error) {
+			return runStaleTrial(cfg.Seed, trial, alpha, lags, nEpochs, rounds, atkFrom, atkTo)
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := &StaleStudyResult{Alpha: alpha}
+	for li, lag := range lags {
+		row := StaleRow{Lag: lag}
+		var damageSum, cleanResSum, atkResSum float64
+		for _, tr := range trials {
+			r := tr.rows[li]
+			row.CleanRounds += r.CleanRounds
+			row.CleanAlarms += r.CleanAlarms
+			row.AttackRounds += r.AttackRounds
+			row.AttackAlarms += r.AttackAlarms
+			damageSum += r.MeanDamage * float64(r.AttackRounds)
+			cleanResSum += r.CleanResidual * float64(r.CleanRounds)
+			atkResSum += r.AttackResidual * float64(r.AttackRounds)
+		}
+		if row.CleanRounds > 0 {
+			row.CleanResidual = cleanResSum / float64(row.CleanRounds)
+		}
+		if row.AttackRounds > 0 {
+			row.MeanDamage = damageSum / float64(row.AttackRounds)
+			row.AttackResidual = atkResSum / float64(row.AttackRounds)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+func runStaleTrial(seed int64, trial int, alpha float64, lags []int,
+	nEpochs, rounds, atkFrom, atkTo int) (staleTrial, error) {
+	f := topo.Fig1()
+	// NumLinks+6 target: the chosen-victim LP on link 10 needs ≥15 of
+	// Fig. 1's 23 simple paths to be feasible, while stopping short of
+	// the exhaustive set keeps unused alternates for the flap chain.
+	paths, rank, err := tomo.SelectPaths(f.G, f.Monitors,
+		tomo.SelectOptions{Exhaustive: true, TargetPaths: f.G.NumLinks() + 6})
+	if err != nil {
+		return staleTrial{}, fmt.Errorf("experiment: stale trial %d: %w", trial, err)
+	}
+	if rank != f.G.NumLinks() {
+		return staleTrial{}, fmt.Errorf("experiment: stale trial %d: rank %d", trial, rank)
+	}
+	base, err := tomo.NewSystem(f.G, paths)
+	if err != nil {
+		return staleTrial{}, err
+	}
+	victim := f.PaperLink[10]
+	trialSeed := mc.Split(seed, trial)
+
+	// Draw routine traffic until the window is feasible on every
+	// window epoch (same redraw discipline as the e2e compiler).
+	for draw := 0; draw < 32; draw++ {
+		x := netsim.RoutineDelays(f.G, mc.RNG(trialSeed, draw))
+		st, err := staleChainOnDraw(f, base, x, trialSeed, alpha, lags, nEpochs, rounds, atkFrom, atkTo, victim)
+		if err == campaign.ErrInfeasible {
+			continue
+		}
+		return st, err
+	}
+	return staleTrial{}, fmt.Errorf("experiment: stale trial %d: window infeasible on 32 draws", trial)
+}
+
+func staleChainOnDraw(f *topo.Fig1Topology, base *tomo.System, x la.Vector,
+	trialSeed int64, alpha float64, lags []int,
+	nEpochs, rounds, atkFrom, atkTo int, victim graph.LinkID) (staleTrial, error) {
+	// Build the flap chain: epoch 0 is the base selection, each later
+	// epoch reroutes one path of its predecessor.
+	systems := make([]*tomo.System, nEpochs)
+	systems[0] = base
+	for e := 1; e < nEpochs; e++ {
+		prev := systems[e-1]
+		r, alt, err := campaign.FlapPath(prev, mc.RNG(trialSeed, 1000+e))
+		if err != nil {
+			return staleTrial{}, fmt.Errorf("experiment: stale flap %d: %w", e, err)
+		}
+		next := make([]graph.Path, 0, prev.NumPaths())
+		next = append(next, prev.Paths()[:r]...)
+		next = append(next, prev.Paths()[r+1:]...)
+		next = append(next, alt)
+		systems[e], err = tomo.NewSystem(f.G, next)
+		if err != nil {
+			return staleTrial{}, err
+		}
+	}
+
+	// Compile the window attack per epoch (the attacker is prompt even
+	// when the defender is not).
+	plans := make([]*netsim.AttackPlan, nEpochs)
+	for e := atkFrom; e <= atkTo && e < nEpochs; e++ {
+		plan, _, err := campaign.CompileAttack(systems[e], x, &campaign.EpochAttack{
+			Attackers: f.Attackers,
+			Victims:   []graph.LinkID{victim},
+		})
+		if err != nil {
+			return staleTrial{}, err // ErrInfeasible propagates for redraw
+		}
+		plans[e] = plan
+	}
+
+	// Detectors per epoch, reused across lags.
+	dets := make([]*detect.Detector, nEpochs)
+	for e := range dets {
+		var err error
+		dets[e], err = detect.New(systems[e], alpha)
+		if err != nil {
+			return staleTrial{}, err
+		}
+	}
+
+	// Simulate the whole chain once, then inspect per lag.
+	type obs struct {
+		epoch    int
+		attacked bool
+		y        la.Vector
+	}
+	var all []obs
+	var world *netsim.World
+	gi := 0
+	for e := 0; e < nEpochs; e++ {
+		regime := netsim.Config{
+			Graph:         f.G,
+			Paths:         systems[e].Paths(),
+			LinkDelays:    x,
+			Jitter:        1,
+			ProbesPerPath: 3,
+		}
+		var err error
+		if world == nil {
+			world, err = netsim.NewWorld(regime)
+		} else {
+			err = world.Swap(regime)
+		}
+		if err != nil {
+			return staleTrial{}, err
+		}
+		for r := 0; r < rounds; r++ {
+			y, err := world.Round(mc.RNG(trialSeed, 2000+gi), plans[e])
+			if err != nil {
+				return staleTrial{}, err
+			}
+			all = append(all, obs{epoch: e, attacked: plans[e] != nil, y: y})
+			gi++
+		}
+	}
+
+	st := staleTrial{rows: make([]StaleRow, len(lags))}
+	for li, lag := range lags {
+		row := &st.rows[li]
+		row.Lag = lag
+		var damageSum, cleanResSum, atkResSum float64
+		for _, o := range all {
+			de := o.epoch - lag
+			if de < 0 {
+				de = 0
+			}
+			rep, err := dets[de].Inspect(o.y)
+			if err != nil {
+				return staleTrial{}, err
+			}
+			if o.attacked {
+				row.AttackRounds++
+				if rep.Detected {
+					row.AttackAlarms++
+				}
+				atkResSum += rep.ResidualNorm
+				d := rep.XHat[victim] - x[victim]
+				if d < 0 {
+					d = -d
+				}
+				damageSum += d
+			} else {
+				row.CleanRounds++
+				if rep.Detected {
+					row.CleanAlarms++
+				}
+				cleanResSum += rep.ResidualNorm
+			}
+		}
+		if row.CleanRounds > 0 {
+			row.CleanResidual = cleanResSum / float64(row.CleanRounds)
+		}
+		if row.AttackRounds > 0 {
+			row.MeanDamage = damageSum / float64(row.AttackRounds)
+			row.AttackResidual = atkResSum / float64(row.AttackRounds)
+		}
+	}
+	return st, nil
+}
+
+// String renders the per-lag table.
+func (r *StaleStudyResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Defender-stale-matrix study (α = %.0f ms, Fig. 1, flap-chained epochs)\n", r.Alpha)
+	fmt.Fprintf(&b, "%-4s %14s %15s %12s %12s %14s\n",
+		"lag", "clean alarms", "attack alarms", "clean res.", "attack res.", "est. damage")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-4d %8d/%-5d %9d/%-5d %9.1f ms %9.1f ms %11.1f ms\n",
+			row.Lag, row.CleanAlarms, row.CleanRounds,
+			row.AttackAlarms, row.AttackRounds,
+			row.CleanResidual, row.AttackResidual, row.MeanDamage)
+	}
+	return b.String()
+}

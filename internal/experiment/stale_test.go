@@ -1,0 +1,76 @@
+package experiment
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStaleStudy(t *testing.T) {
+	r, err := StaleStudy(StaleStudyConfig{Seed: 1, Trials: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("%d rows, want 3 (lags 0,1,2)", len(r.Rows))
+	}
+	lag0 := r.Rows[0]
+	if lag0.CleanAlarms != 0 {
+		t.Errorf("prompt defender false-alarmed %d/%d clean rounds", lag0.CleanAlarms, lag0.CleanRounds)
+	}
+	for _, row := range r.Rows {
+		// The imperfect-cut attack residual dwarfs any routing delta:
+		// the alarm itself is robust to staleness at the default α.
+		if row.AttackAlarms != row.AttackRounds {
+			t.Errorf("lag %d: caught %d/%d attacked rounds", row.Lag, row.AttackAlarms, row.AttackRounds)
+		}
+		if row.Lag > 0 {
+			// The churn penalty: a stale matrix inflates the clean
+			// residual and pollutes the damage attribution.
+			if row.CleanResidual <= 2*lag0.CleanResidual {
+				t.Errorf("lag %d clean residual %.1f not inflated over prompt %.1f",
+					row.Lag, row.CleanResidual, lag0.CleanResidual)
+			}
+			if row.MeanDamage >= lag0.MeanDamage {
+				t.Errorf("lag %d damage estimate %.1f not degraded from prompt %.1f",
+					row.Lag, row.MeanDamage, lag0.MeanDamage)
+			}
+		}
+	}
+
+	// Determinism: a rerun produces identical rows.
+	r2, err := StaleStudy(StaleStudyConfig{Seed: 1, Trials: 4, Parallel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r.Rows {
+		if r.Rows[i] != r2.Rows[i] {
+			t.Fatalf("row %d drifted across runs:\n %+v\n %+v", i, r.Rows[i], r2.Rows[i])
+		}
+	}
+}
+
+// TestGoldenStaleStudy pins the rendered per-lag table. Regenerate with:
+//
+//	go test ./internal/experiment -run TestGoldenStaleStudy -update
+func TestGoldenStaleStudy(t *testing.T) {
+	r, err := StaleStudy(StaleStudyConfig{Seed: 1, Trials: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.String()
+	path := filepath.Join("testdata", "stale.golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatalf("update %s: %v", path, err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s (run with -update to create): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("stale study drifted from golden:\n got:\n%s\n want:\n%s", got, want)
+	}
+}

@@ -1,0 +1,145 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/la"
+)
+
+// World is the stateful face of the simulator for dynamic-network
+// campaigns: it pins the current routing regime — graph, measurement
+// paths, true link delays, noise model — and supports mid-run topology
+// swaps at routing-epoch boundaries. Per-round inputs (the PRNG and the
+// attack plan) stay per-call, so a World round is a pure function of
+// (regime, round inputs), exactly like a bare RunDelay.
+//
+// World memoizes the per-path link index used to attribute a measured
+// round back to physical links (RoundAttributed). The memo is rebuilt
+// on every Swap: link IDs are dense per graph, so a stale path→link map
+// carried across a swap would silently attribute delay to whichever
+// link happens to reuse the old ID in the new regime. Swap therefore
+// owns the invalidation, and the regression test in world_test.go pins
+// that attribution always lands on the current topology's links.
+type World struct {
+	cfg   Config
+	epoch int
+	// pathLinks[pi][h] is the link crossed at hop h of path pi — the
+	// memoized attribution index, valid only for the current regime.
+	pathLinks [][]graph.LinkID
+}
+
+// NewWorld pins the initial regime. cfg.RNG and cfg.Plan are per-round
+// inputs and must be nil here; pass them to Round/RoundAttributed.
+func NewWorld(cfg Config) (*World, error) {
+	if err := checkRegime(cfg); err != nil {
+		return nil, err
+	}
+	return &World{cfg: cfg, pathLinks: buildPathIndex(cfg.Paths)}, nil
+}
+
+// Swap replaces the routing regime — a link failure, an ECMP reroute, a
+// monitor set change — and invalidates every memoized per-topology
+// structure. The epoch counter increments on success; a failed swap
+// leaves the previous regime fully intact.
+func (w *World) Swap(cfg Config) error {
+	if err := checkRegime(cfg); err != nil {
+		return err
+	}
+	w.cfg = cfg
+	w.pathLinks = buildPathIndex(cfg.Paths)
+	w.epoch++
+	return nil
+}
+
+// checkRegime validates the regime half of a Config: RNG and Plan are
+// per-round and must not be baked into the regime (a plan compiled for
+// one routing epoch is not generally valid on the next — path indices
+// shift and attacker-free paths change).
+func checkRegime(cfg Config) error {
+	if cfg.RNG != nil {
+		return fmt.Errorf("netsim: world regime must not carry an RNG (pass it per round): %w", ErrBadConfig)
+	}
+	if cfg.Plan != nil {
+		return fmt.Errorf("netsim: world regime must not carry an attack plan (pass it per round): %w", ErrBadConfig)
+	}
+	// The structural checks need an RNG stand-in when jitter is on.
+	probe := cfg
+	if probe.Jitter > 0 {
+		probe.RNG = rand.New(rand.NewSource(0))
+	}
+	return probe.validate()
+}
+
+func buildPathIndex(paths []graph.Path) [][]graph.LinkID {
+	idx := make([][]graph.LinkID, len(paths))
+	for i, p := range paths {
+		links := make([]graph.LinkID, len(p.Links))
+		copy(links, p.Links)
+		idx[i] = links
+	}
+	return idx
+}
+
+// Epoch is the number of swaps applied so far (0 = initial regime).
+func (w *World) Epoch() int { return w.epoch }
+
+// Graph is the current regime's topology.
+func (w *World) Graph() *graph.Graph { return w.cfg.Graph }
+
+// Paths is the current regime's measurement path set.
+func (w *World) Paths() []graph.Path { return w.cfg.Paths }
+
+// NumLinks is the current regime's link count.
+func (w *World) NumLinks() int { return w.cfg.Graph.NumLinks() }
+
+// PathLinks exposes the memoized link sequence of path pi — what
+// attribution will use. Tests assert it tracks the current regime.
+func (w *World) PathLinks(pi int) []graph.LinkID {
+	if pi < 0 || pi >= len(w.pathLinks) {
+		return nil
+	}
+	out := make([]graph.LinkID, len(w.pathLinks[pi]))
+	copy(out, w.pathLinks[pi])
+	return out
+}
+
+// Round simulates one measurement round under the current regime. The
+// plan (nil = clean round) is validated against the current paths, so a
+// plan compiled for a pre-swap epoch fails loudly instead of silently
+// manipulating the wrong paths.
+func (w *World) Round(rng *rand.Rand, plan *AttackPlan) (la.Vector, error) {
+	cfg := w.cfg
+	cfg.RNG = rng
+	cfg.Plan = plan
+	return RunDelay(cfg)
+}
+
+// RoundAttributed is Round plus per-link delay attribution: perLink[l]
+// sums every traced hop's dwell time on link l across all probes of the
+// round (adversarial holds included — the held hop's dwell covers the
+// hold, which is what makes forensic attribution point at the attacker's
+// neighborhood). Attribution resolves hops through the memoized
+// path→link index, never through stale caller-side state.
+func (w *World) RoundAttributed(rng *rand.Rand, plan *AttackPlan) (y, perLink la.Vector, err error) {
+	cfg := w.cfg
+	cfg.RNG = rng
+	cfg.Plan = plan
+	y, traces, err := RunDelayTraced(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	perLink = make(la.Vector, w.cfg.Graph.NumLinks())
+	for _, tr := range traces {
+		links := w.pathLinks[tr.PathIndex]
+		for h := range tr.Hops {
+			if h >= len(links) {
+				return nil, nil, fmt.Errorf("netsim: trace hop %d beyond path %d index (%d links): %w",
+					h, tr.PathIndex, len(links), ErrBadConfig)
+			}
+			perLink[links[h]] += tr.Hops[h].Arrive - tr.Hops[h].Depart
+		}
+	}
+	return y, perLink, nil
+}

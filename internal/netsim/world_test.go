@@ -1,0 +1,188 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/la"
+	"repro/internal/mc"
+)
+
+// lineWorld builds a 3-node line a–b–c with one monitor path a→b→c.
+func lineWorld(t *testing.T, delays la.Vector) (*World, *graph.Graph) {
+	t.Helper()
+	g := graph.New()
+	a, b, c := g.AddNode("a"), g.AddNode("b"), g.AddNode("c")
+	ab, err := g.AddLink(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := g.AddLink(b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := graph.Path{Nodes: []graph.NodeID{a, b, c}, Links: []graph.LinkID{ab, bc}}
+	w, err := NewWorld(Config{Graph: g, Paths: []graph.Path{p}, LinkDelays: delays})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, g
+}
+
+func TestWorldRoundMatchesRunDelay(t *testing.T) {
+	w, g := lineWorld(t, la.Vector{3, 4})
+	y, err := w.Round(mc.RNG(1, 0), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RunDelay(Config{Graph: g, Paths: w.Paths(), LinkDelays: la.Vector{3, 4}, RNG: mc.RNG(1, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(y) != 1 || y[0] != want[0] {
+		t.Fatalf("world round %v, bare RunDelay %v", y, want)
+	}
+	if y[0] != 7 {
+		t.Fatalf("noiseless line delay %g, want 7", y[0])
+	}
+}
+
+func TestWorldRegimeRejectsPerRoundFields(t *testing.T) {
+	g := graph.New()
+	a, b := g.AddNode("a"), g.AddNode("b")
+	ab, _ := g.AddLink(a, b)
+	p := graph.Path{Nodes: []graph.NodeID{a, b}, Links: []graph.LinkID{ab}}
+	base := Config{Graph: g, Paths: []graph.Path{p}, LinkDelays: la.Vector{1}}
+
+	withRNG := base
+	withRNG.RNG = mc.RNG(1, 0)
+	if _, err := NewWorld(withRNG); err == nil {
+		t.Error("regime with an RNG accepted")
+	}
+	withPlan := base
+	withPlan.Plan = &AttackPlan{ExtraDelay: la.Vector{0}}
+	if _, err := NewWorld(withPlan); err == nil {
+		t.Error("regime with an attack plan accepted")
+	}
+	// Jittery regimes are fine without an RNG — it arrives per round.
+	jittery := base
+	jittery.Jitter = 1
+	if _, err := NewWorld(jittery); err != nil {
+		t.Errorf("jittery regime rejected: %v", err)
+	}
+}
+
+// TestWorldSwapInvalidatesPathIndex is the regression test for the
+// mid-run swap contract: the memoized path→link attribution index must
+// be rebuilt on Swap. The pre-swap regime routes its path over link ID
+// 1 (of 2); the post-swap regime is a different graph where the same
+// path position crosses link IDs {0, 1} of 3 with very different
+// delays. A stale index would attribute the post-swap round's delay
+// mass to the old IDs — here that is detectable as mass missing from
+// link 2's total and a wrong vector length.
+func TestWorldSwapInvalidatesPathIndex(t *testing.T) {
+	// Regime A: a–b–c line, path crosses links {0, 1}, delays {5, 9}.
+	w, _ := lineWorld(t, la.Vector{5, 9})
+	_, perLink, err := w.RoundAttributed(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perLink) != 2 || perLink[0] != 5 || perLink[1] != 9 {
+		t.Fatalf("pre-swap attribution %v, want [5 9]", perLink)
+	}
+
+	// Regime B: a different 4-node graph. The measurement path now
+	// crosses link IDs 2 then 0 — deliberately permuted against regime
+	// A's {0, 1} so stale-index attribution would land on wrong links.
+	g := graph.New()
+	a, b, c, d := g.AddNode("a"), g.AddNode("b"), g.AddNode("c"), g.AddNode("d")
+	cd, _ := g.AddLink(c, d) // link 0
+	bc, _ := g.AddLink(b, c) // link 1
+	ab, _ := g.AddLink(a, b) // link 2
+	_ = bc
+	path := graph.Path{Nodes: []graph.NodeID{a, b}, Links: []graph.LinkID{ab}}
+	long := graph.Path{Nodes: []graph.NodeID{c, d}, Links: []graph.LinkID{cd}}
+	if err := w.Swap(Config{
+		Graph:      g,
+		Paths:      []graph.Path{path, long},
+		LinkDelays: la.Vector{100, 7, 11},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if w.Epoch() != 1 {
+		t.Fatalf("epoch %d after one swap", w.Epoch())
+	}
+	if got := w.PathLinks(0); len(got) != 1 || got[0] != ab {
+		t.Fatalf("memoized index for path 0 = %v, want [%d]: stale after swap", got, ab)
+	}
+
+	_, perLink, err = w.RoundAttributed(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perLink) != 3 {
+		t.Fatalf("post-swap attribution has %d links, want 3", len(perLink))
+	}
+	// Path 0 crossed only link ab (ID 2, delay 11); path 1 only cd (ID
+	// 0, delay 100). A stale regime-A index (links {0, 1}) would have
+	// dumped path 0's 11 ms onto link 0 instead.
+	if perLink[ab] != 11 || perLink[cd] != 100 || perLink[bc] != 0 {
+		t.Fatalf("post-swap attribution %v, want 11 on link %d, 100 on link %d, 0 on link %d",
+			perLink, ab, cd, bc)
+	}
+}
+
+// TestWorldRejectsStalePlan pins that an attack plan compiled against a
+// pre-swap epoch cannot silently run against the new regime: the plan's
+// length (and attacker-free-path structure) is validated per round.
+func TestWorldRejectsStalePlan(t *testing.T) {
+	w, g := lineWorld(t, la.Vector{2, 2})
+	b, _ := g.NodeByName("b")
+	plan := &AttackPlan{
+		Attackers:  map[graph.NodeID]bool{b: true},
+		ExtraDelay: la.Vector{50},
+	}
+	if _, err := w.Round(nil, plan); err != nil {
+		t.Fatalf("plan valid for current regime rejected: %v", err)
+	}
+
+	// Swap to a regime with two paths; the 1-entry plan is now stale.
+	p := w.Paths()[0]
+	rev := graph.Path{
+		Nodes: []graph.NodeID{p.Nodes[2], p.Nodes[1], p.Nodes[0]},
+		Links: []graph.LinkID{p.Links[1], p.Links[0]},
+	}
+	if err := w.Swap(Config{Graph: g, Paths: []graph.Path{p, rev}, LinkDelays: la.Vector{2, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Round(nil, plan); err == nil {
+		t.Fatal("stale 1-entry plan accepted against a 2-path regime")
+	}
+}
+
+// TestWorldAttributionConserves checks that, with an adversarial hold
+// in play, per-link attribution still accounts for exactly the measured
+// end-to-end delay (the held hop's dwell absorbs the hold).
+func TestWorldAttributionConserves(t *testing.T) {
+	w, g := lineWorld(t, la.Vector{2, 3})
+	b, _ := g.NodeByName("b")
+	plan := &AttackPlan{
+		Attackers:  map[graph.NodeID]bool{b: true},
+		ExtraDelay: la.Vector{40},
+	}
+	y, perLink, err := w.RoundAttributed(nil, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, v := range perLink {
+		total += v
+	}
+	if math.Abs(total-y[0]) > 1e-9 {
+		t.Fatalf("attributed %g ms, measured %g ms", total, y[0])
+	}
+	if y[0] != 45 {
+		t.Fatalf("held round measured %g, want 45", y[0])
+	}
+}

@@ -4,7 +4,9 @@
 # results as BENCH_sparse.json at the repo root, so scaling regressions
 # show up as a reviewable diff rather than a vibe. Also runs the
 # streaming benchmarks (batched estimates, rank-1 QR up/downdates) into
-# BENCH_stream.json the same way.
+# BENCH_stream.json the same way, and the churn benchmarks (epoch
+# re-registration vs rank-1 session mutation at 1k/10k links, with
+# per-iteration p50/p95) into BENCH_churn.json.
 #
 # Usage: scripts/bench.sh [benchtime]
 #   benchtime: go test -benchtime value (default 1x — each benchmark runs
@@ -24,11 +26,13 @@ emit_json() {
     /^Benchmark/ {
         name = $1
         sub(/-[0-9]+$/, "", name)           # strip GOMAXPROCS suffix
-        nsop = ""; bop = ""; allocs = ""
+        nsop = ""; bop = ""; allocs = ""; p50 = ""; p95 = ""
         for (i = 2; i <= NF; i++) {
             if ($(i) == "ns/op")     nsop   = $(i-1)
             if ($(i) == "B/op")      bop    = $(i-1)
             if ($(i) == "allocs/op") allocs = $(i-1)
+            if ($(i) == "p50-ns")    p50    = $(i-1)
+            if ($(i) == "p95-ns")    p95    = $(i-1)
         }
         if (nsop == "") next
         if (!first) printf ",\n"
@@ -36,6 +40,8 @@ emit_json() {
         printf "  \"%s\": {\"ns_per_op\": %s", name, nsop
         if (bop != "")    printf ", \"bytes_per_op\": %s", bop
         if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+        if (p50 != "")    printf ", \"p50_ns\": %s", p50
+        if (p95 != "")    printf ", \"p95_ns\": %s", p95
         printf "}"
     }
     END { print "\n}" }
@@ -50,3 +56,11 @@ emit_json "$tmp" BENCH_sparse.json
 go test -run='^$' -bench='BenchmarkEstimateBatch|BenchmarkQRUpdate' -benchtime="$benchtime" \
     ./internal/tomo ./internal/la | tee "$tmp"
 emit_json "$tmp" BENCH_stream.json
+
+# Churn epoch routes: warm re-registration (evict + register, solver
+# cache kept) vs a session rank-1 paths round trip, at dense (1k) and
+# sparse (10k) scales. p50/p95 come from per-iteration timing inside
+# the benchmarks; at -benchtime=1x they equal the single iteration.
+go test -run='^$' -bench='BenchmarkChurnReregister|BenchmarkChurnMutate' -benchtime="$benchtime" \
+    ./internal/serve | tee "$tmp"
+emit_json "$tmp" BENCH_churn.json

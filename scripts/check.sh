@@ -57,6 +57,16 @@ go test -race -run 'TestSession|TestStreamRound|TestAppendStream|TestParseStream
 go test -race -run 'TestRank1|TestDowndate|TestUpdateShape|TestEstimateBatch|TestAddRemovePath' ./internal/la ./internal/tomo
 go test -short -race -run 'TestStream|TestGoldenStream|TestRunStream' ./internal/e2e ./cmd/tomoload
 
+# Dynamic-network churn: the scenario DSL compiler, mid-run topology
+# swaps, the five-epoch campaign replay (golden digest, worker-count
+# invariance) and the eviction/WAL-reconcile race under -race, plus the
+# defender-stale-matrix study and the tomoload -churn-script CLI path.
+go test -race ./internal/netsim
+go test -race -run 'TestCompileAttack|TestFlapPath|TestRunEpochs' ./internal/campaign
+go test -short -race -run 'TestChurn|TestGoldenChurn|TestSessionSurvivesEvictionChurn|TestEvictionRaceWALReconcile' ./internal/e2e
+go test -race -run 'TestStaleStudy|TestGoldenStaleStudy' ./internal/experiment
+go test -race -run 'TestRunChurnScript' ./cmd/tomoload
+
 go test -run='^$' -fuzz=FuzzSolve -fuzztime=10s ./internal/lp
 go test -run='^$' -fuzz=FuzzParseEdgeList -fuzztime=10s ./internal/graph
 go test -run='^$' -fuzz=FuzzDecodeRecord -fuzztime=10s ./internal/store
