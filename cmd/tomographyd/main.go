@@ -52,6 +52,7 @@ import (
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/forensics"
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/store"
@@ -68,6 +69,7 @@ func main() {
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	traceCap := flag.Int("trace-cap", obs.DefaultTraceCapacity, "completed request traces retained for /debug/traces")
 	sessionIdle := flag.Duration("session-idle", serve.DefaultSessionIdleTimeout, "idle timeout before round sessions are reaped (negative disables)")
+	forensicsExemplars := flag.Int("forensics-exemplars", forensics.DefaultExemplarK, "worst-residual exemplar rounds retained per topology for /v1/topologies/{name}/forensics")
 	dataDir := flag.String("data-dir", "", "directory for the durable topology journal (empty = in-memory only)")
 	fsyncMode := flag.String("fsync", "interval", "WAL fsync policy: always, interval, never")
 	fsyncInterval := flag.Duration("fsync-interval", store.DefaultFsyncInterval, "flush cadence under -fsync=interval")
@@ -92,6 +94,7 @@ func main() {
 			Logger:             obs.NewLogger(os.Stdout, level, *logJSON),
 			TraceCapacity:      *traceCap,
 			SessionIdleTimeout: *sessionIdle,
+			ForensicsExemplars: *forensicsExemplars,
 		},
 		preload:          *preload,
 		seed:             *seed,

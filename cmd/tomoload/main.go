@@ -44,12 +44,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
 	"time"
 
 	"repro/internal/e2e"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -197,6 +200,16 @@ func run(ctx context.Context, opt options, out io.Writer) error {
 		// Per-op latency quantiles from the same histogram code that
 		// backs the server's /metrics histograms (obs.Histogram).
 		fmt.Fprint(out, tr.Report())
+		byTopo := make(map[string][]float64)
+		for i := range tr.Records {
+			r := &tr.Records[i]
+			if r.Scenario != "" && len(r.Residuals) > 0 {
+				byTopo[r.Scenario] = append(byTopo[r.Scenario], r.Residuals...)
+			}
+		}
+		if err := forensicsReport(ctx, plain, byTopo, chaos.String() == "off", out); err != nil {
+			return err
+		}
 	}
 	fmt.Fprintf(out, "transcript digest: %s\n", tr.Digest())
 
@@ -293,6 +306,17 @@ func runStream(ctx context.Context, opt options, chaos e2e.ChaosConfig,
 		return err
 	}
 	fmt.Fprint(out, tr.Summary())
+	if opt.report {
+		byTopo := make(map[string][]float64)
+		for i := range tr.Sessions {
+			r := &tr.Sessions[i]
+			byTopo[r.Scenario] = append(byTopo[r.Scenario], r.Residuals...)
+		}
+		plain := e2e.NewClient(base, nil)
+		if err := forensicsReport(ctx, plain, byTopo, chaos.String() == "off", out); err != nil {
+			return err
+		}
+	}
 	fmt.Fprintf(out, "transcript digest: %s\n", tr.Digest())
 	e := tr.Expected()
 	if e.Mismatches != 0 {
@@ -310,6 +334,56 @@ func runStream(ctx context.Context, opt options, chaos e2e.ChaosConfig,
 			return fmt.Errorf("verification failed: %d counter mismatch(es)", len(msgs))
 		}
 		fmt.Fprintln(out, "verify: server metrics reconcile with the stream transcript")
+	}
+	return nil
+}
+
+// forensicsReport is the -report forensics section: for every topology
+// the run touched, it rebuilds the residual quantile sketch from the
+// client-side verdict transcript (the same obs.QuantileSketch the
+// server feeds) and reconciles it against GET /v1/topologies/{name}/
+// forensics. Quantiles are pure functions of the observed multiset, so
+// with chaos off and an in-process daemon the two must match exactly;
+// a topology whose observatory was epoch-reset mid-run (session path
+// churn) reports the reset instead, since the server sketch only holds
+// rounds from the current attribution regime by design.
+func forensicsReport(ctx context.Context, c *e2e.Client, byTopo map[string][]float64, exact bool, out io.Writer) error {
+	names := make([]string, 0, len(byTopo))
+	for name := range byTopo {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintln(out, "forensics (server residual quantiles vs client verdicts):")
+	fmt.Fprintf(out, "  %-20s %8s %12s %12s %12s  %s\n", "topology", "rounds", "p50", "p95", "p99", "reconcile")
+	var mismatches int
+	for _, name := range names {
+		status, snap, err := c.Forensics(ctx, name)
+		if err != nil || status != http.StatusOK {
+			fmt.Fprintf(out, "  %-20s snapshot unavailable (status %d, err %v)\n", name, status, err)
+			mismatches++
+			continue
+		}
+		sk := obs.NewQuantileSketch()
+		for _, v := range byTopo[name] {
+			sk.Observe(v)
+		}
+		verdict := "exact"
+		switch {
+		case snap.Residual.Count == sk.Count() &&
+			snap.Residual.P50 == sk.Quantile(0.50) &&
+			snap.Residual.P95 == sk.Quantile(0.95) &&
+			snap.Residual.P99 == sk.Quantile(0.99):
+		case snap.Epoch > 0:
+			verdict = fmt.Sprintf("reset@epoch%d (server holds %d rounds)", snap.Epoch, snap.Residual.Count)
+		default:
+			verdict = fmt.Sprintf("MISMATCH (server %d rounds, p50 %g)", snap.Residual.Count, snap.Residual.P50)
+			mismatches++
+		}
+		fmt.Fprintf(out, "  %-20s %8d %12.6f %12.6f %12.6f  %s\n",
+			name, sk.Count(), sk.Quantile(0.50), sk.Quantile(0.95), sk.Quantile(0.99), verdict)
+	}
+	if exact && mismatches != 0 {
+		return fmt.Errorf("forensics reconcile failed on %d topology(ies)", mismatches)
 	}
 	return nil
 }

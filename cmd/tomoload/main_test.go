@@ -133,3 +133,61 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		t.Error("missing churn script file accepted")
 	}
 }
+
+// TestRunReportForensicsExact drives -report with chaos off: the
+// forensics section must reconcile every touched topology exactly
+// against the server-side sketch (same observation multiset, same
+// sketch code, so identical quantiles).
+func TestRunReportForensicsExact(t *testing.T) {
+	var out strings.Builder
+	err := run(context.Background(), options{
+		n: 200, workers: 4, seed: 7,
+		scenarios: "clean,chosen-victim", report: true,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "forensics (server residual quantiles vs client verdicts):") {
+		t.Fatalf("no forensics section:\n%s", text)
+	}
+	for _, topo := range []string{"fig1-clean", "fig1-chosen-victim"} {
+		re := regexp.MustCompile(topo + `\s+\d+(\s+\d+\.\d+){3}\s+exact`)
+		if !re.MatchString(text) {
+			t.Errorf("topology %s did not reconcile exactly:\n%s", topo, text)
+		}
+	}
+	if strings.Contains(text, "MISMATCH") {
+		t.Errorf("forensics mismatch under chaos off:\n%s", text)
+	}
+}
+
+// TestRunStreamReportForensics exercises the forensics section on the
+// streaming path with mid-stream churn. The churn is an add+remove
+// round trip, so the routing digest at every batch boundary is back to
+// the original — one continuous attribution regime, and the reconcile
+// must still be exact (a permanent mutation would instead surface as
+// reset@epoch, covered in the serve tests).
+func TestRunStreamReportForensics(t *testing.T) {
+	var out strings.Builder
+	err := run(context.Background(), options{
+		workers: 4, seed: 7, scenarios: "clean,chosen-victim",
+		stream: true, sessions: 2, rounds: 40, batch: 16, churn: 1,
+		report: true,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "forensics (server residual quantiles vs client verdicts):") {
+		t.Fatalf("no forensics section:\n%s", text)
+	}
+	if strings.Contains(text, "MISMATCH") || strings.Contains(text, "reset@epoch") {
+		t.Errorf("churn round trip should reconcile exactly:\n%s", text)
+	}
+	for _, topo := range []string{"fig1-clean", "fig1-chosen-victim"} {
+		if !regexp.MustCompile(topo + `\s+40\b.*exact`).MatchString(text) {
+			t.Errorf("topology %s did not reconcile exactly over 40 rounds:\n%s", topo, text)
+		}
+	}
+}

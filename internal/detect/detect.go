@@ -28,12 +28,14 @@ const DefaultAlpha = 200.0
 var ErrBadInput = errors.New("detect: bad input")
 
 // Detector runs the consistency check of Eq. 23 on a tomography system.
-// A Detector is immutable after New and safe for concurrent Inspect
-// calls: long-lived services should build one Detector per registered
-// system and share it across request handlers.
+// A Detector is immutable after New (and SetObserver, which must happen
+// before the detector is shared) and safe for concurrent Inspect calls:
+// long-lived services should build one Detector per registered system
+// and share it across request handlers.
 type Detector struct {
-	sys   *tomo.System
-	alpha float64
+	sys     *tomo.System
+	alpha   float64
+	observe func(ctx context.Context, rep *Report)
 }
 
 // New creates a detector with threshold alpha; alpha = 0 selects
@@ -53,6 +55,28 @@ func New(sys *tomo.System, alpha float64) (*Detector, error) {
 
 // Alpha returns the detection threshold in use.
 func (d *Detector) Alpha() float64 { return d.alpha }
+
+// SetObserver installs a hook called with every successful Inspect's
+// report and context — the forensics exemplar feed. Install before the
+// detector is shared (like tomo.SetSolveObserver); the hook must be
+// fast and concurrency-safe, and must not retain rep's vectors beyond
+// the call. The context carries the request/round correlation ID
+// (obs.RequestID) and active trace (obs.TraceID).
+func (d *Detector) SetObserver(fn func(ctx context.Context, rep *Report)) {
+	d.observe = fn
+}
+
+// WithAlpha derives a detector sharing d's system and observer hook but
+// using a different threshold — how a per-request alpha override keeps
+// feeding the same forensic observatory.
+func (d *Detector) WithAlpha(alpha float64) (*Detector, error) {
+	nd, err := New(d.sys, alpha)
+	if err != nil {
+		return nil, err
+	}
+	nd.observe = d.observe
+	return nd, nil
+}
 
 // Warm forces the underlying system's solver construction (dense
 // factorization or sparse identifiability screen) so the first Inspect
@@ -112,13 +136,17 @@ func (d *Detector) InspectCtx(ctx context.Context, yObserved la.Vector) (*Report
 	norm := res.Norm1()
 	span.SetBool("detected", norm > d.alpha)
 	span.SetFloat("residual_norm", norm)
-	return &Report{
+	rep := &Report{
 		Detected:     norm > d.alpha,
 		ResidualNorm: norm,
 		Residual:     res,
 		XHat:         xhat,
 		SquareR:      d.sys.NumPaths() == d.sys.NumLinks(),
-	}, nil
+	}
+	if d.observe != nil {
+		d.observe(ctx, rep)
+	}
+	return rep, nil
 }
 
 // Calibrate picks a detection threshold from clean (attack-free)

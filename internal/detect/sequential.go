@@ -24,11 +24,64 @@ import (
 // the Calibrate output at a mid quantile); Ceiling trades detection
 // delay against false alarms, as usual for CUSUM.
 type Sequential struct {
-	det     *Detector
+	det   *Detector
+	cusum *Cusum
+}
+
+// Cusum is the pure CUSUM accumulator Sequential is built on, split out
+// so consumers that already have residual norms in hand (the forensics
+// alarm-burst tracker feeds norms computed inline by the streaming
+// round path) reuse the same recurrence without re-running Inspect:
+//
+//	S_0 = 0
+//	S_n = max(0, S_{n−1} + x_n − Drift)
+//	alarm when S_n > Ceiling
+//
+// Not safe for concurrent use; Sequential and the forensics observatory
+// both serialize access.
+type Cusum struct {
 	drift   float64
 	ceiling float64
 	s       float64
 	rounds  int
+}
+
+// NewCusum builds a CUSUM accumulator. Drift and Ceiling must be
+// positive.
+func NewCusum(drift, ceiling float64) (*Cusum, error) {
+	if drift <= 0 || ceiling <= 0 {
+		return nil, fmt.Errorf("detect: drift %g and ceiling %g must be positive: %w", drift, ceiling, ErrBadInput)
+	}
+	return &Cusum{drift: drift, ceiling: ceiling}, nil
+}
+
+// Observe folds one observation into the statistic and reports the
+// updated value and whether it exceeds the ceiling.
+func (c *Cusum) Observe(x float64) (stat float64, alarm bool) {
+	c.rounds++
+	c.s += x - c.drift
+	if c.s < 0 {
+		c.s = 0
+	}
+	return c.s, c.s > c.ceiling
+}
+
+// Statistic returns the current CUSUM value S_n.
+func (c *Cusum) Statistic() float64 { return c.s }
+
+// Rounds counts observations fed so far.
+func (c *Cusum) Rounds() int { return c.rounds }
+
+// Ceiling returns the alarm threshold.
+func (c *Cusum) Ceiling() float64 { return c.ceiling }
+
+// Drift returns the per-observation drift.
+func (c *Cusum) Drift() float64 { return c.drift }
+
+// Reset clears the accumulated statistic.
+func (c *Cusum) Reset() {
+	c.s = 0
+	c.rounds = 0
 }
 
 // NewSequential wraps a detector with CUSUM accumulation. Drift must be
@@ -37,10 +90,11 @@ func NewSequential(det *Detector, drift, ceiling float64) (*Sequential, error) {
 	if det == nil {
 		return nil, fmt.Errorf("detect: nil detector: %w", ErrBadInput)
 	}
-	if drift <= 0 || ceiling <= 0 {
-		return nil, fmt.Errorf("detect: drift %g and ceiling %g must be positive: %w", drift, ceiling, ErrBadInput)
+	c, err := NewCusum(drift, ceiling)
+	if err != nil {
+		return nil, err
 	}
-	return &Sequential{det: det, drift: drift, ceiling: ceiling}, nil
+	return &Sequential{det: det, cusum: c}, nil
 }
 
 // SequentialReport is the outcome of one accumulated round.
@@ -61,25 +115,18 @@ func (s *Sequential) Observe(yObserved la.Vector) (*SequentialReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.rounds++
-	s.s += rep.ResidualNorm - s.drift
-	if s.s < 0 {
-		s.s = 0
-	}
+	stat, alarm := s.cusum.Observe(rep.ResidualNorm)
 	return &SequentialReport{
-		Round:         s.rounds,
-		Statistic:     s.s,
+		Round:         s.cusum.Rounds(),
+		Statistic:     stat,
 		RoundResidual: rep.ResidualNorm,
-		Alarm:         s.s > s.ceiling,
+		Alarm:         alarm,
 	}, nil
 }
 
 // Reset clears the accumulated statistic (e.g. after an investigated
 // alarm).
-func (s *Sequential) Reset() {
-	s.s = 0
-	s.rounds = 0
-}
+func (s *Sequential) Reset() { s.cusum.Reset() }
 
 // Statistic returns the current CUSUM value.
-func (s *Sequential) Statistic() float64 { return s.s }
+func (s *Sequential) Statistic() float64 { return s.cusum.Statistic() }

@@ -191,3 +191,34 @@ func attackerSet(sc *core.Scenario) map[graph.NodeID]bool {
 	}
 	return set
 }
+
+func TestCusumAccumulator(t *testing.T) {
+	if _, err := NewCusum(0, 5); !errors.Is(err, ErrBadInput) {
+		t.Errorf("zero drift: err = %v", err)
+	}
+	if _, err := NewCusum(5, -1); !errors.Is(err, ErrBadInput) {
+		t.Errorf("negative ceiling: err = %v", err)
+	}
+	c, err := NewCusum(10, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Below drift: clamped at zero.
+	if stat, alarm := c.Observe(5); stat != 0 || alarm {
+		t.Errorf("Observe(5) = %g,%t, want 0,false", stat, alarm)
+	}
+	// Accumulate 20 excess per round: 20, 40 (alarm at 40 > 25).
+	if stat, alarm := c.Observe(30); stat != 20 || alarm {
+		t.Errorf("Observe(30) = %g,%t, want 20,false", stat, alarm)
+	}
+	if stat, alarm := c.Observe(30); stat != 40 || !alarm {
+		t.Errorf("Observe(30) = %g,%t, want 40,true", stat, alarm)
+	}
+	if c.Rounds() != 3 || c.Statistic() != 40 || c.Drift() != 10 || c.Ceiling() != 25 {
+		t.Errorf("accessors: rounds=%d stat=%g drift=%g ceiling=%g", c.Rounds(), c.Statistic(), c.Drift(), c.Ceiling())
+	}
+	c.Reset()
+	if c.Rounds() != 0 || c.Statistic() != 0 {
+		t.Error("Reset left state")
+	}
+}

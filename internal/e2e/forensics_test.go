@@ -1,0 +1,103 @@
+package e2e
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/forensics"
+)
+
+// forensicsRun streams one session per scenario topology (sequential
+// per-topology ingestion keeps the order-dependent snapshot fields —
+// EWMA, bursts — deterministic at any worker count) and returns the
+// per-topology forensics snapshots in scenario order.
+func forensicsRun(t *testing.T, workers int) ([]*forensics.Snapshot, []*Scenario) {
+	t.Helper()
+	scenarios := buildKinds(t, 1, KindClean, KindStealthy, KindChosenVictim)
+	h := newStreamHarness(t, scenarios)
+	tr, err := RunStream(context.Background(), StreamConfig{
+		BaseURL:          h.URL(),
+		Scenarios:        scenarios,
+		Sessions:         len(scenarios),
+		RoundsPerSession: 48,
+		BatchMax:         16,
+		Workers:          workers,
+		Seed:             11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := tr.Expected()
+	if e.RoundsSent != int64(len(scenarios)*48) || e.Mismatches != 0 {
+		t.Fatalf("workers=%d: stream run degraded: sent=%d mismatches=%d",
+			workers, e.RoundsSent, e.Mismatches)
+	}
+	c := NewClient(h.URL(), nil)
+	snaps := make([]*forensics.Snapshot, len(scenarios))
+	for i, sc := range scenarios {
+		status, snap, err := c.Forensics(context.Background(), sc.Name)
+		if err != nil || status != http.StatusOK {
+			t.Fatalf("forensics %s: status %d err %v", sc.Name, status, err)
+		}
+		snaps[i] = snap
+	}
+	return snaps, scenarios
+}
+
+// TestGoldenForensicsSnapshot pins the forensics observatory's full
+// state — residual quantiles, suspicion ledger, alarm bursts, exemplar
+// set — under per-topology digest hashes, and requires those hashes to
+// be invariant to the stream runner's worker count. Regenerate with:
+//
+//	go test ./internal/e2e -run TestGoldenForensicsSnapshot -update
+func TestGoldenForensicsSnapshot(t *testing.T) {
+	snaps1, scenarios := forensicsRun(t, 1)
+	snaps5, _ := forensicsRun(t, 5)
+
+	var b strings.Builder
+	for i, sc := range scenarios {
+		s1, s5 := snaps1[i], snaps5[i]
+		if h1, h5 := s1.DigestHash(), s5.DigestHash(); h1 != h5 {
+			t.Errorf("%s: forensics digest depends on worker count:\n  w1 %s\n  w5 %s\nw1 state: %s\nw5 state: %s",
+				sc.Name, h1, h5, s1.DigestString(), s5.DigestString())
+		}
+		if s1.Rounds != 48 {
+			t.Errorf("%s: observatory saw %d rounds, want 48", sc.Name, s1.Rounds)
+		}
+		fmt.Fprintf(&b, "%s rounds=%d alarms=%d unattributed=%d exemplars=%d digest=%s\n",
+			sc.Name, s1.Rounds, s1.Alarms, s1.Unattributed, len(s1.Exemplars), s1.DigestHash())
+	}
+	got := b.String()
+
+	// Scenario sanity: chosen-victim must alarm, clean must not.
+	if snaps1[0].Alarms != 0 {
+		t.Errorf("clean topology alarmed %d times", snaps1[0].Alarms)
+	}
+	if snaps1[2].Alarms == 0 {
+		t.Error("chosen-victim topology never alarmed")
+	}
+
+	path := filepath.Join("testdata", "forensics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatalf("update %s: %v", path, err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s (run with -update to create): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("forensics snapshot drifted from golden.\ngot:\n%s\nwant:\n%s\nRun with -update if the change is intended.",
+			got, want)
+	}
+}

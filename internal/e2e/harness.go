@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/forensics"
 	"repro/internal/la"
 	"repro/internal/obs"
 	"repro/internal/serve"
@@ -231,6 +232,20 @@ func (c *Client) Healthz(ctx context.Context) (int, *serve.HealthResponse, error
 		return status, nil, jerr
 	}
 	return status, &hr, nil
+}
+
+// Forensics fetches a topology's forensics snapshot (residual
+// quantiles, suspicion ledger, alarm bursts, exemplars).
+func (c *Client) Forensics(ctx context.Context, name string) (int, *forensics.Snapshot, error) {
+	status, raw, err := c.do(ctx, http.MethodGet, "/v1/topologies/"+name+"/forensics", nil)
+	if err != nil || status != http.StatusOK {
+		return status, nil, err
+	}
+	var snap forensics.Snapshot
+	if jerr := json.Unmarshal(raw, &snap); jerr != nil {
+		return status, nil, jerr
+	}
+	return status, &snap, nil
 }
 
 // MetricsSnapshot scrapes /metrics and parses the exposition into a

@@ -1,0 +1,89 @@
+package forensics
+
+import "repro/internal/detect"
+
+// Burst is one contiguous stretch of accumulated excess residual: the
+// CUSUM statistic S_n left zero at Start and returned to zero after
+// End. A burst is Alarmed once S_n crossed the ceiling — the sequential
+// detector's alarm condition — so a long α-evasive attack (each round
+// just under α) still surfaces as one alarmed burst even though no
+// single round tripped the per-round detector.
+type Burst struct {
+	// Start and End are 1-based round sequence numbers (inclusive) in
+	// this observatory epoch's arrival order.
+	Start int64 `json:"start"`
+	End   int64 `json:"end"`
+	// Peak is the largest CUSUM statistic reached inside the burst.
+	Peak float64 `json:"peak"`
+	// Alarmed records whether the statistic exceeded the ceiling.
+	Alarmed bool `json:"alarmed"`
+	// Open marks the burst still accumulating at snapshot time.
+	Open bool `json:"open,omitempty"`
+}
+
+// burstTracker segments the residual-norm sequence into bursts using
+// detect.Cusum (S_n = max(0, S_{n−1} + norm − drift), alarm when
+// S_n > ceiling). Closed bursts are retained up to keep, oldest
+// evicted first. Not safe for concurrent use; the observatory mutex
+// covers it.
+type burstTracker struct {
+	cusum  *detect.Cusum
+	round  int64
+	active *Burst
+	closed []Burst
+	keep   int
+	// alarmed counts bursts that crossed the ceiling (closed or open).
+	alarmed int64
+}
+
+func newBurstTracker(drift, ceiling float64, keep int) *burstTracker {
+	// NewCusum rejects non-positive parameters; fall back to a tracker
+	// that never accumulates rather than propagate a construction error
+	// into every ingest call (alpha is validated upstream, so this is
+	// belt and braces).
+	c, err := detect.NewCusum(drift, ceiling)
+	if err != nil {
+		c, _ = detect.NewCusum(1, 1)
+	}
+	return &burstTracker{cusum: c, keep: keep}
+}
+
+func (b *burstTracker) observe(norm float64) {
+	b.round++
+	stat, alarm := b.cusum.Observe(norm)
+	if stat > 0 {
+		if b.active == nil {
+			b.active = &Burst{Start: b.round, Peak: stat}
+		}
+		b.active.End = b.round
+		if stat > b.active.Peak {
+			b.active.Peak = stat
+		}
+		if alarm && !b.active.Alarmed {
+			b.active.Alarmed = true
+			b.alarmed++
+		}
+		return
+	}
+	if b.active != nil {
+		b.closed = append(b.closed, *b.active)
+		if len(b.closed) > b.keep {
+			over := len(b.closed) - b.keep
+			b.closed = append(b.closed[:0:0], b.closed[over:]...)
+		}
+		b.active = nil
+	}
+}
+
+// snapshot returns closed bursts oldest-first plus the open one (if
+// any) last.
+func (b *burstTracker) snapshot() []Burst {
+	out := make([]Burst, 0, len(b.closed)+1)
+	out = append(out, b.closed...)
+	if b.active != nil {
+		open := *b.active
+		open.Open = true
+		out = append(out, open)
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package forensics
+
+import "strconv"
+
+// Exemplar is one retained worst-residual round: enough to find the
+// request in logs (ID echoes X-Request-Id plus a round discriminator)
+// and the span tree in /debug/traces (TraceID).
+type Exemplar struct {
+	ID           string  `json:"id"`
+	TraceID      int64   `json:"traceId,omitempty"`
+	ResidualNorm float64 `json:"residualNorm"`
+	Detected     bool    `json:"detected"`
+}
+
+// exEntry is the stored form of an exemplar candidate. The correlation
+// ID stays as (req, seq) components and is only rendered to a string at
+// snapshot time: the streaming hot path offers one candidate per round,
+// and materializing "req#seq" there would put a per-round allocation on
+// a path with a < 5% overhead budget.
+type exEntry struct {
+	req      string
+	seq      int
+	traceID  int64
+	norm     float64
+	detected bool
+}
+
+// id renders the correlation ID: "req#seq", or just req when the
+// caller passed no round discriminator (seq < 0).
+func (e *exEntry) id() string {
+	if e.seq < 0 {
+		return e.req
+	}
+	return e.req + "#" + strconv.Itoa(e.seq)
+}
+
+// exemplarStore keeps the top-K rounds by residual norm under a strict
+// total order — norm descending, then (req, seq) ascending on ties — so
+// the retained set is a pure function of the offered multiset:
+// concurrent ingestion in any interleaving converges to the same
+// exemplars (the property the worker-invariance tests pin). K is small,
+// so a sorted slice with bounded insertion beats a heap on both
+// simplicity and determinism. Not safe for concurrent use; the
+// observatory mutex covers it.
+type exemplarStore struct {
+	k     int
+	worst []exEntry // sorted by rank, best (worst residual) first
+}
+
+func newExemplarStore(k int) *exemplarStore {
+	return &exemplarStore{k: k, worst: make([]exEntry, 0, k)}
+}
+
+// rankBefore is the strict total order: a outranks b when a's residual
+// is larger, with smaller (req, seq) winning ties.
+func rankBefore(a, b *exEntry) bool {
+	if a.norm != b.norm {
+		return a.norm > b.norm
+	}
+	if a.req != b.req {
+		return a.req < b.req
+	}
+	return a.seq < b.seq
+}
+
+func (s *exemplarStore) offer(e exEntry) {
+	if s.k <= 0 {
+		return
+	}
+	if len(s.worst) == s.k && !rankBefore(&e, &s.worst[len(s.worst)-1]) {
+		return
+	}
+	pos := len(s.worst)
+	for pos > 0 && rankBefore(&e, &s.worst[pos-1]) {
+		pos--
+	}
+	if len(s.worst) < s.k {
+		s.worst = append(s.worst, exEntry{})
+	}
+	copy(s.worst[pos+1:], s.worst[pos:])
+	s.worst[pos] = e
+}
+
+// top renders the retained exemplars, worst residual first.
+func (s *exemplarStore) top() []Exemplar {
+	out := make([]Exemplar, len(s.worst))
+	for i := range s.worst {
+		e := &s.worst[i]
+		out[i] = Exemplar{ID: e.id(), TraceID: e.traceID, ResidualNorm: e.norm, Detected: e.detected}
+	}
+	return out
+}

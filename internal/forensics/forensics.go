@@ -1,0 +1,330 @@
+// Package forensics is the daemon's detection-observability subsystem:
+// the live answer to "what is the detector seeing, and which links
+// would an operator suspect?". For every registered topology it keeps a
+// forensic observatory that folds each inspected round into
+//
+//   - a streaming quantile sketch and EWMA of the Eq. 23 residual norm
+//     ‖R·x̂ − y'‖₁ (obs.QuantileSketch — fixed memory, no stored
+//     rounds, worker-order invariant),
+//   - a per-link suspicion ledger: the round's per-path residual vector
+//     projected back through the routing matrix as Rᵀ·|res|
+//     (CSR-aware, matrix-free, so attribution works at ISP scale where
+//     the dense R is suppressed),
+//   - an alarm-burst tracker built on detect.Cusum (the sequential
+//     detector's accumulator), segmenting the round sequence into
+//     bursts of accumulated excess residual, and
+//   - a bounded top-K exemplar store of the worst-residual rounds with
+//     their request/trace correlation IDs, linking a /metrics alarm to
+//     a replayable round in /debug/traces.
+//
+// Observatories are epoch-stamped: when a topology name is re-bound to
+// a different routing-matrix digest (an eviction + re-registration, a
+// churn-script routing epoch, a session path mutation), the attribution
+// state resets and the epoch increments — per-link scores are only
+// meaningful against the matrix that produced them, exactly like
+// netsim.World.Swap invalidates its path→link memo.
+//
+// Determinism contract: all sketch and counter state is commutative
+// over the ingested round multiset, so snapshots are invariant to how
+// rounds were interleaved across workers. EWMA, burst segmentation, and
+// the round-sequence numbers are arrival-order dependent; they are
+// deterministic whenever each topology's rounds arrive in a fixed order
+// (one session per topology, or a single-threaded client), which is how
+// the e2e golden pins them.
+package forensics
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"repro/internal/detect"
+	"repro/internal/la"
+	"repro/internal/obs"
+	"repro/internal/sparse"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultExemplarK  = 8
+	DefaultTopLinks   = 8
+	DefaultEWMAWeight = 0.2
+	DefaultBurstKeep  = 16
+)
+
+// Config parameterizes a Table and its observatories.
+type Config struct {
+	// ExemplarK bounds the worst-residual exemplar store; 0 means
+	// DefaultExemplarK.
+	ExemplarK int
+	// TopLinks bounds the suspected-link list in snapshots; 0 means
+	// DefaultTopLinks.
+	TopLinks int
+	// EWMAWeight is the rolling-window weight for the residual EWMA and
+	// the per-link ledger; 0 means DefaultEWMAWeight.
+	EWMAWeight float64
+	// BurstKeep bounds retained closed bursts; 0 means DefaultBurstKeep.
+	BurstKeep int
+	// BurstDrift and BurstCeiling parameterize the detect.Cusum behind
+	// burst tracking; 0 means the topology's detection threshold α for
+	// both (drift α keeps clean rounds at S=0; ceiling α requires one
+	// round of accumulated excess before a burst counts as alarmed).
+	BurstDrift   float64
+	BurstCeiling float64
+}
+
+func (c Config) exemplarK() int {
+	if c.ExemplarK <= 0 {
+		return DefaultExemplarK
+	}
+	return c.ExemplarK
+}
+
+func (c Config) topLinks() int {
+	if c.TopLinks <= 0 {
+		return DefaultTopLinks
+	}
+	return c.TopLinks
+}
+
+func (c Config) ewmaWeight() float64 {
+	if c.EWMAWeight <= 0 || c.EWMAWeight > 1 {
+		return DefaultEWMAWeight
+	}
+	return c.EWMAWeight
+}
+
+func (c Config) burstKeep() int {
+	if c.BurstKeep <= 0 {
+		return DefaultBurstKeep
+	}
+	return c.BurstKeep
+}
+
+// Round is one inspected measurement round's forensic observation.
+type Round struct {
+	// Req and Seq correlate the round with its request: Req is the
+	// X-Request-Id and Seq a round discriminator within it, rendered as
+	// "req-00000007#2" if the round is retained as an exemplar (Seq < 0
+	// renders Req alone, for callers whose request ID already carries the
+	// discriminator). Kept as components so the streaming hot path never
+	// builds a string for a round that won't be retained.
+	Req string
+	Seq int
+	// TraceID is the /debug/traces trace the round ran under (0 = none).
+	// Trace IDs are minted in request-arrival order, so they are
+	// excluded from snapshot digests.
+	TraceID int64
+	// Detected is the round's Eq. 23 verdict.
+	Detected bool
+	// Norm is ‖R·x̂ − y'‖₁.
+	Norm float64
+	// Residual is the per-path residual vector R·x̂ − y' (may be nil
+	// when only the norm is known; the round then counts as
+	// unattributed in the ledger).
+	Residual la.Vector
+}
+
+// Observatory is one topology's forensic state. Safe for concurrent
+// use; every mutation holds the observatory mutex, so per-round
+// ingestion from many streams serializes here (the critical section is
+// O(nnz) for the ledger projection and O(K) for the exemplar store).
+type Observatory struct {
+	cfg Config
+
+	mu           sync.Mutex
+	name         string
+	digest       string
+	epoch        int
+	alpha        float64
+	r            *sparse.CSR
+	rounds       int64
+	alarms       int64
+	unattributed int64
+	sketch       *obs.QuantileSketch
+	ewma         *obs.EWMA
+	ledger       *ledger
+	bursts       *burstTracker
+	exemplars    *exemplarStore
+}
+
+func newObservatory(cfg Config, name, digest string, r *sparse.CSR, alpha float64) *Observatory {
+	o := &Observatory{cfg: cfg, name: name}
+	o.reset(digest, r, alpha)
+	return o
+}
+
+// reset re-arms every accumulator for a new routing regime. Caller
+// holds o.mu (or owns o exclusively).
+func (o *Observatory) reset(digest string, r *sparse.CSR, alpha float64) {
+	o.digest = digest
+	o.alpha = alpha
+	o.r = r
+	o.rounds = 0
+	o.alarms = 0
+	o.unattributed = 0
+	o.sketch = obs.NewQuantileSketch()
+	o.ewma = obs.NewEWMA(o.cfg.ewmaWeight())
+	links := 0
+	if r != nil {
+		links = r.Cols()
+	}
+	o.ledger = newLedger(links, o.cfg.ewmaWeight())
+	drift, ceiling := o.cfg.BurstDrift, o.cfg.BurstCeiling
+	if drift <= 0 {
+		drift = alpha
+	}
+	if ceiling <= 0 {
+		ceiling = alpha
+	}
+	o.bursts = newBurstTracker(drift, ceiling, o.cfg.burstKeep())
+	o.exemplars = newExemplarStore(o.cfg.exemplarK())
+}
+
+// rebind points the observatory at a new routing regime: same digest is
+// a no-op, a different digest resets all attribution state and bumps
+// the epoch.
+func (o *Observatory) rebind(digest string, r *sparse.CSR, alpha float64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if digest == o.digest {
+		return
+	}
+	o.epoch++
+	o.reset(digest, r, alpha)
+}
+
+// Epoch counts routing-regime changes observed so far (0 = initial).
+func (o *Observatory) Epoch() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.epoch
+}
+
+// Ingest folds one round into the observatory.
+func (o *Observatory) Ingest(rd Round) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.rounds++
+	if rd.Detected {
+		o.alarms++
+	}
+	o.sketch.Observe(rd.Norm)
+	o.ewma.Observe(rd.Norm)
+	o.bursts.observe(rd.Norm)
+	if rd.Residual == nil || !o.ledger.project(o.r, rd.Residual) {
+		o.unattributed++
+	}
+	o.exemplars.offer(exEntry{
+		req:      rd.Req,
+		seq:      rd.Seq,
+		traceID:  rd.TraceID,
+		norm:     rd.Norm,
+		detected: rd.Detected,
+	})
+}
+
+// IngestReport adapts a detect.Report to Ingest — the shape of the
+// detector observer hook (detect.Detector.SetObserver). The context
+// supplies the request/trace correlation IDs; the request ID is assumed
+// to already carry its round discriminator (serve's inspect handler
+// stamps "reqID#i" per round), so Seq stays -1.
+func (o *Observatory) IngestReport(ctx context.Context, rep *detect.Report) {
+	o.Ingest(Round{
+		Req:      obs.RequestID(ctx),
+		Seq:      -1,
+		TraceID:  obs.TraceID(ctx),
+		Detected: rep.Detected,
+		Norm:     rep.ResidualNorm,
+		Residual: rep.Residual,
+	})
+}
+
+// ResidualStats summarizes the residual-norm distribution.
+type ResidualStats struct {
+	Count int64   `json:"count"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	EWMA  float64 `json:"ewma"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot is one observatory's point-in-time forensic view — the body
+// of GET /v1/topologies/{name}/forensics.
+type Snapshot struct {
+	Name         string        `json:"name"`
+	Digest       string        `json:"digest"`
+	Epoch        int           `json:"epoch"`
+	Alpha        float64       `json:"alpha"`
+	Rounds       int64         `json:"rounds"`
+	Alarms       int64         `json:"alarms"`
+	Unattributed int64         `json:"unattributed,omitempty"`
+	Residual     ResidualStats `json:"residual"`
+	TopLinks     []LinkScore   `json:"topLinks,omitempty"`
+	Bursts       []Burst       `json:"bursts,omitempty"`
+	Exemplars    []Exemplar    `json:"exemplars,omitempty"`
+}
+
+// Snapshot renders the observatory's current state.
+func (o *Observatory) Snapshot() Snapshot {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return Snapshot{
+		Name:         o.name,
+		Digest:       o.digest,
+		Epoch:        o.epoch,
+		Alpha:        o.alpha,
+		Rounds:       o.rounds,
+		Alarms:       o.alarms,
+		Unattributed: o.unattributed,
+		Residual: ResidualStats{
+			Count: o.sketch.Count(),
+			Min:   o.sketch.Min(),
+			Max:   o.sketch.Max(),
+			Mean:  o.sketch.Mean(),
+			EWMA:  o.ewma.Value(),
+			P50:   o.sketch.Quantile(0.50),
+			P95:   o.sketch.Quantile(0.95),
+			P99:   o.sketch.Quantile(0.99),
+		},
+		TopLinks:  o.ledger.top(o.cfg.topLinks()),
+		Bursts:    o.bursts.snapshot(),
+		Exemplars: o.exemplars.top(),
+	}
+}
+
+// DigestString is the snapshot's deterministic text form: every
+// order-invariant (and, under per-topology sequential ingestion,
+// order-dependent) field quantized to 1e-3, with trace IDs excluded —
+// they are minted in global request-arrival order and would break
+// worker-count invariance. The e2e golden hashes this.
+func (s *Snapshot) DigestString() string {
+	var b []byte
+	b = fmt.Appendf(b, "forensics %s digest=%s epoch=%d alpha=%.3f rounds=%d alarms=%d unattributed=%d\n",
+		s.Name, s.Digest, s.Epoch, s.Alpha, s.Rounds, s.Alarms, s.Unattributed)
+	r := s.Residual
+	b = fmt.Appendf(b, "residual count=%d min=%.3f max=%.3f mean=%.3f ewma=%.3f p50=%.3f p95=%.3f p99=%.3f\n",
+		r.Count, r.Min, r.Max, r.Mean, r.EWMA, r.P50, r.P95, r.P99)
+	for _, l := range s.TopLinks {
+		b = fmt.Appendf(b, "link %d score=%.3f share=%.3f ewma=%.3f\n", l.Link, l.Score, l.Share, l.EWMA)
+	}
+	for _, bu := range s.Bursts {
+		b = fmt.Appendf(b, "burst start=%d end=%d peak=%.3f alarmed=%t open=%t\n",
+			bu.Start, bu.End, bu.Peak, bu.Alarmed, bu.Open)
+	}
+	for _, e := range s.Exemplars {
+		b = fmt.Appendf(b, "exemplar %s norm=%.3f detected=%t\n", e.ID, e.ResidualNorm, e.Detected)
+	}
+	return string(b)
+}
+
+// DigestHash is the sha256 of DigestString, hex-encoded.
+func (s *Snapshot) DigestHash() string {
+	sum := sha256.Sum256([]byte(s.DigestString()))
+	return hex.EncodeToString(sum[:])
+}

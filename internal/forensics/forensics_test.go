@@ -1,0 +1,434 @@
+package forensics
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/la"
+	"repro/internal/sparse"
+)
+
+// testCSR builds a small 0/1 path-link incidence matrix:
+//
+//	paths × links = 4 × 3
+//	p0: l0 l1
+//	p1: l1 l2
+//	p2: l0 l2
+//	p3: l2
+func testCSR(t testing.TB) *sparse.CSR {
+	t.Helper()
+	ts := []sparse.Triplet{
+		{Row: 0, Col: 0, Val: 1}, {Row: 0, Col: 1, Val: 1},
+		{Row: 1, Col: 1, Val: 1}, {Row: 1, Col: 2, Val: 1},
+		{Row: 2, Col: 0, Val: 1}, {Row: 2, Col: 2, Val: 1},
+		{Row: 3, Col: 2, Val: 1},
+	}
+	m, err := sparse.FromTriplets(4, 3, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestLedgerProjectionMatchesDenseOracle(t *testing.T) {
+	m := testCSR(t)
+	l := newLedger(m.Cols(), 0.2)
+	rng := rand.New(rand.NewSource(7))
+	d := m.Dense()
+	oracle := make(la.Vector, m.Cols())
+	const rounds = 50
+	for r := 0; r < rounds; r++ {
+		res := make(la.Vector, m.Rows())
+		for i := range res {
+			res[i] = rng.NormFloat64() * 10
+		}
+		// Dense oracle: sum_j |res_p| over paths p containing link j.
+		for j := 0; j < m.Cols(); j++ {
+			for i := 0; i < m.Rows(); i++ {
+				oracle[j] += d.At(i, j) * math.Abs(res[i])
+			}
+		}
+		if !l.project(m, res) {
+			t.Fatalf("round %d: project returned false", r)
+		}
+	}
+	// The Rᵀ projection is deferred to snapshot time; force it before
+	// reading the per-link sums.
+	if !l.materialize() {
+		t.Fatal("materialize failed")
+	}
+	for j := range oracle {
+		if math.Abs(l.sum[j]-oracle[j]) > 1e-9*math.Abs(oracle[j]) {
+			t.Errorf("link %d: sum = %g, oracle %g", j, l.sum[j], oracle[j])
+		}
+	}
+	top := l.top(3)
+	if len(top) != 3 {
+		t.Fatalf("top(3) returned %d links", len(top))
+	}
+	var share float64
+	for i, s := range top {
+		if i > 0 && s.Score > top[i-1].Score {
+			t.Errorf("top not sorted: %v", top)
+		}
+		if s.Score*float64(rounds) != l.sum[s.Link] {
+			t.Errorf("link %d: score %g inconsistent with sum %g over %d rounds",
+				s.Link, s.Score, l.sum[s.Link], rounds)
+		}
+		share += s.Share
+	}
+	if math.Abs(share-1) > 1e-9 {
+		t.Errorf("shares over all links sum to %g, want 1", share)
+	}
+}
+
+func TestLedgerRejectsShapeMismatch(t *testing.T) {
+	m := testCSR(t)
+	l := newLedger(m.Cols(), 0.2)
+	if l.project(nil, make(la.Vector, 4)) {
+		t.Error("project succeeded with nil matrix")
+	}
+	if l.project(m, make(la.Vector, 3)) {
+		t.Error("project succeeded with wrong residual length")
+	}
+	bad := newLedger(5, 0.2)
+	if bad.project(m, make(la.Vector, 4)) {
+		t.Error("project succeeded with mismatched link count")
+	}
+	if l.rounds != 0 {
+		t.Errorf("failed projections counted: rounds = %d", l.rounds)
+	}
+}
+
+func TestLedgerTopRanking(t *testing.T) {
+	// Identity routing matrix: per-path accumulation IS the per-link
+	// attribution, so the ranking inputs are exactly the vectors below.
+	tr := make([]sparse.Triplet, 4)
+	for i := range tr {
+		tr[i] = sparse.Triplet{Row: i, Col: i, Val: 1}
+	}
+	eye, err := sparse.FromTriplets(4, 4, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := newLedger(4, 0.5)
+	l.rounds = 2
+	l.r = eye
+	l.pathSum = la.Vector{5, 0, 5, 9}
+	l.pathEWMA = la.Vector{2, 0, 2, 4}
+	top := l.top(2)
+	if len(top) != 2 || top[0].Link != 3 || top[1].Link != 0 {
+		t.Fatalf("top(2) = %+v, want links 3 then 0 (tie at sum=5 broken by ID)", top)
+	}
+	all := l.top(10)
+	if len(all) != 3 {
+		t.Errorf("top(10) = %+v, want 3 entries (zero-attribution link omitted)", all)
+	}
+}
+
+func TestBurstSegmentation(t *testing.T) {
+	// drift=10, ceiling=25: S accumulates norm-10 per round.
+	b := newBurstTracker(10, 25, 4)
+	// Rounds 1-2 quiet, 3-5 hot (30 each: S=20,40,60 → alarm at round 4),
+	// 6-8 quiet enough to drain (S=60→drop 10/round on zero norm: 50,40,30...)
+	norms := []float64{5, 5, 30, 30, 30, 0, 0, 0, 0, 0, 0, 5}
+	for _, n := range norms {
+		b.observe(n)
+	}
+	snap := b.snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot = %+v, want exactly one closed burst", snap)
+	}
+	burst := snap[0]
+	if burst.Start != 3 || burst.End != 10 {
+		t.Errorf("burst span [%d,%d], want [3,10] (round 11 drains S to 0 and closes)", burst.Start, burst.End)
+	}
+	if !burst.Alarmed {
+		t.Error("burst not alarmed despite S=60 > ceiling 25")
+	}
+	if burst.Peak != 60 {
+		t.Errorf("peak = %g, want 60", burst.Peak)
+	}
+	if burst.Open {
+		t.Error("closed burst marked open")
+	}
+}
+
+func TestBurstOpenAndEviction(t *testing.T) {
+	b := newBurstTracker(10, 1000, 2)
+	// Three separate closed bursts, keep=2 → oldest evicted.
+	for i := 0; i < 3; i++ {
+		b.observe(20) // open: S=10
+		b.observe(0)  // close: S=0
+	}
+	b.observe(20) // open a fourth, leave it open
+	snap := b.snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot = %+v, want 2 closed + 1 open", snap)
+	}
+	if snap[0].Start != 3 || snap[1].Start != 5 {
+		t.Errorf("closed bursts start at %d,%d, want 3,5 (oldest evicted)", snap[0].Start, snap[1].Start)
+	}
+	last := snap[2]
+	if !last.Open || last.Start != 7 || last.End != 7 {
+		t.Errorf("open burst = %+v, want open [7,7]", last)
+	}
+	if last.Alarmed {
+		t.Error("open burst alarmed below ceiling")
+	}
+}
+
+func TestExemplarStoreOrderAndBound(t *testing.T) {
+	s := newExemplarStore(3)
+	for i, norm := range []float64{5, 1, 9, 3, 9, 7} {
+		s.offer(exEntry{req: fmt.Sprintf("r%d", i), seq: -1, norm: norm})
+	}
+	top := s.top()
+	if len(top) != 3 {
+		t.Fatalf("top() = %+v, want 3", top)
+	}
+	// Two norms of 9 (r2, r4): tie broken by ID ascending; then 7 (r5).
+	want := []string{"r2", "r4", "r5"}
+	for i, id := range want {
+		if top[i].ID != id {
+			t.Fatalf("top() order = %+v, want IDs %v", top, want)
+		}
+	}
+	// Mutating the returned slice must not affect the store.
+	top[0].ID = "mutated"
+	if s.top()[0].ID != "r2" {
+		t.Error("top() aliases internal storage")
+	}
+}
+
+// TestExemplarStoreOrderInvariance is the core determinism property: the
+// retained set is a pure function of the offered multiset, whatever the
+// offer order.
+func TestExemplarStoreOrderInvariance(t *testing.T) {
+	offers := make([]exEntry, 40)
+	rng := rand.New(rand.NewSource(3))
+	for i := range offers {
+		offers[i] = exEntry{req: fmt.Sprintf("id-%02d", i), seq: -1, norm: float64(rng.Intn(10))}
+	}
+	ref := newExemplarStore(5)
+	for _, e := range offers {
+		ref.offer(e)
+	}
+	want := ref.top()
+	for trial := 0; trial < 20; trial++ {
+		perm := rng.Perm(len(offers))
+		s := newExemplarStore(5)
+		for _, i := range perm {
+			s.offer(offers[i])
+		}
+		got := s.top()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: top() = %+v, want %+v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestObservatoryIngestAndSnapshot(t *testing.T) {
+	m := testCSR(t)
+	o := newObservatory(Config{ExemplarK: 2}, "fig1", "d0", m, 100)
+	for i := 0; i < 10; i++ {
+		norm := float64(10 * (i + 1))
+		res := make(la.Vector, m.Rows())
+		res[i%m.Rows()] = norm
+		o.Ingest(Round{
+			Req:      fmt.Sprintf("req-%d", i),
+			Seq:      0,
+			Detected: norm > 100,
+			Norm:     norm,
+			Residual: res,
+		})
+	}
+	s := o.Snapshot()
+	if s.Rounds != 10 || s.Alarms != 0 {
+		t.Errorf("rounds=%d alarms=%d, want 10/0", s.Rounds, s.Alarms)
+	}
+	if s.Residual.Count != 10 || s.Residual.Min != 10 || s.Residual.Max != 100 {
+		t.Errorf("residual stats = %+v", s.Residual)
+	}
+	if s.Residual.Mean != 55 {
+		t.Errorf("mean = %g, want 55", s.Residual.Mean)
+	}
+	if len(s.Exemplars) != 2 || s.Exemplars[0].ID != "req-9#0" || s.Exemplars[1].ID != "req-8#0" {
+		t.Errorf("exemplars = %+v, want req-9#0 then req-8#0", s.Exemplars)
+	}
+	if len(s.TopLinks) == 0 {
+		t.Error("no suspected links despite attributed rounds")
+	}
+	if s.Unattributed != 0 {
+		t.Errorf("unattributed = %d, want 0", s.Unattributed)
+	}
+	// A nil-residual round counts as unattributed but still feeds the sketch.
+	o.Ingest(Round{Req: "req-10", Seq: 0, Norm: 200, Detected: true})
+	s = o.Snapshot()
+	if s.Unattributed != 1 || s.Alarms != 1 || s.Residual.Max != 200 {
+		t.Errorf("after nil-residual round: %+v", s)
+	}
+}
+
+func TestRebindResetsStateAndBumpsEpoch(t *testing.T) {
+	m := testCSR(t)
+	tab := NewTable(Config{})
+	o := tab.Bind("fig1", "d0", m, 100)
+	o.Ingest(Round{Req: "a", Seq: -1, Norm: 50, Residual: make(la.Vector, m.Rows())})
+	if o.Epoch() != 0 {
+		t.Fatalf("fresh epoch = %d", o.Epoch())
+	}
+
+	// Same digest: no-op, state survives.
+	if o2 := tab.Bind("fig1", "d0", m, 100); o2 != o {
+		t.Fatal("Bind returned a different observatory for the same name")
+	}
+	if s := o.Snapshot(); s.Rounds != 1 || s.Epoch != 0 {
+		t.Errorf("same-digest rebind disturbed state: %+v", s)
+	}
+
+	// New digest: epoch bump + full reset.
+	tab.Bind("fig1", "d1", m, 120)
+	s := o.Snapshot()
+	if s.Epoch != 1 || s.Rounds != 0 || s.Digest != "d1" || s.Alpha != 120 {
+		t.Errorf("rebind: %+v, want epoch=1 rounds=0 digest=d1 alpha=120", s)
+	}
+	if s.Residual.Count != 0 || len(s.TopLinks) != 0 || len(s.Exemplars) != 0 || len(s.Bursts) != 0 {
+		t.Errorf("rebind left attribution state: %+v", s)
+	}
+
+	if _, ok := tab.Snapshot("nope"); ok {
+		t.Error("Snapshot found an unbound topology")
+	}
+	if tab.Len() != 1 {
+		t.Errorf("Len = %d", tab.Len())
+	}
+}
+
+func TestTableSnapshotsSorted(t *testing.T) {
+	tab := NewTable(Config{})
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		tab.Bind(n, "d", nil, 100)
+	}
+	snaps := tab.Snapshots()
+	if len(snaps) != 3 || snaps[0].Name != "alpha" || snaps[1].Name != "mid" || snaps[2].Name != "zeta" {
+		t.Errorf("Snapshots order: %v %v %v", snaps[0].Name, snaps[1].Name, snaps[2].Name)
+	}
+}
+
+// TestConcurrentIngestWorkerInvariance pins the determinism contract:
+// all commutative snapshot fields — counts, sketch quantiles, ledger
+// sums, the retained exemplar set — are invariant to how rounds are
+// interleaved across workers. Run with -race.
+func TestConcurrentIngestWorkerInvariance(t *testing.T) {
+	m := testCSR(t)
+	rounds := make([]Round, 200)
+	rng := rand.New(rand.NewSource(11))
+	for i := range rounds {
+		res := make(la.Vector, m.Rows())
+		for j := range res {
+			res[j] = rng.NormFloat64() * 20
+		}
+		var norm float64
+		for _, v := range res {
+			norm += math.Abs(v)
+		}
+		rounds[i] = Round{
+			Req:      fmt.Sprintf("req-%04d", i),
+			Seq:      0,
+			Detected: norm > 100,
+			Norm:     norm,
+			Residual: res,
+		}
+	}
+
+	commutative := func(s Snapshot) string {
+		// Strip order-dependent fields (EWMA, bursts, per-link EWMA).
+		var b []byte
+		b = fmt.Appendf(b, "rounds=%d alarms=%d unattributed=%d\n", s.Rounds, s.Alarms, s.Unattributed)
+		r := s.Residual
+		b = fmt.Appendf(b, "count=%d min=%.6f max=%.6f mean=%.6f p50=%.6f p95=%.6f p99=%.6f\n",
+			r.Count, r.Min, r.Max, r.Mean, r.P50, r.P95, r.P99)
+		for _, l := range s.TopLinks {
+			b = fmt.Appendf(b, "link %d score=%.6f share=%.6f\n", l.Link, l.Score, l.Share)
+		}
+		for _, e := range s.Exemplars {
+			b = fmt.Appendf(b, "ex %s %.6f %t\n", e.ID, e.ResidualNorm, e.Detected)
+		}
+		return string(b)
+	}
+
+	var want string
+	for _, workers := range []int{1, 2, 4, 8} {
+		o := newObservatory(Config{}, "fig1", "d0", m, 100)
+		var next int
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					mu.Lock()
+					i := next
+					next++
+					mu.Unlock()
+					if i >= len(rounds) {
+						return
+					}
+					o.Ingest(rounds[i])
+				}
+			}()
+		}
+		wg.Wait()
+		got := commutative(o.Snapshot())
+		if want == "" {
+			want = got
+		} else if got != want {
+			t.Errorf("workers=%d: commutative snapshot diverged\n got: %s\nwant: %s", workers, got, want)
+		}
+	}
+}
+
+func TestSnapshotDigestExcludesTraceIDs(t *testing.T) {
+	m := testCSR(t)
+	mk := func(traceBase int64) Snapshot {
+		o := newObservatory(Config{}, "fig1", "d0", m, 100)
+		for i := 0; i < 5; i++ {
+			res := make(la.Vector, m.Rows())
+			res[0] = float64(i)
+			o.Ingest(Round{
+				Req:      fmt.Sprintf("r%d", i),
+				Seq:      -1,
+				TraceID:  traceBase + int64(i),
+				Norm:     float64(i),
+				Residual: res,
+			})
+		}
+		return o.Snapshot()
+	}
+	a, b := mk(100), mk(9000)
+	if a.DigestHash() != b.DigestHash() {
+		t.Errorf("digest depends on trace IDs:\n%s\nvs\n%s", a.DigestString(), b.DigestString())
+	}
+	if a.DigestString() == "" {
+		t.Error("empty digest string")
+	}
+}
+
+func BenchmarkForensicsIngest(b *testing.B) {
+	m := testCSR(b)
+	o := newObservatory(Config{}, "bench", "d0", m, 100)
+	res := la.Vector{3, 1, 4, 1}
+	rd := Round{Req: "bench", Seq: 0, Norm: 9, Residual: res}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Ingest(rd)
+	}
+}

@@ -1,0 +1,172 @@
+package forensics
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/detect"
+	"repro/internal/la"
+	"repro/internal/obs"
+	"repro/internal/tomo"
+	"repro/internal/topo"
+)
+
+// fig1System builds the paper's Fig. 1 tomography system, the standard
+// small fixture across the repo.
+func fig1System(t testing.TB) *tomo.System {
+	t.Helper()
+	f := topo.Fig1()
+	paths, rank, err := tomo.SelectPaths(f.G, f.Monitors, tomo.SelectOptions{Exhaustive: true, TargetPaths: 23})
+	if err != nil || rank != 10 {
+		t.Fatalf("SelectPaths: rank=%d err=%v", rank, err)
+	}
+	sys, err := tomo.NewSystem(f.G, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestInspectObserverFeedsObservatory wires the detector observer hook
+// to an observatory and checks a single inspected round lands with its
+// request ID, verdict, and residual attribution.
+func TestInspectObserverFeedsObservatory(t *testing.T) {
+	sys := fig1System(t)
+	det, err := detect.New(sys, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := newObservatory(Config{}, "fig1", sys.Digest(), sys.CSR(), det.Alpha())
+	det.SetObserver(o.IngestReport)
+
+	x := make(la.Vector, sys.NumLinks())
+	for i := range x {
+		x[i] = 10
+	}
+	y, err := sys.Measure(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb one path hard so the round is detected.
+	y[0] += 500
+	ctx := obs.WithRequestID(context.Background(), "req-00000001#0")
+	rep, err := det.InspectCtx(ctx, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Detected {
+		t.Fatalf("perturbed round not detected: norm=%g", rep.ResidualNorm)
+	}
+	s := o.Snapshot()
+	if s.Rounds != 1 || s.Alarms != 1 {
+		t.Fatalf("observatory saw rounds=%d alarms=%d", s.Rounds, s.Alarms)
+	}
+	if len(s.Exemplars) != 1 || s.Exemplars[0].ID != "req-00000001#0" || !s.Exemplars[0].Detected {
+		t.Fatalf("exemplar = %+v", s.Exemplars)
+	}
+	if s.Residual.Max != rep.ResidualNorm {
+		t.Fatalf("sketch max %g != report norm %g", s.Residual.Max, rep.ResidualNorm)
+	}
+	if len(s.TopLinks) == 0 {
+		t.Fatal("no link attribution from an attributed round")
+	}
+
+	// WithAlpha derivation keeps feeding the same observatory.
+	loose, err := det.WithAlpha(1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := loose.InspectCtx(obs.WithRequestID(context.Background(), "req-00000002#0"), y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Detected {
+		t.Fatal("alpha=1e9 detected")
+	}
+	if s := o.Snapshot(); s.Rounds != 2 || s.Alarms != 1 {
+		t.Fatalf("after WithAlpha inspect: rounds=%d alarms=%d, want 2/1", s.Rounds, s.Alarms)
+	}
+}
+
+// TestInspectExemplarsWorkerInvariant is the exemplar-hook determinism
+// property: N rounds inspected through detect.InspectCtx with the
+// observatory observer installed produce the same top-K exemplar set
+// and the same commutative snapshot fields whatever the worker count or
+// interleaving. Run with -race.
+func TestInspectExemplarsWorkerInvariant(t *testing.T) {
+	sys := fig1System(t)
+	x := make(la.Vector, sys.NumLinks())
+	for i := range x {
+		x[i] = 10
+	}
+	clean, err := sys.Measure(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 60
+	ys := make([]la.Vector, rounds)
+	rng := rand.New(rand.NewSource(17))
+	for i := range ys {
+		y := append(la.Vector(nil), clean...)
+		// Perturb a random path by a random magnitude; some rounds trip
+		// the detector, some do not.
+		y[rng.Intn(len(y))] += rng.Float64() * 400
+		ys[i] = y
+	}
+
+	run := func(workers int) string {
+		det, err := detect.New(sys, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := newObservatory(Config{ExemplarK: 5}, "fig1", sys.Digest(), sys.CSR(), det.Alpha())
+		det.SetObserver(o.IngestReport)
+		var next int
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					mu.Lock()
+					i := next
+					next++
+					mu.Unlock()
+					if i >= rounds {
+						return
+					}
+					ctx := obs.WithRequestID(context.Background(), fmt.Sprintf("req-%04d#0", i))
+					if _, err := det.InspectCtx(ctx, ys[i]); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		s := o.Snapshot()
+		var b []byte
+		b = fmt.Appendf(b, "rounds=%d alarms=%d\n", s.Rounds, s.Alarms)
+		r := s.Residual
+		b = fmt.Appendf(b, "count=%d min=%.9f max=%.9f mean=%.9f p50=%.9f p99=%.9f\n",
+			r.Count, r.Min, r.Max, r.Mean, r.P50, r.P99)
+		for _, l := range s.TopLinks {
+			b = fmt.Appendf(b, "link %d %.9f %.9f\n", l.Link, l.Score, l.Share)
+		}
+		for _, e := range s.Exemplars {
+			b = fmt.Appendf(b, "ex %s %.9f %t\n", e.ID, e.ResidualNorm, e.Detected)
+		}
+		return string(b)
+	}
+
+	want := run(1)
+	for _, workers := range []int{2, 4, 8} {
+		if got := run(workers); got != want {
+			t.Errorf("workers=%d diverged:\n got: %s\nwant: %s", workers, got, want)
+		}
+	}
+}

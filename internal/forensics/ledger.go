@@ -1,0 +1,166 @@
+package forensics
+
+import (
+	"repro/internal/la"
+	"repro/internal/sparse"
+)
+
+// ledger is the per-link suspicion accumulator. Each round's per-path
+// residual vector res is projected back through the routing matrix as
+// Rᵀ·|res|: link l's share is Σ_{paths p ∋ l} |res_p| — every path
+// whose inconsistency touches the link votes for it, weighted by how
+// inconsistent the path was. (R is 0/1 path-link incidence, so the
+// projection is exactly that sum; a weighted R scales votes by link
+// usage, which is still the right attribution.)
+//
+// The projection is deferred: Rᵀ is linear, so the cumulative per-link
+// sum Σ_n Rᵀ|res_n| equals Rᵀ(Σ_n |res_n|), and the per-link EWMA
+// recursion e_n = e_{n-1} + w(Rᵀa_n − e_{n-1}) equals Rᵀ applied to the
+// same recursion over the per-path vectors. The ledger therefore
+// accumulates per-path (O(paths) per round — the streaming hot path has
+// a < 5% overhead budget and a per-round O(nnz) multiply was the single
+// biggest term in it) and runs the matrix-free CSR projection only when
+// a snapshot is taken, O(nnz) per scrape.
+//
+// Two views accumulate: a cumulative sum (commutative — worker-order
+// invariant, the basis of snapshot ranking) and a per-path EWMA (the
+// rolling view, arrival-order dependent like any EWMA).
+type ledger struct {
+	links  int
+	weight float64
+	rounds int64
+	// pathSum and pathEWMA accumulate per path: Σ|res| and the EWMA of
+	// |res|, both projected through Rᵀ lazily at snapshot time. Their
+	// length is pinned by the first attributed round (r.Rows()).
+	pathSum  la.Vector
+	pathEWMA la.Vector
+	// r is the routing matrix of the current regime, captured on first
+	// attribution so top() can project without the caller re-supplying it.
+	r *sparse.CSR
+	// sum, ewma, and abs are scratch reused across projections/rounds.
+	sum  la.Vector
+	ewma la.Vector
+	abs  la.Vector
+}
+
+func newLedger(links int, weight float64) *ledger {
+	return &ledger{
+		links:  links,
+		weight: weight,
+		sum:    make(la.Vector, links),
+		ewma:   make(la.Vector, links),
+	}
+}
+
+// project folds one round's residual vector into the ledger. Returns
+// false when attribution was impossible (no matrix, or a residual whose
+// shape does not match it — e.g. a session round after a path mutation
+// diverged from the registered matrix); the caller counts those rounds
+// as unattributed.
+func (l *ledger) project(r *sparse.CSR, res la.Vector) bool {
+	if r == nil || r.Cols() != l.links || len(res) != r.Rows() {
+		return false
+	}
+	if l.pathSum == nil {
+		l.pathSum = make(la.Vector, len(res))
+		l.pathEWMA = make(la.Vector, len(res))
+		l.r = r
+	} else if len(res) != len(l.pathSum) {
+		return false
+	}
+	l.rounds++
+	first := l.rounds == 1
+	for i, v := range res {
+		if v < 0 {
+			v = -v
+		}
+		l.pathSum[i] += v
+		if first {
+			l.pathEWMA[i] = v
+		} else {
+			l.pathEWMA[i] += l.weight * (v - l.pathEWMA[i])
+		}
+	}
+	return true
+}
+
+// materialize runs the deferred Rᵀ projections into the per-link
+// scratch vectors. Snapshot-time only.
+func (l *ledger) materialize() bool {
+	if l.rounds == 0 || l.r == nil {
+		return false
+	}
+	if l.r.MulVecTInto(l.sum, l.pathSum) != nil {
+		return false
+	}
+	return l.r.MulVecTInto(l.ewma, l.pathEWMA) == nil
+}
+
+// LinkScore is one suspected link's attribution in a snapshot.
+type LinkScore struct {
+	// Link is the dense link ID in the topology's current regime.
+	Link int `json:"link"`
+	// Score is the mean per-round attribution Σ|res| projected onto the
+	// link, divided by attributed rounds.
+	Score float64 `json:"score"`
+	// Share is the link's fraction of total attribution mass.
+	Share float64 `json:"share"`
+	// EWMA is the rolling per-round attribution.
+	EWMA float64 `json:"ewma"`
+}
+
+// top returns the k most-suspected links, ranked by cumulative
+// attribution (descending) with link-ID ties ascending — a strict total
+// order, so the ranking is a pure function of the ingested multiset.
+// Links with zero attribution are omitted. Projection is O(nnz) and
+// selection O(links·k), so a scrape over a 100k-link topology stays
+// cheap.
+func (l *ledger) top(k int) []LinkScore {
+	if k <= 0 || !l.materialize() {
+		return nil
+	}
+	var total float64
+	for _, v := range l.sum {
+		total += v
+	}
+	if total <= 0 {
+		return nil
+	}
+	// Bounded insertion: idx holds the current top links sorted by
+	// (sum desc, link asc).
+	idx := make([]int, 0, k)
+	better := func(a, b int) bool {
+		if l.sum[a] != l.sum[b] {
+			return l.sum[a] > l.sum[b]
+		}
+		return a < b
+	}
+	for link, v := range l.sum {
+		if v <= 0 {
+			continue
+		}
+		if len(idx) == k && !better(link, idx[len(idx)-1]) {
+			continue
+		}
+		pos := len(idx)
+		for pos > 0 && better(link, idx[pos-1]) {
+			pos--
+		}
+		if len(idx) < k {
+			idx = append(idx, 0)
+		}
+		copy(idx[pos+1:], idx[pos:])
+		idx[pos] = link
+	}
+	out := make([]LinkScore, len(idx))
+	rounds := float64(l.rounds)
+	for i, link := range idx {
+		out[i] = LinkScore{
+			Link:  link,
+			Score: l.sum[link] / rounds,
+			Share: l.sum[link] / total,
+			EWMA:  l.ewma[link],
+		}
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package forensics
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/sparse"
+)
+
+// Table is the daemon's observatory directory, keyed by topology name.
+// Bind is the single entry point: registration binds at register time,
+// and the streaming round path re-binds per batch (a map lookup plus a
+// digest compare when nothing changed), so churn transitions — evict +
+// re-register under the same name with a different matrix, or a session
+// path mutation changing the session digest — reset attribution and
+// bump the epoch without any extra plumbing. Safe for concurrent use.
+type Table struct {
+	cfg Config
+
+	mu sync.Mutex
+	m  map[string]*Observatory
+}
+
+// NewTable builds an empty observatory table.
+func NewTable(cfg Config) *Table {
+	return &Table{cfg: cfg, m: make(map[string]*Observatory)}
+}
+
+// Bind returns name's observatory, creating it on first use and
+// re-arming it (epoch bump + full attribution reset) when the
+// routing-matrix digest changed since the last bind.
+func (t *Table) Bind(name, digest string, r *sparse.CSR, alpha float64) *Observatory {
+	t.mu.Lock()
+	o, ok := t.m[name]
+	if !ok {
+		o = newObservatory(t.cfg, name, digest, r, alpha)
+		t.m[name] = o
+	}
+	t.mu.Unlock()
+	if ok {
+		o.rebind(digest, r, alpha)
+	}
+	return o
+}
+
+// Get returns name's observatory without creating or re-binding it.
+func (t *Table) Get(name string) (*Observatory, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	o, ok := t.m[name]
+	return o, ok
+}
+
+// Snapshot renders name's observatory, reporting ok=false when the
+// topology has never been bound.
+func (t *Table) Snapshot(name string) (Snapshot, bool) {
+	o, ok := t.Get(name)
+	if !ok {
+		return Snapshot{}, false
+	}
+	return o.Snapshot(), true
+}
+
+// Snapshots renders every observatory, sorted by topology name — the
+// deterministic iteration the /metrics collect hook walks.
+func (t *Table) Snapshots() []Snapshot {
+	t.mu.Lock()
+	names := make([]string, 0, len(t.m))
+	obs := make([]*Observatory, 0, len(t.m))
+	for n := range t.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		obs = append(obs, t.m[n])
+	}
+	t.mu.Unlock()
+	out := make([]Snapshot, len(obs))
+	for i, o := range obs {
+		out[i] = o.Snapshot()
+	}
+	return out
+}
+
+// Len counts bound observatories.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}

@@ -28,6 +28,7 @@ type World struct {
 	// pathLinks[pi][h] is the link crossed at hop h of path pi — the
 	// memoized attribution index, valid only for the current regime.
 	pathLinks [][]graph.LinkID
+	onSwap    func(epoch int)
 }
 
 // NewWorld pins the initial regime. cfg.RNG and cfg.Plan are per-round
@@ -50,8 +51,19 @@ func (w *World) Swap(cfg Config) error {
 	w.cfg = cfg
 	w.pathLinks = buildPathIndex(cfg.Paths)
 	w.epoch++
+	if w.onSwap != nil {
+		w.onSwap(w.epoch)
+	}
 	return nil
 }
+
+// OnSwap registers a hook invoked after every successful Swap with the
+// new epoch number. Downstream per-regime state — a forensics
+// observatory's suspicion ledger, a defender's calibrated alpha — is
+// only valid within one routing epoch; the hook is the signal to reset
+// it at exactly the round boundary where attribution would go stale. A
+// failed Swap never fires the hook. Passing nil clears it.
+func (w *World) OnSwap(fn func(epoch int)) { w.onSwap = fn }
 
 // checkRegime validates the regime half of a Config: RNG and Plan are
 // per-round and must not be baked into the regime (a plan compiled for

@@ -186,3 +186,41 @@ func TestWorldAttributionConserves(t *testing.T) {
 		t.Fatalf("held round measured %g, want 45", y[0])
 	}
 }
+
+// TestWorldOnSwapHook pins the epoch-plumbing contract: the hook fires
+// exactly once per successful swap with the post-increment epoch, never
+// on a failed swap, and a nil re-registration clears it.
+func TestWorldOnSwapHook(t *testing.T) {
+	w, g := lineWorld(t, la.Vector{2, 3})
+	var fired []int
+	w.OnSwap(func(epoch int) { fired = append(fired, epoch) })
+
+	good := Config{Graph: g, Paths: w.Paths(), LinkDelays: la.Vector{5, 6}}
+	if err := w.Swap(good); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Swap(good); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 2 {
+		t.Fatalf("hook fired with %v, want [1 2]", fired)
+	}
+
+	// A rejected regime must not fire the hook or advance the epoch.
+	bad := good
+	bad.RNG = mc.RNG(1, 0)
+	if err := w.Swap(bad); err == nil {
+		t.Fatal("regime carrying an RNG accepted")
+	}
+	if len(fired) != 2 || w.Epoch() != 2 {
+		t.Fatalf("failed swap leaked: fired=%v epoch=%d", fired, w.Epoch())
+	}
+
+	w.OnSwap(nil)
+	if err := w.Swap(good); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("cleared hook still fired: %v", fired)
+	}
+}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -11,9 +12,11 @@ import (
 // invariants the registry promises: every sample preceded by matching
 // HELP/TYPE lines, valid metric and label names, parseable quoted label
 // values and sample values, no duplicate series, histogram suffix
-// discipline (_bucket/_sum/_count only under a histogram TYPE),
-// cumulative bucket counts monotone in le with le="+Inf" present and
-// equal to _count. It returns every violation found (nil when clean).
+// discipline (_bucket/_sum/_count only under a histogram TYPE, the le
+// label reserved for histogram buckets), cumulative bucket counts
+// monotone in le, bucket lines emitted in increasing-le order with
+// le="+Inf" rendered last, present, and equal to _count. It returns
+// every violation found (nil when clean).
 func Lint(text string) []error {
 	var errs []error
 	fail := func(line int, format string, args ...any) {
@@ -27,6 +30,10 @@ func Lint(text string) []error {
 		sum      *float64
 		count    *float64
 		firstAt  int
+		// lastLe tracks the le of the previous bucket line as emitted, so
+		// textual bucket order is checked independently of the map (which
+		// would hide a renderer emitting buckets shuffled).
+		lastLe float64
 	}
 	helpSeen := map[string]bool{}
 	typeSeen := map[string]string{} // family → kind
@@ -112,6 +119,16 @@ func Lint(text string) []error {
 		}
 		seenSeries[key] = ln
 
+		// The le label is histogram-bucket vocabulary; on any other family
+		// it is almost certainly a rendering bug.
+		if typeSeen[fam] != "histogram" {
+			for _, l := range labels {
+				if l.Key == "le" {
+					fail(ln, "le label on non-histogram family %q", fam)
+				}
+			}
+		}
+
 		// Histogram bookkeeping: group by family + non-le labels.
 		if typeSeen[fam] == "histogram" {
 			var le string
@@ -126,7 +143,7 @@ func Lint(text string) []error {
 			hkey := seriesKey(fam, rest)
 			h := hists[hkey]
 			if h == nil {
-				h = &histSeries{buckets: map[float64]float64{}, firstAt: ln}
+				h = &histSeries{buckets: map[float64]float64{}, firstAt: ln, lastLe: math.Inf(-1)}
 				hists[hkey] = h
 			}
 			switch {
@@ -136,11 +153,18 @@ func Lint(text string) []error {
 				} else if le == "+Inf" {
 					h.hasInf = true
 					h.infCount = value
+					h.lastLe = math.Inf(1)
 				} else {
 					ub, err := strconv.ParseFloat(le, 64)
 					if err != nil {
 						fail(ln, "unparseable le=%q", le)
 					} else {
+						if math.IsInf(h.lastLe, 1) {
+							fail(ln, "histogram %s: bucket le=%g after le=\"+Inf\"", hkey, ub)
+						} else if ub <= h.lastLe {
+							fail(ln, "histogram %s: bucket le=%g out of order (previous le=%g)", hkey, ub, h.lastLe)
+						}
+						h.lastLe = ub
 						h.buckets[ub] = value
 					}
 				}

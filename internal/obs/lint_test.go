@@ -66,6 +66,21 @@ func TestLintViolations(t *testing.T) {
 		{"unterminated quote",
 			"# HELP a_total A.\n# TYPE a_total counter\na_total{route=\"es} 1\n",
 			"unterminated"},
+		{"buckets out of order",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"0.1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n",
+			"out of order"},
+		{"bucket after inf",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_bucket{le=\"5\"} 2\nh_sum 1\nh_count 2\n",
+			"after le=\"+Inf\""},
+		{"duplicate le",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n",
+			"out of order"},
+		{"le on counter family",
+			"# HELP a_total A.\n# TYPE a_total counter\na_total{le=\"0.5\"} 1\n",
+			"le label on non-histogram"},
+		{"le on gauge family",
+			"# HELP g G.\n# TYPE g gauge\ng{le=\"+Inf\"} 1\n",
+			"le label on non-histogram"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -157,6 +157,17 @@ func (v *CounterVec) With(value string) *Counter {
 	return v.fam.series(value, func() any { return &Counter{} }).(*Counter)
 }
 
+// GaugeVec is a family of gauges split by one label.
+type GaugeVec struct {
+	fam *family
+}
+
+// With returns the gauge for the given label value, creating it on
+// first use.
+func (v *GaugeVec) With(value string) *Gauge {
+	return v.fam.series(value, func() any { return &Gauge{} }).(*Gauge)
+}
+
 // HistogramVec is a family of histograms split by one label.
 type HistogramVec struct {
 	fam    *family
@@ -284,6 +295,13 @@ func (r *Registry) CounterFunc(name, help string, fn func() float64) {
 func (r *Registry) Gauge(name, help string) *Gauge {
 	f := r.newFamily(name, help, "gauge", "")
 	return f.series("", func() any { return &Gauge{} }).(*Gauge)
+}
+
+// GaugeVec registers a gauge family split by one label. Series appear
+// on first With; refresh snapshot-style sources from an OnCollect hook
+// so every scrape sees current values.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	return &GaugeVec{fam: r.newFamily(name, help, "gauge", label)}
 }
 
 // GaugeFunc registers a gauge whose value is read from fn at render

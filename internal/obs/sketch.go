@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+)
+
+// Streaming residual analytics primitives: a deterministic, mergeable
+// quantile sketch and an exponentially-weighted moving average. Both are
+// clock-free — state advances only when Observe is called — so a replay
+// of the same observation multiset reproduces the same quantiles
+// bit-for-bit regardless of wall time, and the forensics layer can
+// reconcile server-side sketches against client-side precomputed
+// verdicts exactly.
+//
+// Neither type is safe for concurrent use; callers (the forensics
+// observatory, tomoload's report builder) synchronize externally. This
+// mirrors the stdlib container idiom and keeps the hot-path Observe a
+// handful of arithmetic ops.
+
+// Sketch geometry. Buckets are logarithmic with ratio sketchGamma:
+// bucket i >= 1 covers (sketchMin·γ^(i-1), sketchMin·γ^i], giving a
+// worst-case relative error of (γ−1)/2 ≈ 1% per quantile. Bucket 0
+// absorbs everything at or below sketchMin (including zero and negative
+// values — residual norms are non-negative, but the sketch does not
+// assume it). The top bucket absorbs everything past the dynamic range.
+const (
+	sketchGamma = 1.02
+	sketchMin   = 1e-9
+	sketchSize  = 2560
+)
+
+var invLogSketchGamma = 1 / math.Log(sketchGamma)
+
+// QuantileSketch is a fixed-memory streaming quantile estimator over
+// log-spaced buckets (a deterministic cousin of DDSketch). Two sketches
+// fed the same multiset of values — in any order, split across any
+// number of sketches later merged — report identical quantiles: the
+// state is pure bucket counts, so accumulation is commutative. That
+// commutativity is what makes forensics snapshots worker-count
+// invariant.
+type QuantileSketch struct {
+	counts   []int64
+	count    int64
+	sum      float64
+	min, max float64
+}
+
+// NewQuantileSketch returns an empty sketch.
+func NewQuantileSketch() *QuantileSketch {
+	return &QuantileSketch{counts: make([]int64, sketchSize)}
+}
+
+// sketchBucket maps a value to its bucket index.
+func sketchBucket(v float64) int {
+	if !(v > sketchMin) { // catches NaN too: NaN lands in bucket 0
+		return 0
+	}
+	i := 1 + int(math.Log(v/sketchMin)*invLogSketchGamma)
+	if i < 1 {
+		i = 1
+	}
+	if i >= sketchSize {
+		i = sketchSize - 1
+	}
+	return i
+}
+
+// Observe records one value.
+func (s *QuantileSketch) Observe(v float64) {
+	s.counts[sketchBucket(v)]++
+	if s.count == 0 || v < s.min {
+		s.min = v
+	}
+	if s.count == 0 || v > s.max {
+		s.max = v
+	}
+	s.count++
+	s.sum += v
+}
+
+// Count returns the number of observations.
+func (s *QuantileSketch) Count() int64 { return s.count }
+
+// Sum returns the sum of observed values.
+func (s *QuantileSketch) Sum() float64 { return s.sum }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s *QuantileSketch) Mean() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.sum / float64(s.count)
+}
+
+// Min returns the smallest observed value (0 when empty).
+func (s *QuantileSketch) Min() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest observed value (0 when empty).
+func (s *QuantileSketch) Max() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Quantile estimates the q-quantile (q clamped to [0,1]) as the midpoint
+// of the bucket holding the ceil(q·count)-th smallest observation,
+// clamped into [Min, Max] — so a constant stream reports the constant
+// exactly, and estimates never leave the observed range. Returns 0 when
+// empty.
+func (s *QuantileSketch) Quantile(q float64) float64 {
+	if s.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(s.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range s.counts {
+		cum += c
+		if cum >= rank {
+			return s.clamp(sketchEstimate(i))
+		}
+	}
+	return s.clamp(s.max)
+}
+
+// sketchEstimate is bucket i's representative value: the arithmetic
+// midpoint of its bounds (0 for the underflow bucket).
+func sketchEstimate(i int) float64 {
+	if i == 0 {
+		return 0
+	}
+	lo := sketchMin * math.Pow(sketchGamma, float64(i-1))
+	return lo * (1 + sketchGamma) / 2
+}
+
+func (s *QuantileSketch) clamp(v float64) float64 {
+	if v < s.min {
+		return s.min
+	}
+	if v > s.max {
+		return s.max
+	}
+	return v
+}
+
+// Merge folds o into s (o is unchanged; a nil or empty o is a no-op).
+// Merging is commutative and associative: merging per-worker sketches
+// yields exactly the sketch a single worker would have built.
+func (s *QuantileSketch) Merge(o *QuantileSketch) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		s.counts[i] += c
+	}
+	if s.count == 0 || o.min < s.min {
+		s.min = o.min
+	}
+	if s.count == 0 || o.max > s.max {
+		s.max = o.max
+	}
+	s.count += o.count
+	s.sum += o.sum
+}
+
+// Reset clears the sketch to empty.
+func (s *QuantileSketch) Reset() {
+	for i := range s.counts {
+		s.counts[i] = 0
+	}
+	s.count = 0
+	s.sum = 0
+	s.min = 0
+	s.max = 0
+}
+
+// EWMA is an exponentially-weighted moving average: a rolling window
+// whose "clock" is the observation sequence itself, not wall time, so
+// replaying the same value sequence reproduces the same average. The
+// first observation seeds the average; each later one moves it by
+// weight·(x − avg).
+type EWMA struct {
+	weight float64
+	v      float64
+	n      int64
+}
+
+// NewEWMA builds an EWMA with the given weight in (0, 1]. weight = 1
+// degenerates to "last value"; small weights average over roughly
+// 1/weight recent observations. Panics on an out-of-range weight
+// (a programming error, matching registry constructor idiom).
+func NewEWMA(weight float64) *EWMA {
+	if !(weight > 0 && weight <= 1) {
+		panic(fmt.Sprintf("obs: EWMA weight %g not in (0,1]", weight))
+	}
+	return &EWMA{weight: weight}
+}
+
+// Observe folds one value into the average.
+func (e *EWMA) Observe(x float64) {
+	e.n++
+	if e.n == 1 {
+		e.v = x
+		return
+	}
+	e.v += e.weight * (x - e.v)
+}
+
+// Value returns the current average (0 before any observation).
+func (e *EWMA) Value() float64 { return e.v }
+
+// Count returns the number of observations.
+func (e *EWMA) Count() int64 { return e.n }
+
+// Reset clears the average.
+func (e *EWMA) Reset() {
+	e.v = 0
+	e.n = 0
+}

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestSketchEmptyAndSingle(t *testing.T) {
+	s := NewQuantileSketch()
+	if s.Count() != 0 || s.Quantile(0.5) != 0 || s.Min() != 0 || s.Max() != 0 || s.Mean() != 0 {
+		t.Fatalf("empty sketch not all-zero: count=%d q50=%g", s.Count(), s.Quantile(0.5))
+	}
+	s.Observe(42)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 42 {
+			t.Errorf("single-value Quantile(%g) = %g, want exactly 42 (min/max clamp)", q, got)
+		}
+	}
+	if s.Mean() != 42 || s.Sum() != 42 {
+		t.Errorf("mean=%g sum=%g, want 42", s.Mean(), s.Sum())
+	}
+}
+
+func TestSketchConstantStreamExact(t *testing.T) {
+	s := NewQuantileSketch()
+	for i := 0; i < 1000; i++ {
+		s.Observe(3.7)
+	}
+	if got := s.Quantile(0.5); got != 3.7 {
+		t.Errorf("constant stream p50 = %g, want exactly 3.7", got)
+	}
+	if got := s.Quantile(0.99); got != 3.7 {
+		t.Errorf("constant stream p99 = %g, want exactly 3.7", got)
+	}
+}
+
+func TestSketchRelativeAccuracy(t *testing.T) {
+	// gamma = 1.02 bounds relative error at (gamma-1)/(gamma+1) ≈ 1%;
+	// allow 2% slack for rank interpolation at distribution edges.
+	s := NewQuantileSketch()
+	rng := rand.New(rand.NewSource(5))
+	vals := make([]float64, 5000)
+	for i := range vals {
+		vals[i] = math.Exp(rng.NormFloat64()) * 100 // log-normal, wide range
+		s.Observe(vals[i])
+	}
+	sorted := append([]float64(nil), vals...)
+	for i := range sorted {
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[j] < sorted[i] {
+				sorted[i], sorted[j] = sorted[j], sorted[i]
+			}
+		}
+	}
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+		exact := sorted[rank]
+		got := s.Quantile(q)
+		if rel := math.Abs(got-exact) / exact; rel > 0.02 {
+			t.Errorf("Quantile(%g) = %g, exact %g, rel err %.4f > 2%%", q, got, exact, rel)
+		}
+	}
+}
+
+func TestSketchNonPositiveAndNaN(t *testing.T) {
+	s := NewQuantileSketch()
+	s.Observe(0)
+	s.Observe(-5)
+	s.Observe(math.NaN())
+	if s.Count() != 3 {
+		t.Fatalf("count = %d, want 3 (all observations counted)", s.Count())
+	}
+	if got := s.Quantile(0.5); got != 0 {
+		t.Errorf("all-underflow p50 = %g, want 0 (bucket 0 estimate, clamped)", got)
+	}
+}
+
+func TestSketchMergeCommutative(t *testing.T) {
+	mk := func(seed int64, n int) *QuantileSketch {
+		s := NewQuantileSketch()
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < n; i++ {
+			s.Observe(rng.Float64() * 1000)
+		}
+		return s
+	}
+	digest := func(s *QuantileSketch) string {
+		return fmt.Sprintf("%d %g %g %g %g %g %g", s.Count(), s.Sum(), s.Min(), s.Max(),
+			s.Quantile(0.5), s.Quantile(0.95), s.Quantile(0.99))
+	}
+
+	a1, b1 := mk(1, 300), mk(2, 500)
+	a1.Merge(b1)
+	a2, b2 := mk(2, 500), mk(1, 300)
+	a2.Merge(b2)
+	if digest(a1) != digest(a2) {
+		t.Errorf("merge not commutative:\n%s\n%s", digest(a1), digest(a2))
+	}
+
+	// Merge must equal single-stream ingestion of the union.
+	u := mk(1, 300)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		u.Observe(rng.Float64() * 1000)
+	}
+	if digest(a1) != digest(u) {
+		t.Errorf("merge != union ingest:\n%s\n%s", digest(a1), digest(u))
+	}
+}
+
+func TestSketchReset(t *testing.T) {
+	s := NewQuantileSketch()
+	for i := 0; i < 100; i++ {
+		s.Observe(float64(i + 1))
+	}
+	s.Reset()
+	if s.Count() != 0 || s.Quantile(0.5) != 0 || s.Sum() != 0 {
+		t.Errorf("reset left state: count=%d", s.Count())
+	}
+	s.Observe(7)
+	if got := s.Quantile(0.5); got != 7 {
+		t.Errorf("post-reset sketch broken: p50 = %g, want 7", got)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Value() != 0 || e.Count() != 0 {
+		t.Fatal("fresh EWMA not zero")
+	}
+	e.Observe(10) // seeds
+	if e.Value() != 10 {
+		t.Fatalf("seed = %g, want 10", e.Value())
+	}
+	e.Observe(20) // 10 + 0.5*(20-10) = 15
+	if e.Value() != 15 {
+		t.Fatalf("value = %g, want 15", e.Value())
+	}
+	e.Reset()
+	if e.Value() != 0 || e.Count() != 0 {
+		t.Fatal("reset left state")
+	}
+	e.Observe(4)
+	if e.Value() != 4 {
+		t.Fatal("post-reset EWMA did not re-seed")
+	}
+
+	for _, w := range []float64{0, -1, 1.5, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewEWMA(%g) did not panic", w)
+				}
+			}()
+			NewEWMA(w)
+		}()
+	}
+}
+
+func TestGaugeVecRender(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("repro_residual_p99", "Residual p99 by topology.", "topology")
+	v.With("fig1").Set(12.5)
+	v.With("isp").Set(3)
+	v.With("fig1").Set(13) // same series, overwrite
+	var buf strings.Builder
+	r.WritePrometheus(&buf)
+	text := buf.String()
+	want := "# HELP repro_residual_p99 Residual p99 by topology.\n" +
+		"# TYPE repro_residual_p99 gauge\n" +
+		"repro_residual_p99{topology=\"fig1\"} 13\n" +
+		"repro_residual_p99{topology=\"isp\"} 3\n"
+	if text != want {
+		t.Errorf("GaugeVec render:\n%s\nwant:\n%s", text, want)
+	}
+	if errs := Lint(text); errs != nil {
+		t.Errorf("GaugeVec output fails lint: %v", errs)
+	}
+}
+
+func BenchmarkSketchInsert(b *testing.B) {
+	s := NewQuantileSketch()
+	rng := rand.New(rand.NewSource(9))
+	vals := make([]float64, 1024)
+	for i := range vals {
+		vals[i] = rng.Float64() * 1e4
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Observe(vals[i&1023])
+	}
+}
+
+func BenchmarkSketchQuantile(b *testing.B) {
+	s := NewQuantileSketch()
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 100000; i++ {
+		s.Observe(rng.Float64() * 1e4)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Quantile(0.99)
+	}
+}

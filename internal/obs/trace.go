@@ -154,6 +154,18 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	return context.WithValue(ctx, spanKey{}, child), child
 }
 
+// TraceID returns the ID of the trace the active span on ctx belongs
+// to, or 0 when no trace is active. The ID is what /debug/traces dumps,
+// so forensic exemplars can link an alarm back to its replayable
+// request trace.
+func TraceID(ctx context.Context) int64 {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	if s == nil {
+		return 0
+	}
+	return s.trace.id
+}
+
 // NewChild starts a child span without touching a context — for code
 // that fans out to goroutines and wants to attach children in a
 // deterministic order (the mc trial pool creates per-trial spans in the

@@ -3,6 +3,10 @@ package obs
 import (
 	"context"
 	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -74,6 +78,126 @@ func TestTraceRingEviction(t *testing.T) {
 	}
 	if got := tr.Dump(1); len(got) != 1 || got[0].ID != 5 {
 		t.Fatalf("Dump(1) = %+v, want just ID 5", got)
+	}
+}
+
+func TestTraceRingWraparoundBoundary(t *testing.T) {
+	// Fill to exactly capacity: nothing evicted.
+	tr := fakeTracer(4)
+	for i := 0; i < 4; i++ {
+		_, root := tr.StartRoot(context.Background(), "op")
+		root.End()
+	}
+	if got := tr.Dump(0); len(got) != 4 || tr.Dropped() != 0 {
+		t.Fatalf("at capacity: %d traces, %d dropped, want 4/0", len(got), tr.Dropped())
+	}
+	// One past capacity: exactly the oldest goes.
+	_, root := tr.StartRoot(context.Background(), "op")
+	root.End()
+	dumps := tr.Dump(0)
+	if len(dumps) != 4 || tr.Dropped() != 1 {
+		t.Fatalf("past capacity: %d traces, %d dropped, want 4/1", len(dumps), tr.Dropped())
+	}
+	for i, d := range dumps {
+		if want := int64(i + 2); d.ID != want {
+			t.Fatalf("slot %d holds ID %d, want %d (IDs 2..5 oldest first)", i, d.ID, want)
+		}
+	}
+	// Wrap several more times; order stays oldest-first and contiguous.
+	for i := 0; i < 10; i++ {
+		_, r := tr.StartRoot(context.Background(), "op")
+		r.End()
+	}
+	dumps = tr.Dump(0)
+	if len(dumps) != 4 || tr.Dropped() != 11 {
+		t.Fatalf("after wrap: %d traces, %d dropped, want 4/11", len(dumps), tr.Dropped())
+	}
+	for i, d := range dumps {
+		if want := int64(i + 12); d.ID != want {
+			t.Fatalf("after wrap slot %d holds ID %d, want %d", i, d.ID, want)
+		}
+	}
+	// Dump(n) slicing at the boundary: n == len, n > len, n == 1.
+	if got := tr.Dump(4); len(got) != 4 {
+		t.Fatalf("Dump(4) = %d traces", len(got))
+	}
+	if got := tr.Dump(100); len(got) != 4 {
+		t.Fatalf("Dump(100) = %d traces", len(got))
+	}
+	if got := tr.Dump(1); len(got) != 1 || got[0].ID != 15 {
+		t.Fatalf("Dump(1) = %+v, want newest ID 15", got)
+	}
+}
+
+// TestTraceRingConcurrentDumpNoTornSpans drives completions past the
+// ring capacity from many goroutines while another drains /debug/traces
+// style dumps, asserting every served trace is whole: IDs strictly
+// increasing oldest-first, never more than capacity, and every root span
+// ended (a torn span would dump with DurUS 0 — only completed traces may
+// be committed). Run with -race.
+func TestTraceRingConcurrentDumpNoTornSpans(t *testing.T) {
+	tr := fakeTracer(8)
+	const writers, perWriter = 4, 50
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var tornErr atomic.Value
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, d := range tr.Dump(0) {
+				if d.DurUS < 1 {
+					tornErr.Store(fmt.Sprintf("trace %d served torn: DurUS=%d", d.ID, d.DurUS))
+				}
+				if len(d.Root.Children) != 1 || d.Root.Children[0].DurUS < 1 {
+					tornErr.Store(fmt.Sprintf("trace %d served with torn child: %+v", d.ID, d.Root.Children))
+				}
+			}
+			dumps := tr.Dump(0)
+			if len(dumps) > 8 {
+				tornErr.Store(fmt.Sprintf("dump exceeded capacity: %d", len(dumps)))
+			}
+			for i := 1; i < len(dumps); i++ {
+				if dumps[i].ID <= dumps[i-1].ID {
+					tornErr.Store(fmt.Sprintf("dump IDs not increasing: %d then %d", dumps[i-1].ID, dumps[i].ID))
+				}
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				ctx, root := tr.StartRoot(context.Background(), "op")
+				_, child := StartSpan(ctx, "child")
+				child.SetAttr("k", "v")
+				child.End()
+				root.End()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	// Writers finish quickly; give the dumper its stop signal once all
+	// traces are committed.
+	for tr.Dropped() < int64(writers*perWriter-8) {
+		runtime.Gosched()
+	}
+	close(stop)
+	<-done
+	if msg := tornErr.Load(); msg != nil {
+		t.Fatal(msg)
+	}
+	dumps := tr.Dump(0)
+	if len(dumps) != 8 || tr.Dropped() != int64(writers*perWriter-8) {
+		t.Fatalf("final ring: %d traces, %d dropped, want 8/%d",
+			len(dumps), tr.Dropped(), writers*perWriter-8)
 	}
 }
 

@@ -1,0 +1,527 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/forensics"
+	"repro/internal/obs"
+)
+
+// inspectRounds builds an inspect body: clean measurements from the
+// Fig. 1 system with chosen path-0 perturbations per round.
+func forensicsRounds(t *testing.T, bumps []float64) ([][]float64, []float64) {
+	t.Helper()
+	_, _, _, sys := fig1Wire(t)
+	x := make([]float64, sys.NumLinks())
+	for i := range x {
+		x[i] = 10
+	}
+	clean, err := sys.Measure(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := make([][]float64, len(bumps))
+	for i, b := range bumps {
+		y := append([]float64(nil), clean...)
+		y[0] += b
+		rounds[i] = y
+	}
+	return rounds, clean
+}
+
+func TestForensicsEndpointOverHTTP(t *testing.T) {
+	edges, paths, _, _ := fig1Wire(t)
+	srv := New(Config{ForensicsExemplars: 3})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if resp, raw := postJSON(t, ts, "/v1/topologies", TopologyRequest{Name: "fig1", Edges: edges, Paths: paths}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %d %s", resp.StatusCode, raw)
+	}
+
+	// Before any inspected round: the snapshot exists (bound at
+	// registration) and is empty.
+	resp, raw := get(t, ts, "/v1/topologies/fig1/forensics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forensics: %d %s", resp.StatusCode, raw)
+	}
+	var snap forensics.Snapshot
+	decodeInto(t, raw, &snap)
+	if snap.Name != "fig1" || snap.Rounds != 0 || snap.Epoch != 0 || snap.Digest == "" {
+		t.Fatalf("fresh snapshot: %+v", snap)
+	}
+
+	// Unknown topology: 404.
+	if resp, _ := get(t, ts, "/v1/topologies/nope/forensics"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown topology forensics: %d, want 404", resp.StatusCode)
+	}
+
+	// Inspect a batch: rounds 0-2 clean-ish, round 3 hot (detected).
+	rounds, _ := forensicsRounds(t, []float64{0, 10, 20, 500})
+	resp, raw = postJSON(t, ts, "/v1/inspect", RoundsRequest{Topology: "fig1", Rounds: rounds})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("inspect: %d %s", resp.StatusCode, raw)
+	}
+	var ir InspectResponse
+	decodeInto(t, raw, &ir)
+	if ir.Alarms != 1 {
+		t.Fatalf("alarms = %d, want 1 (only the +500 round)", ir.Alarms)
+	}
+
+	_, raw = get(t, ts, "/v1/topologies/fig1/forensics")
+	decodeInto(t, raw, &snap)
+	if snap.Rounds != 4 || snap.Alarms != 1 {
+		t.Fatalf("snapshot rounds=%d alarms=%d, want 4/1", snap.Rounds, snap.Alarms)
+	}
+	if snap.Residual.Count != 4 || snap.Residual.Max <= snap.Residual.Min {
+		t.Fatalf("residual stats: %+v", snap.Residual)
+	}
+	if snap.Residual.P99 < snap.Residual.P50 {
+		t.Fatalf("p99 %g < p50 %g", snap.Residual.P99, snap.Residual.P50)
+	}
+	if len(snap.TopLinks) == 0 {
+		t.Fatal("no suspected links after attributed rounds")
+	}
+	// K=3 exemplars retained, worst first; IDs are X-Request-Id + #round.
+	if len(snap.Exemplars) != 3 {
+		t.Fatalf("exemplars: %+v, want 3 (ForensicsExemplars)", snap.Exemplars)
+	}
+	worst := snap.Exemplars[0]
+	if !strings.HasSuffix(worst.ID, "#3") || !worst.Detected {
+		t.Fatalf("worst exemplar = %+v, want round #3 detected", worst)
+	}
+	if snap.Exemplars[0].ResidualNorm < snap.Exemplars[1].ResidualNorm {
+		t.Fatal("exemplars not sorted worst-first")
+	}
+	// The exemplar's trace resolves in /debug/traces.
+	if worst.TraceID == 0 {
+		t.Fatal("worst exemplar has no trace ID")
+	}
+	_, raw = get(t, ts, "/debug/traces")
+	var tr TracesResponse
+	decodeInto(t, raw, &tr)
+	found := false
+	for _, d := range tr.Traces {
+		if d.ID == worst.TraceID {
+			found = true
+			if d.Root.Name != "http.inspect" {
+				t.Errorf("exemplar trace root = %q, want http.inspect", d.Root.Name)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("exemplar trace %d not served by /debug/traces", worst.TraceID)
+	}
+
+	// A client-supplied X-Request-Id is echoed into exemplar IDs.
+	body, _ := json.Marshal(RoundsRequest{Topology: "fig1", Y: rounds[3]})
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/inspect", bytes.NewReader(body))
+	req.Header.Set("X-Request-Id", "client-abc")
+	req.Header.Set("Content-Type", "application/json")
+	hr, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	_, raw = get(t, ts, "/v1/topologies/fig1/forensics")
+	decodeInto(t, raw, &snap)
+	ids := make([]string, len(snap.Exemplars))
+	for i, e := range snap.Exemplars {
+		ids[i] = e.ID
+	}
+	if !strings.Contains(strings.Join(ids, " "), "client-abc#0") {
+		t.Fatalf("client request ID not among exemplars: %v", ids)
+	}
+}
+
+func TestForensicsAlphaOverrideStillFeeds(t *testing.T) {
+	edges, paths, _, _ := fig1Wire(t)
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if resp, raw := postJSON(t, ts, "/v1/topologies", TopologyRequest{Name: "fig1", Edges: edges, Paths: paths}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %d %s", resp.StatusCode, raw)
+	}
+	rounds, _ := forensicsRounds(t, []float64{500})
+	// Loose alpha: not detected, but the round must still land in the
+	// observatory (WithAlpha preserves the observer).
+	resp, raw := postJSON(t, ts, "/v1/inspect", RoundsRequest{Topology: "fig1", Y: rounds[0], Alpha: 1e9})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("inspect: %d %s", resp.StatusCode, raw)
+	}
+	var ir InspectResponse
+	decodeInto(t, raw, &ir)
+	if ir.Alarms != 0 {
+		t.Fatalf("alarms = %d under alpha=1e9", ir.Alarms)
+	}
+	_, raw = get(t, ts, "/v1/topologies/fig1/forensics")
+	var snap forensics.Snapshot
+	decodeInto(t, raw, &snap)
+	if snap.Rounds != 1 || snap.Alarms != 0 {
+		t.Fatalf("override round missing from observatory: %+v", snap)
+	}
+}
+
+func TestForensicsEpochBumpsOnReregister(t *testing.T) {
+	edges, paths, _, _ := fig1Wire(t)
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if resp, raw := postJSON(t, ts, "/v1/topologies", TopologyRequest{Name: "fig1", Edges: edges, Paths: paths}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %d %s", resp.StatusCode, raw)
+	}
+	rounds, _ := forensicsRounds(t, []float64{500})
+	postJSON(t, ts, "/v1/inspect", RoundsRequest{Topology: "fig1", Y: rounds[0]})
+
+	var snap forensics.Snapshot
+	_, raw := get(t, ts, "/v1/topologies/fig1/forensics")
+	decodeInto(t, raw, &snap)
+	if snap.Rounds != 1 || snap.Epoch != 0 {
+		t.Fatalf("pre-churn snapshot: %+v", snap)
+	}
+	digest0 := snap.Digest
+
+	// Evict. The observatory survives (snapshot stays readable).
+	if resp, _ := postDelete(t, ts, "/v1/topologies/fig1"); resp.StatusCode != http.StatusOK {
+		t.Fatal("evict failed")
+	}
+	_, raw = get(t, ts, "/v1/topologies/fig1/forensics")
+	decodeInto(t, raw, &snap)
+	if snap.Rounds != 1 {
+		t.Fatalf("post-evict snapshot lost state: %+v", snap)
+	}
+
+	// Re-register under the same name with one path dropped: different
+	// routing matrix digest → epoch bump + attribution reset.
+	if resp, raw := postJSON(t, ts, "/v1/topologies", TopologyRequest{Name: "fig1", Edges: edges, Paths: paths[:len(paths)-1]}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("re-register: %d %s", resp.StatusCode, raw)
+	}
+	_, raw = get(t, ts, "/v1/topologies/fig1/forensics")
+	decodeInto(t, raw, &snap)
+	if snap.Epoch != 1 || snap.Rounds != 0 || snap.Digest == digest0 {
+		t.Fatalf("churn transition: epoch=%d rounds=%d digest same=%t, want 1/0/false",
+			snap.Epoch, snap.Rounds, snap.Digest == digest0)
+	}
+
+	// Same-digest re-registration (evict + identical register): no bump.
+	postDelete(t, ts, "/v1/topologies/fig1")
+	if resp, raw := postJSON(t, ts, "/v1/topologies", TopologyRequest{Name: "fig1", Edges: edges, Paths: paths[:len(paths)-1]}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("identical re-register: %d %s", resp.StatusCode, raw)
+	}
+	_, raw = get(t, ts, "/v1/topologies/fig1/forensics")
+	decodeInto(t, raw, &snap)
+	if snap.Epoch != 1 {
+		t.Fatalf("identical re-register bumped epoch to %d", snap.Epoch)
+	}
+}
+
+func TestForensicsStreamingSessionFeeds(t *testing.T) {
+	edges, paths, _, _ := fig1Wire(t)
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if resp, raw := postJSON(t, ts, "/v1/topologies", TopologyRequest{Name: "fig1", Edges: edges, Paths: paths}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %d %s", resp.StatusCode, raw)
+	}
+	resp, raw := postJSON(t, ts, "/v1/sessions", SessionRequest{Topology: "fig1"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("session: %d %s", resp.StatusCode, raw)
+	}
+	var sess SessionResponse
+	decodeInto(t, raw, &sess)
+
+	rounds, _ := forensicsRounds(t, []float64{0, 500, 20})
+	var body bytes.Buffer
+	enc := json.NewEncoder(&body)
+	for _, y := range rounds {
+		if err := enc.Encode(StreamRound{Y: y}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/sessions/"+sess.Session+"/rounds", &body)
+	req.Header.Set("X-Request-Id", "stream-0001-00")
+	hr, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(hr.Body)
+	var lines int
+	for sc.Scan() {
+		lines++
+	}
+	hr.Body.Close()
+	if lines != len(rounds)+1 { // verdicts + summary
+		t.Fatalf("stream returned %d lines, want %d", lines, len(rounds)+1)
+	}
+
+	var snap forensics.Snapshot
+	_, raw = get(t, ts, "/v1/topologies/fig1/forensics")
+	decodeInto(t, raw, &snap)
+	if snap.Rounds != 3 || snap.Alarms != 1 {
+		t.Fatalf("stream rounds missing: %+v", snap)
+	}
+	// Exemplar IDs carry the stream request ID + running round index.
+	foundHot := false
+	for _, e := range snap.Exemplars {
+		if e.ID == "stream-0001-00#1" && e.Detected {
+			foundHot = true
+		}
+	}
+	if !foundHot {
+		t.Fatalf("hot stream round not an exemplar: %+v", snap.Exemplars)
+	}
+	if len(snap.TopLinks) == 0 {
+		t.Fatal("streamed rounds produced no link attribution")
+	}
+
+	// A session path mutation changes the session digest → next batch
+	// binds a new regime: epoch bump, fresh attribution.
+	if resp, raw := postJSON(t, ts, "/v1/sessions/"+sess.Session+"/paths", SessionPathsRequest{Remove: intp(0)}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("path remove: %d %s", resp.StatusCode, raw)
+	}
+	shorter, _ := forensicsRounds(t, []float64{0})
+	y2 := shorter[0][1:] // one fewer path after remove(0)
+	var body2 bytes.Buffer
+	_ = json.NewEncoder(&body2).Encode(StreamRound{Y: y2})
+	hr2, err := http.Post(ts.URL+"/v1/sessions/"+sess.Session+"/rounds", "application/x-ndjson", &body2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc2 := bufio.NewScanner(hr2.Body)
+	for sc2.Scan() {
+	}
+	hr2.Body.Close()
+	_, raw = get(t, ts, "/v1/topologies/fig1/forensics")
+	decodeInto(t, raw, &snap)
+	if snap.Epoch != 1 || snap.Rounds != 1 {
+		t.Fatalf("post-mutation snapshot: epoch=%d rounds=%d, want 1/1", snap.Epoch, snap.Rounds)
+	}
+}
+
+func intp(i int) *int { return &i }
+
+// postDelete issues a DELETE and returns the response.
+func postDelete(t *testing.T, ts *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+// TestForensicsMetricsFamilies asserts the residual/suspicion gauge
+// families appear on a live scrape, refresh at collect time, and keep
+// the exposition lint-clean.
+func TestForensicsMetricsFamilies(t *testing.T) {
+	edges, paths, _, _ := fig1Wire(t)
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if resp, raw := postJSON(t, ts, "/v1/topologies", TopologyRequest{Name: "fig1", Edges: edges, Paths: paths}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %d %s", resp.StatusCode, raw)
+	}
+	rounds, _ := forensicsRounds(t, []float64{0, 500})
+	postJSON(t, ts, "/v1/inspect", RoundsRequest{Topology: "fig1", Rounds: rounds})
+
+	_, raw := get(t, ts, "/metrics")
+	text := string(raw)
+	if errs := obs.Lint(text); errs != nil {
+		t.Errorf("lint with forensic families: %v", errs)
+	}
+	for _, want := range []string{
+		`tomographyd_residual_rounds{topology="fig1"} 2`,
+		`tomographyd_residual_p50{topology="fig1"}`,
+		`tomographyd_residual_p95{topology="fig1"}`,
+		`tomographyd_residual_p99{topology="fig1"}`,
+		`tomographyd_residual_ewma{topology="fig1"}`,
+		`tomographyd_suspicion_top_link{topology="fig1"}`,
+		`tomographyd_suspicion_top_score{topology="fig1"}`,
+		`tomographyd_suspicion_alarm_bursts{topology="fig1"}`,
+		`tomographyd_suspicion_epoch{topology="fig1"} 0`,
+		`tomographyd_requests_total{route="forensics"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// The suspicion gauges must not report a placeholder top link.
+	if strings.Contains(text, `tomographyd_suspicion_top_link{topology="fig1"} -1`) {
+		t.Error("top link is -1 despite attributed rounds")
+	}
+
+	// Collect-time refresh: more rounds move the gauges on the next
+	// scrape without any explicit update call.
+	postJSON(t, ts, "/v1/inspect", RoundsRequest{Topology: "fig1", Rounds: rounds})
+	_, raw = get(t, ts, "/metrics")
+	if !strings.Contains(string(raw), `tomographyd_residual_rounds{topology="fig1"} 4`) {
+		t.Error("rounds gauge did not refresh at collect time")
+	}
+}
+
+// BenchmarkMetricsRender measures a full /metrics render with forensic
+// families live (the BENCH_obs.json metrics-render number).
+func BenchmarkMetricsRender(b *testing.B) {
+	edges, paths, _, sys := fig1Wire(b)
+	srv := New(Config{})
+	entry, err := srv.Registry().Register("fig1", edges, paths, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, sys.NumLinks())
+	for i := range x {
+		x[i] = 10
+	}
+	y, err := entry.Sys.Measure(x)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if _, err := entry.Det.Inspect(y); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		srv.Metrics().WritePrometheus(&buf)
+	}
+	if buf.Len() == 0 {
+		b.Fatal("empty render")
+	}
+	_ = fmt.Sprintf("%d", buf.Len())
+}
+
+// BenchmarkStreamRoundForensics measures the streaming-round hot path
+// through the full HTTP stack — NDJSON decode, batched estimate,
+// residual, verdict encode — with the forensic observatory enabled vs
+// disabled. The acceptance budget is < 5% regression for "on" over
+// "off"; bench.sh records both arms in BENCH_obs.json.
+func BenchmarkStreamRoundForensics(b *testing.B) {
+	edges, paths, _, sys := fig1Wire(b)
+	x := make([]float64, sys.NumLinks())
+	for i := range x {
+		x[i] = 10
+	}
+	clean, err := sys.Measure(x)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 64
+	var body []byte
+	{
+		rounds := make([][]float64, batch)
+		for i := range rounds {
+			rounds[i] = clean
+		}
+		raw, ok := AppendStreamRound(nil, &StreamRound{Rounds: rounds})
+		if !ok {
+			b.Fatal("encode stream line")
+		}
+		body = raw
+	}
+	for _, arm := range []struct {
+		name    string
+		disable bool
+	}{{"on", false}, {"off", true}} {
+		b.Run("forensics="+arm.name, func(b *testing.B) {
+			srv := New(Config{RequestTimeout: -1, Workers: 4, DisableForensics: arm.disable})
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+			if resp, raw := postJSON(b, ts, "/v1/topologies", TopologyRequest{Name: "fig1", Edges: edges, Paths: paths}); resp.StatusCode != http.StatusCreated {
+				b.Fatalf("register: %d %s", resp.StatusCode, raw)
+			}
+			resp, raw := postJSON(b, ts, "/v1/sessions", SessionRequest{Topology: "fig1"})
+			if resp.StatusCode != http.StatusCreated {
+				b.Fatalf("session: %d %s", resp.StatusCode, raw)
+			}
+			var sess SessionResponse
+			decodeInto(b, raw, &sess)
+			url := ts.URL + "/v1/sessions/" + sess.Session + "/rounds"
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hr, err := http.Post(url, "application/x-ndjson", bytes.NewReader(body))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := io.Copy(io.Discard, hr.Body); err != nil {
+					b.Fatal(err)
+				}
+				hr.Body.Close()
+				if hr.StatusCode != http.StatusOK {
+					b.Fatalf("stream status %d", hr.StatusCode)
+				}
+			}
+			b.StopTimer()
+			// ns/op is per stream request of `batch` rounds; report the
+			// per-round figure too so the BENCH_obs.json arms compare at
+			// round granularity.
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/round")
+		})
+	}
+}
+
+// TestForensicsDisabled pins the opt-out: no observatory is bound, the
+// endpoint answers 404, and inspect/stream traffic still flows.
+func TestForensicsDisabled(t *testing.T) {
+	edges, paths, _, _ := fig1Wire(t)
+	srv := New(Config{DisableForensics: true})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if resp, raw := postJSON(t, ts, "/v1/topologies", TopologyRequest{Name: "fig1", Edges: edges, Paths: paths}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %d %s", resp.StatusCode, raw)
+	}
+	rounds, _ := forensicsRounds(t, []float64{500})
+	resp, raw := postJSON(t, ts, "/v1/inspect", RoundsRequest{Topology: "fig1", Y: rounds[0]})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("inspect with forensics disabled: %d %s", resp.StatusCode, raw)
+	}
+	if resp, _ := get(t, ts, "/v1/topologies/fig1/forensics"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("forensics endpoint status %d with forensics disabled, want 404", resp.StatusCode)
+	}
+	if srv.Forensics() != nil {
+		t.Error("Forensics() non-nil when disabled")
+	}
+	// Streaming still works without an observatory.
+	resp, raw = postJSON(t, ts, "/v1/sessions", SessionRequest{Topology: "fig1"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("session: %d %s", resp.StatusCode, raw)
+	}
+	var sess SessionResponse
+	decodeInto(t, raw, &sess)
+	var body bytes.Buffer
+	_ = json.NewEncoder(&body).Encode(StreamRound{Y: rounds[0]})
+	hr, err := http.Post(ts.URL+"/v1/sessions/"+sess.Session+"/rounds", "application/x-ndjson", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw2, _ := io.ReadAll(hr.Body)
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK || !bytes.Contains(raw2, []byte(`"done"`)) {
+		t.Fatalf("stream with forensics disabled: %d %s", hr.StatusCode, raw2)
+	}
+	// The residual/suspicion families stay off /metrics entirely.
+	_, mraw := get(t, ts, "/metrics")
+	if strings.Contains(string(mraw), "tomographyd_residual_") {
+		t.Error("residual metric family present with forensics disabled")
+	}
+}

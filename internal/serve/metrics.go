@@ -4,6 +4,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/forensics"
 	"repro/internal/obs"
 	"repro/internal/tomo"
 )
@@ -37,6 +38,7 @@ type Metrics struct {
 	ReqRounds        *obs.Counter // POST /v1/sessions/{id}/rounds requests
 	ReqSessionPaths  *obs.Counter // POST /v1/sessions/{id}/paths requests
 	ReqSessionDelete *obs.Counter // DELETE /v1/sessions/{id} requests
+	ReqForensics     *obs.Counter // GET /v1/topologies/{name}/forensics requests
 	ReqErrors        *obs.Counter // requests answered with a 4xx/5xx
 	ReqRejected      *obs.Counter // requests shed by the worker pool
 	ReqBusy          *obs.Counter // round streams shed with 429 (pool full)
@@ -101,6 +103,7 @@ func NewMetrics() *Metrics {
 	m.ReqRounds = req.With("rounds")
 	m.ReqSessionPaths = req.With("session_paths")
 	m.ReqSessionDelete = req.With("session_delete")
+	m.ReqForensics = req.With("forensics")
 	m.ReqErrors = reg.Counter("tomographyd_request_errors_total", "Requests answered with an error status.")
 	m.ReqBusy = reg.Counter("tomographyd_requests_busy_total", "Round streams shed with 429 because every worker slot was taken.")
 	m.Evictions = reg.Counter("tomographyd_evictions_total", "Topologies removed via DELETE.")
@@ -150,6 +153,54 @@ func (m *Metrics) trackSessions(t *sessionTable) {
 	m.reg.GaugeFunc("tomographyd_sessions_active",
 		"Round sessions currently open (live session-table cardinality).",
 		func() float64 { return float64(t.len()) })
+}
+
+// trackForensics registers the live forensic metric families and
+// refreshes them at scrape time from the observatory table:
+//
+//	tomographyd_residual_{p50,p95,p99,ewma}{topology}   residual-norm analytics
+//	tomographyd_residual_rounds{topology}               rounds in current epoch
+//	tomographyd_suspicion_top_link{topology}            most-suspected link ID
+//	tomographyd_suspicion_top_score{topology}           its mean per-round attribution
+//	tomographyd_suspicion_alarm_bursts{topology}        alarmed CUSUM bursts retained
+//	tomographyd_suspicion_epoch{topology}               routing-regime generation
+//
+// Gauges (not counters): every value resets with the observatory epoch,
+// and the quantiles are point-in-time sketch reads. Called once by
+// serve.New, after the table exists.
+func (m *Metrics) trackForensics(t *forensics.Table) {
+	p50 := m.reg.GaugeVec("tomographyd_residual_p50", "Streaming p50 of inspected residual norms (current epoch).", "topology")
+	p95 := m.reg.GaugeVec("tomographyd_residual_p95", "Streaming p95 of inspected residual norms (current epoch).", "topology")
+	p99 := m.reg.GaugeVec("tomographyd_residual_p99", "Streaming p99 of inspected residual norms (current epoch).", "topology")
+	ewma := m.reg.GaugeVec("tomographyd_residual_ewma", "EWMA of inspected residual norms (current epoch).", "topology")
+	rounds := m.reg.GaugeVec("tomographyd_residual_rounds", "Rounds folded into the forensic observatory this epoch.", "topology")
+	topLink := m.reg.GaugeVec("tomographyd_suspicion_top_link", "Most-suspected link ID by residual attribution (-1 when none).", "topology")
+	topScore := m.reg.GaugeVec("tomographyd_suspicion_top_score", "Mean per-round attribution of the most-suspected link.", "topology")
+	bursts := m.reg.GaugeVec("tomographyd_suspicion_alarm_bursts", "Alarmed CUSUM bursts among retained bursts this epoch.", "topology")
+	epoch := m.reg.GaugeVec("tomographyd_suspicion_epoch", "Routing-regime generation of the observatory (bumps on digest change).", "topology")
+	m.reg.OnCollect(func() {
+		for _, s := range t.Snapshots() {
+			p50.With(s.Name).Set(s.Residual.P50)
+			p95.With(s.Name).Set(s.Residual.P95)
+			p99.With(s.Name).Set(s.Residual.P99)
+			ewma.With(s.Name).Set(s.Residual.EWMA)
+			rounds.With(s.Name).Set(float64(s.Rounds))
+			link, score := -1, 0.0
+			if len(s.TopLinks) > 0 {
+				link, score = s.TopLinks[0].Link, s.TopLinks[0].Score
+			}
+			topLink.With(s.Name).Set(float64(link))
+			topScore.With(s.Name).Set(score)
+			alarmed := 0
+			for _, b := range s.Bursts {
+				if b.Alarmed {
+					alarmed++
+				}
+			}
+			bursts.With(s.Name).Set(float64(alarmed))
+			epoch.With(s.Name).Set(float64(s.Epoch))
+		}
+	})
 }
 
 // ObserveSolve records one iterative solve's convergence statistics —

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/detect"
+	"repro/internal/forensics"
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/store"
@@ -96,10 +97,11 @@ func (c *solverCache) adopt(ctx context.Context, digest string, sys *tomo.System
 // visible or is acknowledged; the WAL order matches the registry order
 // because the append happens under the registry write lock.
 type Registry struct {
-	mu      sync.RWMutex
-	entries map[string]*Entry
-	cache   *solverCache
-	store   store.Backend
+	mu        sync.RWMutex
+	entries   map[string]*Entry
+	cache     *solverCache
+	store     store.Backend
+	forensics *forensics.Table
 }
 
 // NewRegistry creates an empty registry whose solver cache reports to
@@ -167,6 +169,17 @@ func (r *Registry) registerSystem(ctx context.Context, name string, sys *tomo.Sy
 	det, err := detect.New(sys, alpha)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	r.mu.RLock()
+	ft := r.forensics
+	r.mu.RUnlock()
+	if ft != nil {
+		// Bind the topology's forensic observatory (epoch-bumping when a
+		// re-registration changed the routing matrix) and feed it every
+		// successful Inspect. Installed before the entry is published, so
+		// no handler can observe an unwired detector.
+		o := ft.Bind(name, digest, sys.CSR(), det.Alpha())
+		det.SetObserver(o.IngestReport)
 	}
 	entry := &Entry{Name: name, Sys: sys, Det: det, Digest: digest, CacheHit: hit}
 	r.mu.Lock()
@@ -275,6 +288,16 @@ func buildWireSystem(edges [][]string, paths [][]string) (*tomo.System, error) {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	return sys, nil
+}
+
+// AttachForensics installs the forensic observatory table: from this
+// call on, every registration binds its topology's observatory and
+// wires the detector observer into it. Attach before serving (serve.New
+// does); registrations that ran before the attach are not retrofitted.
+func (r *Registry) AttachForensics(t *forensics.Table) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.forensics = t
 }
 
 // AttachStore installs the persistence backend. From this call on,

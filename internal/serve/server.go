@@ -8,13 +8,14 @@
 //
 // The HTTP/JSON API:
 //
-//	POST /v1/topologies  register {name, edges, paths, alpha}
-//	POST /v1/estimate    {topology, y | rounds} → x̂ per round
-//	POST /v1/inspect     {topology, y | rounds, alpha?} → detector verdicts
-//	GET  /healthz        liveness + registry size
-//	GET  /metrics        Prometheus text exposition
-//	GET  /debug/traces   last N completed request traces as JSON
-//	GET  /debug/pprof/   net/http/pprof profiles
+//	POST /v1/topologies                    register {name, edges, paths, alpha}
+//	GET  /v1/topologies/{name}/forensics   residual analytics + suspected links + exemplars
+//	POST /v1/estimate                      {topology, y | rounds} → x̂ per round
+//	POST /v1/inspect                       {topology, y | rounds, alpha?} → detector verdicts
+//	GET  /healthz                          liveness + registry size
+//	GET  /metrics                          Prometheus text exposition
+//	GET  /debug/traces                     last N completed request traces as JSON
+//	GET  /debug/pprof/                     net/http/pprof profiles
 //
 // Solver work fans out over a bounded worker pool with per-request
 // timeouts; saturated or expired requests are shed with 503. Every API
@@ -35,7 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/detect"
+	"repro/internal/forensics"
 	"repro/internal/la"
 	"repro/internal/obs"
 	"repro/internal/tomo"
@@ -63,6 +64,16 @@ type Config struct {
 	// the reaper removes it; 0 means DefaultSessionIdleTimeout, negative
 	// disables reaping.
 	SessionIdleTimeout time.Duration
+	// ForensicsExemplars bounds the worst-residual exemplar store each
+	// topology's forensic observatory keeps; 0 means
+	// forensics.DefaultExemplarK.
+	ForensicsExemplars int
+	// DisableForensics turns the forensic observatory off entirely: no
+	// per-round ingestion, no residual/suspicion metric families, and
+	// the forensics endpoint answers 404. Exists for operators who want
+	// the absolute minimum hot-path cost, and as the baseline arm of the
+	// forensics-overhead benchmark.
+	DisableForensics bool
 }
 
 // Defaults for Config zero values.
@@ -89,6 +100,8 @@ type Server struct {
 
 	sessions *sessionTable
 	idle     time.Duration
+
+	forensics *forensics.Table
 }
 
 // New builds a Server from cfg.
@@ -117,20 +130,29 @@ func New(cfg Config) *Server {
 	tracer.OnSpanEnd(m.ObserveStage)
 	reg := NewRegistry(m)
 	m.trackRegistry(reg)
+	var ft *forensics.Table
+	if !cfg.DisableForensics {
+		ft = forensics.NewTable(forensics.Config{ExemplarK: cfg.ForensicsExemplars})
+		reg.AttachForensics(ft)
+	}
 	srv := &Server{
-		reg:      reg,
-		pool:     NewPool(cfg.Workers),
-		metrics:  m,
-		tracer:   tracer,
-		log:      cfg.Logger,
-		clock:    cfg.Clock,
-		timeout:  cfg.RequestTimeout,
-		maxBody:  cfg.MaxBodyBytes,
-		start:    cfg.Clock.Now(),
-		sessions: newSessionTable(),
-		idle:     cfg.SessionIdleTimeout,
+		reg:       reg,
+		pool:      NewPool(cfg.Workers),
+		metrics:   m,
+		tracer:    tracer,
+		log:       cfg.Logger,
+		clock:     cfg.Clock,
+		timeout:   cfg.RequestTimeout,
+		maxBody:   cfg.MaxBodyBytes,
+		start:     cfg.Clock.Now(),
+		sessions:  newSessionTable(),
+		idle:      cfg.SessionIdleTimeout,
+		forensics: ft,
 	}
 	m.trackSessions(srv.sessions)
+	if ft != nil {
+		m.trackForensics(ft)
+	}
 	return srv
 }
 
@@ -145,6 +167,9 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // Tracer exposes the server's trace collector.
 func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
+// Forensics exposes the per-topology forensic observatory table.
+func (s *Server) Forensics() *forensics.Table { return s.forensics }
+
 // Handler returns the daemon's routing table. API routes run under the
 // instrumentation middleware (request counter, request ID, root span,
 // structured log line); the /debug/* endpoints are deliberately
@@ -154,6 +179,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/topologies", s.instrument("topologies", s.metrics.ReqTopologies, s.handleTopologies))
 	mux.HandleFunc("DELETE /v1/topologies/{name}", s.instrument("evict", s.metrics.ReqEvict, s.handleEvict))
+	mux.HandleFunc("GET /v1/topologies/{name}/forensics", s.instrument("forensics", s.metrics.ReqForensics, s.handleForensics))
 	mux.HandleFunc("POST /v1/estimate", s.instrument("estimate", s.metrics.ReqEstimate, s.handleEstimate))
 	mux.HandleFunc("POST /v1/inspect", s.instrument("inspect", s.metrics.ReqInspect, s.handleInspect))
 	mux.HandleFunc("POST /v1/sessions", s.instrument("sessions", s.metrics.ReqSessions, s.handleSessionCreate))
@@ -448,7 +474,9 @@ func (s *Server) handleInspect(w http.ResponseWriter, req *http.Request) {
 			s.fail(w, fmt.Errorf("%w: negative alpha %g", ErrBadRequest, rr.Alpha))
 			return
 		}
-		override, err := detect.New(entry.Sys, rr.Alpha)
+		// WithAlpha (not a fresh detect.New) keeps the forensic observer
+		// wired: alpha-override rounds still land in the observatory.
+		override, err := entry.Det.WithAlpha(rr.Alpha)
 		if err != nil {
 			s.fail(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
 			return
@@ -459,13 +487,17 @@ func (s *Server) handleInspect(w http.ResponseWriter, req *http.Request) {
 	defer cancel()
 	reports := make([]InspectVerdict, len(rounds))
 	alarms := 0
+	reqID := obs.RequestID(ctx)
 	err = s.pool.Do(ctx, func() error {
 		for i, y := range rounds {
 			if err := ctx.Err(); err != nil {
 				return fmt.Errorf("%w after %d/%d rounds: %v", ErrSaturated, i, len(rounds), err)
 			}
 			t0 := s.clock.Now()
-			rep, err := det.InspectCtx(ctx, y)
+			// Rounds of one batched request share an X-Request-Id; the
+			// #index suffix keeps them distinguishable as exemplars.
+			rctx := obs.WithRequestID(ctx, fmt.Sprintf("%s#%d", reqID, i))
+			rep, err := det.InspectCtx(rctx, y)
 			if err != nil {
 				return fmt.Errorf("%w: round %d: %v", ErrBadRequest, i, err)
 			}
@@ -493,6 +525,25 @@ func (s *Server) handleInspect(w http.ResponseWriter, req *http.Request) {
 		Alarms:   alarms,
 		Reports:  reports,
 	})
+}
+
+// handleForensics serves one topology's forensic snapshot: residual
+// quantiles, top suspected links, alarm bursts, and worst-residual
+// exemplars whose trace IDs resolve in /debug/traces. The observatory
+// outlives eviction (its epoch semantics depend on observing the next
+// bind), so a snapshot stays readable while a name is unregistered.
+func (s *Server) handleForensics(w http.ResponseWriter, req *http.Request) {
+	name := req.PathValue("name")
+	if s.forensics == nil {
+		s.fail(w, fmt.Errorf("%w: forensics disabled", ErrNotFound))
+		return
+	}
+	snap, ok := s.forensics.Snapshot(name)
+	if !ok {
+		s.fail(w, fmt.Errorf("%w: %q", ErrNotFound, name))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, snap)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -53,7 +53,7 @@ func fig1Wire(t testing.TB) (edges, paths [][]string, f *topo.Fig1Topology, sys 
 	return edges, paths, f, sys
 }
 
-func postJSON(t *testing.T, ts *httptest.Server, path string, body any) (*http.Response, []byte) {
+func postJSON(t testing.TB, ts *httptest.Server, path string, body any) (*http.Response, []byte) {
 	t.Helper()
 	raw, err := json.Marshal(body)
 	if err != nil {

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/forensics"
 	"repro/internal/graph"
 	"repro/internal/la"
 	"repro/internal/obs"
@@ -87,13 +88,13 @@ func (ss *session) end(now time.Time) {
 	ss.mu.Unlock()
 }
 
-// snapshot returns the system and threshold to use for the next batch.
-// Taken per NDJSON input line, so a concurrent path mutation becomes
-// visible at the next batch boundary.
-func (ss *session) snapshot() (*tomo.System, float64, bool) {
+// snapshot returns the system, its digest, and the threshold to use for
+// the next batch. Taken per NDJSON input line, so a concurrent path
+// mutation becomes visible at the next batch boundary.
+func (ss *session) snapshot() (*tomo.System, string, float64, bool) {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
-	return ss.sys, ss.alpha, ss.closed
+	return ss.sys, ss.digest, ss.alpha, ss.closed
 }
 
 // sessionTable is the daemon's live-session map. Sessions are keyed by
@@ -531,6 +532,8 @@ func (s *Server) streamRounds(ctx context.Context, w http.ResponseWriter, req *h
 	}
 
 	rounds, alarms := 0, 0
+	reqID := obs.RequestID(ctx)
+	traceID := obs.TraceID(ctx)
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
@@ -544,10 +547,18 @@ func (s *Server) streamRounds(ctx context.Context, w http.ResponseWriter, req *h
 				return
 			}
 		}
-		sys, alpha, closed := ss.snapshot()
+		sys, digest, alpha, closed := ss.snapshot()
 		if closed {
 			fail(rounds, fmt.Errorf("%w: session %s closed mid-stream", ErrGone, ss.id))
 			return
+		}
+		// Bind the topology's observatory per line: a path mutation that
+		// changed the session digest resets attribution and bumps the
+		// epoch at the next batch boundary; otherwise this is a map
+		// lookup plus a string compare.
+		var fo *forensics.Observatory
+		if s.forensics != nil {
+			fo = s.forensics.Bind(ss.topo, digest, sys.CSR(), alpha)
 		}
 		ys, err := in.batch(sys.NumPaths())
 		if err != nil {
@@ -576,6 +587,16 @@ func (s *Server) streamRounds(ctx context.Context, w http.ResponseWriter, req *h
 				alarms++
 			}
 			s.metrics.RoundLatency.ObserveDuration(perRound)
+			if fo != nil {
+				fo.Ingest(forensics.Round{
+					Req:      reqID,
+					Seq:      rounds,
+					TraceID:  traceID,
+					Detected: detected,
+					Norm:     rn,
+					Residual: res,
+				})
+			}
 			v := StreamVerdict{Round: rounds, Detected: detected, ResidualNorm: rn}
 			if in.wantXHat() {
 				v.XHat = xhat

@@ -180,21 +180,40 @@ func (m *CSR) MulVec(x la.Vector) (la.Vector, error) {
 // nonzeros are scattered into the output in row-major order, which is a
 // fixed summation order per output element.
 func (m *CSR) MulVecT(y la.Vector) (la.Vector, error) {
+	out := make(la.Vector, m.cols)
+	if err := m.MulVecTInto(out, y); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MulVecTInto computes Aᵀ·y into dst (length cols, zeroed here), so
+// per-round callers — the forensics suspicion ledger projects every
+// streamed round's residual through Rᵀ — can reuse one output buffer
+// instead of allocating a links-length vector per round. Same fixed
+// summation order as MulVecT.
+func (m *CSR) MulVecTInto(dst, y la.Vector) error {
 	if len(y) != m.rows {
-		return nil, fmt.Errorf("sparse: MulVecT %d×%d by vector of length %d: %w",
+		return fmt.Errorf("sparse: MulVecT %d×%d by vector of length %d: %w",
 			m.rows, m.cols, len(y), la.ErrShape)
 	}
-	out := make(la.Vector, m.cols)
+	if len(dst) != m.cols {
+		return fmt.Errorf("sparse: MulVecTInto dst length %d, want %d: %w",
+			len(dst), m.cols, la.ErrShape)
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
 	for i := 0; i < m.rows; i++ {
 		yi := y[i]
 		if yi == 0 {
 			continue
 		}
 		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
-			out[m.colIdx[k]] += m.val[k] * yi
+			dst[m.colIdx[k]] += m.val[k] * yi
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // RowNorms returns the Euclidean norm of each row.

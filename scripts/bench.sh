@@ -26,22 +26,24 @@ emit_json() {
     /^Benchmark/ {
         name = $1
         sub(/-[0-9]+$/, "", name)           # strip GOMAXPROCS suffix
-        nsop = ""; bop = ""; allocs = ""; p50 = ""; p95 = ""
+        nsop = ""; bop = ""; allocs = ""; p50 = ""; p95 = ""; nsround = ""
         for (i = 2; i <= NF; i++) {
-            if ($(i) == "ns/op")     nsop   = $(i-1)
-            if ($(i) == "B/op")      bop    = $(i-1)
-            if ($(i) == "allocs/op") allocs = $(i-1)
-            if ($(i) == "p50-ns")    p50    = $(i-1)
-            if ($(i) == "p95-ns")    p95    = $(i-1)
+            if ($(i) == "ns/op")     nsop    = $(i-1)
+            if ($(i) == "B/op")      bop     = $(i-1)
+            if ($(i) == "allocs/op") allocs  = $(i-1)
+            if ($(i) == "p50-ns")    p50     = $(i-1)
+            if ($(i) == "p95-ns")    p95     = $(i-1)
+            if ($(i) == "ns/round")  nsround = $(i-1)
         }
         if (nsop == "") next
         if (!first) printf ",\n"
         first = 0
         printf "  \"%s\": {\"ns_per_op\": %s", name, nsop
-        if (bop != "")    printf ", \"bytes_per_op\": %s", bop
-        if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
-        if (p50 != "")    printf ", \"p50_ns\": %s", p50
-        if (p95 != "")    printf ", \"p95_ns\": %s", p95
+        if (bop != "")     printf ", \"bytes_per_op\": %s", bop
+        if (allocs != "")  printf ", \"allocs_per_op\": %s", allocs
+        if (p50 != "")     printf ", \"p50_ns\": %s", p50
+        if (p95 != "")     printf ", \"p95_ns\": %s", p95
+        if (nsround != "") printf ", \"ns_per_round\": %s", nsround
         printf "}"
     }
     END { print "\n}" }
@@ -64,3 +66,26 @@ emit_json "$tmp" BENCH_stream.json
 go test -run='^$' -bench='BenchmarkChurnReregister|BenchmarkChurnMutate' -benchtime="$benchtime" \
     ./internal/serve | tee "$tmp"
 emit_json "$tmp" BENCH_churn.json
+
+# Observability: quantile-sketch insert/query, the full /metrics render
+# with the forensic gauge families live, and the streaming-round hot
+# path with the forensic observatory on vs off — the acceptance budget
+# is < 5% regression for the "on" arm (compare the two ns/round
+# figures in the JSON). Sub-benchmark quantiles/arms need real
+# iteration counts, so this block floors benchtime at 500x.
+obsbench="$benchtime"
+case "$obsbench" in
+    *x) [ "${obsbench%x}" -lt 500 ] && obsbench=500x ;;
+esac
+go test -run='^$' -bench='BenchmarkSketchInsert|BenchmarkSketchQuantile|BenchmarkForensicsIngest|BenchmarkMetricsRender|BenchmarkStreamRoundForensics' \
+    -benchtime="$obsbench" ./internal/obs ./internal/forensics ./internal/serve | tee "$tmp"
+awk '/BenchmarkStreamRoundForensics/ {
+    for (i = 2; i <= NF; i++) if ($(i) == "ns/round") v[$1] = $(i-1)
+}
+END {
+    on = ""; off = ""
+    for (k in v) { if (k ~ /forensics=on/) on = v[k]; if (k ~ /forensics=off/) off = v[k] }
+    if (on != "" && off != "" && off > 0)
+        printf "forensics stream-round overhead: %.2f%% (on %s ns/round, off %s ns/round)\n", (on-off)/off*100, on, off
+}' "$tmp"
+emit_json "$tmp" BENCH_obs.json

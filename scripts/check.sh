@@ -67,6 +67,19 @@ go test -short -race -run 'TestChurn|TestGoldenChurn|TestSessionSurvivesEviction
 go test -race -run 'TestStaleStudy|TestGoldenStaleStudy' ./internal/experiment
 go test -race -run 'TestRunChurnScript' ./cmd/tomoload
 
+# Forensics observatory: the sketch/ledger/exemplar determinism
+# contracts and the detect observer hook under -race, the extended
+# exposition lint (histogram bucket ordering) against a live /metrics
+# scrape with the residual/suspicion families present, the forensics
+# endpoint lifecycle (epoch bumps on churn, exemplar↔trace linking,
+# streaming ingestion), the worker-count-invariant e2e golden, and the
+# tomoload -report reconcile (client-rebuilt quantiles must match the
+# server sketch exactly under chaos off).
+go test -race ./internal/forensics/... ./internal/obs/...
+go test -race -run 'TestForensics|TestMetricsExpositionLint|TestLint' ./internal/serve ./internal/obs
+go test -race -run 'TestGoldenForensicsSnapshot' ./internal/e2e
+go test -race -run 'TestRunReportForensicsExact|TestRunStreamReportForensics' ./cmd/tomoload
+
 go test -run='^$' -fuzz=FuzzSolve -fuzztime=10s ./internal/lp
 go test -run='^$' -fuzz=FuzzParseEdgeList -fuzztime=10s ./internal/graph
 go test -run='^$' -fuzz=FuzzDecodeRecord -fuzztime=10s ./internal/store
