@@ -8,6 +8,7 @@
 //	tomographyd [-addr :8723] [-workers N] [-timeout 5s] [-preload fig1|abilene|isp|wireless] [-seed S] [-alpha A]
 //	            [-log-level info] [-log-json] [-trace-cap N] [-session-idle 5m]
 //	            [-data-dir DIR] [-fsync interval] [-fsync-interval 100ms] [-compact-threshold BYTES]
+//	            [-role primary|follower] [-follow URL] [-replication-poll 500ms]
 //
 // Streaming: POST /v1/sessions opens a long-lived round session bound
 // to a registered topology; NDJSON batches on /v1/sessions/{id}/rounds
@@ -31,6 +32,17 @@
 // per append), interval (background flush every -fsync-interval), or
 // never (OS page cache only).
 //
+// Replication: with -data-dir set, a primary serves its checksummed WAL
+// on /v1/replication/wal for followers to ship. -role follower turns the
+// daemon into a warm standby: it polls the -follow primary every
+// -replication-poll, appends the shipped frames to its own journal
+// byte-for-byte (same sequence numbers, same checksums), applies them to
+// its registry with digest verification, and answers writes with 421
+// until POST /v1/replication/promote makes it the primary. Followers
+// require -data-dir and refuse -preload (a follower's registry is
+// exactly the shipped journal, nothing else). Command tomorouter places
+// topologies across replication groups and drives failover.
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // finish (bounded by -timeout), new connections are refused, and the WAL
 // is flushed and fsynced before the process exits.
@@ -52,6 +64,7 @@ import (
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/cluster"
 	"repro/internal/forensics"
 	"repro/internal/obs"
 	"repro/internal/serve"
@@ -74,6 +87,9 @@ func main() {
 	fsyncMode := flag.String("fsync", "interval", "WAL fsync policy: always, interval, never")
 	fsyncInterval := flag.Duration("fsync-interval", store.DefaultFsyncInterval, "flush cadence under -fsync=interval")
 	compactThreshold := flag.Int64("compact-threshold", store.DefaultCompactThreshold, "WAL bytes before folding into a snapshot (negative disables compaction)")
+	role := flag.String("role", "primary", "replication role: primary, follower (follower requires -data-dir and -follow)")
+	follow := flag.String("follow", "", "primary base URL a follower ships the WAL from")
+	replPoll := flag.Duration("replication-poll", cluster.DefaultPollInterval, "follower WAL poll interval")
 	flag.Parse()
 
 	level, err := obs.ParseLevel(*logLevel)
@@ -103,6 +119,9 @@ func main() {
 		fsync:            fsync,
 		fsyncInterval:    *fsyncInterval,
 		compactThreshold: *compactThreshold,
+		role:             *role,
+		follow:           *follow,
+		replPoll:         *replPoll,
 		logw:             os.Stdout,
 	}
 
@@ -128,8 +147,14 @@ type options struct {
 	fsync            store.FsyncPolicy
 	fsyncInterval    time.Duration
 	compactThreshold int64
+	role             string // "", "primary", or "follower"
+	follow           string // follower: primary base URL to ship from
+	replPoll         time.Duration
 	logw             io.Writer
 }
+
+// follower reports whether the daemon boots as a warm standby.
+func (o *options) follower() bool { return o.role == "follower" }
 
 // run starts the daemon and blocks until ctx is cancelled (or the
 // listener fails), then shuts down gracefully: HTTP drains first, then
@@ -142,6 +167,22 @@ func run(ctx context.Context, opts options) error {
 		opts.cfg.Logger = obs.NewLogger(opts.logw, slog.LevelInfo, false)
 	}
 	log := opts.cfg.Logger
+	switch opts.role {
+	case "", "primary", "follower":
+	default:
+		return fmt.Errorf("unknown role %q (want primary or follower)", opts.role)
+	}
+	if opts.follower() {
+		if opts.dataDir == "" {
+			return errors.New("-role=follower requires -data-dir (the shipped journal needs a home)")
+		}
+		if opts.follow == "" {
+			return errors.New("-role=follower requires -follow (the primary to ship the WAL from)")
+		}
+		if opts.preload != "" {
+			return errors.New("-preload is a write; a follower's registry is exactly the shipped journal")
+		}
+	}
 	srv := serve.New(opts.cfg)
 
 	// Background session reaper: sweep at a quarter of the idle timeout
@@ -198,10 +239,28 @@ func run(ctx context.Context, opts options) error {
 		if err != nil {
 			return fmt.Errorf("warm start from %s: %w", dir, err)
 		}
-		srv.Registry().AttachStore(st)
-		log.Info("warm start", "data_dir", dir,
+		if opts.follower() {
+			// The tailer is the journal's only writer until promotion, so
+			// the store stays detached from the registry.
+			srv.EnableReplication(st, serve.RoleFollower)
+		} else {
+			srv.Registry().AttachStore(st)
+			srv.EnableReplication(st, serve.RolePrimary)
+		}
+		log.Info("warm start", "data_dir", dir, "role", srv.Role().String(),
 			"topologies", n, "replayed", rec.ReplayedRecords,
 			"snapshot_seq", rec.SnapshotSeq, "torn_tail", rec.TornTail)
+	}
+
+	if opts.follower() {
+		tailer := &cluster.Tailer{
+			Server:   srv,
+			Source:   func() string { return opts.follow },
+			Interval: opts.replPoll,
+			Logger:   log,
+		}
+		go tailer.Run(ctx)
+		log.Info("shipping wal", "follow", opts.follow, "poll", opts.replPoll)
 	}
 
 	if opts.preload != "" {

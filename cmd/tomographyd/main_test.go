@@ -286,3 +286,137 @@ func TestDaemonPreloadSkipsRecovered(t *testing.T) {
 		t.Errorf("missing recovered-preload log line in %q", logs.String())
 	}
 }
+
+// TestDaemonFollowerLifecycle runs a two-daemon replication pair over
+// real processes' worth of plumbing: a durable primary, a follower
+// shipping its WAL, write rejection with 421 on the standby, and
+// promotion to a serving primary.
+func TestDaemonFollowerLifecycle(t *testing.T) {
+	primary, cancelP, doneP, _ := startDaemonOpts(t, options{
+		dataDir: t.TempDir(), fsync: store.FsyncAlways,
+	})
+	defer func() {
+		cancelP()
+		<-doneP
+	}()
+	follower, cancelF, doneF, _ := startDaemonOpts(t, options{
+		dataDir: t.TempDir(), fsync: store.FsyncAlways,
+		role: "follower", follow: primary, replPoll: 10 * time.Millisecond,
+	})
+	defer func() {
+		cancelF()
+		<-doneF
+	}()
+
+	regBody, _ := json.Marshal(serve.TopologyRequest{
+		Name:  "chain",
+		Edges: [][]string{{"a", "b"}, {"b", "c"}},
+		Paths: [][]string{{"a", "b"}, {"a", "b", "c"}},
+	})
+	resp, err := http.Post(primary+"/v1/topologies", "application/json", bytes.NewReader(regBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register on primary: %d", resp.StatusCode)
+	}
+
+	// The follower ships the registration within a few poll intervals.
+	healthz := func(base string) serve.HealthResponse {
+		t.Helper()
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var hr serve.HealthResponse
+		if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+			t.Fatal(err)
+		}
+		return hr
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		hr := healthz(follower)
+		if len(hr.Topologies) == 1 && hr.Topologies[0] == "chain" {
+			if hr.Role != "follower" {
+				t.Fatalf("follower healthz role = %q", hr.Role)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never shipped the registration: %+v", hr)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Reads are served from the shipped registry; writes are misdirected.
+	estBody, _ := json.Marshal(serve.RoundsRequest{Topology: "chain", Y: []float64{1.5, 2.5}})
+	resp, err = http.Post(follower+"/v1/estimate", "application/json", bytes.NewReader(estBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("estimate on follower: %d", resp.StatusCode)
+	}
+	resp, err = http.Post(follower+"/v1/topologies", "application/json", bytes.NewReader(regBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("write on follower: %d, want 421", resp.StatusCode)
+	}
+
+	// Promotion flips the role; the ex-follower now accepts writes.
+	resp, err = http.Post(follower+"/v1/replication/promote", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pr serve.PromoteResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if pr.Role != "primary" {
+		t.Fatalf("promote: role %q, want primary", pr.Role)
+	}
+	reg2, _ := json.Marshal(serve.TopologyRequest{
+		Name:  "chain2",
+		Edges: [][]string{{"a", "b"}},
+		Paths: [][]string{{"a", "b"}},
+	})
+	resp, err = http.Post(follower+"/v1/topologies", "application/json", bytes.NewReader(reg2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("write after promote: %d, want 201", resp.StatusCode)
+	}
+}
+
+// TestDaemonFollowerFlagValidation pins the follower boot contract:
+// no journal dir or no primary URL is a refusal, not a silent standalone.
+func TestDaemonFollowerFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts options
+	}{
+		{"no data dir", options{role: "follower", follow: "http://127.0.0.1:1"}},
+		{"no follow URL", options{role: "follower", dataDir: "x"}},
+		{"preload on follower", options{role: "follower", follow: "http://127.0.0.1:1", dataDir: "x", preload: "fig1"}},
+		{"unknown role", options{role: "standby"}},
+	} {
+		tc.opts.addr = "127.0.0.1:0"
+		tc.opts.logw = &lockedBuffer{}
+		if tc.opts.dataDir == "x" {
+			tc.opts.dataDir = t.TempDir()
+		}
+		if err := run(context.Background(), tc.opts); err == nil {
+			t.Errorf("%s: follower booted, want refusal", tc.name)
+		}
+	}
+}

@@ -37,6 +37,12 @@
 // /metrics before and after the run and checks that the server's counter
 // deltas reconcile exactly with the client-side transcript; any mismatch
 // exits non-zero.
+//
+// Against a tomorouter fleet, front-door scrapes land on one shard per
+// request, so single-scrape verification cannot reconcile. Pass
+// -scrape-nodes with every shard's URL instead: tomoload scrapes each
+// node directly, sums the deltas fleet-wide (requests land on exactly
+// one node each, so the sums are exact), and reconciles those.
 package main
 
 import (
@@ -48,6 +54,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -74,6 +81,7 @@ func main() {
 	batch := flag.Int("batch", 64, "max rounds per NDJSON request line (with -stream)")
 	churn := flag.Int("churn", 1, "mid-stream path mutations per session (with -stream)")
 	churnScript := flag.String("churn-script", "", `dynamic-network campaign: builtin script name ("five-epoch") or JSON script file`)
+	scrapeNodes := flag.String("scrape-nodes", "", "comma-separated fleet node URLs to scrape directly for -verify (use when -addr targets a tomorouter, whose /metrics fans out)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -85,6 +93,7 @@ func main() {
 		fault: *fault, verify: *verify, report: *report,
 		stream: *stream, sessions: *sessions, rounds: *roundsPer,
 		batch: *batch, churn: *churn, churnScript: *churnScript,
+		scrapeNodes: splitNodes(*scrapeNodes),
 	}, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "tomoload: %v\n", err)
 		os.Exit(1)
@@ -111,6 +120,38 @@ type options struct {
 	// churnScript, when non-empty, switches to dynamic-campaign replay:
 	// the builtin script name ("five-epoch") or a JSON script file path.
 	churnScript string
+	// scrapeNodes, when non-empty, verifies against per-node /metrics
+	// scrapes summed fleet-wide instead of a single front-door scrape.
+	scrapeNodes []string
+}
+
+// splitNodes parses the -scrape-nodes list, dropping empty entries.
+// Bare host:port entries get an http:// scheme, matching tomorouter's
+// -groups syntax so the two flags accept the same node lists.
+func splitNodes(spec string) []string {
+	var out []string
+	for _, u := range strings.Split(spec, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			if !strings.Contains(u, "://") {
+				u = "http://" + u
+			}
+			out = append(out, strings.TrimRight(u, "/"))
+		}
+	}
+	return out
+}
+
+// scrapeFleet snapshots every node's /metrics directly, in order.
+func scrapeFleet(ctx context.Context, nodes []string) ([]map[string]float64, error) {
+	var out []map[string]float64
+	for _, u := range nodes {
+		m, err := e2e.NewClient(u, nil).MetricsSnapshot(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("scrape %s: %w", u, err)
+		}
+		out = append(out, m)
+	}
+	return out, nil
 }
 
 // run executes one load campaign. Factored out of main so tests can
@@ -173,8 +214,13 @@ func run(ctx context.Context, opt options, out io.Writer) error {
 	}
 
 	var pre map[string]float64
+	var preFleet []map[string]float64
 	if opt.verify {
-		if pre, err = plain.MetricsSnapshot(ctx); err != nil {
+		if len(opt.scrapeNodes) > 0 {
+			if preFleet, err = scrapeFleet(ctx, opt.scrapeNodes); err != nil {
+				return fmt.Errorf("pre-run fleet scrape: %w", err)
+			}
+		} else if pre, err = plain.MetricsSnapshot(ctx); err != nil {
 			return fmt.Errorf("pre-run metrics scrape: %w", err)
 		}
 	}
@@ -214,11 +260,21 @@ func run(ctx context.Context, opt options, out io.Writer) error {
 	fmt.Fprintf(out, "transcript digest: %s\n", tr.Digest())
 
 	if opt.verify {
-		post, err := plain.MetricsSnapshot(ctx)
-		if err != nil {
-			return fmt.Errorf("post-run metrics scrape: %w", err)
+		var msgs []string
+		if len(opt.scrapeNodes) > 0 {
+			postFleet, err := scrapeFleet(ctx, opt.scrapeNodes)
+			if err != nil {
+				return fmt.Errorf("post-run fleet scrape: %w", err)
+			}
+			msgs = e2e.ReconcileFleetScrape(tr.Expected(), preFleet, postFleet)
+		} else {
+			post, err := plain.MetricsSnapshot(ctx)
+			if err != nil {
+				return fmt.Errorf("post-run metrics scrape: %w", err)
+			}
+			msgs = tr.Expected().ReconcileScrape(pre, post)
 		}
-		if msgs := tr.Expected().ReconcileScrape(pre, post); len(msgs) != 0 {
+		if len(msgs) != 0 {
 			for _, m := range msgs {
 				fmt.Fprintf(out, "verify: MISMATCH %s\n", m)
 			}

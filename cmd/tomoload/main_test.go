@@ -191,3 +191,19 @@ func TestRunStreamReportForensics(t *testing.T) {
 		}
 	}
 }
+
+func TestSplitNodesNormalizesScheme(t *testing.T) {
+	got := splitNodes(" 127.0.0.1:8811 , http://h:2/ ,, https://h:3 ")
+	want := []string{"http://127.0.0.1:8811", "http://h:2", "https://h:3"}
+	if len(got) != len(want) {
+		t.Fatalf("splitNodes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("splitNodes[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if splitNodes("  ") != nil {
+		t.Fatal("blank spec should yield nil")
+	}
+}

@@ -1,0 +1,163 @@
+// Command tomorouter fronts a sharded tomographyd fleet: it places each
+// registered topology on a replication group by consistent-hashing its
+// routing-matrix digest, forwards writes to the owning group's primary
+// (promoting a warm follower when the primary is unreachable), spreads
+// reads across replicas with retry, and pins streaming sessions to the
+// replica that opened them.
+//
+// Usage:
+//
+//	tomorouter -groups "http://a:8723,http://b:8723;http://c:8723,http://d:8723" \
+//	           [-listen :8724] [-vnodes 64] [-log-level info] [-log-json]
+//
+// -groups lists the fleet: groups are separated by ';', and the nodes
+// of one replication group by ','. The first node of each group is its
+// boot primary; the rest are warm followers (tomographyd -role=follower
+// pointed at the primary).
+//
+// The router's own endpoints live under /cluster: GET /cluster/healthz
+// is the fleet view (groups, primaries, down nodes, placements), and
+// GET /cluster/metrics exposes tomographyd_cluster_* counters. Plain
+// GET /healthz and /metrics fan out to fleet nodes round-robin, so
+// existing probes and scrapes keep working unchanged.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+)
+
+func main() {
+	listen := flag.String("listen", ":8724", "router listen address")
+	groups := flag.String("groups", "", "fleet layout: ';'-separated replication groups of ','-separated node URLs (first node = boot primary)")
+	vnodes := flag.Int("vnodes", cluster.DefaultVnodes, "virtual nodes per group on the placement ring")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
+	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tomorouter: %v\n", err)
+		os.Exit(2)
+	}
+	layout, err := parseGroups(*groups)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tomorouter: %v\n", err)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := options{
+		listen: *listen,
+		groups: layout,
+		vnodes: *vnodes,
+		logger: obs.NewLogger(os.Stdout, level, *logJSON),
+	}
+	if err := run(ctx, opts); err != nil {
+		fmt.Fprintf(os.Stderr, "tomorouter: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// options collects everything run needs, so tests can drive the full
+// router lifecycle without flag plumbing.
+type options struct {
+	listen string
+	groups [][]string
+	vnodes int
+	logger *slog.Logger
+}
+
+// parseGroups splits the -groups spec into the fleet layout:
+// "a,b;c,d" → [[a b] [c d]]. Whitespace around separators is ignored;
+// empty groups or node URLs are refused.
+func parseGroups(spec string) ([][]string, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, errors.New("-groups is required (';'-separated groups of ','-separated node URLs)")
+	}
+	var out [][]string
+	for gi, part := range strings.Split(spec, ";") {
+		var nodes []string
+		for _, u := range strings.Split(part, ",") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				return nil, fmt.Errorf("group %d: empty node URL", gi)
+			}
+			if !strings.Contains(u, "://") {
+				u = "http://" + u
+			}
+			nodes = append(nodes, strings.TrimRight(u, "/"))
+		}
+		if len(nodes) == 0 {
+			return nil, fmt.Errorf("group %d is empty", gi)
+		}
+		out = append(out, nodes)
+	}
+	return out, nil
+}
+
+// run starts the router and blocks until ctx is cancelled (or the
+// listener fails), then drains in-flight proxied requests.
+func run(ctx context.Context, opts options) error {
+	log := opts.logger
+	if log == nil {
+		log = obs.DiscardLogger()
+	}
+	rt, err := cluster.New(cluster.Config{
+		Groups: opts.groups,
+		Vnodes: opts.vnodes,
+		Logger: log,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", opts.listen)
+	if err != nil {
+		return err
+	}
+	nodes := 0
+	for _, g := range opts.groups {
+		nodes += len(g)
+	}
+	log.Info("routing", "addr", ln.Addr().String(),
+		"groups", len(opts.groups), "nodes", nodes, "vnodes", rt.Ring().Vnodes())
+
+	httpSrv := &http.Server{
+		Handler:           rt,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Info("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"regexp"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func TestParseGroups(t *testing.T) {
+	got, err := parseGroups(" http://a:1,b:2 ; c:3 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{{"http://a:1", "http://b:2"}, {"http://c:3"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseGroups = %v, want %v", got, want)
+	}
+	for _, bad := range []string{"", "a:1,,b:2", ";", "a:1;;b:2"} {
+		if _, err := parseGroups(bad); err == nil {
+			t.Errorf("parseGroups(%q) accepted, want error", bad)
+		}
+	}
+}
+
+// TestRouterLifecycle boots a real router process loop over two live
+// single-node shards and drives a registration plus a sharded read
+// through its listener.
+func TestRouterLifecycle(t *testing.T) {
+	var shards []string
+	for i := 0; i < 2; i++ {
+		srv := serve.New(serve.Config{Workers: 2, RequestTimeout: 2 * time.Second})
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		shards = append(shards, ts.URL)
+	}
+	layout, err := parseGroups(shards[0] + ";" + shards[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	logs := &lockedBuffer{}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, options{
+			listen: "127.0.0.1:0",
+			groups: layout,
+			logger: obs.NewLogger(logs, slog.LevelInfo, false),
+		})
+	}()
+	defer func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("router exited: %v", err)
+		}
+	}()
+	addrRe := regexp.MustCompile(`msg=routing addr=([0-9.]+:\d+)`)
+	var base string
+	deadline := time.Now().Add(5 * time.Second)
+	for base == "" {
+		if m := addrRe.FindStringSubmatch(logs.String()); m != nil {
+			base = "http://" + m[1]
+		} else if time.Now().After(deadline) {
+			t.Fatalf("router never started (logs: %s)", logs.String())
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	regBody, _ := json.Marshal(serve.TopologyRequest{
+		Name:  "chain",
+		Edges: [][]string{{"a", "b"}, {"b", "c"}},
+		Paths: [][]string{{"a", "b"}, {"a", "b", "c"}},
+	})
+	resp, err := http.Post(base+"/v1/topologies", "application/json", bytes.NewReader(regBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register through router: %d", resp.StatusCode)
+	}
+	estBody, _ := json.Marshal(serve.RoundsRequest{Topology: "chain", Y: []float64{1.5, 2.5}})
+	resp, err = http.Post(base+"/v1/estimate", "application/json", bytes.NewReader(estBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("estimate through router: %d", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/cluster/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ch cluster.ClusterHealth
+	if err := json.NewDecoder(resp.Body).Decode(&ch); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(ch.Groups) != 2 || ch.Placements != 1 {
+		t.Fatalf("cluster healthz = %+v, want 2 groups, 1 placement", ch)
+	}
+}
+
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

@@ -1,0 +1,65 @@
+package cluster_test
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// benchFleetEstimate drives estimate traffic through the router over a
+// fleet of the given shape — the single-shard run is the baseline the
+// three-shard run is compared against in BENCH_cluster.json.
+func benchFleetEstimate(b *testing.B, groups, replicas int) {
+	f := newTestFleet(b, groups, replicas)
+	const topos = 3
+	for k := 0; k < topos; k++ {
+		mustRegister(b, f, fmt.Sprintf("chain-%d", k+3), k+3)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i % topos
+		status, _ := estimateXHat(b, f.ts.URL, fmt.Sprintf("chain-%d", k+3), k+3)
+		if status != http.StatusOK {
+			b.Fatalf("estimate: %d", status)
+		}
+	}
+}
+
+func BenchmarkClusterSingleShardEstimate(b *testing.B) { benchFleetEstimate(b, 1, 1) }
+
+func BenchmarkClusterThreeShardEstimate(b *testing.B) { benchFleetEstimate(b, 3, 2) }
+
+// BenchmarkClusterFailoverToWarm measures the failover path end to end:
+// primary dead → follower promoted → first successful read through the
+// router. The follower is warm (its journal and registry already hold
+// the topology), so this is promotion plus routing, not recovery.
+func BenchmarkClusterFailoverToWarm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		f := newTestFleet(b, 1, 2)
+		mustRegister(b, f, "chain-3", 3)
+		f.shards[0][0].ts.CloseClientConnections()
+		f.shards[0][0].ts.Close()
+		b.StartTimer()
+
+		if err := f.rt.Failover(0); err != nil {
+			b.Fatal(err)
+		}
+		if status, _ := estimateXHat(b, f.ts.URL, "chain-3", 3); status != http.StatusOK {
+			b.Fatalf("estimate after failover: %d", status)
+		}
+
+		b.StopTimer()
+		// Release sockets eagerly: b.Cleanup only runs when the whole
+		// benchmark ends, and b.N fleets of open listeners add up.
+		f.ts.Close()
+		for _, row := range f.shards {
+			for _, sh := range row {
+				sh.ts.Close()
+				sh.st.Close()
+			}
+		}
+		b.StartTimer()
+	}
+}

@@ -1,0 +1,44 @@
+package cluster
+
+import "repro/internal/obs"
+
+// Metrics is the router's instrument family, served on the router's own
+// /cluster/metrics endpoint (the per-shard tomographyd_* families stay
+// on each shard, where the load generator's exact reconciliation
+// expects them).
+type Metrics struct {
+	reg *obs.Registry
+
+	// Requests counts requests routed per replication group.
+	Requests *obs.CounterVec
+	// ReadRetries counts reads that needed more than one replica.
+	ReadRetries *obs.Counter
+	// Writes counts registry mutations forwarded to a group primary.
+	Writes *obs.Counter
+	// Failovers counts primary promotions the router performed.
+	Failovers *obs.Counter
+}
+
+// NewMetrics registers the router counters on reg (nil allocates a
+// fresh registry). Router-state gauges (nodes down, sessions tracked,
+// placements) are registered by New, which owns that state.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Metrics{
+		reg: reg,
+		Requests: reg.CounterVec("tomographyd_cluster_requests_total",
+			"Requests routed, by replication group.", "group"),
+		ReadRetries: reg.Counter("tomographyd_cluster_read_retries_total",
+			"Reads retried on another replica after a failure."),
+		Writes: reg.Counter("tomographyd_cluster_writes_forwarded_total",
+			"Registry mutations forwarded to a group primary."),
+		Failovers: reg.Counter("tomographyd_cluster_failovers_total",
+			"Primary promotions performed by the router."),
+	}
+}
+
+// Registry exposes the underlying registry (for /cluster/metrics and
+// for tests scraping the router directly).
+func (m *Metrics) Registry() *obs.Registry { return m.reg }

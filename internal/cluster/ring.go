@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// DefaultVnodes is the virtual-node count per group on the placement
+// ring. 64 points per group keeps the per-group key share within a few
+// percent of uniform for small fleets while the ring stays tiny (a few
+// hundred entries even at ten groups).
+const DefaultVnodes = 64
+
+// Ring is a consistent-hash placement ring mapping topology digests to
+// replication groups. Each group contributes Vnodes points hashed from
+// (group, vnode); a key is placed on the first point clockwise from its
+// own hash. Placement is a pure function of (groups, vnodes, key):
+// every router instance — and every rerun of a deterministic soak —
+// computes the same assignment, and growing the fleet by one group
+// moves only ~1/(G+1) of the keyspace.
+type Ring struct {
+	points []ringPoint
+	groups int
+	vnodes int
+}
+
+type ringPoint struct {
+	hash  uint64
+	group int
+}
+
+// NewRing builds the ring for `groups` replication groups with `vnodes`
+// points each (0 selects DefaultVnodes).
+func NewRing(groups, vnodes int) (*Ring, error) {
+	if groups <= 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one group, got %d", groups)
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	r := &Ring{
+		points: make([]ringPoint, 0, groups*vnodes),
+		groups: groups,
+		vnodes: vnodes,
+	}
+	for g := 0; g < groups; g++ {
+		for v := 0; v < vnodes; v++ {
+			h := hashKey("vnode/" + strconv.Itoa(g) + "/" + strconv.Itoa(v))
+			r.points = append(r.points, ringPoint{hash: h, group: g})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A 64-bit collision between vnode points is vanishingly rare but
+		// must still order deterministically.
+		return r.points[i].group < r.points[j].group
+	})
+	return r, nil
+}
+
+// Groups returns the number of groups on the ring.
+func (r *Ring) Groups() int { return r.groups }
+
+// Vnodes returns the per-group virtual-node count.
+func (r *Ring) Vnodes() int { return r.vnodes }
+
+// Place maps a key (a routing-matrix digest, or any stable string) to
+// its owning group.
+func (r *Ring) Place(key string) int {
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].group
+}
+
+// hashKey maps a string onto the ring's 64-bit keyspace via SHA-256 —
+// the same family the registry's digests use, so placement inherits
+// their collision resistance rather than a weaker mixing function.
+func hashKey(key string) uint64 {
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[:8])
+}

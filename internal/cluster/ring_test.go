@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingPlacementDeterministic(t *testing.T) {
+	r1, err := NewRing(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Vnodes() != DefaultVnodes || r1.Groups() != 3 {
+		t.Fatalf("ring shape: %d groups, %d vnodes", r1.Groups(), r1.Vnodes())
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("sha256:%04d", i)
+		g1, g2 := r1.Place(key), r2.Place(key)
+		if g1 != g2 {
+			t.Fatalf("placement of %q differs across identical rings: %d vs %d", key, g1, g2)
+		}
+		if g1 < 0 || g1 >= 3 {
+			t.Fatalf("placement of %q out of range: %d", key, g1)
+		}
+	}
+}
+
+func TestRingSpreadsKeys(t *testing.T) {
+	r, err := NewRing(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 4)
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.Place(fmt.Sprintf("sha256:key-%d", i))]++
+	}
+	for g, c := range counts {
+		// Uniform would be 1000 per group; 64 vnodes keeps every group
+		// within a loose factor-of-two band.
+		if c < keys/8 || c > keys/2 {
+			t.Errorf("group %d got %d of %d keys — ring badly unbalanced: %v", g, c, keys, counts)
+		}
+	}
+}
+
+// Growing the fleet by one group must move only a minority of the
+// keyspace — the property that makes digest placement survive scale-out
+// without a full reshuffle.
+func TestRingStabilityUnderGrowth(t *testing.T) {
+	r3, err := NewRing(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := NewRing(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 4000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("sha256:key-%d", i)
+		if r3.Place(key) != r4.Place(key) {
+			moved++
+		}
+	}
+	// Ideal is 1/4 of keys; anything under half proves stability (a
+	// modulo hash would move ~3/4).
+	if moved > keys/2 {
+		t.Errorf("growth 3→4 groups moved %d of %d keys", moved, keys)
+	}
+	if moved == 0 {
+		t.Error("growth moved no keys — the new group is unreachable")
+	}
+}
+
+func TestRingRejectsEmptyFleet(t *testing.T) {
+	if _, err := NewRing(0, 0); err == nil {
+		t.Fatal("ring with zero groups accepted")
+	}
+}
+
+func TestGroupFailoverOrder(t *testing.T) {
+	g, err := NewGroup(0, []string{"http://a", "http://b", "http://c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Primary().URL != "http://a" || g.PrimaryIndex() != 0 {
+		t.Fatalf("boot primary: %s", g.Primary().URL)
+	}
+	idx, ok := g.nextUp(0)
+	if !ok || idx != 1 {
+		t.Fatalf("nextUp(0) = %d, %v", idx, ok)
+	}
+	g.Nodes()[1].MarkDown()
+	idx, ok = g.nextUp(0)
+	if !ok || idx != 2 {
+		t.Fatalf("nextUp with n1 down = %d, %v", idx, ok)
+	}
+	g.Nodes()[2].MarkDown()
+	if _, ok := g.nextUp(0); ok {
+		t.Fatal("nextUp found a candidate with every follower down")
+	}
+	g.Nodes()[2].MarkUp()
+	g.SetPrimary(2)
+	if g.Primary().URL != "http://c" {
+		t.Fatalf("primary after flip: %s", g.Primary().URL)
+	}
+
+	if _, err := NewGroup(1, nil); err == nil {
+		t.Fatal("empty group accepted")
+	}
+}
+
+func TestGroupReadOrderVisitsEveryReplica(t *testing.T) {
+	g, err := NewGroup(0, []string{"http://a", "http://b", "http://c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seenStart := make(map[string]bool)
+	for i := 0; i < 9; i++ {
+		order := g.readOrder()
+		if len(order) != 3 {
+			t.Fatalf("readOrder length %d", len(order))
+		}
+		seenStart[order[0].URL] = true
+		seen := map[string]bool{}
+		for _, n := range order {
+			seen[n.URL] = true
+		}
+		if len(seen) != 3 {
+			t.Fatalf("readOrder skipped a replica: %v", order)
+		}
+	}
+	if len(seenStart) != 3 {
+		t.Fatalf("round-robin never rotated: starts %v", seenStart)
+	}
+}

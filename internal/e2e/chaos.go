@@ -32,6 +32,10 @@ var (
 	ErrDropped = errors.New("e2e: chaos dropped request")
 	// ErrReset marks a response body cut by a simulated connection reset.
 	ErrReset = errors.New("e2e: chaos reset connection")
+	// ErrPartitioned marks a request to a host the chaos layer has
+	// partitioned away (see Chaos.Partition) — the shard-kill fault a
+	// fleet soak injects between a router and its shards.
+	ErrPartitioned = errors.New("e2e: chaos partitioned host")
 )
 
 // ChaosConfig parameterizes the fault-injecting transport. Zero value =
@@ -169,6 +173,9 @@ type Chaos struct {
 
 	mu  sync.Mutex
 	rng *rand.Rand
+
+	partMu sync.RWMutex
+	parts  map[string]bool
 }
 
 // NewChaos wraps base (nil = http.DefaultTransport) with cfg.
@@ -231,8 +238,54 @@ func (c *Chaos) plan(req *http.Request) decisions {
 	return d
 }
 
+// Partition cuts the chaos layer off from host: every request to it
+// fails with ErrPartitioned until Heal. The argument may be a bare
+// "host:port" or a full URL. Unlike the probabilistic faults this is a
+// state switch, not a draw — it consumes no RNG, so partitioning one
+// shard leaves every other request's fault plan (and therefore the
+// transcript digest) untouched. This is how a fleet soak kills or
+// partitions a whole shard mid-run: wrap the router's shard-facing
+// client in a Chaos transport and flip hosts in and out.
+func (c *Chaos) Partition(host string) {
+	c.partMu.Lock()
+	defer c.partMu.Unlock()
+	if c.parts == nil {
+		c.parts = make(map[string]bool)
+	}
+	c.parts[normalizeHost(host)] = true
+}
+
+// Heal reconnects a partitioned host.
+func (c *Chaos) Heal(host string) {
+	c.partMu.Lock()
+	defer c.partMu.Unlock()
+	delete(c.parts, normalizeHost(host))
+}
+
+// Partitioned reports whether host is currently cut off.
+func (c *Chaos) Partitioned(host string) bool {
+	c.partMu.RLock()
+	defer c.partMu.RUnlock()
+	return c.parts[normalizeHost(host)]
+}
+
+// normalizeHost reduces a URL or host:port to the host:port the
+// transport compares against req.URL.Host.
+func normalizeHost(host string) string {
+	if i := strings.Index(host, "://"); i >= 0 {
+		host = host[i+3:]
+	}
+	if i := strings.IndexByte(host, '/'); i >= 0 {
+		host = host[:i]
+	}
+	return host
+}
+
 // RoundTrip applies the request's fault plan around the base transport.
 func (c *Chaos) RoundTrip(req *http.Request) (*http.Response, error) {
+	if c.Partitioned(req.URL.Host) {
+		return nil, ErrPartitioned
+	}
 	d := c.plan(req)
 	if d.drop {
 		return nil, ErrDropped

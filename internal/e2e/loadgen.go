@@ -564,12 +564,12 @@ func (g *gen) execute(ctx context.Context, i int) (rec Record) {
 	case OpHealthz:
 		status, _, err := g.client.Healthz(ctx)
 		rec.Status = status
-		rec.ErrClass = classify(err)
+		rec.ErrClass = statusOnlyClass(status, err)
 	case OpMetrics:
 		// Digest keeps the status only; the body is uptime-dependent.
 		status, _, err := g.client.do(ctx, http.MethodGet, "/metrics", nil)
 		rec.Status = status
-		rec.ErrClass = classify(err)
+		rec.ErrClass = statusOnlyClass(status, err)
 	case OpBadJSON:
 		status, _, err := g.client.PostRaw(ctx, "/v1/estimate", []byte(`{"topology": "fig1`))
 		rec.Status = status
@@ -615,6 +615,21 @@ func ys(rounds []Round) []la.Vector {
 		out[i] = r.Y
 	}
 	return out
+}
+
+// statusOnlyClass classifies errors for the status-only ops (healthz,
+// metrics), whose bodies vary with server state — uptime, and in a
+// fleet, which shard answered and what it holds. Whether a chaos byte
+// budget bites such a body is a function of state, not of the plan, so
+// once the status line has arrived the op's deterministic observable is
+// complete and body-level faults are folded out. Faults that prevented
+// a status (drop, pre-status transport failure) keep their class.
+func statusOnlyClass(status int, err error) string {
+	class := classify(err)
+	if status != 0 && (class == ErrClassReset || class == ErrClassShortBody) {
+		return ""
+	}
+	return class
 }
 
 // classify canonicalizes a request error for the transcript: chaos

@@ -43,6 +43,19 @@ func (t *Table) Bind(name, digest string, r *sparse.CSR, alpha float64) *Observa
 	return o
 }
 
+// Unbind drops name's observatory, reporting whether one was bound.
+// Eviction calls this so a long-lived daemon cannot accumulate
+// observatory state for topologies that no longer exist; a
+// re-registration under the same name starts a fresh observatory at
+// epoch zero rather than inheriting the evicted one's attribution.
+func (t *Table) Unbind(name string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, ok := t.m[name]
+	delete(t.m, name)
+	return ok
+}
+
 // Get returns name's observatory without creating or re-binding it.
 func (t *Table) Get(name string) (*Observatory, bool) {
 	t.mu.Lock()

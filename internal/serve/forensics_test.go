@@ -170,7 +170,11 @@ func TestForensicsAlphaOverrideStillFeeds(t *testing.T) {
 	}
 }
 
-func TestForensicsEpochBumpsOnReregister(t *testing.T) {
+// TestForensicsEvictUnbindsObservatory pins the eviction contract: the
+// observatory is unbound with the entry (no state leak across
+// evict/re-register churn), and a later registration under the same
+// name starts fresh at epoch zero rather than inheriting attribution.
+func TestForensicsEvictUnbindsObservatory(t *testing.T) {
 	edges, paths, _, _ := fig1Wire(t)
 	srv := New(Config{})
 	ts := httptest.NewServer(srv.Handler())
@@ -188,38 +192,76 @@ func TestForensicsEpochBumpsOnReregister(t *testing.T) {
 		t.Fatalf("pre-churn snapshot: %+v", snap)
 	}
 	digest0 := snap.Digest
+	if srv.Forensics().Len() != 1 {
+		t.Fatalf("table len %d before evict, want 1", srv.Forensics().Len())
+	}
 
-	// Evict. The observatory survives (snapshot stays readable).
+	// Evict: the observatory goes with the entry. The endpoint 404s and
+	// the table drops to empty — nothing left to leak.
 	if resp, _ := postDelete(t, ts, "/v1/topologies/fig1"); resp.StatusCode != http.StatusOK {
 		t.Fatal("evict failed")
 	}
-	_, raw = get(t, ts, "/v1/topologies/fig1/forensics")
-	decodeInto(t, raw, &snap)
-	if snap.Rounds != 1 {
-		t.Fatalf("post-evict snapshot lost state: %+v", snap)
+	if resp, _ := get(t, ts, "/v1/topologies/fig1/forensics"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("post-evict forensics status %d, want 404", resp.StatusCode)
+	}
+	if srv.Forensics().Len() != 0 {
+		t.Fatalf("table len %d after evict, want 0 (observatory leaked)", srv.Forensics().Len())
 	}
 
-	// Re-register under the same name with one path dropped: different
-	// routing matrix digest → epoch bump + attribution reset.
+	// Re-register under the same name with one path dropped: a brand-new
+	// observatory — epoch zero, zero rounds, the new digest.
 	if resp, raw := postJSON(t, ts, "/v1/topologies", TopologyRequest{Name: "fig1", Edges: edges, Paths: paths[:len(paths)-1]}); resp.StatusCode != http.StatusCreated {
 		t.Fatalf("re-register: %d %s", resp.StatusCode, raw)
 	}
 	_, raw = get(t, ts, "/v1/topologies/fig1/forensics")
 	decodeInto(t, raw, &snap)
-	if snap.Epoch != 1 || snap.Rounds != 0 || snap.Digest == digest0 {
-		t.Fatalf("churn transition: epoch=%d rounds=%d digest same=%t, want 1/0/false",
+	if snap.Epoch != 0 || snap.Rounds != 0 || snap.Digest == digest0 {
+		t.Fatalf("post-churn observatory not fresh: epoch=%d rounds=%d digest same=%t, want 0/0/false",
 			snap.Epoch, snap.Rounds, snap.Digest == digest0)
 	}
 
-	// Same-digest re-registration (evict + identical register): no bump.
-	postDelete(t, ts, "/v1/topologies/fig1")
-	if resp, raw := postJSON(t, ts, "/v1/topologies", TopologyRequest{Name: "fig1", Edges: edges, Paths: paths[:len(paths)-1]}); resp.StatusCode != http.StatusCreated {
-		t.Fatalf("identical re-register: %d %s", resp.StatusCode, raw)
+	// Many churn cycles leave exactly one bound observatory.
+	for i := 0; i < 5; i++ {
+		postDelete(t, ts, "/v1/topologies/fig1")
+		if resp, raw := postJSON(t, ts, "/v1/topologies", TopologyRequest{Name: "fig1", Edges: edges, Paths: paths}); resp.StatusCode != http.StatusCreated {
+			t.Fatalf("churn cycle %d: %d %s", i, resp.StatusCode, raw)
+		}
 	}
-	_, raw = get(t, ts, "/v1/topologies/fig1/forensics")
-	decodeInto(t, raw, &snap)
-	if snap.Epoch != 1 {
-		t.Fatalf("identical re-register bumped epoch to %d", snap.Epoch)
+	if srv.Forensics().Len() != 1 {
+		t.Fatalf("table len %d after churn, want 1", srv.Forensics().Len())
+	}
+}
+
+// TestForensicsEpochBumpsOnLiveRebind pins the epoch semantics that
+// remain after the eviction fix: a digest change on a *live* binding —
+// a streaming session whose path set mutated — bumps the epoch and
+// resets attribution (exercised end to end in
+// TestForensicsStreamingSessionFeeds); identical rebinds never bump.
+func TestForensicsEpochBumpsOnLiveRebind(t *testing.T) {
+	edges, paths, _, _ := fig1Wire(t)
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if resp, raw := postJSON(t, ts, "/v1/topologies", TopologyRequest{Name: "fig1", Edges: edges, Paths: paths}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %d %s", resp.StatusCode, raw)
+	}
+	o, ok := srv.Forensics().Get("fig1")
+	if !ok {
+		t.Fatal("no observatory bound at registration")
+	}
+	snap := o.Snapshot()
+	if snap.Epoch != 0 {
+		t.Fatalf("fresh epoch %d", snap.Epoch)
+	}
+	// Same-digest rebind (what every stream batch does): no bump.
+	srv.Forensics().Bind("fig1", snap.Digest, nil, 0)
+	if got := o.Snapshot().Epoch; got != 0 {
+		t.Fatalf("identical rebind bumped epoch to %d", got)
+	}
+	// Digest change on the live binding: bump + reset.
+	srv.Forensics().Bind("fig1", "sha256:different", nil, 0)
+	if got := o.Snapshot().Epoch; got != 1 {
+		t.Fatalf("digest-changing rebind epoch %d, want 1", got)
 	}
 }
 

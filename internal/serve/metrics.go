@@ -64,6 +64,9 @@ type Metrics struct {
 	CacheHits   *obs.Counter // solver-cache hits at registration
 	CacheMisses *obs.Counter // solver-cache misses (factorizations run)
 
+	ReplicationPulls *obs.Counter // WAL tail pulls served to followers
+	Promotions       *obs.Counter // follower→primary promotions on this shard
+
 	// EstimateLatency is the per-round solve/inspect latency histogram
 	// (tomographyd_estimate_latency_seconds, as before the obs
 	// migration).
@@ -119,6 +122,8 @@ func NewMetrics() *Metrics {
 	m.PathMutations = reg.CounterVec("tomographyd_path_mutations_total", "Session path mutations by solver-derivation method.", "method")
 	m.CacheHits = reg.Counter("tomographyd_solver_cache_hits_total", "Registrations served from the solver cache.")
 	m.CacheMisses = reg.Counter("tomographyd_solver_cache_misses_total", "Registrations that ran a fresh factorization.")
+	m.ReplicationPulls = reg.Counter("tomographyd_replication_pulls_total", "WAL tail pulls served to tailing followers.")
+	m.Promotions = reg.Counter("tomographyd_replication_promotions_total", "Follower-to-primary promotions on this shard.")
 	m.EstimateLatency = reg.Histogram("tomographyd_estimate_latency_seconds", "Per-round estimate latency.", obs.DefaultLatencyBuckets)
 	m.RoundLatency = reg.Histogram("tomographyd_round_latency_seconds", "Amortized per-round latency inside session round streams.", obs.DefaultLatencyBuckets)
 	m.SolverIterations = reg.Histogram("tomographyd_solver_iterations", "Iterations per sparse (CGLS) solve.",

@@ -344,6 +344,19 @@ func DocFromSystem(name string, sys *tomo.System, alpha float64) (store.Topology
 	return docFromSystem(name, sys, alpha, sys.Digest())
 }
 
+// WireDigest computes the routing-matrix digest of a wire-format
+// topology without registering it — the key a cluster router hashes to
+// place a registration on a replication group. It is byte-identical to
+// the digest the receiving registry will record for the same edges and
+// paths, so placement and storage agree by construction.
+func WireDigest(edges, paths [][]string) (string, error) {
+	sys, err := buildWireSystem(edges, paths)
+	if err != nil {
+		return "", err
+	}
+	return sys.Digest(), nil
+}
+
 // docFromSystem is DocFromSystem with the digest supplied by a caller
 // that already computed it (the journaled register path runs under the
 // registry lock; recomputing the SHA-256 there is pure latency).
@@ -395,7 +408,10 @@ func docFromSystem(name string, sys *tomo.System, alpha float64, digest string) 
 // same configuration stays warm and a different one can never alias it.
 // With a store attached the eviction is journaled first; a journal
 // failure leaves the entry registered (and the error tells the client
-// the eviction did not happen).
+// the eviction did not happen). The topology's forensic observatory is
+// unbound with the entry — a daemon churning through evict/re-register
+// cycles must not leak observatory state, and a later registration
+// under the same name starts a fresh observatory at epoch zero.
 func (r *Registry) Evict(name string) (*Entry, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -409,6 +425,9 @@ func (r *Registry) Evict(name string) (*Entry, error) {
 		}
 	}
 	delete(r.entries, name)
+	if r.forensics != nil {
+		r.forensics.Unbind(name)
+	}
 	return e, nil
 }
 

@@ -39,6 +39,7 @@ import (
 	"repro/internal/forensics"
 	"repro/internal/la"
 	"repro/internal/obs"
+	"repro/internal/store"
 	"repro/internal/tomo"
 )
 
@@ -102,6 +103,12 @@ type Server struct {
 	idle     time.Duration
 
 	forensics *forensics.Table
+
+	// Replication state (EnableReplication); zero values mean a
+	// standalone daemon with no replication surface.
+	role      atomic.Int32
+	replStore *store.Store
+	replLag   atomic.Uint64
 }
 
 // New builds a Server from cfg.
@@ -189,6 +196,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.instrument("session_delete", s.metrics.ReqSessionDelete, s.handleSessionDelete))
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.metrics.ReqHealthz, s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.metrics.ReqMetrics, s.handleMetrics))
+	// Replication endpoints are uninstrumented like /debug/*: fleet
+	// plumbing must not perturb the request counters the load
+	// generator reconciles (dedicated replication counters track it).
+	mux.HandleFunc("GET /v1/replication/wal", s.handleReplicationWAL)
+	mux.HandleFunc("POST /v1/replication/promote", s.handleReplicationPromote)
 	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -353,11 +365,21 @@ type InspectResponse struct {
 	Reports  []InspectVerdict `json:"reports"`
 }
 
-// HealthResponse is the body of GET /healthz.
+// HealthResponse is the body of GET /healthz. The replication fields
+// appear only on shards running under a role (EnableReplication) —
+// a standalone daemon keeps the legacy three-field body byte-for-byte,
+// so pre-cluster health checks never see a schema change.
 type HealthResponse struct {
 	Status        string   `json:"status"`
 	Topologies    []string `json:"topologies"`
 	UptimeSeconds float64  `json:"uptimeSeconds"`
+	// Role is "primary" or "follower" (omitted standalone).
+	Role string `json:"role,omitempty"`
+	// AppliedSeq is the last WAL sequence applied on this shard.
+	AppliedSeq uint64 `json:"appliedSeq,omitempty"`
+	// ReplicationLag is how many WAL records this follower trails its
+	// primary by (followers only; 0 when caught up).
+	ReplicationLag *uint64 `json:"replicationLag,omitempty"`
 }
 
 // TracesResponse is the body of GET /debug/traces: the last N completed
@@ -375,6 +397,9 @@ type errorResponse struct {
 // --- Handlers -----------------------------------------------------------
 
 func (s *Server) handleTopologies(w http.ResponseWriter, req *http.Request) {
+	if s.rejectFollower(w) {
+		return
+	}
 	var tr TopologyRequest
 	if !s.decode(w, req, &tr) {
 		return
@@ -403,6 +428,9 @@ func (s *Server) handleTopologies(w http.ResponseWriter, req *http.Request) {
 }
 
 func (s *Server) handleEvict(w http.ResponseWriter, req *http.Request) {
+	if s.rejectFollower(w) {
+		return
+	}
 	entry, err := s.reg.Evict(req.PathValue("name"))
 	if err != nil {
 		s.fail(w, err)
@@ -529,9 +557,9 @@ func (s *Server) handleInspect(w http.ResponseWriter, req *http.Request) {
 
 // handleForensics serves one topology's forensic snapshot: residual
 // quantiles, top suspected links, alarm bursts, and worst-residual
-// exemplars whose trace IDs resolve in /debug/traces. The observatory
-// outlives eviction (its epoch semantics depend on observing the next
-// bind), so a snapshot stays readable while a name is unregistered.
+// exemplars whose trace IDs resolve in /debug/traces. Eviction unbinds
+// the observatory with the entry, so an unregistered name answers 404
+// here and a re-registration starts a fresh observatory at epoch zero.
 func (s *Server) handleForensics(w http.ResponseWriter, req *http.Request) {
 	name := req.PathValue("name")
 	if s.forensics == nil {
@@ -547,11 +575,20 @@ func (s *Server) handleForensics(w http.ResponseWriter, req *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	s.writeJSON(w, http.StatusOK, HealthResponse{
+	hr := HealthResponse{
 		Status:        "ok",
 		Topologies:    s.reg.Names(),
 		UptimeSeconds: s.clock.Now().Sub(s.start).Seconds(),
-	})
+	}
+	if role := s.Role(); role != RoleNone {
+		hr.Role = role.String()
+		hr.AppliedSeq = s.replStore.LastSeq()
+		if role == RoleFollower {
+			lag := s.ReplicationLag()
+			hr.ReplicationLag = &lag
+		}
+	}
+	s.writeJSON(w, http.StatusOK, hr)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -641,6 +678,10 @@ func (s *Server) fail(w http.ResponseWriter, err error) {
 		// The journal refused the mutation; nothing was applied. 500:
 		// the request was valid, the daemon's disk is the problem.
 		status = http.StatusInternalServerError
+	case errors.Is(err, ErrFollower):
+		// A write reached a follower shard. 421 Misdirected Request:
+		// the router should re-send it to the group's primary.
+		status = http.StatusMisdirectedRequest
 	}
 	s.writeJSON(w, status, errorResponse{Error: err.Error()})
 }

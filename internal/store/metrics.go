@@ -21,6 +21,10 @@ type Metrics struct {
 	TruncatedBytes *obs.Counter // store_wal_truncated_bytes_total
 	Snapshots      *obs.Counter // store_snapshots_total
 	Compactions    *obs.Counter // store_compactions_total
+
+	ShippedRecords *obs.Counter // store_replication_shipped_records_total
+	AppliedRecords *obs.Counter // store_replication_applied_records_total
+	Resyncs        *obs.Counter // store_replication_resyncs_total
 }
 
 // NewMetrics registers the store's instruments on reg. dirSize, when
@@ -37,6 +41,9 @@ func NewMetrics(reg *obs.Registry, dirSize func() float64) *Metrics {
 		TruncatedBytes: reg.Counter("store_wal_truncated_bytes_total", "Bytes dropped truncating torn or corrupt WAL tails."),
 		Snapshots:      reg.Counter("store_snapshots_total", "Snapshot files written."),
 		Compactions:    reg.Counter("store_compactions_total", "WAL-into-snapshot compactions completed."),
+		ShippedRecords: reg.Counter("store_replication_shipped_records_total", "WAL records served to tailing followers."),
+		AppliedRecords: reg.Counter("store_replication_applied_records_total", "Shipped WAL records applied by this follower."),
+		Resyncs:        reg.Counter("store_replication_resyncs_total", "Full-state snapshot resyncs (tail compacted away)."),
 	}
 	if dirSize != nil {
 		reg.GaugeFunc("store_data_dir_bytes", "Total bytes on disk under the store data directory.", dirSize)
@@ -84,5 +91,23 @@ func (m *Metrics) countSnapshot() {
 func (m *Metrics) countCompaction() {
 	if m != nil {
 		m.Compactions.Inc()
+	}
+}
+
+func (m *Metrics) countShipped(n int) {
+	if m != nil && n > 0 {
+		m.ShippedRecords.Add(int64(n))
+	}
+}
+
+func (m *Metrics) countApplied(n int) {
+	if m != nil && n > 0 {
+		m.AppliedRecords.Add(int64(n))
+	}
+}
+
+func (m *Metrics) countResync() {
+	if m != nil {
+		m.Resyncs.Inc()
 	}
 }

@@ -1,0 +1,210 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// This file is the store's replication surface: a primary serves its
+// journal to tailing followers with Since, and a follower mirrors the
+// primary's log with ApplyRecord (record-at-a-time, preserving the
+// primary's sequence numbers) or InstallSnapshot (full-state resync when
+// the primary compacted the records the follower still needs).
+//
+// The record frames a follower writes are byte-identical to the
+// primary's — EncodeRecord is deterministic and the sequence numbers are
+// shipped, not re-assigned — so a promoted follower's journal replays to
+// exactly the state the primary acknowledged, and the registry's
+// digest verification holds on the promoted shard just as it does on a
+// restart of the original.
+
+// Since is one replication pull's worth of journal. Exactly one of the
+// two shapes is populated:
+//
+//   - Records: the WAL records with seq > the requested fromSeq, in
+//     sequence order — the common incremental case.
+//   - Resync (Docs/ResyncSeq): the full live state as of ResyncSeq,
+//     returned when compaction already folded some record the follower
+//     still needs; the follower must replace its state wholesale.
+//
+// LastSeq is the primary's current last applied sequence in both cases,
+// so the follower can report its replication lag without a second call.
+type SinceResult struct {
+	// Resync reports that the requested tail was compacted away and
+	// Docs/ResyncSeq carry a full-state snapshot instead of records.
+	Resync bool
+	// Docs is the full live state at ResyncSeq (Resync only), oldest
+	// registration first.
+	Docs []TopologyDoc
+	// ResyncSeq is the sequence the snapshot state is current to.
+	ResyncSeq uint64
+	// Records are the journal records with seq > fromSeq (non-resync).
+	Records []Record
+	// LastSeq is the store's last applied sequence.
+	LastSeq uint64
+}
+
+// LastSeq returns the last sequence number applied to the store (0 for
+// a fresh store) — the follower's "applied WAL seq" readiness datum and
+// the fromSeq of its next replication pull.
+func (s *Store) LastSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextSeq - 1
+}
+
+// SnapshotSeq returns the last sequence folded into the current
+// snapshot (0 when the store has never compacted). Records with seq ≤
+// SnapshotSeq are no longer individually available from the WAL.
+func (s *Store) SnapshotSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapSeq
+}
+
+// Since returns the journal tail after fromSeq. When every needed
+// record is still in the WAL the result carries the records; when
+// compaction has already folded part of that range into a snapshot the
+// result is a full-state resync instead (Resync true). A follower
+// applies records with ApplyRecord and resyncs with InstallSnapshot —
+// either way it ends at a state identical to the primary's, with no
+// record skipped or applied twice.
+func (s *Store) Since(fromSeq uint64) (SinceResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return SinceResult{}, fmt.Errorf("store: closed")
+	}
+	last := s.nextSeq - 1
+	if fromSeq < s.snapSeq {
+		// The records in (fromSeq, snapSeq] are gone — compaction folded
+		// them. Ship the whole live state at its current sequence; the
+		// follower replaces rather than appends.
+		return SinceResult{
+			Resync:    true,
+			Docs:      s.snapshotStateLocked(),
+			ResyncSeq: last,
+			LastSeq:   last,
+		}, nil
+	}
+	if fromSeq >= last {
+		return SinceResult{LastSeq: last}, nil
+	}
+	// Read the WAL's valid prefix ([0, walSize)) under the lock: appends
+	// are serialized with us, so the prefix is always whole frames.
+	raw, err := os.ReadFile(filepath.Join(s.dir, walName))
+	if err != nil {
+		return SinceResult{}, fmt.Errorf("store: read wal for tail: %w", err)
+	}
+	if int64(len(raw)) > s.walSize {
+		raw = raw[:s.walSize]
+	}
+	var recs []Record
+	off := 0
+	for off < len(raw) {
+		rec, n, err := DecodeRecord(raw[off:])
+		if err != nil {
+			return SinceResult{}, fmt.Errorf("store: tail decode at %d: %w", off, err)
+		}
+		off += n
+		if rec.Seq <= fromSeq {
+			// Leftovers below the fold (compaction crash window) or the
+			// follower's already-applied prefix.
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	s.m.countShipped(len(recs))
+	return SinceResult{Records: recs, LastSeq: last}, nil
+}
+
+// ApplyRecord appends a record shipped from a primary, preserving its
+// sequence number, and folds it into the state mirror — the follower
+// side of WAL shipping. The record must advance the sequence; a stale or
+// duplicate sequence is rejected so a mis-ordered pull can never corrupt
+// the mirror. Durability follows the store's fsync policy, and the
+// follower compacts its own journal on the same threshold as a primary.
+func (s *Store) ApplyRecord(rec Record) error {
+	switch rec.Op {
+	case OpRegister:
+		if rec.Doc.Name == "" {
+			return fmt.Errorf("store: apply register without a name")
+		}
+	case OpEvict:
+		if rec.Name == "" {
+			return fmt.Errorf("store: apply evict without a name")
+		}
+	default:
+		return fmt.Errorf("store: apply unknown op %d", rec.Op)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if rec.Seq < s.nextSeq {
+		return fmt.Errorf("store: apply seq %d does not advance the log (next %d)", rec.Seq, s.nextSeq)
+	}
+	frame := EncodeRecord(s.encBuf[:0], rec)
+	s.encBuf = frame
+	if _, err := s.wal.Write(frame); err != nil {
+		return fmt.Errorf("store: wal apply append: %w", err)
+	}
+	s.m.countRecord()
+	s.m.countApplied(1)
+	s.nextSeq = rec.Seq + 1
+	s.walSize += int64(len(frame))
+	s.dirty = true
+	switch rec.Op {
+	case OpRegister:
+		s.applyRegister(rec.Doc)
+	case OpEvict:
+		s.applyEvict(rec.Name)
+	}
+	if s.opts.Fsync == FsyncAlways {
+		if err := s.syncLocked(); err != nil {
+			return err
+		}
+	}
+	if s.opts.CompactThreshold > 0 && s.walSize >= s.opts.CompactThreshold {
+		if err := s.compactLocked(); err != nil {
+			s.log.Error("store compaction failed", "err", err)
+		}
+	}
+	return nil
+}
+
+// InstallSnapshot replaces the store's entire state with docs at seq —
+// the follower side of a Since resync. The snapshot is committed with
+// the same atomic snapshot+MANIFEST machinery compaction uses, then the
+// WAL is reset, so a crash mid-install recovers to either the old state
+// or the new one, never a blend. The sequence must not move backwards.
+func (s *Store) InstallSnapshot(docs []TopologyDoc, seq uint64) error {
+	for _, doc := range docs {
+		if doc.Name == "" {
+			return fmt.Errorf("store: install snapshot with an unnamed topology")
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if last := s.nextSeq - 1; seq < last {
+		return fmt.Errorf("store: install snapshot at seq %d behind applied seq %d", seq, last)
+	}
+	raw := appendSnapshotDoc(nil, seq, docs)
+	if err := s.commitSnapshotLocked(raw, seq); err != nil {
+		return err
+	}
+	s.state = make(map[string]TopologyDoc, len(docs))
+	s.order = s.order[:0]
+	for _, doc := range docs {
+		s.applyRegister(doc)
+	}
+	s.nextSeq = seq + 1
+	s.m.countResync()
+	s.log.Info("store resynced from snapshot", "seq", seq, "topologies", len(docs))
+	return nil
+}

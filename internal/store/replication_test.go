@@ -1,0 +1,313 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// liveState returns the store's current state mirror (test helper; the
+// production read path is Since/Recovered).
+func liveState(s *Store) []TopologyDoc {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotStateLocked()
+}
+
+// applySince folds one replication pull into the follower, returning
+// the record sequences applied (empty for a resync or an empty pull).
+func applySince(t *testing.T, follower *Store, res SinceResult) []uint64 {
+	t.Helper()
+	if res.Resync {
+		if err := follower.InstallSnapshot(res.Docs, res.ResyncSeq); err != nil {
+			t.Fatalf("install snapshot at %d: %v", res.ResyncSeq, err)
+		}
+		return nil
+	}
+	seqs := make([]uint64, 0, len(res.Records))
+	for _, rec := range res.Records {
+		if err := follower.ApplyRecord(rec); err != nil {
+			t.Fatalf("apply seq %d: %v", rec.Seq, err)
+		}
+		seqs = append(seqs, rec.Seq)
+	}
+	return seqs
+}
+
+func TestReplicationTailShipsRecords(t *testing.T) {
+	primary := mustOpen(t, t.TempDir(), Options{})
+	defer primary.Close()
+	follower := mustOpen(t, t.TempDir(), Options{})
+	defer follower.Close()
+
+	for _, n := range []string{"one", "two", "three"} {
+		if err := primary.AppendRegister(doc(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := primary.AppendEvict("two"); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := primary.Since(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resync {
+		t.Fatalf("unexpected resync on an uncompacted log")
+	}
+	if len(res.Records) != 4 || res.LastSeq != 4 {
+		t.Fatalf("Since(0) = %d records, last %d; want 4, 4", len(res.Records), res.LastSeq)
+	}
+	applySince(t, follower, res)
+
+	if got, want := liveState(follower), liveState(primary); !reflect.DeepEqual(got, want) {
+		t.Fatalf("follower state %v != primary %v", names(got), names(want))
+	}
+	if follower.LastSeq() != primary.LastSeq() {
+		t.Fatalf("follower seq %d != primary %d", follower.LastSeq(), primary.LastSeq())
+	}
+
+	// Caught up: the next pull is empty, not an error and not a resync.
+	res, err = primary.Since(follower.LastSeq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resync || len(res.Records) != 0 || res.LastSeq != 4 {
+		t.Fatalf("caught-up pull = %+v", res)
+	}
+}
+
+// The follower's own journal must recover to the shipped state: a
+// promoted follower restarts exactly like the primary it replaced.
+func TestFollowerJournalRecovers(t *testing.T) {
+	primary := mustOpen(t, t.TempDir(), Options{})
+	defer primary.Close()
+	fdir := t.TempDir()
+	follower := mustOpen(t, fdir, Options{})
+
+	for i := 0; i < 5; i++ {
+		if err := primary.AppendRegister(doc(fmt.Sprintf("t%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := primary.Since(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applySince(t, follower, res)
+	if err := follower.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened := mustOpen(t, fdir, Options{})
+	defer reopened.Close()
+	rec := reopened.Recovered()
+	if rec.LastSeq != 5 || rec.ReplayedRecords != 5 || rec.TornTail {
+		t.Fatalf("follower recovery %+v", rec)
+	}
+	if got, want := liveState(reopened), liveState(primary); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered follower diverged: %v != %v", names(got), names(want))
+	}
+}
+
+func TestApplyRecordRejectsStaleSeq(t *testing.T) {
+	follower := mustOpen(t, t.TempDir(), Options{})
+	defer follower.Close()
+
+	rec := Record{Op: OpRegister, Seq: 3, Doc: doc("x")}
+	if err := follower.ApplyRecord(rec); err != nil {
+		t.Fatal(err)
+	}
+	// Same seq again: a duplicate pull must not double-apply.
+	if err := follower.ApplyRecord(rec); err == nil {
+		t.Fatal("duplicate seq accepted")
+	}
+	if err := follower.ApplyRecord(Record{Op: OpRegister, Seq: 2, Doc: doc("y")}); err == nil {
+		t.Fatal("backwards seq accepted")
+	}
+	if got := follower.LastSeq(); got != 3 {
+		t.Fatalf("seq %d after rejected applies, want 3", got)
+	}
+	if got := names(liveState(follower)); len(got) != 1 || got[0] != "x" {
+		t.Fatalf("state %v, want [x]", got)
+	}
+}
+
+func TestInstallSnapshotRejectsRegression(t *testing.T) {
+	follower := mustOpen(t, t.TempDir(), Options{})
+	defer follower.Close()
+	if err := follower.ApplyRecord(Record{Op: OpRegister, Seq: 10, Doc: doc("ahead")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := follower.InstallSnapshot([]TopologyDoc{doc("old")}, 5); err == nil {
+		t.Fatal("snapshot behind the applied seq accepted")
+	}
+}
+
+// The satellite contract: a follower tailing across the primary's
+// snapshot+truncate window must resync from the snapshot with no gap
+// and no duplicate application. Deterministic version first — pull,
+// compact under the reader's feet, pull again from the stale cursor.
+func TestCompactionRacesTailReaderDeterministic(t *testing.T) {
+	primary := mustOpen(t, t.TempDir(), Options{})
+	defer primary.Close()
+	follower := mustOpen(t, t.TempDir(), Options{})
+	defer follower.Close()
+
+	for i := 0; i < 4; i++ {
+		if err := primary.AppendRegister(doc(fmt.Sprintf("a%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := primary.Since(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applySince(t, follower, res) // follower at seq 4
+
+	// The primary moves on and compacts: seqs 5..8 exist only inside the
+	// snapshot now, and the follower's cursor (4) predates the fold.
+	if err := primary.AppendEvict("a1"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 4; i < 7; i++ {
+		if err := primary.AppendRegister(doc(fmt.Sprintf("a%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := primary.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := primary.SnapshotSeq(); got != 8 {
+		t.Fatalf("snapshot seq %d, want 8", got)
+	}
+
+	res, err = primary.Since(follower.LastSeq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Resync {
+		t.Fatalf("pull across the fold did not resync: %+v", res)
+	}
+	applySince(t, follower, res)
+
+	if got, want := liveState(follower), liveState(primary); !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-resync state %v != primary %v", names(got), names(want))
+	}
+	if follower.LastSeq() != primary.LastSeq() {
+		t.Fatalf("post-resync seq %d != primary %d", follower.LastSeq(), primary.LastSeq())
+	}
+
+	// Post-resync the cursor is valid again: incremental tailing resumes
+	// with records, not another resync.
+	if err := primary.AppendRegister(doc("post")); err != nil {
+		t.Fatal(err)
+	}
+	res, err = primary.Since(follower.LastSeq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resync || len(res.Records) != 1 {
+		t.Fatalf("post-resync pull = %+v", res)
+	}
+	applySince(t, follower, res)
+	if got, want := liveState(follower), liveState(primary); !reflect.DeepEqual(got, want) {
+		t.Fatalf("final state %v != primary %v", names(got), names(want))
+	}
+}
+
+// Live version of the race: a writer appends and compacts concurrently
+// with a tail reader pulling and applying. Every record sequence must
+// be applied at most once (resyncs replace wholesale, never re-apply),
+// and the follower must converge on the primary's exact state.
+func TestCompactionRacesLiveTailReader(t *testing.T) {
+	primary := mustOpen(t, t.TempDir(), Options{})
+	defer primary.Close()
+	follower := mustOpen(t, t.TempDir(), Options{})
+	defer follower.Close()
+
+	const writes = 200
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < writes; i++ {
+			if err := primary.AppendRegister(doc(fmt.Sprintf("w%03d", i))); err != nil {
+				t.Error(err)
+				return
+			}
+			if rng.Intn(17) == 0 {
+				if err := primary.Compact(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+
+	applied := make(map[uint64]int)
+	resyncs := 0
+	for follower.LastSeq() < writes {
+		res, err := primary.Since(follower.LastSeq())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Resync {
+			resyncs++
+			if err := follower.InstallSnapshot(res.Docs, res.ResyncSeq); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		for _, rec := range res.Records {
+			applied[rec.Seq]++
+			if err := follower.ApplyRecord(rec); err != nil {
+				t.Fatalf("apply seq %d: %v", rec.Seq, err)
+			}
+		}
+	}
+	wg.Wait()
+
+	for seq, n := range applied {
+		if n > 1 {
+			t.Fatalf("seq %d applied %d times", seq, n)
+		}
+	}
+	if got, want := liveState(follower), liveState(primary); !reflect.DeepEqual(got, want) {
+		t.Fatalf("follower converged to %d topologies, primary has %d", len(got), len(want))
+	}
+	if follower.LastSeq() != primary.LastSeq() {
+		t.Fatalf("follower seq %d != primary %d", follower.LastSeq(), primary.LastSeq())
+	}
+	t.Logf("live tail: %d records applied incrementally, %d resyncs", len(applied), resyncs)
+}
+
+// Since under a crashed compaction window: records at or below the
+// snapshot fold still sitting in the WAL (manifest renamed, truncate
+// pending) must not be shipped twice.
+func TestSinceSkipsFoldedLeftovers(t *testing.T) {
+	primary := mustOpen(t, t.TempDir(), Options{})
+	defer primary.Close()
+	for i := 0; i < 3; i++ {
+		if err := primary.AppendRegister(doc(fmt.Sprintf("t%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate the crash window: snapSeq advanced but the WAL not yet
+	// truncated. A cursor at snapSeq must receive nothing, not replays.
+	primary.mu.Lock()
+	primary.snapSeq = 3
+	primary.mu.Unlock()
+
+	res, err := primary.Since(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resync || len(res.Records) != 0 {
+		t.Fatalf("folded leftovers shipped: %+v", res)
+	}
+}

@@ -142,6 +142,7 @@ type Store struct {
 	wal       *os.File
 	walSize   int64
 	nextSeq   uint64
+	snapSeq   uint64 // last seq folded into the current snapshot
 	encBuf    []byte // frame scratch, reused under mu by append
 	state     map[string]TopologyDoc
 	order     []string // live names, oldest registration first
@@ -236,6 +237,7 @@ func (s *Store) recover(ctx context.Context) error {
 		return err
 	}
 	s.recovered.SnapshotSeq = snapSeq
+	s.snapSeq = snapSeq
 	lastSeq, err := s.replayWAL(ctx, snapSeq)
 	if err != nil {
 		return err
@@ -552,6 +554,21 @@ func (s *Store) compactLocked() error {
 	}
 	seq := s.nextSeq - 1
 	raw := appendSnapshotDoc(nil, seq, s.snapshotStateLocked())
+	oldSize := s.walSize
+	if err := s.commitSnapshotLocked(raw, seq); err != nil {
+		return err
+	}
+	s.m.countCompaction()
+	s.log.Info("store compacted", "seq", seq,
+		"topologies", len(s.order), "folded_wal_bytes", oldSize)
+	return nil
+}
+
+// commitSnapshotLocked publishes raw (an encoded snapshotDoc at seq) as
+// the current snapshot — snapshot file, MANIFEST rename (the commit
+// point), WAL reset — the shared tail of compaction and replication
+// resync. On return the WAL is empty and snapSeq is seq.
+func (s *Store) commitSnapshotLocked(raw []byte, seq uint64) error {
 	snapName := fmt.Sprintf("%s%016d%s", snapPrefix, seq, snapSuffix)
 	if err := s.writeFileAtomic(snapName, raw); err != nil {
 		return err
@@ -575,13 +592,10 @@ func (s *Store) compactLocked() error {
 	if err := s.wal.Sync(); err != nil {
 		return fmt.Errorf("store: sync rewound wal: %w", err)
 	}
-	oldSize := s.walSize
 	s.walSize = 0
 	s.dirty = false
-	s.m.countCompaction()
+	s.snapSeq = seq
 	s.removeStaleSnapshotsLocked(snapName)
-	s.log.Info("store compacted", "snapshot", snapName, "seq", seq,
-		"topologies", len(s.order), "folded_wal_bytes", oldSize)
 	return nil
 }
 

@@ -89,3 +89,15 @@ END {
         printf "forensics stream-round overhead: %.2f%% (on %s ns/round, off %s ns/round)\n", (on-off)/off*100, on, off
 }' "$tmp"
 emit_json "$tmp" BENCH_obs.json
+
+# Cluster: estimate throughput through the router over a single shard
+# vs a 3-group × 2-replica fleet (the routing + proxy overhead and the
+# sharding win live in the gap), and failover-to-warm — primary dead to
+# first successful read off the promoted follower. The failover bench
+# boots a fleet per iteration, so it gets a fixed iteration count
+# rather than inheriting a time-based benchtime.
+go test -run='^$' -bench='BenchmarkClusterSingleShardEstimate|BenchmarkClusterThreeShardEstimate' \
+    -benchtime="$benchtime" ./internal/cluster | tee "$tmp"
+go test -run='^$' -bench='BenchmarkClusterFailoverToWarm' -benchtime=10x \
+    ./internal/cluster | tee -a "$tmp"
+emit_json "$tmp" BENCH_cluster.json

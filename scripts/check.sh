@@ -80,9 +80,25 @@ go test -race -run 'TestForensics|TestMetricsExpositionLint|TestLint' ./internal
 go test -race -run 'TestGoldenForensicsSnapshot' ./internal/e2e
 go test -race -run 'TestRunReportForensicsExact|TestRunStreamReportForensics' ./cmd/tomoload
 
+# Sharded cluster: the consistent-hash placement ring and failover-order
+# invariants, WAL shipping (frame-identical journals, snapshot resync,
+# compaction racing a live tail reader) at the store layer, role wiring
+# (421 on follower writes, digest-verified apply, promotion, healthz
+# role fields) in serve, the router contracts (placement, read retry,
+# durable write failover, sticky sessions, fan reads) under -race, the
+# two-daemon follower lifecycle, the tomorouter CLI, and the fleet soak:
+# transcript digest byte-identical across worker AND shard counts, with
+# a mid-soak primary kill promoting a warm follower at zero write loss.
+go test -race ./internal/cluster ./cmd/tomorouter
+go test -race -run 'TestReplication|TestFollowerJournal|TestApplyRecord|TestInstallSnapshot|TestCompactionRaces|TestSinceSkips' ./internal/store
+go test -race -run 'TestReplication|TestFollowerRejects|TestPromote|TestApplyReplicated|TestHealthz|TestForensicsEvictUnbinds' ./internal/serve
+go test -race -run 'TestDaemonFollower' ./cmd/tomographyd
+go test -race -run 'TestFleet' ./internal/e2e
+
 go test -run='^$' -fuzz=FuzzSolve -fuzztime=10s ./internal/lp
 go test -run='^$' -fuzz=FuzzParseEdgeList -fuzztime=10s ./internal/graph
 go test -run='^$' -fuzz=FuzzDecodeRecord -fuzztime=10s ./internal/store
 go test -run='^$' -fuzz=FuzzCSRFromTriplets -fuzztime=10s ./internal/sparse
 
 go test -run='^$' -bench=. -benchtime=1x ./...
+
