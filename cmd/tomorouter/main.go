@@ -8,7 +8,7 @@
 // Usage:
 //
 //	tomorouter -groups "http://a:8723,http://b:8723;http://c:8723,http://d:8723" \
-//	           [-listen :8724] [-vnodes 64] [-log-level info] [-log-json]
+//	           [-listen :8724] [-vnodes 64] [-probe-interval 2s] [-log-level info] [-log-json]
 //
 // -groups lists the fleet: groups are separated by ';', and the nodes
 // of one replication group by ','. The first node of each group is its
@@ -44,6 +44,7 @@ func main() {
 	listen := flag.String("listen", ":8724", "router listen address")
 	groups := flag.String("groups", "", "fleet layout: ';'-separated replication groups of ','-separated node URLs (first node = boot primary)")
 	vnodes := flag.Int("vnodes", cluster.DefaultVnodes, "virtual nodes per group on the placement ring")
+	probe := flag.Duration("probe-interval", cluster.DefaultProbeInterval, "health-probe cadence for down nodes (0 = default)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	flag.Parse()
@@ -66,6 +67,7 @@ func main() {
 		listen: *listen,
 		groups: layout,
 		vnodes: *vnodes,
+		probe:  *probe,
 		logger: obs.NewLogger(os.Stdout, level, *logJSON),
 	}
 	if err := run(ctx, opts); err != nil {
@@ -80,6 +82,7 @@ type options struct {
 	listen string
 	groups [][]string
 	vnodes int
+	probe  time.Duration
 	logger *slog.Logger
 }
 
@@ -135,6 +138,33 @@ func run(ctx context.Context, opts options) error {
 	for _, g := range opts.groups {
 		nodes += len(g)
 	}
+
+	// Recover placements for topologies registered before this router
+	// started (a restart, or a second router over a live fleet). If the
+	// fleet is not up yet, keep retrying in the background — until the
+	// first success, named reads fall back to the name hash.
+	if err := rt.SyncPlacements(ctx); err != nil {
+		log.Warn("initial placement sync failed, retrying in background", "err", err)
+		go func() {
+			tick := time.NewTicker(cluster.DefaultProbeInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+				}
+				if err := rt.SyncPlacements(ctx); err == nil {
+					log.Info("placement sync recovered")
+					return
+				}
+			}
+		}()
+	}
+	// Heal the routing table: down nodes are re-probed and return to
+	// routing once they answer /healthz again.
+	go rt.RunProber(ctx, opts.probe)
+
 	log.Info("routing", "addr", ln.Addr().String(),
 		"groups", len(opts.groups), "nodes", nodes, "vnodes", rt.Ring().Vnodes())
 

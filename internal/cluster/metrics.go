@@ -17,6 +17,9 @@ type Metrics struct {
 	Writes *obs.Counter
 	// Failovers counts primary promotions the router performed.
 	Failovers *obs.Counter
+	// Recoveries counts down nodes the health prober returned to
+	// routing.
+	Recoveries *obs.Counter
 }
 
 // NewMetrics registers the router counters on reg (nil allocates a
@@ -36,6 +39,8 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Registry mutations forwarded to a group primary."),
 		Failovers: reg.Counter("tomographyd_cluster_failovers_total",
 			"Primary promotions performed by the router."),
+		Recoveries: reg.Counter("tomographyd_cluster_node_recoveries_total",
+			"Down nodes probed healthy and returned to routing."),
 	}
 }
 

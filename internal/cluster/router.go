@@ -2,14 +2,18 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/serve"
@@ -59,9 +63,15 @@ type Config struct {
 //     standalone daemon would serve.
 //
 // If a write finds the primary unreachable, the router fails over:
-// marks it down, promotes the next live follower (whose journal is
-// byte-identical up to its applied sequence), and re-sends. Reads never
-// promote — they just try the next replica.
+// marks it down, promotes the most-caught-up live follower (max applied
+// WAL sequence over /healthz; the promoted journal is byte-identical to
+// the dead primary's up to that sequence), and re-sends. Reads never
+// promote — they just try the next replica. Down is a decaying hint,
+// not a verdict: client-caused failures (cancel, timeout) never mark a
+// node down, and ProbeDown/RunProber return nodes to routing once they
+// answer /healthz again. SyncPlacements rebuilds the name → group map
+// from the fleet at startup, so a router restart keeps routing
+// pre-existing topologies to their shards.
 type Router struct {
 	ring    *Ring
 	groups  []*Group
@@ -231,6 +241,42 @@ func (rt *Router) proxy(r *http.Request, node *Node, body []byte) (*http.Respons
 	return rt.httpc.Do(req)
 }
 
+// clientCaused reports whether a proxy error traces back to the client
+// side of r: the inbound request's context was cancelled or timed out,
+// so the upstream node is not to blame for the failure. Marking nodes
+// down on such errors would let a single impatient client erode the
+// routing table one cancel at a time — and, on the write path, trigger
+// a spurious failover while the real primary is alive — so callers
+// abort the request instead of blaming the node and retrying.
+func clientCaused(r *http.Request, err error) bool {
+	if r.Context().Err() != nil {
+		return true
+	}
+	return errors.Is(err, context.Canceled)
+}
+
+// nodeHealth fetches and decodes a node's /healthz body — the router's
+// window into a shard's role, applied WAL sequence, and topology list.
+func (rt *Router) nodeHealth(ctx context.Context, n *Node) (serve.HealthResponse, error) {
+	var hz serve.HealthResponse
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.URL+"/healthz", nil)
+	if err != nil {
+		return hz, err
+	}
+	resp, err := rt.httpc.Do(req)
+	if err != nil {
+		return hz, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return hz, fmt.Errorf("cluster: %s healthz: status %d", n.Name, resp.StatusCode)
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&hz); err != nil {
+		return hz, fmt.Errorf("cluster: %s healthz: %w", n.Name, err)
+	}
+	return hz, nil
+}
+
 // copyResponse relays a proxied response, flushing between chunks so
 // streaming bodies (NDJSON verdicts) flow through instead of buffering.
 func copyResponse(w http.ResponseWriter, resp *http.Response) {
@@ -294,6 +340,10 @@ func (rt *Router) readThrough(w http.ResponseWriter, r *http.Request, gidx int, 
 		tried++
 		resp, err := rt.proxy(r, n, body)
 		if err != nil {
+			if clientCaused(r, err) {
+				rt.jsonError(w, http.StatusBadGateway, "cluster: request abandoned by client: "+err.Error())
+				return
+			}
 			rt.log.Warn("read replica failed", "node", n.Name, "err", err)
 			n.MarkDown()
 			continue
@@ -326,6 +376,12 @@ func (rt *Router) writeThrough(w http.ResponseWriter, r *http.Request, gidx int,
 		}
 		resp, err := rt.proxy(r, p, body)
 		if err != nil {
+			if clientCaused(r, err) {
+				// The client hung up, not the primary: failing over here
+				// would promote a follower while the real primary is alive.
+				rt.jsonError(w, http.StatusBadGateway, "cluster: write abandoned by client: "+err.Error())
+				return
+			}
 			rt.log.Warn("primary write failed", "node", p.Name, "err", err)
 			p.MarkDown()
 			if !rt.failover(g) {
@@ -372,29 +428,58 @@ func (rt *Router) Failover(gidx int) error {
 	return nil
 }
 
-// failover promotes the first live follower after the current primary.
-// The candidate's journal is byte-identical to the dead primary's up to
+// failover promotes the most-caught-up live follower: every candidate
+// is asked for its applied WAL sequence over /healthz and the maximum
+// wins, ties breaking in ring order after the dead primary so the
+// choice stays deterministic. Replication is asynchronous in a
+// production fleet, so candidates can trail the dead primary by
+// different amounts — promoting anything less than the max would
+// silently drop acknowledged writes a better candidate still holds.
+// The promoted journal is byte-identical to the dead primary's up to
 // its applied sequence (shipped frames, same encoder, same sequences),
 // and its registry was rebuilt digest-verified from those frames — so
-// promotion is just an HTTP promote plus a pointer flip.
+// promotion is just an HTTP promote plus a pointer flip. A candidate
+// that already reports itself primary was promoted out-of-band and is
+// adopted as-is.
 func (rt *Router) failover(g *Group) bool {
-	after := g.PrimaryIndex()
-	for i := 0; i < g.Replicas(); i++ {
-		idx, ok := g.nextUp(after)
-		if !ok {
-			return false
-		}
-		n := g.Nodes()[idx]
-		pr, err := rt.promote(n)
-		if err != nil || pr.Role != "primary" {
-			rt.log.Warn("promote failed", "node", n.Name, "err", err)
-			n.MarkDown()
-			after = idx
+	dead := g.PrimaryIndex()
+	n := len(g.Nodes())
+	type candidate struct {
+		idx int
+		seq uint64
+	}
+	var cands []candidate
+	for off := 1; off < n; off++ {
+		idx := (dead + off) % n
+		node := g.Nodes()[idx]
+		if node.Down() {
 			continue
 		}
-		g.SetPrimary(idx)
+		hz, err := rt.nodeHealth(context.Background(), node)
+		if err != nil {
+			rt.log.Warn("failover candidate unreachable", "node", node.Name, "err", err)
+			node.MarkDown()
+			continue
+		}
+		if hz.Role == serve.RolePrimary.String() {
+			g.SetPrimary(idx)
+			return true
+		}
+		cands = append(cands, candidate{idx: idx, seq: hz.AppliedSeq})
+	}
+	// Stable: equal sequences keep ring order after the dead primary.
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].seq > cands[j].seq })
+	for _, c := range cands {
+		node := g.Nodes()[c.idx]
+		pr, err := rt.promote(node)
+		if err != nil || pr.Role != "primary" {
+			rt.log.Warn("promote failed", "node", node.Name, "err", err)
+			node.MarkDown()
+			continue
+		}
+		g.SetPrimary(c.idx)
 		rt.metrics.Failovers.Add(1)
-		rt.log.Info("failed over", "group", g.Index, "primary", n.Name, "applied_seq", pr.AppliedSeq)
+		rt.log.Info("failed over", "group", g.Index, "primary", node.Name, "applied_seq", pr.AppliedSeq)
 		return true
 	}
 	return false
@@ -407,15 +492,12 @@ func (rt *Router) adoptPrimary(g *Group) bool {
 		if n.Down() {
 			continue
 		}
-		resp, err := rt.httpc.Get(n.URL + "/healthz")
+		hz, err := rt.nodeHealth(context.Background(), n)
 		if err != nil {
 			n.MarkDown()
 			continue
 		}
-		var hz serve.HealthResponse
-		err = json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&hz)
-		resp.Body.Close()
-		if err == nil && hz.Role == "primary" {
+		if hz.Role == serve.RolePrimary.String() {
 			g.SetPrimary(idx)
 			return true
 		}
@@ -441,6 +523,100 @@ func (rt *Router) promote(n *Node) (serve.PromoteResponse, error) {
 	return pr, nil
 }
 
+// SyncPlacements rebuilds the name → group placement map from the fleet
+// itself: each group's first reachable replica lists its registered
+// topologies in /healthz, and every listed name is placed on that
+// group. Run it at router startup — placement is otherwise learned only
+// from acknowledged registrations, so a restarted (or second) router
+// would route named reads for pre-existing topologies by the name-hash
+// fallback, which agrees with the digest-based registration placement
+// only by luck. Names already learned locally are kept; a name listed
+// by two groups keeps the lowest-index one and logs the conflict.
+func (rt *Router) SyncPlacements(ctx context.Context) error {
+	type placement struct {
+		name string
+		g    int
+	}
+	var all []placement
+	for gidx, g := range rt.groups {
+		var lastErr error
+		synced := false
+		for _, n := range g.Nodes() {
+			if n.Down() {
+				continue
+			}
+			hz, err := rt.nodeHealth(ctx, n)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			for _, name := range hz.Topologies {
+				all = append(all, placement{name: name, g: gidx})
+			}
+			synced = true
+			break
+		}
+		if !synced {
+			return fmt.Errorf("cluster: sync placements: no replica of group %d reachable: %v", gidx, lastErr)
+		}
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, p := range all {
+		if prev, ok := rt.place[p.name]; ok && prev != p.g {
+			rt.log.Warn("placement conflict during sync", "topology", p.name, "kept", prev, "also_on", p.g)
+			continue
+		}
+		rt.place[p.name] = p.g
+	}
+	return nil
+}
+
+// DefaultProbeInterval is the RunProber cadence when none is given.
+const DefaultProbeInterval = 2 * time.Second
+
+// ProbeDown probes every down node's /healthz once and returns how many
+// answered — each marked back up and re-entered into routing. Down is a
+// hint, not a verdict: transport failures mark nodes down so traffic
+// routes around them, and the prober decays the hint once the node
+// answers again, so a transient failure (partition healed, process
+// restarted) never removes a node from the fleet permanently.
+func (rt *Router) ProbeDown(ctx context.Context) int {
+	recovered := 0
+	for _, n := range rt.flat {
+		if !n.Down() {
+			continue
+		}
+		if _, err := rt.nodeHealth(ctx, n); err != nil {
+			continue
+		}
+		n.MarkUp()
+		recovered++
+		rt.metrics.Recoveries.Add(1)
+		rt.log.Info("node recovered", "node", n.Name)
+	}
+	return recovered
+}
+
+// RunProber probes down nodes every interval (0 = DefaultProbeInterval)
+// until ctx ends — the background loop tomorouter runs so the routing
+// table heals itself.
+func (rt *Router) RunProber(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = DefaultProbeInterval
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		rt.ProbeDown(ctx)
+	}
+}
+
 // --- Handlers -----------------------------------------------------------
 
 func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
@@ -453,7 +629,14 @@ func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var tr serve.TopologyRequest
 	if err := json.Unmarshal(body, &tr); err == nil && tr.Name != "" {
 		name = tr.Name
-		if digest, derr := serve.WireDigest(tr.Edges, tr.Paths); derr == nil {
+		if owner, ok := rt.Lookup(name); ok {
+			// The name is already placed: route to its owner, whose
+			// primary is the authority on re-registration (409). Hashing
+			// the new payload's digest instead could land the same name on
+			// a second group — a 201 there would fork fleet-wide name
+			// uniqueness and strand the original copy on its shard.
+			gidx = owner
+		} else if digest, derr := serve.WireDigest(tr.Edges, tr.Paths); derr == nil {
 			gidx = rt.ring.Place(digest)
 		}
 		// Invalid shapes keep the fallback group, whose primary rejects
@@ -517,6 +700,10 @@ func (rt *Router) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		}
 		resp, err := rt.proxy(r, n, body)
 		if err != nil {
+			if clientCaused(r, err) {
+				rt.jsonError(w, http.StatusBadGateway, "cluster: request abandoned by client: "+err.Error())
+				return
+			}
 			n.MarkDown()
 			continue
 		}
@@ -565,11 +752,15 @@ func (rt *Router) handleSessionSticky(w http.ResponseWriter, r *http.Request) {
 	// lives on the pinned node, so there is nowhere else to go.
 	resp, err := rt.proxy(r, n, nil)
 	if err != nil {
-		n.MarkDown()
-		rt.mu.Lock()
-		delete(rt.sessions, id)
-		rt.mu.Unlock()
-		rt.jsonError(w, http.StatusBadGateway, fmt.Sprintf("cluster: session node %s unreachable", n.Name))
+		// A client hanging up mid-stream keeps the pin and the node: the
+		// session is still live on the shard for the next request.
+		if !clientCaused(r, err) {
+			n.MarkDown()
+			rt.mu.Lock()
+			delete(rt.sessions, id)
+			rt.mu.Unlock()
+		}
+		rt.jsonError(w, http.StatusBadGateway, fmt.Sprintf("cluster: session node %s unreachable: %v", n.Name, err))
 		return
 	}
 	if r.Method == http.MethodDelete && resp.StatusCode == http.StatusOK {
@@ -596,6 +787,10 @@ func (rt *Router) handleFanRead(w http.ResponseWriter, r *http.Request) {
 		}
 		resp, err := rt.proxy(r, n, []byte{})
 		if err != nil {
+			if clientCaused(r, err) {
+				rt.jsonError(w, http.StatusBadGateway, "cluster: request abandoned by client: "+err.Error())
+				return
+			}
 			n.MarkDown()
 			continue
 		}

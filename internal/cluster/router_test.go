@@ -469,3 +469,238 @@ func TestRouterReadRetriesAcrossReplicas(t *testing.T) {
 		t.Fatal("no read retries counted")
 	}
 }
+
+// A client hanging up must not be blamed on the fleet: no node marked
+// down, no failover, no promotion — a single impatient client must
+// never erode the routing table or depose a healthy primary.
+func TestRouterClientCancelLeavesFleetUp(t *testing.T) {
+	f := newTestFleet(t, 1, 2)
+	mustRegister(t, f, "chain-2", 2)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	estBody, err := json.Marshal(serve.RoundsRequest{Topology: "chain-2", Y: chainY(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/estimate", bytes.NewReader(estBody)).WithContext(ctx)
+	f.rt.ServeHTTP(httptest.NewRecorder(), req)
+
+	regBody, err := json.Marshal(chainReq("chain-4", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req = httptest.NewRequest(http.MethodPost, "/v1/topologies", bytes.NewReader(regBody)).WithContext(ctx)
+	f.rt.ServeHTTP(httptest.NewRecorder(), req)
+
+	g := f.rt.Groups()[0]
+	for _, n := range g.Nodes() {
+		if n.Down() {
+			t.Fatalf("%s marked down by a client cancel", n.Name)
+		}
+	}
+	if got := f.rt.Metrics().Failovers.Load(); got != 0 {
+		t.Fatalf("client cancel triggered %d failovers", got)
+	}
+	if g.PrimaryIndex() != 0 {
+		t.Fatal("client cancel moved the primary")
+	}
+	// The fleet still serves reads and takes the abandoned write fresh.
+	if status, _ := estimateXHat(t, f.ts.URL, "chain-2", 2); status != http.StatusOK {
+		t.Fatalf("read after client cancel: %d", status)
+	}
+	mustRegister(t, f, "chain-4", 4)
+}
+
+// Down is a decaying hint: the prober returns a reachable node to
+// routing and leaves a genuinely dead one alone.
+func TestRouterProberRecoversNodes(t *testing.T) {
+	f := newTestFleet(t, 1, 2)
+	follower := f.rt.Groups()[0].Nodes()[1]
+
+	follower.MarkDown()
+	if got := f.rt.ProbeDown(context.Background()); got != 1 {
+		t.Fatalf("ProbeDown recovered %d nodes, want 1", got)
+	}
+	if follower.Down() {
+		t.Fatal("reachable node still down after probe")
+	}
+	if got := f.rt.Metrics().Recoveries.Load(); got != 1 {
+		t.Fatalf("recoveries counter = %d, want 1", got)
+	}
+
+	f.shards[0][1].ts.CloseClientConnections()
+	f.shards[0][1].ts.Close()
+	follower.MarkDown()
+	if got := f.rt.ProbeDown(context.Background()); got != 0 {
+		t.Fatalf("ProbeDown revived a dead node (%d recovered)", got)
+	}
+	if !follower.Down() {
+		t.Fatal("dead node probed back into routing")
+	}
+}
+
+// A restarted router (empty placement map) must re-learn where existing
+// topologies live from the fleet, not fall back to hashing names.
+func TestRouterRestartRebuildsPlacements(t *testing.T) {
+	f := newTestFleet(t, 3, 1)
+	for k := 1; k <= 6; k++ {
+		mustRegister(t, f, fmt.Sprintf("chain-%d", k), k)
+	}
+
+	urls := make([][]string, len(f.shards))
+	for g, row := range f.shards {
+		for _, sh := range row {
+			urls[g] = append(urls[g], sh.ts.URL)
+		}
+	}
+	rt2, err := cluster.New(cluster.Config{Groups: urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt2.SyncPlacements(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(rt2)
+	defer ts2.Close()
+
+	for k := 1; k <= 6; k++ {
+		name := fmt.Sprintf("chain-%d", k)
+		want, ok := f.rt.Lookup(name)
+		if !ok {
+			t.Fatalf("original router lost placement for %s", name)
+		}
+		got, ok := rt2.Lookup(name)
+		if !ok || got != want {
+			t.Fatalf("restarted router placed %s on %d (known %v), original on %d", name, got, ok, want)
+		}
+		if status, _ := estimateXHat(t, ts2.URL, name, k); status != http.StatusOK {
+			t.Fatalf("estimate %s through restarted router: %d", name, status)
+		}
+	}
+	// Mutations through the restarted router land on the owning shard.
+	if status, raw := doReq(t, http.MethodDelete, ts2.URL+"/v1/topologies/chain-1", nil); status != http.StatusOK {
+		t.Fatalf("evict through restarted router: %d %s", status, raw)
+	}
+	if status, _ := estimateXHat(t, ts2.URL, "chain-1", 1); status != http.StatusNotFound {
+		t.Fatal("evict through restarted router did not reach the owning shard")
+	}
+}
+
+// Re-registering a live name with a different shape must reach the
+// owning group (whose primary answers 409), not hash the new digest
+// onto another group where a 201 would fork fleet-wide name uniqueness.
+func TestRouterReRegisterRoutesToOwner(t *testing.T) {
+	f := newTestFleet(t, 3, 1)
+	mustRegister(t, f, "dup", 3)
+	owner, ok := f.rt.Lookup("dup")
+	if !ok {
+		t.Fatal("no placement learned for dup")
+	}
+
+	// Find a shape whose digest hashes to a different group.
+	alt := 0
+	for k := 1; k <= 20 && alt == 0; k++ {
+		req := chainReq("dup", k)
+		digest, err := serve.WireDigest(req.Edges, req.Paths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k != 3 && f.rt.Ring().Place(digest) != owner {
+			alt = k
+		}
+	}
+	if alt == 0 {
+		t.Fatal("no alternate shape hashed off the owning group")
+	}
+
+	status, raw := postJSON(t, f.ts.URL, "/v1/topologies", chainReq("dup", alt))
+	if status != http.StatusConflict {
+		t.Fatalf("re-register with new shape: %d %s, want 409", status, raw)
+	}
+	if g, _ := f.rt.Lookup("dup"); g != owner {
+		t.Fatalf("re-register moved the placement to group %d", g)
+	}
+	// No stray copy on the group the new digest hashes to.
+	req := chainReq("dup", alt)
+	digest, err := serve.WireDigest(req.Edges, req.Paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stray := f.rt.Ring().Place(digest)
+	if status, _ := estimateXHat(t, f.shards[stray][0].ts.URL, "dup", alt); status != http.StatusNotFound {
+		t.Fatalf("stranded copy serving on group %d: %d", stray, status)
+	}
+	// The original registration still serves through the router.
+	if status, _ := estimateXHat(t, f.ts.URL, "dup", 3); status != http.StatusOK {
+		t.Fatalf("original registration lost: %d", status)
+	}
+}
+
+// Failover must promote the follower with the highest applied WAL
+// sequence, not the first one in ring order — promoting a laggard would
+// silently drop acknowledged writes a better candidate still holds.
+func TestRouterFailoverPromotesMostCaughtUpFollower(t *testing.T) {
+	f := newTestFleet(t, 1, 3)
+	mustRegister(t, f, "chain-2", 2) // both followers replicate seq 1
+
+	// Let only follower 2 replicate the next write: follower 1 lags.
+	full := f.rt.AfterWrite
+	f.rt.AfterWrite = func(g int) {
+		sh := f.shards[g][2]
+		for {
+			n, err := sh.tailer.Step(context.Background())
+			if err != nil {
+				t.Errorf("step %s: %v", sh.ts.URL, err)
+				return
+			}
+			if n == 0 {
+				return
+			}
+		}
+	}
+	mustRegister(t, f, "chain-3", 3)
+	f.rt.AfterWrite = full
+	if got := f.shards[0][1].st.LastSeq(); got != 1 {
+		t.Fatalf("laggard follower at seq %d, want 1", got)
+	}
+	if got := f.shards[0][2].st.LastSeq(); got != 2 {
+		t.Fatalf("caught-up follower at seq %d, want 2", got)
+	}
+
+	f.shards[0][0].ts.CloseClientConnections()
+	f.shards[0][0].ts.Close()
+	if err := f.rt.Failover(0); err != nil {
+		t.Fatal(err)
+	}
+	g := f.rt.Groups()[0]
+	if g.PrimaryIndex() != 2 {
+		t.Fatalf("failover promoted index %d, want the most-caught-up follower 2", g.PrimaryIndex())
+	}
+	// Zero acknowledged-write loss on the promoted node: both
+	// registrations survive in its journal and registry.
+	for k := 2; k <= 3; k++ {
+		if status, _ := estimateXHat(t, f.shards[0][2].ts.URL, fmt.Sprintf("chain-%d", k), k); status != http.StatusOK {
+			t.Fatalf("chain-%d lost across failover: %d", k, status)
+		}
+	}
+	// The laggard re-points at the promoted primary and catches up;
+	// from then on every replica serves every acked write.
+	for {
+		n, err := f.shards[0][1].tailer.Step(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+	}
+	if got := f.shards[0][1].st.LastSeq(); got != 2 {
+		t.Fatalf("laggard follower at seq %d after catch-up, want 2", got)
+	}
+	for k := 2; k <= 3; k++ {
+		if status, _ := estimateXHat(t, f.ts.URL, fmt.Sprintf("chain-%d", k), k); status != http.StatusOK {
+			t.Fatalf("chain-%d unreadable through the router after catch-up: %d", k, status)
+		}
+	}
+}

@@ -86,10 +86,21 @@ func (t *Tailer) Step(ctx context.Context) (int, error) {
 
 	applied := 0
 	if batch.Resync {
-		// Compaction folded the tail this follower needed: install the
-		// primary's full state instead of records. Journal first, then
-		// replace the registry through the digest-verified restore path.
-		if err := st.InstallSnapshot(batch.Docs, batch.ResyncSeq); err != nil {
+		// Compaction folded the tail this follower needed — or the
+		// follower is AHEAD of the primary (a stale ex-primary rejoining
+		// after a failover it missed): either way, install the primary's
+		// full state instead of records. Journal first, then replace the
+		// registry through the digest-verified restore path.
+		if last := st.LastSeq(); batch.ResyncSeq < last {
+			discarded, err := st.ForceInstallSnapshot(batch.Docs, batch.ResyncSeq)
+			if err != nil {
+				return 0, fmt.Errorf("cluster: divergence resync: %w", err)
+			}
+			if t.Logger != nil {
+				t.Logger.Warn("follower was ahead of its primary; diverged tail discarded",
+					"local_seq", last, "primary_seq", batch.ResyncSeq, "discarded", discarded)
+			}
+		} else if err := st.InstallSnapshot(batch.Docs, batch.ResyncSeq); err != nil {
 			return 0, fmt.Errorf("cluster: resync snapshot: %w", err)
 		}
 		if err := t.Server.Registry().ResetReplicated(ctx, batch.Docs); err != nil {

@@ -77,6 +77,22 @@ func (s *Store) Since(fromSeq uint64) (SinceResult, error) {
 		return SinceResult{}, fmt.Errorf("store: closed")
 	}
 	last := s.nextSeq - 1
+	if fromSeq > last {
+		// The follower is AHEAD of this store: it applied sequences we
+		// never journaled. That happens when a stale ex-primary rejoins
+		// as a follower after a failover promoted a peer that had not
+		// replicated its final writes. Reporting "caught up" here would
+		// let the two journals diverge silently under a shared sequence
+		// numbering; ship a full-state resync instead, so the follower
+		// converges on this store's history (discarding its unshipped
+		// tail — see ForceInstallSnapshot).
+		return SinceResult{
+			Resync:    true,
+			Docs:      s.snapshotStateLocked(),
+			ResyncSeq: last,
+			LastSeq:   last,
+		}, nil
+	}
 	if fromSeq < s.snapSeq {
 		// The records in (fromSeq, snapSeq] are gone — compaction folded
 		// them. Ship the whole live state at its current sequence; the
@@ -88,7 +104,7 @@ func (s *Store) Since(fromSeq uint64) (SinceResult, error) {
 			LastSeq:   last,
 		}, nil
 	}
-	if fromSeq >= last {
+	if fromSeq == last {
 		return SinceResult{LastSeq: last}, nil
 	}
 	// Read the WAL's valid prefix ([0, walSize)) under the lock: appends
@@ -121,10 +137,14 @@ func (s *Store) Since(fromSeq uint64) (SinceResult, error) {
 
 // ApplyRecord appends a record shipped from a primary, preserving its
 // sequence number, and folds it into the state mirror — the follower
-// side of WAL shipping. The record must advance the sequence; a stale or
-// duplicate sequence is rejected so a mis-ordered pull can never corrupt
-// the mirror. Durability follows the store's fsync policy, and the
-// follower compacts its own journal on the same threshold as a primary.
+// side of WAL shipping. The shipped stream is contiguous (Since returns
+// exactly the records after the follower's cursor), so the record must
+// carry the next sequence: a stale or duplicate sequence is rejected so
+// a mis-ordered pull can never corrupt the mirror, and a gap is
+// rejected so a lossy or truncated batch fails loudly (the tailer
+// re-pulls or resyncs) instead of silently skipping records. Durability
+// follows the store's fsync policy, and the follower compacts its own
+// journal on the same threshold as a primary.
 func (s *Store) ApplyRecord(rec Record) error {
 	switch rec.Op {
 	case OpRegister:
@@ -143,8 +163,8 @@ func (s *Store) ApplyRecord(rec Record) error {
 	if s.closed {
 		return fmt.Errorf("store: closed")
 	}
-	if rec.Seq < s.nextSeq {
-		return fmt.Errorf("store: apply seq %d does not advance the log (next %d)", rec.Seq, s.nextSeq)
+	if rec.Seq != s.nextSeq {
+		return fmt.Errorf("store: apply seq %d out of order (want %d)", rec.Seq, s.nextSeq)
 	}
 	frame := EncodeRecord(s.encBuf[:0], rec)
 	s.encBuf = frame
@@ -181,22 +201,43 @@ func (s *Store) ApplyRecord(rec Record) error {
 // WAL is reset, so a crash mid-install recovers to either the old state
 // or the new one, never a blend. The sequence must not move backwards.
 func (s *Store) InstallSnapshot(docs []TopologyDoc, seq uint64) error {
+	_, err := s.installSnapshot(docs, seq, false)
+	return err
+}
+
+// ForceInstallSnapshot is InstallSnapshot without the regression guard:
+// the divergence-resync path for a follower that ended up AHEAD of its
+// primary — a stale ex-primary rejoining after a failover it missed.
+// The follower's unshipped tail is discarded (those records exist
+// nowhere else in the fleet), so the number of discarded sequences is
+// returned for the caller to surface loudly.
+func (s *Store) ForceInstallSnapshot(docs []TopologyDoc, seq uint64) (uint64, error) {
+	return s.installSnapshot(docs, seq, true)
+}
+
+func (s *Store) installSnapshot(docs []TopologyDoc, seq uint64, force bool) (uint64, error) {
 	for _, doc := range docs {
 		if doc.Name == "" {
-			return fmt.Errorf("store: install snapshot with an unnamed topology")
+			return 0, fmt.Errorf("store: install snapshot with an unnamed topology")
 		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return fmt.Errorf("store: closed")
+		return 0, fmt.Errorf("store: closed")
 	}
+	var discarded uint64
 	if last := s.nextSeq - 1; seq < last {
-		return fmt.Errorf("store: install snapshot at seq %d behind applied seq %d", seq, last)
+		if !force {
+			return 0, fmt.Errorf("store: install snapshot at seq %d behind applied seq %d", seq, last)
+		}
+		discarded = last - seq
+		s.log.Warn("store discarding diverged tail for forced resync",
+			"applied_seq", last, "resync_seq", seq, "discarded", discarded)
 	}
 	raw := appendSnapshotDoc(nil, seq, docs)
 	if err := s.commitSnapshotLocked(raw, seq); err != nil {
-		return err
+		return 0, err
 	}
 	s.state = make(map[string]TopologyDoc, len(docs))
 	s.order = s.order[:0]
@@ -206,5 +247,5 @@ func (s *Store) InstallSnapshot(docs []TopologyDoc, seq uint64) error {
 	s.nextSeq = seq + 1
 	s.m.countResync()
 	s.log.Info("store resynced from snapshot", "seq", seq, "topologies", len(docs))
-	return nil
+	return discarded, nil
 }

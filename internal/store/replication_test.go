@@ -113,11 +113,11 @@ func TestFollowerJournalRecovers(t *testing.T) {
 	}
 }
 
-func TestApplyRecordRejectsStaleSeq(t *testing.T) {
+func TestApplyRecordRejectsOutOfOrderSeq(t *testing.T) {
 	follower := mustOpen(t, t.TempDir(), Options{})
 	defer follower.Close()
 
-	rec := Record{Op: OpRegister, Seq: 3, Doc: doc("x")}
+	rec := Record{Op: OpRegister, Seq: 1, Doc: doc("x")}
 	if err := follower.ApplyRecord(rec); err != nil {
 		t.Fatal(err)
 	}
@@ -125,25 +125,98 @@ func TestApplyRecordRejectsStaleSeq(t *testing.T) {
 	if err := follower.ApplyRecord(rec); err == nil {
 		t.Fatal("duplicate seq accepted")
 	}
-	if err := follower.ApplyRecord(Record{Op: OpRegister, Seq: 2, Doc: doc("y")}); err == nil {
+	// A gap means the shipped stream lost records: refuse, don't skip.
+	if err := follower.ApplyRecord(Record{Op: OpRegister, Seq: 3, Doc: doc("y")}); err == nil {
+		t.Fatal("gapped seq accepted")
+	}
+	if err := follower.ApplyRecord(Record{Op: OpRegister, Seq: 2, Doc: doc("y")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := follower.ApplyRecord(Record{Op: OpEvict, Seq: 1, Name: "x"}); err == nil {
 		t.Fatal("backwards seq accepted")
 	}
-	if got := follower.LastSeq(); got != 3 {
-		t.Fatalf("seq %d after rejected applies, want 3", got)
+	if got := follower.LastSeq(); got != 2 {
+		t.Fatalf("seq %d after rejected applies, want 2", got)
 	}
-	if got := names(liveState(follower)); len(got) != 1 || got[0] != "x" {
-		t.Fatalf("state %v, want [x]", got)
+	if got := names(liveState(follower)); len(got) != 2 || got[0] != "x" || got[1] != "y" {
+		t.Fatalf("state %v, want [x y]", got)
 	}
 }
 
 func TestInstallSnapshotRejectsRegression(t *testing.T) {
 	follower := mustOpen(t, t.TempDir(), Options{})
 	defer follower.Close()
-	if err := follower.ApplyRecord(Record{Op: OpRegister, Seq: 10, Doc: doc("ahead")}); err != nil {
+	if err := follower.InstallSnapshot([]TopologyDoc{doc("ahead")}, 10); err != nil {
 		t.Fatal(err)
 	}
 	if err := follower.InstallSnapshot([]TopologyDoc{doc("old")}, 5); err == nil {
 		t.Fatal("snapshot behind the applied seq accepted")
+	}
+}
+
+// The divergence contract: a follower that got AHEAD of its primary (a
+// stale ex-primary rejoining after a failover it missed) must be pulled
+// back onto the primary's history — Since answers its cursor with a
+// full-state resync rather than "caught up", and the forced install
+// reports exactly how many diverged sequences were discarded.
+func TestInstallSnapshotForcedDiscardsDivergedTail(t *testing.T) {
+	primary := mustOpen(t, t.TempDir(), Options{})
+	defer primary.Close()
+	follower := mustOpen(t, t.TempDir(), Options{})
+	defer follower.Close()
+
+	for _, n := range []string{"p0", "p1"} {
+		if err := primary.AppendRegister(doc(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= 5; i++ {
+		rec := Record{Op: OpRegister, Seq: uint64(i), Doc: doc(fmt.Sprintf("f%d", i))}
+		if err := follower.ApplyRecord(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	res, err := primary.Since(follower.LastSeq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Resync || res.ResyncSeq != 2 || res.LastSeq != 2 {
+		t.Fatalf("ahead cursor answered %+v, want a resync at seq 2", res)
+	}
+	// The guarded install refuses the regression; only the explicit
+	// force path may discard the diverged tail.
+	if err := follower.InstallSnapshot(res.Docs, res.ResyncSeq); err == nil {
+		t.Fatal("guarded install accepted a sequence regression")
+	}
+	discarded, err := follower.ForceInstallSnapshot(res.Docs, res.ResyncSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if discarded != 3 {
+		t.Fatalf("discarded %d sequences, want 3", discarded)
+	}
+	if got, want := liveState(follower), liveState(primary); !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-divergence state %v != primary %v", names(got), names(want))
+	}
+	if follower.LastSeq() != primary.LastSeq() {
+		t.Fatalf("post-divergence seq %d != primary %d", follower.LastSeq(), primary.LastSeq())
+	}
+
+	// The cursor is valid again: incremental tailing resumes.
+	if err := primary.AppendRegister(doc("post")); err != nil {
+		t.Fatal(err)
+	}
+	res, err = primary.Since(follower.LastSeq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resync || len(res.Records) != 1 {
+		t.Fatalf("post-divergence pull = %+v, want 1 record", res)
+	}
+	applySince(t, follower, res)
+	if got, want := liveState(follower), liveState(primary); !reflect.DeepEqual(got, want) {
+		t.Fatalf("final state %v != primary %v", names(got), names(want))
 	}
 }
 
